@@ -1,0 +1,191 @@
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include "common/assert.hpp"
+#include "trace/trace_stats.hpp"
+
+namespace twfd::bench {
+namespace {
+
+struct WanBundle {
+  trace::Trace trace{"empty", 1};
+  std::vector<trace::Period> periods;
+};
+
+const WanBundle& wan_bundle() {
+  static const WanBundle bundle = [] {
+    trace::WanScenario::Params p;
+    p.samples = sample_count();
+    trace::WanScenario wan(p);
+    WanBundle b;
+    b.trace = wan.build();
+    b.periods = wan.periods();
+    return b;
+  }();
+  return bundle;
+}
+
+}  // namespace
+
+std::int64_t sample_count() {
+  static const std::int64_t n = [] {
+    if (const char* env = std::getenv("FD_BENCH_SAMPLES")) {
+      const long long v = std::atoll(env);
+      if (v > 0) return std::max<std::int64_t>(50'000, v);
+    }
+    return std::int64_t{1'000'000};
+  }();
+  return n;
+}
+
+const trace::Trace& wan_trace() { return wan_bundle().trace; }
+const std::vector<trace::Period>& wan_periods() { return wan_bundle().periods; }
+
+const trace::Trace& lan_trace() {
+  static const trace::Trace t = [] {
+    trace::LanScenario::Params p;
+    p.samples = std::max<std::int64_t>(sample_count(), 200'000);
+    return trace::LanScenario(p).build();
+  }();
+  return t;
+}
+
+SweepPoint eval_spec(const core::DetectorSpec& spec, const trace::Trace& trace) {
+  auto detector = core::make_detector(spec, trace.interval());
+  const auto r = qos::evaluate(*detector, trace);
+  SweepPoint p;
+  p.td_s = r.metrics.detection_time_s;
+  p.tmr_per_s = r.metrics.mistake_rate_per_s;
+  p.pa = r.metrics.query_accuracy;
+  p.tm_s = r.metrics.mistake_duration_s;
+  p.mistakes = r.metrics.mistake_count;
+  return p;
+}
+
+const std::vector<int>& margin_sweep_ms() {
+  static const std::vector<int> v = {10,  25,  45,  65,  90,  115, 150,
+                                     200, 280, 400, 600, 900, 1400};
+  return v;
+}
+
+const std::vector<double>& phi_sweep() {
+  static const std::vector<double> v = {0.3, 0.6, 1.0, 1.5, 2.0, 3.0,
+                                        4.0, 5.5, 7.0, 9.0, 11.0};
+  return v;
+}
+
+const std::vector<double>& ed_k_sweep() {
+  static const std::vector<double> v = {0.3, 0.6, 1.0, 1.5, 2.0, 3.0,
+                                        4.0, 5.5, 7.0, 9.0, 11.0};
+  return v;
+}
+
+core::DetectorSpec spec_for(Family family, double x) {
+  switch (family) {
+    case Family::Chen1:
+      return core::DetectorSpec::chen(1, ticks_from_seconds(x));
+    case Family::Chen1000:
+      return core::DetectorSpec::chen(1000, ticks_from_seconds(x));
+    case Family::TwoWindow:
+      return core::DetectorSpec::two_window(1, 1000, ticks_from_seconds(x));
+    case Family::Phi:
+      return core::DetectorSpec::phi(x);
+    case Family::Ed:
+      return core::DetectorSpec::ed(1.0 - std::pow(10.0, -x));
+  }
+  TWFD_CHECK_MSG(false, "unreachable family");
+  return {};
+}
+
+std::string family_label(Family family) {
+  switch (family) {
+    case Family::Chen1:
+      return "chen(1)";
+    case Family::Chen1000:
+      return "chen(1000)";
+    case Family::TwoWindow:
+      return "2w(1,1000)";
+    case Family::Phi:
+      return "phi(1000)";
+    case Family::Ed:
+      return "ed(1000)";
+  }
+  return "?";
+}
+
+double calibrate_to_td(Family family, double target_td_s, const trace::Trace& trace) {
+  // Calibrate on the FULL trace: for the accrual detectors the measured
+  // T_D depends on regime composition (their horizons track the gap
+  // distribution), so a stable-period prefix would systematically
+  // under-estimate it.
+  const trace::Trace& prefix = trace;
+
+  double lo, hi;
+  switch (family) {
+    case Family::Chen1:
+    case Family::Chen1000:
+    case Family::TwoWindow:
+      lo = 0.0;
+      hi = 5.0;
+      break;
+    case Family::Phi:
+    case Family::Ed:
+      lo = 0.05;
+      hi = 14.0;
+      break;
+  }
+
+  auto td_at = [&](double x) { return eval_spec(spec_for(family, x), prefix).td_s; };
+
+  double f_lo = td_at(lo) - target_td_s;
+  if (f_lo >= 0) return lo;  // even the most aggressive tuning is slower
+  double f_hi = td_at(hi) - target_td_s;
+  if (f_hi <= 0) return hi;
+
+  for (int i = 0; i < 24; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double f = td_at(mid) - target_td_s;
+    if (std::fabs(f) < 1e-4) return mid;
+    if ((f < 0) == (f_lo < 0)) {
+      lo = mid;
+      f_lo = f;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+void emit(const Table& table) {
+  static const bool csv = [] {
+    const char* env = std::getenv("FD_BENCH_CSV");
+    return env != nullptr && env[0] == '1';
+  }();
+  if (csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+}
+
+void print_header(const std::string& experiment, const std::string& paper_ref,
+                  const trace::Trace& trace) {
+  const auto stats = trace::compute_stats(trace);
+  std::cout << "==============================================================\n"
+            << experiment << "\n"
+            << "reproduces: " << paper_ref << "\n"
+            << "trace: " << trace.name() << "  samples=" << stats.sent
+            << "  delivered=" << stats.delivered
+            << "  interval=" << format_ticks(trace.interval()) << "\n"
+            << "  p_L=" << Table::num(stats.loss_probability, 5)
+            << "  mean_delay=" << Table::num(stats.delay_mean_s * 1e3, 3) << "ms"
+            << "  V(D)=" << Table::sci(stats.delay_variance_s2, 3) << "s^2"
+            << "  duration=" << Table::num(stats.duration_s, 0) << "s\n"
+            << "==============================================================\n";
+}
+
+}  // namespace twfd::bench

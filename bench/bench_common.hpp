@@ -1,0 +1,65 @@
+// Shared infrastructure for the figure/table reproduction binaries.
+//
+// Every bench binary replays the same cached synthetic WAN/LAN traces
+// (seeded; FD_BENCH_SAMPLES scales their length toward the paper's 5.8M)
+// and prints paper-style series with the common Table printer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "core/factory.hpp"
+#include "qos/evaluator.hpp"
+#include "trace/scenario.hpp"
+
+namespace twfd::bench {
+
+/// Sample count from FD_BENCH_SAMPLES (default 1,000,000; min 50,000).
+[[nodiscard]] std::int64_t sample_count();
+
+/// Cached scenario traces (built once per process).
+[[nodiscard]] const trace::Trace& wan_trace();
+[[nodiscard]] const std::vector<trace::Period>& wan_periods();
+[[nodiscard]] const trace::Trace& lan_trace();
+
+/// One point of a detection-time/accuracy curve.
+struct SweepPoint {
+  double td_s = 0;
+  double tmr_per_s = 0;
+  double pa = 0;
+  double tm_s = 0;
+  std::size_t mistakes = 0;
+};
+
+[[nodiscard]] SweepPoint eval_spec(const core::DetectorSpec& spec,
+                                   const trace::Trace& trace);
+
+/// Safety-margin sweep (ms) used for Chen and 2W-FD curves.
+[[nodiscard]] const std::vector<int>& margin_sweep_ms();
+/// Threshold sweeps for the accrual detectors.
+[[nodiscard]] const std::vector<double>& phi_sweep();
+[[nodiscard]] const std::vector<double>& ed_k_sweep();  // E = 1 - 10^-k
+
+/// Builds the spec of `family` tuned by scalar `x`:
+/// chen/2w -> margin seconds; phi -> threshold; ed -> k.
+enum class Family { Chen1, Chen1000, TwoWindow, Phi, Ed };
+[[nodiscard]] core::DetectorSpec spec_for(Family family, double x);
+[[nodiscard]] std::string family_label(Family family);
+
+/// Finds the tuning value giving measured T_D ~= target on `trace`
+/// (bisection on the monotone T_D(x) curve; calibrates on a prefix slice
+/// for speed). Returns the tuning value.
+[[nodiscard]] double calibrate_to_td(Family family, double target_td_s,
+                                     const trace::Trace& trace);
+
+/// Standard bench prologue: prints binary name, trace stats and config.
+void print_header(const std::string& experiment, const std::string& paper_ref,
+                  const trace::Trace& trace);
+
+/// Prints a result table: pretty fixed-width by default, machine-readable
+/// CSV when the environment sets FD_BENCH_CSV=1 (for plotting pipelines).
+void emit(const Table& table);
+
+}  // namespace twfd::bench

@@ -1,0 +1,49 @@
+// Crash-injection validation of the detection-time methodology: for each
+// detector family (tuned to the paper's T_D = 215 ms working point on the
+// WAN trace), inject 2000 crashes and compare the measured detection-time
+// distribution with the evaluator's analytic T_D. Also reports the tail
+// (p99/max), which the analytic mean hides — the practical answer to
+// "how late can failover start?".
+
+#include <iostream>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "qos/crash_experiment.hpp"
+
+using namespace twfd;
+
+int main() {
+  const auto& trace = bench::wan_trace();
+  bench::print_header("crash_detection",
+                      "Methodology validation: injected crashes vs analytic T_D",
+                      trace);
+
+  constexpr double kTargetTd = 0.215;
+  Table table({"detector", "analytic_TD_s", "crash_mean_s", "crash_p99_s",
+               "crash_max_s", "undetected"});
+
+  auto add = [&](const std::string& name, const core::DetectorSpec& spec) {
+    auto det = core::make_detector(spec, trace.interval());
+    const auto analytic = qos::evaluate(*det, trace).metrics;
+    const auto crash = qos::run_crash_experiment(*det, trace, 2000);
+    table.add_row({name, Table::num(analytic.detection_time_s, 4),
+                   Table::num(crash.mean_td_s, 4), Table::num(crash.p99_td_s, 4),
+                   Table::num(crash.max_td_s, 4), std::to_string(crash.undetected)});
+  };
+
+  for (auto family : {bench::Family::Chen1, bench::Family::Chen1000,
+                      bench::Family::Phi, bench::Family::Ed,
+                      bench::Family::TwoWindow}) {
+    const double x = bench::calibrate_to_td(family, kTargetTd, trace);
+    add(bench::family_label(family), bench::spec_for(family, x));
+  }
+  add("bertier", core::DetectorSpec::bertier(1000));
+  bench::emit(table);
+
+  std::cout << "\nExpected shape: crash-measured mean tracks the analytic"
+               " T_D within a few percent for every family; the p99/max"
+               " columns show the loss-run and stall tail that a crash"
+               " right after a silent stretch incurs.\n";
+  return 0;
+}

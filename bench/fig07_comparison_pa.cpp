@@ -1,0 +1,50 @@
+// Figure 7: query accuracy probability P_A vs detection time T_D for all
+// five detector families on the WAN scenario.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace twfd;
+
+int main() {
+  const auto& trace = bench::wan_trace();
+  bench::print_header("fig07_comparison_pa",
+                      "Figure 7 (P_A vs T_D, all detectors, WAN)", trace);
+
+  Table table({"detector", "tuning", "TD_s", "PA", "one_minus_PA"});
+
+  const bench::Family families[] = {bench::Family::Chen1, bench::Family::Chen1000,
+                                    bench::Family::TwoWindow};
+  for (const auto family : families) {
+    for (int margin_ms : bench::margin_sweep_ms()) {
+      const auto p =
+          bench::eval_spec(bench::spec_for(family, margin_ms * 1e-3), trace);
+      table.add_row({bench::family_label(family),
+                     "m=" + std::to_string(margin_ms) + "ms", Table::num(p.td_s, 4),
+                     Table::num(p.pa, 8), Table::sci(1.0 - p.pa, 4)});
+    }
+  }
+  for (double phi : bench::phi_sweep()) {
+    const auto p = bench::eval_spec(bench::spec_for(bench::Family::Phi, phi), trace);
+    table.add_row({bench::family_label(bench::Family::Phi),
+                   "Phi=" + Table::num(phi, 2), Table::num(p.td_s, 4),
+                   Table::num(p.pa, 8), Table::sci(1.0 - p.pa, 4)});
+  }
+  for (double k : bench::ed_k_sweep()) {
+    const auto p = bench::eval_spec(bench::spec_for(bench::Family::Ed, k), trace);
+    table.add_row({bench::family_label(bench::Family::Ed), "k=" + Table::num(k, 2),
+                   Table::num(p.td_s, 4), Table::num(p.pa, 8),
+                   Table::sci(1.0 - p.pa, 4)});
+  }
+  {
+    const auto p = bench::eval_spec(core::DetectorSpec::bertier(1000), trace);
+    table.add_row({"bertier", "(none)", Table::num(p.td_s, 4), Table::num(p.pa, 8),
+                   Table::sci(1.0 - p.pa, 4)});
+  }
+  bench::emit(table);
+
+  std::cout << "\nExpected shape: 2w(1,1000) has the highest P_A at every"
+               " T_D (Section IV-C2).\n";
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Table I + Figure 8: every detector is tuned to the same detection time
+// (T_D = 215 ms in the paper), the WAN trace is split into the Table I
+// periods (Stable 1 / Burst / Worm / Stable 2, scaled proportionally),
+// and mistakes are attributed to periods. 2W-FD should win everywhere,
+// most clearly during the Burst period. Bertier cannot be tuned and is
+// reported at its natural T_D.
+
+#include <iostream>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "qos/mistake_set.hpp"
+#include "qos/subsample.hpp"
+
+using namespace twfd;
+
+namespace {
+
+struct Row {
+  std::string name;
+  double td;
+  std::vector<qos::PeriodMistakeCount> per_period;
+  std::size_t total;
+};
+
+Row run(const std::string& name, const core::DetectorSpec& spec) {
+  const auto& trace = bench::wan_trace();
+  auto det = core::make_detector(spec, trace.interval());
+  qos::EvalOptions opt;
+  opt.record_mistakes = true;
+  const auto r = qos::evaluate(*det, trace, opt);
+  Row row;
+  row.name = name;
+  row.td = r.metrics.detection_time_s;
+  row.per_period = qos::count_mistakes_by_period(r.mistakes, bench::wan_periods());
+  row.total = r.metrics.mistake_count;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  const auto& trace = bench::wan_trace();
+  bench::print_header("fig08_subsample_mistakes",
+                      "Table I + Figure 8 (mistakes per subsample, T_D=215ms)",
+                      trace);
+
+  // Table I equivalent for this trace length.
+  {
+    Table t1({"period", "from_seq", "to_seq"});
+    for (const auto& p : bench::wan_periods()) {
+      t1.add_row({p.name, std::to_string(p.from_seq), std::to_string(p.to_seq)});
+    }
+    std::cout << "Table I (scaled boundaries):\n";
+    bench::emit(t1);
+    std::cout << '\n';
+  }
+
+  constexpr double kTargetTd = 0.215;
+  std::vector<Row> rows;
+  for (auto family : {bench::Family::Chen1, bench::Family::Chen1000,
+                      bench::Family::Phi, bench::Family::Ed,
+                      bench::Family::TwoWindow}) {
+    const double x = bench::calibrate_to_td(family, kTargetTd, trace);
+    rows.push_back(run(bench::family_label(family), bench::spec_for(family, x)));
+  }
+  rows.push_back(run("bertier", core::DetectorSpec::bertier(1000)));
+
+  Table table({"detector", "TD_s", "Stable 1", "Burst", "Worm", "Stable 2", "total"});
+  for (const auto& r : rows) {
+    table.add_row({r.name, Table::num(r.td, 4),
+                   std::to_string(r.per_period[0].mistakes),
+                   std::to_string(r.per_period[1].mistakes),
+                   std::to_string(r.per_period[2].mistakes),
+                   std::to_string(r.per_period[3].mistakes),
+                   std::to_string(r.total)});
+  }
+  bench::emit(table);
+
+  std::cout << "\nExpected shape: 2w(1,1000) beats chen(1000) overall and in"
+               " most periods; the adaptive detectors (phi, bertier) show the"
+               " opposite fingerprint -- poor in stable periods, strong inside"
+               " bursts (Section IV-C3). Bertier runs at its natural T_D;"
+               " constant-horizon families (2w, chen(1), ed) are close at"
+               " matched measured T_D (see EXPERIMENTS.md).\n";
+  return 0;
+}

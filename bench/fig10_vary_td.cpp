@@ -1,0 +1,34 @@
+// Figure 10: impact of the required detection time T_D^U on the
+// configured heartbeat interval Delta_i and timeout margin Delta_to
+// (Chen's configuration procedure, Section V-A / V-B1). Both should grow
+// roughly linearly, since T_D = Delta_i + Delta_to.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "config/qos_config.hpp"
+
+using namespace twfd;
+
+int main() {
+  std::cout << "fig10_vary_td\nreproduces: Figure 10 (Delta_i, Delta_to vs T_D^U)\n";
+  const config::NetworkBehaviour net{0.01, 1e-4};
+  std::cout << "network: p_L=0.01  V(D)=1e-4 s^2\n"
+            << "fixed: T_MR^U=1e-4 /s (one mistake per ~2.8h), T_M^U=10 s\n\n";
+
+  Table table({"TD_U_s", "Delta_i_s", "Delta_to_s", "predicted_TMR_per_s"});
+  for (double td = 0.2; td <= 6.01; td += 0.2) {
+    const config::QosRequirements qos{td, 1e-4, 10.0};
+    const auto cfg = config::chen_configure(qos, net);
+    table.add_row({Table::num(td, 2),
+                   cfg.feasible ? Table::num(cfg.interval_s, 4) : "infeasible",
+                   cfg.feasible ? Table::num(cfg.margin_s, 4) : "-",
+                   cfg.feasible ? Table::sci(cfg.predicted_mistake_rate_per_s, 3)
+                                : "-"});
+  }
+  bench::emit(table);
+
+  std::cout << "\nExpected shape: Delta_i and Delta_to both grow ~linearly"
+               " with T_D^U (Figure 10); their sum is exactly T_D^U.\n";
+  return 0;
+}

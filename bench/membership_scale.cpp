@@ -1,0 +1,119 @@
+// Engineering bench: cluster membership built on 2W-FD monitors, scaled
+// over cluster size. Reports heartbeat load (all-to-all is O(N^2) —
+// quantifying the paper's motivation for minimizing per-link messages),
+// crash-detection convergence latency (time until every survivor drops
+// the victim), and false view changes under 1% loss.
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "common/table.hpp"
+#include "service/membership.hpp"
+#include "sim/sim_world.hpp"
+
+using namespace twfd;
+
+namespace {
+
+struct ScaleResult {
+  std::size_t nodes = 0;
+  double datagrams_per_s = 0;
+  double convergence_s = 0;
+  std::size_t false_changes = 0;
+};
+
+ScaleResult run(std::size_t n) {
+  sim::SimWorld world(1000 + n);
+  std::vector<sim::SimEndpoint*> eps;
+  for (std::size_t i = 0; i < n; ++i) {
+    eps.push_back(&world.add_endpoint("n" + std::to_string(i + 1)));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      sim::LinkParams link;
+      link.delay = std::make_unique<trace::ExponentialDelay>(0.0002, 0.001);
+      link.loss = std::make_unique<trace::BernoulliLoss>(0.01);
+      sim::LinkParams back{link.delay->clone(), link.loss->clone(), true, 0.0};
+      world.connect(*eps[i], *eps[j], std::move(link));
+      world.connect(*eps[j], *eps[i], std::move(back));
+    }
+  }
+
+  std::vector<std::unique_ptr<service::MembershipNode>> nodes;
+  for (std::size_t i = 0; i < n; ++i) {
+    service::MembershipNode::Params p;
+    p.node_id = i + 1;
+    p.heartbeat_interval = ticks_from_ms(100);
+    p.safety_margin = ticks_from_ms(150);
+    p.windows = {1, 100};
+    nodes.push_back(std::make_unique<service::MembershipNode>(eps[i]->runtime(), p));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) nodes[i]->add_peer(eps[j]->id(), j + 1);
+    }
+  }
+
+  for (auto& node : nodes) node->start();
+  world.run_until(ticks_from_sec(60));
+
+  // Steady-state bookkeeping after the join storm.
+  std::size_t changes_before = 0;
+  for (auto& node : nodes) changes_before += node->view_changes();
+  const std::uint64_t datagrams_before = world.datagrams_sent();
+
+  // Crash the last node; measure until every survivor has dropped it.
+  const Tick crash = world.now();
+  nodes[n - 1]->stop();
+  Tick converged = 0;
+  while (world.now() < crash + ticks_from_sec(30)) {
+    world.run_until(world.now() + ticks_from_ms(10));
+    bool all_dropped = true;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      if (nodes[i]->is_alive(n)) all_dropped = false;
+    }
+    if (all_dropped) {
+      converged = world.now();
+      break;
+    }
+  }
+  world.run_until(crash + ticks_from_sec(30));
+
+  ScaleResult r;
+  r.nodes = n;
+  r.datagrams_per_s =
+      static_cast<double>(world.datagrams_sent() - datagrams_before) / 30.0;
+  r.convergence_s = converged > 0 ? to_seconds(converged - crash) : -1.0;
+  std::size_t changes_after = 0;
+  for (auto& node : nodes) changes_after += node->view_changes();
+  // Expected legitimate changes: n-1 survivors each dropping the victim.
+  r.false_changes = changes_after - changes_before - (n - 1);
+  for (auto& node : nodes) node->stop();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "membership_scale\n"
+            << "cluster membership on 2W-FD monitors: load, crash-detection"
+               " convergence, stability (1% loss links)\n\n";
+
+  Table table({"nodes", "links", "datagrams_per_s", "convergence_s",
+               "false_view_changes"});
+  for (std::size_t n : {3, 5, 8, 12, 16}) {
+    const auto r = run(n);
+    table.add_row({std::to_string(r.nodes), std::to_string(r.nodes * (r.nodes - 1)),
+                   Table::num(r.datagrams_per_s, 1), Table::num(r.convergence_s, 3),
+                   std::to_string(r.false_changes)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nExpected shape: load grows quadratically (the cost that"
+               " motivates shared detection services); convergence stays"
+               " ~Delta_i + Delta_to regardless of size; only isolated"
+               " flaps at 1% loss (a flap = 2 view changes) despite the"
+               " aggressive 150 ms margin.\n";
+  return 0;
+}

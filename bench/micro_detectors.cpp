@@ -1,0 +1,98 @@
+// Engineering micro-benchmarks (google-benchmark): per-heartbeat cost of
+// each detector and end-to-end replay throughput of the QoS evaluator.
+// Not a paper figure — documents that every on_heartbeat is O(1) and that
+// window size does not affect cost (the claim behind using a 10^4-sample
+// window freely).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/factory.hpp"
+#include "qos/evaluator.hpp"
+#include "trace/scenario.hpp"
+
+namespace {
+
+using namespace twfd;
+
+constexpr Tick kI = ticks_from_ms(100);
+
+void run_detector(benchmark::State& state, const core::DetectorSpec& spec) {
+  auto d = core::make_detector(spec, kI);
+  std::int64_t seq = 0;
+  for (auto _ : state) {
+    ++seq;
+    d->on_heartbeat(seq, seq * kI, seq * kI + (seq % 13) * 1000);
+    benchmark::DoNotOptimize(d->suspect_after());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_Chen_w1(benchmark::State& s) {
+  run_detector(s, core::DetectorSpec::chen(1, ticks_from_ms(100)));
+}
+void BM_Chen_w1000(benchmark::State& s) {
+  run_detector(s, core::DetectorSpec::chen(1000, ticks_from_ms(100)));
+}
+void BM_Chen_w10000(benchmark::State& s) {
+  run_detector(s, core::DetectorSpec::chen(10000, ticks_from_ms(100)));
+}
+void BM_Bertier(benchmark::State& s) { run_detector(s, core::DetectorSpec::bertier()); }
+void BM_Phi(benchmark::State& s) { run_detector(s, core::DetectorSpec::phi(2.0)); }
+void BM_Ed(benchmark::State& s) { run_detector(s, core::DetectorSpec::ed(0.99)); }
+void BM_TwoWindow(benchmark::State& s) {
+  run_detector(s, core::DetectorSpec::two_window(1, 1000, ticks_from_ms(100)));
+}
+void BM_MultiWindow4(benchmark::State& s) {
+  run_detector(s, core::DetectorSpec::multi_window({1, 10, 100, 1000},
+                                                   ticks_from_ms(100)));
+}
+
+BENCHMARK(BM_Chen_w1);
+BENCHMARK(BM_Chen_w1000);
+BENCHMARK(BM_Chen_w10000);
+BENCHMARK(BM_Bertier);
+BENCHMARK(BM_Phi);
+BENCHMARK(BM_Ed);
+BENCHMARK(BM_TwoWindow);
+BENCHMARK(BM_MultiWindow4);
+
+const trace::Trace& bench_trace() {
+  static const trace::Trace t = [] {
+    trace::WanScenario::Params p;
+    p.samples = 200'000;
+    return trace::WanScenario(p).build();
+  }();
+  return t;
+}
+
+void BM_EvaluatorReplay(benchmark::State& state) {
+  const auto& t = bench_trace();
+  auto d = core::make_detector(
+      core::DetectorSpec::two_window(1, 1000, ticks_from_ms(115)), t.interval());
+  for (auto _ : state) {
+    const auto r = qos::evaluate(*d, t);
+    benchmark::DoNotOptimize(r.metrics.mistake_count);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(t.size()));
+}
+BENCHMARK(BM_EvaluatorReplay);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    trace::WanScenario::Params p;
+    p.samples = 100'000;
+    p.seed = ++seed;
+    const auto t = trace::WanScenario(p).build();
+    benchmark::DoNotOptimize(t.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 100'000);
+}
+BENCHMARK(BM_TraceGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,168 @@
+// Live validation of Section V-C in the deterministic simulator: three
+// applications monitor one remote host for hours of virtual time,
+// (a) each with a dedicated sender+monitor pair at its own Delta_i,j, and
+// (b) through one shared FdService at Delta_i,min.
+// Reported: actual datagrams on the wire and per-app false suspicions.
+// This is the "empirical analysis on resulting QoS ... and how network
+// traffic is reduced" the paper lists as future work.
+
+#include <iostream>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "config/qos_config.hpp"
+#include "core/multi_window.hpp"
+#include "service/dispatcher.hpp"
+#include "service/fd_service.hpp"
+#include "service/heartbeat_sender.hpp"
+#include "service/monitor.hpp"
+#include "sim/sim_world.hpp"
+
+using namespace twfd;
+
+namespace {
+
+constexpr double kHours = 2.0;
+const config::NetworkBehaviour kNet{0.02, 1e-4};
+
+sim::LinkParams lossy_link() {
+  sim::LinkParams p;
+  p.delay = std::make_unique<trace::ExponentialDelay>(0.001, 0.010);
+  p.loss = std::make_unique<trace::BernoulliLoss>(0.02);
+  return p;
+}
+
+struct AppSpec {
+  std::string name;
+  config::QosRequirements qos;
+};
+
+const std::vector<AppSpec> kApps = {
+    {"strict", {0.5, 1e-4, 2.0}},
+    {"medium", {1.5, 1e-3, 6.0}},
+    {"relaxed", {4.0, 1e-2, 20.0}},
+};
+
+struct RunResult {
+  std::uint64_t datagrams = 0;
+  std::map<std::string, int> suspicions;
+};
+
+// (a) One sender + one monitor per application.
+RunResult run_dedicated() {
+  RunResult out;
+  sim::SimWorld world(71);
+  auto& p = world.add_endpoint("p");
+  std::vector<std::unique_ptr<service::Dispatcher>> dispatchers;
+  std::vector<std::unique_ptr<service::HeartbeatSender>> senders;
+  std::vector<std::unique_ptr<service::Monitor>> monitors;
+
+  for (std::size_t j = 0; j < kApps.size(); ++j) {
+    const auto cfg = config::chen_configure(kApps[j].qos, kNet);
+    auto& q = world.add_endpoint("q_" + kApps[j].name);
+    world.connect(p, q, lossy_link());
+
+    senders.push_back(std::make_unique<service::HeartbeatSender>(
+        p.runtime(), service::HeartbeatSender::Params{
+                         j + 1, ticks_from_seconds(cfg.interval_s)}));
+    senders.back()->add_target(q.id());
+
+    core::MultiWindowDetector::Params dp;
+    dp.windows = {1, 1000};
+    dp.interval = ticks_from_seconds(cfg.interval_s);
+    dp.safety_margin = ticks_from_seconds(cfg.margin_s);
+
+    const std::string name = kApps[j].name;
+    dispatchers.push_back(std::make_unique<service::Dispatcher>(q.runtime()));
+    monitors.push_back(std::make_unique<service::Monitor>(
+        q.runtime(), j + 1, std::make_unique<core::MultiWindowDetector>(dp),
+        service::Monitor::Callbacks{
+            [&out, name](Tick) { ++out.suspicions[name]; }, {}}));
+    auto* mon = monitors.back().get();
+    dispatchers.back()->on_heartbeat(
+        [mon](PeerId from, const net::HeartbeatMsg& m, Tick at) {
+          mon->handle_heartbeat(from, m, at);
+        });
+    senders.back()->start();
+  }
+
+  world.run_until(ticks_from_seconds(kHours * 3600));
+  for (auto& s : senders) s->stop();
+  out.datagrams = world.datagrams_sent();
+  return out;
+}
+
+// (b) One sender, one shared FdService for all applications.
+RunResult run_shared() {
+  RunResult out;
+  sim::SimWorld world(71);
+  auto& p = world.add_endpoint("p");
+  auto& q = world.add_endpoint("q");
+  world.connect(p, q, lossy_link());
+  world.connect(q, p, sim::lan_link());  // control channel back to p
+
+  service::Dispatcher p_dispatch(p.runtime());
+  service::Dispatcher q_dispatch(q.runtime());
+  service::HeartbeatSender sender(p.runtime(), {1, ticks_from_sec(60)});
+  sender.add_target(q.id());
+  p_dispatch.on_interval_request(
+      [&](PeerId from, const net::IntervalRequestMsg& m) {
+        sender.handle_interval_request(from, m);
+      });
+
+  service::FdService::Params sp;
+  sp.assumed_network = kNet;
+  service::FdService svc(q.runtime(), sp);
+  q_dispatch.on_heartbeat([&](PeerId from, const net::HeartbeatMsg& m, Tick at) {
+    svc.handle_heartbeat(from, m, at);
+  });
+  for (const auto& app : kApps) {
+    svc.subscribe(p.id(), 1, app.name, app.qos,
+                  [&out](const service::FdService::StatusEvent& e) {
+                    if (e.output == detect::Output::Suspect) ++out.suspicions[e.app];
+                  });
+  }
+
+  sender.start();
+  world.run_until(ticks_from_seconds(kHours * 3600));
+  sender.stop();
+  out.datagrams = world.datagrams_sent();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "service_live_load\n"
+            << "reproduces: Section V-C live (simulator), the paper's stated"
+               " future-work measurement\n"
+            << "channel: 1ms+Exp(10ms) delay, 2% loss; " << kHours
+            << "h of virtual time; p never crashes\n\n";
+
+  const RunResult dedicated = run_dedicated();
+  const RunResult shared = run_shared();
+
+  Table table({"mode", "datagrams", "datagrams_per_s", "strict_susp",
+               "medium_susp", "relaxed_susp"});
+  auto row = [&](const char* mode, const RunResult& r) {
+    auto count = [&](const char* app) {
+      const auto it = r.suspicions.find(app);
+      return std::to_string(it == r.suspicions.end() ? 0 : it->second);
+    };
+    table.add_row({mode, std::to_string(r.datagrams),
+                   Table::num(static_cast<double>(r.datagrams) / (kHours * 3600), 2),
+                   count("strict"), count("medium"), count("relaxed")});
+  };
+  row("dedicated (3 streams)", dedicated);
+  row("shared service (1 stream)", shared);
+  bench::emit(table);
+
+  std::cout << "\nExpected shape: the shared service carries roughly the"
+               " strictest app's heartbeat rate instead of the sum of all"
+               " three, and no app sees more false suspicions than its"
+               " dedicated counterpart (false suspicions here are caused"
+               " by the 2% message loss).\n";
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Always-on precondition checks.
+//
+// Failure-detector state machines are cheap relative to I/O, so invariant
+// checks stay enabled in release builds; violations throw so tests can
+// assert on them and live services can contain the blast radius.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace twfd::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  throw std::logic_error(std::string("TWFD_CHECK failed: ") + expr + " at " + file + ":" +
+                         std::to_string(line) + (msg.empty() ? "" : (": " + msg)));
+}
+
+}  // namespace twfd::detail
+
+#define TWFD_CHECK(expr)                                              \
+  do {                                                                \
+    if (!(expr)) ::twfd::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define TWFD_CHECK_MSG(expr, msg)                                      \
+  do {                                                                 \
+    if (!(expr)) ::twfd::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

@@ -1,0 +1,116 @@
+#include "common/math.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace twfd {
+namespace {
+
+constexpr double kSqrt2 = 1.4142135623730951;
+
+// Acklam's inverse-normal-CDF rational approximation coefficients.
+constexpr double kA[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                         -2.759285104469687e+02, 1.383577518672690e+02,
+                         -3.066479806614716e+01, 2.506628277459239e+00};
+constexpr double kB[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                         -1.556989798598866e+02, 6.680131188771972e+01,
+                         -1.328068155288572e+01};
+constexpr double kC[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                         -2.400758277161838e+00, -2.549732539343734e+00,
+                         4.374664141464968e+00,  2.938163982698783e+00};
+constexpr double kD[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                         2.445134137142996e+00, 3.754408661907416e+00};
+
+double acklam(double p) {
+  constexpr double p_low = 0.02425;
+  double q, r, x;
+  if (p < p_low) {
+    q = std::sqrt(-2.0 * std::log(p));
+    x = (((((kC[0] * q + kC[1]) * q + kC[2]) * q + kC[3]) * q + kC[4]) * q + kC[5]) /
+        ((((kD[0] * q + kD[1]) * q + kD[2]) * q + kD[3]) * q + 1.0);
+  } else if (p <= 1.0 - p_low) {
+    q = p - 0.5;
+    r = q * q;
+    x = (((((kA[0] * r + kA[1]) * r + kA[2]) * r + kA[3]) * r + kA[4]) * r + kA[5]) * q /
+        (((((kB[0] * r + kB[1]) * r + kB[2]) * r + kB[3]) * r + kB[4]) * r + 1.0);
+  } else {
+    q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((kC[0] * q + kC[1]) * q + kC[2]) * q + kC[3]) * q + kC[4]) * q + kC[5]) /
+        ((((kD[0] * q + kD[1]) * q + kD[2]) * q + kD[3]) * q + 1.0);
+  }
+  return x;
+}
+
+}  // namespace
+
+double normal_cdf(double z) { return 0.5 * std::erfc(-z / kSqrt2); }
+
+double normal_tail(double z) { return 0.5 * std::erfc(z / kSqrt2); }
+
+double normal_quantile(double p) {
+  TWFD_CHECK_MSG(p > 0.0 && p < 1.0, "normal_quantile domain");
+  double x = acklam(p);
+  // One Halley refinement against the exact CDF.
+  const double e = normal_cdf(x) - p;
+  const double u = e * std::sqrt(2.0 * 3.141592653589793238) * std::exp(x * x / 2.0);
+  x = x - u / (1.0 + x * u / 2.0);
+  return x;
+}
+
+double normal_tail_mu_sigma(double t, double mu, double sigma) {
+  TWFD_CHECK_MSG(sigma > 0.0, "sigma must be positive");
+  return normal_tail((t - mu) / sigma);
+}
+
+double bisect(const std::function<double(double)>& f, double lo, double hi, int iters) {
+  double flo = f(lo);
+  double fhi = f(hi);
+  TWFD_CHECK_MSG(flo == 0.0 || fhi == 0.0 || (flo < 0) != (fhi < 0),
+                 "bisect: no sign change");
+  if (flo == 0.0) return lo;
+  if (fhi == 0.0) return hi;
+  for (int i = 0; i < iters; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double fm = f(mid);
+    if (fm == 0.0) return mid;
+    if ((fm < 0) == (flo < 0)) {
+      lo = mid;
+      flo = fm;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double largest_satisfying(const std::function<bool(double)>& pred, double lo,
+                          double hi, int coarse_steps, int iters) {
+  TWFD_CHECK(hi >= lo && coarse_steps >= 1);
+  if (!pred(lo)) return lo;
+  if (pred(hi)) return hi;
+  // Find the last coarse point where pred holds; the boundary lies in
+  // (good, bad]. pred need not be perfectly monotone (Chen's f(Delta_i) has
+  // ceil() kinks), so we take the *last* satisfying coarse point.
+  double good = lo;
+  double bad = hi;
+  const double step = (hi - lo) / static_cast<double>(coarse_steps);
+  for (int i = 1; i <= coarse_steps; ++i) {
+    const double x = lo + step * static_cast<double>(i);
+    if (pred(x)) {
+      good = x;
+    }
+  }
+  bad = good + step > hi ? hi : good + step;
+  for (int i = 0; i < iters; ++i) {
+    const double mid = 0.5 * (good + bad);
+    if (pred(mid)) {
+      good = mid;
+    } else {
+      bad = mid;
+    }
+  }
+  return good;
+}
+
+}  // namespace twfd

@@ -1,0 +1,35 @@
+// Numerics used by the accrual detectors and the Chen configuration
+// procedure: normal CDF / tail / quantile, and a robust scalar root finder.
+#pragma once
+
+#include <functional>
+
+namespace twfd {
+
+/// Standard normal cumulative distribution function Phi(z).
+double normal_cdf(double z);
+
+/// Upper tail Q(z) = 1 - Phi(z), computed via erfc for accuracy at large z.
+double normal_tail(double z);
+
+/// Inverse of normal_cdf (the probit function). `p` must lie in (0, 1).
+/// Uses Acklam's rational approximation refined with one Halley step,
+/// accurate to ~1e-15 over the full domain.
+double normal_quantile(double p);
+
+/// P[X > t] for X ~ Normal(mu, sigma^2); sigma must be > 0.
+double normal_tail_mu_sigma(double t, double mu, double sigma);
+
+/// Finds x in [lo, hi] with f(x) ~ 0 by bisection; f(lo) and f(hi) must have
+/// opposite signs. Returns the midpoint after `iters` halvings.
+double bisect(const std::function<double(double)>& f, double lo, double hi,
+              int iters = 100);
+
+/// Largest x in [lo, hi] such that pred(x) holds, assuming pred is
+/// "downward closed" on a prefix (true on [lo, x*], false after). Scans
+/// `coarse_steps` points to bracket the boundary, then bisects. Returns lo
+/// if pred(lo) is false.
+double largest_satisfying(const std::function<bool(double)>& pred, double lo,
+                          double hi, int coarse_steps = 200, int iters = 60);
+
+}  // namespace twfd

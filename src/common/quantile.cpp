@@ -1,0 +1,89 @@
+#include "common/quantile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace twfd {
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  TWFD_CHECK_MSG(q > 0.0 && q < 1.0, "quantile must be in (0,1)");
+  desired_delta_ = {0.0, q_ / 2.0, q_, (1.0 + q_) / 2.0, 1.0};
+}
+
+void P2Quantile::insert_sorted(double x) {
+  heights_[count_] = x;
+  ++count_;
+  std::sort(heights_.begin(), heights_.begin() + count_);
+  if (count_ == 5) {
+    for (int i = 0; i < 5; ++i) positions_[i] = i + 1;
+    desired_ = {1.0, 1.0 + 2.0 * q_, 1.0 + 4.0 * q_, 3.0 + 2.0 * q_, 5.0};
+  }
+}
+
+void P2Quantile::add(double x) {
+  if (count_ < 5) {
+    insert_sorted(x);
+    return;
+  }
+
+  // Locate the cell containing x; clamp the extremes.
+  int k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = std::max(heights_[4], x);
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+
+  for (int i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) desired_[i] += desired_delta_[i];
+  ++count_;
+
+  // Adjust the three middle markers with the piecewise-parabolic formula,
+  // falling back to linear moves when parabolic would disorder markers.
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    const bool move_right = d >= 1.0 && positions_[i + 1] - positions_[i] > 1.0;
+    const bool move_left = d <= -1.0 && positions_[i - 1] - positions_[i] < -1.0;
+    if (!move_right && !move_left) continue;
+    const double s = move_right ? 1.0 : -1.0;
+
+    const double hp = heights_[i + 1];
+    const double hm = heights_[i - 1];
+    const double h = heights_[i];
+    const double np = positions_[i + 1];
+    const double nm = positions_[i - 1];
+    const double n = positions_[i];
+
+    double candidate =
+        h + s / (np - nm) *
+                ((n - nm + s) * (hp - h) / (np - n) + (np - n - s) * (h - hm) / (n - nm));
+    if (candidate <= hm || candidate >= hp) {
+      // Linear fallback toward the neighbour in the move direction.
+      const double hn = s > 0 ? hp : hm;
+      const double nn = s > 0 ? np : nm;
+      candidate = h + s * (hn - h) / (nn - n);
+    }
+    heights_[i] = candidate;
+    positions_[i] += s;
+  }
+}
+
+double P2Quantile::value() const {
+  if (count_ == 0) return 0.0;
+  if (count_ < 5) {
+    // Exact small-sample quantile (nearest-rank).
+    const auto idx = static_cast<std::size_t>(
+        std::ceil(q_ * static_cast<double>(count_))) - 1;
+    return heights_[std::min(idx, count_ - 1)];
+  }
+  return heights_[2];
+}
+
+}  // namespace twfd

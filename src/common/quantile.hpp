@@ -1,0 +1,36 @@
+// Streaming quantile estimation (the P-square algorithm of Jain &
+// Chlamtac, CACM 1985): estimates a fixed quantile of an unbounded stream
+// with five markers and O(1) memory/update. Used for tail detection-time
+// reporting (p95/p99) in the QoS evaluator and for trace gap analysis,
+// where storing millions of samples for exact quantiles would be wasteful.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace twfd {
+
+class P2Quantile {
+ public:
+  /// `q` in (0, 1), e.g. 0.99 for the 99th percentile.
+  explicit P2Quantile(double q);
+
+  void add(double x);
+
+  /// Current estimate; exact while fewer than 5 samples were seen.
+  [[nodiscard]] double value() const;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+
+ private:
+  void insert_sorted(double x);
+
+  double q_;
+  std::size_t count_ = 0;
+  std::array<double, 5> heights_{};         // marker heights
+  std::array<double, 5> positions_{};       // actual marker positions
+  std::array<double, 5> desired_{};         // desired positions
+  std::array<double, 5> desired_delta_{};   // desired position increments
+};
+
+}  // namespace twfd

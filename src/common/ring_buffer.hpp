@@ -1,0 +1,76 @@
+// Fixed-capacity circular buffer.
+//
+// The sliding-window arrival estimators (Chen Eq 2, Bertier, phi-accrual)
+// all keep "the last n samples"; this container backs them with one
+// allocation at construction and O(1) push/evict.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace twfd {
+
+template <typename T>
+class RingBuffer {
+ public:
+  /// Creates a buffer holding at most `capacity` elements. capacity >= 1.
+  explicit RingBuffer(std::size_t capacity) : buf_(capacity) {
+    TWFD_CHECK(capacity >= 1);
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return buf_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] bool full() const noexcept { return size_ == buf_.size(); }
+
+  /// Appends `v`. If full, evicts and returns the oldest element.
+  /// Returns true in `evicted_out` cases via the overload below.
+  void push(const T& v) {
+    T dummy{};
+    (void)push_evict(v, dummy);
+  }
+
+  /// Appends `v`; when eviction happens, stores the evicted value in
+  /// `evicted` and returns true.
+  bool push_evict(const T& v, T& evicted) {
+    if (full()) {
+      evicted = buf_[head_];
+      buf_[head_] = v;
+      head_ = next(head_);
+      return true;
+    }
+    buf_[(head_ + size_) % buf_.size()] = v;
+    ++size_;
+    return false;
+  }
+
+  /// Element `i` positions from the oldest (0 = oldest).
+  [[nodiscard]] const T& oldest(std::size_t i = 0) const {
+    TWFD_CHECK(i < size_);
+    return buf_[(head_ + i) % buf_.size()];
+  }
+
+  /// Element `i` positions back from the newest (0 = newest).
+  [[nodiscard]] const T& newest(std::size_t i = 0) const {
+    TWFD_CHECK(i < size_);
+    return buf_[(head_ + size_ - 1 - i) % buf_.size()];
+  }
+
+  void clear() noexcept {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  [[nodiscard]] std::size_t next(std::size_t i) const noexcept {
+    return (i + 1) % buf_.size();
+  }
+
+  std::vector<T> buf_;
+  std::size_t head_ = 0;  // index of the oldest element
+  std::size_t size_ = 0;
+};
+
+}  // namespace twfd

@@ -1,0 +1,52 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace twfd {
+
+std::uint64_t Xoshiro256::uniform_int(std::uint64_t n) noexcept {
+  // Lemire's nearly-divisionless method with rejection for exactness.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t t = (0 - n) % n;
+    while (lo < t) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * n;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Xoshiro256::normal() noexcept {
+  if (have_spare_) {
+    have_spare_ = false;
+    return spare_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double mul = std::sqrt(-2.0 * std::log(s) / s);
+  spare_ = v * mul;
+  have_spare_ = true;
+  return u * mul;
+}
+
+double Xoshiro256::exponential(double mean) noexcept {
+  return -mean * std::log(uniform01_open_left());
+}
+
+double Xoshiro256::lognormal(double mu, double sigma) noexcept {
+  return std::exp(normal(mu, sigma));
+}
+
+double Xoshiro256::pareto(double xm, double alpha) noexcept {
+  return xm * std::pow(uniform01_open_left(), -1.0 / alpha);
+}
+
+}  // namespace twfd

@@ -1,0 +1,99 @@
+// Deterministic random number generation.
+//
+// The trace generators must produce bit-identical traces for a given seed on
+// every platform, so we implement the engine (xoshiro256++) and the
+// variate transforms ourselves instead of relying on libstdc++'s
+// distribution objects, whose algorithms are unspecified.
+#pragma once
+
+#include <cstdint>
+
+namespace twfd {
+
+/// SplitMix64 — used to expand a single seed into engine state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256++ 1.0 (Blackman & Vigna). Fast, 256-bit state, passes BigCrush.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x2b7e151628aed2a6ULL) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double uniform01() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in (0, 1] — safe as a log() argument.
+  double uniform01_open_left() noexcept { return 1.0 - uniform01(); }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t uniform_int(std::uint64_t n) noexcept;
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) noexcept { return uniform01() < p; }
+
+  /// Standard normal via the polar (Marsaglia) method; deterministic.
+  double normal() noexcept;
+
+  /// Normal(mu, sigma).
+  double normal(double mu, double sigma) noexcept { return mu + sigma * normal(); }
+
+  /// Exponential with the given mean (= 1/rate).
+  double exponential(double mean) noexcept;
+
+  /// Lognormal where the *underlying* normal has parameters (mu, sigma).
+  double lognormal(double mu, double sigma) noexcept;
+
+  /// Pareto (Lomax-free classic form): xm * U^(-1/alpha), support [xm, inf).
+  double pareto(double xm, double alpha) noexcept;
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4]{};
+  // Polar method produces pairs; cache the spare.
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace twfd

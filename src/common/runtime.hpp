@@ -1,0 +1,59 @@
+// Runtime abstractions the service layer is written against.
+//
+// The live UDP event loop (src/net) and the discrete-event simulator
+// (src/sim) both implement these, so HeartbeatSender / Monitor / FdService
+// run unchanged on real sockets and in deterministic virtual time — the
+// simulator is how the integration tests drive the service.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "common/time.hpp"
+
+namespace twfd {
+
+/// Opaque identity of a remote process (a socket address in the live
+/// runtime, an endpoint handle in the simulator).
+using PeerId = std::uint64_t;
+
+/// Unreliable, unordered datagram transport (UDP semantics).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Fire-and-forget datagram send; may be silently dropped by the network.
+  virtual void send(PeerId to, std::span<const std::byte> data) = 0;
+
+  using ReceiveHandler = std::function<void(PeerId from, std::span<const std::byte>)>;
+
+  /// Installs the single receive callback (invoked on the runtime's
+  /// thread / event turn).
+  virtual void set_receive_handler(ReceiveHandler handler) = 0;
+};
+
+using TimerId = std::uint64_t;
+inline constexpr TimerId kInvalidTimer = 0;
+
+/// One-shot timers in the runtime's local clock domain.
+class TimerService {
+ public:
+  virtual ~TimerService() = default;
+
+  /// Schedules `fn` at local time `when` (fires immediately if past).
+  virtual TimerId schedule_at(Tick when, std::function<void()> fn) = 0;
+
+  /// Cancels a pending timer; cancelling a fired/unknown id is a no-op.
+  virtual void cancel(TimerId id) = 0;
+};
+
+/// Bundle handed to service components.
+struct Runtime {
+  Clock* clock = nullptr;
+  Transport* transport = nullptr;
+  TimerService* timers = nullptr;
+};
+
+}  // namespace twfd

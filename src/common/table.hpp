@@ -1,0 +1,37 @@
+// Fixed-width console tables and CSV emission for the benchmark harness.
+//
+// Every bench binary prints the paper's rows/series with this printer so
+// output across experiments stays uniform and greppable.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace twfd {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats a double with `prec` digits after the decimal point.
+  static std::string num(double v, int prec = 4);
+  /// Scientific notation, for log-scale quantities such as mistake rates.
+  static std::string sci(double v, int prec = 3);
+
+  /// Pretty fixed-width rendering with a header rule.
+  void print(std::ostream& os) const;
+  /// Machine-readable CSV rendering.
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace twfd

@@ -1,0 +1,25 @@
+#include "common/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace twfd {
+
+std::string format_ticks(Tick t) {
+  if (t == kTickInfinity) return "inf";
+  if (t == kTickNegInfinity) return "-inf";
+  char buf[64];
+  const double abs_ns = std::fabs(static_cast<double>(t));
+  if (abs_ns < 1e3) {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(t));
+  } else if (abs_ns < 1e6) {
+    std::snprintf(buf, sizeof buf, "%.3fus", static_cast<double>(t) * 1e-3);
+  } else if (abs_ns < 1e9) {
+    std::snprintf(buf, sizeof buf, "%.3fms", static_cast<double>(t) * 1e-6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3fs", static_cast<double>(t) * 1e-9);
+  }
+  return buf;
+}
+
+}  // namespace twfd

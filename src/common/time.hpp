@@ -1,0 +1,71 @@
+// Tick-based time for the 2W-FD library.
+//
+// All simulation-domain timestamps and durations are signed 64-bit
+// nanosecond counts ("ticks"). Using an integer domain keeps trace replay
+// and the discrete-event simulator bit-exact across platforms, which the
+// property tests rely on. The real-time runtime (src/net) maps
+// std::chrono::steady_clock onto the same representation.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace twfd {
+
+/// A point in time or a duration, in nanoseconds.
+using Tick = std::int64_t;
+
+/// Sentinel for "never" / unbounded timeout.
+inline constexpr Tick kTickInfinity = std::numeric_limits<Tick>::max();
+
+/// Sentinel for "before any representable time".
+inline constexpr Tick kTickNegInfinity = std::numeric_limits<Tick>::min();
+
+constexpr Tick ticks_from_ns(std::int64_t ns) noexcept { return ns; }
+constexpr Tick ticks_from_us(std::int64_t us) noexcept { return us * 1'000; }
+constexpr Tick ticks_from_ms(std::int64_t ms) noexcept { return ms * 1'000'000; }
+constexpr Tick ticks_from_sec(std::int64_t s) noexcept { return s * 1'000'000'000; }
+
+/// Converts a floating-point second count to ticks (round to nearest).
+constexpr Tick ticks_from_seconds(double seconds) noexcept {
+  const double ns = seconds * 1e9;
+  return static_cast<Tick>(ns >= 0 ? ns + 0.5 : ns - 0.5);
+}
+
+constexpr double to_seconds(Tick t) noexcept { return static_cast<double>(t) * 1e-9; }
+constexpr double to_millis(Tick t) noexcept { return static_cast<double>(t) * 1e-6; }
+constexpr double to_micros(Tick t) noexcept { return static_cast<double>(t) * 1e-3; }
+
+/// Saturating addition: adding anything to infinity stays infinity.
+constexpr Tick tick_add_sat(Tick a, Tick b) noexcept {
+  if (a == kTickInfinity || b == kTickInfinity) return kTickInfinity;
+  if (a > 0 && b > std::numeric_limits<Tick>::max() - a) return kTickInfinity;
+  if (a < 0 && b < std::numeric_limits<Tick>::min() - a) return kTickNegInfinity;
+  return a + b;
+}
+
+/// Human-readable rendering, e.g. "215.000ms", "1.500s", "inf".
+std::string format_ticks(Tick t);
+
+/// Abstract monotonic clock. Implemented by the real event loop
+/// (steady_clock) and by sim::SimClock (virtual time, optional skew/drift).
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current time in ticks. Monotone non-decreasing.
+  [[nodiscard]] virtual Tick now() const = 0;
+};
+
+/// Wall-clock backed implementation used by the live runtime.
+class SteadyClock final : public Clock {
+ public:
+  [[nodiscard]] Tick now() const override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+}  // namespace twfd

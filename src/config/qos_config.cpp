@@ -1,0 +1,147 @@
+#include "config/qos_config.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/math.hpp"
+
+namespace twfd::config {
+namespace {
+
+void validate(const QosRequirements& qos, const NetworkBehaviour& net) {
+  TWFD_CHECK_MSG(qos.td_upper_s > 0, "T_D^U must be positive");
+  TWFD_CHECK_MSG(qos.tmr_upper_per_s > 0, "T_MR^U must be positive");
+  TWFD_CHECK_MSG(qos.tm_upper_s > 0, "T_M^U must be positive");
+  TWFD_CHECK_MSG(net.loss_probability >= 0 && net.loss_probability < 1,
+                 "p_L must be in [0,1)");
+  TWFD_CHECK_MSG(net.delay_variance_s2 >= 0, "V(D) must be non-negative");
+}
+
+}  // namespace
+
+double estimated_mistake_rate(double interval_s, double td_upper_s,
+                              const NetworkBehaviour& net) {
+  TWFD_CHECK(interval_s > 0 && td_upper_s > 0);
+  const double v = std::max(net.delay_variance_s2, 1e-18);
+  const double pl = net.loss_probability;
+  // A mistake at freshness point tau_{l+1} happens iff NO heartbeat with
+  // sequence > l arrives in time. Heartbeat m_{l+j} (j >= 1) leaves
+  // j * Delta_i after m_l and has T_D^U - j * Delta_i of budget left;
+  // its miss probability is bounded by
+  //   p_L + (1 - p_L) * Cantelli(T_D^U - j * Delta_i),
+  // and heartbeats sent past the deadline (slack <= 0) cannot help.
+  double prob = 1.0;
+  bool any_term = false;
+  for (double slack = td_upper_s - interval_s; slack > 0.0; slack -= interval_s) {
+    any_term = true;
+    const double tail = v / (v + slack * slack);
+    prob *= pl + (1.0 - pl) * tail;
+    if (prob < 1e-300) return 0.0;
+  }
+  if (!any_term) prob = 1.0;  // Delta_i >= T_D^U: every freshness point misses
+  // One detection opportunity per heartbeat interval.
+  return prob / interval_s;
+}
+
+FdConfig chen_configure(const QosRequirements& qos, const NetworkBehaviour& net) {
+  validate(qos, net);
+  FdConfig out;
+
+  // Step 1 (Eq 14-15): bound Delta_i so the expected mistake duration —
+  // the wait for the next heartbeat that arrives within T_M^U — stays
+  // under T_M^U. gamma' is the Cantelli-bound probability that any given
+  // heartbeat arrives within T_M^U.
+  const double tm2 = qos.tm_upper_s * qos.tm_upper_s;
+  const double gamma_prime =
+      (1.0 - net.loss_probability) * tm2 / (net.delay_variance_s2 + tm2);
+  const double di_max =
+      std::min(gamma_prime * qos.tm_upper_s, qos.td_upper_s);
+  if (di_max <= 0.0) return out;  // infeasible
+
+  // Step 2 (Eq 16): largest Delta_i <= di_max with estimated mistake rate
+  // within T_MR^U. The rate vanishes as Delta_i -> 0 (more heartbeats get
+  // a chance to beat each deadline), so search downward from di_max.
+  const auto ok = [&](double di) {
+    return estimated_mistake_rate(di, qos.td_upper_s, net) <= qos.tmr_upper_per_s;
+  };
+
+  double lo = di_max / 4096.0;
+  // Make sure the lower end of the bracket is feasible; extend a few
+  // decades if the requirement is extreme.
+  for (int i = 0; i < 8 && !ok(lo); ++i) lo /= 16.0;
+  if (!ok(lo)) return out;  // infeasible under this network behaviour
+
+  const double di =
+      ok(di_max) ? di_max : largest_satisfying(ok, lo, di_max, 400, 60);
+
+  // Step 3.
+  out.feasible = true;
+  out.interval_s = di;
+  out.margin_s = qos.td_upper_s - di;
+  out.predicted_mistake_rate_per_s = estimated_mistake_rate(di, qos.td_upper_s, net);
+  return out;
+}
+
+PredictedQos predict_qos(double interval_s, double margin_s,
+                         const NetworkBehaviour& net) {
+  TWFD_CHECK(interval_s > 0 && margin_s >= 0);
+  PredictedQos out;
+  out.td_upper_s = interval_s + margin_s;
+  out.tmr_upper_per_s = estimated_mistake_rate(interval_s, out.td_upper_s, net);
+
+  // A mistake ends when a heartbeat arrives within the margin of its
+  // freshness point. Cantelli bound on that per-heartbeat probability
+  // (zero margin still succeeds whenever the heartbeat is merely on
+  // time, so floor the success probability at (1 - p_L)/2).
+  const double v = std::max(net.delay_variance_s2, 1e-18);
+  const double m2 = margin_s * margin_s;
+  const double per_beat =
+      (1.0 - net.loss_probability) * std::max(0.5, m2 / (v + m2));
+  out.tm_upper_s = interval_s / per_beat;
+
+  out.pa_lower = std::max(0.0, 1.0 - out.tmr_upper_per_s * out.tm_upper_s);
+  return out;
+}
+
+CombinedConfig combine_requirements(std::span<const AppRequest> apps,
+                                    const NetworkBehaviour& net) {
+  TWFD_CHECK_MSG(!apps.empty(), "no applications to combine");
+  CombinedConfig out;
+
+  // Step 1: dedicated configuration per application.
+  double di_min = 1e300;
+  double dedicated_load = 0.0;
+  for (const auto& app : apps) {
+    AppAssignment a;
+    a.name = app.name;
+    a.dedicated = chen_configure(app.qos, net);
+    if (!a.dedicated.feasible) {
+      out.apps.push_back(std::move(a));
+      return out;  // feasible stays false
+    }
+    dedicated_load += 1.0 / a.dedicated.interval_s;
+    di_min = std::min(di_min, a.dedicated.interval_s);
+    out.apps.push_back(std::move(a));
+  }
+
+  // Step 2: the host sends at the fastest requested rate.
+  out.shared_interval_s = di_min;
+
+  // Step 3: each app keeps its detection time exactly:
+  // Delta_to,j = T_D,j^U - Delta_i,min. Apps whose dedicated interval was
+  // larger than Delta_i,min gain margin, which can only reduce their
+  // mistake rate and duration (Figures 11-12).
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    out.apps[i].shared_margin_s = apps[i].qos.td_upper_s - di_min;
+    TWFD_CHECK(out.apps[i].shared_margin_s >= out.apps[i].dedicated.margin_s - 1e-12 ||
+               std::abs(out.apps[i].dedicated.interval_s - di_min) < 1e-12);
+  }
+
+  out.feasible = true;
+  out.dedicated_msgs_per_s = dedicated_load;
+  out.shared_msgs_per_s = 1.0 / di_min;
+  return out;
+}
+
+}  // namespace twfd::config

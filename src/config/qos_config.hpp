@@ -1,0 +1,124 @@
+// Configuring a failure detector to satisfy a QoS specification
+// (Section V-A, after Chen et al., "On the Quality of Service of Failure
+// Detectors", IEEE Trans. Computers 2002).
+//
+// Applications express requirements as a tuple (T_D^U, T_MR^U, T_M^U):
+// an upper bound on detection time, on mistake rate, and on mistake
+// duration. Given the probabilistic network behaviour (loss probability
+// p_L and delay variance V(D)), the procedure outputs the largest
+// heartbeat interval Delta_i — to minimise network load — and the timeout
+// margin Delta_to = T_D^U - Delta_i that meet the requirements.
+//
+// NOTE: Equations 14-16 are typographically corrupted in the extended
+// abstract; this implementation reconstructs them from the cited source
+// (the abstract defers the derivation to [3]). The mistake-rate estimate
+// uses the one-sided Chebyshev (Cantelli) tail bound
+//   P[D > t] <= V(D) / (V(D) + t^2)
+// so the probability that heartbeat m_{l+j} (sent j*Delta_i after m_l)
+// misses the freshness deadline T_D^U after m_l's send is
+//   p_L + (1 - p_L) * V / (V + (T_D^U - j Delta_i)^2)
+// and a mistake requires every heartbeat sent within the detection window
+// to miss it (the product in Eq 16).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace twfd::config {
+
+/// The application-facing QoS tuple (T_D^U, T_MR^U, T_M^U).
+struct QosRequirements {
+  /// Upper bound on detection time, seconds.
+  double td_upper_s = 1.0;
+  /// Upper bound on the average mistake rate, mistakes per second
+  /// (equivalently: lower bound 1/x on mistake recurrence time).
+  double tmr_upper_per_s = 1.0 / 3600.0;
+  /// Upper bound on average mistake duration, seconds.
+  double tm_upper_s = 1.0;
+};
+
+/// Measured probabilistic behaviour of the heartbeat channel (Sec V-A1).
+struct NetworkBehaviour {
+  /// p_L: probability a heartbeat is dropped.
+  double loss_probability = 0.0;
+  /// V(D): variance of one-way delays, seconds^2 (skew-invariant).
+  double delay_variance_s2 = 1e-4;
+};
+
+/// Output of the configuration procedure.
+struct FdConfig {
+  bool feasible = false;
+  /// Heartbeat inter-send interval Delta_i, seconds (maximised).
+  double interval_s = 0.0;
+  /// Safety margin Delta_to = T_D^U - Delta_i, seconds.
+  double margin_s = 0.0;
+  /// The estimated mistake rate at the chosen Delta_i (diagnostics).
+  double predicted_mistake_rate_per_s = 0.0;
+};
+
+/// Cantelli-bound estimate of the mistake rate for given parameters
+/// (the reconstructed Eq 16). Exposed for tests and the Figure 10-12
+/// sweeps.
+[[nodiscard]] double estimated_mistake_rate(double interval_s, double td_upper_s,
+                                            const NetworkBehaviour& net);
+
+/// Steps 1-3 of Section V-A. Returns feasible=false when no Delta_i > 0
+/// satisfies the tuple under `net`.
+[[nodiscard]] FdConfig chen_configure(const QosRequirements& qos,
+                                      const NetworkBehaviour& net);
+
+/// Conservative analytic QoS predicted for a given (Delta_i, Delta_to)
+/// under `net` — the inverse direction of chen_configure, used to audit a
+/// hand-picked configuration or an adapted shared-service margin.
+struct PredictedQos {
+  /// Upper bound on detection time: Delta_i + Delta_to (by construction).
+  double td_upper_s = 0;
+  /// Cantelli-bound mistake rate (reconstructed Eq 16).
+  double tmr_upper_per_s = 0;
+  /// Mistake-duration bound: expected wait for the next heartbeat that
+  /// arrives within the margin, ~ Delta_i / gamma' (Step-1 reasoning).
+  double tm_upper_s = 0;
+  /// Query-accuracy lower bound: 1 - rate * duration.
+  double pa_lower = 1.0;
+};
+
+[[nodiscard]] PredictedQos predict_qos(double interval_s, double margin_s,
+                                       const NetworkBehaviour& net);
+
+// ---------------------------------------------------------------------------
+// Failure detection as a service: combining multiple applications'
+// requirements on one host (Section V-C).
+// ---------------------------------------------------------------------------
+
+struct AppRequest {
+  std::string name;
+  QosRequirements qos;
+};
+
+struct AppAssignment {
+  std::string name;
+  /// What a dedicated per-application detector would use (Step 1).
+  FdConfig dedicated;
+  /// The margin the shared service uses for this app:
+  /// Delta_to,j = T_D,j^U - Delta_i,min (Step 3); preserves T_D exactly.
+  double shared_margin_s = 0.0;
+};
+
+struct CombinedConfig {
+  bool feasible = false;
+  /// Delta_i,min — the single heartbeat interval the host uses (Step 2).
+  double shared_interval_s = 0.0;
+  std::vector<AppAssignment> apps;
+  /// Network load comparison: heartbeats per second with one dedicated
+  /// detector per app vs. the shared service.
+  double dedicated_msgs_per_s = 0.0;
+  double shared_msgs_per_s = 0.0;
+};
+
+/// Steps 1-4 of Section V-C. feasible=false if any app's tuple is
+/// individually unachievable under `net`.
+[[nodiscard]] CombinedConfig combine_requirements(std::span<const AppRequest> apps,
+                                                  const NetworkBehaviour& net);
+
+}  // namespace twfd::config

@@ -1,0 +1,51 @@
+#include "core/adaptive_multi_window.hpp"
+
+#include <cmath>
+
+namespace twfd::core {
+
+AdaptiveMultiWindowDetector::AdaptiveMultiWindowDetector(Params params)
+    : params_(params), estimator_(params.windows, params.interval) {
+  TWFD_CHECK(params.min_margin >= 0);
+  TWFD_CHECK(params.gamma > 0 && params.gamma <= 1);
+  margin_ = params_.min_margin;
+}
+
+void AdaptiveMultiWindowDetector::process_fresh(std::int64_t seq, Tick /*send_time*/,
+                                                Tick arrival_time) {
+  if (predicted_ea_ != kTickInfinity) {
+    // Error of the max-estimator's last prediction (negative when the
+    // conservative max overshoots — Jacobson tracks both directions).
+    const double error = to_seconds(arrival_time - predicted_ea_) - delay_;
+    delay_ += params_.gamma * error;
+    var_ += params_.gamma * (std::fabs(error) - var_);
+  }
+  const double adaptive_s = params_.beta * delay_ + params_.phi * var_;
+  const Tick adaptive = ticks_from_seconds(adaptive_s > 0.0 ? adaptive_s : 0.0);
+  margin_ = std::max(params_.min_margin, adaptive);
+
+  estimator_.add(seq, arrival_time);
+  predicted_ea_ = estimator_.expected_arrival(seq + 1);
+  next_freshness_ = tick_add_sat(predicted_ea_, margin_);
+}
+
+void AdaptiveMultiWindowDetector::reset() {
+  FailureDetector::reset();
+  estimator_.clear();
+  delay_ = 0.0;
+  var_ = 0.0;
+  margin_ = params_.min_margin;
+  predicted_ea_ = kTickInfinity;
+  next_freshness_ = kTickInfinity;
+}
+
+std::string AdaptiveMultiWindowDetector::name() const {
+  std::string s = "a2w(";
+  for (std::size_t i = 0; i < params_.windows.size(); ++i) {
+    if (i) s += ",";
+    s += std::to_string(params_.windows[i]);
+  }
+  return s + ")";
+}
+
+}  // namespace twfd::core

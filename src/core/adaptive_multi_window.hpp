@@ -1,0 +1,52 @@
+// Extension beyond the paper: 2W-FD with a Jacobson-adapted safety margin.
+//
+// The published 2W-FD uses a *constant* Delta_to chosen from the QoS
+// tuple; Bertier's detector instead adapts its margin to the observed
+// prediction error but is stuck with one window. This detector combines
+// them: the freshness point is the max-of-windows expected arrival
+// (Eq 12) plus a margin driven by Jacobson's estimation (Eqs 3-6) of the
+// max-estimator's own error, floored at `min_margin` so the QoS contract
+// T_D >= Delta_i + min_margin still holds. Explored in
+// bench/ablation_windows as a design-space data point.
+#pragma once
+
+#include "core/multi_window.hpp"
+#include "detect/failure_detector.hpp"
+
+namespace twfd::core {
+
+class AdaptiveMultiWindowDetector final : public detect::FailureDetector {
+ public:
+  struct Params {
+    std::vector<std::size_t> windows = {1, 1000};
+    Tick interval = ticks_from_ms(100);
+    /// Margin floor (the aggressiveness knob, like 2W-FD's Delta_to).
+    Tick min_margin = 0;
+    /// Jacobson weights (Bertier's defaults).
+    double gamma = 0.1;
+    double beta = 1.0;
+    double phi = 4.0;
+  };
+
+  explicit AdaptiveMultiWindowDetector(Params params);
+
+  [[nodiscard]] Tick suspect_after() const override { return next_freshness_; }
+  void reset() override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] Tick current_margin() const noexcept { return margin_; }
+
+ protected:
+  void process_fresh(std::int64_t seq, Tick send_time, Tick arrival_time) override;
+
+ private:
+  Params params_;
+  MaxWindowEstimator estimator_;
+  double delay_ = 0.0;
+  double var_ = 0.0;
+  Tick margin_ = 0;
+  Tick predicted_ea_ = kTickInfinity;
+  Tick next_freshness_ = kTickInfinity;
+};
+
+}  // namespace twfd::core

@@ -1,0 +1,184 @@
+#include "core/factory.hpp"
+
+#include "common/assert.hpp"
+#include "core/adaptive_multi_window.hpp"
+#include "core/multi_window.hpp"
+#include "detect/bertier.hpp"
+#include "detect/chen.hpp"
+#include "detect/ed.hpp"
+#include "detect/fixed_timeout.hpp"
+#include "detect/nfd_s.hpp"
+#include "detect/phi_accrual.hpp"
+
+namespace twfd::core {
+
+DetectorSpec DetectorSpec::chen(std::size_t window, Tick margin) {
+  DetectorSpec s;
+  s.kind = Kind::Chen;
+  s.windows = {window};
+  s.safety_margin = margin;
+  return s;
+}
+
+DetectorSpec DetectorSpec::bertier(std::size_t window) {
+  DetectorSpec s;
+  s.kind = Kind::Bertier;
+  s.windows = {window};
+  return s;
+}
+
+DetectorSpec DetectorSpec::phi(double threshold, std::size_t window) {
+  DetectorSpec s;
+  s.kind = Kind::Phi;
+  s.windows = {window};
+  s.threshold = threshold;
+  return s;
+}
+
+DetectorSpec DetectorSpec::ed(double threshold, std::size_t window) {
+  DetectorSpec s;
+  s.kind = Kind::Ed;
+  s.windows = {window};
+  s.threshold = threshold;
+  return s;
+}
+
+DetectorSpec DetectorSpec::two_window(std::size_t short_w, std::size_t long_w,
+                                      Tick margin) {
+  DetectorSpec s;
+  s.kind = Kind::MultiWindow;
+  s.windows = {short_w, long_w};
+  s.safety_margin = margin;
+  return s;
+}
+
+DetectorSpec DetectorSpec::multi_window(std::vector<std::size_t> windows, Tick margin) {
+  DetectorSpec s;
+  s.kind = Kind::MultiWindow;
+  s.windows = std::move(windows);
+  s.safety_margin = margin;
+  return s;
+}
+
+DetectorSpec DetectorSpec::adaptive_two_window(std::size_t short_w,
+                                               std::size_t long_w,
+                                               Tick min_margin) {
+  DetectorSpec s;
+  s.kind = Kind::AdaptiveMultiWindow;
+  s.windows = {short_w, long_w};
+  s.safety_margin = min_margin;
+  return s;
+}
+
+DetectorSpec DetectorSpec::nfd_s(Tick margin) {
+  DetectorSpec s;
+  s.kind = Kind::NfdS;
+  s.windows = {1};
+  s.safety_margin = margin;
+  return s;
+}
+
+DetectorSpec DetectorSpec::fixed_timeout(Tick timeout) {
+  DetectorSpec s;
+  s.kind = Kind::FixedTimeout;
+  s.windows = {1};
+  s.safety_margin = timeout;
+  return s;
+}
+
+std::string DetectorSpec::family_name() const {
+  switch (kind) {
+    case Kind::Chen:
+      return "chen(" + std::to_string(windows.at(0)) + ")";
+    case Kind::Bertier:
+      return "bertier";
+    case Kind::Phi:
+      return "phi";
+    case Kind::Ed:
+      return "ed";
+    case Kind::MultiWindow: {
+      std::string s = windows.size() == 2 ? "2w(" : "mw(";
+      for (std::size_t i = 0; i < windows.size(); ++i) {
+        if (i) s += ",";
+        s += std::to_string(windows[i]);
+      }
+      return s + ")";
+    }
+    case Kind::AdaptiveMultiWindow: {
+      std::string s = "a2w(";
+      for (std::size_t i = 0; i < windows.size(); ++i) {
+        if (i) s += ",";
+        s += std::to_string(windows[i]);
+      }
+      return s + ")";
+    }
+    case Kind::NfdS:
+      return "nfd-s";
+    case Kind::FixedTimeout:
+      return "fixed";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<detect::FailureDetector> make_detector(const DetectorSpec& spec,
+                                                       Tick interval,
+                                                       Tick known_skew) {
+  TWFD_CHECK(!spec.windows.empty());
+  switch (spec.kind) {
+    case DetectorSpec::Kind::Chen: {
+      detect::ChenDetector::Params p;
+      p.window = spec.windows[0];
+      p.safety_margin = spec.safety_margin;
+      p.interval = interval;
+      return std::make_unique<detect::ChenDetector>(p);
+    }
+    case DetectorSpec::Kind::Bertier: {
+      detect::BertierDetector::Params p;
+      p.window = spec.windows[0];
+      p.interval = interval;
+      return std::make_unique<detect::BertierDetector>(p);
+    }
+    case DetectorSpec::Kind::Phi: {
+      detect::PhiAccrualDetector::Params p;
+      p.window = spec.windows[0];
+      p.threshold = spec.threshold;
+      return std::make_unique<detect::PhiAccrualDetector>(p);
+    }
+    case DetectorSpec::Kind::Ed: {
+      detect::EdDetector::Params p;
+      p.window = spec.windows[0];
+      p.threshold = spec.threshold;
+      return std::make_unique<detect::EdDetector>(p);
+    }
+    case DetectorSpec::Kind::MultiWindow: {
+      MultiWindowDetector::Params p;
+      p.windows = spec.windows;
+      p.safety_margin = spec.safety_margin;
+      p.interval = interval;
+      return std::make_unique<MultiWindowDetector>(p);
+    }
+    case DetectorSpec::Kind::AdaptiveMultiWindow: {
+      AdaptiveMultiWindowDetector::Params p;
+      p.windows = spec.windows;
+      p.min_margin = spec.safety_margin;
+      p.interval = interval;
+      return std::make_unique<AdaptiveMultiWindowDetector>(p);
+    }
+    case DetectorSpec::Kind::NfdS: {
+      detect::NfdSDetector::Params p;
+      p.interval = interval;
+      p.safety_margin = spec.safety_margin;
+      p.known_skew = known_skew;
+      return std::make_unique<detect::NfdSDetector>(p);
+    }
+    case DetectorSpec::Kind::FixedTimeout: {
+      detect::FixedTimeoutDetector::Params p;
+      p.timeout = spec.safety_margin;
+      return std::make_unique<detect::FixedTimeoutDetector>(p);
+    }
+  }
+  TWFD_CHECK_MSG(false, "unreachable detector kind");
+  return nullptr;
+}
+
+}  // namespace twfd::core

@@ -1,0 +1,65 @@
+// Uniform construction of every detector family in the evaluation
+// (Section IV-C2): Chen, Bertier, phi accrual, ED, and 2W/MW-FD. The
+// benchmark harness sweeps each family's tuning parameter through specs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "detect/failure_detector.hpp"
+
+namespace twfd::core {
+
+struct DetectorSpec {
+  enum class Kind : std::uint8_t {
+    Chen,
+    Bertier,
+    Phi,
+    Ed,
+    MultiWindow,
+    NfdS,
+    FixedTimeout,
+    AdaptiveMultiWindow,
+  };
+
+  Kind kind = Kind::MultiWindow;
+  /// Chen: windows[0]; MultiWindow: all entries; others: windows[0] is the
+  /// sampling-window size.
+  std::vector<std::size_t> windows = {1, 1000};
+  /// Chen / MultiWindow safety margin Delta_to.
+  Tick safety_margin = 0;
+  /// Phi threshold Phi, or ED threshold E.
+  double threshold = 1.0;
+
+  [[nodiscard]] static DetectorSpec chen(std::size_t window, Tick margin);
+  [[nodiscard]] static DetectorSpec bertier(std::size_t window = 1000);
+  [[nodiscard]] static DetectorSpec phi(double threshold, std::size_t window = 1000);
+  [[nodiscard]] static DetectorSpec ed(double threshold, std::size_t window = 1000);
+  [[nodiscard]] static DetectorSpec two_window(std::size_t short_w, std::size_t long_w,
+                                               Tick margin);
+  [[nodiscard]] static DetectorSpec multi_window(std::vector<std::size_t> windows,
+                                                 Tick margin);
+  /// Extension: max-of-windows estimation with a Jacobson-adapted margin
+  /// floored at `min_margin` (see core/adaptive_multi_window.hpp).
+  [[nodiscard]] static DetectorSpec adaptive_two_window(std::size_t short_w,
+                                                        std::size_t long_w,
+                                                        Tick min_margin);
+  /// Chen's synchronized-clock NFD-S (needs the known skew at
+  /// make_detector time; supplementary baseline).
+  [[nodiscard]] static DetectorSpec nfd_s(Tick margin);
+  /// Naive fixed-timeout detector (`margin` is the silence tolerance).
+  [[nodiscard]] static DetectorSpec fixed_timeout(Tick timeout);
+
+  /// Family label without tuning values ("chen(1000)", "2w(1,1000)", ...).
+  [[nodiscard]] std::string family_name() const;
+};
+
+/// Instantiates the detector; `interval` is the monitored sender's Delta_i
+/// (used by the Chen-style expected-arrival estimators). `known_skew` is
+/// only consumed by NFD-S, which assumes synchronized clocks.
+[[nodiscard]] std::unique_ptr<detect::FailureDetector> make_detector(
+    const DetectorSpec& spec, Tick interval, Tick known_skew = 0);
+
+}  // namespace twfd::core

@@ -1,0 +1,87 @@
+#include "core/multi_window.hpp"
+
+#include <algorithm>
+
+namespace twfd::core {
+
+MaxWindowEstimator::MaxWindowEstimator(const std::vector<std::size_t>& windows,
+                                       Tick interval)
+    : windows_(windows) {
+  TWFD_CHECK_MSG(!windows.empty(), "at least one window required");
+  estimators_.reserve(windows.size());
+  for (auto w : windows) {
+    TWFD_CHECK_MSG(w >= 1, "window size must be >= 1");
+    estimators_.emplace_back(w, interval);
+  }
+}
+
+void MaxWindowEstimator::add(std::int64_t seq, Tick arrival) {
+  for (auto& e : estimators_) e.add(seq, arrival);
+}
+
+Tick MaxWindowEstimator::expected_arrival(std::int64_t next_seq) const {
+  Tick ea = kTickNegInfinity;
+  for (const auto& e : estimators_) {
+    ea = std::max(ea, e.expected_arrival(next_seq));
+  }
+  return ea;
+}
+
+Tick MaxWindowEstimator::expected_arrival_of(std::size_t window_index,
+                                             std::int64_t next_seq) const {
+  TWFD_CHECK(window_index < estimators_.size());
+  return estimators_[window_index].expected_arrival(next_seq);
+}
+
+bool MaxWindowEstimator::empty() const noexcept {
+  return estimators_.front().count() == 0;
+}
+
+Tick MaxWindowEstimator::interval() const noexcept {
+  return estimators_.front().interval();
+}
+
+void MaxWindowEstimator::clear() {
+  for (auto& e : estimators_) e.clear();
+}
+
+MultiWindowDetector::MultiWindowDetector(Params params)
+    : params_(params), estimator_(params.windows, params.interval) {
+  TWFD_CHECK(params.safety_margin >= 0);
+}
+
+void MultiWindowDetector::process_fresh(std::int64_t seq, Tick /*send_time*/,
+                                        Tick arrival_time) {
+  estimator_.add(seq, arrival_time);
+  current_ea_ = estimator_.expected_arrival(seq + 1);
+  next_freshness_ = tick_add_sat(current_ea_, params_.safety_margin);
+}
+
+void MultiWindowDetector::reset() {
+  FailureDetector::reset();
+  estimator_.clear();
+  next_freshness_ = kTickInfinity;
+  current_ea_ = kTickInfinity;
+}
+
+std::string MultiWindowDetector::name() const {
+  std::string s = params_.windows.size() == 2 ? "2w(" : "mw(";
+  for (std::size_t i = 0; i < params_.windows.size(); ++i) {
+    if (i) s += ",";
+    s += std::to_string(params_.windows[i]);
+  }
+  s += ")";
+  return s;
+}
+
+MultiWindowDetector::Params two_window_params(std::size_t short_window,
+                                              std::size_t long_window,
+                                              Tick safety_margin, Tick interval) {
+  MultiWindowDetector::Params p;
+  p.windows = {short_window, long_window};
+  p.safety_margin = safety_margin;
+  p.interval = interval;
+  return p;
+}
+
+}  // namespace twfd::core

@@ -1,0 +1,44 @@
+#include "core/shared_margin.hpp"
+
+namespace twfd::core {
+
+SharedMarginDetector::SharedMarginDetector(std::vector<std::size_t> windows,
+                                           Tick interval)
+    : estimator_(windows, interval) {}
+
+std::size_t SharedMarginDetector::add_application(std::string app_name, Tick margin) {
+  TWFD_CHECK(margin >= 0);
+  apps_.push_back({std::move(app_name), margin});
+  return apps_.size() - 1;
+}
+
+void SharedMarginDetector::on_heartbeat(std::int64_t seq, Tick /*send_time*/,
+                                        Tick arrival_time) {
+  if (seq <= highest_seq_) return;
+  highest_seq_ = seq;
+  estimator_.add(seq, arrival_time);
+  current_ea_ = estimator_.expected_arrival(seq + 1);
+}
+
+void SharedMarginDetector::set_bootstrap_anchor(Tick anchor) {
+  bootstrap_anchor_ = anchor;
+}
+
+Tick SharedMarginDetector::suspect_after(std::size_t j) const {
+  TWFD_CHECK(j < apps_.size());
+  if (current_ea_ == kTickInfinity) {
+    if (bootstrap_anchor_ == kTickInfinity) return kTickInfinity;
+    return tick_add_sat(tick_add_sat(bootstrap_anchor_, estimator_.interval()),
+                        apps_[j].margin);
+  }
+  return tick_add_sat(current_ea_, apps_[j].margin);
+}
+
+void SharedMarginDetector::reset() {
+  estimator_.clear();
+  highest_seq_ = 0;
+  current_ea_ = kTickInfinity;
+  bootstrap_anchor_ = kTickInfinity;
+}
+
+}  // namespace twfd::core

@@ -1,0 +1,74 @@
+// Shared-estimation detector for failure detection as a service (Section V).
+//
+// When several applications on one host monitor the same remote process,
+// the service receives a single heartbeat stream (at the combined interval
+// Delta_i,min) and keeps ONE multi-window arrival estimation — but each
+// application j gets its own safety margin Delta_to,j, hence its own
+// freshness points tau_{l+1,j} = maxEA_{l+1} + Delta_to,j and its own
+// Trust/Suspect output (Section V-C, Step 4). This gives every application
+// the illusion of a dedicated detector at the cost of one estimator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/multi_window.hpp"
+#include "detect/failure_detector.hpp"
+
+namespace twfd::core {
+
+class SharedMarginDetector {
+ public:
+  /// `windows`/`interval` configure the shared MaxWindowEstimator; the
+  /// interval must be the combined Delta_i,min the sender actually uses.
+  SharedMarginDetector(std::vector<std::size_t> windows, Tick interval);
+
+  /// Registers an application with safety margin Delta_to,j.
+  /// Returns its index. Margins may be added before feeding heartbeats.
+  std::size_t add_application(std::string app_name, Tick margin);
+
+  /// Feeds one heartbeat to the shared estimation; stale (seq <= highest)
+  /// heartbeats are ignored, as in Algorithm 1.
+  void on_heartbeat(std::int64_t seq, Tick send_time, Tick arrival_time);
+
+  /// Arms the bootstrap deadline: before ANY heartbeat has been seen,
+  /// application j is suspected from anchor + interval + margin_j
+  /// (Algorithm 1 initialises tau_0 so that silence from the start is
+  /// eventually suspected; without an anchor the detector trusts until
+  /// the first heartbeat). A heartbeat clears the bootstrap state.
+  void set_bootstrap_anchor(Tick anchor);
+
+  [[nodiscard]] std::size_t app_count() const noexcept { return apps_.size(); }
+  [[nodiscard]] const std::string& app_name(std::size_t j) const {
+    return apps_[j].name;
+  }
+  [[nodiscard]] Tick margin(std::size_t j) const { return apps_[j].margin; }
+
+  /// Application j's suspicion instant given no further heartbeats.
+  [[nodiscard]] Tick suspect_after(std::size_t j) const;
+
+  /// Application j's output at time t.
+  [[nodiscard]] detect::Output output_at(std::size_t j, Tick t) const {
+    return t >= suspect_after(j) ? detect::Output::Suspect : detect::Output::Trust;
+  }
+
+  [[nodiscard]] std::int64_t highest_seq() const noexcept { return highest_seq_; }
+  [[nodiscard]] Tick interval() const noexcept { return estimator_.interval(); }
+
+  void reset();
+
+ private:
+  struct App {
+    std::string name;
+    Tick margin = 0;
+  };
+
+  MaxWindowEstimator estimator_;
+  std::vector<App> apps_;
+  std::int64_t highest_seq_ = 0;
+  Tick current_ea_ = kTickInfinity;
+  Tick bootstrap_anchor_ = kTickInfinity;
+};
+
+}  // namespace twfd::core

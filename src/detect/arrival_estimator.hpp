@@ -1,0 +1,54 @@
+// Chen's sliding-window expected-arrival estimator (Eq 2 of the paper).
+//
+// Each delivered heartbeat m_i with sequence s_i and receipt time A_i is
+// normalised to U_i = A_i - Delta_i * s_i; the expected arrival of
+// heartbeat k is then EA_k = mean(U) + k * Delta_i. The window mean is kept
+// as a running sum, so feeding a sample and querying EA are both O(1)
+// regardless of window size — a window of 10,000 costs the same per
+// heartbeat as a window of 1.
+#pragma once
+
+#include <cstdint>
+
+#include "common/assert.hpp"
+#include "common/stats.hpp"
+#include "common/time.hpp"
+
+namespace twfd::detect {
+
+class ArrivalWindowEstimator {
+ public:
+  /// `window`: number of past heartbeats considered (n in Eq 2);
+  /// `interval`: the sender's heartbeat interval Delta_i.
+  ArrivalWindowEstimator(std::size_t window, Tick interval)
+      : interval_(interval), win_(window) {
+    TWFD_CHECK(interval > 0);
+  }
+
+  /// Feeds a delivered heartbeat (sequence s_i, receiver-clock arrival A_i).
+  void add(std::int64_t seq, Tick arrival) {
+    // Exact in int64; |U| stays near clock-skew + delay magnitudes, far
+    // inside double's 2^53 integer range for the running sums.
+    const Tick normalized = arrival - interval_ * seq;
+    win_.add(static_cast<double>(normalized));
+  }
+
+  /// EA_k for heartbeat sequence k. Requires at least one sample.
+  [[nodiscard]] Tick expected_arrival(std::int64_t next_seq) const {
+    TWFD_CHECK_MSG(win_.count() > 0, "estimator has no samples");
+    const double ea = win_.mean() + static_cast<double>(interval_ * next_seq);
+    return static_cast<Tick>(ea >= 0 ? ea + 0.5 : ea - 0.5);
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return win_.count(); }
+  [[nodiscard]] std::size_t window() const noexcept { return win_.capacity(); }
+  [[nodiscard]] Tick interval() const noexcept { return interval_; }
+
+  void clear() noexcept { win_.clear(); }
+
+ private:
+  Tick interval_;
+  WindowedStats win_;
+};
+
+}  // namespace twfd::detect

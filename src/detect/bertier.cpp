@@ -1,0 +1,38 @@
+#include "detect/bertier.hpp"
+
+#include <cmath>
+
+namespace twfd::detect {
+
+BertierDetector::BertierDetector(Params params)
+    : params_(params), estimator_(params.window, params.interval) {
+  TWFD_CHECK(params.gamma > 0 && params.gamma <= 1);
+  TWFD_CHECK(params.beta >= 0 && params.phi >= 0);
+}
+
+void BertierDetector::process_fresh(std::int64_t seq, Tick /*send_time*/,
+                                    Tick arrival_time) {
+  if (predicted_ea_ != kTickInfinity) {
+    const double error = to_seconds(arrival_time - predicted_ea_) - delay_;
+    delay_ += params_.gamma * error;
+    var_ += params_.gamma * (std::fabs(error) - var_);
+  }
+  const double margin_s = params_.beta * delay_ + params_.phi * var_;
+  margin_ = ticks_from_seconds(margin_s > 0.0 ? margin_s : 0.0);
+
+  estimator_.add(seq, arrival_time);
+  predicted_ea_ = estimator_.expected_arrival(seq + 1);
+  next_freshness_ = tick_add_sat(predicted_ea_, margin_);
+}
+
+void BertierDetector::reset() {
+  FailureDetector::reset();
+  estimator_.clear();
+  delay_ = 0.0;
+  var_ = 0.0;
+  margin_ = 0;
+  predicted_ea_ = kTickInfinity;
+  next_freshness_ = kTickInfinity;
+}
+
+}  // namespace twfd::detect

@@ -1,0 +1,55 @@
+// Bertier et al.'s failure detector (Section II-B2).
+//
+// Expected arrivals come from the same sliding-window estimator as Chen's
+// algorithm; the safety margin is *dynamic*, adapted on every heartbeat by
+// Jacobson's estimation of the prediction error (Eqs 3-6):
+//   error_l    = A_l - EA_l - delay_l
+//   delay_l+1  = delay_l + gamma * error_l
+//   var_l+1    = var_l + gamma * (|error_l| - var_l)
+//   Dto_l+1    = beta * delay_l+1 + phi * var_l+1
+// There is no tuning knob trading speed for accuracy, which is why the
+// paper plots it as a single point.
+#pragma once
+
+#include "detect/arrival_estimator.hpp"
+#include "detect/failure_detector.hpp"
+
+namespace twfd::detect {
+
+class BertierDetector final : public FailureDetector {
+ public:
+  struct Params {
+    /// EA window; the paper uses 1000 (the value Bertier et al. use).
+    std::size_t window = 1000;
+    Tick interval = ticks_from_ms(100);
+    /// Jacobson weights; beta=1 and phi=4 are the typical values cited.
+    double gamma = 0.1;
+    double beta = 1.0;
+    double phi = 4.0;
+  };
+
+  explicit BertierDetector(Params params);
+
+  [[nodiscard]] Tick suspect_after() const override { return next_freshness_; }
+  void reset() override;
+  [[nodiscard]] std::string name() const override { return "bertier"; }
+
+  /// Current dynamic safety margin Delta_to (ticks), for inspection.
+  [[nodiscard]] Tick current_margin() const noexcept { return margin_; }
+
+ protected:
+  void process_fresh(std::int64_t seq, Tick send_time, Tick arrival_time) override;
+
+ private:
+  Params params_;
+  ArrivalWindowEstimator estimator_;
+  // Jacobson state, in seconds.
+  double delay_ = 0.0;
+  double var_ = 0.0;
+  Tick margin_ = 0;
+  // EA the previous round predicted for the heartbeat we just received.
+  Tick predicted_ea_ = kTickInfinity;
+  Tick next_freshness_ = kTickInfinity;
+};
+
+}  // namespace twfd::detect

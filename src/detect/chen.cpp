@@ -1,0 +1,28 @@
+#include "detect/chen.hpp"
+
+namespace twfd::detect {
+
+ChenDetector::ChenDetector(Params params)
+    : params_(params), estimator_(params.window, params.interval) {
+  TWFD_CHECK(params.safety_margin >= 0);
+}
+
+void ChenDetector::process_fresh(std::int64_t seq, Tick /*send_time*/,
+                                 Tick arrival_time) {
+  estimator_.add(seq, arrival_time);
+  current_ea_ = estimator_.expected_arrival(seq + 1);
+  next_freshness_ = tick_add_sat(current_ea_, params_.safety_margin);
+}
+
+void ChenDetector::reset() {
+  FailureDetector::reset();
+  estimator_.clear();
+  next_freshness_ = kTickInfinity;
+  current_ea_ = kTickInfinity;
+}
+
+std::string ChenDetector::name() const {
+  return "chen(n=" + std::to_string(params_.window) + ")";
+}
+
+}  // namespace twfd::detect

@@ -1,0 +1,47 @@
+// Chen et al.'s NFD-style heartbeat failure detector (Section II-B1).
+//
+// On each fresh heartbeat m_l the next freshness point is set to
+// tau_{l+1} = EA_{l+1} + Delta_to (Eq 1), with EA from the sliding-window
+// estimator (Eq 2). The detector suspects from tau_{l+1} until the next
+// fresh heartbeat arrives.
+#pragma once
+
+#include <memory>
+
+#include "detect/arrival_estimator.hpp"
+#include "detect/failure_detector.hpp"
+
+namespace twfd::detect {
+
+class ChenDetector final : public FailureDetector {
+ public:
+  struct Params {
+    /// Sliding-window size n of Eq 2. The paper uses 1 and 1000.
+    std::size_t window = 1000;
+    /// Constant safety margin Delta_to of Eq 1.
+    Tick safety_margin = ticks_from_ms(100);
+    /// The sender's heartbeat interval Delta_i.
+    Tick interval = ticks_from_ms(100);
+  };
+
+  explicit ChenDetector(Params params);
+
+  [[nodiscard]] Tick suspect_after() const override { return next_freshness_; }
+  void reset() override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] const Params& params() const noexcept { return params_; }
+  /// Expected arrival EA_{l+1} backing the current freshness point.
+  [[nodiscard]] Tick current_expected_arrival() const noexcept { return current_ea_; }
+
+ protected:
+  void process_fresh(std::int64_t seq, Tick send_time, Tick arrival_time) override;
+
+ private:
+  Params params_;
+  ArrivalWindowEstimator estimator_;
+  Tick next_freshness_ = kTickInfinity;
+  Tick current_ea_ = kTickInfinity;
+};
+
+}  // namespace twfd::detect

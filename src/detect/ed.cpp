@@ -1,0 +1,49 @@
+#include "detect/ed.hpp"
+
+#include <cmath>
+
+namespace twfd::detect {
+
+EdDetector::EdDetector(Params params) : params_(params), gaps_(params.window) {
+  TWFD_CHECK(params.threshold > 0.0 && params.threshold < 1.0);
+  TWFD_CHECK(params.warmup >= 2);
+  log_term_ = -std::log1p(-params.threshold);
+}
+
+void EdDetector::process_fresh(std::int64_t /*seq*/, Tick /*send_time*/,
+                               Tick arrival_time) {
+  if (last_arrival_ != kTickInfinity && arrival_time > last_arrival_) {
+    gaps_.add(to_seconds(arrival_time - last_arrival_));
+  }
+  last_arrival_ = arrival_time;
+
+  if (gaps_.count() + 1 < params_.warmup) {
+    suspect_after_ = kTickInfinity;
+    return;
+  }
+  const double t_star = gaps_.mean() * log_term_;
+  suspect_after_ = tick_add_sat(last_arrival_, ticks_from_seconds(t_star));
+}
+
+double EdDetector::ed_at(Tick t) const {
+  if (last_arrival_ == kTickInfinity || gaps_.count() + 1 < params_.warmup) return 0.0;
+  const double mu = gaps_.mean();
+  if (mu <= 0.0) return 1.0;
+  const double dt = to_seconds(t - last_arrival_);
+  return 1.0 - std::exp(-dt / mu);
+}
+
+void EdDetector::reset() {
+  FailureDetector::reset();
+  gaps_.clear();
+  last_arrival_ = kTickInfinity;
+  suspect_after_ = kTickInfinity;
+}
+
+std::string EdDetector::name() const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "ed(E=%.6f)", params_.threshold);
+  return buf;
+}
+
+}  // namespace twfd::detect

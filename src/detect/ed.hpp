@@ -1,0 +1,45 @@
+// The Exponential Distribution accrual failure detector (Section II-B4).
+//
+// Same accrual principle as phi, but the inter-arrival distribution is
+// modelled as Exponential(mu): e_d(t) = 1 - exp(-(t - T_last)/mu)
+// (Eqs 10-11). The detector suspects once e_d >= threshold E, i.e. at
+//   suspect_after = T_last - mu * ln(1 - E).
+#pragma once
+
+#include "common/stats.hpp"
+#include "detect/failure_detector.hpp"
+
+namespace twfd::detect {
+
+class EdDetector final : public FailureDetector {
+ public:
+  struct Params {
+    /// Sampling-window size; 1000 in the paper.
+    std::size_t window = 1000;
+    /// Suspicion threshold E in (0, 1). E = 1 - 10^-k mirrors phi's
+    /// threshold k on the same log scale.
+    double threshold = 0.9;
+    std::size_t warmup = 2;
+  };
+
+  explicit EdDetector(Params params);
+
+  [[nodiscard]] Tick suspect_after() const override { return suspect_after_; }
+  void reset() override;
+  [[nodiscard]] std::string name() const override;
+
+  /// Current suspicion level e_d at time `t` (Eq 10); 0 during warm-up.
+  [[nodiscard]] double ed_at(Tick t) const;
+
+ protected:
+  void process_fresh(std::int64_t seq, Tick send_time, Tick arrival_time) override;
+
+ private:
+  Params params_;
+  WindowedStats gaps_;  // inter-arrival times, seconds
+  Tick last_arrival_ = kTickInfinity;
+  Tick suspect_after_ = kTickInfinity;
+  double log_term_;  // -ln(1 - E), precomputed
+};
+
+}  // namespace twfd::detect

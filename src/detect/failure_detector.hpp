@@ -1,0 +1,70 @@
+// The failure-detector abstraction shared by all algorithms in the paper.
+//
+// Every detector in this library (Chen, Bertier, phi-accrual, ED, 2W-FD)
+// is a deterministic state machine driven by heartbeat arrivals. Between
+// arrivals its output over time is fully described by one number:
+// suspect_after() — the instant at which, absent further heartbeats, its
+// output becomes Suspect. This single-query design is what lets the QoS
+// evaluator replay millions of samples in O(1) per heartbeat and lets the
+// live Monitor arm exactly one timer per peer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/time.hpp"
+
+namespace twfd::detect {
+
+/// The two outputs of an unreliable failure detector (Section II-A1).
+enum class Output : std::uint8_t { Trust, Suspect };
+
+class FailureDetector {
+ public:
+  virtual ~FailureDetector() = default;
+
+  FailureDetector() = default;
+  FailureDetector(const FailureDetector&) = delete;
+  FailureDetector& operator=(const FailureDetector&) = delete;
+
+  /// Feeds a heartbeat: `seq` is the sender-assigned sequence number
+  /// (1-based, increasing), `send_time` the sender-clock timestamp carried
+  /// in the message, `arrival_time` the receiver-clock reception instant.
+  /// Heartbeats with seq <= highest_seq() are stale and ignored
+  /// (Algorithm 1, line 13).
+  void on_heartbeat(std::int64_t seq, Tick send_time, Tick arrival_time) {
+    if (seq <= highest_seq_) return;
+    highest_seq_ = seq;
+    process_fresh(seq, send_time, arrival_time);
+  }
+
+  /// The instant at which the output turns to Suspect assuming no further
+  /// heartbeat arrives. May lie in the past of the last arrival (immediate
+  /// suspicion) or be kTickInfinity (trusts forever; e.g. the accrual
+  /// detectors before their sampling windows warm up).
+  [[nodiscard]] virtual Tick suspect_after() const = 0;
+
+  /// Output at time `t`, for t at/after the last processed arrival and
+  /// before the next one.
+  [[nodiscard]] Output output_at(Tick t) const {
+    return t >= suspect_after() ? Output::Suspect : Output::Trust;
+  }
+
+  /// Largest heartbeat sequence number processed so far; 0 before any.
+  [[nodiscard]] std::int64_t highest_seq() const noexcept { return highest_seq_; }
+
+  /// Restores the just-constructed state.
+  virtual void reset() { highest_seq_ = 0; }
+
+  /// Short identifier used in tables, e.g. "chen(n=1000)".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+ protected:
+  /// Called only for fresh (higher-sequence) heartbeats.
+  virtual void process_fresh(std::int64_t seq, Tick send_time, Tick arrival_time) = 0;
+
+ private:
+  std::int64_t highest_seq_ = 0;
+};
+
+}  // namespace twfd::detect

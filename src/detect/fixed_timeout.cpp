@@ -1,0 +1,25 @@
+#include "detect/fixed_timeout.hpp"
+
+#include "common/assert.hpp"
+
+namespace twfd::detect {
+
+FixedTimeoutDetector::FixedTimeoutDetector(Params params) : params_(params) {
+  TWFD_CHECK(params.timeout > 0);
+}
+
+void FixedTimeoutDetector::process_fresh(std::int64_t /*seq*/, Tick /*send_time*/,
+                                         Tick arrival_time) {
+  suspect_after_ = tick_add_sat(arrival_time, params_.timeout);
+}
+
+void FixedTimeoutDetector::reset() {
+  FailureDetector::reset();
+  suspect_after_ = kTickInfinity;
+}
+
+std::string FixedTimeoutDetector::name() const {
+  return "fixed(" + format_ticks(params_.timeout) + ")";
+}
+
+}  // namespace twfd::detect

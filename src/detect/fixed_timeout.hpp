@@ -1,0 +1,33 @@
+// Fixed-timeout heartbeat detector — the naive ad-hoc scheme most
+// applications hand-roll (Introduction: "applications usually implement
+// their own ad-hoc failure detection modules"): suspect whenever no
+// heartbeat has arrived for `timeout` after the last one. No estimation,
+// no QoS model; serves as the floor every adaptive detector must beat.
+#pragma once
+
+#include "detect/failure_detector.hpp"
+
+namespace twfd::detect {
+
+class FixedTimeoutDetector final : public FailureDetector {
+ public:
+  struct Params {
+    /// Silence tolerated after the last heartbeat arrival.
+    Tick timeout = ticks_from_ms(300);
+  };
+
+  explicit FixedTimeoutDetector(Params params);
+
+  [[nodiscard]] Tick suspect_after() const override { return suspect_after_; }
+  void reset() override;
+  [[nodiscard]] std::string name() const override;
+
+ protected:
+  void process_fresh(std::int64_t seq, Tick send_time, Tick arrival_time) override;
+
+ private:
+  Params params_;
+  Tick suspect_after_ = kTickInfinity;
+};
+
+}  // namespace twfd::detect

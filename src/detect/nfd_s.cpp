@@ -1,0 +1,28 @@
+#include "detect/nfd_s.hpp"
+
+#include "common/assert.hpp"
+
+namespace twfd::detect {
+
+NfdSDetector::NfdSDetector(Params params) : params_(params) {
+  TWFD_CHECK(params.interval > 0);
+  TWFD_CHECK(params.safety_margin >= 0);
+}
+
+void NfdSDetector::process_fresh(std::int64_t /*seq*/, Tick send_time,
+                                 Tick /*arrival_time*/) {
+  // Next heartbeat leaves at send_time + Delta_i (sender clock); its
+  // freshness point on the receiver clock adds the known skew and the
+  // safety margin.
+  const Tick next_send_receiver = send_time + params_.known_skew + params_.interval;
+  next_freshness_ = tick_add_sat(next_send_receiver, params_.safety_margin);
+}
+
+void NfdSDetector::reset() {
+  FailureDetector::reset();
+  next_freshness_ = kTickInfinity;
+}
+
+std::string NfdSDetector::name() const { return "nfd-s"; }
+
+}  // namespace twfd::detect

@@ -1,0 +1,41 @@
+// Chen's NFD-S — the synchronized-clock variant (Section II-B1, first
+// mechanism). When sender and receiver clocks are synchronized (or the
+// skew is known), freshness points need no arrival estimation at all:
+//   tau_i = sigma_i + delta,
+// i.e. each heartbeat's send timestamp shifted by one fixed shift
+// delta = Delta_i + Delta_to. Included as the simplest QoS baseline and
+// to quantify what the estimation machinery buys when clocks are NOT
+// synchronized (the known_skew parameter lets replay experiments feed it
+// the trace's true skew; a live deployment would use NTP-grade sync).
+#pragma once
+
+#include "detect/failure_detector.hpp"
+
+namespace twfd::detect {
+
+class NfdSDetector final : public FailureDetector {
+ public:
+  struct Params {
+    /// The sender's heartbeat interval Delta_i.
+    Tick interval = ticks_from_ms(100);
+    /// Safety margin Delta_to beyond the nominal next send time.
+    Tick safety_margin = ticks_from_ms(100);
+    /// receiver_clock - sender_clock, assumed known (synchronized clocks).
+    Tick known_skew = 0;
+  };
+
+  explicit NfdSDetector(Params params);
+
+  [[nodiscard]] Tick suspect_after() const override { return next_freshness_; }
+  void reset() override;
+  [[nodiscard]] std::string name() const override;
+
+ protected:
+  void process_fresh(std::int64_t seq, Tick send_time, Tick arrival_time) override;
+
+ private:
+  Params params_;
+  Tick next_freshness_ = kTickInfinity;
+};
+
+}  // namespace twfd::detect

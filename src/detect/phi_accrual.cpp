@@ -1,0 +1,62 @@
+#include "detect/phi_accrual.hpp"
+
+#include <cmath>
+
+#include "common/math.hpp"
+
+namespace twfd::detect {
+
+PhiAccrualDetector::PhiAccrualDetector(Params params)
+    : params_(params), gaps_(params.window) {
+  TWFD_CHECK(params.threshold > 0);
+  TWFD_CHECK(params.min_stddev_s > 0);
+  TWFD_CHECK(params.warmup >= 2);
+  // P_later(t*) = 10^-Phi  <=>  (t* - mu)/sigma = probit(1 - 10^-Phi).
+  const double p = 1.0 - std::pow(10.0, -params.threshold);
+  // Extremely conservative thresholds saturate the quantile; clamp to the
+  // largest p distinguishable from 1 in double precision.
+  quantile_z_ = normal_quantile(p < 1.0 ? p : 1.0 - 1e-16);
+}
+
+double PhiAccrualDetector::fitted_sigma() const {
+  const double s = gaps_.stddev();
+  return s > params_.min_stddev_s ? s : params_.min_stddev_s;
+}
+
+void PhiAccrualDetector::process_fresh(std::int64_t /*seq*/, Tick /*send_time*/,
+                                       Tick arrival_time) {
+  if (last_arrival_ != kTickInfinity && arrival_time > last_arrival_) {
+    gaps_.add(to_seconds(arrival_time - last_arrival_));
+  }
+  last_arrival_ = arrival_time;
+
+  if (gaps_.count() + 1 < params_.warmup) {
+    suspect_after_ = kTickInfinity;
+    return;
+  }
+  const double t_star = gaps_.mean() + fitted_sigma() * quantile_z_;
+  suspect_after_ = tick_add_sat(last_arrival_, ticks_from_seconds(t_star));
+}
+
+double PhiAccrualDetector::phi_at(Tick t) const {
+  if (last_arrival_ == kTickInfinity || gaps_.count() + 1 < params_.warmup) return 0.0;
+  const double dt = to_seconds(t - last_arrival_);
+  const double p_later = normal_tail((dt - gaps_.mean()) / fitted_sigma());
+  if (p_later <= 0.0) return 350.0;  // beyond double's log10 resolution
+  return -std::log10(p_later);
+}
+
+void PhiAccrualDetector::reset() {
+  FailureDetector::reset();
+  gaps_.clear();
+  last_arrival_ = kTickInfinity;
+  suspect_after_ = kTickInfinity;
+}
+
+std::string PhiAccrualDetector::name() const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "phi(Phi=%.2f)", params_.threshold);
+  return buf;
+}
+
+}  // namespace twfd::detect

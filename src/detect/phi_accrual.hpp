@@ -1,0 +1,54 @@
+// The phi accrual failure detector of Hayashibara et al. (Section II-B3).
+//
+// The suspicion level phi(t) = -log10(P_later(t - T_last)) grows as time
+// since the last heartbeat grows; the detector suspects once phi >= Phi.
+// P_later is the upper tail of a Normal fitted to the sampling window of
+// heartbeat inter-arrival times. Because phi is monotone in t, the
+// crossing instant can be solved in closed form with the normal quantile:
+//   suspect_after = T_last + mu + sigma * probit(1 - 10^-Phi)
+// which keeps replay O(1) per heartbeat.
+#pragma once
+
+#include "common/stats.hpp"
+#include "detect/failure_detector.hpp"
+
+namespace twfd::detect {
+
+class PhiAccrualDetector final : public FailureDetector {
+ public:
+  struct Params {
+    /// Sampling-window size; the paper (and Hayashibara) use 1000.
+    std::size_t window = 1000;
+    /// Suspicion threshold Phi. Larger = more conservative.
+    double threshold = 1.0;
+    /// Floor on the fitted stddev (seconds) so a perfectly regular stream
+    /// does not collapse the distribution; mirrors production accrual
+    /// detectors (e.g. Akka's minStdDeviation).
+    double min_stddev_s = 20e-6;
+    /// Samples required before the detector starts suspecting.
+    std::size_t warmup = 2;
+  };
+
+  explicit PhiAccrualDetector(Params params);
+
+  [[nodiscard]] Tick suspect_after() const override { return suspect_after_; }
+  void reset() override;
+  [[nodiscard]] std::string name() const override;
+
+  /// Current suspicion level at time `t` (Eq 7); 0 during warm-up.
+  [[nodiscard]] double phi_at(Tick t) const;
+
+ protected:
+  void process_fresh(std::int64_t seq, Tick send_time, Tick arrival_time) override;
+
+ private:
+  [[nodiscard]] double fitted_sigma() const;
+
+  Params params_;
+  WindowedStats gaps_;  // inter-arrival times, seconds
+  Tick last_arrival_ = kTickInfinity;
+  Tick suspect_after_ = kTickInfinity;
+  double quantile_z_;  // probit(1 - 10^-Phi), precomputed
+};
+
+}  // namespace twfd::detect

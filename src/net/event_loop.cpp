@@ -1,0 +1,97 @@
+#include "net/event_loop.hpp"
+
+#include <poll.h>
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace twfd::net {
+
+EventLoop::EventLoop(std::uint16_t port) : socket_(port) {}
+
+Tick EventLoop::now() const { return clock_.now(); }
+
+void EventLoop::send(PeerId to, std::span<const std::byte> data) {
+  TWFD_CHECK_MSG(to >= 1 && to <= peer_addrs_.size(), "unknown peer");
+  socket_.send_to(peer_addrs_[to - 1], data);
+  ++sent_;
+}
+
+void EventLoop::set_receive_handler(ReceiveHandler handler) {
+  on_receive_ = std::move(handler);
+}
+
+PeerId EventLoop::add_peer(const SocketAddress& addr) {
+  const auto it = peer_ids_.find(addr);
+  if (it != peer_ids_.end()) return it->second;
+  peer_addrs_.push_back(addr);
+  const PeerId id = peer_addrs_.size();
+  peer_ids_.emplace(addr, id);
+  return id;
+}
+
+TimerId EventLoop::schedule_at(Tick when, std::function<void()> fn) {
+  const TimerId id = next_timer_id_++;
+  timer_fns_.emplace(id, std::move(fn));
+  timers_.push({when, order_counter_++, id});
+  return id;
+}
+
+void EventLoop::cancel(TimerId id) { timer_fns_.erase(id); }
+
+Tick EventLoop::next_timer_at() const {
+  // The heap may hold cancelled entries; peek past is not possible with
+  // priority_queue, so report the top (a cancelled top only costs one
+  // spurious wakeup).
+  return timers_.empty() ? kTickInfinity : timers_.top().at;
+}
+
+void EventLoop::fire_due_timers() {
+  const Tick t = now();
+  while (!timers_.empty() && timers_.top().at <= t) {
+    const TimerId id = timers_.top().id;
+    timers_.pop();
+    const auto it = timer_fns_.find(id);
+    if (it == timer_fns_.end()) continue;  // cancelled
+    auto fn = std::move(it->second);
+    timer_fns_.erase(it);
+    fn();
+    if (stopped_) return;
+  }
+}
+
+void EventLoop::drain_socket() {
+  while (auto dgram = socket_.receive()) {
+    ++received_;
+    if (on_receive_) {
+      const PeerId from = add_peer(dgram->from);
+      on_receive_(from, std::span<const std::byte>(dgram->data));
+    }
+    if (stopped_) return;
+  }
+}
+
+void EventLoop::run_until(Tick deadline) {
+  stopped_ = false;
+  while (!stopped_) {
+    fire_due_timers();
+    if (stopped_) break;
+    drain_socket();
+    if (stopped_) break;
+
+    const Tick t = now();
+    if (t >= deadline) break;
+    const Tick wake = std::min(deadline, next_timer_at());
+    const Tick wait = wake <= t ? 0 : wake - t;
+    // Sleep at most 50 ms per turn so stop() from signal-ish contexts and
+    // socket readiness both stay responsive.
+    const int timeout_ms = static_cast<int>(
+        std::min<Tick>(ticks_from_ms(50), wait) / ticks_from_ms(1));
+
+    pollfd pfd{socket_.fd(), POLLIN, 0};
+    (void)::poll(&pfd, 1, std::max(0, timeout_ms));
+  }
+}
+
+}  // namespace twfd::net

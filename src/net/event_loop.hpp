@@ -1,0 +1,85 @@
+// Single-threaded poll-based event loop implementing the Runtime
+// interfaces (Clock / Transport / TimerService) over one UDP socket.
+//
+// Peers are registered (or auto-learned from inbound datagrams) and
+// addressed by PeerId, mirroring the simulator's addressing so service
+// code is identical in both worlds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <queue>
+#include <vector>
+
+#include "common/runtime.hpp"
+#include "common/time.hpp"
+#include "net/udp_socket.hpp"
+
+namespace twfd::net {
+
+class EventLoop final : public Clock, public Transport, public TimerService {
+ public:
+  /// Binds the loop's socket on `port` (0 = ephemeral).
+  explicit EventLoop(std::uint16_t port = 0);
+
+  // Clock (monotonic).
+  [[nodiscard]] Tick now() const override;
+
+  // Transport.
+  void send(PeerId to, std::span<const std::byte> data) override;
+  void set_receive_handler(ReceiveHandler handler) override;
+
+  // TimerService.
+  TimerId schedule_at(Tick when, std::function<void()> fn) override;
+  void cancel(TimerId id) override;
+
+  /// Registers a peer address; idempotent (same address -> same id).
+  PeerId add_peer(const SocketAddress& addr);
+  [[nodiscard]] std::uint16_t local_port() const { return socket_.local_port(); }
+  [[nodiscard]] Runtime runtime() noexcept { return {this, this, this}; }
+
+  /// Runs timers and socket I/O until `deadline` (Clock domain).
+  void run_until(Tick deadline);
+  /// Convenience: run for a duration from now.
+  void run_for(Tick duration) { run_until(now() + duration); }
+  /// Makes a concurrent run_until return promptly (callable from handlers).
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] std::uint64_t datagrams_sent() const noexcept { return sent_; }
+  [[nodiscard]] std::uint64_t datagrams_received() const noexcept { return received_; }
+
+ private:
+  struct PendingTimer {
+    Tick at;
+    std::uint64_t order;
+    TimerId id;
+  };
+  struct TimerCmp {
+    bool operator()(const PendingTimer& a, const PendingTimer& b) const {
+      return a.at != b.at ? a.at > b.at : a.order > b.order;
+    }
+  };
+
+  void drain_socket();
+  void fire_due_timers();
+  [[nodiscard]] Tick next_timer_at() const;
+
+  UdpSocket socket_;
+  SteadyClock clock_;
+  ReceiveHandler on_receive_;
+
+  std::map<SocketAddress, PeerId> peer_ids_;
+  std::vector<SocketAddress> peer_addrs_;  // index = PeerId - 1
+
+  std::priority_queue<PendingTimer, std::vector<PendingTimer>, TimerCmp> timers_;
+  std::map<TimerId, std::function<void()>> timer_fns_;  // erased = cancelled
+  TimerId next_timer_id_ = 1;
+  std::uint64_t order_counter_ = 0;
+  bool stopped_ = false;
+
+  std::uint64_t sent_ = 0;
+  std::uint64_t received_ = 0;
+};
+
+}  // namespace twfd::net

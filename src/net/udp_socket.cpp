@@ -1,0 +1,111 @@
+#include "net/udp_socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+#include <utility>
+
+namespace twfd::net {
+
+std::string SocketAddress::to_string() const {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u:%u", (ip_host_order >> 24) & 0xff,
+                (ip_host_order >> 16) & 0xff, (ip_host_order >> 8) & 0xff,
+                ip_host_order & 0xff, port);
+  return buf;
+}
+
+SocketAddress SocketAddress::parse(const std::string& ip, std::uint16_t port) {
+  in_addr addr{};
+  if (inet_pton(AF_INET, ip.c_str(), &addr) != 1) {
+    throw std::invalid_argument("bad IPv4 address: " + ip);
+  }
+  return {ntohl(addr.s_addr), port};
+}
+
+SocketAddress SocketAddress::loopback(std::uint16_t port) {
+  return {0x7f000001u, port};
+}
+
+sockaddr_in SocketAddress::to_sockaddr() const {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = htonl(ip_host_order);
+  sa.sin_port = htons(port);
+  return sa;
+}
+
+SocketAddress SocketAddress::from_sockaddr(const sockaddr_in& sa) {
+  return {ntohl(sa.sin_addr.s_addr), ntohs(sa.sin_port)};
+}
+
+UdpSocket::UdpSocket(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK, 0);
+  if (fd_ < 0) {
+    throw std::system_error(errno, std::generic_category(), "socket()");
+  }
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = htonl(INADDR_ANY);
+  sa.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&sa), sizeof sa) != 0) {
+    const int err = errno;
+    close_fd();
+    throw std::system_error(err, std::generic_category(), "bind()");
+  }
+}
+
+UdpSocket::~UdpSocket() { close_fd(); }
+
+UdpSocket::UdpSocket(UdpSocket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+UdpSocket& UdpSocket::operator=(UdpSocket&& other) noexcept {
+  if (this != &other) {
+    close_fd();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+void UdpSocket::close_fd() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::uint16_t UdpSocket::local_port() const {
+  sockaddr_in sa{};
+  socklen_t len = sizeof sa;
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&sa), &len) != 0) {
+    throw std::system_error(errno, std::generic_category(), "getsockname()");
+  }
+  return ntohs(sa.sin_port);
+}
+
+void UdpSocket::send_to(const SocketAddress& to, std::span<const std::byte> data) {
+  const sockaddr_in sa = to.to_sockaddr();
+  (void)::sendto(fd_, data.data(), data.size(), 0,
+                 reinterpret_cast<const sockaddr*>(&sa), sizeof sa);
+}
+
+std::optional<UdpSocket::Datagram> UdpSocket::receive() {
+  std::byte buf[2048];
+  sockaddr_in sa{};
+  socklen_t len = sizeof sa;
+  const ssize_t n = ::recvfrom(fd_, buf, sizeof buf, 0,
+                               reinterpret_cast<sockaddr*>(&sa), &len);
+  if (n < 0) return std::nullopt;  // EAGAIN / transient errors: no datagram
+  Datagram d;
+  d.from = SocketAddress::from_sockaddr(sa);
+  d.data.assign(buf, buf + n);
+  return d;
+}
+
+}  // namespace twfd::net

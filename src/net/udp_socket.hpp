@@ -1,0 +1,65 @@
+// RAII wrapper over a non-blocking IPv4 UDP socket.
+#pragma once
+
+#include <netinet/in.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace twfd::net {
+
+/// IPv4 address + port, comparable so it can key peer registries.
+struct SocketAddress {
+  std::uint32_t ip_host_order = 0;  // e.g. 127.0.0.1 = 0x7f000001
+  std::uint16_t port = 0;
+
+  friend auto operator<=>(const SocketAddress&, const SocketAddress&) = default;
+
+  [[nodiscard]] std::string to_string() const;
+  /// Parses dotted-quad notation; throws std::invalid_argument on failure.
+  [[nodiscard]] static SocketAddress parse(const std::string& ip, std::uint16_t port);
+  [[nodiscard]] static SocketAddress loopback(std::uint16_t port);
+
+  [[nodiscard]] sockaddr_in to_sockaddr() const;
+  [[nodiscard]] static SocketAddress from_sockaddr(const sockaddr_in& sa);
+};
+
+class UdpSocket {
+ public:
+  /// Opens and binds a non-blocking UDP socket on 0.0.0.0:`port`
+  /// (port 0 = ephemeral). Throws std::system_error on failure.
+  explicit UdpSocket(std::uint16_t port = 0);
+  ~UdpSocket();
+
+  UdpSocket(UdpSocket&& other) noexcept;
+  UdpSocket& operator=(UdpSocket&& other) noexcept;
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+
+  /// The locally bound port (resolved after ephemeral bind).
+  [[nodiscard]] std::uint16_t local_port() const;
+
+  /// Sends a datagram; best-effort (EAGAIN and friends are swallowed —
+  /// heartbeats are loss-tolerant by design).
+  void send_to(const SocketAddress& to, std::span<const std::byte> data);
+
+  struct Datagram {
+    SocketAddress from;
+    std::vector<std::byte> data;
+  };
+
+  /// Non-blocking receive; std::nullopt when no datagram is queued.
+  [[nodiscard]] std::optional<Datagram> receive();
+
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+ private:
+  void close_fd() noexcept;
+  int fd_ = -1;
+};
+
+}  // namespace twfd::net

@@ -1,0 +1,115 @@
+#include "net/wire.hpp"
+
+namespace twfd::net {
+namespace {
+
+constexpr std::uint8_t kTypeHeartbeat = 1;
+constexpr std::uint8_t kTypeIntervalRequest = 2;
+
+class Writer {
+ public:
+  explicit Writer(std::size_t capacity) { buf_.reserve(capacity); }
+
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<std::byte>(v)); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+  std::vector<std::byte> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::byte> data) : data_(data) {}
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
+
+  std::uint8_t u8() {
+    if (pos_ + 1 > data_.size()) {
+      ok_ = false;
+      return 0;
+    }
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(u8()) << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(u8()) << (8 * i);
+    return v;
+  }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+ private:
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+void header(Writer& w, std::uint8_t type) {
+  w.u32(kWireMagic);
+  w.u8(kWireVersion);
+  w.u8(type);
+}
+
+}  // namespace
+
+std::vector<std::byte> encode(const HeartbeatMsg& msg) {
+  Writer w(HeartbeatMsg::kWireSize);
+  header(w, kTypeHeartbeat);
+  w.u64(msg.sender_id);
+  w.i64(msg.seq);
+  w.i64(msg.send_time);
+  w.i64(msg.interval);
+  return w.take();
+}
+
+std::vector<std::byte> encode(const IntervalRequestMsg& msg) {
+  Writer w(IntervalRequestMsg::kWireSize);
+  header(w, kTypeIntervalRequest);
+  w.u64(msg.requester_id);
+  w.i64(msg.requested_interval);
+  return w.take();
+}
+
+std::optional<WireMessage> decode(std::span<const std::byte> data) {
+  Reader r(data);
+  if (r.u32() != kWireMagic) return std::nullopt;
+  if (r.u8() != kWireVersion) return std::nullopt;
+  const std::uint8_t type = r.u8();
+  switch (type) {
+    case kTypeHeartbeat: {
+      HeartbeatMsg m;
+      m.sender_id = r.u64();
+      m.seq = r.i64();
+      m.send_time = r.i64();
+      m.interval = r.i64();
+      if (!r.ok() || r.remaining() != 0) return std::nullopt;
+      if (m.seq <= 0 || m.interval <= 0) return std::nullopt;
+      return m;
+    }
+    case kTypeIntervalRequest: {
+      IntervalRequestMsg m;
+      m.requester_id = r.u64();
+      m.requested_interval = r.i64();
+      if (!r.ok() || r.remaining() != 0) return std::nullopt;
+      if (m.requested_interval <= 0) return std::nullopt;
+      return m;
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace twfd::net

@@ -1,0 +1,55 @@
+// Wire protocol for the live failure-detection service.
+//
+// Two datagram types, fixed-size, explicit little-endian encoding (no
+// struct punning, no host-order leaks):
+//   Heartbeat       p -> q   sequence number, sender-clock timestamp and
+//                            the sender's current heartbeat interval
+//                            (monitors need Delta_i for Chen-style
+//                            estimation; carrying it makes the service
+//                            self-describing when intervals adapt).
+//   IntervalRequest q -> p   asks the sender to emit heartbeats at least
+//                            this often (the shared-service Delta_i,min
+//                            negotiation of Section V-C).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <variant>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace twfd::net {
+
+inline constexpr std::uint32_t kWireMagic = 0x54574844;  // "TWHD"
+inline constexpr std::uint8_t kWireVersion = 1;
+
+struct HeartbeatMsg {
+  std::uint64_t sender_id = 0;
+  std::int64_t seq = 0;
+  Tick send_time = 0;
+  Tick interval = 0;
+
+  static constexpr std::size_t kWireSize = 4 + 1 + 1 + 8 + 8 + 8 + 8;
+};
+
+struct IntervalRequestMsg {
+  std::uint64_t requester_id = 0;
+  Tick requested_interval = 0;
+
+  static constexpr std::size_t kWireSize = 4 + 1 + 1 + 8 + 8;
+};
+
+using WireMessage = std::variant<HeartbeatMsg, IntervalRequestMsg>;
+
+/// Serialises a message into a self-contained datagram payload.
+[[nodiscard]] std::vector<std::byte> encode(const HeartbeatMsg& msg);
+[[nodiscard]] std::vector<std::byte> encode(const IntervalRequestMsg& msg);
+
+/// Parses a datagram; std::nullopt on bad magic/version/size (malformed
+/// datagrams are dropped, never trusted).
+[[nodiscard]] std::optional<WireMessage> decode(std::span<const std::byte> data);
+
+}  // namespace twfd::net

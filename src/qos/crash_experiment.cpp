@@ -1,0 +1,93 @@
+#include "qos/crash_experiment.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/quantile.hpp"
+
+namespace twfd::qos {
+
+CrashExperimentResult run_crash_experiment(detect::FailureDetector& detector,
+                                           const trace::Trace& trace,
+                                           std::size_t crashes,
+                                           std::size_t skip_first) {
+  CrashExperimentResult out;
+  if (trace.empty() || crashes == 0) return out;
+  detector.reset();
+
+  // One replay: per delivered heartbeat, record (seq, post-arrival
+  // suspect_after). FIFO traces deliver in sequence order.
+  struct State {
+    std::int64_t seq;
+    Tick suspect_after;
+  };
+  std::vector<State> states;
+  states.reserve(trace.size());
+  for (auto idx : trace.delivery_order()) {
+    const auto& rec = trace[idx];
+    if (rec.seq <= detector.highest_seq()) continue;
+    detector.on_heartbeat(rec.seq, rec.send_time, rec.arrival_time);
+    states.push_back({rec.seq, detector.suspect_after()});
+  }
+  if (states.empty()) return out;
+
+  const std::int64_t max_seq = trace[trace.size() - 1].seq;
+  const auto first_seq =
+      static_cast<std::int64_t>(std::min<std::size_t>(skip_first, trace.size() - 1)) + 1;
+  if (first_seq >= max_seq) return out;
+
+  P2Quantile p99(0.99);
+  double sum = 0;
+  double min_td = std::numeric_limits<double>::infinity();
+  double max_td = 0;
+  std::size_t detected = 0;
+
+  const double step = static_cast<double>(max_seq - first_seq) /
+                      static_cast<double>(crashes);
+  std::size_t cursor = 0;  // index into states, advances monotonically
+  for (std::size_t c = 0; c < crashes; ++c) {
+    const auto crash_seq =
+        first_seq + static_cast<std::int64_t>(step * static_cast<double>(c));
+    // Crash happens immediately after heartbeat `crash_seq` is sent; the
+    // detector ends up in the state after the last delivered seq <= it.
+    while (cursor + 1 < states.size() && states[cursor + 1].seq <= crash_seq) {
+      ++cursor;
+    }
+    if (states[cursor].seq > crash_seq) {
+      ++out.undetected;  // crash before the first delivery
+      continue;
+    }
+    const Tick sa = states[cursor].suspect_after;
+    if (sa == kTickInfinity) {
+      ++out.undetected;  // detector still warming up: trusts forever
+      continue;
+    }
+    // Send instant of the crash heartbeat, on the receiver clock (look
+    // up the real record; sends need not be perfectly periodic).
+    const auto& records = trace.records();
+    const auto it = std::lower_bound(
+        records.begin(), records.end(), crash_seq,
+        [](const trace::HeartbeatRecord& r, std::int64_t s) { return r.seq < s; });
+    TWFD_CHECK(it != records.end());
+    const Tick crash_at = it->send_time + trace.clock_skew();
+    const double td = std::max(0.0, to_seconds(sa - crash_at));
+    ++detected;
+    sum += td;
+    min_td = std::min(min_td, td);
+    max_td = std::max(max_td, td);
+    p99.add(td);
+  }
+
+  out.crashes = detected + out.undetected;
+  if (detected > 0) {
+    out.mean_td_s = sum / static_cast<double>(detected);
+    out.min_td_s = min_td;
+    out.max_td_s = max_td;
+    out.p99_td_s = p99.value();
+  }
+  return out;
+}
+
+}  // namespace twfd::qos

@@ -1,0 +1,40 @@
+// Empirical detection-time measurement by crash injection.
+//
+// The evaluator's T_D is analytic: "if p crashed right after sending m_l,
+// detection would occur at suspect_after". This module validates that
+// convention end-to-end: it injects crashes at sampled heartbeat indices
+// (p falls silent right after the send; messages already sent are still
+// delivered), replays the prefix, and measures when the detector's final
+// suspicion actually begins. One replay serves all injected crashes, so
+// thousands of crash samples cost a single pass.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "detect/failure_detector.hpp"
+#include "trace/heartbeat.hpp"
+
+namespace twfd::qos {
+
+struct CrashExperimentResult {
+  std::size_t crashes = 0;
+  double mean_td_s = 0;
+  double min_td_s = 0;
+  double max_td_s = 0;
+  double p99_td_s = 0;
+  /// Crashes never detected (detector still trusting with no pending
+  /// freshness point — only possible during warm-up).
+  std::size_t undetected = 0;
+};
+
+/// Injects `crashes` crash points, evenly spread over the trace's send
+/// sequence (skipping a leading warm-up of `skip_first` heartbeats), and
+/// measures the time from each crash to the start of permanent suspicion.
+/// The detector is reset() first. FIFO delivery is assumed (the synthetic
+/// scenarios generate FIFO traces).
+[[nodiscard]] CrashExperimentResult run_crash_experiment(
+    detect::FailureDetector& detector, const trace::Trace& trace,
+    std::size_t crashes = 1000, std::size_t skip_first = 10);
+
+}  // namespace twfd::qos

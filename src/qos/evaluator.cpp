@@ -1,0 +1,135 @@
+#include "qos/evaluator.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/quantile.hpp"
+
+namespace twfd::qos {
+
+EvalResult evaluate(detect::FailureDetector& detector, const trace::Trace& trace,
+                    const EvalOptions& options) {
+  EvalResult result;
+  result.metrics.detector = detector.name();
+  detector.reset();
+
+  const auto delivery = trace.delivery_order();
+  if (delivery.size() < 2) return result;
+
+  // Mistake bookkeeping. A mistake opens at an S-transition and closes at
+  // the next T-transition (or the end of the observation window).
+  bool in_mistake = false;
+  Tick mistake_start = 0;
+  std::int64_t awaiting_seq = 0;
+
+  Tick t_begin = kTickInfinity;  // set at the first counted fresh arrival
+  Tick t_end = 0;
+  std::size_t fresh_count = 0;
+
+  Tick suspect_time = 0;
+  std::size_t mistakes_counted = 0;
+  Tick mistake_time_counted = 0;
+
+  double td_sum = 0.0;
+  double td_max = 0.0;
+  std::size_t td_samples = 0;
+  P2Quantile td_p95(0.95);
+  P2Quantile td_p99(0.99);
+
+  Tick prev_arrival = kTickInfinity;
+
+  auto close_mistake = [&](Tick end) {
+    // Clamp the contribution to the observation window.
+    const Tick from = std::max(mistake_start, t_begin);
+    if (end > from && t_begin != kTickInfinity) {
+      suspect_time += end - from;
+    }
+    if (mistake_start >= t_begin && t_begin != kTickInfinity) {
+      ++mistakes_counted;
+      mistake_time_counted += end - mistake_start;
+    }
+    if (options.record_mistakes) {
+      result.mistakes.push_back({mistake_start, end, awaiting_seq});
+    }
+    in_mistake = false;
+  };
+
+  for (auto idx : delivery) {
+    const auto& rec = trace[idx];
+    if (rec.seq <= detector.highest_seq()) continue;  // stale: no state change
+    const Tick arrival = rec.arrival_time;
+
+    // 1) Settle the segment [prev_arrival, arrival) governed by the state
+    //    the previous heartbeat left behind.
+    if (prev_arrival != kTickInfinity) {
+      const Tick sa = detector.suspect_after();
+      if (!in_mistake && sa < arrival) {
+        in_mistake = true;
+        mistake_start = std::max(prev_arrival, sa);
+        awaiting_seq = detector.highest_seq() + 1;
+      }
+    }
+
+    // 2) Process the heartbeat.
+    detector.on_heartbeat(rec.seq, rec.send_time, arrival);
+    const Tick new_sa = detector.suspect_after();
+
+    // 3) Did this heartbeat restore trust? (Algorithm 1 line 20: only if
+    //    the new freshness point lies in the future.)
+    if (in_mistake && new_sa > arrival) {
+      close_mistake(arrival);
+    }
+
+    // 4) Detection-time sample: worst-case crash right after this send.
+    ++fresh_count;
+    const bool counted = fresh_count > options.skip_first;
+    if (counted && t_begin == kTickInfinity) t_begin = arrival;
+    if (counted && new_sa != kTickInfinity) {
+      const double td =
+          to_seconds(new_sa - (rec.send_time + trace.clock_skew()));
+      td_sum += td;
+      td_max = std::max(td_max, td);
+      td_p95.add(td);
+      td_p99.add(td);
+      ++td_samples;
+    }
+
+    prev_arrival = arrival;
+    t_end = arrival;
+  }
+
+  // The freshness point armed by the final heartbeat may already have
+  // fired within the observation window.
+  if (!in_mistake && prev_arrival != kTickInfinity) {
+    const Tick sa = detector.suspect_after();
+    if (sa < t_end) {
+      in_mistake = true;
+      mistake_start = std::max(prev_arrival, sa);
+      awaiting_seq = detector.highest_seq() + 1;
+    }
+  }
+  if (in_mistake) close_mistake(t_end);
+
+  auto& m = result.metrics;
+  if (t_begin == kTickInfinity || t_end <= t_begin) return result;
+
+  const double observed = to_seconds(t_end - t_begin);
+  m.observed_s = observed;
+  m.detection_samples = td_samples;
+  m.detection_time_s = td_samples ? td_sum / static_cast<double>(td_samples) : 0.0;
+  m.detection_time_p95_s = td_samples ? td_p95.value() : 0.0;
+  m.detection_time_p99_s = td_samples ? td_p99.value() : 0.0;
+  m.detection_time_max_s = td_max;
+  m.mistake_count = mistakes_counted;
+  m.mistake_rate_per_s = static_cast<double>(mistakes_counted) / observed;
+  m.query_accuracy = 1.0 - to_seconds(suspect_time) / observed;
+  m.mistake_duration_s =
+      mistakes_counted
+          ? to_seconds(mistake_time_counted) / static_cast<double>(mistakes_counted)
+          : 0.0;
+  TWFD_CHECK(m.query_accuracy >= -1e-9 && m.query_accuracy <= 1.0 + 1e-9);
+  m.query_accuracy = std::clamp(m.query_accuracy, 0.0, 1.0);
+  return result;
+}
+
+}  // namespace twfd::qos

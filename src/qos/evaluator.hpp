@@ -1,0 +1,40 @@
+// Trace-replay QoS evaluator (the paper's measurement methodology,
+// Section IV-A): logged arrival times are fed to a detector and its output
+// over continuous time is reconstructed exactly.
+//
+// Detectors expose suspect_after() — the instant their output turns to
+// Suspect absent further heartbeats — so the evaluator reconstructs the
+// full Trust/Suspect timeline with O(1) work per heartbeat and measures:
+//   T_D   mean detection time (worst-case crash right after each send)
+//   T_MR  mistake rate (S-transitions per second; p never crashes)
+//   P_A   query accuracy probability (fraction of time in Trust)
+//   T_M   mean mistake duration
+#pragma once
+
+#include <vector>
+
+#include "detect/failure_detector.hpp"
+#include "qos/metrics.hpp"
+#include "trace/heartbeat.hpp"
+
+namespace twfd::qos {
+
+struct EvalOptions {
+  /// Record every individual mistake (needed for Fig 8/9 analyses).
+  bool record_mistakes = false;
+  /// Exclude this many leading delivered heartbeats from the metrics
+  /// (lets tests measure steady-state behaviour after window warm-up).
+  std::size_t skip_first = 0;
+};
+
+struct EvalResult {
+  QosMetrics metrics;
+  std::vector<MistakeRecord> mistakes;  // filled iff record_mistakes
+};
+
+/// Replays `trace` through `detector` (which is reset() first).
+[[nodiscard]] EvalResult evaluate(detect::FailureDetector& detector,
+                                  const trace::Trace& trace,
+                                  const EvalOptions& options = {});
+
+}  // namespace twfd::qos

@@ -1,0 +1,73 @@
+#include "qos/intervals.hpp"
+
+#include <algorithm>
+
+namespace twfd::qos {
+
+std::vector<Interval> to_intervals(const std::vector<MistakeRecord>& records) {
+  std::vector<Interval> raw;
+  raw.reserve(records.size());
+  for (const auto& r : records) {
+    if (r.end > r.start) raw.push_back({r.start, r.end});
+  }
+  std::sort(raw.begin(), raw.end(),
+            [](const Interval& a, const Interval& b) { return a.start < b.start; });
+  std::vector<Interval> out;
+  for (const auto& iv : raw) {
+    if (!out.empty() && iv.start <= out.back().end) {
+      out.back().end = std::max(out.back().end, iv.end);
+    } else {
+      out.push_back(iv);
+    }
+  }
+  return out;
+}
+
+std::vector<Interval> intersect_intervals(const std::vector<Interval>& a,
+                                          const std::vector<Interval>& b) {
+  std::vector<Interval> out;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    const Tick lo = std::max(a[i].start, b[j].start);
+    const Tick hi = std::min(a[i].end, b[j].end);
+    if (lo < hi) out.push_back({lo, hi});
+    if (a[i].end < b[j].end) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return out;
+}
+
+std::vector<Interval> unite_intervals(const std::vector<Interval>& a,
+                                      const std::vector<Interval>& b) {
+  std::vector<Interval> merged;
+  merged.reserve(a.size() + b.size());
+  merged.insert(merged.end(), a.begin(), a.end());
+  merged.insert(merged.end(), b.begin(), b.end());
+  std::sort(merged.begin(), merged.end(),
+            [](const Interval& x, const Interval& y) { return x.start < y.start; });
+  std::vector<Interval> out;
+  for (const auto& iv : merged) {
+    if (!out.empty() && iv.start <= out.back().end) {
+      out.back().end = std::max(out.back().end, iv.end);
+    } else {
+      out.push_back(iv);
+    }
+  }
+  return out;
+}
+
+Tick total_duration(const std::vector<Interval>& intervals) {
+  Tick sum = 0;
+  for (const auto& iv : intervals) sum += iv.duration();
+  return sum;
+}
+
+bool covered_by(const std::vector<Interval>& inner,
+                const std::vector<Interval>& outer) {
+  return intersect_intervals(inner, outer) == inner;
+}
+
+}  // namespace twfd::qos

@@ -1,0 +1,48 @@
+// Suspicion-interval algebra.
+//
+// The *exact* form of the paper's Eq 13 is pointwise in time: 2W-FD
+// suspects at instant t iff both constituent Chen detectors suspect at t
+// (its freshness point is the max of theirs, and all three share the
+// largest-sequence state). Mistake-identity sets can differ at episode
+// boundaries — one long 2W suspicion may span a constituent's recovery
+// and re-suspicion — so the verifiable theorem is about the suspicion
+// time-sets, represented here as sorted disjoint half-open intervals.
+#pragma once
+
+#include <vector>
+
+#include "common/time.hpp"
+#include "qos/metrics.hpp"
+
+namespace twfd::qos {
+
+/// Half-open time interval [start, end).
+struct Interval {
+  Tick start = 0;
+  Tick end = 0;
+
+  friend bool operator==(const Interval&, const Interval&) = default;
+  [[nodiscard]] Tick duration() const noexcept { return end - start; }
+};
+
+/// Sorted, disjoint, non-empty intervals from recorded mistakes
+/// (adjacent/overlapping records are coalesced; empty ones dropped).
+[[nodiscard]] std::vector<Interval> to_intervals(
+    const std::vector<MistakeRecord>& records);
+
+/// Pointwise intersection of two sorted disjoint interval lists.
+[[nodiscard]] std::vector<Interval> intersect_intervals(
+    const std::vector<Interval>& a, const std::vector<Interval>& b);
+
+/// Pointwise union.
+[[nodiscard]] std::vector<Interval> unite_intervals(
+    const std::vector<Interval>& a, const std::vector<Interval>& b);
+
+/// Sum of interval lengths.
+[[nodiscard]] Tick total_duration(const std::vector<Interval>& intervals);
+
+/// True if every point of `inner` lies inside `outer`.
+[[nodiscard]] bool covered_by(const std::vector<Interval>& inner,
+                              const std::vector<Interval>& outer);
+
+}  // namespace twfd::qos

@@ -1,0 +1,64 @@
+// QoS metrics for failure detectors (Section II-A2, after Chen et al.).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace twfd::qos {
+
+/// One false suspicion during replay (p never crashes, so every
+/// S-transition is a mistake).
+struct MistakeRecord {
+  /// Instant of the S-transition (receiver clock).
+  Tick start = 0;
+  /// Instant of the following T-transition (or observation end).
+  Tick end = 0;
+  /// Identity of the mistake: the sequence number of the heartbeat the
+  /// detector was awaiting when it wrongly suspected (highest seen + 1).
+  /// Used for the Eq 13 / Figure 9 set algebra.
+  std::int64_t awaiting_seq = 0;
+
+  [[nodiscard]] Tick duration() const noexcept { return end - start; }
+};
+
+/// Aggregate QoS measurements from one replay.
+struct QosMetrics {
+  std::string detector;
+
+  /// T_D: mean detection time in seconds — for each fresh heartbeat m_l,
+  /// the time from its send instant to the moment the detector would
+  /// suspect if m_l were p's last message (worst-case crash position).
+  double detection_time_s = 0;
+  /// Tail detection times (streaming P^2 estimates) — what an SLA on
+  /// worst-case failover latency actually cares about.
+  double detection_time_p95_s = 0;
+  double detection_time_p99_s = 0;
+  double detection_time_max_s = 0;
+  std::size_t detection_samples = 0;
+
+  /// T_MR as a rate: S-transitions per second of observed time. (The
+  /// equivalent mistake recurrence time is 1/rate.)
+  double mistake_rate_per_s = 0;
+  std::size_t mistake_count = 0;
+
+  /// P_A: probability the output is correct (Trust) at a random time.
+  double query_accuracy = 1.0;
+
+  /// T_M: mean mistake duration in seconds.
+  double mistake_duration_s = 0;
+
+  /// Observation window (first to last delivered heartbeat), seconds.
+  double observed_s = 0;
+
+  /// Mean mistake recurrence time in seconds (inf if no mistakes).
+  [[nodiscard]] double mistake_recurrence_s() const {
+    return mistake_rate_per_s > 0 ? 1.0 / mistake_rate_per_s : kInf;
+  }
+
+  static constexpr double kInf = 1e300;
+};
+
+}  // namespace twfd::qos

@@ -1,0 +1,52 @@
+#include "qos/mistake_set.hpp"
+
+#include <algorithm>
+#include <iterator>
+
+namespace twfd::qos {
+
+MistakeSet MistakeSet::from_records(const std::vector<MistakeRecord>& recs) {
+  std::vector<std::int64_t> ids;
+  ids.reserve(recs.size());
+  for (const auto& r : recs) ids.push_back(r.awaiting_seq);
+  return from_ids(std::move(ids));
+}
+
+MistakeSet MistakeSet::from_ids(std::vector<std::int64_t> ids) {
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  MistakeSet s;
+  s.ids_ = std::move(ids);
+  return s;
+}
+
+MistakeSet MistakeSet::intersect(const MistakeSet& other) const {
+  MistakeSet out;
+  std::set_intersection(ids_.begin(), ids_.end(), other.ids_.begin(), other.ids_.end(),
+                        std::back_inserter(out.ids_));
+  return out;
+}
+
+MistakeSet MistakeSet::unite(const MistakeSet& other) const {
+  MistakeSet out;
+  std::set_union(ids_.begin(), ids_.end(), other.ids_.begin(), other.ids_.end(),
+                 std::back_inserter(out.ids_));
+  return out;
+}
+
+MistakeSet MistakeSet::subtract(const MistakeSet& other) const {
+  MistakeSet out;
+  std::set_difference(ids_.begin(), ids_.end(), other.ids_.begin(), other.ids_.end(),
+                      std::back_inserter(out.ids_));
+  return out;
+}
+
+bool MistakeSet::contains(std::int64_t id) const {
+  return std::binary_search(ids_.begin(), ids_.end(), id);
+}
+
+bool MistakeSet::is_subset_of(const MistakeSet& other) const {
+  return std::includes(other.ids_.begin(), other.ids_.end(), ids_.begin(), ids_.end());
+}
+
+}  // namespace twfd::qos

@@ -1,0 +1,44 @@
+// Mistake identity sets (Section III-C, Eq 13 and Figure 9).
+//
+// A mistake's identity is the sequence number of the heartbeat the
+// detector was awaiting when it wrongly suspected. Because the
+// largest-received-sequence state evolves identically for every detector
+// fed the same trace, "Chen(W1) and Chen(W2) make the same mistake" is
+// well-defined, and the paper's claim
+//   Mistakes(2W_{W1,W2}) = Mistakes(Chen_{W1}) \cap Mistakes(Chen_{W2})
+// becomes exact set algebra over these identities.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "qos/metrics.hpp"
+
+namespace twfd::qos {
+
+class MistakeSet {
+ public:
+  MistakeSet() = default;
+
+  /// Builds the identity set from recorded mistakes (deduplicated, sorted).
+  [[nodiscard]] static MistakeSet from_records(const std::vector<MistakeRecord>& recs);
+
+  [[nodiscard]] static MistakeSet from_ids(std::vector<std::int64_t> ids);
+
+  [[nodiscard]] MistakeSet intersect(const MistakeSet& other) const;
+  [[nodiscard]] MistakeSet unite(const MistakeSet& other) const;
+  [[nodiscard]] MistakeSet subtract(const MistakeSet& other) const;
+
+  [[nodiscard]] bool contains(std::int64_t id) const;
+  [[nodiscard]] bool is_subset_of(const MistakeSet& other) const;
+  [[nodiscard]] std::size_t size() const noexcept { return ids_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return ids_.empty(); }
+  [[nodiscard]] const std::vector<std::int64_t>& ids() const noexcept { return ids_; }
+
+  friend bool operator==(const MistakeSet&, const MistakeSet&) = default;
+
+ private:
+  std::vector<std::int64_t> ids_;  // sorted, unique
+};
+
+}  // namespace twfd::qos

@@ -1,0 +1,60 @@
+#include "qos/parallel_eval.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace twfd::qos {
+
+std::vector<EvalResult> evaluate_many(const std::vector<core::DetectorSpec>& specs,
+                                      const trace::Trace& trace,
+                                      const EvalOptions& options,
+                                      std::size_t threads) {
+  std::vector<EvalResult> results(specs.size());
+  if (specs.empty()) return results;
+
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, specs.size());
+
+  if (threads == 1) {
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      auto detector = core::make_detector(specs[i], trace.interval(),
+                                          trace.clock_skew());
+      results[i] = evaluate(*detector, trace, options);
+    }
+    return results;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= specs.size()) return;
+      try {
+        auto detector = core::make_detector(specs[i], trace.interval(),
+                                            trace.clock_skew());
+        results[i] = evaluate(*detector, trace, options);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+}  // namespace twfd::qos

@@ -1,0 +1,26 @@
+// Parallel replay sweeps.
+//
+// Figure-style evaluations replay one immutable trace through dozens of
+// independent detector configurations; the replays share nothing but the
+// read-only trace, so they parallelise embarrassingly. evaluate_many
+// fans the specs out over a small thread pool and returns results in
+// input order (deterministic regardless of scheduling).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/factory.hpp"
+#include "qos/evaluator.hpp"
+#include "trace/heartbeat.hpp"
+
+namespace twfd::qos {
+
+/// Replays `trace` through a detector built from each spec. `threads` = 0
+/// picks std::thread::hardware_concurrency() (at least 1). Exceptions from
+/// a worker are rethrown on the caller's thread.
+[[nodiscard]] std::vector<EvalResult> evaluate_many(
+    const std::vector<core::DetectorSpec>& specs, const trace::Trace& trace,
+    const EvalOptions& options = {}, std::size_t threads = 0);
+
+}  // namespace twfd::qos

@@ -1,0 +1,22 @@
+#include "qos/subsample.hpp"
+
+namespace twfd::qos {
+
+std::vector<PeriodMistakeCount> count_mistakes_by_period(
+    const std::vector<MistakeRecord>& mistakes,
+    const std::vector<trace::Period>& periods) {
+  std::vector<PeriodMistakeCount> out;
+  out.reserve(periods.size());
+  for (const auto& p : periods) out.push_back({p.name, 0});
+  for (const auto& m : mistakes) {
+    for (std::size_t i = 0; i < periods.size(); ++i) {
+      if (m.awaiting_seq >= periods[i].from_seq && m.awaiting_seq <= periods[i].to_seq) {
+        ++out[i].mistakes;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace twfd::qos

@@ -1,0 +1,25 @@
+// Subsample analysis (Table I / Figure 8): attribute every mistake to the
+// named trace period containing the heartbeat it was awaiting, and count
+// per period.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "qos/metrics.hpp"
+#include "trace/scenario.hpp"
+
+namespace twfd::qos {
+
+struct PeriodMistakeCount {
+  std::string period;
+  std::size_t mistakes = 0;
+};
+
+/// Counts mistakes per period. Mistakes awaiting a sequence number outside
+/// every period are ignored.
+[[nodiscard]] std::vector<PeriodMistakeCount> count_mistakes_by_period(
+    const std::vector<MistakeRecord>& mistakes,
+    const std::vector<trace::Period>& periods);
+
+}  // namespace twfd::qos

@@ -1,0 +1,44 @@
+// Datagram -> typed message routing.
+//
+// A Runtime's transport has one receive callback; the Dispatcher owns it,
+// decodes wire messages, stamps arrivals with the local clock and routes
+// them to the sender / monitor components sharing the runtime. Malformed
+// datagrams are counted and dropped.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/runtime.hpp"
+#include "net/wire.hpp"
+
+namespace twfd::service {
+
+class Dispatcher {
+ public:
+  using HeartbeatHandler =
+      std::function<void(PeerId from, const net::HeartbeatMsg&, Tick arrival)>;
+  using IntervalRequestHandler =
+      std::function<void(PeerId from, const net::IntervalRequestMsg&)>;
+
+  /// Installs itself as `rt.transport`'s receive handler. The dispatcher
+  /// must outlive the runtime's message flow.
+  explicit Dispatcher(Runtime rt);
+
+  void on_heartbeat(HeartbeatHandler handler) { heartbeat_ = std::move(handler); }
+  void on_interval_request(IntervalRequestHandler handler) {
+    interval_request_ = std::move(handler);
+  }
+
+  [[nodiscard]] std::uint64_t malformed_count() const noexcept { return malformed_; }
+  [[nodiscard]] std::uint64_t heartbeat_count() const noexcept { return heartbeats_; }
+
+ private:
+  Runtime rt_;
+  HeartbeatHandler heartbeat_;
+  IntervalRequestHandler interval_request_;
+  std::uint64_t malformed_ = 0;
+  std::uint64_t heartbeats_ = 0;
+};
+
+}  // namespace twfd::service

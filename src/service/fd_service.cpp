@@ -1,0 +1,265 @@
+#include "service/fd_service.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/assert.hpp"
+
+namespace twfd::service {
+
+FdService::FdService(Runtime rt, Params params) : rt_(rt), params_(std::move(params)) {
+  TWFD_CHECK(rt.clock && rt.transport && rt.timers);
+  TWFD_CHECK(!params_.windows.empty());
+}
+
+FdService::~FdService() {
+  for (auto& [peer, remote] : remotes_) {
+    for (auto& sub : remote.subs) {
+      if (sub.timer != kInvalidTimer) rt_.timers->cancel(sub.timer);
+    }
+    if (remote.reconfigure_timer != kInvalidTimer) {
+      rt_.timers->cancel(remote.reconfigure_timer);
+    }
+  }
+}
+
+config::NetworkBehaviour FdService::behaviour_for(const Remote& remote) const {
+  if (remote.estimator.received() >=
+      static_cast<std::int64_t>(params_.min_samples_for_estimate)) {
+    return {remote.estimator.loss_probability(), remote.estimator.delay_variance_s2()};
+  }
+  return params_.assumed_network;
+}
+
+FdService::SubscriptionId FdService::subscribe(PeerId peer, std::uint64_t sender_id,
+                                               std::string app,
+                                               const config::QosRequirements& qos,
+                                               StatusCallback callback) {
+  auto [it, inserted] = remotes_.try_emplace(peer);
+  Remote& remote = it->second;
+  if (inserted) {
+    remote.peer = peer;
+    remote.sender_id = sender_id;
+    schedule_reconfigure(remote);
+  } else {
+    TWFD_CHECK_MSG(remote.sender_id == sender_id,
+                   "one remote peer cannot host two sender ids");
+  }
+
+  Subscription sub;
+  sub.id = next_sub_id_++;
+  sub.app = std::move(app);
+  sub.qos = qos;
+  sub.callback = std::move(callback);
+  remote.subs.push_back(std::move(sub));
+  sub_to_peer_[remote.subs.back().id] = peer;
+
+  recombine(remote);
+  const bool too_demanding =
+      remote.combined.feasible &&
+      ticks_from_seconds(remote.combined.shared_interval_s) < params_.min_interval;
+  if (!remote.combined.feasible || too_demanding) {
+    // Roll back the doomed subscription before reporting failure.
+    sub_to_peer_.erase(remote.subs.back().id);
+    remote.subs.pop_back();
+    if (!remote.subs.empty()) {
+      recombine(remote);
+    } else {
+      if (remote.reconfigure_timer != kInvalidTimer) {
+        rt_.timers->cancel(remote.reconfigure_timer);
+      }
+      remotes_.erase(remote.peer);
+    }
+    throw std::logic_error(
+        too_demanding
+            ? "QoS requirements demand a heartbeat interval below the floor"
+            : "QoS requirements unachievable under network behaviour");
+  }
+  return remote.subs.back().id;
+}
+
+void FdService::unsubscribe(SubscriptionId id) {
+  const auto peer_it = sub_to_peer_.find(id);
+  if (peer_it == sub_to_peer_.end()) return;
+  Remote& remote = remotes_.at(peer_it->second);
+  sub_to_peer_.erase(peer_it);
+
+  const auto it = std::find_if(remote.subs.begin(), remote.subs.end(),
+                               [&](const Subscription& s) { return s.id == id; });
+  TWFD_CHECK(it != remote.subs.end());
+  if (it->timer != kInvalidTimer) rt_.timers->cancel(it->timer);
+  remote.subs.erase(it);
+
+  if (remote.subs.empty()) {
+    if (remote.reconfigure_timer != kInvalidTimer) {
+      rt_.timers->cancel(remote.reconfigure_timer);
+    }
+    remotes_.erase(remote.peer);
+    return;
+  }
+  recombine(remote);
+}
+
+void FdService::recombine(Remote& remote) {
+  std::vector<config::AppRequest> requests;
+  requests.reserve(remote.subs.size());
+  for (const auto& sub : remote.subs) requests.push_back({sub.app, sub.qos});
+
+  remote.combined = config::combine_requirements(requests, behaviour_for(remote));
+  if (!remote.combined.feasible) return;
+
+  const Tick interval = ticks_from_seconds(remote.combined.shared_interval_s);
+  for (std::size_t j = 0; j < remote.subs.size(); ++j) {
+    remote.subs[j].margin =
+        ticks_from_seconds(remote.combined.apps[j].shared_margin_s);
+  }
+
+  // Ask the sender for Delta_i,min whenever it changed.
+  if (interval != remote.requested_interval) {
+    remote.requested_interval = interval;
+    net::IntervalRequestMsg req;
+    req.requester_id = params_.service_id;
+    req.requested_interval = interval;
+    const auto payload = net::encode(req);
+    rt_.transport->send(remote.peer, payload);
+    rebuild_detector(remote);
+  } else if (!remote.detector || remote.detector->app_count() != remote.subs.size()) {
+    rebuild_detector(remote);
+  } else {
+    // Same membership count and interval: margins may still have shifted;
+    // rebuild only if any margin disagrees with the detector's.
+    bool dirty = false;
+    for (std::size_t j = 0; j < remote.subs.size(); ++j) {
+      if (remote.detector->margin(j) != remote.subs[j].margin) dirty = true;
+    }
+    if (dirty) rebuild_detector(remote);
+  }
+}
+
+void FdService::rebuild_detector(Remote& remote) {
+  // Estimation state restarts: the freshness geometry below it (the
+  // sender's Delta_i) is changing, so old normalised arrivals are no
+  // longer comparable.
+  for (auto& sub : remote.subs) {
+    if (sub.timer != kInvalidTimer) {
+      rt_.timers->cancel(sub.timer);
+      sub.timer = kInvalidTimer;
+    }
+  }
+  remote.detector = std::make_unique<core::SharedMarginDetector>(
+      params_.windows, std::max<Tick>(remote.requested_interval, 1));
+  for (std::size_t j = 0; j < remote.subs.size(); ++j) {
+    remote.subs[j].shared_index =
+        remote.detector->add_application(remote.subs[j].app, remote.subs[j].margin);
+  }
+  // A silent remote must still be suspected: until the first heartbeat
+  // arrives, each app's deadline counts from now.
+  remote.detector->set_bootstrap_anchor(rt_.clock->now());
+  for (auto& sub : remote.subs) arm_timer(remote, sub);
+}
+
+void FdService::handle_heartbeat(PeerId from, const net::HeartbeatMsg& msg,
+                                 Tick arrival) {
+  Remote* remote = find_remote(from);
+  if (remote == nullptr || msg.sender_id != remote->sender_id) return;
+  if (!remote->detector) return;
+
+  ++heartbeats_;
+  remote->estimator.on_heartbeat(msg.seq, msg.send_time, arrival);
+  remote->detector->on_heartbeat(msg.seq, msg.send_time, arrival);
+
+  for (auto& sub : remote->subs) {
+    if (sub.suspecting &&
+        remote->detector->suspect_after(sub.shared_index) > arrival) {
+      sub.suspecting = false;
+      if (sub.callback) {
+        sub.callback({sub.id, sub.app, detect::Output::Trust, arrival});
+      }
+    }
+    arm_timer(*remote, sub);
+  }
+}
+
+void FdService::arm_timer(Remote& remote, Subscription& sub) {
+  if (sub.timer != kInvalidTimer) {
+    rt_.timers->cancel(sub.timer);
+    sub.timer = kInvalidTimer;
+  }
+  if (sub.suspecting || !remote.detector) return;
+  const Tick sa = remote.detector->suspect_after(sub.shared_index);
+  if (sa == kTickInfinity) return;
+  const PeerId peer = remote.peer;
+  const SubscriptionId id = sub.id;
+  sub.timer = rt_.timers->schedule_at(sa, [this, peer, id] { on_sub_timer(peer, id); });
+}
+
+void FdService::on_sub_timer(PeerId peer, SubscriptionId id) {
+  Remote* remote = find_remote(peer);
+  if (remote == nullptr) return;
+  const auto it = std::find_if(remote->subs.begin(), remote->subs.end(),
+                               [&](const Subscription& s) { return s.id == id; });
+  if (it == remote->subs.end()) return;
+  it->timer = kInvalidTimer;
+  if (it->suspecting || !remote->detector) return;
+
+  const Tick t = rt_.clock->now();
+  if (remote->detector->output_at(it->shared_index, t) == detect::Output::Suspect) {
+    it->suspecting = true;
+    if (it->callback) it->callback({it->id, it->app, detect::Output::Suspect, t});
+  } else {
+    arm_timer(*remote, *it);  // raced with a fresh heartbeat
+  }
+}
+
+void FdService::schedule_reconfigure(Remote& remote) {
+  if (params_.reconfigure_period <= 0) return;
+  const PeerId peer = remote.peer;
+  remote.reconfigure_timer = rt_.timers->schedule_at(
+      tick_add_sat(rt_.clock->now(), params_.reconfigure_period), [this, peer] {
+        Remote* r = find_remote(peer);
+        if (r == nullptr) return;
+        r->reconfigure_timer = kInvalidTimer;
+        reconfigure(peer);
+        schedule_reconfigure(*r);
+      });
+}
+
+void FdService::reconfigure(PeerId peer) {
+  Remote* remote = find_remote(peer);
+  if (remote == nullptr || remote->subs.empty()) return;
+  recombine(*remote);
+}
+
+detect::Output FdService::output(SubscriptionId id) const {
+  const Subscription* sub = find_subscription(id);
+  TWFD_CHECK_MSG(sub != nullptr, "unknown subscription");
+  const Remote& remote = remotes_.at(sub_to_peer_.at(id));
+  if (!remote.detector) return detect::Output::Trust;
+  return remote.detector->output_at(sub->shared_index, rt_.clock->now());
+}
+
+Tick FdService::shared_interval(PeerId peer) const {
+  const auto it = remotes_.find(peer);
+  return it == remotes_.end() ? 0 : it->second.requested_interval;
+}
+
+const config::CombinedConfig* FdService::combined_config(PeerId peer) const {
+  const auto it = remotes_.find(peer);
+  return it == remotes_.end() ? nullptr : &it->second.combined;
+}
+
+FdService::Remote* FdService::find_remote(PeerId peer) {
+  const auto it = remotes_.find(peer);
+  return it == remotes_.end() ? nullptr : &it->second;
+}
+
+const FdService::Subscription* FdService::find_subscription(SubscriptionId id) const {
+  const auto peer_it = sub_to_peer_.find(id);
+  if (peer_it == sub_to_peer_.end()) return nullptr;
+  const Remote& remote = remotes_.at(peer_it->second);
+  const auto it = std::find_if(remote.subs.begin(), remote.subs.end(),
+                               [&](const Subscription& s) { return s.id == id; });
+  return it == remote.subs.end() ? nullptr : &*it;
+}
+
+}  // namespace twfd::service

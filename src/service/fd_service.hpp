@@ -1,0 +1,139 @@
+// Failure detection as a service (Section V).
+//
+// One FdService instance runs per host. Applications subscribe with a QoS
+// tuple (T_D^U, T_MR^U, T_M^U) against a remote process; per remote the
+// service:
+//   1. runs Chen's configuration procedure per application (Section V-A),
+//   2. combines the results: the host asks the remote sender for
+//      Delta_i,min = min_j Delta_i,j via an IntervalRequest (Step 2),
+//   3. keeps ONE multi-window (2W-FD) arrival estimation and gives each
+//      application its own margin Delta_to,j = T_D,j^U - Delta_i,min
+//      (Steps 3-4) via a SharedMarginDetector,
+//   4. fires per-application Suspect/Trust callbacks from per-application
+//      freshness timers,
+//   5. optionally re-runs the configuration periodically against live
+//      p_L / V(D) estimates (Section V-A: adaptive reconfiguration).
+// Every application gets the illusion of a dedicated detector while the
+// host emits a single heartbeat stream per remote.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/runtime.hpp"
+#include "config/qos_config.hpp"
+#include "core/shared_margin.hpp"
+#include "net/wire.hpp"
+#include "trace/trace_stats.hpp"
+
+namespace twfd::service {
+
+class FdService {
+ public:
+  struct Params {
+    /// Windows of the shared estimation; {1, 1000} is the paper's 2W-FD.
+    std::vector<std::size_t> windows = {1, 1000};
+    /// Network behaviour assumed until enough live samples accumulate.
+    config::NetworkBehaviour assumed_network{0.01, 1e-4};
+    /// Live samples required before trusting the online p_L/V(D) estimate.
+    std::uint64_t min_samples_for_estimate = 200;
+    /// Re-run the configuration procedure this often (0 = never).
+    Tick reconfigure_period = 0;
+    /// Reject subscriptions whose combined configuration would demand a
+    /// heartbeat interval below this floor. Chen's procedure is formally
+    /// always satisfiable by flooding (microsecond intervals), so the
+    /// service draws the practical line here.
+    Tick min_interval = ticks_from_ms(1);
+    /// Identity used in IntervalRequest messages.
+    std::uint64_t service_id = 1;
+  };
+
+  using SubscriptionId = std::uint64_t;
+
+  struct StatusEvent {
+    SubscriptionId subscription = 0;
+    std::string app;
+    detect::Output output = detect::Output::Trust;
+    Tick when = 0;
+  };
+  using StatusCallback = std::function<void(const StatusEvent&)>;
+
+  FdService(Runtime rt, Params params);
+  ~FdService();
+
+  FdService(const FdService&) = delete;
+  FdService& operator=(const FdService&) = delete;
+
+  /// Registers application `app` to monitor the process `sender_id`
+  /// reachable at `peer`, with QoS tuple `qos`. Throws std::logic_error
+  /// if the tuple is infeasible under the current network behaviour.
+  SubscriptionId subscribe(PeerId peer, std::uint64_t sender_id, std::string app,
+                           const config::QosRequirements& qos, StatusCallback callback);
+
+  void unsubscribe(SubscriptionId id);
+
+  /// Wire this to Dispatcher::on_heartbeat.
+  void handle_heartbeat(PeerId from, const net::HeartbeatMsg& msg, Tick arrival);
+
+  /// Current output for one subscription.
+  [[nodiscard]] detect::Output output(SubscriptionId id) const;
+
+  /// The Delta_i,min currently requested from `peer`'s sender.
+  [[nodiscard]] Tick shared_interval(PeerId peer) const;
+
+  /// The latest combined configuration for `peer` (nullptr if none).
+  [[nodiscard]] const config::CombinedConfig* combined_config(PeerId peer) const;
+
+  /// Heartbeats fed into shared estimations (load accounting).
+  [[nodiscard]] std::uint64_t heartbeats_processed() const noexcept {
+    return heartbeats_;
+  }
+
+  /// Forces a reconfiguration pass for `peer` using live estimates.
+  void reconfigure(PeerId peer);
+
+ private:
+  struct Subscription {
+    SubscriptionId id = 0;
+    std::string app;
+    config::QosRequirements qos;
+    StatusCallback callback;
+    Tick margin = 0;              // Delta_to,j in ticks
+    std::size_t shared_index = 0; // index inside the SharedMarginDetector
+    bool suspecting = false;
+    TimerId timer = kInvalidTimer;
+  };
+
+  struct Remote {
+    PeerId peer = 0;
+    std::uint64_t sender_id = 0;
+    std::vector<Subscription> subs;
+    std::unique_ptr<core::SharedMarginDetector> detector;
+    config::CombinedConfig combined;
+    trace::NetworkEstimator estimator;
+    Tick requested_interval = 0;
+    TimerId reconfigure_timer = kInvalidTimer;
+  };
+
+  [[nodiscard]] config::NetworkBehaviour behaviour_for(const Remote& remote) const;
+  void recombine(Remote& remote);
+  void rebuild_detector(Remote& remote);
+  void arm_timer(Remote& remote, Subscription& sub);
+  void on_sub_timer(PeerId peer, SubscriptionId id);
+  void schedule_reconfigure(Remote& remote);
+  Remote* find_remote(PeerId peer);
+  [[nodiscard]] const Subscription* find_subscription(SubscriptionId id) const;
+
+  Runtime rt_;
+  Params params_;
+  std::map<PeerId, Remote> remotes_;
+  std::map<SubscriptionId, PeerId> sub_to_peer_;
+  SubscriptionId next_sub_id_ = 1;
+  std::uint64_t heartbeats_ = 0;
+};
+
+}  // namespace twfd::service

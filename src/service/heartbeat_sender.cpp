@@ -1,0 +1,81 @@
+#include "service/heartbeat_sender.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace twfd::service {
+
+HeartbeatSender::HeartbeatSender(Runtime rt, Params params)
+    : rt_(rt), params_(params) {
+  TWFD_CHECK(rt.clock && rt.transport && rt.timers);
+  TWFD_CHECK(params.base_interval > 0);
+}
+
+HeartbeatSender::~HeartbeatSender() { stop(); }
+
+void HeartbeatSender::add_target(PeerId peer) {
+  if (std::find(targets_.begin(), targets_.end(), peer) == targets_.end()) {
+    targets_.push_back(peer);
+  }
+}
+
+void HeartbeatSender::start() {
+  if (running_) return;
+  running_ = true;
+  next_send_ = rt_.clock->now();
+  send_one();
+}
+
+void HeartbeatSender::stop() {
+  if (!running_) return;
+  running_ = false;
+  if (timer_ != kInvalidTimer) {
+    rt_.timers->cancel(timer_);
+    timer_ = kInvalidTimer;
+  }
+}
+
+Tick HeartbeatSender::effective_interval() const {
+  Tick interval = params_.base_interval;
+  for (const auto& [peer, req] : requested_) interval = std::min(interval, req);
+  return interval;
+}
+
+void HeartbeatSender::handle_interval_request(PeerId requester,
+                                              const net::IntervalRequestMsg& msg) {
+  const Tick before = effective_interval();
+  requested_[requester] = msg.requested_interval;
+  const Tick after = effective_interval();
+  if (after != before && running_) {
+    // Re-anchor the cadence: the in-flight gap shrinks (or grows) starting
+    // from the last emission.
+    if (timer_ != kInvalidTimer) rt_.timers->cancel(timer_);
+    next_send_ = std::max(rt_.clock->now(), next_send_ - before + after);
+    timer_ = rt_.timers->schedule_at(next_send_, [this] { send_one(); });
+  }
+}
+
+void HeartbeatSender::send_one() {
+  timer_ = kInvalidTimer;
+  if (!running_) return;
+
+  ++seq_;
+  net::HeartbeatMsg msg;
+  msg.sender_id = params_.sender_id;
+  msg.seq = seq_;
+  msg.send_time = rt_.clock->now();
+  msg.interval = effective_interval();
+  const auto payload = net::encode(msg);
+  for (const PeerId target : targets_) {
+    rt_.transport->send(target, payload);
+  }
+  schedule_next();
+}
+
+void HeartbeatSender::schedule_next() {
+  next_send_ = tick_add_sat(next_send_, effective_interval());
+  timer_ = rt_.timers->schedule_at(next_send_, [this] { send_one(); });
+}
+
+}  // namespace twfd::service

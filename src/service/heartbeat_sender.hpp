@@ -1,0 +1,67 @@
+// The monitored side: emits heartbeats m_1, m_2, ... every Delta_i
+// (Algorithm 1, process p) to every registered monitor, on a fixed
+// absolute cadence (send #i at start + i * Delta_i, so jitter does not
+// accumulate).
+//
+// The interval is negotiable: monitors send IntervalRequestMsg and the
+// sender adopts the minimum of its own ceiling and all outstanding
+// requests — the Delta_i,min rule of Section V-C seen from p's side.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/runtime.hpp"
+#include "net/wire.hpp"
+
+namespace twfd::service {
+
+class HeartbeatSender {
+ public:
+  struct Params {
+    /// Identity stamped into every heartbeat.
+    std::uint64_t sender_id = 1;
+    /// The sender's own (slowest acceptable) heartbeat interval.
+    Tick base_interval = ticks_from_ms(100);
+  };
+
+  HeartbeatSender(Runtime rt, Params params);
+  ~HeartbeatSender();
+
+  HeartbeatSender(const HeartbeatSender&) = delete;
+  HeartbeatSender& operator=(const HeartbeatSender&) = delete;
+
+  /// Adds a monitor to broadcast to (idempotent).
+  void add_target(PeerId peer);
+
+  /// Begins emitting; the first heartbeat goes out immediately.
+  void start();
+  void stop();
+  [[nodiscard]] bool running() const noexcept { return running_; }
+
+  /// Records `requester`'s demanded interval and re-schedules if the
+  /// effective interval (min over base and all requests) changed.
+  /// Wire this to Dispatcher::on_interval_request.
+  void handle_interval_request(PeerId requester, const net::IntervalRequestMsg& msg);
+
+  /// min(base_interval, all requested intervals).
+  [[nodiscard]] Tick effective_interval() const;
+
+  [[nodiscard]] std::int64_t sent_count() const noexcept { return seq_; }
+
+ private:
+  void send_one();
+  void schedule_next();
+
+  Runtime rt_;
+  Params params_;
+  std::vector<PeerId> targets_;
+  std::map<PeerId, Tick> requested_;
+  bool running_ = false;
+  std::int64_t seq_ = 0;
+  Tick next_send_ = 0;
+  TimerId timer_ = kInvalidTimer;
+};
+
+}  // namespace twfd::service

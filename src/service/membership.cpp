@@ -1,0 +1,83 @@
+#include "service/membership.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace twfd::service {
+
+MembershipNode::MembershipNode(Runtime rt, Params params)
+    : rt_(rt), params_(std::move(params)), dispatcher_(rt),
+      sender_(rt, {params_.node_id, params_.heartbeat_interval}) {
+  dispatcher_.on_heartbeat([this](PeerId from, const net::HeartbeatMsg& m, Tick at) {
+    handle_heartbeat(from, m, at);
+  });
+}
+
+MembershipNode::~MembershipNode() { sender_.stop(); }
+
+void MembershipNode::add_peer(PeerId address, NodeId node_id) {
+  TWFD_CHECK_MSG(node_id != params_.node_id, "a node cannot monitor itself");
+  TWFD_CHECK_MSG(peers_.find(node_id) == peers_.end(), "duplicate peer id");
+
+  sender_.add_target(address);
+
+  core::MultiWindowDetector::Params dp;
+  dp.windows = params_.windows;
+  dp.interval = params_.heartbeat_interval;
+  dp.safety_margin = params_.safety_margin;
+
+  Peer peer;
+  peer.node_id = node_id;
+  peer.monitor = std::make_unique<Monitor>(
+      rt_, node_id, std::make_unique<core::MultiWindowDetector>(dp),
+      Monitor::Callbacks{
+          [this, node_id](Tick) { peer_transition(node_id, false); },
+          [this, node_id](Tick) { peer_transition(node_id, true); }});
+  peers_.emplace(node_id, std::move(peer));
+}
+
+void MembershipNode::start() { sender_.start(); }
+void MembershipNode::stop() { sender_.stop(); }
+
+void MembershipNode::handle_heartbeat(PeerId from, const net::HeartbeatMsg& msg,
+                                      Tick arrival) {
+  const auto it = peers_.find(msg.sender_id);
+  if (it == peers_.end()) return;  // not a registered member: ignore
+  const bool first = it->second.monitor->heartbeats_seen() == 0;
+  it->second.monitor->handle_heartbeat(from, msg, arrival);
+  if (first && !it->second.in_view) {
+    peer_transition(msg.sender_id, true);  // join on first heartbeat
+  }
+}
+
+void MembershipNode::peer_transition(NodeId node, bool alive_now) {
+  auto& peer = peers_.at(node);
+  if (peer.in_view == alive_now) return;
+  peer.in_view = alive_now;
+  ++view_changes_;
+  emit_view();
+}
+
+void MembershipNode::emit_view() {
+  if (on_view_) on_view_(alive());
+}
+
+std::vector<NodeId> MembershipNode::alive() const {
+  std::vector<NodeId> out;
+  out.reserve(peers_.size() + 1);
+  out.push_back(params_.node_id);
+  for (const auto& [node, peer] : peers_) {
+    if (peer.in_view) out.push_back(node);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool MembershipNode::is_alive(NodeId node) const {
+  if (node == params_.node_id) return true;
+  const auto it = peers_.find(node);
+  return it != peers_.end() && it->second.in_view;
+}
+
+}  // namespace twfd::service

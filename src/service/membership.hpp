@@ -1,0 +1,90 @@
+// Cluster membership on top of the failure-detection stack — the
+// motivating application of the paper's introduction ("group membership
+// protocols, computer cluster management").
+//
+// Every MembershipNode broadcasts one heartbeat stream (Algorithm 1,
+// process p) and runs one 2W-FD monitor per peer (process q). The node's
+// *view* is the set of members it currently trusts; a peer joins the view
+// on its first heartbeat and leaves it while suspected. View changes fire
+// a callback with the full alive set. Nodes run unchanged on the
+// simulator and on real UDP.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/runtime.hpp"
+#include "core/multi_window.hpp"
+#include "service/dispatcher.hpp"
+#include "service/heartbeat_sender.hpp"
+#include "service/monitor.hpp"
+
+namespace twfd::service {
+
+using NodeId = std::uint64_t;
+
+class MembershipNode {
+ public:
+  struct Params {
+    /// This node's identity (stamped into its heartbeats).
+    NodeId node_id = 1;
+    /// Heartbeat inter-send interval Delta_i for the whole cluster.
+    Tick heartbeat_interval = ticks_from_ms(100);
+    /// 2W-FD safety margin Delta_to used for every peer.
+    Tick safety_margin = ticks_from_ms(100);
+    /// Windows of the per-peer detectors.
+    std::vector<std::size_t> windows = {1, 1000};
+  };
+
+  /// Current alive set (sorted node ids, always including self),
+  /// passed on every view change.
+  using ViewCallback = std::function<void(const std::vector<NodeId>& alive)>;
+
+  MembershipNode(Runtime rt, Params params);
+  ~MembershipNode();
+
+  MembershipNode(const MembershipNode&) = delete;
+  MembershipNode& operator=(const MembershipNode&) = delete;
+
+  /// Registers a peer (its transport address and node id). Peers start
+  /// outside the view until their first heartbeat arrives.
+  void add_peer(PeerId address, NodeId node_id);
+
+  /// Starts heartbeating and monitoring.
+  void start();
+  /// Stops heartbeating (monitors keep running: a stopped node is
+  /// precisely what the others must detect).
+  void stop();
+
+  void on_view_change(ViewCallback callback) { on_view_ = std::move(callback); }
+
+  /// Sorted alive set including self.
+  [[nodiscard]] std::vector<NodeId> alive() const;
+  [[nodiscard]] bool is_alive(NodeId node) const;
+  [[nodiscard]] NodeId id() const noexcept { return params_.node_id; }
+  [[nodiscard]] std::size_t view_changes() const noexcept { return view_changes_; }
+
+ private:
+  struct Peer {
+    NodeId node_id = 0;
+    std::unique_ptr<Monitor> monitor;
+    bool in_view = false;  // joined (first heartbeat seen) and trusted
+  };
+
+  void handle_heartbeat(PeerId from, const net::HeartbeatMsg& msg, Tick arrival);
+  void peer_transition(NodeId node, bool alive_now);
+  void emit_view();
+
+  Runtime rt_;
+  Params params_;
+  Dispatcher dispatcher_;
+  HeartbeatSender sender_;
+  std::map<NodeId, Peer> peers_;
+  ViewCallback on_view_;
+  std::size_t view_changes_ = 0;
+};
+
+}  // namespace twfd::service

@@ -1,0 +1,59 @@
+#include "service/monitor.hpp"
+
+#include "common/assert.hpp"
+
+namespace twfd::service {
+
+Monitor::Monitor(Runtime rt, std::uint64_t watched_sender_id,
+                 std::unique_ptr<detect::FailureDetector> detector,
+                 Callbacks callbacks)
+    : rt_(rt), watched_sender_id_(watched_sender_id), detector_(std::move(detector)),
+      callbacks_(std::move(callbacks)) {
+  TWFD_CHECK(rt.clock && rt.transport && rt.timers);
+  TWFD_CHECK(detector_ != nullptr);
+}
+
+Monitor::~Monitor() {
+  if (timer_ != kInvalidTimer) rt_.timers->cancel(timer_);
+}
+
+detect::Output Monitor::output() const {
+  return detector_->output_at(rt_.clock->now());
+}
+
+void Monitor::handle_heartbeat(PeerId /*from*/, const net::HeartbeatMsg& msg,
+                               Tick arrival) {
+  if (msg.sender_id != watched_sender_id_) return;
+  ++seen_;
+  detector_->on_heartbeat(msg.seq, msg.send_time, arrival);
+
+  if (suspecting_ && detector_->suspect_after() > arrival) {
+    suspecting_ = false;
+    if (callbacks_.on_trust) callbacks_.on_trust(arrival);
+  }
+  arm_timer();
+}
+
+void Monitor::arm_timer() {
+  if (timer_ != kInvalidTimer) {
+    rt_.timers->cancel(timer_);
+    timer_ = kInvalidTimer;
+  }
+  const Tick sa = detector_->suspect_after();
+  if (sa == kTickInfinity || suspecting_) return;
+  timer_ = rt_.timers->schedule_at(sa, [this] { on_timer(); });
+}
+
+void Monitor::on_timer() {
+  timer_ = kInvalidTimer;
+  const Tick t = rt_.clock->now();
+  if (!suspecting_ && detector_->output_at(t) == detect::Output::Suspect) {
+    suspecting_ = true;
+    if (callbacks_.on_suspect) callbacks_.on_suspect(t);
+  } else if (!suspecting_) {
+    // Raced with a heartbeat that pushed suspect_after out; re-arm.
+    arm_timer();
+  }
+}
+
+}  // namespace twfd::service

@@ -1,0 +1,54 @@
+// The monitoring side for a single application: drives any
+// detect::FailureDetector live. Heartbeats re-arm one timer at the
+// detector's suspect_after(); transitions fire callbacks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/runtime.hpp"
+#include "detect/failure_detector.hpp"
+#include "net/wire.hpp"
+
+namespace twfd::service {
+
+class Monitor {
+ public:
+  struct Callbacks {
+    /// Invoked on the S-transition (local-clock instant).
+    std::function<void(Tick when)> on_suspect;
+    /// Invoked on the T-transition.
+    std::function<void(Tick when)> on_trust;
+  };
+
+  /// `watched_sender_id`: heartbeats from other senders are ignored.
+  Monitor(Runtime rt, std::uint64_t watched_sender_id,
+          std::unique_ptr<detect::FailureDetector> detector, Callbacks callbacks);
+  ~Monitor();
+
+  Monitor(const Monitor&) = delete;
+  Monitor& operator=(const Monitor&) = delete;
+
+  /// Wire this to Dispatcher::on_heartbeat.
+  void handle_heartbeat(PeerId from, const net::HeartbeatMsg& msg, Tick arrival);
+
+  [[nodiscard]] detect::Output output() const;
+  [[nodiscard]] Tick suspect_after() const { return detector_->suspect_after(); }
+  [[nodiscard]] const detect::FailureDetector& detector() const { return *detector_; }
+  [[nodiscard]] std::uint64_t heartbeats_seen() const noexcept { return seen_; }
+
+ private:
+  void arm_timer();
+  void on_timer();
+
+  Runtime rt_;
+  std::uint64_t watched_sender_id_;
+  std::unique_ptr<detect::FailureDetector> detector_;
+  Callbacks callbacks_;
+  bool suspecting_ = false;
+  TimerId timer_ = kInvalidTimer;
+  std::uint64_t seen_ = 0;
+};
+
+}  // namespace twfd::service

@@ -1,0 +1,44 @@
+#include "service/trace_recorder.hpp"
+
+#include "common/assert.hpp"
+
+namespace twfd::service {
+
+TraceRecorder::TraceRecorder(std::string name, Tick expected_interval)
+    : name_(std::move(name)), interval_(expected_interval) {
+  TWFD_CHECK(expected_interval > 0);
+}
+
+void TraceRecorder::record(const net::HeartbeatMsg& msg, Tick arrival) {
+  const std::int64_t prev = records_.empty() ? 0 : records_.back().seq;
+  if (msg.seq <= prev) return;  // duplicate or reordered-behind: dropped
+
+  interval_ = msg.interval;  // heartbeats are self-describing
+  // Mark the skipped sequence numbers lost. Their send times are
+  // extrapolated on the sender clock from the carried timestamps.
+  for (std::int64_t s = prev + 1; s < msg.seq; ++s) {
+    trace::HeartbeatRecord rec;
+    rec.seq = s;
+    rec.send_time = msg.send_time - (msg.seq - s) * msg.interval;
+    rec.arrival_time = kTickInfinity;
+    rec.lost = true;
+    records_.push_back(rec);
+    ++lost_;
+  }
+  trace::HeartbeatRecord rec;
+  rec.seq = msg.seq;
+  rec.send_time = msg.send_time;
+  rec.arrival_time = arrival;
+  rec.lost = false;
+  records_.push_back(rec);
+  ++recorded_;
+}
+
+trace::Trace TraceRecorder::trace() const {
+  trace::Trace out(name_, interval_);
+  out.reserve(records_.size());
+  for (const auto& r : records_) out.push(r);
+  return out;
+}
+
+}  // namespace twfd::service

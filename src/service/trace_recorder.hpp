@@ -1,0 +1,49 @@
+// Live heartbeat capture — the paper's experimental methodology
+// (Section IV-A: "when heartbeats are received, their arrival times are
+// logged by the monitoring computer; these logged arrival times are used
+// to replay the execution for each FD algorithm").
+//
+// Wire a TraceRecorder next to (or instead of) a Monitor on the
+// dispatcher; it accumulates (seq, send, arrival) and marks skipped
+// sequence numbers as lost, producing a trace::Trace ready for
+// qos::evaluate or archive via trace::save_binary_file.
+#pragma once
+
+#include <cstdint>
+
+#include "common/runtime.hpp"
+#include "net/wire.hpp"
+#include "trace/heartbeat.hpp"
+
+namespace twfd::service {
+
+class TraceRecorder {
+ public:
+  /// `name` labels the produced trace; `expected_interval` is used when no
+  /// heartbeat has been seen yet (heartbeats carry the live interval).
+  TraceRecorder(std::string name, Tick expected_interval);
+
+  /// Wire this to Dispatcher::on_heartbeat (filter by sender id first if
+  /// several senders share the socket). Out-of-order heartbeats older
+  /// than an already-recorded sequence are dropped (they were counted
+  /// lost); duplicates are dropped.
+  void record(const net::HeartbeatMsg& msg, Tick arrival);
+
+  /// Heartbeats recorded so far.
+  [[nodiscard]] std::size_t recorded() const noexcept { return recorded_; }
+  /// Sequence numbers marked lost so far.
+  [[nodiscard]] std::size_t lost() const noexcept { return lost_; }
+
+  /// Finalises and returns the trace (sequence-gap records marked lost).
+  /// The recorder can keep recording afterwards; each call snapshots.
+  [[nodiscard]] trace::Trace trace() const;
+
+ private:
+  std::string name_;
+  Tick interval_;
+  std::vector<trace::HeartbeatRecord> records_;  // strictly increasing seq
+  std::size_t recorded_ = 0;
+  std::size_t lost_ = 0;
+};
+
+}  // namespace twfd::service

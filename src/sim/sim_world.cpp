@@ -1,0 +1,190 @@
+#include "sim/sim_world.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace twfd::sim {
+
+// ---------------------------------------------------------------------------
+// SimEndpoint
+// ---------------------------------------------------------------------------
+
+SimEndpoint::SimEndpoint(SimWorld* world, PeerId id, std::string name, Tick skew,
+                         double drift)
+    : world_(world), id_(id), name_(std::move(name)), skew_(skew), drift_(drift) {
+  TWFD_CHECK_MSG(drift > -0.5 && drift < 0.5, "unphysical clock drift");
+}
+
+Tick SimEndpoint::now() const {
+  const double local =
+      static_cast<double>(skew_) + static_cast<double>(world_->now()) * (1.0 + drift_);
+  return static_cast<Tick>(local);
+}
+
+Tick SimEndpoint::to_global(Tick local) const {
+  const double g = (static_cast<double>(local) - static_cast<double>(skew_)) /
+                   (1.0 + drift_);
+  return static_cast<Tick>(g);
+}
+
+void SimEndpoint::send(PeerId to, std::span<const std::byte> data) {
+  world_->dispatch_send(id_, to, std::vector<std::byte>(data.begin(), data.end()));
+}
+
+void SimEndpoint::set_receive_handler(ReceiveHandler handler) {
+  on_receive_ = std::move(handler);
+}
+
+TimerId SimEndpoint::schedule_at(Tick when, std::function<void()> fn) {
+  return world_->schedule_local(*this, when, std::move(fn));
+}
+
+void SimEndpoint::cancel(TimerId id) { world_->cancel_timer(id); }
+
+// ---------------------------------------------------------------------------
+// Link prototypes
+// ---------------------------------------------------------------------------
+
+LinkParams lan_link() {
+  LinkParams p;
+  p.delay = std::make_unique<trace::NormalDelay>(100e-6, 12e-6, 40e-6);
+  p.loss = std::make_unique<trace::BernoulliLoss>(0.0);
+  return p;
+}
+
+LinkParams wan_link() {
+  LinkParams p;
+  p.delay = std::make_unique<trace::LogNormalDelay>(0.050, std::log(0.008), 0.45);
+  p.loss = std::make_unique<trace::BernoulliLoss>(0.01);
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// SimWorld
+// ---------------------------------------------------------------------------
+
+SimWorld::SimWorld(std::uint64_t seed) : rng_(seed) {}
+SimWorld::~SimWorld() = default;
+
+SimEndpoint& SimWorld::add_endpoint(std::string name, Tick skew, double drift) {
+  const PeerId id = endpoints_.size() + 1;
+  endpoints_.emplace_back(
+      new SimEndpoint(this, id, std::move(name), skew, drift));
+  return *endpoints_.back();
+}
+
+void SimWorld::connect(const SimEndpoint& from, const SimEndpoint& to,
+                       LinkParams params) {
+  TWFD_CHECK(params.delay && params.loss);
+  links_[{from.id(), to.id()}] = Link{std::move(params), kTickNegInfinity};
+}
+
+void SimWorld::connect_both(const SimEndpoint& a, const SimEndpoint& b,
+                            const LinkParams& prototype) {
+  LinkParams ab{prototype.delay->clone(), prototype.loss->clone(), prototype.fifo,
+                prototype.bandwidth_bytes_per_s};
+  LinkParams ba{prototype.delay->clone(), prototype.loss->clone(), prototype.fifo,
+                prototype.bandwidth_bytes_per_s};
+  connect(a, b, std::move(ab));
+  connect(b, a, std::move(ba));
+}
+
+void SimWorld::disconnect(const SimEndpoint& from, const SimEndpoint& to) {
+  links_.erase({from.id(), to.id()});
+}
+
+void SimWorld::disconnect_both(const SimEndpoint& a, const SimEndpoint& b) {
+  disconnect(a, b);
+  disconnect(b, a);
+}
+
+void SimWorld::post(Tick at_global, std::function<void()> fn, TimerId timer_id) {
+  TWFD_CHECK_MSG(at_global >= now_, "event scheduled in the past");
+  queue_.push(Event{at_global, order_counter_++, std::move(fn), timer_id});
+}
+
+void SimWorld::dispatch_send(PeerId from, PeerId to, std::vector<std::byte> data) {
+  ++sent_;
+  const auto it = links_.find({from, to});
+  if (it == links_.end()) return;  // unroutable: silently dropped, like UDP
+  Link& link = it->second;
+  if (link.params.loss->lost(rng_)) return;
+
+  // Bottleneck queueing: the datagram first waits for the link, holds it
+  // for its serialization time, then experiences the path delay.
+  Tick depart = now_;
+  if (link.params.bandwidth_bytes_per_s > 0.0) {
+    const double ser_s =
+        static_cast<double>(data.size()) / link.params.bandwidth_bytes_per_s;
+    depart = std::max(now_, link.busy_until) + ticks_from_seconds(ser_s);
+    link.busy_until = depart;
+  }
+  Tick arrival = depart + ticks_from_seconds(link.params.delay->sample(rng_));
+  if (link.params.fifo && arrival <= link.last_delivery) {
+    arrival = link.last_delivery + ticks_from_us(1);
+  }
+  link.last_delivery = arrival;
+
+  TWFD_CHECK(to >= 1 && to <= endpoints_.size());
+  SimEndpoint* dest = endpoints_[to - 1].get();
+  post(
+      arrival,
+      [this, dest, from, payload = std::move(data)]() {
+        ++delivered_;
+        if (dest->on_receive_) {
+          dest->on_receive_(from, std::span<const std::byte>(payload));
+        }
+      },
+      kInvalidTimer);
+}
+
+TimerId SimWorld::schedule_local(SimEndpoint& ep, Tick local_when,
+                                 std::function<void()> fn) {
+  const TimerId id = next_timer_id_++;
+  const Tick global_when = std::max(now_, ep.to_global(local_when));
+  cancelled_[id] = false;
+  post(
+      global_when,
+      [this, id, cb = std::move(fn)]() {
+        const auto it = cancelled_.find(id);
+        const bool is_cancelled = it != cancelled_.end() && it->second;
+        cancelled_.erase(id);
+        if (!is_cancelled) cb();
+      },
+      id);
+  return id;
+}
+
+void SimWorld::cancel_timer(TimerId id) {
+  const auto it = cancelled_.find(id);
+  if (it != cancelled_.end()) it->second = true;
+}
+
+bool SimWorld::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top is const; the handler is moved out via const_cast,
+  // which is safe because the element is popped immediately after.
+  auto& top = const_cast<Event&>(queue_.top());
+  const Tick at = top.at;
+  auto fn = std::move(top.fn);
+  queue_.pop();
+  TWFD_CHECK(at >= now_);
+  now_ = at;
+  fn();
+  return true;
+}
+
+void SimWorld::run_until(Tick global_deadline) {
+  while (!queue_.empty() && queue_.top().at <= global_deadline) step();
+  now_ = std::max(now_, global_deadline);
+}
+
+std::size_t SimWorld::run(std::size_t max_events) {
+  std::size_t n = 0;
+  while (n < max_events && step()) ++n;
+  return n;
+}
+
+}  // namespace twfd::sim

@@ -1,0 +1,161 @@
+// Deterministic discrete-event network simulator.
+//
+// A SimWorld owns virtual global time and an event queue; SimEndpoints are
+// processes with their own (skewed, drifting) local clocks, datagram
+// transports and timer services — the exact Runtime interfaces the live
+// UDP event loop provides, so service components run unchanged here.
+// Unidirectional links carry the same delay/loss models as the trace
+// generator. Everything is seeded, so runs are bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/runtime.hpp"
+#include "common/time.hpp"
+#include "trace/delay_model.hpp"
+#include "trace/loss_model.hpp"
+
+namespace twfd::sim {
+
+class SimWorld;
+
+/// A simulated process: local clock (skew + drift), transport, timers.
+class SimEndpoint final : public Clock, public Transport, public TimerService {
+ public:
+  // Clock: local = skew + global * (1 + drift).
+  [[nodiscard]] Tick now() const override;
+
+  // Transport.
+  void send(PeerId to, std::span<const std::byte> data) override;
+  void set_receive_handler(ReceiveHandler handler) override;
+
+  // TimerService (local-clock deadlines).
+  TimerId schedule_at(Tick when, std::function<void()> fn) override;
+  void cancel(TimerId id) override;
+
+  [[nodiscard]] PeerId id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] Runtime runtime() noexcept { return {this, this, this}; }
+
+  /// Global-time equivalent of a local-clock instant.
+  [[nodiscard]] Tick to_global(Tick local) const;
+
+ private:
+  friend class SimWorld;
+  SimEndpoint(SimWorld* world, PeerId id, std::string name, Tick skew, double drift);
+
+  SimWorld* world_;
+  PeerId id_;
+  std::string name_;
+  Tick skew_;
+  double drift_;
+  ReceiveHandler on_receive_;
+};
+
+/// Link properties from one endpoint to another.
+struct LinkParams {
+  std::unique_ptr<trace::DelayModel> delay;
+  std::unique_ptr<trace::LossModel> loss;
+  /// Clamp deliveries to FIFO order (single network path).
+  bool fifo = true;
+  /// Bottleneck bandwidth in bytes/second (0 = infinite). Each datagram
+  /// occupies the link for size/bandwidth; queued datagrams wait behind
+  /// it, which produces naturally *correlated* delays under load — the
+  /// congestion mechanism behind Section III-A's bursty traffic.
+  double bandwidth_bytes_per_s = 0.0;
+};
+
+/// Convenience: symmetric low-jitter link.
+[[nodiscard]] LinkParams lan_link();
+/// Convenience: lossy, jittery WAN-ish link.
+[[nodiscard]] LinkParams wan_link();
+
+class SimWorld {
+ public:
+  explicit SimWorld(std::uint64_t seed = 1);
+  ~SimWorld();
+
+  SimWorld(const SimWorld&) = delete;
+  SimWorld& operator=(const SimWorld&) = delete;
+
+  /// Creates a process. `skew` and `drift` shape its local clock.
+  SimEndpoint& add_endpoint(std::string name, Tick skew = 0, double drift = 0.0);
+
+  /// Installs the unidirectional link from -> to (replacing any previous).
+  void connect(const SimEndpoint& from, const SimEndpoint& to, LinkParams params);
+
+  /// Symmetric convenience: installs a->b and b->a with cloned models.
+  void connect_both(const SimEndpoint& a, const SimEndpoint& b,
+                    const LinkParams& prototype);
+
+  /// Removes the unidirectional link from -> to; subsequent sends are
+  /// dropped (models a network partition). No-op if absent.
+  void disconnect(const SimEndpoint& from, const SimEndpoint& to);
+  /// Removes both directions.
+  void disconnect_both(const SimEndpoint& a, const SimEndpoint& b);
+
+  /// Global virtual time.
+  [[nodiscard]] Tick now() const noexcept { return now_; }
+
+  /// Processes the next event; false when the queue is empty.
+  bool step();
+
+  /// Runs events with timestamp <= `global_deadline`, then advances the
+  /// clock to the deadline.
+  void run_until(Tick global_deadline);
+
+  /// Runs until the queue drains or `max_events` were processed.
+  std::size_t run(std::size_t max_events = SIZE_MAX);
+
+  [[nodiscard]] std::size_t pending_events() const noexcept { return queue_.size(); }
+
+  /// Total datagrams handed to links / delivered (for load accounting).
+  [[nodiscard]] std::uint64_t datagrams_sent() const noexcept { return sent_; }
+  [[nodiscard]] std::uint64_t datagrams_delivered() const noexcept {
+    return delivered_;
+  }
+
+ private:
+  friend class SimEndpoint;
+
+  struct Event {
+    Tick at;
+    std::uint64_t order;  // FIFO tiebreak for equal timestamps
+    std::function<void()> fn;
+    TimerId timer_id;  // kInvalidTimer for network events
+  };
+  struct EventCmp {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.at != b.at ? a.at > b.at : a.order > b.order;
+    }
+  };
+  struct Link {
+    LinkParams params;
+    Tick last_delivery = kTickNegInfinity;
+    Tick busy_until = kTickNegInfinity;  // bottleneck queue head
+  };
+
+  void post(Tick at_global, std::function<void()> fn, TimerId timer_id);
+  void dispatch_send(PeerId from, PeerId to, std::vector<std::byte> data);
+  TimerId schedule_local(SimEndpoint& ep, Tick local_when, std::function<void()> fn);
+  void cancel_timer(TimerId id);
+
+  Tick now_ = 0;
+  std::uint64_t order_counter_ = 0;
+  TimerId next_timer_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, EventCmp> queue_;
+  std::vector<std::unique_ptr<SimEndpoint>> endpoints_;
+  std::map<std::pair<PeerId, PeerId>, Link> links_;
+  std::map<TimerId, bool> cancelled_;  // ids with pending events
+  Xoshiro256 rng_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace twfd::sim

@@ -1,0 +1,69 @@
+#include "trace/analysis.hpp"
+
+#include <algorithm>
+
+#include "common/quantile.hpp"
+
+namespace twfd::trace {
+
+GapAnalysis analyze_gaps(const Trace& trace) {
+  GapAnalysis out;
+  P2Quantile p50(0.5), p90(0.9), p99(0.99), p999(0.999);
+  double sum = 0;
+  const double nominal = to_seconds(trace.interval());
+
+  Tick prev = kTickNegInfinity;
+  for (auto idx : trace.delivery_order()) {
+    const Tick a = trace[idx].arrival_time;
+    if (prev != kTickNegInfinity) {
+      const double gap = to_seconds(a - prev);
+      ++out.gaps;
+      sum += gap;
+      out.max_s = std::max(out.max_s, gap);
+      p50.add(gap);
+      p90.add(gap);
+      p99.add(gap);
+      p999.add(gap);
+      if (gap > 2 * nominal) ++out.over_2x;
+      if (gap > 5 * nominal) ++out.over_5x;
+      if (gap > 10 * nominal) ++out.over_10x;
+    }
+    prev = a;
+  }
+  if (out.gaps > 0) {
+    out.mean_s = sum / static_cast<double>(out.gaps);
+    out.p50_s = p50.value();
+    out.p90_s = p90.value();
+    out.p99_s = p99.value();
+    out.p999_s = p999.value();
+  }
+  return out;
+}
+
+LossRunAnalysis analyze_loss_runs(const Trace& trace) {
+  LossRunAnalysis out;
+  std::size_t current = 0;
+  auto close_run = [&] {
+    if (current == 0) return;
+    ++out.runs;
+    ++out.histogram[current];
+    out.max_run_length = std::max(out.max_run_length, current);
+    current = 0;
+  };
+  for (const auto& r : trace.records()) {
+    if (r.lost) {
+      ++out.lost_total;
+      ++current;
+    } else {
+      close_run();
+    }
+  }
+  close_run();
+  if (out.runs > 0) {
+    out.mean_run_length =
+        static_cast<double>(out.lost_total) / static_cast<double>(out.runs);
+  }
+  return out;
+}
+
+}  // namespace twfd::trace

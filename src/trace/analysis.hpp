@@ -1,0 +1,52 @@
+// Channel analysis beyond first moments: inter-arrival gap quantiles,
+// loss-run-length distribution (burstiness), and a regime-change summary.
+// These are the diagnostics one runs before choosing detector windows —
+// the paper's Section III-A argument ("burst duration vs heartbeat
+// interval") made quantitative.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/time.hpp"
+#include "trace/heartbeat.hpp"
+
+namespace twfd::trace {
+
+struct GapAnalysis {
+  double mean_s = 0;
+  double p50_s = 0;
+  double p90_s = 0;
+  double p99_s = 0;
+  double p999_s = 0;
+  double max_s = 0;
+  std::size_t gaps = 0;
+  /// Gaps exceeding k nominal intervals, for k = 2, 5, 10 — each one is a
+  /// silence a detector must either tolerate (conservative) or flag
+  /// (mistake, if p was alive).
+  std::size_t over_2x = 0;
+  std::size_t over_5x = 0;
+  std::size_t over_10x = 0;
+};
+
+/// Quantiles of delivery inter-arrival gaps (streaming P^2; exact mean/max).
+[[nodiscard]] GapAnalysis analyze_gaps(const Trace& trace);
+
+struct LossRunAnalysis {
+  std::size_t lost_total = 0;
+  std::size_t runs = 0;          ///< maximal runs of consecutive losses
+  double mean_run_length = 0;
+  std::size_t max_run_length = 0;
+  /// run length -> number of runs of exactly that length
+  std::map<std::size_t, std::size_t> histogram;
+
+  /// Mean run length > 1.5 indicates correlated (bursty) loss — the
+  /// condition under which the paper argues single-window Chen breaks.
+  [[nodiscard]] bool bursty() const noexcept { return mean_run_length > 1.5; }
+};
+
+/// Distribution of consecutive-loss run lengths in send order.
+[[nodiscard]] LossRunAnalysis analyze_loss_runs(const Trace& trace);
+
+}  // namespace twfd::trace

@@ -1,0 +1,100 @@
+#include "trace/delay_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace twfd::trace {
+
+ConstantJitterDelay::ConstantJitterDelay(double base_s, double jitter_s)
+    : base_(base_s), jitter_(jitter_s) {
+  TWFD_CHECK(base_s >= 0 && jitter_s >= 0);
+}
+double ConstantJitterDelay::sample(Xoshiro256& rng) {
+  return base_ + (jitter_ > 0 ? rng.uniform(0.0, jitter_) : 0.0);
+}
+std::unique_ptr<DelayModel> ConstantJitterDelay::clone() const {
+  return std::make_unique<ConstantJitterDelay>(*this);
+}
+
+NormalDelay::NormalDelay(double mean_s, double stddev_s, double floor_s)
+    : mean_(mean_s), stddev_(stddev_s), floor_(floor_s) {
+  TWFD_CHECK(stddev_s >= 0 && floor_s >= 0);
+}
+double NormalDelay::sample(Xoshiro256& rng) {
+  return std::max(floor_, rng.normal(mean_, stddev_));
+}
+std::unique_ptr<DelayModel> NormalDelay::clone() const {
+  return std::make_unique<NormalDelay>(*this);
+}
+
+ExponentialDelay::ExponentialDelay(double floor_s, double mean_extra_s)
+    : floor_(floor_s), mean_extra_(mean_extra_s) {
+  TWFD_CHECK(floor_s >= 0 && mean_extra_s > 0);
+}
+double ExponentialDelay::sample(Xoshiro256& rng) {
+  return floor_ + rng.exponential(mean_extra_);
+}
+std::unique_ptr<DelayModel> ExponentialDelay::clone() const {
+  return std::make_unique<ExponentialDelay>(*this);
+}
+
+LogNormalDelay::LogNormalDelay(double floor_s, double mu, double sigma)
+    : floor_(floor_s), mu_(mu), sigma_(sigma) {
+  TWFD_CHECK(floor_s >= 0 && sigma >= 0);
+}
+double LogNormalDelay::sample(Xoshiro256& rng) {
+  return floor_ + rng.lognormal(mu_, sigma_);
+}
+std::unique_ptr<DelayModel> LogNormalDelay::clone() const {
+  return std::make_unique<LogNormalDelay>(*this);
+}
+
+ParetoDelay::ParetoDelay(double floor_s, double xm_s, double alpha)
+    : floor_(floor_s), xm_(xm_s), alpha_(alpha) {
+  TWFD_CHECK(floor_s >= 0 && xm_s > 0 && alpha > 0);
+}
+double ParetoDelay::sample(Xoshiro256& rng) {
+  return floor_ + rng.pareto(xm_, alpha_) - xm_;
+}
+std::unique_ptr<DelayModel> ParetoDelay::clone() const {
+  return std::make_unique<ParetoDelay>(*this);
+}
+
+ArCongestionDelay::ArCongestionDelay(double floor_s, double scale_s, double rho,
+                                     double sigma_level, double jitter_sigma)
+    : floor_(floor_s), scale_(scale_s), rho_(rho), jitter_sigma_(jitter_sigma) {
+  TWFD_CHECK(floor_s >= 0 && scale_s > 0);
+  TWFD_CHECK(rho >= 0.0 && rho < 1.0);
+  TWFD_CHECK(sigma_level >= 0 && jitter_sigma >= 0);
+  sigma_step_ = sigma_level * std::sqrt(1.0 - rho * rho);
+}
+
+double ArCongestionDelay::sample(Xoshiro256& rng) {
+  level_ = rho_ * level_ + rng.normal(0.0, sigma_step_);
+  const double jitter =
+      jitter_sigma_ > 0 ? rng.lognormal(0.0, jitter_sigma_) : 1.0;
+  return floor_ + scale_ * std::exp(level_) * jitter;
+}
+
+std::unique_ptr<DelayModel> ArCongestionDelay::clone() const {
+  return std::make_unique<ArCongestionDelay>(*this);
+}
+
+SpikeMixDelay::SpikeMixDelay(std::unique_ptr<DelayModel> base,
+                             std::unique_ptr<DelayModel> spike, double spike_prob)
+    : base_(std::move(base)), spike_(std::move(spike)), spike_prob_(spike_prob) {
+  TWFD_CHECK(base_ && spike_ && spike_prob >= 0.0 && spike_prob <= 1.0);
+}
+double SpikeMixDelay::sample(Xoshiro256& rng) {
+  // Draw the branch first so the base model consumes the same variate
+  // stream regardless of the spike probability.
+  const bool spike = rng.bernoulli(spike_prob_);
+  return spike ? spike_->sample(rng) : base_->sample(rng);
+}
+std::unique_ptr<DelayModel> SpikeMixDelay::clone() const {
+  return std::make_unique<SpikeMixDelay>(base_->clone(), spike_->clone(), spike_prob_);
+}
+
+}  // namespace twfd::trace

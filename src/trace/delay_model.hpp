@@ -1,0 +1,120 @@
+// One-way message delay models.
+//
+// The synthetic WAN/LAN scenarios compose these to reproduce the
+// statistical regimes of the paper's traces (stable, burst, worm). All
+// delays are in seconds (double) and clamped to a physical minimum.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace twfd::trace {
+
+/// Samples one-way network delays, in seconds.
+class DelayModel {
+ public:
+  virtual ~DelayModel() = default;
+  /// Draws the delay for the next message. Must be >= 0.
+  virtual double sample(Xoshiro256& rng) = 0;
+  /// Deep copy (scenario builders clone prototypes per regime).
+  [[nodiscard]] virtual std::unique_ptr<DelayModel> clone() const = 0;
+};
+
+/// Fixed base delay plus uniform jitter in [0, jitter].
+class ConstantJitterDelay final : public DelayModel {
+ public:
+  ConstantJitterDelay(double base_s, double jitter_s);
+  double sample(Xoshiro256& rng) override;
+  [[nodiscard]] std::unique_ptr<DelayModel> clone() const override;
+
+ private:
+  double base_;
+  double jitter_;
+};
+
+/// Normal(mu, sigma) truncated below at `floor_s`.
+class NormalDelay final : public DelayModel {
+ public:
+  NormalDelay(double mean_s, double stddev_s, double floor_s);
+  double sample(Xoshiro256& rng) override;
+  [[nodiscard]] std::unique_ptr<DelayModel> clone() const override;
+
+ private:
+  double mean_, stddev_, floor_;
+};
+
+/// floor + Exponential(mean) — the ED-FD's model assumption; also a decent
+/// fit for queueing-dominated links.
+class ExponentialDelay final : public DelayModel {
+ public:
+  ExponentialDelay(double floor_s, double mean_extra_s);
+  double sample(Xoshiro256& rng) override;
+  [[nodiscard]] std::unique_ptr<DelayModel> clone() const override;
+
+ private:
+  double floor_, mean_extra_;
+};
+
+/// floor + LogNormal(mu, sigma) of the underlying normal — the classic
+/// heavy-ish tailed Internet one-way-delay fit used for the WAN regimes.
+class LogNormalDelay final : public DelayModel {
+ public:
+  LogNormalDelay(double floor_s, double mu, double sigma);
+  double sample(Xoshiro256& rng) override;
+  [[nodiscard]] std::unique_ptr<DelayModel> clone() const override;
+
+ private:
+  double floor_, mu_, sigma_;
+};
+
+/// floor + Pareto(xm, alpha) - xm: genuinely heavy tail for spike regimes.
+class ParetoDelay final : public DelayModel {
+ public:
+  ParetoDelay(double floor_s, double xm_s, double alpha);
+  double sample(Xoshiro256& rng) override;
+  [[nodiscard]] std::unique_ptr<DelayModel> clone() const override;
+
+ private:
+  double floor_, xm_, alpha_;
+};
+
+/// Autocorrelated congestion: a latent log-level follows an AR(1) process
+///   level_{i+1} = rho * level_i + noise,  noise ~ N(0, sigma_step)
+/// and each message's delay is
+///   floor + scale * exp(level) * jitter,  jitter ~ LogNormal(0, jitter_sigma).
+/// With rho near 1 the channel drifts through multi-second slow/fast
+/// regimes — the "bursty traffic" of Section III-A that motivates the
+/// short window: consecutive delays are strongly correlated, so the last
+/// arrival predicts the next far better than a 1000-sample average.
+class ArCongestionDelay final : public DelayModel {
+ public:
+  /// `sigma_level` is the *stationary* stddev of the level; the step
+  /// noise is derived as sigma_level * sqrt(1 - rho^2).
+  ArCongestionDelay(double floor_s, double scale_s, double rho, double sigma_level,
+                    double jitter_sigma);
+  double sample(Xoshiro256& rng) override;
+  [[nodiscard]] std::unique_ptr<DelayModel> clone() const override;
+
+ private:
+  double floor_, scale_, rho_, sigma_step_, jitter_sigma_;
+  double level_ = 0.0;
+};
+
+/// With probability `spike_prob`, draws from `spike`, otherwise from `base`.
+/// Models occasional stalls (e.g. the LAN trace's rare 1.5 s gaps).
+class SpikeMixDelay final : public DelayModel {
+ public:
+  SpikeMixDelay(std::unique_ptr<DelayModel> base, std::unique_ptr<DelayModel> spike,
+                double spike_prob);
+  double sample(Xoshiro256& rng) override;
+  [[nodiscard]] std::unique_ptr<DelayModel> clone() const override;
+
+ private:
+  std::unique_ptr<DelayModel> base_;
+  std::unique_ptr<DelayModel> spike_;
+  double spike_prob_;
+};
+
+}  // namespace twfd::trace

@@ -1,0 +1,77 @@
+#include "trace/generator.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace twfd::trace {
+
+TraceGenerator::TraceGenerator(std::string name, Tick interval, Tick clock_skew,
+                               std::uint64_t seed)
+    : name_(std::move(name)), interval_(interval), clock_skew_(clock_skew), rng_(seed) {
+  TWFD_CHECK(interval > 0);
+}
+
+TraceGenerator& TraceGenerator::add_regime(Regime regime) {
+  TWFD_CHECK(regime.count > 0);
+  TWFD_CHECK(regime.delay != nullptr && regime.loss != nullptr);
+  regimes_.push_back(std::move(regime));
+  return *this;
+}
+
+Trace TraceGenerator::generate() {
+  TWFD_CHECK_MSG(!generated_, "TraceGenerator::generate may be called once");
+  TWFD_CHECK_MSG(!regimes_.empty(), "no regimes configured");
+  generated_ = true;
+
+  std::int64_t total = 0;
+  for (const auto& r : regimes_) total += r.count;
+
+  Trace out(name_, interval_, clock_skew_);
+  out.reserve(static_cast<std::size_t>(total));
+
+  std::int64_t seq = 0;
+  Tick last_arrival = kTickNegInfinity;
+  // Stall end, in sender-clock ticks; messages sent before it are held.
+  Tick stall_until = kTickNegInfinity;
+
+  for (auto& regime : regimes_) {
+    const std::int64_t first_seq = seq + 1;
+    for (std::int64_t k = 0; k < regime.count; ++k) {
+      ++seq;
+      const Tick send = static_cast<Tick>(seq) * interval_;
+
+      if (regime.stall.prob_per_msg > 0.0 && send >= stall_until &&
+          rng_.bernoulli(regime.stall.prob_per_msg)) {
+        const double dur = rng_.uniform(regime.stall.min_s, regime.stall.max_s);
+        stall_until = send + ticks_from_seconds(dur);
+      }
+
+      HeartbeatRecord rec;
+      rec.seq = seq;
+      rec.send_time = send;
+
+      if (regime.loss->lost(rng_)) {
+        rec.lost = true;
+        rec.arrival_time = kTickInfinity;
+      } else {
+        const double delay_s = regime.delay->sample(rng_);
+        // A stalled message leaves the bottleneck when the stall ends and
+        // then experiences its sampled path delay.
+        const Tick depart = std::max(send, stall_until);
+        Tick arrival = depart + clock_skew_ + ticks_from_seconds(delay_s);
+        if (fifo_ && arrival <= last_arrival) {
+          arrival = last_arrival + ticks_from_us(1);
+        }
+        last_arrival = arrival;
+        rec.lost = false;
+        rec.arrival_time = arrival;
+      }
+      out.push(rec);
+    }
+    boundaries_.push_back({regime.label, first_seq, seq});
+  }
+  return out;
+}
+
+}  // namespace twfd::trace

@@ -1,0 +1,30 @@
+#include "trace/heartbeat.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace twfd::trace {
+
+std::vector<std::uint32_t> Trace::delivery_order() const {
+  std::vector<std::uint32_t> idx;
+  idx.reserve(records_.size());
+  for (std::uint32_t i = 0; i < records_.size(); ++i) {
+    if (!records_[i].lost) idx.push_back(i);
+  }
+  std::stable_sort(idx.begin(), idx.end(), [this](std::uint32_t a, std::uint32_t b) {
+    return records_[a].arrival_time < records_[b].arrival_time;
+  });
+  return idx;
+}
+
+Trace Trace::slice(std::int64_t from_seq, std::int64_t to_seq) const {
+  TWFD_CHECK(from_seq <= to_seq);
+  Trace out(name_ + "[" + std::to_string(from_seq) + ":" + std::to_string(to_seq) + "]",
+            interval_, clock_skew_);
+  for (const auto& r : records_) {
+    if (r.seq >= from_seq && r.seq <= to_seq) out.push(r);
+  }
+  return out;
+}
+
+}  // namespace twfd::trace

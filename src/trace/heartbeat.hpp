@@ -1,0 +1,87 @@
+// Heartbeat traces.
+//
+// The paper's entire evaluation replays logged heartbeat arrival times
+// through each detector (Section IV-A). A Trace is the log of one
+// monitored link: every heartbeat p sent, with its send timestamp (p's
+// clock), and either its arrival timestamp (q's clock) or a lost marker.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/time.hpp"
+
+namespace twfd::trace {
+
+/// One heartbeat as the monitor experienced (or failed to experience) it.
+struct HeartbeatRecord {
+  /// 1-based sequence number, strictly increasing with send order.
+  std::int64_t seq = 0;
+  /// Send timestamp on the *sender's* clock.
+  Tick send_time = 0;
+  /// Arrival timestamp on the *receiver's* clock; kTickInfinity when lost.
+  Tick arrival_time = kTickInfinity;
+  /// True when the network dropped the message.
+  bool lost = false;
+};
+
+/// The full heartbeat log of one monitored link, ordered by sequence number.
+class Trace {
+ public:
+  Trace() = default;
+  Trace(std::string name, Tick interval, Tick clock_skew = 0)
+      : name_(std::move(name)), interval_(interval), clock_skew_(clock_skew) {
+    TWFD_CHECK(interval > 0);
+  }
+
+  /// Human-readable scenario name ("wan", "lan", ...).
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  /// The heartbeat inter-send interval Delta_i the sender used.
+  [[nodiscard]] Tick interval() const noexcept { return interval_; }
+  /// receiver_clock = sender_clock + skew (known exactly for synthetic
+  /// traces; the algorithms never rely on it, but the evaluator uses it to
+  /// express send times on the receiver clock when measuring T_D).
+  [[nodiscard]] Tick clock_skew() const noexcept { return clock_skew_; }
+
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return records_.empty(); }
+  [[nodiscard]] const HeartbeatRecord& operator[](std::size_t i) const {
+    return records_[i];
+  }
+  [[nodiscard]] const std::vector<HeartbeatRecord>& records() const noexcept {
+    return records_;
+  }
+
+  void reserve(std::size_t n) { records_.reserve(n); }
+
+  /// Appends a record; seq must exceed the previous record's seq.
+  void push(const HeartbeatRecord& r) {
+    TWFD_CHECK_MSG(records_.empty() || r.seq > records_.back().seq,
+                   "trace seq must be strictly increasing");
+    TWFD_CHECK(r.lost == (r.arrival_time == kTickInfinity));
+    records_.push_back(r);
+  }
+
+  /// Indices of delivered heartbeats sorted by arrival time (the order the
+  /// monitor observes them; UDP may reorder). Ties keep sequence order.
+  [[nodiscard]] std::vector<std::uint32_t> delivery_order() const;
+
+  /// Sub-trace covering records with seq in [from_seq, to_seq] (inclusive),
+  /// used for the Table I subsample analysis.
+  [[nodiscard]] Trace slice(std::int64_t from_seq, std::int64_t to_seq) const;
+
+  /// Send time of record i expressed on the receiver's clock.
+  [[nodiscard]] Tick send_time_receiver_clock(std::size_t i) const {
+    return records_[i].send_time + clock_skew_;
+  }
+
+ private:
+  std::string name_;
+  Tick interval_ = ticks_from_ms(100);
+  Tick clock_skew_ = 0;
+  std::vector<HeartbeatRecord> records_;
+};
+
+}  // namespace twfd::trace

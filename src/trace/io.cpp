@@ -1,0 +1,130 @@
+#include "trace/io.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace twfd::trace {
+namespace {
+
+constexpr char kMagic[8] = {'T', 'W', 'F', 'D', 'T', 'R', 'C', '1'};
+
+void put_u64(std::ostream& os, std::uint64_t v) {
+  std::array<unsigned char, 8> b{};
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+  os.write(reinterpret_cast<const char*>(b.data()), 8);
+}
+
+void put_i64(std::ostream& os, std::int64_t v) {
+  put_u64(os, static_cast<std::uint64_t>(v));
+}
+
+std::uint64_t get_u64(std::istream& is) {
+  std::array<unsigned char, 8> b{};
+  is.read(reinterpret_cast<char*>(b.data()), 8);
+  if (!is) throw std::runtime_error("trace archive truncated");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+  return v;
+}
+
+std::int64_t get_i64(std::istream& is) { return static_cast<std::int64_t>(get_u64(is)); }
+
+}  // namespace
+
+void save_binary(const Trace& trace, std::ostream& os) {
+  os.write(kMagic, sizeof kMagic);
+  put_i64(os, trace.interval());
+  put_i64(os, trace.clock_skew());
+  put_u64(os, trace.name().size());
+  os.write(trace.name().data(), static_cast<std::streamsize>(trace.name().size()));
+  put_u64(os, trace.size());
+  for (const auto& r : trace.records()) {
+    put_i64(os, r.seq);
+    put_i64(os, r.send_time);
+    put_i64(os, r.lost ? 0 : r.arrival_time);
+    os.put(r.lost ? '\1' : '\0');
+  }
+}
+
+void save_binary_file(const Trace& trace, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open for write: " + path);
+  save_binary(trace, f);
+}
+
+Trace load_binary(std::istream& is) {
+  char magic[8];
+  is.read(magic, sizeof magic);
+  if (!is || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    throw std::runtime_error("not a TWFDTRC1 trace archive");
+  }
+  const Tick interval = get_i64(is);
+  const Tick skew = get_i64(is);
+  const std::uint64_t name_len = get_u64(is);
+  if (name_len > 4096) throw std::runtime_error("trace name too long");
+  std::string name(name_len, '\0');
+  is.read(name.data(), static_cast<std::streamsize>(name_len));
+  const std::uint64_t count = get_u64(is);
+  Trace t(name, interval, skew);
+  t.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    HeartbeatRecord r;
+    r.seq = get_i64(is);
+    r.send_time = get_i64(is);
+    const std::int64_t arrival = get_i64(is);
+    const int lost = is.get();
+    if (lost == std::istream::traits_type::eof()) {
+      throw std::runtime_error("trace archive truncated");
+    }
+    r.lost = lost != 0;
+    r.arrival_time = r.lost ? kTickInfinity : arrival;
+    t.push(r);
+  }
+  return t;
+}
+
+Trace load_binary_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open for read: " + path);
+  return load_binary(f);
+}
+
+void save_csv(const Trace& trace, std::ostream& os) {
+  os << "seq,send_ns,arrival_ns,lost\n";
+  for (const auto& r : trace.records()) {
+    os << r.seq << ',' << r.send_time << ',';
+    if (!r.lost) os << r.arrival_time;
+    os << ',' << (r.lost ? 1 : 0) << '\n';
+  }
+}
+
+Trace load_csv(std::istream& is, std::string name, Tick interval, Tick clock_skew) {
+  Trace t(std::move(name), interval, clock_skew);
+  std::string line;
+  if (!std::getline(is, line)) throw std::runtime_error("empty CSV");
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ss(line);
+    std::string cell;
+    HeartbeatRecord r;
+    if (!std::getline(ss, cell, ',')) throw std::runtime_error("bad CSV row");
+    r.seq = std::stoll(cell);
+    if (!std::getline(ss, cell, ',')) throw std::runtime_error("bad CSV row");
+    r.send_time = std::stoll(cell);
+    if (!std::getline(ss, cell, ',')) throw std::runtime_error("bad CSV row");
+    const bool has_arrival = !cell.empty();
+    const std::int64_t arrival = has_arrival ? std::stoll(cell) : 0;
+    if (!std::getline(ss, cell, ',')) throw std::runtime_error("bad CSV row");
+    r.lost = cell == "1";
+    r.arrival_time = r.lost ? kTickInfinity : arrival;
+    t.push(r);
+  }
+  return t;
+}
+
+}  // namespace twfd::trace

@@ -1,0 +1,25 @@
+// Trace persistence: a compact little-endian binary format for replay
+// archives and CSV for interoperability with plotting tools.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/heartbeat.hpp"
+
+namespace twfd::trace {
+
+/// Writes the trace in the TWFDTRC1 binary format.
+void save_binary(const Trace& trace, std::ostream& os);
+void save_binary_file(const Trace& trace, const std::string& path);
+
+/// Reads a TWFDTRC1 archive; throws std::runtime_error on malformed input.
+[[nodiscard]] Trace load_binary(std::istream& is);
+[[nodiscard]] Trace load_binary_file(const std::string& path);
+
+/// CSV with header `seq,send_ns,arrival_ns,lost` (arrival empty when lost).
+void save_csv(const Trace& trace, std::ostream& os);
+[[nodiscard]] Trace load_csv(std::istream& is, std::string name, Tick interval,
+                             Tick clock_skew = 0);
+
+}  // namespace twfd::trace

@@ -1,0 +1,38 @@
+#include "trace/loss_model.hpp"
+
+#include "common/assert.hpp"
+
+namespace twfd::trace {
+
+BernoulliLoss::BernoulliLoss(double p) : p_(p) {
+  TWFD_CHECK(p >= 0.0 && p <= 1.0);
+}
+bool BernoulliLoss::lost(Xoshiro256& rng) { return p_ > 0.0 && rng.bernoulli(p_); }
+std::unique_ptr<LossModel> BernoulliLoss::clone() const {
+  return std::make_unique<BernoulliLoss>(*this);
+}
+
+GilbertElliottLoss::GilbertElliottLoss(double p_good_to_bad, double p_bad_to_good,
+                                       double loss_good, double loss_bad)
+    : p_gb_(p_good_to_bad), p_bg_(p_bad_to_good), loss_good_(loss_good),
+      loss_bad_(loss_bad) {
+  TWFD_CHECK(p_gb_ >= 0 && p_gb_ <= 1 && p_bg_ >= 0 && p_bg_ <= 1);
+  TWFD_CHECK(loss_good_ >= 0 && loss_good_ <= 1 && loss_bad_ >= 0 && loss_bad_ <= 1);
+}
+
+bool GilbertElliottLoss::lost(Xoshiro256& rng) {
+  // State transition first, then the per-message loss draw in that state.
+  if (bad_) {
+    if (rng.bernoulli(p_bg_)) bad_ = false;
+  } else {
+    if (rng.bernoulli(p_gb_)) bad_ = true;
+  }
+  const double p = bad_ ? loss_bad_ : loss_good_;
+  return p > 0.0 && rng.bernoulli(p);
+}
+
+std::unique_ptr<LossModel> GilbertElliottLoss::clone() const {
+  return std::make_unique<GilbertElliottLoss>(*this);
+}
+
+}  // namespace twfd::trace

@@ -1,0 +1,52 @@
+// Message loss models.
+//
+// Bernoulli gives independent loss (Chen's p_L assumption); Gilbert-Elliott
+// gives the correlated bursts that motivate 2W-FD (Section III-A: bursts
+// whose duration exceeds the heartbeat interval break Chen's adaptation).
+#pragma once
+
+#include <memory>
+
+#include "common/rng.hpp"
+
+namespace twfd::trace {
+
+/// Decides, per message in send order, whether the network drops it.
+class LossModel {
+ public:
+  virtual ~LossModel() = default;
+  /// True if the next message is lost. Called once per message, in order.
+  virtual bool lost(Xoshiro256& rng) = 0;
+  [[nodiscard]] virtual std::unique_ptr<LossModel> clone() const = 0;
+};
+
+/// Independent loss with probability p.
+class BernoulliLoss final : public LossModel {
+ public:
+  explicit BernoulliLoss(double p);
+  bool lost(Xoshiro256& rng) override;
+  [[nodiscard]] std::unique_ptr<LossModel> clone() const override;
+
+ private:
+  double p_;
+};
+
+/// Two-state Markov (Gilbert-Elliott) loss: a Good state with loss
+/// probability `loss_good` and a Bad state with `loss_bad`; transitions
+/// happen per message with probabilities `p_good_to_bad` / `p_bad_to_good`.
+/// Expected bad-burst length in messages is 1 / p_bad_to_good.
+class GilbertElliottLoss final : public LossModel {
+ public:
+  GilbertElliottLoss(double p_good_to_bad, double p_bad_to_good, double loss_good,
+                     double loss_bad);
+  bool lost(Xoshiro256& rng) override;
+  [[nodiscard]] std::unique_ptr<LossModel> clone() const override;
+
+  [[nodiscard]] bool in_bad_state() const noexcept { return bad_; }
+
+ private:
+  double p_gb_, p_bg_, loss_good_, loss_bad_;
+  bool bad_ = false;
+};
+
+}  // namespace twfd::trace

@@ -1,0 +1,71 @@
+#include "trace/trace_stats.hpp"
+
+#include <algorithm>
+
+#include "common/stats.hpp"
+
+namespace twfd::trace {
+
+TraceStats compute_stats(const Trace& trace, bool skew_known) {
+  TraceStats s;
+  if (trace.empty()) return s;
+
+  const double skew_s = skew_known ? to_seconds(trace.clock_skew()) : 0.0;
+  RunningStats delay;
+  Tick prev_arrival = kTickNegInfinity;
+  RunningStats gaps;
+  double max_gap = 0.0;
+
+  // Interarrival gaps are measured in delivery order.
+  for (auto i : trace.delivery_order()) {
+    const auto& r = trace[i];
+    delay.add(to_seconds(r.arrival_time - r.send_time) - skew_s);
+    if (prev_arrival != kTickNegInfinity) {
+      const double gap = to_seconds(r.arrival_time - prev_arrival);
+      gaps.add(gap);
+      max_gap = std::max(max_gap, gap);
+    }
+    prev_arrival = r.arrival_time;
+  }
+
+  s.sent = static_cast<std::int64_t>(trace.size());
+  s.delivered = static_cast<std::int64_t>(delay.count());
+  s.loss_probability =
+      s.sent > 0 ? static_cast<double>(s.sent - s.delivered) / static_cast<double>(s.sent)
+                 : 0.0;
+  s.delay_mean_s = delay.mean();
+  s.delay_variance_s2 = delay.variance();
+  s.delay_stddev_s = delay.stddev();
+  s.delay_min_s = delay.count() ? delay.min() : 0.0;
+  s.delay_max_s = delay.count() ? delay.max() : 0.0;
+  s.interarrival_mean_s = gaps.mean();
+  s.interarrival_max_s = max_gap;
+  s.duration_s =
+      to_seconds(trace[trace.size() - 1].send_time - trace[0].send_time);
+  return s;
+}
+
+void NetworkEstimator::on_heartbeat(std::int64_t seq, Tick send_time,
+                                    Tick arrival_time) {
+  highest_seq_ = std::max(highest_seq_, seq);
+  ++received_;
+  const double d = to_seconds(arrival_time - send_time);
+  ++n_;
+  const double delta = d - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (d - mean_);
+}
+
+double NetworkEstimator::loss_probability() const noexcept {
+  if (highest_seq_ <= 0) return 0.0;
+  const auto missing = static_cast<double>(highest_seq_ - received_);
+  return missing > 0 ? missing / static_cast<double>(highest_seq_) : 0.0;
+}
+
+double NetworkEstimator::delay_variance_s2() const noexcept {
+  return n_ >= 2 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+void NetworkEstimator::reset() { *this = NetworkEstimator{}; }
+
+}  // namespace twfd::trace

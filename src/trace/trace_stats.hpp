@@ -1,0 +1,63 @@
+// Trace statistics: the network-behaviour inputs of Chen's configuration
+// procedure (Section V-A1: loss probability p_L and delay variance V(D))
+// plus descriptive statistics used by the benches and examples.
+//
+// As the paper notes, V(D) is estimated from the variance of (arrival -
+// send) across messages: an unknown constant clock skew shifts every
+// sample equally and cancels out of the variance.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.hpp"
+#include "trace/heartbeat.hpp"
+
+namespace twfd::trace {
+
+struct TraceStats {
+  std::int64_t sent = 0;        ///< heartbeats the sender emitted
+  std::int64_t delivered = 0;   ///< heartbeats the monitor received
+  double loss_probability = 0;  ///< p_L estimate
+  double delay_mean_s = 0;      ///< mean of (arrival - send) minus skew, s
+  double delay_variance_s2 = 0; ///< V(D) estimate, s^2 (skew-invariant)
+  double delay_stddev_s = 0;
+  double delay_min_s = 0;
+  double delay_max_s = 0;
+  double interarrival_mean_s = 0;    ///< between consecutive deliveries
+  double interarrival_max_s = 0;
+  double duration_s = 0;  ///< send-span of the trace
+};
+
+/// Computes the statistics above over the whole trace. `skew_known`
+/// controls whether delay_mean/min/max are reported skew-corrected (true
+/// for synthetic traces) or raw (what a real monitor without synchronised
+/// clocks would see).
+[[nodiscard]] TraceStats compute_stats(const Trace& trace, bool skew_known = true);
+
+/// Incremental estimator of p_L and V(D) that a live monitor can maintain
+/// from the heartbeats it receives, exactly as Section V-A1 prescribes.
+class NetworkEstimator {
+ public:
+  /// Feed one delivered heartbeat: sender timestamp (sender clock) and
+  /// arrival (receiver clock).
+  void on_heartbeat(std::int64_t seq, Tick send_time, Tick arrival_time);
+
+  /// p_L: missing / highest sequence seen.
+  [[nodiscard]] double loss_probability() const noexcept;
+  /// V(D) in seconds^2 (skew-invariant).
+  [[nodiscard]] double delay_variance_s2() const noexcept;
+  [[nodiscard]] std::int64_t highest_seq() const noexcept { return highest_seq_; }
+  [[nodiscard]] std::int64_t received() const noexcept { return received_; }
+
+  void reset();
+
+ private:
+  std::int64_t highest_seq_ = 0;
+  std::int64_t received_ = 0;
+  // Welford over (arrival - send) in seconds.
+  std::int64_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+};
+
+}  // namespace twfd::trace

@@ -1,0 +1,92 @@
+#include "common/math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace twfd {
+namespace {
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(normal_cdf(1.0), 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(normal_cdf(-1.0), 0.15865525393145705, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.959963984540054), 0.975, 1e-12);
+}
+
+TEST(NormalTail, ComplementsCdf) {
+  for (double z : {-3.0, -1.0, 0.0, 0.5, 2.0, 4.0}) {
+    EXPECT_NEAR(normal_tail(z) + normal_cdf(z), 1.0, 1e-14) << z;
+  }
+}
+
+TEST(NormalTail, AccurateFarInTail) {
+  // Q(6) ~ 9.8659e-10; the erfc-based form must not lose it to rounding.
+  EXPECT_NEAR(normal_tail(6.0) / 9.865876450377018e-10, 1.0, 1e-9);
+}
+
+TEST(NormalQuantile, InvertsCdf) {
+  for (double p : {1e-9, 1e-4, 0.025, 0.5, 0.8413447460685429, 0.975, 1.0 - 1e-9}) {
+    const double z = normal_quantile(p);
+    EXPECT_NEAR(normal_cdf(z), p, 1e-12) << "p=" << p;
+  }
+}
+
+TEST(NormalQuantile, KnownQuantiles) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959963984540054, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.9), 1.2815515655446004, 1e-9);
+}
+
+TEST(NormalQuantile, DomainChecked) {
+  EXPECT_THROW(normal_quantile(0.0), std::logic_error);
+  EXPECT_THROW(normal_quantile(1.0), std::logic_error);
+  EXPECT_THROW(normal_quantile(-0.1), std::logic_error);
+}
+
+TEST(NormalTailMuSigma, ShiftsAndScales) {
+  EXPECT_NEAR(normal_tail_mu_sigma(10.0, 10.0, 2.0), 0.5, 1e-14);
+  EXPECT_NEAR(normal_tail_mu_sigma(12.0, 10.0, 2.0), normal_tail(1.0), 1e-14);
+  EXPECT_THROW(normal_tail_mu_sigma(0.0, 0.0, 0.0), std::logic_error);
+}
+
+TEST(Bisect, FindsRoot) {
+  const double r = bisect([](double x) { return x * x - 2.0; }, 0.0, 2.0);
+  EXPECT_NEAR(r, std::sqrt(2.0), 1e-12);
+}
+
+TEST(Bisect, EndpointRoot) {
+  EXPECT_DOUBLE_EQ(bisect([](double x) { return x; }, 0.0, 1.0), 0.0);
+}
+
+TEST(Bisect, RequiresSignChange) {
+  EXPECT_THROW(bisect([](double x) { return x * x + 1.0; }, -1.0, 1.0),
+               std::logic_error);
+}
+
+TEST(LargestSatisfying, MonotonePredicate) {
+  // pred: x <= 0.7320508...
+  const double x =
+      largest_satisfying([](double v) { return v * v <= 0.5359; }, 0.0, 2.0);
+  EXPECT_NEAR(x, std::sqrt(0.5359), 1e-9);
+}
+
+TEST(LargestSatisfying, AllTrueReturnsHi) {
+  EXPECT_DOUBLE_EQ(largest_satisfying([](double) { return true; }, 1.0, 5.0), 5.0);
+}
+
+TEST(LargestSatisfying, NoneTrueReturnsLo) {
+  EXPECT_DOUBLE_EQ(largest_satisfying([](double) { return false; }, 1.0, 5.0), 1.0);
+}
+
+TEST(LargestSatisfying, SurvivesNonMonotoneKinks) {
+  // True on [0, 1] except a false notch at (0.4, 0.45); the coarse scan
+  // must still land on the last satisfying region near 1.
+  auto pred = [](double v) { return v <= 1.0 && !(v > 0.4 && v < 0.45); };
+  const double x = largest_satisfying(pred, 0.0, 2.0, 400, 60);
+  EXPECT_NEAR(x, 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace twfd

@@ -1,0 +1,106 @@
+#include "common/quantile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace twfd {
+namespace {
+
+double exact_quantile(std::vector<double> xs, double q) {
+  std::sort(xs.begin(), xs.end());
+  const auto idx = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(xs.size()))) - 1;
+  return xs[std::min(idx, xs.size() - 1)];
+}
+
+TEST(P2Quantile, DomainChecked) {
+  EXPECT_THROW(P2Quantile(0.0), std::logic_error);
+  EXPECT_THROW(P2Quantile(1.0), std::logic_error);
+}
+
+TEST(P2Quantile, EmptyReturnsZero) {
+  P2Quantile q(0.5);
+  EXPECT_DOUBLE_EQ(q.value(), 0.0);
+  EXPECT_EQ(q.count(), 0u);
+}
+
+TEST(P2Quantile, SmallSamplesExact) {
+  P2Quantile median(0.5);
+  median.add(5.0);
+  EXPECT_DOUBLE_EQ(median.value(), 5.0);
+  median.add(1.0);
+  median.add(9.0);
+  // {1,5,9}: nearest-rank median is 5.
+  EXPECT_DOUBLE_EQ(median.value(), 5.0);
+}
+
+TEST(P2Quantile, MedianOfUniform) {
+  P2Quantile median(0.5);
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 100'000; ++i) median.add(rng.uniform(0.0, 10.0));
+  EXPECT_NEAR(median.value(), 5.0, 0.1);
+}
+
+TEST(P2Quantile, TailOfNormal) {
+  P2Quantile p99(0.99);
+  Xoshiro256 rng(2);
+  std::vector<double> xs;
+  for (int i = 0; i < 200'000; ++i) {
+    const double x = rng.normal(0.0, 1.0);
+    xs.push_back(x);
+    p99.add(x);
+  }
+  const double exact = exact_quantile(xs, 0.99);
+  EXPECT_NEAR(p99.value(), exact, 0.05);
+  EXPECT_NEAR(p99.value(), 2.326, 0.08);  // true z_{0.99}
+}
+
+TEST(P2Quantile, HeavyTailExponential) {
+  P2Quantile p95(0.95);
+  Xoshiro256 rng(3);
+  std::vector<double> xs;
+  for (int i = 0; i < 100'000; ++i) {
+    const double x = rng.exponential(2.0);
+    xs.push_back(x);
+    p95.add(x);
+  }
+  // Exp(mean 2) p95 = 2 * ln(20) ~ 5.99.
+  EXPECT_NEAR(p95.value(), exact_quantile(xs, 0.95), 0.25);
+  EXPECT_NEAR(p95.value(), 5.99, 0.3);
+}
+
+TEST(P2Quantile, MonotoneAcrossQuantiles) {
+  P2Quantile p50(0.5), p90(0.9), p99(0.99);
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 50'000; ++i) {
+    const double x = rng.lognormal(0.0, 1.0);
+    p50.add(x);
+    p90.add(x);
+    p99.add(x);
+  }
+  EXPECT_LT(p50.value(), p90.value());
+  EXPECT_LT(p90.value(), p99.value());
+}
+
+TEST(P2Quantile, ConstantStream) {
+  P2Quantile q(0.9);
+  for (int i = 0; i < 1000; ++i) q.add(7.0);
+  EXPECT_DOUBLE_EQ(q.value(), 7.0);
+}
+
+TEST(P2Quantile, SortedAndReversedStreamsAgree) {
+  P2Quantile asc(0.9), desc(0.9);
+  for (int i = 0; i < 10'000; ++i) asc.add(i);
+  for (int i = 9'999; i >= 0; --i) desc.add(i);
+  EXPECT_NEAR(asc.value(), 9'000.0, 150.0);
+  EXPECT_NEAR(desc.value(), 9'000.0, 150.0);
+}
+
+}  // namespace
+}  // namespace twfd

@@ -1,0 +1,98 @@
+#include "common/ring_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace twfd {
+namespace {
+
+TEST(RingBuffer, StartsEmpty) {
+  RingBuffer<int> rb(4);
+  EXPECT_TRUE(rb.empty());
+  EXPECT_FALSE(rb.full());
+  EXPECT_EQ(rb.size(), 0u);
+  EXPECT_EQ(rb.capacity(), 4u);
+}
+
+TEST(RingBuffer, RejectsZeroCapacity) {
+  EXPECT_THROW(RingBuffer<int>(0), std::logic_error);
+}
+
+TEST(RingBuffer, PushUntilFull) {
+  RingBuffer<int> rb(3);
+  rb.push(1);
+  rb.push(2);
+  EXPECT_EQ(rb.size(), 2u);
+  EXPECT_FALSE(rb.full());
+  rb.push(3);
+  EXPECT_TRUE(rb.full());
+  EXPECT_EQ(rb.oldest(), 1);
+  EXPECT_EQ(rb.newest(), 3);
+}
+
+TEST(RingBuffer, EvictsOldest) {
+  RingBuffer<int> rb(3);
+  for (int i = 1; i <= 3; ++i) rb.push(i);
+  int evicted = 0;
+  EXPECT_TRUE(rb.push_evict(4, evicted));
+  EXPECT_EQ(evicted, 1);
+  EXPECT_EQ(rb.oldest(), 2);
+  EXPECT_EQ(rb.newest(), 4);
+  EXPECT_EQ(rb.size(), 3u);
+}
+
+TEST(RingBuffer, NoEvictionWhenNotFull) {
+  RingBuffer<int> rb(3);
+  int evicted = -1;
+  EXPECT_FALSE(rb.push_evict(1, evicted));
+  EXPECT_EQ(evicted, -1);
+}
+
+TEST(RingBuffer, IndexedAccessFromBothEnds) {
+  RingBuffer<int> rb(4);
+  for (int i = 10; i < 16; ++i) rb.push(i);  // holds 12,13,14,15
+  EXPECT_EQ(rb.oldest(0), 12);
+  EXPECT_EQ(rb.oldest(3), 15);
+  EXPECT_EQ(rb.newest(0), 15);
+  EXPECT_EQ(rb.newest(3), 12);
+}
+
+TEST(RingBuffer, OutOfRangeAccessThrows) {
+  RingBuffer<int> rb(2);
+  rb.push(1);
+  EXPECT_THROW((void)rb.oldest(1), std::logic_error);
+  EXPECT_THROW((void)rb.newest(1), std::logic_error);
+}
+
+TEST(RingBuffer, CapacityOneBehavesAsLatch) {
+  RingBuffer<int> rb(1);
+  rb.push(7);
+  EXPECT_EQ(rb.newest(), 7);
+  int evicted = 0;
+  EXPECT_TRUE(rb.push_evict(9, evicted));
+  EXPECT_EQ(evicted, 7);
+  EXPECT_EQ(rb.newest(), 9);
+  EXPECT_EQ(rb.oldest(), 9);
+}
+
+TEST(RingBuffer, ClearResets) {
+  RingBuffer<int> rb(3);
+  rb.push(1);
+  rb.push(2);
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  rb.push(5);
+  EXPECT_EQ(rb.oldest(), 5);
+}
+
+TEST(RingBuffer, LongWrapAroundKeepsOrder) {
+  RingBuffer<int> rb(5);
+  for (int i = 0; i < 1000; ++i) rb.push(i);
+  for (std::size_t k = 0; k < 5; ++k) {
+    EXPECT_EQ(rb.oldest(k), 995 + static_cast<int>(k));
+  }
+}
+
+}  // namespace
+}  // namespace twfd

@@ -1,0 +1,100 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace twfd {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Xoshiro256 a(99), b(99);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01OpenLeftNeverZero) {
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 10'000; ++i) {
+    ASSERT_GT(rng.uniform01_open_left(), 0.0);
+    ASSERT_LE(rng.uniform01_open_left(), 1.0);
+  }
+}
+
+TEST(Rng, UniformIntBounds) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 10'000; ++i) {
+    ASSERT_LT(rng.uniform_int(7), 7u);
+  }
+}
+
+TEST(Rng, UniformIntCoversAllResidues) {
+  Xoshiro256 rng(6);
+  int counts[5] = {};
+  for (int i = 0; i < 50'000; ++i) ++counts[rng.uniform_int(5)];
+  for (int c : counts) EXPECT_NEAR(c, 10'000, 600);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Xoshiro256 rng(7);
+  RunningStats s;
+  for (int i = 0; i < 200'000; ++i) s.add(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(s.mean(), 5.0, 0.02);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.02);
+}
+
+TEST(Rng, ExponentialMomentsMatch) {
+  Xoshiro256 rng(8);
+  RunningStats s;
+  for (int i = 0; i < 200'000; ++i) s.add(rng.exponential(0.5));
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+  EXPECT_NEAR(s.stddev(), 0.5, 0.01);  // exp: stddev == mean
+  EXPECT_GE(s.min(), 0.0);
+}
+
+TEST(Rng, LognormalMedianMatches) {
+  Xoshiro256 rng(9);
+  std::vector<double> xs;
+  for (int i = 0; i < 50'001; ++i) xs.push_back(rng.lognormal(std::log(0.01), 0.5));
+  std::nth_element(xs.begin(), xs.begin() + 25'000, xs.end());
+  EXPECT_NEAR(xs[25'000], 0.01, 0.0005);  // median = e^mu
+}
+
+TEST(Rng, ParetoSupportAndTail) {
+  Xoshiro256 rng(10);
+  RunningStats s;
+  for (int i = 0; i < 100'000; ++i) s.add(rng.pareto(1.0, 3.0));
+  EXPECT_GE(s.min(), 1.0);
+  EXPECT_NEAR(s.mean(), 1.5, 0.02);  // alpha/(alpha-1) * xm
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Xoshiro256 rng(11);
+  int hits = 0;
+  for (int i = 0; i < 100'000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits, 30'000, 500);
+}
+
+}  // namespace
+}  // namespace twfd

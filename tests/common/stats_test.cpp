@@ -1,0 +1,131 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace twfd {
+namespace {
+
+TEST(RunningStats, EmptyIsSane) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
+}
+
+TEST(RunningStats, KnownValues) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 4.0, 1e-12);  // classic population-variance example
+  EXPECT_NEAR(s.sample_variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, MatchesNaiveOnRandomStream) {
+  Xoshiro256 rng(7);
+  RunningStats s;
+  std::vector<double> xs;
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = rng.normal(10.0, 3.0);
+    xs.push_back(x);
+    s.add(x);
+  }
+  double mean = 0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double var = 0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size());
+  EXPECT_NEAR(s.mean(), mean, 1e-9);
+  EXPECT_NEAR(s.variance(), var, 1e-7);
+}
+
+TEST(RunningStats, ResetClears) {
+  RunningStats s;
+  s.add(1.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(WindowedStats, WindowEviction) {
+  WindowedStats w(3);
+  w.add(1.0);
+  w.add(2.0);
+  w.add(3.0);
+  EXPECT_DOUBLE_EQ(w.mean(), 2.0);
+  w.add(4.0);  // evicts 1.0 -> {2,3,4}
+  EXPECT_DOUBLE_EQ(w.mean(), 3.0);
+  EXPECT_EQ(w.count(), 3u);
+  EXPECT_TRUE(w.full());
+}
+
+TEST(WindowedStats, VarianceMatchesDirectComputation) {
+  WindowedStats w(4);
+  for (double x : {10.0, 20.0, 30.0, 40.0, 50.0}) w.add(x);
+  // Window now holds {20,30,40,50}: mean 35, population var 125.
+  EXPECT_DOUBLE_EQ(w.mean(), 35.0);
+  EXPECT_NEAR(w.variance(), 125.0, 1e-9);
+  EXPECT_NEAR(w.stddev(), std::sqrt(125.0), 1e-9);
+}
+
+TEST(WindowedStats, VarianceNonNegativeUnderCancellation) {
+  // Large offset + tiny jitter stresses the sum-of-squares formulation.
+  WindowedStats w(100);
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 1000; ++i) w.add(1e9 + rng.uniform(0.0, 1e-3));
+  EXPECT_GE(w.variance(), 0.0);
+  EXPECT_NEAR(w.mean(), 1e9, 1e-2);
+}
+
+TEST(WindowedStats, SizeOneWindowTracksLatest) {
+  WindowedStats w(1);
+  w.add(5.0);
+  w.add(9.0);
+  EXPECT_DOUBLE_EQ(w.mean(), 9.0);
+  EXPECT_DOUBLE_EQ(w.variance(), 0.0);
+  EXPECT_EQ(w.count(), 1u);
+}
+
+TEST(WindowedStats, SlidingMatchesNaiveOnRandomStream) {
+  Xoshiro256 rng(13);
+  WindowedStats w(50);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.exponential(2.0);
+    xs.push_back(x);
+    w.add(x);
+    const std::size_t n = std::min<std::size_t>(50, xs.size());
+    double mean = 0;
+    for (std::size_t k = xs.size() - n; k < xs.size(); ++k) mean += xs[k];
+    mean /= static_cast<double>(n);
+    ASSERT_NEAR(w.mean(), mean, 1e-9) << "at sample " << i;
+  }
+}
+
+TEST(WindowedStats, ClearEmptiesState) {
+  WindowedStats w(3);
+  w.add(1.0);
+  w.clear();
+  EXPECT_EQ(w.count(), 0u);
+  EXPECT_DOUBLE_EQ(w.sum(), 0.0);
+}
+
+}  // namespace
+}  // namespace twfd

@@ -1,0 +1,54 @@
+#include "common/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace twfd {
+namespace {
+
+TEST(Time, ConversionRoundTrips) {
+  EXPECT_EQ(ticks_from_ms(215), 215'000'000);
+  EXPECT_EQ(ticks_from_us(100), 100'000);
+  EXPECT_EQ(ticks_from_sec(2), 2'000'000'000);
+  EXPECT_DOUBLE_EQ(to_seconds(ticks_from_sec(3)), 3.0);
+  EXPECT_DOUBLE_EQ(to_millis(ticks_from_ms(215)), 215.0);
+  EXPECT_DOUBLE_EQ(to_micros(ticks_from_us(7)), 7.0);
+}
+
+TEST(Time, TicksFromSecondsRounds) {
+  EXPECT_EQ(ticks_from_seconds(1.0), 1'000'000'000);
+  EXPECT_EQ(ticks_from_seconds(0.1), 100'000'000);
+  EXPECT_EQ(ticks_from_seconds(1e-9), 1);
+  EXPECT_EQ(ticks_from_seconds(1.4e-9), 1);
+  EXPECT_EQ(ticks_from_seconds(1.6e-9), 2);
+  EXPECT_EQ(ticks_from_seconds(-1.6e-9), -2);
+  EXPECT_EQ(ticks_from_seconds(0.0), 0);
+}
+
+TEST(Time, SaturatingAdd) {
+  EXPECT_EQ(tick_add_sat(1, 2), 3);
+  EXPECT_EQ(tick_add_sat(kTickInfinity, 5), kTickInfinity);
+  EXPECT_EQ(tick_add_sat(5, kTickInfinity), kTickInfinity);
+  EXPECT_EQ(tick_add_sat(kTickInfinity - 1, 10), kTickInfinity);
+  EXPECT_EQ(tick_add_sat(kTickNegInfinity + 1, -10), kTickNegInfinity);
+  EXPECT_EQ(tick_add_sat(-5, 3), -2);
+}
+
+TEST(Time, FormatTicks) {
+  EXPECT_EQ(format_ticks(kTickInfinity), "inf");
+  EXPECT_EQ(format_ticks(kTickNegInfinity), "-inf");
+  EXPECT_EQ(format_ticks(500), "500ns");
+  EXPECT_EQ(format_ticks(ticks_from_ms(215)), "215.000ms");
+  EXPECT_EQ(format_ticks(ticks_from_sec(2)), "2.000s");
+  EXPECT_EQ(format_ticks(ticks_from_us(12)), "12.000us");
+}
+
+TEST(Time, SteadyClockMonotone) {
+  SteadyClock clock;
+  const Tick a = clock.now();
+  const Tick b = clock.now();
+  EXPECT_LE(a, b);
+  EXPECT_GT(a, 0);
+}
+
+}  // namespace
+}  // namespace twfd

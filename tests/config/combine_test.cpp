@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "config/qos_config.hpp"
+
+namespace twfd::config {
+namespace {
+
+const NetworkBehaviour kNet{0.01, 1e-4};
+
+AppRequest app(std::string name, double td, double tmr, double tm) {
+  return {std::move(name), {td, tmr, tm}};
+}
+
+TEST(Combine, SharedIntervalIsMinimum) {
+  std::vector<AppRequest> apps = {
+      app("strict", 0.3, 1e-5, 1.0),
+      app("medium", 1.0, 1e-4, 5.0),
+      app("relaxed", 5.0, 1e-3, 30.0),
+  };
+  const auto c = combine_requirements(apps, kNet);
+  ASSERT_TRUE(c.feasible);
+  double min_di = 1e300;
+  for (const auto& a : c.apps) min_di = std::min(min_di, a.dedicated.interval_s);
+  EXPECT_DOUBLE_EQ(c.shared_interval_s, min_di);
+}
+
+TEST(Combine, DetectionTimePreservedExactly) {
+  std::vector<AppRequest> apps = {
+      app("a", 0.4, 1e-4, 2.0),
+      app("b", 2.0, 1e-3, 8.0),
+  };
+  const auto c = combine_requirements(apps, kNet);
+  ASSERT_TRUE(c.feasible);
+  // Step 3: Delta_to,j = T_D,j - Delta_i,min, so Di_min + Dto,j = T_D,j.
+  for (std::size_t j = 0; j < apps.size(); ++j) {
+    EXPECT_NEAR(c.shared_interval_s + c.apps[j].shared_margin_s,
+                apps[j].qos.td_upper_s, 1e-12);
+  }
+}
+
+TEST(Combine, AdaptedAppsGainMargin) {
+  std::vector<AppRequest> apps = {
+      app("strict", 0.3, 1e-5, 1.0),
+      app("relaxed", 5.0, 1e-3, 30.0),
+  };
+  const auto c = combine_requirements(apps, kNet);
+  ASSERT_TRUE(c.feasible);
+  // The relaxed app's shared margin must exceed its dedicated margin
+  // (Section V-C: adapted apps get improved QoS).
+  const auto& relaxed = c.apps[1];
+  EXPECT_GT(relaxed.shared_margin_s, relaxed.dedicated.margin_s);
+  // The strict app is the one defining Delta_i,min: its margin unchanged.
+  const auto& strict = c.apps[0];
+  EXPECT_NEAR(strict.shared_margin_s, strict.dedicated.margin_s, 1e-9);
+}
+
+TEST(Combine, AdaptedAppsPredictedRateImproves) {
+  std::vector<AppRequest> apps = {
+      app("strict", 0.3, 1e-5, 1.0),
+      app("relaxed", 5.0, 1e-3, 30.0),
+  };
+  const auto c = combine_requirements(apps, kNet);
+  ASSERT_TRUE(c.feasible);
+  const auto& relaxed = c.apps[1];
+  const double dedicated_rate =
+      estimated_mistake_rate(relaxed.dedicated.interval_s, 5.0, kNet);
+  const double shared_rate = estimated_mistake_rate(c.shared_interval_s, 5.0, kNet);
+  EXPECT_LT(shared_rate, dedicated_rate);
+}
+
+TEST(Combine, NetworkLoadReduced) {
+  std::vector<AppRequest> apps = {
+      app("a", 0.5, 1e-4, 2.0),
+      app("b", 1.0, 1e-4, 4.0),
+      app("c", 2.0, 1e-4, 8.0),
+      app("d", 4.0, 1e-4, 16.0),
+  };
+  const auto c = combine_requirements(apps, kNet);
+  ASSERT_TRUE(c.feasible);
+  EXPECT_LT(c.shared_msgs_per_s, c.dedicated_msgs_per_s);
+  // Shared load equals the strictest app's dedicated load.
+  EXPECT_NEAR(c.shared_msgs_per_s, 1.0 / c.shared_interval_s, 1e-12);
+}
+
+TEST(Combine, SingleAppIsIdentity) {
+  std::vector<AppRequest> apps = {app("only", 1.0, 1e-4, 5.0)};
+  const auto c = combine_requirements(apps, kNet);
+  ASSERT_TRUE(c.feasible);
+  EXPECT_DOUBLE_EQ(c.shared_interval_s, c.apps[0].dedicated.interval_s);
+  EXPECT_NEAR(c.apps[0].shared_margin_s, c.apps[0].dedicated.margin_s, 1e-12);
+  EXPECT_NEAR(c.shared_msgs_per_s, c.dedicated_msgs_per_s, 1e-12);
+}
+
+TEST(Combine, IdenticalAppsShareEverything) {
+  std::vector<AppRequest> apps = {app("x", 1.0, 1e-4, 5.0),
+                                  app("y", 1.0, 1e-4, 5.0)};
+  const auto c = combine_requirements(apps, kNet);
+  ASSERT_TRUE(c.feasible);
+  // Dedicated load is double the shared load: the headline saving.
+  EXPECT_NEAR(c.dedicated_msgs_per_s, 2.0 * c.shared_msgs_per_s, 1e-9);
+}
+
+TEST(Combine, EmptyThrows) {
+  std::vector<AppRequest> none;
+  EXPECT_THROW((void)combine_requirements(none, kNet), std::logic_error);
+}
+
+TEST(Combine, PreservesAppOrderAndNames) {
+  std::vector<AppRequest> apps = {app("first", 1.0, 1e-4, 5.0),
+                                  app("second", 2.0, 1e-4, 5.0)};
+  const auto c = combine_requirements(apps, kNet);
+  ASSERT_EQ(c.apps.size(), 2u);
+  EXPECT_EQ(c.apps[0].name, "first");
+  EXPECT_EQ(c.apps[1].name, "second");
+}
+
+}  // namespace
+}  // namespace twfd::config

@@ -1,0 +1,109 @@
+// Property fuzz over the configuration procedure: random (but valid) QoS
+// tuples and network behaviours must always yield configurations that
+// respect the procedure's own invariants.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "config/qos_config.hpp"
+
+namespace twfd::config {
+namespace {
+
+TEST(ConfigFuzz, InvariantsHoldOverRandomInputs) {
+  Xoshiro256 rng(2024);
+  int feasible_count = 0;
+  for (int i = 0; i < 2000; ++i) {
+    QosRequirements qos;
+    qos.td_upper_s = rng.uniform(0.05, 10.0);
+    qos.tmr_upper_per_s = std::pow(10.0, rng.uniform(-8.0, 0.0));
+    qos.tm_upper_s = rng.uniform(0.01, 30.0);
+    NetworkBehaviour net;
+    net.loss_probability = rng.uniform(0.0, 0.5);
+    net.delay_variance_s2 = std::pow(10.0, rng.uniform(-8.0, -1.0));
+
+    const auto cfg = chen_configure(qos, net);
+    if (!cfg.feasible) continue;
+    ++feasible_count;
+
+    // Step 3: the split is exact.
+    ASSERT_NEAR(cfg.interval_s + cfg.margin_s, qos.td_upper_s, 1e-9);
+    ASSERT_GT(cfg.interval_s, 0.0);
+    ASSERT_GE(cfg.margin_s, -1e-12);
+
+    // Step 2: the predicted rate respects the bound.
+    ASSERT_LE(cfg.predicted_mistake_rate_per_s,
+              qos.tmr_upper_per_s * (1 + 1e-6));
+    ASSERT_NEAR(cfg.predicted_mistake_rate_per_s,
+                estimated_mistake_rate(cfg.interval_s, qos.td_upper_s, net),
+                1e-12);
+
+    // Step 1: the mistake-duration cap.
+    const double tm2 = qos.tm_upper_s * qos.tm_upper_s;
+    const double gamma_prime =
+        (1.0 - net.loss_probability) * tm2 / (net.delay_variance_s2 + tm2);
+    ASSERT_LE(cfg.interval_s, gamma_prime * qos.tm_upper_s + 1e-9);
+  }
+  // The procedure is nearly always satisfiable (Chen: "such Delta_i
+  // always exists") — feasibility failures only from bracket exhaustion.
+  EXPECT_GT(feasible_count, 1900);
+}
+
+TEST(ConfigFuzz, CombineInvariantsHoldOverRandomApps) {
+  Xoshiro256 rng(2025);
+  for (int round = 0; round < 300; ++round) {
+    NetworkBehaviour net;
+    net.loss_probability = rng.uniform(0.0, 0.2);
+    net.delay_variance_s2 = std::pow(10.0, rng.uniform(-7.0, -2.0));
+
+    const std::size_t n = 1 + rng.uniform_int(5);
+    std::vector<AppRequest> apps;
+    for (std::size_t j = 0; j < n; ++j) {
+      apps.push_back({"app" + std::to_string(j),
+                      {rng.uniform(0.2, 6.0), std::pow(10.0, rng.uniform(-6.0, -1.0)),
+                       rng.uniform(0.5, 20.0)}});
+    }
+    const auto c = combine_requirements(apps, net);
+    if (!c.feasible) continue;
+
+    double min_dedicated = 1e300;
+    double dedicated_load = 0.0;
+    for (const auto& a : c.apps) {
+      min_dedicated = std::min(min_dedicated, a.dedicated.interval_s);
+      dedicated_load += 1.0 / a.dedicated.interval_s;
+    }
+    // Step 2: shared interval is exactly the minimum.
+    ASSERT_DOUBLE_EQ(c.shared_interval_s, min_dedicated);
+    // Step 3: detection times preserved; margins never shrink.
+    for (std::size_t j = 0; j < n; ++j) {
+      ASSERT_NEAR(c.shared_interval_s + c.apps[j].shared_margin_s,
+                  apps[j].qos.td_upper_s, 1e-9);
+      ASSERT_GE(c.apps[j].shared_margin_s, c.apps[j].dedicated.margin_s - 1e-9);
+      // Adapted apps' predicted rate improves (more heartbeats per
+      // detection window at the same T_D^U). The bound's ceil-kinks make
+      // this locally non-monotone, so require strict improvement only
+      // when the interval clearly shrank, and never more than a small
+      // factor of regression otherwise.
+      const double ded_rate = estimated_mistake_rate(
+          c.apps[j].dedicated.interval_s, apps[j].qos.td_upper_s, net);
+      const double shr_rate = estimated_mistake_rate(
+          c.shared_interval_s, apps[j].qos.td_upper_s, net);
+      if (c.shared_interval_s < 0.5 * c.apps[j].dedicated.interval_s) {
+        ASSERT_LE(shr_rate, ded_rate * (1 + 1e-9) + 1e-15);
+      } else {
+        ASSERT_LE(shr_rate, ded_rate * 2.5 + 1e-12);
+      }
+    }
+    // Load accounting.
+    ASSERT_NEAR(c.dedicated_msgs_per_s, dedicated_load, 1e-9);
+    ASSERT_NEAR(c.shared_msgs_per_s, 1.0 / c.shared_interval_s, 1e-9);
+    ASSERT_LE(c.shared_msgs_per_s, c.dedicated_msgs_per_s + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace twfd::config

@@ -1,0 +1,185 @@
+#include "config/qos_config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace twfd::config {
+namespace {
+
+const NetworkBehaviour kTypicalNet{0.01, 1e-4};  // 1% loss, 10ms stddev
+
+QosRequirements qos(double td, double tmr, double tm) {
+  return {td, tmr, tm};
+}
+
+TEST(EstimatedMistakeRate, DecreasesWithSmallerInterval) {
+  // More heartbeats per detection window -> each deadline has more
+  // chances to be met -> lower mistake rate.
+  const double slow = estimated_mistake_rate(1.0, 1.0, kTypicalNet);
+  const double medium = estimated_mistake_rate(0.3, 1.0, kTypicalNet);
+  const double fast = estimated_mistake_rate(0.1, 1.0, kTypicalNet);
+  EXPECT_GT(slow, medium);
+  EXPECT_GT(medium, fast);
+}
+
+TEST(EstimatedMistakeRate, DecreasesWithLargerDetectionTime) {
+  const double tight = estimated_mistake_rate(0.1, 0.2, kTypicalNet);
+  const double loose = estimated_mistake_rate(0.1, 1.0, kTypicalNet);
+  EXPECT_GT(tight, loose);
+}
+
+TEST(EstimatedMistakeRate, GrowsWithLossAndVariance) {
+  const double base = estimated_mistake_rate(0.1, 0.5, {0.01, 1e-4});
+  const double lossy = estimated_mistake_rate(0.1, 0.5, {0.20, 1e-4});
+  const double noisy = estimated_mistake_rate(0.1, 0.5, {0.01, 1e-2});
+  EXPECT_GT(lossy, base);
+  EXPECT_GT(noisy, base);
+}
+
+TEST(EstimatedMistakeRate, SingleOpportunityClosedForm) {
+  // Delta_i = T_D / 2: only heartbeat m_{l+1} (slack T_D/2) can prevent a
+  // mistake: rate = (pL + (1-pL) * V/(V+(T_D/2)^2)) / Delta_i.
+  const NetworkBehaviour net{0.1, 1e-4};
+  const double td = 0.5;
+  const double di = 0.25;
+  const double expected = (0.1 + 0.9 * (1e-4 / (1e-4 + di * di))) / di;
+  EXPECT_NEAR(estimated_mistake_rate(di, td, net), expected, 1e-12);
+}
+
+TEST(EstimatedMistakeRate, NoOpportunityMeansCertainMistakes) {
+  // Delta_i >= T_D^U: the next heartbeat cannot beat any freshness
+  // deadline, so every interval produces a mistake.
+  const NetworkBehaviour net{0.01, 1e-4};
+  EXPECT_NEAR(estimated_mistake_rate(1.0, 1.0, net), 1.0, 1e-12);
+  EXPECT_NEAR(estimated_mistake_rate(2.0, 1.0, net), 0.5, 1e-12);
+}
+
+TEST(ChenConfigure, ProducesFeasibleSplit) {
+  const auto cfg = chen_configure(qos(1.0, 1e-4, 10.0), kTypicalNet);
+  ASSERT_TRUE(cfg.feasible);
+  EXPECT_GT(cfg.interval_s, 0.0);
+  EXPECT_GT(cfg.margin_s, 0.0);
+  EXPECT_NEAR(cfg.interval_s + cfg.margin_s, 1.0, 1e-9);  // T_D = Di + Dto
+  EXPECT_LE(cfg.predicted_mistake_rate_per_s, 1e-4 * (1 + 1e-9));
+}
+
+TEST(ChenConfigure, IntervalMaximised) {
+  // A slightly smaller interval must also satisfy the bound (sanity that
+  // we returned the largest), and a noticeably larger one must violate it
+  // unless already at the Step-1 cap.
+  const QosRequirements q = qos(1.0, 1e-4, 10.0);
+  const auto cfg = chen_configure(q, kTypicalNet);
+  ASSERT_TRUE(cfg.feasible);
+  EXPECT_LE(estimated_mistake_rate(cfg.interval_s * 0.98, q.td_upper_s, kTypicalNet),
+            q.tmr_upper_per_s * 1.0001);
+}
+
+TEST(ChenConfigure, StricterMistakeRateShrinksInterval) {
+  const auto loose = chen_configure(qos(1.0, 1e-2, 10.0), kTypicalNet);
+  const auto strict = chen_configure(qos(1.0, 1e-7, 10.0), kTypicalNet);
+  ASSERT_TRUE(loose.feasible);
+  ASSERT_TRUE(strict.feasible);
+  EXPECT_LT(strict.interval_s, loose.interval_s);
+  EXPECT_GT(strict.margin_s, loose.margin_s);
+}
+
+TEST(ChenConfigure, LargerDetectionTimeGrowsBoth) {
+  // Figure 10: both Delta_i and Delta_to grow with T_D^U.
+  const auto a = chen_configure(qos(0.5, 1e-4, 10.0), kTypicalNet);
+  const auto b = chen_configure(qos(2.0, 1e-4, 10.0), kTypicalNet);
+  ASSERT_TRUE(a.feasible);
+  ASSERT_TRUE(b.feasible);
+  EXPECT_GT(b.interval_s, a.interval_s);
+  EXPECT_GT(b.margin_s, a.margin_s);
+}
+
+TEST(ChenConfigure, MistakeDurationCapsInterval) {
+  // Figure 12 behaviour: a small T_M^U forces a small Delta_i even when
+  // the mistake-rate bound would allow more.
+  const auto tight = chen_configure(qos(1.0, 1e-2, 0.05), kTypicalNet);
+  const auto loose = chen_configure(qos(1.0, 1e-2, 10.0), kTypicalNet);
+  ASSERT_TRUE(tight.feasible);
+  ASSERT_TRUE(loose.feasible);
+  EXPECT_LT(tight.interval_s, loose.interval_s);
+  // gamma' * T_M^U bound from Step 1.
+  const double tm2 = 0.05 * 0.05;
+  const double gp = (1 - 0.01) * tm2 / (1e-4 + tm2);
+  EXPECT_LE(tight.interval_s, gp * 0.05 + 1e-12);
+}
+
+TEST(ChenConfigure, IntervalNeverExceedsDetectionTime) {
+  const auto cfg = chen_configure(qos(0.2, 1.0, 100.0), kTypicalNet);
+  ASSERT_TRUE(cfg.feasible);
+  EXPECT_LE(cfg.interval_s, 0.2);
+  EXPECT_GE(cfg.margin_s, 0.0);
+}
+
+TEST(ChenConfigure, ValidatesInputs) {
+  EXPECT_THROW((void)chen_configure(qos(0.0, 1.0, 1.0), kTypicalNet),
+               std::logic_error);
+  EXPECT_THROW((void)chen_configure(qos(1.0, 0.0, 1.0), kTypicalNet),
+               std::logic_error);
+  EXPECT_THROW((void)chen_configure(qos(1.0, 1.0, 0.0), kTypicalNet),
+               std::logic_error);
+  EXPECT_THROW((void)chen_configure(qos(1.0, 1.0, 1.0), {1.0, 1e-4}),
+               std::logic_error);
+  EXPECT_THROW((void)chen_configure(qos(1.0, 1.0, 1.0), {0.0, -1.0}),
+               std::logic_error);
+}
+
+TEST(ChenConfigure, PredictedRateConsistent) {
+  const QosRequirements q = qos(0.8, 1e-3, 5.0);
+  const auto cfg = chen_configure(q, kTypicalNet);
+  ASSERT_TRUE(cfg.feasible);
+  EXPECT_NEAR(cfg.predicted_mistake_rate_per_s,
+              estimated_mistake_rate(cfg.interval_s, q.td_upper_s, kTypicalNet),
+              1e-15);
+}
+
+TEST(PredictQos, RoundTripsWithConfigure) {
+  // Configuring for a tuple and then predicting the QoS of the produced
+  // configuration must honour the original bounds.
+  const QosRequirements q = qos(1.0, 1e-3, 5.0);
+  const auto cfg = chen_configure(q, kTypicalNet);
+  ASSERT_TRUE(cfg.feasible);
+  const auto pred = predict_qos(cfg.interval_s, cfg.margin_s, kTypicalNet);
+  EXPECT_NEAR(pred.td_upper_s, q.td_upper_s, 1e-9);
+  EXPECT_LE(pred.tmr_upper_per_s, q.tmr_upper_per_s * (1 + 1e-9));
+  EXPECT_LE(pred.tm_upper_s, q.tm_upper_s * (1 + 1e-9));
+  EXPECT_GT(pred.pa_lower, 0.99);
+}
+
+TEST(PredictQos, MonotoneInMargin) {
+  const auto tight = predict_qos(0.1, 0.05, kTypicalNet);
+  const auto loose = predict_qos(0.1, 0.5, kTypicalNet);
+  EXPECT_LT(loose.tmr_upper_per_s, tight.tmr_upper_per_s);
+  EXPECT_LE(loose.tm_upper_s, tight.tm_upper_s);
+  EXPECT_GE(loose.pa_lower, tight.pa_lower);
+  EXPECT_GT(loose.td_upper_s, tight.td_upper_s);
+}
+
+TEST(PredictQos, LossExtendsMistakeDuration) {
+  const auto clean = predict_qos(0.1, 0.2, {0.0, 1e-4});
+  const auto lossy = predict_qos(0.1, 0.2, {0.3, 1e-4});
+  EXPECT_GT(lossy.tm_upper_s, clean.tm_upper_s);
+  // Bound never collapses below the interval itself.
+  EXPECT_GE(clean.tm_upper_s, 0.1);
+}
+
+TEST(PredictQos, ValidatesInputs) {
+  EXPECT_THROW((void)predict_qos(0.0, 0.1, kTypicalNet), std::logic_error);
+  EXPECT_THROW((void)predict_qos(0.1, -0.1, kTypicalNet), std::logic_error);
+}
+
+TEST(ChenConfigure, HarshNetworkStillFeasibleWithSmallInterval) {
+  // Very lossy, very noisy network: feasibility via tiny Delta_i.
+  const NetworkBehaviour harsh{0.4, 0.01};
+  const auto cfg = chen_configure(qos(2.0, 1e-3, 5.0), harsh);
+  ASSERT_TRUE(cfg.feasible);
+  EXPECT_LT(cfg.interval_s, 0.5);
+  EXPECT_LE(estimated_mistake_rate(cfg.interval_s, 2.0, harsh), 1e-3 * 1.0001);
+}
+
+}  // namespace
+}  // namespace twfd::config

@@ -1,0 +1,96 @@
+#include "core/adaptive_multi_window.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/factory.hpp"
+#include "core/multi_window.hpp"
+
+namespace twfd::core {
+namespace {
+
+constexpr Tick kI = ticks_from_ms(100);
+
+AdaptiveMultiWindowDetector make(Tick floor = ticks_from_ms(10)) {
+  AdaptiveMultiWindowDetector::Params p;
+  p.windows = {1, 8};
+  p.interval = kI;
+  p.min_margin = floor;
+  return AdaptiveMultiWindowDetector(p);
+}
+
+TEST(AdaptiveTwoWindow, FloorHoldsOnCalmStream) {
+  auto d = make(ticks_from_ms(25));
+  for (std::int64_t s = 1; s <= 50; ++s) d.on_heartbeat(s, s * kI, s * kI);
+  // Zero prediction error: the adaptive part contributes nothing, the
+  // floor is the whole margin.
+  EXPECT_EQ(d.current_margin(), ticks_from_ms(25));
+  EXPECT_EQ(d.suspect_after(), 51 * kI + ticks_from_ms(25));
+}
+
+TEST(AdaptiveTwoWindow, MarginGrowsUnderJitter) {
+  auto calm = make();
+  auto jittery = make();
+  Xoshiro256 rng(9);
+  for (std::int64_t s = 1; s <= 200; ++s) {
+    calm.on_heartbeat(s, s * kI, s * kI);
+    jittery.on_heartbeat(s, s * kI,
+                         s * kI + static_cast<Tick>(rng.uniform(0.0, 3e7)));
+  }
+  EXPECT_GT(jittery.current_margin(), calm.current_margin());
+  EXPECT_GE(calm.current_margin(), ticks_from_ms(10));
+}
+
+TEST(AdaptiveTwoWindow, NeverLessConservativeThanFixed2WAtFloor) {
+  // With margin >= floor always, the adaptive detector's freshness point
+  // is pointwise >= a fixed 2W-FD using the floor as its margin.
+  MultiWindowDetector::Params fp;
+  fp.windows = {1, 8};
+  fp.interval = kI;
+  fp.safety_margin = ticks_from_ms(10);
+  MultiWindowDetector fixed(fp);
+  auto adaptive = make(ticks_from_ms(10));
+
+  Xoshiro256 rng(10);
+  for (std::int64_t s = 1; s <= 1000; ++s) {
+    if (rng.bernoulli(0.05)) continue;
+    const Tick arrival = s * kI + static_cast<Tick>(rng.exponential(6e6));
+    fixed.on_heartbeat(s, s * kI, arrival);
+    adaptive.on_heartbeat(s, s * kI, arrival);
+    ASSERT_GE(adaptive.suspect_after(), fixed.suspect_after()) << s;
+  }
+}
+
+TEST(AdaptiveTwoWindow, ResetRestoresFloor) {
+  auto d = make(ticks_from_ms(15));
+  Xoshiro256 rng(11);
+  for (std::int64_t s = 1; s <= 100; ++s) {
+    d.on_heartbeat(s, s * kI, s * kI + static_cast<Tick>(rng.uniform(0.0, 2e7)));
+  }
+  d.reset();
+  EXPECT_EQ(d.current_margin(), ticks_from_ms(15));
+  EXPECT_EQ(d.suspect_after(), kTickInfinity);
+  EXPECT_EQ(d.highest_seq(), 0);
+}
+
+TEST(AdaptiveTwoWindow, FactoryAndName) {
+  const auto spec = core::DetectorSpec::adaptive_two_window(1, 1000, ticks_from_ms(5));
+  EXPECT_EQ(spec.family_name(), "a2w(1,1000)");
+  auto d = core::make_detector(spec, kI);
+  EXPECT_EQ(d->name(), "a2w(1,1000)");
+  d->on_heartbeat(1, kI, kI);
+  d->on_heartbeat(2, 2 * kI, 2 * kI);
+  EXPECT_NE(d->suspect_after(), kTickInfinity);
+}
+
+TEST(AdaptiveTwoWindow, ParameterValidation) {
+  AdaptiveMultiWindowDetector::Params p;
+  p.min_margin = -1;
+  EXPECT_THROW(AdaptiveMultiWindowDetector{p}, std::logic_error);
+  p.min_margin = 0;
+  p.gamma = 0.0;
+  EXPECT_THROW(AdaptiveMultiWindowDetector{p}, std::logic_error);
+}
+
+}  // namespace
+}  // namespace twfd::core

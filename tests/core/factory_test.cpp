@@ -1,0 +1,72 @@
+#include "core/factory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/multi_window.hpp"
+#include "detect/bertier.hpp"
+#include "detect/chen.hpp"
+#include "detect/ed.hpp"
+#include "detect/phi_accrual.hpp"
+
+namespace twfd::core {
+namespace {
+
+constexpr Tick kI = ticks_from_ms(100);
+
+TEST(Factory, BuildsEveryKind) {
+  EXPECT_NE(dynamic_cast<detect::ChenDetector*>(
+                make_detector(DetectorSpec::chen(10, ticks_from_ms(5)), kI).get()),
+            nullptr);
+  EXPECT_NE(dynamic_cast<detect::BertierDetector*>(
+                make_detector(DetectorSpec::bertier(), kI).get()),
+            nullptr);
+  EXPECT_NE(dynamic_cast<detect::PhiAccrualDetector*>(
+                make_detector(DetectorSpec::phi(1.5), kI).get()),
+            nullptr);
+  EXPECT_NE(dynamic_cast<detect::EdDetector*>(
+                make_detector(DetectorSpec::ed(0.9), kI).get()),
+            nullptr);
+  EXPECT_NE(dynamic_cast<MultiWindowDetector*>(
+                make_detector(DetectorSpec::two_window(1, 1000, 0), kI).get()),
+            nullptr);
+}
+
+TEST(Factory, ParametersPropagate) {
+  auto chen = make_detector(DetectorSpec::chen(7, ticks_from_ms(9)), kI);
+  const auto* c = dynamic_cast<detect::ChenDetector*>(chen.get());
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->params().window, 7u);
+  EXPECT_EQ(c->params().safety_margin, ticks_from_ms(9));
+  EXPECT_EQ(c->params().interval, kI);
+
+  auto mw = make_detector(DetectorSpec::multi_window({2, 5, 9}, ticks_from_ms(3)), kI);
+  const auto* m = dynamic_cast<MultiWindowDetector*>(mw.get());
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->params().windows, (std::vector<std::size_t>{2, 5, 9}));
+}
+
+TEST(Factory, FamilyNames) {
+  EXPECT_EQ(DetectorSpec::chen(1000, 0).family_name(), "chen(1000)");
+  EXPECT_EQ(DetectorSpec::bertier().family_name(), "bertier");
+  EXPECT_EQ(DetectorSpec::phi(1.0).family_name(), "phi");
+  EXPECT_EQ(DetectorSpec::ed(0.5).family_name(), "ed");
+  EXPECT_EQ(DetectorSpec::two_window(1, 1000, 0).family_name(), "2w(1,1000)");
+  EXPECT_EQ(DetectorSpec::multi_window({1, 2, 3}, 0).family_name(), "mw(1,2,3)");
+}
+
+TEST(Factory, BuiltDetectorsFunction) {
+  for (const auto& spec :
+       {DetectorSpec::chen(4, ticks_from_ms(10)), DetectorSpec::bertier(4),
+        DetectorSpec::phi(1.0, 4), DetectorSpec::ed(0.9, 4),
+        DetectorSpec::two_window(1, 4, ticks_from_ms(10))}) {
+    auto d = make_detector(spec, kI);
+    for (std::int64_t s = 1; s <= 10; ++s) {
+      d->on_heartbeat(s, s * kI, s * kI + 1000);
+    }
+    EXPECT_NE(d->suspect_after(), kTickInfinity) << d->name();
+    EXPECT_GT(d->suspect_after(), 10 * kI) << d->name();
+  }
+}
+
+}  // namespace
+}  // namespace twfd::core

@@ -1,0 +1,156 @@
+#include "core/multi_window.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "detect/chen.hpp"
+
+namespace twfd::core {
+namespace {
+
+constexpr Tick kI = ticks_from_ms(100);
+constexpr Tick kMargin = ticks_from_ms(25);
+
+MultiWindowDetector make(std::vector<std::size_t> windows = {1, 4}) {
+  MultiWindowDetector::Params p;
+  p.windows = std::move(windows);
+  p.safety_margin = kMargin;
+  p.interval = kI;
+  return MultiWindowDetector(p);
+}
+
+TEST(MaxWindowEstimator, MaxOfBothWindows) {
+  MaxWindowEstimator e({1, 3}, kI);
+  // Offsets: 900 (old), then 100, 100 -> long mean 366, short last 100.
+  e.add(1, 1 * kI + 900);
+  e.add(2, 2 * kI + 100);
+  e.add(3, 3 * kI + 100);
+  const Tick long_ea = e.expected_arrival_of(1, 4);
+  const Tick short_ea = e.expected_arrival_of(0, 4);
+  EXPECT_EQ(short_ea, 4 * kI + 100);
+  EXPECT_GT(long_ea, short_ea);  // the slow old sample lingers in the window
+  EXPECT_EQ(e.expected_arrival(4), std::max(short_ea, long_ea));
+}
+
+TEST(MaxWindowEstimator, ShortWindowDominatesAfterSlowdown) {
+  MaxWindowEstimator e({1, 8}, kI);
+  for (std::int64_t s = 1; s <= 8; ++s) e.add(s, s * kI + 100);
+  // Sudden slowdown: latest offset jumps to 50 ms.
+  e.add(9, 9 * kI + ticks_from_ms(50));
+  const Tick short_ea = e.expected_arrival_of(0, 10);
+  const Tick long_ea = e.expected_arrival_of(1, 10);
+  EXPECT_GT(short_ea, long_ea);  // short window reacts instantly
+  EXPECT_EQ(e.expected_arrival(10), short_ea);
+}
+
+TEST(MaxWindowEstimator, RequiresAtLeastOneWindow) {
+  EXPECT_THROW(MaxWindowEstimator({}, kI), std::logic_error);
+  EXPECT_THROW(MaxWindowEstimator({0}, kI), std::logic_error);
+}
+
+TEST(MultiWindow, TrustsBeforeFirstHeartbeat) {
+  auto d = make();
+  EXPECT_EQ(d.suspect_after(), kTickInfinity);
+}
+
+TEST(MultiWindow, FreshnessIsMaxEaPlusMargin) {
+  auto d = make({1, 2});
+  d.on_heartbeat(1, kI, kI + 500);
+  d.on_heartbeat(2, 2 * kI, 2 * kI + 100);
+  // short EA_3 = 3I+100; long EA_3 = 3I+300 -> max is long.
+  EXPECT_EQ(d.current_expected_arrival(), 3 * kI + 300);
+  EXPECT_EQ(d.suspect_after(), 3 * kI + 300 + kMargin);
+}
+
+TEST(MultiWindow, NeverEarlierThanAnySingleWindowChen) {
+  // 2W's freshness point is pointwise >= each constituent Chen detector's.
+  detect::ChenDetector::Params cp;
+  cp.safety_margin = kMargin;
+  cp.interval = kI;
+  cp.window = 1;
+  detect::ChenDetector c1(cp);
+  cp.window = 6;
+  detect::ChenDetector c6(cp);
+  auto d2w = make({1, 6});
+
+  Xoshiro256 rng(17);
+  for (std::int64_t s = 1; s <= 2000; ++s) {
+    if (rng.bernoulli(0.1)) continue;  // losses
+    const Tick arrival = s * kI + static_cast<Tick>(rng.exponential(5e6));
+    c1.on_heartbeat(s, s * kI, arrival);
+    c6.on_heartbeat(s, s * kI, arrival);
+    d2w.on_heartbeat(s, s * kI, arrival);
+    ASSERT_GE(d2w.suspect_after(), c1.suspect_after());
+    ASSERT_GE(d2w.suspect_after(), c6.suspect_after());
+    ASSERT_EQ(d2w.suspect_after(),
+              std::max(c1.suspect_after(), c6.suspect_after()));
+  }
+}
+
+TEST(MultiWindow, DegeneratesToChenWithOneWindow) {
+  detect::ChenDetector::Params cp;
+  cp.window = 4;
+  cp.safety_margin = kMargin;
+  cp.interval = kI;
+  detect::ChenDetector chen(cp);
+  auto mw = make({4});
+
+  Xoshiro256 rng(23);
+  for (std::int64_t s = 1; s <= 500; ++s) {
+    const Tick arrival = s * kI + static_cast<Tick>(rng.uniform(0.0, 1e7));
+    chen.on_heartbeat(s, s * kI, arrival);
+    mw.on_heartbeat(s, s * kI, arrival);
+    ASSERT_EQ(mw.suspect_after(), chen.suspect_after());
+  }
+}
+
+TEST(MultiWindow, IdenticalWindowsEqualOneWindow) {
+  auto a = make({3, 3});
+  auto b = make({3});
+  for (std::int64_t s = 1; s <= 100; ++s) {
+    const Tick arrival = s * kI + (s % 7) * 1000;
+    a.on_heartbeat(s, s * kI, arrival);
+    b.on_heartbeat(s, s * kI, arrival);
+    ASSERT_EQ(a.suspect_after(), b.suspect_after());
+  }
+}
+
+TEST(MultiWindow, ThreeWindowsGeneralisation) {
+  auto d = make({1, 4, 16});
+  Xoshiro256 rng(29);
+  for (std::int64_t s = 1; s <= 200; ++s) {
+    d.on_heartbeat(s, s * kI, s * kI + static_cast<Tick>(rng.uniform(0.0, 1e7)));
+  }
+  EXPECT_EQ(d.name(), "mw(1,4,16)");
+  EXPECT_NE(d.suspect_after(), kTickInfinity);
+}
+
+TEST(MultiWindow, StaleIgnored) {
+  auto d = make();
+  d.on_heartbeat(5, 5 * kI, 5 * kI);
+  const Tick sa = d.suspect_after();
+  d.on_heartbeat(4, 4 * kI, 5 * kI + 10);
+  EXPECT_EQ(d.suspect_after(), sa);
+}
+
+TEST(MultiWindow, ResetRestoresInitialState) {
+  auto d = make();
+  d.on_heartbeat(1, kI, kI);
+  d.reset();
+  EXPECT_EQ(d.suspect_after(), kTickInfinity);
+  EXPECT_EQ(d.highest_seq(), 0);
+}
+
+TEST(MultiWindow, TwoWindowParamsHelper) {
+  const auto p = two_window_params(1, 1000, kMargin, kI);
+  ASSERT_EQ(p.windows.size(), 2u);
+  EXPECT_EQ(p.windows[0], 1u);
+  EXPECT_EQ(p.windows[1], 1000u);
+  MultiWindowDetector d(p);
+  EXPECT_EQ(d.name(), "2w(1,1000)");
+}
+
+}  // namespace
+}  // namespace twfd::core

@@ -1,0 +1,98 @@
+#include "core/shared_margin.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/multi_window.hpp"
+
+namespace twfd::core {
+namespace {
+
+constexpr Tick kI = ticks_from_ms(50);
+
+TEST(SharedMargin, PerAppSuspicionOffsets) {
+  SharedMarginDetector d({1, 4}, kI);
+  const auto fast = d.add_application("fast", ticks_from_ms(10));
+  const auto slow = d.add_application("slow", ticks_from_ms(200));
+  d.on_heartbeat(1, kI, kI + 100);
+  EXPECT_EQ(d.suspect_after(slow) - d.suspect_after(fast), ticks_from_ms(190));
+}
+
+TEST(SharedMargin, TrustsBeforeFirstHeartbeat) {
+  SharedMarginDetector d({1, 4}, kI);
+  const auto j = d.add_application("a", 0);
+  EXPECT_EQ(d.suspect_after(j), kTickInfinity);
+  EXPECT_EQ(d.output_at(j, ticks_from_sec(100)), detect::Output::Trust);
+}
+
+TEST(SharedMargin, EquivalentToDedicatedMultiWindow) {
+  // The core service property: each app's output equals a dedicated
+  // MW-FD with the same windows and its own margin.
+  SharedMarginDetector shared({1, 8}, kI);
+  const Tick margins[3] = {ticks_from_ms(5), ticks_from_ms(60), ticks_from_ms(240)};
+  std::size_t idx[3];
+  std::vector<std::unique_ptr<MultiWindowDetector>> dedicated;
+  for (int j = 0; j < 3; ++j) {
+    idx[j] = shared.add_application("app" + std::to_string(j), margins[j]);
+    MultiWindowDetector::Params p;
+    p.windows = {1, 8};
+    p.safety_margin = margins[j];
+    p.interval = kI;
+    dedicated.push_back(std::make_unique<MultiWindowDetector>(p));
+  }
+
+  Xoshiro256 rng(31);
+  for (std::int64_t s = 1; s <= 3000; ++s) {
+    if (rng.bernoulli(0.05)) continue;
+    const Tick arrival = s * kI + static_cast<Tick>(rng.exponential(3e6));
+    shared.on_heartbeat(s, s * kI, arrival);
+    for (int j = 0; j < 3; ++j) {
+      dedicated[j]->on_heartbeat(s, s * kI, arrival);
+      ASSERT_EQ(shared.suspect_after(idx[j]), dedicated[j]->suspect_after())
+          << "app " << j << " at seq " << s;
+    }
+  }
+}
+
+TEST(SharedMargin, StaleIgnored) {
+  SharedMarginDetector d({1, 2}, kI);
+  const auto j = d.add_application("a", 0);
+  d.on_heartbeat(2, 2 * kI, 2 * kI);
+  const Tick sa = d.suspect_after(j);
+  d.on_heartbeat(1, kI, 2 * kI + 5);
+  EXPECT_EQ(d.suspect_after(j), sa);
+  EXPECT_EQ(d.highest_seq(), 2);
+}
+
+TEST(SharedMargin, AppMetadataAccessible) {
+  SharedMarginDetector d({1}, kI);
+  const auto j = d.add_application("metrics-db", ticks_from_ms(7));
+  EXPECT_EQ(d.app_count(), 1u);
+  EXPECT_EQ(d.app_name(j), "metrics-db");
+  EXPECT_EQ(d.margin(j), ticks_from_ms(7));
+  EXPECT_EQ(d.interval(), kI);
+}
+
+TEST(SharedMargin, NegativeMarginRejected) {
+  SharedMarginDetector d({1}, kI);
+  EXPECT_THROW(d.add_application("bad", -1), std::logic_error);
+}
+
+TEST(SharedMargin, OutOfRangeAppRejected) {
+  SharedMarginDetector d({1}, kI);
+  EXPECT_THROW((void)d.suspect_after(0), std::logic_error);
+}
+
+TEST(SharedMargin, ResetKeepsRegistrations) {
+  SharedMarginDetector d({1, 2}, kI);
+  const auto j = d.add_application("a", ticks_from_ms(1));
+  d.on_heartbeat(1, kI, kI);
+  d.reset();
+  EXPECT_EQ(d.app_count(), 1u);
+  EXPECT_EQ(d.suspect_after(j), kTickInfinity);
+  d.on_heartbeat(1, kI, kI);
+  EXPECT_NE(d.suspect_after(j), kTickInfinity);
+}
+
+}  // namespace
+}  // namespace twfd::core

@@ -1,0 +1,109 @@
+#include "detect/bertier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace twfd::detect {
+namespace {
+
+constexpr Tick kI = ticks_from_ms(100);
+
+BertierDetector make(double gamma = 0.1) {
+  BertierDetector::Params p;
+  p.window = 8;
+  p.interval = kI;
+  p.gamma = gamma;
+  return BertierDetector(p);
+}
+
+TEST(Bertier, TrustsBeforeFirstHeartbeat) {
+  auto d = make();
+  EXPECT_EQ(d.suspect_after(), kTickInfinity);
+}
+
+TEST(Bertier, FirstHeartbeatArmsZeroMargin) {
+  auto d = make();
+  d.on_heartbeat(1, kI, kI + 100);
+  // No prediction existed yet: Jacobson state untouched, margin 0.
+  EXPECT_EQ(d.current_margin(), 0);
+  EXPECT_EQ(d.suspect_after(), 2 * kI + 100);
+}
+
+TEST(Bertier, MarginGrowsWithPredictionError) {
+  auto d = make();
+  // Perfectly regular arrivals keep errors at 0.
+  for (std::int64_t s = 1; s <= 5; ++s) d.on_heartbeat(s, s * kI, s * kI);
+  EXPECT_EQ(d.current_margin(), 0);
+
+  // A 20 ms late heartbeat produces a positive error and hence a margin.
+  d.on_heartbeat(6, 6 * kI, 6 * kI + ticks_from_ms(20));
+  EXPECT_GT(d.current_margin(), 0);
+}
+
+TEST(Bertier, JacobsonMatchesHandComputation) {
+  auto d = make(0.1);
+  d.on_heartbeat(1, kI, kI);  // EA_2 = 2*kI
+  // m_2 arrives 10 ms late: error = 0.010 - delay(0) = 0.010.
+  d.on_heartbeat(2, 2 * kI, 2 * kI + ticks_from_ms(10));
+  // delay = 0.1*0.010 = 1 ms; var = 0.1*(0.010 - 0) = 1 ms.
+  // margin = 1*delay + 4*var = 5 ms.
+  EXPECT_EQ(d.current_margin(), ticks_from_ms(5));
+}
+
+TEST(Bertier, StaleIgnored) {
+  auto d = make();
+  d.on_heartbeat(3, 3 * kI, 3 * kI);
+  const Tick sa = d.suspect_after();
+  const Tick margin = d.current_margin();
+  d.on_heartbeat(2, 2 * kI, 3 * kI + 10);
+  EXPECT_EQ(d.suspect_after(), sa);
+  EXPECT_EQ(d.current_margin(), margin);
+}
+
+TEST(Bertier, AdaptsDownAfterStability) {
+  auto d = make(0.2);
+  // One big disturbance...
+  d.on_heartbeat(1, kI, kI);
+  d.on_heartbeat(2, 2 * kI, 2 * kI + ticks_from_ms(50));
+  const Tick disturbed = d.current_margin();
+  ASSERT_GT(disturbed, 0);
+  // ...then a long calm stretch: margin should decay substantially.
+  for (std::int64_t s = 3; s <= 60; ++s) {
+    d.on_heartbeat(s, s * kI, s * kI + ticks_from_ms(50));
+  }
+  EXPECT_LT(d.current_margin(), disturbed / 4);
+}
+
+TEST(Bertier, MarginNeverNegative) {
+  auto d = make(0.5);
+  Xoshiro256 rng(5);
+  Tick arrival = 0;
+  for (std::int64_t s = 1; s <= 500; ++s) {
+    arrival = s * kI + static_cast<Tick>(rng.uniform(0.0, 2e7));
+    d.on_heartbeat(s, s * kI, arrival);
+    ASSERT_GE(d.current_margin(), 0);
+    ASSERT_GE(d.suspect_after(), arrival - ticks_from_ms(200));
+  }
+}
+
+TEST(Bertier, ResetRestoresInitialState) {
+  auto d = make();
+  d.on_heartbeat(1, kI, kI);
+  d.on_heartbeat(2, 2 * kI, 2 * kI + ticks_from_ms(30));
+  d.reset();
+  EXPECT_EQ(d.suspect_after(), kTickInfinity);
+  EXPECT_EQ(d.current_margin(), 0);
+  EXPECT_EQ(d.highest_seq(), 0);
+}
+
+TEST(Bertier, ParameterValidation) {
+  BertierDetector::Params p;
+  p.gamma = 0.0;
+  EXPECT_THROW(BertierDetector{p}, std::logic_error);
+  p.gamma = 1.5;
+  EXPECT_THROW(BertierDetector{p}, std::logic_error);
+}
+
+}  // namespace
+}  // namespace twfd::detect

@@ -1,0 +1,116 @@
+#include "detect/chen.hpp"
+
+#include <gtest/gtest.h>
+
+namespace twfd::detect {
+namespace {
+
+constexpr Tick kI = ticks_from_ms(100);
+constexpr Tick kMargin = ticks_from_ms(30);
+
+ChenDetector make(std::size_t window = 4) {
+  ChenDetector::Params p;
+  p.window = window;
+  p.safety_margin = kMargin;
+  p.interval = kI;
+  return ChenDetector(p);
+}
+
+TEST(Chen, TrustsBeforeFirstHeartbeat) {
+  auto d = make();
+  EXPECT_EQ(d.suspect_after(), kTickInfinity);
+  EXPECT_EQ(d.output_at(ticks_from_sec(100)), Output::Trust);
+  EXPECT_EQ(d.highest_seq(), 0);
+}
+
+TEST(Chen, FreshnessPointIsEaPlusMargin) {
+  auto d = make();
+  const Tick a1 = kI + ticks_from_ms(5);
+  d.on_heartbeat(1, kI, a1);
+  // Window {5ms offset}: EA_2 = 2*interval + 5ms.
+  EXPECT_EQ(d.current_expected_arrival(), 2 * kI + ticks_from_ms(5));
+  EXPECT_EQ(d.suspect_after(), 2 * kI + ticks_from_ms(5) + kMargin);
+}
+
+TEST(Chen, OutputTimeline) {
+  auto d = make();
+  d.on_heartbeat(1, kI, kI);
+  const Tick tau2 = d.suspect_after();
+  EXPECT_EQ(d.output_at(tau2 - 1), Output::Trust);
+  EXPECT_EQ(d.output_at(tau2), Output::Suspect);
+  EXPECT_EQ(d.output_at(tau2 + ticks_from_sec(10)), Output::Suspect);
+}
+
+TEST(Chen, LateHeartbeatRestoresTrust) {
+  auto d = make();
+  d.on_heartbeat(1, kI, kI);
+  const Tick tau2 = d.suspect_after();
+  // m_2 arrives after tau_2 (a mistake happened), trust must resume.
+  d.on_heartbeat(2, 2 * kI, tau2 + ticks_from_ms(50));
+  EXPECT_GT(d.suspect_after(), tau2 + ticks_from_ms(50));
+}
+
+TEST(Chen, StaleHeartbeatIgnored) {
+  auto d = make();
+  d.on_heartbeat(2, 2 * kI, 2 * kI + 100);
+  const Tick sa = d.suspect_after();
+  d.on_heartbeat(1, kI, 2 * kI + 200);  // old sequence, must not disturb
+  EXPECT_EQ(d.suspect_after(), sa);
+  EXPECT_EQ(d.highest_seq(), 2);
+}
+
+TEST(Chen, DuplicateHeartbeatIgnored) {
+  auto d = make();
+  d.on_heartbeat(1, kI, kI + 10);
+  const Tick sa = d.suspect_after();
+  d.on_heartbeat(1, kI, kI + 500);
+  EXPECT_EQ(d.suspect_after(), sa);
+}
+
+TEST(Chen, SequenceGapShiftsFreshnessPoint) {
+  auto d = make(1);
+  d.on_heartbeat(1, kI, kI);
+  const Tick sa1 = d.suspect_after();  // tau_2
+  auto d2 = make(1);
+  d2.on_heartbeat(3, 3 * kI, 3 * kI);  // same offset, higher seq
+  // tau_4 = EA_4 + margin = sa1 + 2 intervals.
+  EXPECT_EQ(d2.suspect_after(), sa1 + 2 * kI);
+}
+
+TEST(Chen, SlowerArrivalsPushFreshnessOut) {
+  auto fast = make(4);
+  auto slow = make(4);
+  for (std::int64_t s = 1; s <= 4; ++s) {
+    fast.on_heartbeat(s, s * kI, s * kI + ticks_from_ms(1));
+    slow.on_heartbeat(s, s * kI, s * kI + ticks_from_ms(40));
+  }
+  EXPECT_EQ(slow.suspect_after() - fast.suspect_after(), ticks_from_ms(39));
+}
+
+TEST(Chen, ResetRestoresInitialState) {
+  auto d = make();
+  d.on_heartbeat(1, kI, kI);
+  d.reset();
+  EXPECT_EQ(d.suspect_after(), kTickInfinity);
+  EXPECT_EQ(d.highest_seq(), 0);
+  // And it works again after reset.
+  d.on_heartbeat(1, kI, kI + 7);
+  EXPECT_EQ(d.suspect_after(), 2 * kI + 7 + kMargin);
+}
+
+TEST(Chen, NameEncodesWindow) {
+  EXPECT_EQ(make(1000).name(), "chen(n=1000)");
+}
+
+TEST(Chen, ZeroMarginAllowed) {
+  ChenDetector::Params p;
+  p.window = 1;
+  p.safety_margin = 0;
+  p.interval = kI;
+  ChenDetector d(p);
+  d.on_heartbeat(1, kI, kI);
+  EXPECT_EQ(d.suspect_after(), 2 * kI);
+}
+
+}  // namespace
+}  // namespace twfd::detect

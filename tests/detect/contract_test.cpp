@@ -1,0 +1,168 @@
+// The FailureDetector contract, enforced uniformly across every family:
+// determinism, reset semantics, stale-message immunity, output/suspect
+// consistency, and liveness (a crash is always eventually suspected once
+// the detector is warm). Parameterised over all seven detector kinds.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/factory.hpp"
+
+namespace twfd {
+namespace {
+
+constexpr Tick kI = ticks_from_ms(100);
+
+struct ContractCase {
+  const char* label;
+  core::DetectorSpec spec;
+};
+
+class DetectorContract : public testing::TestWithParam<ContractCase> {
+ protected:
+  static std::unique_ptr<detect::FailureDetector> make() {
+    return core::make_detector(GetParam().spec, kI, /*known_skew=*/0);
+  }
+
+  // A jittery, lossy arrival sequence (deterministic per seed).
+  struct Feed {
+    std::int64_t seq;
+    Tick arrival;
+  };
+  static std::vector<Feed> feed(std::uint64_t seed, std::int64_t n) {
+    Xoshiro256 rng(seed);
+    std::vector<Feed> out;
+    for (std::int64_t s = 1; s <= n; ++s) {
+      if (rng.bernoulli(0.05)) continue;  // lost
+      out.push_back({s, s * kI + static_cast<Tick>(rng.exponential(8e6))});
+    }
+    return out;
+  }
+};
+
+TEST_P(DetectorContract, InitiallyTrustsAndIsWarmAfterFewHeartbeats) {
+  auto d = make();
+  EXPECT_EQ(d->suspect_after(), kTickInfinity);
+  EXPECT_EQ(d->highest_seq(), 0);
+  for (const auto& f : feed(1, 10)) d->on_heartbeat(f.seq, f.seq * kI, f.arrival);
+  EXPECT_NE(d->suspect_after(), kTickInfinity) << "never suspects after warm-up";
+}
+
+TEST_P(DetectorContract, DeterministicReplay) {
+  auto a = make();
+  auto b = make();
+  for (const auto& f : feed(2, 300)) {
+    a->on_heartbeat(f.seq, f.seq * kI, f.arrival);
+    b->on_heartbeat(f.seq, f.seq * kI, f.arrival);
+    ASSERT_EQ(a->suspect_after(), b->suspect_after());
+  }
+}
+
+TEST_P(DetectorContract, ResetIsCompleteAmnesia) {
+  auto fresh = make();
+  auto reused = make();
+  // Pollute `reused` with one history, reset, then replay another; it
+  // must match a never-polluted instance exactly.
+  for (const auto& f : feed(3, 200)) reused->on_heartbeat(f.seq, f.seq * kI, f.arrival);
+  reused->reset();
+  EXPECT_EQ(reused->highest_seq(), 0);
+  EXPECT_EQ(reused->suspect_after(), kTickInfinity);
+  for (const auto& f : feed(4, 200)) {
+    fresh->on_heartbeat(f.seq, f.seq * kI, f.arrival);
+    reused->on_heartbeat(f.seq, f.seq * kI, f.arrival);
+    ASSERT_EQ(fresh->suspect_after(), reused->suspect_after());
+  }
+}
+
+TEST_P(DetectorContract, StaleAndDuplicateMessagesAreIgnored) {
+  auto clean = make();
+  auto noisy = make();
+  Xoshiro256 rng(5);
+  for (const auto& f : feed(6, 300)) {
+    clean->on_heartbeat(f.seq, f.seq * kI, f.arrival);
+    noisy->on_heartbeat(f.seq, f.seq * kI, f.arrival);
+    // Replay an old sequence number at a random later time.
+    if (f.seq > 3 && rng.bernoulli(0.4)) {
+      const std::int64_t old = f.seq - 1 - static_cast<std::int64_t>(rng.uniform_int(2));
+      noisy->on_heartbeat(old, old * kI, f.arrival + 1000);
+    }
+    ASSERT_EQ(clean->suspect_after(), noisy->suspect_after()) << "seq " << f.seq;
+    ASSERT_EQ(clean->highest_seq(), noisy->highest_seq());
+  }
+}
+
+TEST_P(DetectorContract, OutputConsistentWithSuspectAfter) {
+  auto d = make();
+  for (const auto& f : feed(7, 100)) d->on_heartbeat(f.seq, f.seq * kI, f.arrival);
+  const Tick sa = d->suspect_after();
+  ASSERT_NE(sa, kTickInfinity);
+  EXPECT_EQ(d->output_at(sa - 1), detect::Output::Trust);
+  EXPECT_EQ(d->output_at(sa), detect::Output::Suspect);
+  EXPECT_EQ(d->output_at(sa + ticks_from_sec(3600)), detect::Output::Suspect);
+}
+
+TEST_P(DetectorContract, CrashIsEventuallySuspected) {
+  auto d = make();
+  Tick last_arrival = 0;
+  for (const auto& f : feed(8, 150)) {
+    d->on_heartbeat(f.seq, f.seq * kI, f.arrival);
+    last_arrival = f.arrival;
+  }
+  // No further heartbeats ever: suspicion must fire within a bounded
+  // horizon (generously, one hour).
+  const Tick sa = d->suspect_after();
+  ASSERT_NE(sa, kTickInfinity);
+  EXPECT_LT(sa, last_arrival + ticks_from_sec(3600));
+  EXPECT_EQ(d->output_at(last_arrival + ticks_from_sec(3600)),
+            detect::Output::Suspect);
+}
+
+TEST_P(DetectorContract, SequenceGapsDoNotBreakEstimation) {
+  auto d = make();
+  // Deliver only every 7th heartbeat: estimators must normalise by the
+  // true sequence number, not the delivery count.
+  for (std::int64_t s = 7; s <= 700; s += 7) {
+    d->on_heartbeat(s, s * kI, s * kI + ticks_from_ms(2));
+  }
+  const Tick sa = d->suspect_after();
+  ASSERT_NE(sa, kTickInfinity);
+  // Suspicion lies after the last arrival and within a sane horizon.
+  EXPECT_GT(sa, 700 * kI);
+  EXPECT_LT(sa, 700 * kI + ticks_from_sec(60));
+}
+
+TEST_P(DetectorContract, NameIsStableAndNonEmpty) {
+  auto d = make();
+  const std::string n1 = d->name();
+  EXPECT_FALSE(n1.empty());
+  for (const auto& f : feed(9, 50)) d->on_heartbeat(f.seq, f.seq * kI, f.arrival);
+  EXPECT_EQ(d->name(), n1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, DetectorContract,
+    testing::Values(
+        ContractCase{"chen1", core::DetectorSpec::chen(1, ticks_from_ms(100))},
+        ContractCase{"chen1000", core::DetectorSpec::chen(1000, ticks_from_ms(100))},
+        ContractCase{"bertier", core::DetectorSpec::bertier(100)},
+        ContractCase{"phi", core::DetectorSpec::phi(2.0, 100)},
+        ContractCase{"ed", core::DetectorSpec::ed(0.99, 100)},
+        ContractCase{"two_window",
+                     core::DetectorSpec::two_window(1, 100, ticks_from_ms(100))},
+        ContractCase{"multi_window",
+                     core::DetectorSpec::multi_window({1, 10, 100},
+                                                      ticks_from_ms(100))},
+        ContractCase{"adaptive_two_window",
+                     core::DetectorSpec::adaptive_two_window(1, 100,
+                                                             ticks_from_ms(20))},
+        ContractCase{"nfd_s", core::DetectorSpec::nfd_s(ticks_from_ms(100))},
+        ContractCase{"fixed", core::DetectorSpec::fixed_timeout(ticks_from_ms(400))}),
+    [](const testing::TestParamInfo<ContractCase>& info) {
+      return info.param.label;
+    });
+
+}  // namespace
+}  // namespace twfd

@@ -1,0 +1,104 @@
+#include "detect/ed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace twfd::detect {
+namespace {
+
+constexpr Tick kI = ticks_from_ms(100);
+
+EdDetector make(double threshold, std::size_t window = 16) {
+  EdDetector::Params p;
+  p.window = window;
+  p.threshold = threshold;
+  return EdDetector(p);
+}
+
+void feed_regular(EdDetector& d, std::int64_t n) {
+  for (std::int64_t s = 1; s <= n; ++s) d.on_heartbeat(s, s * kI, s * kI);
+}
+
+TEST(Ed, WarmupTrustsForever) {
+  auto d = make(0.9);
+  EXPECT_EQ(d.suspect_after(), kTickInfinity);
+  d.on_heartbeat(1, kI, kI);
+  EXPECT_EQ(d.suspect_after(), kTickInfinity);
+  d.on_heartbeat(2, 2 * kI, 2 * kI);
+  EXPECT_NE(d.suspect_after(), kTickInfinity);
+}
+
+TEST(Ed, ClosedFormCrossing) {
+  auto d = make(0.9);
+  feed_regular(d, 10);
+  // mu = 100 ms; t* = -mu ln(1-0.9) = 100ms * ln(10).
+  const Tick expected = 10 * kI + ticks_from_seconds(0.1 * std::log(10.0));
+  EXPECT_NEAR(static_cast<double>(d.suspect_after()),
+              static_cast<double>(expected), 1e3);
+}
+
+TEST(Ed, EdValueMatchesDefinition) {
+  auto d = make(0.5);
+  feed_regular(d, 10);
+  // e_d(t) = 1 - exp(-dt/mu).
+  const double ed = d.ed_at(10 * kI + kI);
+  EXPECT_NEAR(ed, 1.0 - std::exp(-1.0), 1e-9);
+  EXPECT_DOUBLE_EQ(d.ed_at(10 * kI), 0.0);
+}
+
+TEST(Ed, CrossingConsistentWithEdValue) {
+  auto d = make(0.75);
+  feed_regular(d, 10);
+  const Tick sa = d.suspect_after();
+  EXPECT_NEAR(d.ed_at(sa), 0.75, 1e-6);
+  EXPECT_LT(d.ed_at(sa - ticks_from_ms(5)), 0.75);
+}
+
+TEST(Ed, HigherThresholdMoreConservative) {
+  auto a = make(0.5);
+  auto b = make(0.99);
+  feed_regular(a, 10);
+  feed_regular(b, 10);
+  EXPECT_GT(b.suspect_after(), a.suspect_after());
+}
+
+TEST(Ed, SlowerCadenceStretchesHorizon) {
+  auto fast = make(0.9);
+  feed_regular(fast, 10);
+  auto slow = make(0.9);
+  for (std::int64_t s = 1; s <= 10; ++s) {
+    slow.on_heartbeat(s, s * 2 * kI, s * 2 * kI);
+  }
+  const Tick fast_wait = fast.suspect_after() - 10 * kI;
+  const Tick slow_wait = slow.suspect_after() - 20 * kI;
+  EXPECT_NEAR(static_cast<double>(slow_wait),
+              2.0 * static_cast<double>(fast_wait), 1e3);
+}
+
+TEST(Ed, StaleIgnored) {
+  auto d = make(0.9);
+  feed_regular(d, 5);
+  const Tick sa = d.suspect_after();
+  d.on_heartbeat(2, 2 * kI, 9 * kI);
+  EXPECT_EQ(d.suspect_after(), sa);
+}
+
+TEST(Ed, ResetRestoresWarmup) {
+  auto d = make(0.9);
+  feed_regular(d, 5);
+  d.reset();
+  EXPECT_EQ(d.suspect_after(), kTickInfinity);
+  EXPECT_DOUBLE_EQ(d.ed_at(ticks_from_sec(5)), 0.0);
+}
+
+TEST(Ed, ThresholdDomainValidated) {
+  EdDetector::Params p;
+  p.threshold = 0.0;
+  EXPECT_THROW(EdDetector{p}, std::logic_error);
+  p.threshold = 1.0;
+  EXPECT_THROW(EdDetector{p}, std::logic_error);
+}
+
+}  // namespace
+}  // namespace twfd::detect

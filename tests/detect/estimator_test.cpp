@@ -1,0 +1,85 @@
+#include "detect/arrival_estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace twfd::detect {
+namespace {
+
+constexpr Tick kInterval = ticks_from_ms(100);
+
+TEST(ArrivalEstimator, QueryWithoutSamplesThrows) {
+  ArrivalWindowEstimator e(4, kInterval);
+  EXPECT_THROW((void)e.expected_arrival(1), std::logic_error);
+}
+
+TEST(ArrivalEstimator, PerfectCadencePredictsExactly) {
+  ArrivalWindowEstimator e(10, kInterval);
+  const Tick base = ticks_from_sec(5);  // constant skew+delay
+  for (std::int64_t s = 1; s <= 20; ++s) {
+    e.add(s, base + s * kInterval);
+  }
+  // EA_21 = base + 21 * interval, exactly (Eq 2 with zero jitter).
+  EXPECT_EQ(e.expected_arrival(21), base + 21 * kInterval);
+}
+
+TEST(ArrivalEstimator, WindowOneTracksLastSample) {
+  ArrivalWindowEstimator e(1, kInterval);
+  e.add(1, kInterval + 1000);
+  e.add(2, 2 * kInterval + 9000);  // latest normalised offset: 9000
+  EXPECT_EQ(e.expected_arrival(3), 3 * kInterval + 9000);
+}
+
+TEST(ArrivalEstimator, AveragesNormalizedArrivals) {
+  ArrivalWindowEstimator e(3, kInterval);
+  // Normalised offsets 100, 200, 600 -> mean 300.
+  e.add(1, kInterval + 100);
+  e.add(2, 2 * kInterval + 200);
+  e.add(3, 3 * kInterval + 600);
+  EXPECT_EQ(e.expected_arrival(4), 4 * kInterval + 300);
+}
+
+TEST(ArrivalEstimator, EvictionDropsOldOffsets) {
+  ArrivalWindowEstimator e(2, kInterval);
+  e.add(1, kInterval + 1'000'000);  // large early offset
+  e.add(2, 2 * kInterval + 100);
+  e.add(3, 3 * kInterval + 300);  // window now {100, 300}
+  EXPECT_EQ(e.expected_arrival(4), 4 * kInterval + 200);
+}
+
+TEST(ArrivalEstimator, SkipsLostSequencesCorrectly) {
+  ArrivalWindowEstimator e(4, kInterval);
+  // Sequences 1, 2, 5 received: normalisation uses the true seq.
+  e.add(1, kInterval + 500);
+  e.add(2, 2 * kInterval + 500);
+  e.add(5, 5 * kInterval + 500);
+  EXPECT_EQ(e.expected_arrival(6), 6 * kInterval + 500);
+}
+
+TEST(ArrivalEstimator, LargeWindowIsO1PerSample) {
+  // Functional smoke that a 10^4 window survives 10^5 inserts quickly and
+  // stays numerically sane with a big skew.
+  ArrivalWindowEstimator e(10'000, kInterval);
+  Xoshiro256 rng(3);
+  const Tick skew = ticks_from_sec(86'400);  // a day of clock offset
+  for (std::int64_t s = 1; s <= 100'000; ++s) {
+    e.add(s, skew + s * kInterval + static_cast<Tick>(rng.uniform(0.0, 1e6)));
+  }
+  const Tick ea = e.expected_arrival(100'001);
+  EXPECT_GT(ea, skew + 100'001 * kInterval);
+  EXPECT_LT(ea, skew + 100'001 * kInterval + ticks_from_ms(1));
+}
+
+TEST(ArrivalEstimator, ClearRestartsEstimation) {
+  ArrivalWindowEstimator e(4, kInterval);
+  e.add(1, kInterval + 100);
+  e.clear();
+  EXPECT_EQ(e.count(), 0u);
+  EXPECT_THROW((void)e.expected_arrival(2), std::logic_error);
+}
+
+}  // namespace
+}  // namespace twfd::detect

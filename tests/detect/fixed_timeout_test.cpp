@@ -1,0 +1,63 @@
+#include "detect/fixed_timeout.hpp"
+
+#include <gtest/gtest.h>
+
+namespace twfd::detect {
+namespace {
+
+constexpr Tick kTimeout = ticks_from_ms(250);
+
+FixedTimeoutDetector make() {
+  return FixedTimeoutDetector(FixedTimeoutDetector::Params{kTimeout});
+}
+
+TEST(FixedTimeout, SuspectsAfterSilence) {
+  auto d = make();
+  d.on_heartbeat(1, 0, ticks_from_ms(100));
+  EXPECT_EQ(d.suspect_after(), ticks_from_ms(350));
+  EXPECT_EQ(d.output_at(ticks_from_ms(349)), Output::Trust);
+  EXPECT_EQ(d.output_at(ticks_from_ms(350)), Output::Suspect);
+}
+
+TEST(FixedTimeout, EachHeartbeatRearms) {
+  auto d = make();
+  for (int s = 1; s <= 10; ++s) {
+    d.on_heartbeat(s, 0, s * ticks_from_ms(100));
+    EXPECT_EQ(d.suspect_after(), s * ticks_from_ms(100) + kTimeout);
+  }
+}
+
+TEST(FixedTimeout, IndependentOfSendTimestampAndCadence) {
+  auto a = make();
+  auto b = make();
+  a.on_heartbeat(1, 0, ticks_from_ms(70));
+  b.on_heartbeat(5, ticks_from_sec(99), ticks_from_ms(70));
+  EXPECT_EQ(a.suspect_after(), b.suspect_after());
+}
+
+TEST(FixedTimeout, TrustsBeforeFirstHeartbeat) {
+  EXPECT_EQ(make().suspect_after(), kTickInfinity);
+}
+
+TEST(FixedTimeout, StaleIgnored) {
+  auto d = make();
+  d.on_heartbeat(2, 0, ticks_from_ms(100));
+  d.on_heartbeat(1, 0, ticks_from_ms(150));
+  EXPECT_EQ(d.suspect_after(), ticks_from_ms(100) + kTimeout);
+}
+
+TEST(FixedTimeout, ResetAndValidation) {
+  auto d = make();
+  d.on_heartbeat(1, 0, 100);
+  d.reset();
+  EXPECT_EQ(d.suspect_after(), kTickInfinity);
+  EXPECT_THROW(FixedTimeoutDetector(FixedTimeoutDetector::Params{0}),
+               std::logic_error);
+}
+
+TEST(FixedTimeout, NameShowsTimeout) {
+  EXPECT_EQ(make().name(), "fixed(250.000ms)");
+}
+
+}  // namespace
+}  // namespace twfd::detect

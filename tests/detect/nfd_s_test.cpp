@@ -1,0 +1,77 @@
+#include "detect/nfd_s.hpp"
+
+#include <gtest/gtest.h>
+
+namespace twfd::detect {
+namespace {
+
+constexpr Tick kI = ticks_from_ms(100);
+constexpr Tick kMargin = ticks_from_ms(40);
+constexpr Tick kSkew = ticks_from_sec(2);
+
+NfdSDetector make() {
+  NfdSDetector::Params p;
+  p.interval = kI;
+  p.safety_margin = kMargin;
+  p.known_skew = kSkew;
+  return NfdSDetector(p);
+}
+
+TEST(NfdS, FreshnessFromSendTimestampOnly) {
+  auto d = make();
+  // Arrival time is irrelevant: only the carried send timestamp matters.
+  d.on_heartbeat(1, kI, kSkew + kI + ticks_from_ms(33));
+  EXPECT_EQ(d.suspect_after(), kI + kSkew + kI + kMargin);
+}
+
+TEST(NfdS, ArrivalJitterDoesNotMoveFreshness) {
+  auto early = make();
+  auto late = make();
+  early.on_heartbeat(1, kI, kSkew + kI + 1000);
+  late.on_heartbeat(1, kI, kSkew + kI + ticks_from_ms(90));
+  EXPECT_EQ(early.suspect_after(), late.suspect_after());
+}
+
+TEST(NfdS, TrustsBeforeFirstHeartbeat) {
+  auto d = make();
+  EXPECT_EQ(d.suspect_after(), kTickInfinity);
+}
+
+TEST(NfdS, StaleIgnored) {
+  auto d = make();
+  d.on_heartbeat(3, 3 * kI, kSkew + 3 * kI);
+  const Tick sa = d.suspect_after();
+  d.on_heartbeat(2, 2 * kI, kSkew + 3 * kI + 5);
+  EXPECT_EQ(d.suspect_after(), sa);
+}
+
+TEST(NfdS, ResetRestoresInitialState) {
+  auto d = make();
+  d.on_heartbeat(1, kI, kSkew + kI);
+  d.reset();
+  EXPECT_EQ(d.suspect_after(), kTickInfinity);
+  EXPECT_EQ(d.highest_seq(), 0);
+}
+
+TEST(NfdS, ValidatesParams) {
+  NfdSDetector::Params p;
+  p.interval = 0;
+  EXPECT_THROW(NfdSDetector{p}, std::logic_error);
+  p.interval = kI;
+  p.safety_margin = -1;
+  EXPECT_THROW(NfdSDetector{p}, std::logic_error);
+}
+
+TEST(NfdS, DelayedHeartbeatStillSetsFutureFreshness) {
+  // Even a very late heartbeat yields the same deterministic freshness
+  // point — possibly already in the past, which means instant suspicion
+  // (correct for synchronized clocks: the NEXT beat is already overdue).
+  auto d = make();
+  const Tick very_late = kSkew + kI + ticks_from_sec(5);
+  d.on_heartbeat(1, kI, very_late);
+  EXPECT_LT(d.suspect_after(), very_late);
+  EXPECT_EQ(d.output_at(very_late), Output::Suspect);
+}
+
+}  // namespace
+}  // namespace twfd::detect

@@ -1,0 +1,128 @@
+#include "detect/phi_accrual.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math.hpp"
+
+namespace twfd::detect {
+namespace {
+
+constexpr Tick kI = ticks_from_ms(100);
+
+PhiAccrualDetector make(double threshold, std::size_t window = 16) {
+  PhiAccrualDetector::Params p;
+  p.window = window;
+  p.threshold = threshold;
+  return PhiAccrualDetector(p);
+}
+
+void feed_regular(PhiAccrualDetector& d, std::int64_t n, Tick jitter_step = 0) {
+  for (std::int64_t s = 1; s <= n; ++s) {
+    d.on_heartbeat(s, s * kI, s * kI + (s % 2) * jitter_step);
+  }
+}
+
+TEST(Phi, WarmupTrustsForever) {
+  auto d = make(1.0);
+  EXPECT_EQ(d.suspect_after(), kTickInfinity);
+  d.on_heartbeat(1, kI, kI);
+  EXPECT_EQ(d.suspect_after(), kTickInfinity);  // one arrival, zero gaps
+  d.on_heartbeat(2, 2 * kI, 2 * kI);
+  EXPECT_NE(d.suspect_after(), kTickInfinity);  // warm
+}
+
+TEST(Phi, SuspectTimeMatchesQuantileFormula) {
+  auto d = make(2.0);
+  feed_regular(d, 10);
+  // Gaps are exactly 100 ms, sigma floors at min_stddev.
+  const double z = normal_quantile(1.0 - 1e-2);
+  const Tick expected =
+      10 * kI + ticks_from_seconds(0.100 + 20e-6 * z);
+  EXPECT_NEAR(static_cast<double>(d.suspect_after()),
+              static_cast<double>(expected), 1e3);  // 1 us slack
+}
+
+TEST(Phi, HigherThresholdIsMoreConservative) {
+  auto aggressive = make(0.5);
+  auto conservative = make(3.0);
+  feed_regular(aggressive, 10, ticks_from_ms(5));
+  feed_regular(conservative, 10, ticks_from_ms(5));
+  EXPECT_GT(conservative.suspect_after(), aggressive.suspect_after());
+}
+
+TEST(Phi, PhiGrowsWithSilence) {
+  auto d = make(1.0);
+  feed_regular(d, 10, ticks_from_ms(2));
+  const Tick last = 10 * kI;
+  const double phi1 = d.phi_at(last + ticks_from_ms(50));
+  const double phi2 = d.phi_at(last + ticks_from_ms(150));
+  const double phi3 = d.phi_at(last + ticks_from_ms(500));
+  EXPECT_LT(phi1, phi2);
+  EXPECT_LT(phi2, phi3);
+}
+
+TEST(Phi, PhiCrossesThresholdAtSuspectAfter) {
+  auto d = make(1.5);
+  feed_regular(d, 20, ticks_from_ms(4));
+  const Tick sa = d.suspect_after();
+  EXPECT_LT(d.phi_at(sa - ticks_from_ms(1)), 1.5);
+  EXPECT_GE(d.phi_at(sa + ticks_from_ms(1)), 1.5);
+}
+
+TEST(Phi, MeaningOfPhi) {
+  // "if the FD suspects when phi >= Phi, the probability of a mistake is
+  // about 10^-Phi": at the crossing instant, P_later must equal 10^-Phi.
+  auto d = make(2.0);
+  feed_regular(d, 50, ticks_from_ms(8));
+  const Tick sa = d.suspect_after();
+  const double phi = d.phi_at(sa);
+  EXPECT_NEAR(phi, 2.0, 0.05);
+}
+
+TEST(Phi, JitterWidensSuspicionHorizon) {
+  auto calm = make(1.0);
+  auto jittery = make(1.0);
+  feed_regular(calm, 20, 0);
+  feed_regular(jittery, 20, ticks_from_ms(30));
+  const Tick calm_wait = calm.suspect_after() - 20 * kI;
+  const Tick jittery_wait =
+      jittery.suspect_after() - (20 * kI);  // last arrival is even seq: no jitter
+  EXPECT_GT(jittery_wait, calm_wait);
+}
+
+TEST(Phi, StaleIgnored) {
+  auto d = make(1.0);
+  feed_regular(d, 5);
+  const Tick sa = d.suspect_after();
+  d.on_heartbeat(3, 3 * kI, 6 * kI);
+  EXPECT_EQ(d.suspect_after(), sa);
+}
+
+TEST(Phi, ResetRestoresWarmup) {
+  auto d = make(1.0);
+  feed_regular(d, 5);
+  d.reset();
+  EXPECT_EQ(d.suspect_after(), kTickInfinity);
+  EXPECT_DOUBLE_EQ(d.phi_at(ticks_from_sec(10)), 0.0);
+}
+
+TEST(Phi, ExtremeThresholdClampsSafely) {
+  auto d = make(300.0);  // beyond double's 10^-Phi resolution
+  feed_regular(d, 10);
+  EXPECT_NE(d.suspect_after(), kTickInfinity);
+  EXPECT_GT(d.suspect_after(), 10 * kI);
+}
+
+TEST(Phi, ParameterValidation) {
+  PhiAccrualDetector::Params p;
+  p.threshold = 0.0;
+  EXPECT_THROW(PhiAccrualDetector{p}, std::logic_error);
+  p.threshold = 1.0;
+  p.warmup = 1;
+  EXPECT_THROW(PhiAccrualDetector{p}, std::logic_error);
+}
+
+}  // namespace
+}  // namespace twfd::detect

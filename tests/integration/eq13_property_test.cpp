@@ -1,0 +1,102 @@
+// Property test for the paper's Equation 13 (Section III-C):
+//   Mistakes(2W_{W1,W2}) = Mistakes(Chen_{W1}) /\ Mistakes(Chen_{W2})
+//
+// The exact, machine-checkable form is pointwise in time: because the
+// 2W freshness point is the max of the constituents' and all three share
+// the largest-sequence state, 2W suspects at instant t iff BOTH Chen
+// detectors suspect at t. We assert:
+//   (1) suspicion-interval sets: I(2W) == I(Chen_W1) /\ I(Chen_W2), exactly;
+//   (2) identity sets: C1 /\ C2  subset-of  2W  subset-of  C1 \/ C2
+//       (equality can break only at episode-merge boundaries, where one
+//       long 2W suspicion spans a constituent's recovery+re-suspicion);
+//   (3) the QoS corollaries: suspicion time and hence P_A dominate.
+// Verified across window pairs, margins and both scenarios.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/multi_window.hpp"
+#include "detect/chen.hpp"
+#include "qos/evaluator.hpp"
+#include "qos/intervals.hpp"
+#include "qos/mistake_set.hpp"
+#include "trace/scenario.hpp"
+
+namespace twfd {
+namespace {
+
+using Param = std::tuple<std::size_t, std::size_t, int /*margin ms*/>;
+
+class Eq13Property : public testing::TestWithParam<Param> {
+ protected:
+  static const trace::Trace& wan() {
+    static const trace::Trace t = [] {
+      trace::WanScenario::Params p;
+      p.samples = 120'000;
+      return trace::WanScenario(p).build();
+    }();
+    return t;
+  }
+};
+
+TEST_P(Eq13Property, SuspicionIntervalsIntersectExactly) {
+  const auto [w1, w2, margin_ms] = GetParam();
+  const Tick margin = ticks_from_ms(margin_ms);
+  const trace::Trace& t = wan();
+
+  qos::EvalOptions opt;
+  opt.record_mistakes = true;
+
+  detect::ChenDetector::Params cp;
+  cp.safety_margin = margin;
+  cp.interval = t.interval();
+  cp.window = w1;
+  detect::ChenDetector chen1(cp);
+  cp.window = w2;
+  detect::ChenDetector chen2(cp);
+
+  core::MultiWindowDetector::Params mp;
+  mp.windows = {w1, w2};
+  mp.safety_margin = margin;
+  mp.interval = t.interval();
+  core::MultiWindowDetector two_w(mp);
+
+  const auto r1 = qos::evaluate(chen1, t, opt);
+  const auto r2 = qos::evaluate(chen2, t, opt);
+  const auto r2w = qos::evaluate(two_w, t, opt);
+
+  // (1) The exact pointwise theorem.
+  const auto i1 = qos::to_intervals(r1.mistakes);
+  const auto i2 = qos::to_intervals(r2.mistakes);
+  const auto i2w = qos::to_intervals(r2w.mistakes);
+  EXPECT_EQ(i2w, qos::intersect_intervals(i1, i2));
+
+  // (2) Identity-set sandwich.
+  const auto s1 = qos::MistakeSet::from_records(r1.mistakes);
+  const auto s2 = qos::MistakeSet::from_records(r2.mistakes);
+  const auto s2w = qos::MistakeSet::from_records(r2w.mistakes);
+  EXPECT_TRUE(s1.intersect(s2).is_subset_of(s2w));
+  EXPECT_TRUE(s2w.is_subset_of(s1.unite(s2)));
+
+  // (3) QoS corollaries: 2W suspects for no longer than either
+  // constituent, so its query accuracy dominates both.
+  EXPECT_LE(qos::total_duration(i2w), qos::total_duration(i1));
+  EXPECT_LE(qos::total_duration(i2w), qos::total_duration(i2));
+  EXPECT_GE(r2w.metrics.query_accuracy,
+            std::max(r1.metrics.query_accuracy, r2.metrics.query_accuracy) - 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WindowPairsAndMargins, Eq13Property,
+    testing::Values(Param{1, 1000, 65}, Param{1, 1000, 115}, Param{1, 1000, 300},
+                    Param{1, 100, 115}, Param{10, 1000, 115}, Param{2, 50, 65},
+                    Param{1, 10, 500}, Param{100, 10000, 115}),
+    [](const testing::TestParamInfo<Param>& info) {
+      return "w" + std::to_string(std::get<0>(info.param)) + "_w" +
+             std::to_string(std::get<1>(info.param)) + "_m" +
+             std::to_string(std::get<2>(info.param)) + "ms";
+    });
+
+}  // namespace
+}  // namespace twfd

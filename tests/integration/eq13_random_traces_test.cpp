@@ -1,0 +1,88 @@
+// Eq 13's pointwise form across RANDOM channels (not just the WAN
+// scenario): for arbitrary delay/loss structures the 2W suspicion
+// time-set must equal the intersection of its constituents'.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/multi_window.hpp"
+#include "detect/chen.hpp"
+#include "qos/evaluator.hpp"
+#include "qos/intervals.hpp"
+#include "trace/generator.hpp"
+
+namespace twfd {
+namespace {
+
+trace::Trace random_channel(std::uint64_t seed) {
+  Xoshiro256 pick(seed);
+  trace::TraceGenerator gen("rand", ticks_from_ms(50), 0, seed * 7919);
+  trace::Regime r;
+  r.label = "r";
+  r.count = 40'000;
+  switch (pick.uniform_int(4)) {
+    case 0:
+      r.delay = std::make_unique<trace::ExponentialDelay>(0.001,
+                                                          pick.uniform(0.002, 0.03));
+      break;
+    case 1:
+      r.delay = std::make_unique<trace::ParetoDelay>(0.005, 0.002,
+                                                     pick.uniform(1.2, 3.0));
+      break;
+    case 2:
+      r.delay = std::make_unique<trace::ArCongestionDelay>(
+          0.01, 0.005, pick.uniform(0.5, 0.99), pick.uniform(0.3, 1.5), 0.2);
+      break;
+    default:
+      r.delay = std::make_unique<trace::NormalDelay>(0.02, 0.01, 0.001);
+      break;
+  }
+  if (pick.bernoulli(0.5)) {
+    r.loss = std::make_unique<trace::BernoulliLoss>(pick.uniform(0.0, 0.1));
+  } else {
+    r.loss = std::make_unique<trace::GilbertElliottLoss>(
+        pick.uniform(0.001, 0.05), pick.uniform(0.05, 0.5), 0.005,
+        pick.uniform(0.3, 0.95));
+  }
+  if (pick.bernoulli(0.3)) {
+    r.stall = {0.001, 0.1, 1.0};
+  }
+  gen.add_regime(std::move(r));
+  return gen.generate();
+}
+
+class Eq13RandomTraces : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Eq13RandomTraces, PointwiseIntersectionHolds) {
+  const auto t = random_channel(GetParam());
+  const Tick margin = ticks_from_ms(10 + 17 * (GetParam() % 11));
+
+  qos::EvalOptions opt;
+  opt.record_mistakes = true;
+
+  detect::ChenDetector::Params cp;
+  cp.interval = t.interval();
+  cp.safety_margin = margin;
+  cp.window = 1;
+  detect::ChenDetector c1(cp);
+  cp.window = 200;
+  detect::ChenDetector c2(cp);
+
+  core::MultiWindowDetector::Params mp;
+  mp.windows = {1, 200};
+  mp.interval = t.interval();
+  mp.safety_margin = margin;
+  core::MultiWindowDetector tw(mp);
+
+  const auto i1 = qos::to_intervals(qos::evaluate(c1, t, opt).mistakes);
+  const auto i2 = qos::to_intervals(qos::evaluate(c2, t, opt).mistakes);
+  const auto iw = qos::to_intervals(qos::evaluate(tw, t, opt).mistakes);
+  EXPECT_EQ(iw, qos::intersect_intervals(i1, i2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Channels, Eq13RandomTraces,
+                         testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace twfd

@@ -1,0 +1,242 @@
+// Failure injection: malformed datagrams, reordered delivery, duplicated
+// heartbeats, clock drift, and an output-sampling oracle for the replay
+// evaluator. These guard the paths a tidy unit test never exercises.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/multi_window.hpp"
+#include "detect/chen.hpp"
+#include "net/wire.hpp"
+#include "qos/evaluator.hpp"
+#include "service/dispatcher.hpp"
+#include "service/heartbeat_sender.hpp"
+#include "service/monitor.hpp"
+#include "sim/sim_world.hpp"
+#include "trace/generator.hpp"
+
+namespace twfd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Wire fuzz: random bytes must never crash or decode into nonsense.
+// ---------------------------------------------------------------------------
+
+TEST(FailureInjection, WireDecodeSurvivesRandomBytes) {
+  Xoshiro256 rng(101);
+  std::size_t decoded = 0;
+  for (int i = 0; i < 50'000; ++i) {
+    const std::size_t len = rng.uniform_int(64);
+    std::vector<std::byte> data(len);
+    for (auto& b : data) b = static_cast<std::byte>(rng.uniform_int(256));
+    const auto msg = net::decode(data);
+    if (msg.has_value()) ++decoded;
+  }
+  // Random magic match is a ~2^-32 event per try; essentially none decode.
+  EXPECT_EQ(decoded, 0u);
+}
+
+TEST(FailureInjection, WireDecodeSurvivesBitFlips) {
+  net::HeartbeatMsg m{42, 7, ticks_from_sec(1), ticks_from_ms(100)};
+  const auto good = net::encode(m);
+  Xoshiro256 rng(102);
+  for (int i = 0; i < 10'000; ++i) {
+    auto flipped = good;
+    const std::size_t byte = rng.uniform_int(flipped.size());
+    flipped[byte] ^= static_cast<std::byte>(1u << rng.uniform_int(8));
+    const auto msg = net::decode(flipped);  // must not crash
+    if (msg.has_value()) {
+      // A flip in the payload decodes but must still carry sane fields.
+      if (const auto* hb = std::get_if<net::HeartbeatMsg>(&*msg)) {
+        EXPECT_GT(hb->seq, 0);
+        EXPECT_GT(hb->interval, 0);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Live monitor under a reordering link: stale heartbeats must not regress
+// the detector or produce spurious transitions.
+// ---------------------------------------------------------------------------
+
+TEST(FailureInjection, MonitorSurvivesReorderingLink) {
+  sim::SimWorld world(103);
+  auto& p = world.add_endpoint("p");
+  auto& q = world.add_endpoint("q");
+  sim::LinkParams link;
+  // Jitter comparable to the cadence, FIFO off: heavy reordering.
+  link.delay = std::make_unique<trace::ExponentialDelay>(0.001, 0.060);
+  link.loss = std::make_unique<trace::BernoulliLoss>(0.01);
+  link.fifo = false;
+  world.connect(p, q, std::move(link));
+
+  service::Dispatcher dispatch(q.runtime());
+  service::HeartbeatSender sender(p.runtime(), {1, ticks_from_ms(50)});
+  sender.add_target(q.id());
+
+  core::MultiWindowDetector::Params mp;
+  mp.windows = {1, 100};
+  mp.interval = ticks_from_ms(50);
+  mp.safety_margin = ticks_from_ms(400);  // generous: reordering tolerated
+
+  int suspects = 0, trusts = 0;
+  std::int64_t last_seen_seq = 0;
+  service::Monitor monitor(q.runtime(), 1,
+                           std::make_unique<core::MultiWindowDetector>(mp),
+                           {[&](Tick) { ++suspects; }, [&](Tick) { ++trusts; }});
+  dispatch.on_heartbeat([&](PeerId from, const net::HeartbeatMsg& m, Tick at) {
+    monitor.handle_heartbeat(from, m, at);
+    // The detector's highest_seq must be monotone even when the link
+    // delivers sequence numbers out of order.
+    EXPECT_GE(monitor.detector().highest_seq(), last_seen_seq);
+    last_seen_seq = monitor.detector().highest_seq();
+  });
+
+  sender.start();
+  world.run_until(ticks_from_sec(60));
+  sender.stop();
+  world.run();
+
+  EXPECT_GT(monitor.heartbeats_seen(), 1000u);
+  // Balanced transitions (final suspicion after the stop may stay open).
+  EXPECT_LE(suspects - trusts, 1);
+  // The wide margin should keep reorder-induced false alarms rare.
+  EXPECT_LT(suspects, 20);
+}
+
+// ---------------------------------------------------------------------------
+// Duplicated datagrams: at-least-once delivery must be idempotent.
+// ---------------------------------------------------------------------------
+
+TEST(FailureInjection, DuplicatedHeartbeatsAreIdempotent) {
+  detect::ChenDetector::Params cp;
+  cp.window = 8;
+  cp.interval = ticks_from_ms(100);
+  cp.safety_margin = ticks_from_ms(50);
+  detect::ChenDetector once(cp);
+  detect::ChenDetector dup(cp);
+
+  Xoshiro256 rng(104);
+  for (std::int64_t s = 1; s <= 500; ++s) {
+    const Tick arrival = s * ticks_from_ms(100) + static_cast<Tick>(rng.uniform(0, 5e6));
+    once.on_heartbeat(s, 0, arrival);
+    dup.on_heartbeat(s, 0, arrival);
+    // Deliver 1-3 duplicates at later times.
+    const int copies = static_cast<int>(rng.uniform_int(3));
+    for (int c = 0; c < copies; ++c) {
+      dup.on_heartbeat(s, 0, arrival + (c + 1) * 1000);
+    }
+    ASSERT_EQ(once.suspect_after(), dup.suspect_after()) << s;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Clock drift: sender and monitor clocks drifting apart must not break
+// the service (Chen-style estimation only uses receiver-clock arrivals).
+// ---------------------------------------------------------------------------
+
+TEST(FailureInjection, MonitorToleratesClockDriftAndSkew) {
+  sim::SimWorld world(105);
+  // p runs 200 ppm fast with a huge skew; q runs 100 ppm slow.
+  auto& p = world.add_endpoint("p", ticks_from_sec(12345), 200e-6);
+  auto& q = world.add_endpoint("q", -ticks_from_sec(777), -100e-6);
+  world.connect_both(p, q, sim::lan_link());
+
+  service::Dispatcher dispatch(q.runtime());
+  service::HeartbeatSender sender(p.runtime(), {1, ticks_from_ms(50)});
+  sender.add_target(q.id());
+
+  core::MultiWindowDetector::Params mp;
+  mp.windows = {1, 100};
+  mp.interval = ticks_from_ms(50);
+  mp.safety_margin = ticks_from_ms(40);
+
+  int suspects = 0;
+  service::Monitor monitor(q.runtime(), 1,
+                           std::make_unique<core::MultiWindowDetector>(mp),
+                           {[&](Tick) { ++suspects; }, {}});
+  dispatch.on_heartbeat([&](PeerId from, const net::HeartbeatMsg& m, Tick at) {
+    monitor.handle_heartbeat(from, m, at);
+  });
+
+  sender.start();
+  world.run_until(ticks_from_sec(120));
+  EXPECT_GT(monitor.heartbeats_seen(), 2000u);
+  EXPECT_EQ(suspects, 0);  // drift alone must not cause false alarms
+
+  // And a real crash is still detected promptly on q's clock.
+  const Tick crash_local = q.now();
+  sender.stop();
+  world.run_until(ticks_from_sec(125));
+  EXPECT_EQ(suspects, 1);
+  EXPECT_EQ(monitor.output(), detect::Output::Suspect);
+  EXPECT_LT(monitor.suspect_after() - crash_local, ticks_from_ms(200));
+}
+
+// ---------------------------------------------------------------------------
+// Evaluator oracle: P_A from the analytic timeline must match direct
+// output sampling at random instants via a second, independent replay.
+// ---------------------------------------------------------------------------
+
+TEST(FailureInjection, EvaluatorAccuracyMatchesSampledOracle) {
+  trace::TraceGenerator gen("oracle", ticks_from_ms(100), 0, 106);
+  trace::Regime r;
+  r.label = "a";
+  r.count = 20'000;
+  r.delay = std::make_unique<trace::ExponentialDelay>(0.002, 0.015);
+  r.loss = std::make_unique<trace::BernoulliLoss>(0.03);
+  gen.add_regime(std::move(r));
+  const trace::Trace t = gen.generate();
+
+  detect::ChenDetector::Params cp;
+  cp.window = 4;
+  cp.interval = t.interval();
+  cp.safety_margin = ticks_from_ms(30);
+  detect::ChenDetector d(cp);
+  const auto result = qos::evaluate(d, t);
+
+  // Oracle: replay again, sampling output_at at uniformly random times
+  // strictly inside each inter-arrival segment.
+  detect::ChenDetector d2(cp);
+  d2.reset();
+  const auto delivery = t.delivery_order();
+  Xoshiro256 rng(107);
+  Tick prev = kTickNegInfinity;
+  // "Query at a random time" is time-weighted, so the Monte-Carlo samples
+  // are stratified per segment and weighted by segment duration.
+  double sampled_trust_time = 0.0;
+  double weighted_trust_time = 0.0, weighted_total = 0.0;
+  for (auto idx : delivery) {
+    const auto& rec = t[idx];
+    if (rec.seq <= d2.highest_seq()) continue;
+    if (prev != kTickNegInfinity) {
+      const Tick seg = rec.arrival_time - prev;
+      int trust_hits = 0;
+      for (int k = 0; k < 3; ++k) {
+        const Tick when =
+            prev + static_cast<Tick>(rng.uniform01() * static_cast<double>(seg));
+        if (d2.output_at(when) == detect::Output::Trust) ++trust_hits;
+      }
+      sampled_trust_time += to_seconds(seg) * trust_hits / 3.0;
+      // Exact per-segment trust time for a tighter check.
+      const Tick sa = d2.suspect_after();
+      const Tick suspect_in_seg =
+          sa >= rec.arrival_time ? 0 : rec.arrival_time - std::max(sa, prev);
+      weighted_trust_time += to_seconds(seg - suspect_in_seg);
+      weighted_total += to_seconds(seg);
+    }
+    d2.on_heartbeat(rec.seq, rec.send_time, rec.arrival_time);
+    prev = rec.arrival_time;
+  }
+
+  const double exact_pa = weighted_trust_time / weighted_total;
+  EXPECT_NEAR(result.metrics.query_accuracy, exact_pa, 1e-6);
+  const double sampled_pa = sampled_trust_time / weighted_total;
+  EXPECT_NEAR(result.metrics.query_accuracy, sampled_pa, 0.01);
+}
+
+}  // namespace
+}  // namespace twfd

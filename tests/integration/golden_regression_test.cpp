@@ -1,0 +1,68 @@
+// Golden regression: pins exact metric values for the seeded scenarios.
+// Any change to the RNG, trace generators, estimators or evaluator that
+// alters results will trip these — deliberately. Update the constants
+// only for intentional behaviour changes, and say so in the commit.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "core/factory.hpp"
+#include "qos/evaluator.hpp"
+#include "trace/scenario.hpp"
+#include "trace/trace_stats.hpp"
+
+namespace twfd {
+namespace {
+
+const trace::Trace& wan_small() {
+  static const trace::Trace t = [] {
+    trace::WanScenario::Params p;
+    p.samples = 100'000;  // default seed 42
+    return trace::WanScenario(p).build();
+  }();
+  return t;
+}
+
+TEST(GoldenRegression, WanTraceFingerprint) {
+  const auto& t = wan_small();
+  ASSERT_EQ(t.size(), 100'000u);
+  const auto s = trace::compute_stats(t);
+  EXPECT_EQ(s.delivered, 99'101);
+  // First and last delivered arrivals pin the whole RNG stream.
+  EXPECT_EQ(t[0].seq, 1);
+  EXPECT_FALSE(t[0].lost);
+  EXPECT_EQ(t[0].arrival_time, 3'160'825'214);  // skew + first sampled delay
+}
+
+TEST(GoldenRegression, TwoWindowMetricsPinned) {
+  auto d = core::make_detector(
+      core::DetectorSpec::two_window(1, 1000, ticks_from_ms(115)),
+      wan_small().interval());
+  const auto m = qos::evaluate(*d, wan_small()).metrics;
+  // Exact integer count: any estimator/evaluator drift trips this.
+  EXPECT_EQ(m.mistake_count, 215u);
+  EXPECT_NEAR(m.detection_time_s, 0.296132, 1e-5);
+  EXPECT_NEAR(m.query_accuracy, 0.98634731, 1e-7);
+}
+
+TEST(GoldenRegression, ChenMetricsPinned) {
+  auto d = core::make_detector(core::DetectorSpec::chen(1000, ticks_from_ms(115)),
+                               wan_small().interval());
+  const auto m = qos::evaluate(*d, wan_small()).metrics;
+  EXPECT_EQ(m.mistake_count, 218u);
+}
+
+TEST(GoldenRegression, RngStreamPinned) {
+  Xoshiro256 rng(42);
+  const std::uint64_t v0 = rng();
+  const std::uint64_t v1 = rng();
+  EXPECT_EQ(v0, 15'021'278'609'987'233'951ULL);
+  EXPECT_EQ(v1, 5'881'210'131'331'364'753ULL);
+  EXPECT_DOUBLE_EQ(Xoshiro256(42).uniform01(), 0.81430514512290986);
+  EXPECT_EQ(Xoshiro256(43).uniform_int(1'000'000), 168'053u);
+}
+
+}  // namespace
+}  // namespace twfd

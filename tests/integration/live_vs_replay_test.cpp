@@ -1,0 +1,119 @@
+// Cross-validation of the two measurement paths: the live Monitor (timer
+// driven, in the simulator) and the offline QosEvaluator (analytic
+// timeline reconstruction) must agree on the mistakes a detector makes,
+// given the identical heartbeat observations.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/multi_window.hpp"
+#include "detect/chen.hpp"
+#include "qos/evaluator.hpp"
+#include "service/dispatcher.hpp"
+#include "service/heartbeat_sender.hpp"
+#include "service/monitor.hpp"
+#include "sim/sim_world.hpp"
+
+namespace twfd {
+namespace {
+
+struct LiveRun {
+  std::size_t suspects = 0;
+  std::size_t trusts = 0;
+  trace::Trace captured{"captured", ticks_from_ms(50), 0};
+};
+
+// Runs sender+monitor over a lossy, jittery link for `seconds`, capturing
+// every heartbeat the monitor observes.
+LiveRun run_live(std::unique_ptr<detect::FailureDetector> detector,
+                 int seconds, std::uint64_t seed) {
+  LiveRun out;
+  sim::SimWorld world(seed);
+  auto& p = world.add_endpoint("p");
+  auto& q = world.add_endpoint("q");
+
+  sim::LinkParams link;
+  link.delay = std::make_unique<trace::ExponentialDelay>(0.002, 0.010);
+  link.loss = std::make_unique<trace::GilbertElliottLoss>(0.02, 0.2, 0.01, 0.8);
+  world.connect(p, q, std::move(link));
+  world.connect(q, p, sim::lan_link());
+
+  service::Dispatcher dispatch(q.runtime());
+  service::HeartbeatSender sender(p.runtime(), {1, ticks_from_ms(50)});
+  sender.add_target(q.id());
+
+  service::Monitor monitor(q.runtime(), 1, std::move(detector),
+                           {[&](Tick) { ++out.suspects; },
+                            [&](Tick) { ++out.trusts; }});
+  dispatch.on_heartbeat([&](PeerId from, const net::HeartbeatMsg& m, Tick at) {
+    out.captured.push({m.seq, m.send_time, at, false});
+    monitor.handle_heartbeat(from, m, at);
+  });
+
+  sender.start();
+  world.run_until(ticks_from_sec(seconds));
+  sender.stop();
+  world.run(); // drain in-flight deliveries and timers
+  return out;
+}
+
+TEST(LiveVsReplay, ChenMistakeCountsAgree) {
+  detect::ChenDetector::Params cp;
+  cp.window = 1;
+  cp.interval = ticks_from_ms(50);
+  cp.safety_margin = ticks_from_ms(20);
+
+  auto live = run_live(std::make_unique<detect::ChenDetector>(cp), 120, 5);
+  ASSERT_GT(live.suspects, 5u);  // the lossy link must force mistakes
+
+  detect::ChenDetector replay_detector(cp);
+  qos::EvalOptions opt;
+  opt.record_mistakes = true;
+  const auto r = qos::evaluate(replay_detector, live.captured, opt);
+
+  // The evaluator observes [first arrival, last arrival]; the live run
+  // additionally sees the trailing window after the final heartbeat
+  // (sender stopped), which contributes at most one extra S-transition.
+  EXPECT_GE(live.suspects, r.metrics.mistake_count);
+  EXPECT_LE(live.suspects, r.metrics.mistake_count + 1);
+  // Every live suspicion except a trailing one recovered.
+  EXPECT_GE(live.trusts + 1, live.suspects);
+}
+
+TEST(LiveVsReplay, TwoWindowMistakeCountsAgree) {
+  core::MultiWindowDetector::Params mp;
+  mp.windows = {1, 100};
+  mp.interval = ticks_from_ms(50);
+  mp.safety_margin = ticks_from_ms(20);
+
+  auto live = run_live(std::make_unique<core::MultiWindowDetector>(mp), 120, 6);
+
+  core::MultiWindowDetector replay_detector(mp);
+  const auto r = qos::evaluate(replay_detector, live.captured);
+
+  EXPECT_GE(live.suspects, r.metrics.mistake_count);
+  EXPECT_LE(live.suspects, r.metrics.mistake_count + 1);
+}
+
+TEST(LiveVsReplay, TwoWindowSuspectsNoMoreThanChen) {
+  // Dominance holds live, not just in replay.
+  detect::ChenDetector::Params cp;
+  cp.window = 1;
+  cp.interval = ticks_from_ms(50);
+  cp.safety_margin = ticks_from_ms(20);
+  auto chen_live = run_live(std::make_unique<detect::ChenDetector>(cp), 90, 7);
+
+  core::MultiWindowDetector::Params mp;
+  mp.windows = {1, 100};
+  mp.interval = ticks_from_ms(50);
+  mp.safety_margin = ticks_from_ms(20);
+  auto tw_live = run_live(std::make_unique<core::MultiWindowDetector>(mp), 90, 7);
+
+  // Same seed -> identical trace observed by both detectors.
+  ASSERT_EQ(chen_live.captured.size(), tw_live.captured.size());
+  EXPECT_LE(tw_live.suspects, chen_live.suspects);
+}
+
+}  // namespace
+}  // namespace twfd

@@ -1,0 +1,179 @@
+// Cross-detector invariants over full scenario replays: metric sanity,
+// tuning-parameter monotonicity, and the documented dominance properties.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/factory.hpp"
+#include "qos/evaluator.hpp"
+#include "trace/scenario.hpp"
+
+namespace twfd {
+namespace {
+
+const trace::Trace& wan() {
+  static const trace::Trace t = [] {
+    trace::WanScenario::Params p;
+    p.samples = 120'000;
+    return trace::WanScenario(p).build();
+  }();
+  return t;
+}
+
+const trace::Trace& lan() {
+  static const trace::Trace t = [] {
+    trace::LanScenario::Params p;
+    p.samples = 120'000;
+    return trace::LanScenario(p).build();
+  }();
+  return t;
+}
+
+qos::QosMetrics run(const core::DetectorSpec& spec, const trace::Trace& t) {
+  auto d = core::make_detector(spec, t.interval());
+  return qos::evaluate(*d, t).metrics;
+}
+
+class MetricSanity : public testing::TestWithParam<core::DetectorSpec> {};
+
+TEST_P(MetricSanity, WanReplayProducesValidMetrics) {
+  const auto m = run(GetParam(), wan());
+  EXPECT_GE(m.query_accuracy, 0.0);
+  EXPECT_LE(m.query_accuracy, 1.0);
+  EXPECT_GE(m.mistake_rate_per_s, 0.0);
+  EXPECT_GE(m.mistake_duration_s, 0.0);
+  EXPECT_GT(m.observed_s, 0.0);
+  EXPECT_GT(m.detection_time_s, 0.0);
+  EXPECT_GE(m.detection_time_max_s, m.detection_time_s);
+  EXPECT_GT(m.detection_samples, 100'000u);
+  // A mistake cannot outlast the observation window on average.
+  if (m.mistake_count > 0) {
+    EXPECT_LE(m.mistake_duration_s, m.observed_s);
+  }
+}
+
+TEST_P(MetricSanity, LanReplayIsNearlyPerfect) {
+  const auto m = run(GetParam(), lan());
+  // The LAN trace has no loss and tiny jitter: accuracy must be extreme.
+  EXPECT_GT(m.query_accuracy, 0.999);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, MetricSanity,
+    testing::Values(core::DetectorSpec::chen(1, ticks_from_ms(115)),
+                    core::DetectorSpec::chen(1000, ticks_from_ms(115)),
+                    core::DetectorSpec::bertier(1000),
+                    core::DetectorSpec::phi(2.0),
+                    core::DetectorSpec::ed(0.99),
+                    core::DetectorSpec::two_window(1, 1000, ticks_from_ms(115))),
+    [](const testing::TestParamInfo<core::DetectorSpec>& info) {
+      std::string n = info.param.family_name();
+      for (auto& c : n) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return n + "_" + std::to_string(info.index);
+    });
+
+TEST(ReplayMonotonicity, ChenMarginTradesSpeedForAccuracy) {
+  qos::QosMetrics prev{};
+  bool first = true;
+  for (int margin_ms : {40, 80, 160, 320, 640}) {
+    const auto m = run(core::DetectorSpec::chen(1000, ticks_from_ms(margin_ms)), wan());
+    if (!first) {
+      EXPECT_GT(m.detection_time_s, prev.detection_time_s);
+      EXPECT_LE(m.mistake_count, prev.mistake_count);
+      EXPECT_GE(m.query_accuracy, prev.query_accuracy - 1e-9);
+    }
+    prev = m;
+    first = false;
+  }
+}
+
+TEST(ReplayMonotonicity, TwoWindowMarginTradesSpeedForAccuracy) {
+  qos::QosMetrics prev{};
+  bool first = true;
+  for (int margin_ms : {40, 160, 640}) {
+    const auto m =
+        run(core::DetectorSpec::two_window(1, 1000, ticks_from_ms(margin_ms)), wan());
+    if (!first) {
+      EXPECT_GT(m.detection_time_s, prev.detection_time_s);
+      EXPECT_LE(m.mistake_count, prev.mistake_count);
+    }
+    prev = m;
+    first = false;
+  }
+}
+
+TEST(ReplayMonotonicity, PhiThresholdTradesSpeedForAccuracy) {
+  qos::QosMetrics prev{};
+  bool first = true;
+  for (double threshold : {0.5, 1.0, 2.0, 4.0}) {
+    const auto m = run(core::DetectorSpec::phi(threshold), wan());
+    if (!first) {
+      EXPECT_GE(m.detection_time_s, prev.detection_time_s);
+      EXPECT_LE(m.mistake_count, prev.mistake_count);
+    }
+    prev = m;
+    first = false;
+  }
+}
+
+TEST(ReplayMonotonicity, EdThresholdTradesSpeedForAccuracy) {
+  qos::QosMetrics prev{};
+  bool first = true;
+  for (double k : {0.5, 1.0, 2.0}) {  // E = 1 - 10^-k
+    const auto m = run(core::DetectorSpec::ed(1.0 - std::pow(10.0, -k)), wan());
+    if (!first) {
+      EXPECT_GE(m.detection_time_s, prev.detection_time_s);
+      EXPECT_LE(m.mistake_count, prev.mistake_count);
+    }
+    prev = m;
+    first = false;
+  }
+}
+
+TEST(ReplayDominance, TwoWindowBeatsBothChenConstituents) {
+  // The QoS corollary of Eq 13, on both scenarios. Suspicion time (hence
+  // P_A) dominance is exact; the mistake COUNT can exceed the minimum by
+  // an episode-boundary artefact (one constituent's long mistake can
+  // contain several 2W mistakes), so the count gets a small tolerance.
+  for (const trace::Trace* t : {&wan(), &lan()}) {
+    const Tick margin = ticks_from_ms(65);
+    const auto chen1 = run(core::DetectorSpec::chen(1, margin), *t);
+    const auto chen1000 = run(core::DetectorSpec::chen(1000, margin), *t);
+    const auto tw = run(core::DetectorSpec::two_window(1, 1000, margin), *t);
+    const auto count_floor =
+        std::min(chen1.mistake_count, chen1000.mistake_count);
+    EXPECT_LE(static_cast<double>(tw.mistake_count),
+              static_cast<double>(count_floor) * 1.02 + 3.0)
+        << t->name();
+    EXPECT_GE(tw.query_accuracy,
+              std::max(chen1.query_accuracy, chen1000.query_accuracy) - 1e-9)
+        << t->name();
+  }
+}
+
+TEST(ReplayDominance, WiderLongWindowHelpsOnBalance) {
+  // Figure 4 trend: growing the long window helps. (Not a per-mistake
+  // set inclusion — Chen(100)'s mistakes are not a subset of Chen(10)'s —
+  // so this asserts the aggregate trend with a small tolerance.)
+  const Tick margin = ticks_from_ms(115);
+  const auto m10 = run(core::DetectorSpec::two_window(1, 10, margin), wan());
+  const auto m1000 = run(core::DetectorSpec::two_window(1, 1000, margin), wan());
+  EXPECT_LE(static_cast<double>(m1000.mistake_count),
+            static_cast<double>(m10.mistake_count) * 1.02 + 5.0);
+}
+
+TEST(ReplayDeterminism, SameSpecSameTraceSameMetrics) {
+  const auto spec = core::DetectorSpec::two_window(1, 1000, ticks_from_ms(115));
+  const auto a = run(spec, wan());
+  const auto b = run(spec, wan());
+  EXPECT_EQ(a.mistake_count, b.mistake_count);
+  EXPECT_DOUBLE_EQ(a.detection_time_s, b.detection_time_s);
+  EXPECT_DOUBLE_EQ(a.query_accuracy, b.query_accuracy);
+}
+
+}  // namespace
+}  // namespace twfd

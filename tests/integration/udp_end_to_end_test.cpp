@@ -1,0 +1,103 @@
+// Real-socket end-to-end test: a heartbeat sender and a monitor run on
+// two UDP event loops over loopback (sender on its own thread). The
+// monitor must stay trusting while heartbeats flow and raise a suspicion
+// promptly once the sender dies.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "core/multi_window.hpp"
+#include "net/event_loop.hpp"
+#include "service/dispatcher.hpp"
+#include "service/heartbeat_sender.hpp"
+#include "service/monitor.hpp"
+
+namespace twfd {
+namespace {
+
+TEST(UdpEndToEnd, DetectsRealProcessSilence) {
+  net::EventLoop monitor_loop;
+
+  // --- Monitor side ---
+  core::MultiWindowDetector::Params mp;
+  mp.windows = {1, 50};
+  mp.interval = ticks_from_ms(20);
+  mp.safety_margin = ticks_from_ms(60);
+
+  std::atomic<int> suspects{0};
+  std::atomic<int> trusts{0};
+  service::Dispatcher dispatch(monitor_loop.runtime());
+  service::Monitor monitor(monitor_loop.runtime(), /*sender_id=*/1,
+                           std::make_unique<core::MultiWindowDetector>(mp),
+                           {[&](Tick) { ++suspects; }, [&](Tick) { ++trusts; }});
+  dispatch.on_heartbeat([&](PeerId from, const net::HeartbeatMsg& m, Tick at) {
+    monitor.handle_heartbeat(from, m, at);
+  });
+
+  // --- Sender side, on its own thread with its own loop ---
+  const std::uint16_t monitor_port = monitor_loop.local_port();
+  std::thread sender_thread([monitor_port] {
+    net::EventLoop sender_loop;
+    service::HeartbeatSender sender(sender_loop.runtime(),
+                                    {/*sender_id=*/1, ticks_from_ms(20)});
+    sender.add_target(
+        sender_loop.add_peer(net::SocketAddress::loopback(monitor_port)));
+    sender.start();
+    // The "process" lives for 900 ms, then dies (loop exits, sender with it).
+    sender_loop.run_for(ticks_from_ms(900));
+    sender.stop();
+  });
+
+  // Monitor observes for 2.5 s: ~0.9 s alive, then silence.
+  monitor_loop.run_for(ticks_from_ms(2500));
+  sender_thread.join();
+
+  EXPECT_GT(monitor.heartbeats_seen(), 30u);
+  EXPECT_EQ(suspects.load(), 1);
+  EXPECT_EQ(trusts.load(), 0);
+  EXPECT_EQ(monitor.output(), detect::Output::Suspect);
+}
+
+TEST(UdpEndToEnd, NoFalseAlarmOnHealthyLoopback) {
+  net::EventLoop monitor_loop;
+
+  core::MultiWindowDetector::Params mp;
+  mp.windows = {1, 50};
+  mp.interval = ticks_from_ms(20);
+  mp.safety_margin = ticks_from_ms(100);  // loopback jitter is tiny
+
+  std::atomic<int> suspects{0};
+  service::Dispatcher dispatch(monitor_loop.runtime());
+  service::Monitor monitor(monitor_loop.runtime(), 1,
+                           std::make_unique<core::MultiWindowDetector>(mp),
+                           {[&](Tick) { ++suspects; }, {}});
+  dispatch.on_heartbeat([&](PeerId from, const net::HeartbeatMsg& m, Tick at) {
+    monitor.handle_heartbeat(from, m, at);
+  });
+
+  const std::uint16_t monitor_port = monitor_loop.local_port();
+  std::atomic<bool> stop{false};
+  std::thread sender_thread([monitor_port, &stop] {
+    net::EventLoop sender_loop;
+    service::HeartbeatSender sender(sender_loop.runtime(), {1, ticks_from_ms(20)});
+    sender.add_target(
+        sender_loop.add_peer(net::SocketAddress::loopback(monitor_port)));
+    sender.start();
+    while (!stop.load()) sender_loop.run_for(ticks_from_ms(50));
+    sender.stop();
+  });
+
+  monitor_loop.run_for(ticks_from_ms(1500));
+  stop = true;
+  sender_thread.join();
+
+  EXPECT_GT(monitor.heartbeats_seen(), 40u);
+  EXPECT_EQ(suspects.load(), 0);
+  EXPECT_EQ(monitor.output(), detect::Output::Trust);
+}
+
+}  // namespace
+}  // namespace twfd

@@ -1,0 +1,116 @@
+#include "net/event_loop.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace twfd::net {
+namespace {
+
+std::span<const std::byte> bytes(const std::string& s) {
+  return {reinterpret_cast<const std::byte*>(s.data()), s.size()};
+}
+
+TEST(EventLoop, ClockAdvances) {
+  EventLoop loop;
+  const Tick a = loop.now();
+  loop.run_for(ticks_from_ms(20));
+  EXPECT_GE(loop.now() - a, ticks_from_ms(15));
+}
+
+TEST(EventLoop, TimerFires) {
+  EventLoop loop;
+  bool fired = false;
+  loop.schedule_at(loop.now() + ticks_from_ms(20), [&] { fired = true; });
+  loop.run_for(ticks_from_ms(200));
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventLoop, TimerOrderRespected) {
+  EventLoop loop;
+  std::vector<int> order;
+  const Tick t0 = loop.now();
+  loop.schedule_at(t0 + ticks_from_ms(40), [&] { order.push_back(2); });
+  loop.schedule_at(t0 + ticks_from_ms(10), [&] { order.push_back(1); });
+  loop.run_for(ticks_from_ms(200));
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventLoop, CancelledTimerSilent) {
+  EventLoop loop;
+  bool fired = false;
+  const TimerId id =
+      loop.schedule_at(loop.now() + ticks_from_ms(10), [&] { fired = true; });
+  loop.cancel(id);
+  loop.run_for(ticks_from_ms(80));
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventLoop, PastDeadlineFiresImmediately) {
+  EventLoop loop;
+  bool fired = false;
+  loop.schedule_at(loop.now() - ticks_from_ms(5), [&] { fired = true; });
+  loop.run_for(ticks_from_ms(30));
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventLoop, PeerRegistrationIdempotent) {
+  EventLoop loop;
+  const auto addr = SocketAddress::loopback(12345);
+  const PeerId a = loop.add_peer(addr);
+  const PeerId b = loop.add_peer(addr);
+  EXPECT_EQ(a, b);
+  const PeerId c = loop.add_peer(SocketAddress::loopback(12346));
+  EXPECT_NE(a, c);
+}
+
+TEST(EventLoop, LoopbackTransportDelivers) {
+  EventLoop rx;
+  EventLoop tx;
+  const PeerId rx_peer = tx.add_peer(SocketAddress::loopback(rx.local_port()));
+
+  std::string got;
+  rx.set_receive_handler([&](PeerId, std::span<const std::byte> data) {
+    got.assign(reinterpret_cast<const char*>(data.data()), data.size());
+    rx.stop();
+  });
+  tx.send(rx_peer, bytes("over-the-wire"));
+  rx.run_for(ticks_from_sec(2));
+  EXPECT_EQ(got, "over-the-wire");
+  EXPECT_EQ(tx.datagrams_sent(), 1u);
+  EXPECT_EQ(rx.datagrams_received(), 1u);
+}
+
+TEST(EventLoop, ReceiveIdentifiesSender) {
+  EventLoop rx;
+  EventLoop tx;
+  const PeerId rx_peer = tx.add_peer(SocketAddress::loopback(rx.local_port()));
+  // Pre-register the sender on the receiver side; the handler must see
+  // the same id.
+  const PeerId expected = rx.add_peer(SocketAddress::loopback(tx.local_port()));
+  PeerId seen = 0;
+  rx.set_receive_handler([&](PeerId from, std::span<const std::byte>) {
+    seen = from;
+    rx.stop();
+  });
+  tx.send(rx_peer, bytes("hi"));
+  rx.run_for(ticks_from_sec(2));
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(EventLoop, UnknownPeerSendRejected) {
+  EventLoop loop;
+  EXPECT_THROW(loop.send(42, bytes("x")), std::logic_error);
+}
+
+TEST(EventLoop, StopFromTimer) {
+  EventLoop loop;
+  loop.schedule_at(loop.now() + ticks_from_ms(5), [&] { loop.stop(); });
+  const Tick before = loop.now();
+  loop.run_until(loop.now() + ticks_from_sec(30));  // stop() must cut this short
+  EXPECT_LT(loop.now() - before, ticks_from_sec(5));
+}
+
+}  // namespace
+}  // namespace twfd::net

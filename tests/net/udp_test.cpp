@@ -1,0 +1,98 @@
+#include "net/udp_socket.hpp"
+
+#include <gtest/gtest.h>
+
+#include <poll.h>
+
+#include <cstring>
+#include <string>
+
+namespace twfd::net {
+namespace {
+
+std::span<const std::byte> bytes(const std::string& s) {
+  return {reinterpret_cast<const std::byte*>(s.data()), s.size()};
+}
+
+void wait_readable(const UdpSocket& s, int ms = 2000) {
+  pollfd pfd{s.fd(), POLLIN, 0};
+  ASSERT_GT(::poll(&pfd, 1, ms), 0) << "datagram never arrived";
+}
+
+TEST(SocketAddress, ParseAndFormat) {
+  const auto a = SocketAddress::parse("192.168.1.20", 8080);
+  EXPECT_EQ(a.ip_host_order, 0xC0A80114u);
+  EXPECT_EQ(a.port, 8080);
+  EXPECT_EQ(a.to_string(), "192.168.1.20:8080");
+  EXPECT_EQ(SocketAddress::loopback(9).ip_host_order, 0x7f000001u);
+  EXPECT_THROW(SocketAddress::parse("not-an-ip", 1), std::invalid_argument);
+}
+
+TEST(SocketAddress, SockaddrRoundTrip) {
+  const auto a = SocketAddress::parse("10.0.0.7", 1234);
+  EXPECT_EQ(SocketAddress::from_sockaddr(a.to_sockaddr()), a);
+}
+
+TEST(SocketAddress, Ordering) {
+  const auto a = SocketAddress::parse("10.0.0.1", 1);
+  const auto b = SocketAddress::parse("10.0.0.1", 2);
+  const auto c = SocketAddress::parse("10.0.0.2", 1);
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+}
+
+TEST(UdpSocket, EphemeralBindGetsPort) {
+  UdpSocket s(0);
+  EXPECT_GT(s.local_port(), 0);
+  EXPECT_GE(s.fd(), 0);
+}
+
+TEST(UdpSocket, LoopbackSendReceive) {
+  UdpSocket rx(0);
+  UdpSocket tx(0);
+  tx.send_to(SocketAddress::loopback(rx.local_port()), bytes("ping"));
+  wait_readable(rx);
+  const auto d = rx.receive();
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(d->data.data()), d->data.size()),
+            "ping");
+  EXPECT_EQ(d->from.port, tx.local_port());
+}
+
+TEST(UdpSocket, NonBlockingReceiveReturnsNullopt) {
+  UdpSocket s(0);
+  EXPECT_FALSE(s.receive().has_value());
+}
+
+TEST(UdpSocket, MoveTransfersOwnership) {
+  UdpSocket a(0);
+  const int fd = a.fd();
+  const auto port = a.local_port();
+  UdpSocket b(std::move(a));
+  EXPECT_EQ(b.fd(), fd);
+  EXPECT_EQ(b.local_port(), port);
+  EXPECT_EQ(a.fd(), -1);
+}
+
+TEST(UdpSocket, MultipleDatagramsQueue) {
+  UdpSocket rx(0);
+  UdpSocket tx(0);
+  const auto dest = SocketAddress::loopback(rx.local_port());
+  tx.send_to(dest, bytes("a"));
+  tx.send_to(dest, bytes("b"));
+  tx.send_to(dest, bytes("c"));
+  wait_readable(rx);
+  int got = 0;
+  for (int tries = 0; tries < 100 && got < 3; ++tries) {
+    if (rx.receive().has_value()) {
+      ++got;
+    } else {
+      pollfd pfd{rx.fd(), POLLIN, 0};
+      ::poll(&pfd, 1, 50);
+    }
+  }
+  EXPECT_EQ(got, 3);
+}
+
+}  // namespace
+}  // namespace twfd::net

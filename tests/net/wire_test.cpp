@@ -1,0 +1,101 @@
+#include "net/wire.hpp"
+
+#include <gtest/gtest.h>
+
+namespace twfd::net {
+namespace {
+
+TEST(Wire, HeartbeatRoundTrip) {
+  HeartbeatMsg m;
+  m.sender_id = 0xDEADBEEFCAFEF00DULL;
+  m.seq = 123456789;
+  m.send_time = ticks_from_sec(42) + 17;
+  m.interval = ticks_from_ms(100);
+  const auto data = encode(m);
+  EXPECT_EQ(data.size(), HeartbeatMsg::kWireSize);
+  const auto back = decode(data);
+  ASSERT_TRUE(back.has_value());
+  const auto* hb = std::get_if<HeartbeatMsg>(&*back);
+  ASSERT_NE(hb, nullptr);
+  EXPECT_EQ(hb->sender_id, m.sender_id);
+  EXPECT_EQ(hb->seq, m.seq);
+  EXPECT_EQ(hb->send_time, m.send_time);
+  EXPECT_EQ(hb->interval, m.interval);
+}
+
+TEST(Wire, IntervalRequestRoundTrip) {
+  IntervalRequestMsg m;
+  m.requester_id = 7;
+  m.requested_interval = ticks_from_ms(20);
+  const auto data = encode(m);
+  EXPECT_EQ(data.size(), IntervalRequestMsg::kWireSize);
+  const auto back = decode(data);
+  ASSERT_TRUE(back.has_value());
+  const auto* ir = std::get_if<IntervalRequestMsg>(&*back);
+  ASSERT_NE(ir, nullptr);
+  EXPECT_EQ(ir->requester_id, 7u);
+  EXPECT_EQ(ir->requested_interval, ticks_from_ms(20));
+}
+
+TEST(Wire, NegativeTimestampsSurvive) {
+  HeartbeatMsg m;
+  m.seq = 1;
+  m.send_time = -ticks_from_sec(5);  // clocks can be behind epoch anchors
+  m.interval = 1;
+  const auto back = decode(encode(m));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(std::get<HeartbeatMsg>(*back).send_time, -ticks_from_sec(5));
+}
+
+TEST(Wire, RejectsBadMagic) {
+  auto data = encode(HeartbeatMsg{1, 1, 0, 1});
+  data[0] = std::byte{0x00};
+  EXPECT_FALSE(decode(data).has_value());
+}
+
+TEST(Wire, RejectsBadVersion) {
+  auto data = encode(HeartbeatMsg{1, 1, 0, 1});
+  data[4] = std::byte{99};
+  EXPECT_FALSE(decode(data).has_value());
+}
+
+TEST(Wire, RejectsUnknownType) {
+  auto data = encode(HeartbeatMsg{1, 1, 0, 1});
+  data[5] = std::byte{42};
+  EXPECT_FALSE(decode(data).has_value());
+}
+
+TEST(Wire, RejectsTruncatedAndOversized) {
+  auto data = encode(HeartbeatMsg{1, 1, 0, 1});
+  auto trunc = data;
+  trunc.pop_back();
+  EXPECT_FALSE(decode(trunc).has_value());
+  auto big = data;
+  big.push_back(std::byte{0});
+  EXPECT_FALSE(decode(big).has_value());
+  EXPECT_FALSE(decode({}).has_value());
+}
+
+TEST(Wire, RejectsNonsenseFieldValues) {
+  EXPECT_FALSE(decode(encode(HeartbeatMsg{1, 0, 0, 1})).has_value());   // seq 0
+  EXPECT_FALSE(decode(encode(HeartbeatMsg{1, -3, 0, 1})).has_value());  // seq < 0
+  EXPECT_FALSE(decode(encode(HeartbeatMsg{1, 1, 0, 0})).has_value());   // interval 0
+  EXPECT_FALSE(
+      decode(encode(IntervalRequestMsg{1, 0})).has_value());  // interval 0
+}
+
+TEST(Wire, LittleEndianLayoutStable) {
+  // The wire format is a protocol: lock the byte layout.
+  HeartbeatMsg m;
+  m.sender_id = 0x0102030405060708ULL;
+  m.seq = 1;
+  m.send_time = 2;
+  m.interval = 3;
+  const auto data = encode(m);
+  EXPECT_EQ(static_cast<unsigned char>(data[6]), 0x08);   // sender_id LSB first
+  EXPECT_EQ(static_cast<unsigned char>(data[13]), 0x01);  // sender_id MSB last
+  EXPECT_EQ(static_cast<unsigned char>(data[14]), 0x01);  // seq LSB
+}
+
+}  // namespace
+}  // namespace twfd::net

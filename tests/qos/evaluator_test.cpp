@@ -1,0 +1,237 @@
+#include "qos/evaluator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "detect/chen.hpp"
+
+namespace twfd::qos {
+namespace {
+
+constexpr Tick kI = ticks_from_ms(100);
+
+// A trace where heartbeat arrival offsets are fully controlled: offsets[i]
+// is the delay past the nominal send instant of heartbeat i+1; a negative
+// offset marks a lost heartbeat.
+trace::Trace make_trace(const std::vector<Tick>& offsets) {
+  trace::Trace t("unit", kI, 0);
+  for (std::size_t i = 0; i < offsets.size(); ++i) {
+    const auto seq = static_cast<std::int64_t>(i + 1);
+    trace::HeartbeatRecord r;
+    r.seq = seq;
+    r.send_time = seq * kI;
+    if (offsets[i] < 0) {
+      r.lost = true;
+      r.arrival_time = kTickInfinity;
+    } else {
+      r.lost = false;
+      r.arrival_time = seq * kI + offsets[i];
+    }
+    t.push(r);
+  }
+  return t;
+}
+
+detect::ChenDetector chen(Tick margin, std::size_t window = 1) {
+  detect::ChenDetector::Params p;
+  p.window = window;
+  p.safety_margin = margin;
+  p.interval = kI;
+  return detect::ChenDetector(p);
+}
+
+TEST(Evaluator, PerfectTraceMakesNoMistakes) {
+  const auto t = make_trace(std::vector<Tick>(50, 0));
+  auto d = chen(ticks_from_ms(10));
+  const auto r = evaluate(d, t);
+  EXPECT_EQ(r.metrics.mistake_count, 0u);
+  EXPECT_DOUBLE_EQ(r.metrics.query_accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(r.metrics.mistake_duration_s, 0.0);
+  // T_D = interval + margin with zero delay/jitter.
+  EXPECT_NEAR(r.metrics.detection_time_s, 0.110, 1e-9);
+  EXPECT_NEAR(r.metrics.observed_s, 4.9, 1e-9);
+}
+
+TEST(Evaluator, SingleLossCausesOneMistake) {
+  // 10 heartbeats, #5 lost -> detector suspects from tau_5 until #6 lands.
+  std::vector<Tick> off(10, 0);
+  off[4] = -1;
+  const auto t = make_trace(off);
+  auto d = chen(ticks_from_ms(10));
+  EvalOptions opt;
+  opt.record_mistakes = true;
+  const auto r = evaluate(d, t, opt);
+  ASSERT_EQ(r.metrics.mistake_count, 1u);
+  ASSERT_EQ(r.mistakes.size(), 1u);
+  // Awaiting heartbeat 5; freshness point was 5*kI + 10ms; trust resumed
+  // when m_6 arrived at 6*kI.
+  EXPECT_EQ(r.mistakes[0].awaiting_seq, 5);
+  EXPECT_EQ(r.mistakes[0].start, 5 * kI + ticks_from_ms(10));
+  EXPECT_EQ(r.mistakes[0].end, 6 * kI);
+  EXPECT_NEAR(r.metrics.mistake_duration_s, 0.090, 1e-9);
+  // P_A = 1 - 0.090 / 0.9 observed seconds.
+  EXPECT_NEAR(r.metrics.query_accuracy, 1.0 - 0.090 / 0.9, 1e-9);
+  EXPECT_NEAR(r.metrics.mistake_rate_per_s, 1.0 / 0.9, 1e-9);
+}
+
+TEST(Evaluator, ConsecutiveLossesAreOneMistake) {
+  std::vector<Tick> off(12, 0);
+  off[4] = off[5] = off[6] = -1;  // 5,6,7 lost
+  const auto t = make_trace(off);
+  auto d = chen(ticks_from_ms(10));
+  EvalOptions opt;
+  opt.record_mistakes = true;
+  const auto r = evaluate(d, t, opt);
+  ASSERT_EQ(r.metrics.mistake_count, 1u);
+  EXPECT_EQ(r.mistakes[0].awaiting_seq, 5);
+  EXPECT_EQ(r.mistakes[0].end, 8 * kI);  // m_8 restores trust
+  EXPECT_NEAR(r.metrics.mistake_duration_s, 0.290, 1e-9);
+}
+
+TEST(Evaluator, LateHeartbeatMistake) {
+  // #5 arrives 60 ms late: mistake from tau_5 to the late arrival.
+  std::vector<Tick> off(10, 0);
+  off[4] = ticks_from_ms(60);
+  const auto t = make_trace(off);
+  auto d = chen(ticks_from_ms(10));
+  EvalOptions opt;
+  opt.record_mistakes = true;
+  const auto r = evaluate(d, t, opt);
+  ASSERT_EQ(r.metrics.mistake_count, 1u);
+  EXPECT_EQ(r.mistakes[0].start, 5 * kI + ticks_from_ms(10));
+  EXPECT_EQ(r.mistakes[0].end, 5 * kI + ticks_from_ms(60));
+  EXPECT_NEAR(r.metrics.mistake_duration_s, 0.050, 1e-9);
+}
+
+TEST(Evaluator, TwoSeparateMistakes) {
+  std::vector<Tick> off(20, 0);
+  off[4] = -1;
+  off[14] = -1;
+  const auto t = make_trace(off);
+  auto d = chen(ticks_from_ms(10));
+  const auto r = evaluate(d, t);
+  EXPECT_EQ(r.metrics.mistake_count, 2u);
+}
+
+TEST(Evaluator, LargerMarginRemovesMistakes) {
+  std::vector<Tick> off(10, 0);
+  off[4] = ticks_from_ms(60);
+  const auto t = make_trace(off);
+  auto d = chen(ticks_from_ms(80));  // margin exceeds the lateness
+  const auto r = evaluate(d, t);
+  EXPECT_EQ(r.metrics.mistake_count, 0u);
+  EXPECT_DOUBLE_EQ(r.metrics.query_accuracy, 1.0);
+}
+
+TEST(Evaluator, DetectionTimeGrowsWithMargin) {
+  const auto t = make_trace(std::vector<Tick>(50, 0));
+  auto d1 = chen(ticks_from_ms(10));
+  auto d2 = chen(ticks_from_ms(200));
+  const auto r1 = evaluate(d1, t);
+  const auto r2 = evaluate(d2, t);
+  EXPECT_NEAR(r2.metrics.detection_time_s - r1.metrics.detection_time_s, 0.190,
+              1e-9);
+}
+
+TEST(Evaluator, TrailingSuspicionClosedAtObservationEnd) {
+  // Last heartbeat lost: the armed freshness point fires before t_end.
+  std::vector<Tick> off(10, 0);
+  off[8] = -1;  // #9 lost; #10 delivered late enough to include tau_9?
+  off[9] = ticks_from_ms(90);
+  const auto t = make_trace(off);
+  auto d = chen(ticks_from_ms(10));
+  EvalOptions opt;
+  opt.record_mistakes = true;
+  const auto r = evaluate(d, t, opt);
+  // Mistake for awaiting #9 from tau_9=9I+10ms until #10 at 10I+90ms.
+  ASSERT_EQ(r.metrics.mistake_count, 1u);
+  EXPECT_EQ(r.mistakes[0].end, 10 * kI + ticks_from_ms(90));
+}
+
+TEST(Evaluator, SkipFirstExcludesWarmupMistakes) {
+  std::vector<Tick> off(20, 0);
+  off[2] = -1;  // early mistake
+  const auto t = make_trace(off);
+  auto d = chen(ticks_from_ms(10));
+  EvalOptions opt;
+  opt.skip_first = 5;
+  const auto r = evaluate(d, t, opt);
+  EXPECT_EQ(r.metrics.mistake_count, 0u);
+  EXPECT_DOUBLE_EQ(r.metrics.query_accuracy, 1.0);
+}
+
+TEST(Evaluator, EmptyAndTinyTraces) {
+  trace::Trace empty("e", kI);
+  auto d = chen(ticks_from_ms(10));
+  const auto r = evaluate(d, empty);
+  EXPECT_EQ(r.metrics.mistake_count, 0u);
+  EXPECT_DOUBLE_EQ(r.metrics.observed_s, 0.0);
+
+  const auto one = make_trace({0});
+  const auto r1 = evaluate(d, one);
+  EXPECT_DOUBLE_EQ(r1.metrics.observed_s, 0.0);
+}
+
+TEST(Evaluator, ResetsDetectorBetweenRuns) {
+  const auto t = make_trace(std::vector<Tick>(30, 0));
+  auto d = chen(ticks_from_ms(10));
+  const auto a = evaluate(d, t);
+  const auto b = evaluate(d, t);  // must be identical, not contaminated
+  EXPECT_EQ(a.metrics.mistake_count, b.metrics.mistake_count);
+  EXPECT_DOUBLE_EQ(a.metrics.detection_time_s, b.metrics.detection_time_s);
+  EXPECT_DOUBLE_EQ(a.metrics.query_accuracy, b.metrics.query_accuracy);
+}
+
+TEST(Evaluator, ReorderedArrivalsAreStaleNonEvents) {
+  // Non-FIFO delivery: seq 5 overtakes seq 4. The late stale heartbeat
+  // must neither restore trust nor perturb estimation.
+  trace::Trace t("reorder", kI, 0);
+  t.push({1, 1 * kI, 1 * kI, false});
+  t.push({2, 2 * kI, 2 * kI, false});
+  t.push({3, 3 * kI, 3 * kI, false});
+  // seq 4 delayed hugely, seq 5 on time: 5 arrives first.
+  t.push({4, 4 * kI, 5 * kI + ticks_from_ms(50), false});
+  t.push({5, 5 * kI, 5 * kI, false});
+  for (std::int64_t s = 6; s <= 10; ++s) t.push({s, s * kI, s * kI, false});
+
+  auto d = chen(ticks_from_ms(10));
+  qos::EvalOptions opt;
+  opt.record_mistakes = true;
+  const auto r = evaluate(d, t, opt);
+  // One mistake while awaiting seq 4 (from tau_4 until seq 5's arrival);
+  // the stale seq-4 arrival afterwards is a non-event.
+  ASSERT_EQ(r.metrics.mistake_count, 1u);
+  EXPECT_EQ(r.mistakes[0].awaiting_seq, 4);
+  EXPECT_EQ(r.mistakes[0].start, 4 * kI + ticks_from_ms(10));
+  EXPECT_EQ(r.mistakes[0].end, 5 * kI);
+}
+
+TEST(Evaluator, DetectionTailPercentilesOrdered) {
+  std::vector<Tick> off(2000, 0);
+  // Sprinkle late arrivals to give the TD distribution a tail.
+  for (std::size_t i = 50; i < off.size(); i += 97) off[i] = ticks_from_ms(70);
+  const auto t = make_trace(off);
+  auto d = chen(ticks_from_ms(20), /*window=*/1);
+  const auto r = evaluate(d, t);
+  // Quantiles are ordered (the mean need not sit below p95 for a spiky
+  // distribution — outliers pull the mean, not the bulk quantiles).
+  EXPECT_LE(r.metrics.detection_time_p95_s, r.metrics.detection_time_p99_s);
+  EXPECT_LE(r.metrics.detection_time_p99_s,
+            r.metrics.detection_time_max_s + 1e-9);
+  // The bulk sits at interval+margin = 120 ms...
+  EXPECT_NEAR(r.metrics.detection_time_p95_s, 0.120, 0.005);
+  // ...while the max reflects the injected 70 ms latecomers.
+  EXPECT_GT(r.metrics.detection_time_max_s, r.metrics.detection_time_s + 0.05);
+}
+
+TEST(Evaluator, MistakeRecurrenceIsInverseRate) {
+  std::vector<Tick> off(20, 0);
+  off[4] = -1;
+  const auto t = make_trace(off);
+  auto d = chen(ticks_from_ms(10));
+  const auto r = evaluate(d, t);
+  EXPECT_NEAR(r.metrics.mistake_recurrence_s(), 1.0 / r.metrics.mistake_rate_per_s,
+              1e-9);
+}
+
+}  // namespace
+}  // namespace twfd::qos

@@ -1,0 +1,69 @@
+#include "qos/intervals.hpp"
+
+#include <gtest/gtest.h>
+
+namespace twfd::qos {
+namespace {
+
+std::vector<Interval> iv(std::initializer_list<Interval> list) { return list; }
+
+TEST(Intervals, ToIntervalsCoalescesAndSorts) {
+  std::vector<MistakeRecord> recs = {
+      {50, 60, 1}, {10, 20, 2}, {20, 30, 3},  // adjacent: coalesce
+      {55, 58, 4},                            // contained
+      {70, 70, 5},                            // empty: dropped
+  };
+  EXPECT_EQ(to_intervals(recs), iv({{10, 30}, {50, 60}}));
+}
+
+TEST(Intervals, IntersectBasic) {
+  const auto a = iv({{0, 10}, {20, 30}});
+  const auto b = iv({{5, 25}});
+  EXPECT_EQ(intersect_intervals(a, b), iv({{5, 10}, {20, 25}}));
+}
+
+TEST(Intervals, IntersectDisjoint) {
+  EXPECT_TRUE(intersect_intervals(iv({{0, 5}}), iv({{5, 10}})).empty());
+  EXPECT_TRUE(intersect_intervals(iv({{0, 5}}), {}).empty());
+}
+
+TEST(Intervals, IntersectIdentity) {
+  const auto a = iv({{1, 4}, {6, 9}, {12, 20}});
+  EXPECT_EQ(intersect_intervals(a, a), a);
+}
+
+TEST(Intervals, UniteMergesOverlaps) {
+  EXPECT_EQ(unite_intervals(iv({{0, 5}, {10, 15}}), iv({{4, 11}})),
+            iv({{0, 15}}));
+  EXPECT_EQ(unite_intervals(iv({{0, 2}}), iv({{5, 6}})), iv({{0, 2}, {5, 6}}));
+}
+
+TEST(Intervals, TotalDuration) {
+  EXPECT_EQ(total_duration(iv({{0, 5}, {10, 12}})), 7);
+  EXPECT_EQ(total_duration({}), 0);
+}
+
+TEST(Intervals, CoveredBy) {
+  EXPECT_TRUE(covered_by(iv({{1, 2}, {5, 6}}), iv({{0, 10}})));
+  EXPECT_FALSE(covered_by(iv({{1, 2}, {9, 11}}), iv({{0, 10}})));
+  EXPECT_TRUE(covered_by({}, iv({{0, 1}})));
+}
+
+TEST(Intervals, AlgebraLaws) {
+  const auto a = iv({{0, 10}, {20, 30}, {40, 45}});
+  const auto b = iv({{5, 22}, {28, 42}});
+  const auto inter = intersect_intervals(a, b);
+  const auto uni = unite_intervals(a, b);
+  // |A| + |B| = |A u B| + |A n B| for measures.
+  EXPECT_EQ(total_duration(a) + total_duration(b),
+            total_duration(uni) + total_duration(inter));
+  EXPECT_TRUE(covered_by(inter, a));
+  EXPECT_TRUE(covered_by(inter, b));
+  EXPECT_TRUE(covered_by(a, uni));
+  // Commutativity.
+  EXPECT_EQ(inter, intersect_intervals(b, a));
+  EXPECT_EQ(uni, unite_intervals(b, a));
+}
+
+}  // namespace
+}  // namespace twfd::qos

@@ -1,0 +1,59 @@
+#include "qos/mistake_set.hpp"
+
+#include <gtest/gtest.h>
+
+namespace twfd::qos {
+namespace {
+
+MistakeSet set(std::vector<std::int64_t> ids) {
+  return MistakeSet::from_ids(std::move(ids));
+}
+
+TEST(MistakeSet, FromRecordsDeduplicatesAndSorts) {
+  std::vector<MistakeRecord> recs = {{10, 20, 5}, {30, 40, 3}, {50, 60, 5}};
+  const auto s = MistakeSet::from_records(recs);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.ids(), (std::vector<std::int64_t>{3, 5}));
+}
+
+TEST(MistakeSet, Intersection) {
+  EXPECT_EQ(set({1, 2, 3, 5}).intersect(set({2, 3, 4})), set({2, 3}));
+  EXPECT_TRUE(set({1}).intersect(set({2})).empty());
+  EXPECT_EQ(set({}).intersect(set({1})), set({}));
+}
+
+TEST(MistakeSet, Union) {
+  EXPECT_EQ(set({1, 3}).unite(set({2, 3})), set({1, 2, 3}));
+  EXPECT_EQ(set({}).unite(set({})), set({}));
+}
+
+TEST(MistakeSet, Difference) {
+  EXPECT_EQ(set({1, 2, 3}).subtract(set({2})), set({1, 3}));
+  EXPECT_EQ(set({1}).subtract(set({1})), set({}));
+}
+
+TEST(MistakeSet, Contains) {
+  const auto s = set({2, 4, 8});
+  EXPECT_TRUE(s.contains(4));
+  EXPECT_FALSE(s.contains(5));
+}
+
+TEST(MistakeSet, SubsetRelation) {
+  EXPECT_TRUE(set({2, 4}).is_subset_of(set({1, 2, 3, 4})));
+  EXPECT_FALSE(set({2, 5}).is_subset_of(set({1, 2, 3, 4})));
+  EXPECT_TRUE(set({}).is_subset_of(set({})));
+}
+
+TEST(MistakeSet, SetAlgebraLaws) {
+  const auto a = set({1, 2, 3, 7, 9});
+  const auto b = set({2, 3, 4, 9});
+  // |A| + |B| = |A u B| + |A n B|
+  EXPECT_EQ(a.size() + b.size(), a.unite(b).size() + a.intersect(b).size());
+  // A \ B and A n B partition A.
+  EXPECT_EQ(a.subtract(b).unite(a.intersect(b)), a);
+  // Intersection commutes.
+  EXPECT_EQ(a.intersect(b), b.intersect(a));
+}
+
+}  // namespace
+}  // namespace twfd::qos

@@ -1,0 +1,87 @@
+#include "qos/parallel_eval.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "trace/generator.hpp"
+
+namespace twfd::qos {
+namespace {
+
+trace::Trace make_channel() {
+  trace::TraceGenerator gen("par", ticks_from_ms(100), ticks_from_sec(1), 77);
+  trace::Regime r;
+  r.label = "a";
+  r.count = 30'000;
+  r.delay = std::make_unique<trace::ExponentialDelay>(0.002, 0.008);
+  r.loss = std::make_unique<trace::BernoulliLoss>(0.02);
+  gen.add_regime(std::move(r));
+  return gen.generate();
+}
+
+std::vector<core::DetectorSpec> sweep() {
+  std::vector<core::DetectorSpec> specs;
+  for (int m : {20, 50, 100, 200, 400}) {
+    specs.push_back(core::DetectorSpec::two_window(1, 100, ticks_from_ms(m)));
+    specs.push_back(core::DetectorSpec::chen(100, ticks_from_ms(m)));
+  }
+  specs.push_back(core::DetectorSpec::phi(2.0));
+  specs.push_back(core::DetectorSpec::bertier(100));
+  return specs;
+}
+
+TEST(ParallelEval, MatchesSequentialExactly) {
+  const auto t = make_channel();
+  const auto specs = sweep();
+  const auto seq = evaluate_many(specs, t, {}, 1);
+  const auto par = evaluate_many(specs, t, {}, 4);
+  ASSERT_EQ(seq.size(), par.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(seq[i].metrics.mistake_count, par[i].metrics.mistake_count) << i;
+    EXPECT_DOUBLE_EQ(seq[i].metrics.detection_time_s,
+                     par[i].metrics.detection_time_s)
+        << i;
+    EXPECT_DOUBLE_EQ(seq[i].metrics.query_accuracy, par[i].metrics.query_accuracy)
+        << i;
+    EXPECT_EQ(seq[i].metrics.detector, par[i].metrics.detector) << i;
+  }
+}
+
+TEST(ParallelEval, ResultsInInputOrder) {
+  const auto t = make_channel();
+  const auto specs = sweep();
+  const auto results = evaluate_many(specs, t, {}, 3);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    auto expected = core::make_detector(specs[i], t.interval(), t.clock_skew());
+    EXPECT_EQ(results[i].metrics.detector, expected->name()) << i;
+  }
+}
+
+TEST(ParallelEval, MoreThreadsThanSpecs) {
+  const auto t = make_channel();
+  std::vector<core::DetectorSpec> one = {
+      core::DetectorSpec::two_window(1, 100, ticks_from_ms(50))};
+  const auto r = evaluate_many(one, t, {}, 16);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_GT(r[0].metrics.detection_samples, 20'000u);
+}
+
+TEST(ParallelEval, EmptySpecList) {
+  const auto t = make_channel();
+  EXPECT_TRUE(evaluate_many({}, t).empty());
+}
+
+TEST(ParallelEval, RecordsMistakesWhenAsked) {
+  const auto t = make_channel();
+  EvalOptions opt;
+  opt.record_mistakes = true;
+  const auto r = evaluate_many(
+      {core::DetectorSpec::chen(1, ticks_from_ms(20))}, t, opt, 2);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0].mistakes.size(), r[0].metrics.mistake_count);
+  EXPECT_GT(r[0].mistakes.size(), 0u);
+}
+
+}  // namespace
+}  // namespace twfd::qos

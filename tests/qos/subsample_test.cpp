@@ -1,0 +1,46 @@
+#include "qos/subsample.hpp"
+
+#include <gtest/gtest.h>
+
+namespace twfd::qos {
+namespace {
+
+TEST(Subsample, CountsPerPeriod) {
+  std::vector<trace::Period> periods = {
+      {"Stable 1", 1, 100}, {"Burst", 101, 110}, {"Worm", 111, 200}};
+  std::vector<MistakeRecord> mistakes = {
+      {0, 1, 5},   {0, 1, 99},  {0, 1, 101},
+      {0, 1, 110}, {0, 1, 150}, {0, 1, 999},  // outside every period
+  };
+  const auto counts = count_mistakes_by_period(mistakes, periods);
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0].period, "Stable 1");
+  EXPECT_EQ(counts[0].mistakes, 2u);
+  EXPECT_EQ(counts[1].mistakes, 2u);
+  EXPECT_EQ(counts[2].mistakes, 1u);
+}
+
+TEST(Subsample, BoundariesInclusive) {
+  std::vector<trace::Period> periods = {{"P", 10, 20}};
+  std::vector<MistakeRecord> mistakes = {{0, 1, 10}, {0, 1, 20}, {0, 1, 9}, {0, 1, 21}};
+  const auto counts = count_mistakes_by_period(mistakes, periods);
+  EXPECT_EQ(counts[0].mistakes, 2u);
+}
+
+TEST(Subsample, EmptyInputs) {
+  EXPECT_TRUE(count_mistakes_by_period({}, {}).empty());
+  const auto counts = count_mistakes_by_period({}, {{"P", 1, 5}});
+  ASSERT_EQ(counts.size(), 1u);
+  EXPECT_EQ(counts[0].mistakes, 0u);
+}
+
+TEST(Subsample, TotalConservedWhenPeriodsCover) {
+  std::vector<trace::Period> periods = {{"A", 1, 50}, {"B", 51, 100}};
+  std::vector<MistakeRecord> mistakes;
+  for (std::int64_t i = 1; i <= 100; i += 7) mistakes.push_back({0, 1, i});
+  const auto counts = count_mistakes_by_period(mistakes, periods);
+  EXPECT_EQ(counts[0].mistakes + counts[1].mistakes, mistakes.size());
+}
+
+}  // namespace
+}  // namespace twfd::qos

@@ -1,0 +1,268 @@
+#include "service/fd_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "service/dispatcher.hpp"
+#include "service/heartbeat_sender.hpp"
+#include "sim/sim_world.hpp"
+
+namespace twfd::service {
+namespace {
+
+const config::QosRequirements kStrict{0.5, 1e-5, 2.0};
+const config::QosRequirements kMedium{1.5, 1e-4, 5.0};
+const config::QosRequirements kRelaxed{4.0, 1e-3, 20.0};
+
+struct Rig {
+  sim::SimWorld world{21};
+  sim::SimEndpoint& p;  // monitored host
+  sim::SimEndpoint& q;  // host running the FD service
+  Dispatcher p_dispatch;
+  Dispatcher q_dispatch;
+  HeartbeatSender sender;
+  FdService svc;
+  std::vector<FdService::StatusEvent> events;
+
+  explicit Rig(FdService::Params params = {})
+      : p(world.add_endpoint("p")),
+        q(world.add_endpoint("q")),
+        p_dispatch(p.runtime()),
+        q_dispatch(q.runtime()),
+        sender(p.runtime(), {/*sender_id=*/1, /*base=*/ticks_from_sec(10)}),
+        svc(q.runtime(), std::move(params)) {
+    world.connect_both(p, q, sim::lan_link());
+    sender.add_target(q.id());
+    p_dispatch.on_interval_request(
+        [this](PeerId from, const net::IntervalRequestMsg& m) {
+          sender.handle_interval_request(from, m);
+        });
+    q_dispatch.on_heartbeat([this](PeerId from, const net::HeartbeatMsg& m, Tick at) {
+      svc.handle_heartbeat(from, m, at);
+    });
+  }
+
+  FdService::SubscriptionId subscribe(const std::string& app,
+                                      const config::QosRequirements& qos) {
+    return svc.subscribe(p.id(), 1, app,
+                         qos, [this](const FdService::StatusEvent& e) {
+                           events.push_back(e);
+                         });
+  }
+};
+
+TEST(FdService, NegotiatesSharedInterval) {
+  Rig rig;
+  rig.subscribe("strict", kStrict);
+  rig.subscribe("relaxed", kRelaxed);
+  rig.world.run();  // deliver the IntervalRequest
+
+  const auto* combined = rig.svc.combined_config(rig.p.id());
+  ASSERT_NE(combined, nullptr);
+  ASSERT_TRUE(combined->feasible);
+  // Sender adopted exactly the requested Delta_i,min.
+  EXPECT_EQ(rig.sender.effective_interval(), rig.svc.shared_interval(rig.p.id()));
+  EXPECT_LT(rig.sender.effective_interval(), ticks_from_sec(10));
+  // Shared interval is the strict app's dedicated interval.
+  EXPECT_NEAR(combined->shared_interval_s, combined->apps[0].dedicated.interval_s,
+              1e-12);
+}
+
+TEST(FdService, AllAppsTrustWhileAlive) {
+  Rig rig;
+  const auto s1 = rig.subscribe("strict", kStrict);
+  const auto s2 = rig.subscribe("medium", kMedium);
+  const auto s3 = rig.subscribe("relaxed", kRelaxed);
+  rig.sender.start();
+  rig.world.run_until(ticks_from_sec(30));
+  EXPECT_EQ(rig.svc.output(s1), detect::Output::Trust);
+  EXPECT_EQ(rig.svc.output(s2), detect::Output::Trust);
+  EXPECT_EQ(rig.svc.output(s3), detect::Output::Trust);
+  EXPECT_TRUE(rig.events.empty());
+  EXPECT_GT(rig.svc.heartbeats_processed(), 50u);
+}
+
+TEST(FdService, CrashDetectedInQosOrder) {
+  Rig rig;
+  rig.subscribe("strict", kStrict);
+  rig.subscribe("medium", kMedium);
+  rig.subscribe("relaxed", kRelaxed);
+  rig.sender.start();
+  rig.world.run_until(ticks_from_sec(20));
+  ASSERT_TRUE(rig.events.empty());
+
+  const Tick crash = rig.world.now();
+  rig.sender.stop();
+  rig.world.run_until(crash + ticks_from_sec(10));
+
+  // All three apps eventually suspect, strictest first, and each within
+  // (roughly) its requested detection bound.
+  ASSERT_EQ(rig.events.size(), 3u);
+  EXPECT_EQ(rig.events[0].app, "strict");
+  EXPECT_EQ(rig.events[1].app, "medium");
+  EXPECT_EQ(rig.events[2].app, "relaxed");
+  for (const auto& e : rig.events) {
+    EXPECT_EQ(e.output, detect::Output::Suspect);
+  }
+  // Detection latency from crash <= T_D^U + one interval of slack.
+  EXPECT_LE(rig.events[0].when - crash, ticks_from_seconds(0.5 + 0.6));
+  EXPECT_LE(rig.events[1].when - crash, ticks_from_seconds(1.5 + 0.6));
+  EXPECT_LE(rig.events[2].when - crash, ticks_from_seconds(4.0 + 0.6));
+}
+
+TEST(FdService, RecoveryEmitsTrustEvents) {
+  Rig rig;
+  rig.subscribe("strict", kStrict);
+  rig.subscribe("relaxed", kRelaxed);
+  rig.sender.start();
+  rig.world.run_until(ticks_from_sec(10));
+  rig.sender.stop();
+  rig.world.run_until(ticks_from_sec(20));
+  ASSERT_EQ(rig.events.size(), 2u);  // both suspected
+  rig.events.clear();
+
+  rig.sender.start();
+  rig.world.run_until(ticks_from_sec(25));
+  ASSERT_EQ(rig.events.size(), 2u);
+  for (const auto& e : rig.events) EXPECT_EQ(e.output, detect::Output::Trust);
+}
+
+TEST(FdService, UnsubscribeRelaxesInterval) {
+  Rig rig;
+  const auto strict_id = rig.subscribe("strict", kStrict);
+  rig.subscribe("relaxed", kRelaxed);
+  rig.world.run();
+  const Tick fast = rig.sender.effective_interval();
+
+  rig.svc.unsubscribe(strict_id);
+  rig.world.run();
+  const Tick slow = rig.sender.effective_interval();
+  EXPECT_GT(slow, fast);  // only the relaxed app remains
+  EXPECT_EQ(slow, rig.svc.shared_interval(rig.p.id()));
+}
+
+TEST(FdService, UnsubscribedAppGetsNoEvents) {
+  Rig rig;
+  const auto id = rig.subscribe("strict", kStrict);
+  rig.subscribe("relaxed", kRelaxed);
+  rig.sender.start();
+  rig.world.run_until(ticks_from_sec(5));
+  rig.svc.unsubscribe(id);
+  rig.sender.stop();
+  rig.world.run_until(ticks_from_sec(15));
+  ASSERT_EQ(rig.events.size(), 1u);
+  EXPECT_EQ(rig.events[0].app, "relaxed");
+}
+
+TEST(FdService, InfeasibleQosRejected) {
+  Rig rig;
+  // Demands detection in 1 ms on a network assumed to have 10 ms stddev:
+  // Chen's procedure would only satisfy this by flooding (sub-millisecond
+  // heartbeats), which the service's interval floor rejects.
+  config::QosRequirements impossible{0.001, 1e-9, 0.001};
+  EXPECT_THROW(rig.subscribe("impossible", impossible), std::logic_error);
+  // Service state stays clean: a feasible app still works.
+  EXPECT_NO_THROW(rig.subscribe("ok", kMedium));
+}
+
+TEST(FdService, SenderIdMismatchIgnored) {
+  Rig rig;
+  const auto id = rig.subscribe("app", kMedium);
+  // A rogue sender with a different id on the same peer/link: its
+  // heartbeats must not feed the estimation — so from the subscribed
+  // app's perspective the remote is silent and, past the bootstrap
+  // deadline, rightly suspected.
+  HeartbeatSender rogue(rig.p.runtime(), {77, ticks_from_ms(10)});
+  rogue.add_target(rig.q.id());
+  rogue.start();
+  rig.world.run_until(ticks_from_sec(30));
+  EXPECT_EQ(rig.svc.heartbeats_processed(), 0u);
+  EXPECT_EQ(rig.svc.output(id), detect::Output::Suspect);
+  ASSERT_EQ(rig.events.size(), 1u);
+  EXPECT_EQ(rig.events[0].output, detect::Output::Suspect);
+  // The genuine sender restores trust.
+  rig.sender.start();
+  rig.world.run_until(ticks_from_sec(32));
+  EXPECT_EQ(rig.svc.output(id), detect::Output::Trust);
+}
+
+TEST(FdService, UnknownSubscriptionQueriesThrow) {
+  Rig rig;
+  EXPECT_THROW((void)rig.svc.output(123), std::logic_error);
+}
+
+TEST(FdService, MonitorsMultipleRemotesIndependently) {
+  sim::SimWorld world(33);
+  auto& p1 = world.add_endpoint("p1");
+  auto& p2 = world.add_endpoint("p2");
+  auto& q = world.add_endpoint("q");
+  world.connect_both(p1, q, sim::lan_link());
+  world.connect_both(p2, q, sim::lan_link());
+
+  Dispatcher d1(p1.runtime()), d2(p2.runtime()), dq(q.runtime());
+  HeartbeatSender s1(p1.runtime(), {1, ticks_from_sec(10)});
+  HeartbeatSender s2(p2.runtime(), {2, ticks_from_sec(10)});
+  s1.add_target(q.id());
+  s2.add_target(q.id());
+  d1.on_interval_request([&](PeerId f, const net::IntervalRequestMsg& m) {
+    s1.handle_interval_request(f, m);
+  });
+  d2.on_interval_request([&](PeerId f, const net::IntervalRequestMsg& m) {
+    s2.handle_interval_request(f, m);
+  });
+
+  FdService svc(q.runtime(), {});
+  dq.on_heartbeat([&](PeerId from, const net::HeartbeatMsg& m, Tick at) {
+    svc.handle_heartbeat(from, m, at);
+  });
+  std::vector<FdService::StatusEvent> events;
+  auto cb = [&](const FdService::StatusEvent& e) { events.push_back(e); };
+
+  const auto a1 = svc.subscribe(p1.id(), 1, "app-on-p1", kStrict, cb);
+  const auto a2 = svc.subscribe(p2.id(), 2, "app-on-p2", kRelaxed, cb);
+  // Different QoS per remote -> different negotiated intervals.
+  EXPECT_LT(svc.shared_interval(p1.id()), svc.shared_interval(p2.id()));
+
+  s1.start();
+  s2.start();
+  world.run_until(ticks_from_sec(20));
+  EXPECT_EQ(svc.output(a1), detect::Output::Trust);
+  EXPECT_EQ(svc.output(a2), detect::Output::Trust);
+  ASSERT_TRUE(events.empty());
+
+  // Only p1 crashes: p2's subscription must be unaffected.
+  s1.stop();
+  world.run_until(ticks_from_sec(30));
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].app, "app-on-p1");
+  EXPECT_EQ(svc.output(a1), detect::Output::Suspect);
+  EXPECT_EQ(svc.output(a2), detect::Output::Trust);
+}
+
+TEST(FdService, PeriodicReconfigureUsesLiveEstimates) {
+  FdService::Params params;
+  params.reconfigure_period = ticks_from_sec(5);
+  // Assume a pessimistic network; live estimates (tiny LAN variance) must
+  // relax the interval at the first reconfiguration.
+  params.assumed_network = {0.05, 1e-2};
+  params.min_samples_for_estimate = 50;
+  Rig rig(params);
+  rig.subscribe("app", kMedium);
+  // Bounded: the periodic reconfigure timer re-arms itself forever, so a
+  // full queue drain would never terminate.
+  rig.world.run_until(ticks_from_ms(100));
+  const Tick pessimistic = rig.svc.shared_interval(rig.p.id());
+  rig.sender.start();
+  rig.world.run_until(ticks_from_sec(30));
+  const Tick informed = rig.svc.shared_interval(rig.p.id());
+  EXPECT_GT(informed, pessimistic);  // better network -> fewer heartbeats
+  // The very last reconfigure's request may still be in flight at the
+  // cutoff; the sender must be within one reconfigure step of the service.
+  EXPECT_NEAR(static_cast<double>(rig.sender.effective_interval()),
+              static_cast<double>(informed), 1e6 /* 1 ms */);
+}
+
+}  // namespace
+}  // namespace twfd::service

@@ -1,0 +1,185 @@
+#include "service/membership.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/sim_world.hpp"
+
+namespace twfd::service {
+namespace {
+
+// Fully-connected N-node cluster over LAN-ish links in the simulator.
+struct Cluster {
+  sim::SimWorld world;
+  std::vector<sim::SimEndpoint*> endpoints;
+  std::vector<std::unique_ptr<MembershipNode>> nodes;
+
+  explicit Cluster(std::size_t n, Tick interval = ticks_from_ms(50),
+                   Tick margin = ticks_from_ms(60), std::uint64_t seed = 7)
+      : world(seed) {
+    for (std::size_t i = 0; i < n; ++i) {
+      endpoints.push_back(&world.add_endpoint("n" + std::to_string(i + 1)));
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        world.connect_both(*endpoints[i], *endpoints[j], sim::lan_link());
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      MembershipNode::Params p;
+      p.node_id = i + 1;
+      p.heartbeat_interval = interval;
+      p.safety_margin = margin;
+      p.windows = {1, 100};
+      nodes.push_back(
+          std::make_unique<MembershipNode>(endpoints[i]->runtime(), p));
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i != j) nodes[i]->add_peer(endpoints[j]->id(), j + 1);
+      }
+    }
+  }
+
+  void start_all() {
+    for (auto& node : nodes) node->start();
+  }
+};
+
+std::vector<NodeId> ids(std::initializer_list<NodeId> list) { return list; }
+
+TEST(Membership, AllNodesConvergeToFullView) {
+  Cluster c(3);
+  c.start_all();
+  c.world.run_until(ticks_from_sec(5));
+  for (const auto& node : c.nodes) {
+    EXPECT_EQ(node->alive(), ids({1, 2, 3})) << "node " << node->id();
+  }
+}
+
+TEST(Membership, ViewStartsWithSelfOnly) {
+  Cluster c(3);
+  // No heartbeats yet: each node sees only itself.
+  for (const auto& node : c.nodes) {
+    EXPECT_EQ(node->alive().size(), 1u);
+    EXPECT_TRUE(node->is_alive(node->id()));
+  }
+}
+
+TEST(Membership, CrashedNodeLeavesEveryView) {
+  Cluster c(3);
+  c.start_all();
+  c.world.run_until(ticks_from_sec(5));
+
+  c.nodes[2]->stop();  // node 3 dies
+  c.world.run_until(ticks_from_sec(10));
+
+  EXPECT_EQ(c.nodes[0]->alive(), ids({1, 2}));
+  EXPECT_EQ(c.nodes[1]->alive(), ids({1, 2}));
+  EXPECT_FALSE(c.nodes[0]->is_alive(3));
+  // The dead node still *monitors*: it keeps seeing the others.
+  EXPECT_EQ(c.nodes[2]->alive(), ids({1, 2, 3}));
+}
+
+TEST(Membership, RestartedNodeRejoins) {
+  Cluster c(3);
+  c.start_all();
+  c.world.run_until(ticks_from_sec(5));
+  c.nodes[2]->stop();
+  c.world.run_until(ticks_from_sec(10));
+  ASSERT_EQ(c.nodes[0]->alive(), ids({1, 2}));
+
+  c.nodes[2]->start();
+  c.world.run_until(ticks_from_sec(12));
+  EXPECT_EQ(c.nodes[0]->alive(), ids({1, 2, 3}));
+  EXPECT_EQ(c.nodes[1]->alive(), ids({1, 2, 3}));
+}
+
+TEST(Membership, ViewCallbacksFireOnTransitions) {
+  Cluster c(2);
+  std::vector<std::vector<NodeId>> views;
+  c.nodes[0]->on_view_change([&](const std::vector<NodeId>& v) { views.push_back(v); });
+
+  c.start_all();
+  c.world.run_until(ticks_from_sec(3));
+  ASSERT_EQ(views.size(), 1u);  // join of node 2
+  EXPECT_EQ(views[0], ids({1, 2}));
+
+  c.nodes[1]->stop();
+  c.world.run_until(ticks_from_sec(6));
+  ASSERT_EQ(views.size(), 2u);  // leave of node 2
+  EXPECT_EQ(views[1], ids({1}));
+  EXPECT_EQ(c.nodes[0]->view_changes(), 2u);
+}
+
+TEST(Membership, AsymmetricPartitionYieldsAsymmetricViews) {
+  Cluster c(3);
+  c.start_all();
+  c.world.run_until(ticks_from_sec(5));
+
+  // Partition: node 3 can still talk to everyone, but nothing from
+  // node 3 reaches node 1 (one-way failure).
+  c.world.disconnect(*c.endpoints[2], *c.endpoints[0]);
+  c.world.run_until(ticks_from_sec(10));
+
+  EXPECT_EQ(c.nodes[0]->alive(), ids({1, 2}));     // 1 suspects 3
+  EXPECT_EQ(c.nodes[1]->alive(), ids({1, 2, 3}));  // 2 still sees all
+  EXPECT_EQ(c.nodes[2]->alive(), ids({1, 2, 3}));  // 3 hears 1 fine
+
+  // Heal: views reconverge.
+  c.world.connect_both(*c.endpoints[2], *c.endpoints[0], sim::lan_link());
+  c.world.run_until(ticks_from_sec(15));
+  EXPECT_EQ(c.nodes[0]->alive(), ids({1, 2, 3}));
+}
+
+TEST(Membership, FullPartitionSplitsCluster) {
+  Cluster c(4);
+  c.start_all();
+  c.world.run_until(ticks_from_sec(5));
+
+  // Split {1,2} | {3,4}.
+  for (int a : {0, 1}) {
+    for (int b : {2, 3}) {
+      c.world.disconnect_both(*c.endpoints[a], *c.endpoints[b]);
+    }
+  }
+  c.world.run_until(ticks_from_sec(12));
+  EXPECT_EQ(c.nodes[0]->alive(), ids({1, 2}));
+  EXPECT_EQ(c.nodes[1]->alive(), ids({1, 2}));
+  EXPECT_EQ(c.nodes[2]->alive(), ids({3, 4}));
+  EXPECT_EQ(c.nodes[3]->alive(), ids({3, 4}));
+}
+
+TEST(Membership, LossyClusterStaysStable) {
+  // 1% loss with a healthy margin: no view flapping over minutes.
+  Cluster c(3, ticks_from_ms(50), ticks_from_ms(200), 11);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      if (i == j) continue;
+      sim::LinkParams link;
+      link.delay = std::make_unique<trace::ExponentialDelay>(0.0005, 0.002);
+      link.loss = std::make_unique<trace::BernoulliLoss>(0.01);
+      c.world.connect(*c.endpoints[i], *c.endpoints[j], std::move(link));
+    }
+  }
+  std::size_t changes_after_join = 0;
+  c.start_all();
+  c.world.run_until(ticks_from_sec(3));
+  for (auto& n : c.nodes) changes_after_join += n->view_changes();
+  c.world.run_until(ticks_from_sec(120));
+  std::size_t changes_total = 0;
+  for (auto& n : c.nodes) changes_total += n->view_changes();
+  EXPECT_EQ(changes_total, changes_after_join);  // no flaps
+  for (auto& n : c.nodes) EXPECT_EQ(n->alive().size(), 3u);
+}
+
+TEST(Membership, RejectsSelfAndDuplicatePeers) {
+  Cluster c(2);
+  EXPECT_THROW(c.nodes[0]->add_peer(c.endpoints[1]->id(), 1), std::logic_error);
+  EXPECT_THROW(c.nodes[0]->add_peer(c.endpoints[1]->id(), 2), std::logic_error);
+}
+
+}  // namespace
+}  // namespace twfd::service

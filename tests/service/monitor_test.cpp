@@ -1,0 +1,143 @@
+#include "service/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/multi_window.hpp"
+#include "detect/chen.hpp"
+#include "service/dispatcher.hpp"
+#include "service/heartbeat_sender.hpp"
+#include "sim/sim_world.hpp"
+
+namespace twfd::service {
+namespace {
+
+std::unique_ptr<detect::FailureDetector> chen(Tick interval, Tick margin) {
+  detect::ChenDetector::Params p;
+  p.window = 4;
+  p.interval = interval;
+  p.safety_margin = margin;
+  return std::make_unique<detect::ChenDetector>(p);
+}
+
+struct Rig {
+  sim::SimWorld world{11};
+  sim::SimEndpoint& p;
+  sim::SimEndpoint& q;
+  Dispatcher q_dispatch;
+  HeartbeatSender sender;
+  std::vector<Tick> suspects;
+  std::vector<Tick> trusts;
+  Monitor monitor;
+
+  explicit Rig(Tick interval = ticks_from_ms(100), Tick margin = ticks_from_ms(50))
+      : p(world.add_endpoint("p")),
+        q(world.add_endpoint("q")),
+        q_dispatch(q.runtime()),
+        sender(p.runtime(), {1, interval}),
+        monitor(q.runtime(), /*watched_sender_id=*/1, chen(interval, margin),
+                {[this](Tick t) { suspects.push_back(t); },
+                 [this](Tick t) { trusts.push_back(t); }}) {
+    world.connect_both(p, q, sim::lan_link());
+    q_dispatch.on_heartbeat([this](PeerId from, const net::HeartbeatMsg& m, Tick at) {
+      monitor.handle_heartbeat(from, m, at);
+    });
+    sender.add_target(q.id());
+  }
+};
+
+TEST(Monitor, StaysTrustingWhileHeartbeatsFlow) {
+  Rig rig;
+  rig.sender.start();
+  rig.world.run_until(ticks_from_sec(5));
+  EXPECT_TRUE(rig.suspects.empty());
+  EXPECT_EQ(rig.monitor.output(), detect::Output::Trust);
+  EXPECT_GT(rig.monitor.heartbeats_seen(), 40u);
+}
+
+TEST(Monitor, DetectsCrashWithinExpectedTime) {
+  Rig rig;
+  rig.sender.start();
+  rig.world.run_until(ticks_from_sec(2));
+  ASSERT_TRUE(rig.suspects.empty());
+  // Crash p at t=2s (last heartbeat at t=2.0s).
+  rig.sender.stop();
+  rig.world.run_until(ticks_from_sec(5));
+  ASSERT_EQ(rig.suspects.size(), 1u);
+  // Detection = next expected arrival (+delay ~100us) + 50 ms margin.
+  const Tick detect_at = rig.suspects[0];
+  EXPECT_GT(detect_at, ticks_from_ms(2100));
+  EXPECT_LT(detect_at, ticks_from_ms(2300));
+  EXPECT_EQ(rig.monitor.output(), detect::Output::Suspect);
+  EXPECT_TRUE(rig.trusts.empty());
+}
+
+TEST(Monitor, RecoversWhenSenderReturns) {
+  Rig rig;
+  rig.sender.start();
+  rig.world.run_until(ticks_from_sec(1));
+  rig.sender.stop();
+  rig.world.run_until(ticks_from_sec(3));
+  ASSERT_EQ(rig.suspects.size(), 1u);
+  // p restarts (sequence numbers continue).
+  rig.sender.start();
+  rig.world.run_until(ticks_from_sec(4));
+  ASSERT_EQ(rig.trusts.size(), 1u);
+  EXPECT_GT(rig.trusts[0], rig.suspects[0]);
+  EXPECT_EQ(rig.monitor.output(), detect::Output::Trust);
+}
+
+TEST(Monitor, IgnoresForeignSenders) {
+  Rig rig;
+  // A second sender with a different id targets the same monitor.
+  HeartbeatSender foreign(rig.p.runtime(), {99, ticks_from_ms(10)});
+  foreign.add_target(rig.q.id());
+  foreign.start();
+  rig.world.run_until(ticks_from_sec(1));
+  EXPECT_EQ(rig.monitor.heartbeats_seen(), 0u);
+}
+
+TEST(Monitor, RepeatedCrashesProduceRepeatedAlarms) {
+  Rig rig;
+  for (int round = 0; round < 3; ++round) {
+    rig.sender.start();
+    rig.world.run_until(rig.world.now() + ticks_from_sec(1));
+    rig.sender.stop();
+    rig.world.run_until(rig.world.now() + ticks_from_sec(2));
+  }
+  EXPECT_EQ(rig.suspects.size(), 3u);
+  EXPECT_EQ(rig.trusts.size(), 2u);  // last crash never recovers
+}
+
+TEST(Monitor, WorksWithMultiWindowDetector) {
+  sim::SimWorld world(13);
+  auto& p = world.add_endpoint("p");
+  auto& q = world.add_endpoint("q");
+  world.connect_both(p, q, sim::lan_link());
+  Dispatcher dispatch(q.runtime());
+  HeartbeatSender sender(p.runtime(), {1, ticks_from_ms(50)});
+  sender.add_target(q.id());
+
+  core::MultiWindowDetector::Params mp;
+  mp.windows = {1, 100};
+  mp.safety_margin = ticks_from_ms(30);
+  mp.interval = ticks_from_ms(50);
+  std::vector<Tick> suspects;
+  Monitor monitor(q.runtime(), 1, std::make_unique<core::MultiWindowDetector>(mp),
+                  {[&](Tick t) { suspects.push_back(t); }, {}});
+  dispatch.on_heartbeat([&](PeerId from, const net::HeartbeatMsg& m, Tick at) {
+    monitor.handle_heartbeat(from, m, at);
+  });
+
+  sender.start();
+  world.run_until(ticks_from_sec(3));
+  EXPECT_TRUE(suspects.empty());
+  sender.stop();
+  world.run_until(ticks_from_sec(6));
+  ASSERT_EQ(suspects.size(), 1u);
+  EXPECT_LT(suspects[0], ticks_from_sec(3) + ticks_from_ms(200));
+}
+
+}  // namespace
+}  // namespace twfd::service

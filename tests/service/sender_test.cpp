@@ -1,0 +1,152 @@
+#include "service/heartbeat_sender.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "service/dispatcher.hpp"
+#include "sim/sim_world.hpp"
+
+namespace twfd::service {
+namespace {
+
+struct Rig {
+  sim::SimWorld world{1};
+  sim::SimEndpoint& p;
+  sim::SimEndpoint& q;
+  Dispatcher q_dispatch;
+  std::vector<net::HeartbeatMsg> received;
+
+  Rig()
+      : p(world.add_endpoint("p")),
+        q(world.add_endpoint("q")),
+        q_dispatch(q.runtime()) {
+    world.connect_both(p, q, sim::lan_link());
+    q_dispatch.on_heartbeat([this](PeerId, const net::HeartbeatMsg& m, Tick) {
+      received.push_back(m);
+    });
+  }
+};
+
+TEST(HeartbeatSender, EmitsAtCadence) {
+  Rig rig;
+  HeartbeatSender::Params sp;
+  sp.sender_id = 9;
+  sp.base_interval = ticks_from_ms(100);
+  HeartbeatSender sender(rig.p.runtime(), sp);
+  sender.add_target(rig.q.id());
+  sender.start();
+  rig.world.run_until(ticks_from_ms(1050));
+  sender.stop();
+
+  // t=0,100,...,1000 -> 11 heartbeats.
+  ASSERT_EQ(rig.received.size(), 11u);
+  for (std::size_t i = 0; i < rig.received.size(); ++i) {
+    EXPECT_EQ(rig.received[i].seq, static_cast<std::int64_t>(i + 1));
+    EXPECT_EQ(rig.received[i].sender_id, 9u);
+    EXPECT_EQ(rig.received[i].interval, ticks_from_ms(100));
+  }
+  EXPECT_EQ(sender.sent_count(), 11);
+}
+
+TEST(HeartbeatSender, SendTimestampsUseLocalClock) {
+  sim::SimWorld world(2);
+  auto& p = world.add_endpoint("p", /*skew=*/ticks_from_sec(50));
+  auto& q = world.add_endpoint("q");
+  world.connect_both(p, q, sim::lan_link());
+  Dispatcher dispatch(q.runtime());
+  std::vector<net::HeartbeatMsg> received;
+  dispatch.on_heartbeat(
+      [&](PeerId, const net::HeartbeatMsg& m, Tick) { received.push_back(m); });
+
+  HeartbeatSender sender(p.runtime(), {1, ticks_from_ms(100)});
+  sender.add_target(q.id());
+  sender.start();
+  world.run_until(ticks_from_ms(250));
+  ASSERT_GE(received.size(), 2u);
+  EXPECT_EQ(received[0].send_time, ticks_from_sec(50));
+  EXPECT_EQ(received[1].send_time, ticks_from_sec(50) + ticks_from_ms(100));
+}
+
+TEST(HeartbeatSender, StopHalts) {
+  Rig rig;
+  HeartbeatSender sender(rig.p.runtime(), {1, ticks_from_ms(10)});
+  sender.add_target(rig.q.id());
+  sender.start();
+  rig.world.run_until(ticks_from_ms(55));
+  sender.stop();
+  const auto count = rig.received.size();
+  rig.world.run_until(ticks_from_sec(1));
+  EXPECT_EQ(rig.received.size(), count);
+  EXPECT_FALSE(sender.running());
+}
+
+TEST(HeartbeatSender, IntervalRequestSpeedsUp) {
+  Rig rig;
+  HeartbeatSender sender(rig.p.runtime(), {1, ticks_from_ms(100)});
+  sender.add_target(rig.q.id());
+  sender.start();
+  rig.world.run_until(ticks_from_ms(350));
+  const auto before = rig.received.size();  // ~4
+
+  net::IntervalRequestMsg req{7, ticks_from_ms(20)};
+  sender.handle_interval_request(rig.q.id(), req);
+  EXPECT_EQ(sender.effective_interval(), ticks_from_ms(20));
+  rig.world.run_until(ticks_from_ms(1350));
+  // Next second at 20 ms cadence: ~50 heartbeats.
+  EXPECT_GE(rig.received.size() - before, 45u);
+  // And they carry the new interval.
+  EXPECT_EQ(rig.received.back().interval, ticks_from_ms(20));
+}
+
+TEST(HeartbeatSender, SlowerRequestCannotExceedBase) {
+  Rig rig;
+  HeartbeatSender sender(rig.p.runtime(), {1, ticks_from_ms(50)});
+  sender.handle_interval_request(rig.q.id(), {7, ticks_from_ms(500)});
+  EXPECT_EQ(sender.effective_interval(), ticks_from_ms(50));
+}
+
+TEST(HeartbeatSender, MinOverRequesters) {
+  Rig rig;
+  HeartbeatSender sender(rig.p.runtime(), {1, ticks_from_ms(100)});
+  sender.handle_interval_request(11, {11, ticks_from_ms(60)});
+  sender.handle_interval_request(12, {12, ticks_from_ms(30)});
+  EXPECT_EQ(sender.effective_interval(), ticks_from_ms(30));
+  // Requester 12 relaxes: min moves back to 60 ms.
+  sender.handle_interval_request(12, {12, ticks_from_ms(90)});
+  EXPECT_EQ(sender.effective_interval(), ticks_from_ms(60));
+}
+
+TEST(HeartbeatSender, BroadcastsToAllTargets) {
+  sim::SimWorld world(3);
+  auto& p = world.add_endpoint("p");
+  auto& q1 = world.add_endpoint("q1");
+  auto& q2 = world.add_endpoint("q2");
+  world.connect(p, q1, sim::lan_link());
+  world.connect(p, q2, sim::lan_link());
+  Dispatcher d1(q1.runtime()), d2(q2.runtime());
+  int c1 = 0, c2 = 0;
+  d1.on_heartbeat([&](PeerId, const net::HeartbeatMsg&, Tick) { ++c1; });
+  d2.on_heartbeat([&](PeerId, const net::HeartbeatMsg&, Tick) { ++c2; });
+
+  HeartbeatSender sender(p.runtime(), {1, ticks_from_ms(100)});
+  sender.add_target(q1.id());
+  sender.add_target(q2.id());
+  sender.add_target(q1.id());  // duplicate ignored
+  sender.start();
+  world.run_until(ticks_from_ms(450));
+  EXPECT_EQ(c1, 5);
+  EXPECT_EQ(c2, 5);
+}
+
+TEST(Dispatcher, CountsMalformed) {
+  Rig rig;
+  const std::byte junk[3] = {std::byte{1}, std::byte{2}, std::byte{3}};
+  rig.p.send(rig.q.id(), junk);
+  rig.world.run();
+  EXPECT_EQ(rig.q_dispatch.malformed_count(), 1u);
+  EXPECT_TRUE(rig.received.empty());
+}
+
+}  // namespace
+}  // namespace twfd::service

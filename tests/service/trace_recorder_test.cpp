@@ -1,0 +1,106 @@
+#include "service/trace_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "detect/chen.hpp"
+#include "qos/evaluator.hpp"
+#include "service/dispatcher.hpp"
+#include "service/heartbeat_sender.hpp"
+#include "sim/sim_world.hpp"
+
+namespace twfd::service {
+namespace {
+
+net::HeartbeatMsg hb(std::int64_t seq, Tick send, Tick interval = ticks_from_ms(100)) {
+  return {1, seq, send, interval};
+}
+
+TEST(TraceRecorder, RecordsInOrder) {
+  TraceRecorder rec("t", ticks_from_ms(100));
+  rec.record(hb(1, 100), 150);
+  rec.record(hb(2, 200), 260);
+  rec.record(hb(3, 300), 350);
+  const auto t = rec.trace();
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[1].arrival_time, 260);
+  EXPECT_EQ(rec.recorded(), 3u);
+  EXPECT_EQ(rec.lost(), 0u);
+}
+
+TEST(TraceRecorder, MarksGapsAsLost) {
+  TraceRecorder rec("t", ticks_from_ms(100));
+  rec.record(hb(1, ticks_from_ms(100)), ticks_from_ms(101));
+  rec.record(hb(4, ticks_from_ms(400)), ticks_from_ms(402));
+  const auto t = rec.trace();
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_TRUE(t[1].lost);
+  EXPECT_TRUE(t[2].lost);
+  // Extrapolated send times of the lost heartbeats.
+  EXPECT_EQ(t[1].send_time, ticks_from_ms(200));
+  EXPECT_EQ(t[2].send_time, ticks_from_ms(300));
+  EXPECT_EQ(rec.lost(), 2u);
+}
+
+TEST(TraceRecorder, DropsDuplicatesAndReordered) {
+  TraceRecorder rec("t", ticks_from_ms(100));
+  rec.record(hb(2, 200), 250);
+  rec.record(hb(2, 200), 270);  // duplicate
+  rec.record(hb(1, 100), 280);  // behind: already counted lost
+  EXPECT_EQ(rec.recorded(), 1u);
+  const auto t = rec.trace();
+  ASSERT_EQ(t.size(), 2u);  // seq 1 (lost) + seq 2
+  EXPECT_TRUE(t[0].lost);
+}
+
+TEST(TraceRecorder, AdoptsCarriedInterval) {
+  TraceRecorder rec("t", ticks_from_sec(10));
+  rec.record(hb(1, 100, ticks_from_ms(20)), 150);
+  EXPECT_EQ(rec.trace().interval(), ticks_from_ms(20));
+}
+
+TEST(TraceRecorder, EndToEndCaptureReplaysFaithfully) {
+  // Record a live lossy run in the simulator, then replay the captured
+  // trace: the trace's loss count must match the link's drops.
+  sim::SimWorld world(61);
+  auto& p = world.add_endpoint("p");
+  auto& q = world.add_endpoint("q");
+  sim::LinkParams link;
+  link.delay = std::make_unique<trace::ExponentialDelay>(0.001, 0.004);
+  link.loss = std::make_unique<trace::BernoulliLoss>(0.1);
+  world.connect(p, q, std::move(link));
+
+  Dispatcher dispatch(q.runtime());
+  HeartbeatSender sender(p.runtime(), {1, ticks_from_ms(50)});
+  sender.add_target(q.id());
+  TraceRecorder rec("capture", ticks_from_ms(50));
+  dispatch.on_heartbeat([&](PeerId, const net::HeartbeatMsg& m, Tick at) {
+    rec.record(m, at);
+  });
+
+  sender.start();
+  world.run_until(ticks_from_sec(120));
+  sender.stop();
+  world.run();
+
+  const auto sent = static_cast<std::size_t>(sender.sent_count());
+  // Trailing losses after the final delivery are unknowable to the
+  // recorder; allow that slack.
+  EXPECT_GE(rec.recorded() + rec.lost(), sent - 20);
+  EXPECT_NEAR(static_cast<double>(rec.lost()) / sent, 0.1, 0.03);
+
+  const auto t = rec.trace();
+  detect::ChenDetector::Params cp;
+  cp.window = 10;
+  cp.interval = ticks_from_ms(50);
+  cp.safety_margin = ticks_from_ms(30);
+  detect::ChenDetector d(cp);
+  const auto r = qos::evaluate(d, t);
+  EXPECT_GT(r.metrics.mistake_count, 10u);  // 10% loss must show up
+  EXPECT_GT(r.metrics.query_accuracy, 0.5);
+  EXPECT_NEAR(r.metrics.observed_s, 120.0, 5.0);
+}
+
+}  // namespace
+}  // namespace twfd::service

@@ -1,0 +1,248 @@
+#include "sim/sim_world.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace twfd::sim {
+namespace {
+
+std::span<const std::byte> bytes(const std::string& s) {
+  return {reinterpret_cast<const std::byte*>(s.data()), s.size()};
+}
+
+LinkParams fixed_link(double delay_s, double loss = 0.0) {
+  LinkParams p;
+  p.delay = std::make_unique<trace::ConstantJitterDelay>(delay_s, 0.0);
+  p.loss = std::make_unique<trace::BernoulliLoss>(loss);
+  return p;
+}
+
+TEST(SimWorld, DeliversWithLinkDelay) {
+  SimWorld world(1);
+  auto& a = world.add_endpoint("a");
+  auto& b = world.add_endpoint("b");
+  world.connect(a, b, fixed_link(0.010));
+
+  Tick delivered_at = -1;
+  std::string got;
+  b.set_receive_handler([&](PeerId from, std::span<const std::byte> data) {
+    EXPECT_EQ(from, a.id());
+    got.assign(reinterpret_cast<const char*>(data.data()), data.size());
+    delivered_at = world.now();
+  });
+
+  a.send(b.id(), bytes("hello"));
+  world.run();
+  EXPECT_EQ(got, "hello");
+  EXPECT_EQ(delivered_at, ticks_from_ms(10));
+  EXPECT_EQ(world.datagrams_sent(), 1u);
+  EXPECT_EQ(world.datagrams_delivered(), 1u);
+}
+
+TEST(SimWorld, UnroutableDropsSilently) {
+  SimWorld world(1);
+  auto& a = world.add_endpoint("a");
+  auto& b = world.add_endpoint("b");
+  bool got = false;
+  b.set_receive_handler([&](PeerId, std::span<const std::byte>) { got = true; });
+  a.send(b.id(), bytes("x"));  // no link installed
+  world.run();
+  EXPECT_FALSE(got);
+  EXPECT_EQ(world.datagrams_delivered(), 0u);
+}
+
+TEST(SimWorld, LossyLinkDrops) {
+  SimWorld world(2);
+  auto& a = world.add_endpoint("a");
+  auto& b = world.add_endpoint("b");
+  world.connect(a, b, fixed_link(0.001, 1.0));  // everything lost
+  bool got = false;
+  b.set_receive_handler([&](PeerId, std::span<const std::byte>) { got = true; });
+  a.send(b.id(), bytes("x"));
+  world.run();
+  EXPECT_FALSE(got);
+}
+
+TEST(SimWorld, TimersFireInLocalClockDomain) {
+  SimWorld world(3);
+  auto& a = world.add_endpoint("a", /*skew=*/ticks_from_sec(100));
+  Tick fired_local = -1;
+  a.schedule_at(ticks_from_sec(100) + ticks_from_ms(50),
+                [&] { fired_local = a.now(); });
+  world.run();
+  // Fires when the *local* clock reaches the deadline, i.e. global 50 ms.
+  EXPECT_EQ(world.now(), ticks_from_ms(50));
+  EXPECT_EQ(fired_local, ticks_from_sec(100) + ticks_from_ms(50));
+}
+
+TEST(SimWorld, DriftingClockScales) {
+  SimWorld world(4);
+  auto& a = world.add_endpoint("a", 0, /*drift=*/0.01);
+  world.run_until(ticks_from_sec(100));
+  EXPECT_NEAR(static_cast<double>(a.now()),
+              static_cast<double>(ticks_from_sec(101)), 1e3);
+}
+
+TEST(SimWorld, CancelledTimerDoesNotFire) {
+  SimWorld world(5);
+  auto& a = world.add_endpoint("a");
+  bool fired = false;
+  const TimerId id = a.schedule_at(ticks_from_ms(10), [&] { fired = true; });
+  a.cancel(id);
+  world.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimWorld, EventsOrderedByTimeThenFifo) {
+  SimWorld world(6);
+  auto& a = world.add_endpoint("a");
+  std::vector<int> order;
+  a.schedule_at(ticks_from_ms(20), [&] { order.push_back(2); });
+  a.schedule_at(ticks_from_ms(10), [&] { order.push_back(1); });
+  a.schedule_at(ticks_from_ms(20), [&] { order.push_back(3); });  // same t as #2
+  world.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimWorld, RunUntilAdvancesClock) {
+  SimWorld world(7);
+  auto& a = world.add_endpoint("a");
+  int fired = 0;
+  a.schedule_at(ticks_from_ms(10), [&] { ++fired; });
+  a.schedule_at(ticks_from_ms(100), [&] { ++fired; });
+  world.run_until(ticks_from_ms(50));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(world.now(), ticks_from_ms(50));
+  world.run_until(ticks_from_ms(200));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimWorld, FifoLinkPreservesOrderUnderJitter) {
+  SimWorld world(8);
+  auto& a = world.add_endpoint("a");
+  auto& b = world.add_endpoint("b");
+  LinkParams p;
+  p.delay = std::make_unique<trace::ExponentialDelay>(0.0001, 0.02);
+  p.loss = std::make_unique<trace::BernoulliLoss>(0.0);
+  world.connect(a, b, std::move(p));
+
+  std::vector<int> received;
+  b.set_receive_handler([&](PeerId, std::span<const std::byte> data) {
+    received.push_back(static_cast<int>(data[0]));
+  });
+  // Send 50 numbered messages 1 ms apart; heavy jitter would reorder a
+  // non-FIFO link.
+  for (int i = 0; i < 50; ++i) {
+    const std::byte payload[1] = {static_cast<std::byte>(i)};
+    a.schedule_at(i * ticks_from_ms(1),
+                  [&a, &b, payload] { a.send(b.id(), payload); });
+  }
+  world.run();
+  ASSERT_EQ(received.size(), 50u);
+  for (int i = 0; i < 50; ++i) ASSERT_EQ(received[i], i);
+}
+
+TEST(SimWorld, ReproducibleForSeed) {
+  auto run_once = [] {
+    SimWorld world(99);
+    auto& a = world.add_endpoint("a");
+    auto& b = world.add_endpoint("b");
+    LinkParams p;
+    p.delay = std::make_unique<trace::ExponentialDelay>(0.001, 0.005);
+    p.loss = std::make_unique<trace::BernoulliLoss>(0.3);
+    world.connect(a, b, std::move(p));
+    std::vector<Tick> arrivals;
+    b.set_receive_handler(
+        [&](PeerId, std::span<const std::byte>) { arrivals.push_back(world.now()); });
+    for (int i = 0; i < 100; ++i) {
+      const std::byte payload[1] = {static_cast<std::byte>(i)};
+      a.schedule_at(i * ticks_from_ms(2),
+                    [&a, &b, payload] { a.send(b.id(), payload); });
+    }
+    world.run();
+    return arrivals;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(SimWorld, DisconnectDropsSubsequentSends) {
+  SimWorld world(20);
+  auto& a = world.add_endpoint("a");
+  auto& b = world.add_endpoint("b");
+  world.connect(a, b, fixed_link(0.001));
+  int got = 0;
+  b.set_receive_handler([&](PeerId, std::span<const std::byte>) { ++got; });
+  a.send(b.id(), bytes("one"));
+  world.run();
+  world.disconnect(a, b);
+  a.send(b.id(), bytes("two"));
+  world.run();
+  EXPECT_EQ(got, 1);
+  // Reconnect restores delivery.
+  world.connect(a, b, fixed_link(0.001));
+  a.send(b.id(), bytes("three"));
+  world.run();
+  EXPECT_EQ(got, 2);
+}
+
+TEST(SimWorld, BottleneckSerializesBackToBackSends) {
+  SimWorld world(21);
+  auto& a = world.add_endpoint("a");
+  auto& b = world.add_endpoint("b");
+  LinkParams p = fixed_link(0.0);  // isolate the queueing effect
+  p.bandwidth_bytes_per_s = 1000.0;  // 1 KB/s: a 5-byte datagram takes 5 ms
+  world.connect(a, b, std::move(p));
+
+  std::vector<Tick> arrivals;
+  b.set_receive_handler(
+      [&](PeerId, std::span<const std::byte>) { arrivals.push_back(world.now()); });
+  // Three 5-byte datagrams sent at the same instant queue behind each
+  // other: deliveries at 5, 10, 15 ms.
+  a.send(b.id(), bytes("aaaaa"));
+  a.send(b.id(), bytes("bbbbb"));
+  a.send(b.id(), bytes("ccccc"));
+  world.run();
+  ASSERT_EQ(arrivals.size(), 3u);
+  EXPECT_EQ(arrivals[0], ticks_from_ms(5));
+  EXPECT_EQ(arrivals[1], ticks_from_ms(10));
+  EXPECT_EQ(arrivals[2], ticks_from_ms(15));
+}
+
+TEST(SimWorld, BottleneckIdlesBetweenSpacedSends) {
+  SimWorld world(22);
+  auto& a = world.add_endpoint("a");
+  auto& b = world.add_endpoint("b");
+  LinkParams p = fixed_link(0.0);
+  p.bandwidth_bytes_per_s = 1000.0;
+  world.connect(a, b, std::move(p));
+  std::vector<Tick> arrivals;
+  b.set_receive_handler(
+      [&](PeerId, std::span<const std::byte>) { arrivals.push_back(world.now()); });
+  // Sends 100 ms apart: no queueing, each takes only its own 5 ms.
+  a.schedule_at(0, [&] { a.send(b.id(), bytes("aaaaa")); });
+  a.schedule_at(ticks_from_ms(100), [&] { a.send(b.id(), bytes("bbbbb")); });
+  world.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0], ticks_from_ms(5));
+  EXPECT_EQ(arrivals[1], ticks_from_ms(105));
+}
+
+TEST(SimWorld, ConnectBothInstallsSymmetricLinks) {
+  SimWorld world(10);
+  auto& a = world.add_endpoint("a");
+  auto& b = world.add_endpoint("b");
+  world.connect_both(a, b, lan_link());
+  int a_got = 0, b_got = 0;
+  a.set_receive_handler([&](PeerId, std::span<const std::byte>) { ++a_got; });
+  b.set_receive_handler([&](PeerId, std::span<const std::byte>) { ++b_got; });
+  a.send(b.id(), bytes("x"));
+  b.send(a.id(), bytes("y"));
+  world.run();
+  EXPECT_EQ(a_got, 1);
+  EXPECT_EQ(b_got, 1);
+}
+
+}  // namespace
+}  // namespace twfd::sim

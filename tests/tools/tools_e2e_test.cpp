@@ -1,0 +1,105 @@
+// End-to-end tests of the CLI daemons, spawned as real subprocesses over
+// loopback UDP: beacon -> monitor detection, beacon -> record -> replay
+// pipeline, and argument validation.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#ifndef TWFD_TOOLS_DIR
+#error "TWFD_TOOLS_DIR must be defined by the build"
+#endif
+
+namespace {
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+CommandResult run_command(const std::string& cmd) {
+  CommandResult r;
+  FILE* pipe = popen((cmd + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) return r;
+  char buf[512];
+  while (fgets(buf, sizeof buf, pipe) != nullptr) r.output += buf;
+  const int status = pclose(pipe);
+  r.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return r;
+}
+
+std::string tool(const std::string& name) {
+  return std::string(TWFD_TOOLS_DIR) + "/" + name;
+}
+
+// Loopback ports for the suite; chosen high and apart to avoid collisions.
+constexpr int kMonPort = 46101;
+constexpr int kRecPort = 46103;
+
+TEST(ToolsE2E, MonitorDetectsBeaconDeath) {
+  // Beacon lives 1 s; monitor watches 3 s: must log one SUSPECT and end
+  // in SUSPECT state.
+  std::thread beacon([] {
+    (void)run_command(tool("twfd_beacon") + " --id 5 --interval-ms 20" +
+                      " --target 127.0.0.1:" + std::to_string(kMonPort) +
+                      " --duration-s 1");
+  });
+  const auto mon = run_command(
+      tool("twfd_monitor") + " --port " + std::to_string(kMonPort) +
+      " --sender-id 5 --interval-ms 20 --detector 2w --margin-ms 80" +
+      " --duration-s 3");
+  beacon.join();
+
+  EXPECT_EQ(mon.exit_code, 0) << mon.output;
+  EXPECT_NE(mon.output.find("SUSPECT"), std::string::npos) << mon.output;
+  EXPECT_NE(mon.output.find("final: SUSPECT"), std::string::npos) << mon.output;
+}
+
+TEST(ToolsE2E, RecordThenReplayPipeline) {
+  const std::string trc = testing::TempDir() + "/tools_e2e.trc";
+  std::thread beacon([] {
+    (void)run_command(tool("twfd_beacon") + " --id 9 --interval-ms 20" +
+                      " --target 127.0.0.1:" + std::to_string(kRecPort) +
+                      " --duration-s 2");
+  });
+  const auto rec = run_command(
+      tool("twfd_record") + " --port " + std::to_string(kRecPort) +
+      " --sender-id 9 --interval-ms 20 --duration-s 2 --out " + trc);
+  beacon.join();
+  ASSERT_EQ(rec.exit_code, 0) << rec.output;
+  EXPECT_NE(rec.output.find("captured"), std::string::npos);
+
+  const auto rep = run_command(tool("twfd_replay") + " --trace " + trc +
+                               " --margin-ms 50 --csv");
+  ASSERT_EQ(rep.exit_code, 0) << rep.output;
+  EXPECT_NE(rep.output.find("2w(1,1000)"), std::string::npos) << rep.output;
+  EXPECT_NE(rep.output.find("bertier"), std::string::npos);
+  std::remove(trc.c_str());
+}
+
+TEST(ToolsE2E, ReplaySyntheticScenario) {
+  const auto rep = run_command(tool("twfd_replay") +
+                               " --scenario lan --samples 50000 --margin-ms 10");
+  ASSERT_EQ(rep.exit_code, 0) << rep.output;
+  EXPECT_NE(rep.output.find("chen(n=1000)"), std::string::npos);
+}
+
+TEST(ToolsE2E, BadArgumentsRejected) {
+  EXPECT_NE(run_command(tool("twfd_beacon")).exit_code, 0);  // no target
+  EXPECT_NE(run_command(tool("twfd_beacon") + " --target not-a-hostport")
+                .exit_code,
+            0);
+  EXPECT_NE(run_command(tool("twfd_replay")).exit_code, 0);  // no input
+  EXPECT_NE(run_command(tool("twfd_replay") + " --scenario mars").exit_code, 0);
+  EXPECT_NE(run_command(tool("twfd_monitor") + " --detector bogus --duration-s 1")
+                .exit_code,
+            0);
+  EXPECT_NE(run_command(tool("twfd_record") + " --duration-s 1").exit_code,
+            0);  // no --out
+}
+
+}  // namespace

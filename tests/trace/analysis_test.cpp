@@ -1,0 +1,127 @@
+#include "trace/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "trace/generator.hpp"
+#include "trace/scenario.hpp"
+
+namespace twfd::trace {
+namespace {
+
+Trace regular_trace(std::int64_t n, Tick interval = ticks_from_ms(10)) {
+  Trace t("reg", interval);
+  for (std::int64_t s = 1; s <= n; ++s) {
+    t.push({s, s * interval, s * interval + 1000, false});
+  }
+  return t;
+}
+
+TEST(GapAnalysis, RegularCadence) {
+  const auto t = regular_trace(1000);
+  const auto g = analyze_gaps(t);
+  EXPECT_EQ(g.gaps, 999u);
+  EXPECT_NEAR(g.mean_s, 0.010, 1e-9);
+  EXPECT_NEAR(g.p50_s, 0.010, 1e-6);
+  EXPECT_NEAR(g.max_s, 0.010, 1e-9);
+  EXPECT_EQ(g.over_2x, 0u);
+  EXPECT_EQ(g.over_10x, 0u);
+}
+
+TEST(GapAnalysis, LossCreatesLargeGaps) {
+  Trace t("gappy", ticks_from_ms(10));
+  Tick interval = ticks_from_ms(10);
+  std::int64_t seq = 0;
+  for (int block = 0; block < 100; ++block) {
+    for (int i = 0; i < 9; ++i) {
+      ++seq;
+      t.push({seq, seq * interval, seq * interval, false});
+    }
+    ++seq;  // every 10th lost
+    t.push({seq, seq * interval, kTickInfinity, true});
+  }
+  const auto g = analyze_gaps(t);
+  // A lost heartbeat makes a 20 ms gap: exactly 2x nominal, not > 2x.
+  EXPECT_EQ(g.over_2x, 0u);
+  EXPECT_NEAR(g.max_s, 0.020, 1e-9);
+  EXPECT_GT(g.p99_s, g.p50_s);
+}
+
+TEST(GapAnalysis, CountsThresholdExceedances) {
+  Trace t("stall", ticks_from_ms(10));
+  const Tick i10 = ticks_from_ms(10);
+  t.push({1, i10, i10, false});
+  t.push({2, 2 * i10, 2 * i10, false});
+  // 3..13 lost: gap of 120 ms (12 intervals) before seq 14.
+  t.push({14, 14 * i10, 14 * i10, false});
+  t.push({15, 15 * i10, 15 * i10, false});
+  const auto g = analyze_gaps(t);
+  EXPECT_EQ(g.over_2x, 1u);
+  EXPECT_EQ(g.over_5x, 1u);
+  EXPECT_EQ(g.over_10x, 1u);
+  EXPECT_NEAR(g.max_s, 0.120, 1e-9);
+}
+
+TEST(GapAnalysis, EmptyAndSingle) {
+  Trace t("e", 1000);
+  EXPECT_EQ(analyze_gaps(t).gaps, 0u);
+  t.push({1, 1000, 2000, false});
+  EXPECT_EQ(analyze_gaps(t).gaps, 0u);
+}
+
+TEST(LossRuns, NoLoss) {
+  const auto t = regular_trace(100);
+  const auto r = analyze_loss_runs(t);
+  EXPECT_EQ(r.lost_total, 0u);
+  EXPECT_EQ(r.runs, 0u);
+  EXPECT_FALSE(r.bursty());
+}
+
+TEST(LossRuns, HandBuiltRuns) {
+  Trace t("runs", 1000);
+  // Pattern: ok, L, ok, L L L, ok, L L (trailing run).
+  const bool lost[] = {false, true, false, true, true, true, false, true, true};
+  for (std::int64_t i = 0; i < 9; ++i) {
+    t.push({i + 1, (i + 1) * 1000,
+            lost[i] ? kTickInfinity : (i + 1) * 1000 + 10, lost[i]});
+  }
+  const auto r = analyze_loss_runs(t);
+  EXPECT_EQ(r.lost_total, 6u);
+  EXPECT_EQ(r.runs, 3u);
+  EXPECT_EQ(r.max_run_length, 3u);
+  EXPECT_NEAR(r.mean_run_length, 2.0, 1e-12);
+  EXPECT_EQ(r.histogram.at(1), 1u);
+  EXPECT_EQ(r.histogram.at(2), 1u);
+  EXPECT_EQ(r.histogram.at(3), 1u);
+  EXPECT_TRUE(r.bursty());
+}
+
+TEST(LossRuns, BernoulliIsNotBursty) {
+  TraceGenerator gen("b", ticks_from_ms(10), 0, 5);
+  Regime reg;
+  reg.label = "a";
+  reg.count = 100'000;
+  reg.delay = std::make_unique<ConstantJitterDelay>(0.001, 0.0);
+  reg.loss = std::make_unique<BernoulliLoss>(0.05);
+  gen.add_regime(std::move(reg));
+  const auto r = analyze_loss_runs(gen.generate());
+  EXPECT_GT(r.lost_total, 4000u);
+  // Independent loss at 5%: mean run ~ 1/(1-0.05) ~ 1.05.
+  EXPECT_LT(r.mean_run_length, 1.2);
+  EXPECT_FALSE(r.bursty());
+}
+
+TEST(LossRuns, WanBurstPeriodIsBursty) {
+  WanScenario::Params p;
+  p.samples = 200'000;
+  WanScenario wan(p);
+  const Trace t = wan.build();
+  const auto& periods = wan.periods();
+  const auto burst = analyze_loss_runs(t.slice(periods[1].from_seq, periods[1].to_seq));
+  EXPECT_TRUE(burst.bursty());
+  EXPECT_GT(burst.max_run_length, 5u);
+}
+
+}  // namespace
+}  // namespace twfd::trace

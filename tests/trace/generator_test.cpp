@@ -1,0 +1,153 @@
+#include "trace/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+namespace twfd::trace {
+namespace {
+
+Regime simple_regime(std::string label, std::int64_t count, double loss = 0.0) {
+  Regime r;
+  r.label = std::move(label);
+  r.count = count;
+  r.delay = std::make_unique<ConstantJitterDelay>(0.001, 0.0005);
+  r.loss = std::make_unique<BernoulliLoss>(loss);
+  return r;
+}
+
+TEST(Generator, ProducesRequestedCount) {
+  TraceGenerator gen("t", ticks_from_ms(10), 0, 1);
+  gen.add_regime(simple_regime("a", 500));
+  const Trace t = gen.generate();
+  EXPECT_EQ(t.size(), 500u);
+  EXPECT_EQ(t[0].seq, 1);
+  EXPECT_EQ(t[499].seq, 500);
+}
+
+TEST(Generator, SendTimesFollowCadence) {
+  TraceGenerator gen("t", ticks_from_ms(10), 0, 1);
+  gen.add_regime(simple_regime("a", 100));
+  const Trace t = gen.generate();
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    ASSERT_EQ(t[i].send_time, static_cast<Tick>(i + 1) * ticks_from_ms(10));
+  }
+}
+
+TEST(Generator, AppliesClockSkew) {
+  const Tick skew = ticks_from_sec(9);
+  TraceGenerator gen("t", ticks_from_ms(10), skew, 1);
+  gen.add_regime(simple_regime("a", 100));
+  const Trace t = gen.generate();
+  for (const auto& r : t.records()) {
+    ASSERT_FALSE(r.lost);
+    // arrival = send + skew + delay, delay in [1ms, 1.5ms]
+    ASSERT_GE(r.arrival_time, r.send_time + skew + ticks_from_ms(1));
+    ASSERT_LE(r.arrival_time, r.send_time + skew + ticks_from_us(1500));
+  }
+}
+
+TEST(Generator, DeterministicForSeed) {
+  auto make = [] {
+    TraceGenerator gen("t", ticks_from_ms(10), 0, 77);
+    gen.add_regime(simple_regime("a", 1000, 0.1));
+    return gen.generate();
+  };
+  const Trace a = make();
+  const Trace b = make();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].arrival_time, b[i].arrival_time);
+    ASSERT_EQ(a[i].lost, b[i].lost);
+  }
+}
+
+TEST(Generator, LossRateApplied) {
+  TraceGenerator gen("t", ticks_from_ms(10), 0, 2);
+  gen.add_regime(simple_regime("a", 50'000, 0.2));
+  const Trace t = gen.generate();
+  std::size_t lost = 0;
+  for (const auto& r : t.records()) lost += r.lost;
+  EXPECT_NEAR(static_cast<double>(lost), 10'000.0, 500.0);
+}
+
+TEST(Generator, FifoArrivalsMonotone) {
+  TraceGenerator gen("t", ticks_from_ms(1), 0, 3);
+  Regime r;
+  r.label = "spiky";
+  r.count = 20'000;
+  // Delay often exceeding the interval would reorder without FIFO.
+  r.delay = std::make_unique<ExponentialDelay>(0.0001, 0.005);
+  r.loss = std::make_unique<BernoulliLoss>(0.0);
+  gen.add_regime(std::move(r));
+  const Trace t = gen.generate();
+  Tick prev = kTickNegInfinity;
+  for (const auto& rec : t.records()) {
+    ASSERT_GT(rec.arrival_time, prev);
+    prev = rec.arrival_time;
+  }
+}
+
+TEST(Generator, NonFifoCanReorder) {
+  TraceGenerator gen("t", ticks_from_ms(1), 0, 3);
+  gen.set_fifo(false);
+  Regime r;
+  r.label = "spiky";
+  r.count = 20'000;
+  r.delay = std::make_unique<ExponentialDelay>(0.0001, 0.005);
+  r.loss = std::make_unique<BernoulliLoss>(0.0);
+  gen.add_regime(std::move(r));
+  const Trace t = gen.generate();
+  bool reordered = false;
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    if (t[i].arrival_time < t[i - 1].arrival_time) reordered = true;
+  }
+  EXPECT_TRUE(reordered);
+}
+
+TEST(Generator, StallCreatesSilenceGap) {
+  TraceGenerator gen("t", ticks_from_ms(10), 0, 4);
+  Regime r = simple_regime("a", 5000);
+  r.stall = {/*prob_per_msg=*/0.001, /*min_s=*/0.5, /*max_s=*/0.5};
+  gen.add_regime(std::move(r));
+  const Trace t = gen.generate();
+  Tick max_gap = 0;
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    max_gap = std::max(max_gap, t[i].arrival_time - t[i - 1].arrival_time);
+  }
+  // A 0.5 s stall against a 10 ms cadence must leave a gap near 0.5 s.
+  EXPECT_GE(max_gap, ticks_from_ms(400));
+}
+
+TEST(Generator, BoundariesCoverAllSeqs) {
+  TraceGenerator gen("t", ticks_from_ms(10), 0, 5);
+  gen.add_regime(simple_regime("a", 100));
+  gen.add_regime(simple_regime("b", 200));
+  gen.add_regime(simple_regime("c", 50));
+  (void)gen.generate();
+  const auto& bounds = gen.boundaries();
+  ASSERT_EQ(bounds.size(), 3u);
+  EXPECT_EQ(bounds[0].from_seq, 1);
+  EXPECT_EQ(bounds[0].to_seq, 100);
+  EXPECT_EQ(bounds[1].from_seq, 101);
+  EXPECT_EQ(bounds[1].to_seq, 300);
+  EXPECT_EQ(bounds[2].from_seq, 301);
+  EXPECT_EQ(bounds[2].to_seq, 350);
+  EXPECT_EQ(bounds[1].label, "b");
+}
+
+TEST(Generator, SecondGenerateThrows) {
+  TraceGenerator gen("t", ticks_from_ms(10), 0, 6);
+  gen.add_regime(simple_regime("a", 10));
+  (void)gen.generate();
+  EXPECT_THROW((void)gen.generate(), std::logic_error);
+}
+
+TEST(Generator, NoRegimesThrows) {
+  TraceGenerator gen("t", ticks_from_ms(10), 0, 7);
+  EXPECT_THROW((void)gen.generate(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace twfd::trace

@@ -1,0 +1,76 @@
+#include "trace/heartbeat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace twfd::trace {
+namespace {
+
+HeartbeatRecord rec(std::int64_t seq, Tick send, Tick arrival) {
+  return {seq, send, arrival, false};
+}
+
+HeartbeatRecord lost_rec(std::int64_t seq, Tick send) {
+  return {seq, send, kTickInfinity, true};
+}
+
+TEST(Trace, BasicAccessors) {
+  Trace t("unit", ticks_from_ms(10), ticks_from_sec(1));
+  EXPECT_EQ(t.name(), "unit");
+  EXPECT_EQ(t.interval(), ticks_from_ms(10));
+  EXPECT_EQ(t.clock_skew(), ticks_from_sec(1));
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(Trace, RejectsNonPositiveInterval) {
+  EXPECT_THROW(Trace("x", 0), std::logic_error);
+}
+
+TEST(Trace, RejectsNonIncreasingSeq) {
+  Trace t("x", 1000);
+  t.push(rec(1, 10, 20));
+  EXPECT_THROW(t.push(rec(1, 20, 30)), std::logic_error);
+  EXPECT_THROW(t.push(rec(0, 20, 30)), std::logic_error);
+}
+
+TEST(Trace, RejectsInconsistentLostFlag) {
+  Trace t("x", 1000);
+  HeartbeatRecord bad{1, 10, 20, true};  // lost but finite arrival
+  EXPECT_THROW(t.push(bad), std::logic_error);
+  HeartbeatRecord bad2{1, 10, kTickInfinity, false};
+  EXPECT_THROW(t.push(bad2), std::logic_error);
+}
+
+TEST(Trace, DeliveryOrderSkipsLostAndSortsByArrival) {
+  Trace t("x", 1000);
+  t.push(rec(1, 1000, 2000));
+  t.push(lost_rec(2, 2000));
+  t.push(rec(3, 3000, 3500));
+  t.push(rec(4, 4000, 3400));  // reordered: arrives before seq 3
+  const auto order = t.delivery_order();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(t[order[0]].seq, 1);
+  EXPECT_EQ(t[order[1]].seq, 4);
+  EXPECT_EQ(t[order[2]].seq, 3);
+}
+
+TEST(Trace, SliceKeepsRangeInclusive) {
+  Trace t("x", 1000, 7);
+  for (int i = 1; i <= 10; ++i) t.push(rec(i, i * 1000, i * 1000 + 100));
+  const Trace s = t.slice(3, 6);
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_EQ(s[0].seq, 3);
+  EXPECT_EQ(s[3].seq, 6);
+  EXPECT_EQ(s.interval(), t.interval());
+  EXPECT_EQ(s.clock_skew(), t.clock_skew());
+}
+
+TEST(Trace, SendTimeReceiverClockAppliesSkew) {
+  Trace t("x", 1000, ticks_from_sec(5));
+  t.push(rec(1, 1000, ticks_from_sec(5) + 1100));
+  EXPECT_EQ(t.send_time_receiver_clock(0), ticks_from_sec(5) + 1000);
+}
+
+}  // namespace
+}  // namespace twfd::trace

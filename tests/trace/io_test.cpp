@@ -1,0 +1,98 @@
+#include "trace/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+#include "trace/generator.hpp"
+
+namespace twfd::trace {
+namespace {
+
+Trace sample_trace() {
+  TraceGenerator gen("roundtrip", ticks_from_ms(10), ticks_from_sec(2), 21);
+  Regime r;
+  r.label = "a";
+  r.count = 2000;
+  r.delay = std::make_unique<ExponentialDelay>(0.001, 0.002);
+  r.loss = std::make_unique<BernoulliLoss>(0.1);
+  gen.add_regime(std::move(r));
+  return gen.generate();
+}
+
+void expect_equal(const Trace& a, const Trace& b) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.name(), b.name());
+  EXPECT_EQ(a.interval(), b.interval());
+  EXPECT_EQ(a.clock_skew(), b.clock_skew());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].seq, b[i].seq);
+    ASSERT_EQ(a[i].send_time, b[i].send_time);
+    ASSERT_EQ(a[i].arrival_time, b[i].arrival_time);
+    ASSERT_EQ(a[i].lost, b[i].lost);
+  }
+}
+
+TEST(TraceIo, BinaryRoundTrip) {
+  const Trace t = sample_trace();
+  std::stringstream ss;
+  save_binary(t, ss);
+  const Trace back = load_binary(ss);
+  expect_equal(t, back);
+}
+
+TEST(TraceIo, BinaryFileRoundTrip) {
+  const Trace t = sample_trace();
+  const std::string path = testing::TempDir() + "/twfd_io_test.trc";
+  save_binary_file(t, path);
+  const Trace back = load_binary_file(path);
+  expect_equal(t, back);
+}
+
+TEST(TraceIo, RejectsBadMagic) {
+  std::stringstream ss;
+  ss << "NOTATRACEFILE___________";
+  EXPECT_THROW((void)load_binary(ss), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsTruncated) {
+  const Trace t = sample_trace();
+  std::stringstream ss;
+  save_binary(t, ss);
+  std::string data = ss.str();
+  data.resize(data.size() / 2);
+  std::stringstream half(data);
+  EXPECT_THROW((void)load_binary(half), std::runtime_error);
+}
+
+TEST(TraceIo, CsvRoundTrip) {
+  const Trace t = sample_trace();
+  std::stringstream ss;
+  save_csv(t, ss);
+  const Trace back = load_csv(ss, t.name(), t.interval(), t.clock_skew());
+  expect_equal(t, back);
+}
+
+TEST(TraceIo, CsvHeaderPresent) {
+  const Trace t = sample_trace();
+  std::stringstream ss;
+  save_csv(t, ss);
+  std::string first;
+  std::getline(ss, first);
+  EXPECT_EQ(first, "seq,send_ns,arrival_ns,lost");
+}
+
+TEST(TraceIo, EmptyCsvThrows) {
+  std::stringstream ss;
+  EXPECT_THROW((void)load_csv(ss, "x", 1000), std::runtime_error);
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW((void)load_binary_file("/nonexistent/path/file.trc"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace twfd::trace

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/stats.hpp"
+#include "trace/delay_model.hpp"
+#include "trace/loss_model.hpp"
+
+namespace twfd::trace {
+namespace {
+
+TEST(DelayModels, ConstantJitterRange) {
+  ConstantJitterDelay m(0.010, 0.005);
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 10'000; ++i) {
+    const double d = m.sample(rng);
+    ASSERT_GE(d, 0.010);
+    ASSERT_LT(d, 0.015);
+  }
+}
+
+TEST(DelayModels, ConstantNoJitterIsExact) {
+  ConstantJitterDelay m(0.010, 0.0);
+  Xoshiro256 rng(1);
+  EXPECT_DOUBLE_EQ(m.sample(rng), 0.010);
+}
+
+TEST(DelayModels, NormalRespectsFloor) {
+  NormalDelay m(0.001, 0.010, 0.0005);  // wide sigma forces truncation
+  Xoshiro256 rng(2);
+  RunningStats s;
+  for (int i = 0; i < 20'000; ++i) s.add(m.sample(rng));
+  EXPECT_GE(s.min(), 0.0005);
+}
+
+TEST(DelayModels, ExponentialMean) {
+  ExponentialDelay m(0.002, 0.004);
+  Xoshiro256 rng(3);
+  RunningStats s;
+  for (int i = 0; i < 100'000; ++i) s.add(m.sample(rng));
+  EXPECT_NEAR(s.mean(), 0.006, 0.0002);
+  EXPECT_GE(s.min(), 0.002);
+}
+
+TEST(DelayModels, LogNormalFloorHolds) {
+  LogNormalDelay m(0.05, std::log(0.008), 0.45);
+  Xoshiro256 rng(4);
+  RunningStats s;
+  for (int i = 0; i < 50'000; ++i) s.add(m.sample(rng));
+  EXPECT_GE(s.min(), 0.05);
+  EXPECT_NEAR(s.mean(), 0.05 + 0.008 * std::exp(0.45 * 0.45 / 2), 0.001);
+}
+
+TEST(DelayModels, ParetoHeavyTail) {
+  ParetoDelay m(0.01, 0.005, 1.6);
+  Xoshiro256 rng(5);
+  RunningStats s;
+  for (int i = 0; i < 100'000; ++i) s.add(m.sample(rng));
+  EXPECT_GE(s.min(), 0.01 - 1e-12);
+  EXPECT_GT(s.max(), 0.1);  // heavy tail produces large spikes
+}
+
+TEST(DelayModels, SpikeMixSelectsBranches) {
+  auto base = std::make_unique<ConstantJitterDelay>(0.001, 0.0);
+  auto spike = std::make_unique<ConstantJitterDelay>(1.0, 0.0);
+  SpikeMixDelay m(std::move(base), std::move(spike), 0.25);
+  Xoshiro256 rng(6);
+  int spikes = 0;
+  for (int i = 0; i < 40'000; ++i) {
+    if (m.sample(rng) > 0.5) ++spikes;
+  }
+  EXPECT_NEAR(spikes, 10'000, 400);
+}
+
+TEST(DelayModels, CloneIsIndependentAndEquivalent) {
+  LogNormalDelay m(0.0, std::log(0.01), 0.3);
+  auto c = m.clone();
+  Xoshiro256 r1(7), r2(7);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_DOUBLE_EQ(m.sample(r1), c->sample(r2));
+  }
+}
+
+TEST(LossModels, BernoulliZeroAndRate) {
+  Xoshiro256 rng(8);
+  BernoulliLoss never(0.0);
+  for (int i = 0; i < 1000; ++i) ASSERT_FALSE(never.lost(rng));
+
+  BernoulliLoss some(0.1);
+  int losses = 0;
+  for (int i = 0; i < 100'000; ++i) losses += some.lost(rng) ? 1 : 0;
+  EXPECT_NEAR(losses, 10'000, 400);
+}
+
+TEST(LossModels, GilbertElliottBurstiness) {
+  // Bad state drops 90%+, good state nothing; mean bad run ~20 messages.
+  GilbertElliottLoss ge(0.01, 0.05, 0.0, 0.95);
+  Xoshiro256 rng(9);
+  // Measure run lengths of consecutive losses.
+  int losses = 0, total = 200'000;
+  int runs = 0;
+  bool prev = false;
+  int max_run = 0, cur = 0;
+  for (int i = 0; i < total; ++i) {
+    const bool l = ge.lost(rng);
+    losses += l;
+    if (l && !prev) ++runs;
+    cur = l ? cur + 1 : 0;
+    max_run = std::max(max_run, cur);
+    prev = l;
+  }
+  EXPECT_GT(losses, 0);
+  ASSERT_GT(runs, 0);
+  const double mean_run = static_cast<double>(losses) / runs;
+  // Correlated loss: mean run length must clearly exceed Bernoulli's ~1.
+  EXPECT_GT(mean_run, 3.0);
+  EXPECT_GT(max_run, 10);
+}
+
+TEST(LossModels, GilbertElliottDegenerateIsBernoulli) {
+  // p_gb = 0 keeps it in the good state forever.
+  GilbertElliottLoss ge(0.0, 1.0, 0.2, 1.0);
+  Xoshiro256 rng(10);
+  int losses = 0;
+  for (int i = 0; i < 100'000; ++i) losses += ge.lost(rng) ? 1 : 0;
+  EXPECT_NEAR(losses, 20'000, 500);
+  EXPECT_FALSE(ge.in_bad_state());
+}
+
+TEST(LossModels, CloneCopiesState) {
+  GilbertElliottLoss ge(1.0, 0.0, 0.0, 1.0);  // jumps to bad immediately
+  Xoshiro256 rng(11);
+  (void)ge.lost(rng);
+  EXPECT_TRUE(ge.in_bad_state());
+  auto c = ge.clone();
+  auto* gc = dynamic_cast<GilbertElliottLoss*>(c.get());
+  ASSERT_NE(gc, nullptr);
+  EXPECT_TRUE(gc->in_bad_state());
+}
+
+}  // namespace
+}  // namespace twfd::trace

@@ -1,0 +1,113 @@
+#include "trace/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/trace_stats.hpp"
+
+namespace twfd::trace {
+namespace {
+
+TEST(WanScenario, PeriodsMatchTableOneProportions) {
+  WanScenario::Params p;
+  p.samples = 100'000;
+  WanScenario wan(p);
+  const Trace t = wan.build();
+  EXPECT_EQ(t.size(), 100'000u);
+
+  const auto& periods = wan.periods();
+  ASSERT_EQ(periods.size(), 4u);
+  EXPECT_EQ(periods[0].name, "Stable 1");
+  EXPECT_EQ(periods[1].name, "Burst");
+  EXPECT_EQ(periods[2].name, "Worm");
+  EXPECT_EQ(periods[3].name, "Stable 2");
+
+  // Paper proportions: 49.6% / 0.51% / 33.0% / 16.9%.
+  const auto len = [](const Period& pr) {
+    return static_cast<double>(pr.to_seq - pr.from_seq + 1);
+  };
+  EXPECT_NEAR(len(periods[0]) / 100'000, 0.496, 0.002);
+  EXPECT_NEAR(len(periods[1]) / 100'000, 0.0051, 0.001);
+  EXPECT_NEAR(len(periods[2]) / 100'000, 0.330, 0.002);
+  EXPECT_NEAR(len(periods[3]) / 100'000, 0.169, 0.003);
+  // Contiguous cover of the full trace.
+  EXPECT_EQ(periods[0].from_seq, 1);
+  EXPECT_EQ(periods[3].to_seq, 100'000);
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_EQ(periods[i].from_seq, periods[i - 1].to_seq + 1);
+  }
+}
+
+TEST(WanScenario, BurstPeriodHasConcentratedLoss) {
+  WanScenario::Params p;
+  p.samples = 200'000;
+  WanScenario wan(p);
+  const Trace t = wan.build();
+  const auto& periods = wan.periods();
+
+  auto loss_in = [&](const Period& pr) {
+    const Trace s = t.slice(pr.from_seq, pr.to_seq);
+    return compute_stats(s).loss_probability;
+  };
+  const double stable_loss = loss_in(periods[0]);
+  const double burst_loss = loss_in(periods[1]);
+  const double worm_loss = loss_in(periods[2]);
+  EXPECT_LT(stable_loss, 0.01);
+  EXPECT_GT(burst_loss, 0.15);  // the burst regime is dominated by loss runs
+  EXPECT_GT(worm_loss, stable_loss * 3);
+  EXPECT_LT(worm_loss, burst_loss);
+}
+
+TEST(WanScenario, DeterministicForSeed) {
+  WanScenario::Params p;
+  p.samples = 20'000;
+  const Trace a = WanScenario(p).build();
+  const Trace b = WanScenario(p).build();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); i += 997) {
+    ASSERT_EQ(a[i].arrival_time, b[i].arrival_time);
+  }
+}
+
+TEST(LanScenario, MatchesPublishedStatistics) {
+  LanScenario::Params p;
+  p.samples = 300'000;
+  p.stall_prob = 0.0;  // baseline channel statistics, no stall events
+  LanScenario lan(p);
+  const Trace t = lan.build();
+  const TraceStats s = compute_stats(t);
+
+  EXPECT_EQ(s.sent, 300'000);
+  // "Not a single heartbeat was lost."
+  EXPECT_EQ(s.delivered, 300'000);
+  EXPECT_DOUBLE_EQ(s.loss_probability, 0.0);
+  // "The average transmission delay was around 100 us."
+  EXPECT_NEAR(s.delay_mean_s, 100e-6, 30e-6);
+  // "the variance was very small"
+  EXPECT_LT(s.delay_stddev_s, 1e-3);
+  // Interval is 20 ms.
+  EXPECT_EQ(t.interval(), ticks_from_ms(20));
+  EXPECT_NEAR(s.interarrival_mean_s, 0.020, 0.001);
+}
+
+TEST(LanScenario, RareStallsBoundedByPublishedMax) {
+  LanScenario::Params p;
+  p.samples = 1'000'000;
+  LanScenario lan(p);
+  const TraceStats s = compute_stats(lan.build());
+  // "The largest interval between the reception of two heartbeats was
+  // about 1.5 seconds."
+  EXPECT_LE(s.interarrival_max_s, 1.7);
+  EXPECT_GE(s.interarrival_max_s, 0.5);  // stalls do occur
+}
+
+TEST(Scenarios, MinimumSizeEnforced) {
+  WanScenario::Params wp;
+  wp.samples = 10;
+  EXPECT_THROW(WanScenario{wp}, std::logic_error);
+  LanScenario::Params lp;
+  lp.samples = 10;
+  EXPECT_THROW(LanScenario{lp}, std::logic_error);
+}
+
+}  // namespace
+}  // namespace twfd::trace

@@ -1,0 +1,102 @@
+#include "trace/trace_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "trace/generator.hpp"
+
+namespace twfd::trace {
+namespace {
+
+TEST(TraceStats, EmptyTrace) {
+  Trace t("x", 1000);
+  const TraceStats s = compute_stats(t);
+  EXPECT_EQ(s.sent, 0);
+  EXPECT_EQ(s.delivered, 0);
+}
+
+TEST(TraceStats, HandComputedValues) {
+  Trace t("x", ticks_from_ms(10), ticks_from_sec(1));
+  const Tick skew = ticks_from_sec(1);
+  // Delays: 1ms, 3ms, lost, 2ms.
+  t.push({1, ticks_from_ms(10), ticks_from_ms(10) + skew + ticks_from_ms(1), false});
+  t.push({2, ticks_from_ms(20), ticks_from_ms(20) + skew + ticks_from_ms(3), false});
+  t.push({3, ticks_from_ms(30), kTickInfinity, true});
+  t.push({4, ticks_from_ms(40), ticks_from_ms(40) + skew + ticks_from_ms(2), false});
+
+  const TraceStats s = compute_stats(t, /*skew_known=*/true);
+  EXPECT_EQ(s.sent, 4);
+  EXPECT_EQ(s.delivered, 3);
+  EXPECT_DOUBLE_EQ(s.loss_probability, 0.25);
+  EXPECT_NEAR(s.delay_mean_s, 0.002, 1e-12);
+  EXPECT_NEAR(s.delay_min_s, 0.001, 1e-12);
+  EXPECT_NEAR(s.delay_max_s, 0.003, 1e-12);
+  // Variance of {1,3,2} ms = 2/3 ms^2.
+  EXPECT_NEAR(s.delay_variance_s2, (2.0 / 3.0) * 1e-6, 1e-15);
+  EXPECT_NEAR(s.duration_s, 0.030, 1e-12);
+}
+
+TEST(TraceStats, SkewInvarianceOfVariance) {
+  auto build = [](Tick skew) {
+    TraceGenerator gen("t", ticks_from_ms(10), skew, 5);
+    Regime r;
+    r.label = "a";
+    r.count = 20'000;
+    r.delay = std::make_unique<ExponentialDelay>(0.001, 0.002);
+    r.loss = std::make_unique<BernoulliLoss>(0.05);
+    gen.add_regime(std::move(r));
+    return gen.generate();
+  };
+  const TraceStats a = compute_stats(build(0), false);
+  const TraceStats b = compute_stats(build(ticks_from_sec(1234)), false);
+  // Same seed, same delays: variance identical regardless of skew, even
+  // when the skew is not corrected for.
+  EXPECT_NEAR(a.delay_variance_s2, b.delay_variance_s2, 1e-12);
+}
+
+TEST(TraceStats, UncorrectedMeanIncludesSkew) {
+  Trace t("x", ticks_from_ms(10), ticks_from_sec(2));
+  t.push({1, 0, ticks_from_sec(2) + ticks_from_ms(1), false});
+  const TraceStats raw = compute_stats(t, /*skew_known=*/false);
+  EXPECT_NEAR(raw.delay_mean_s, 2.001, 1e-9);
+  const TraceStats corrected = compute_stats(t, /*skew_known=*/true);
+  EXPECT_NEAR(corrected.delay_mean_s, 0.001, 1e-12);
+}
+
+TEST(NetworkEstimator, LossFromSequenceGaps) {
+  NetworkEstimator est;
+  est.on_heartbeat(1, 0, 100);
+  est.on_heartbeat(2, 10, 110);
+  est.on_heartbeat(5, 40, 150);  // 3 and 4 missing
+  EXPECT_EQ(est.highest_seq(), 5);
+  EXPECT_EQ(est.received(), 3);
+  EXPECT_NEAR(est.loss_probability(), 2.0 / 5.0, 1e-12);
+}
+
+TEST(NetworkEstimator, VarianceMatchesDelays) {
+  NetworkEstimator est;
+  // Delays 1ms, 3ms, 2ms (any skew would cancel).
+  est.on_heartbeat(1, 0, ticks_from_ms(1));
+  est.on_heartbeat(2, ticks_from_ms(10), ticks_from_ms(13));
+  est.on_heartbeat(3, ticks_from_ms(20), ticks_from_ms(22));
+  EXPECT_NEAR(est.delay_variance_s2(), (2.0 / 3.0) * 1e-6, 1e-15);
+}
+
+TEST(NetworkEstimator, ResetClears) {
+  NetworkEstimator est;
+  est.on_heartbeat(1, 0, 100);
+  est.reset();
+  EXPECT_EQ(est.received(), 0);
+  EXPECT_EQ(est.highest_seq(), 0);
+  EXPECT_DOUBLE_EQ(est.loss_probability(), 0.0);
+}
+
+TEST(NetworkEstimator, NoLossWhenAllReceived) {
+  NetworkEstimator est;
+  for (int i = 1; i <= 100; ++i) est.on_heartbeat(i, i * 10, i * 10 + 5);
+  EXPECT_DOUBLE_EQ(est.loss_probability(), 0.0);
+}
+
+}  // namespace
+}  // namespace twfd::trace

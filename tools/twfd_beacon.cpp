@@ -1,0 +1,120 @@
+// twfd_beacon — the monitored side as a standalone daemon.
+//
+// Emits heartbeats to one or more monitors and honours IntervalRequest
+// messages (so shared FD services can negotiate Delta_i,min down).
+//
+//   twfd_beacon --id 7 --interval-ms 100 --target 10.0.0.5:4100 \
+//               [--target HOST:PORT ...] [--port 0] [--duration-s 0]
+//
+// duration 0 = run until killed.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "net/event_loop.hpp"
+#include "service/dispatcher.hpp"
+#include "service/heartbeat_sender.hpp"
+
+using namespace twfd;
+
+namespace {
+
+struct Options {
+  std::uint64_t id = 1;
+  long interval_ms = 100;
+  std::uint16_t port = 0;
+  long duration_s = 0;
+  std::vector<net::SocketAddress> targets;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --target HOST:PORT [--target ...] [--id N]\n"
+               "          [--interval-ms N] [--port N] [--duration-s N]\n",
+               argv0);
+  std::exit(2);
+}
+
+net::SocketAddress parse_hostport(const std::string& s) {
+  const auto colon = s.rfind(':');
+  if (colon == std::string::npos) {
+    throw std::invalid_argument("expected HOST:PORT, got: " + s);
+  }
+  const int port = std::stoi(s.substr(colon + 1));
+  if (port <= 0 || port > 65535) {
+    throw std::invalid_argument("bad port in: " + s);
+  }
+  return net::SocketAddress::parse(s.substr(0, colon),
+                                   static_cast<std::uint16_t>(port));
+}
+
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--id") {
+      opt.id = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--interval-ms") {
+      opt.interval_ms = std::stol(next());
+    } else if (arg == "--port") {
+      opt.port = static_cast<std::uint16_t>(std::stoi(next()));
+    } else if (arg == "--duration-s") {
+      opt.duration_s = std::stol(next());
+    } else if (arg == "--target") {
+      opt.targets.push_back(parse_hostport(next()));
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (opt.targets.empty() || opt.interval_ms <= 0) usage(argv[0]);
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Options opt = parse_args(argc, argv);
+
+    net::EventLoop loop(opt.port);
+    service::Dispatcher dispatch(loop.runtime());
+    service::HeartbeatSender sender(
+        loop.runtime(), {opt.id, ticks_from_ms(opt.interval_ms)});
+    for (const auto& target : opt.targets) {
+      sender.add_target(loop.add_peer(target));
+      std::printf("beacon %llu -> %s every %ld ms\n",
+                  static_cast<unsigned long long>(opt.id),
+                  target.to_string().c_str(), opt.interval_ms);
+    }
+    dispatch.on_interval_request(
+        [&](PeerId from, const net::IntervalRequestMsg& msg) {
+          sender.handle_interval_request(from, msg);
+          std::printf("interval request from peer %llu: %s (effective %s)\n",
+                      static_cast<unsigned long long>(from),
+                      format_ticks(msg.requested_interval).c_str(),
+                      format_ticks(sender.effective_interval()).c_str());
+          std::fflush(stdout);
+        });
+
+    sender.start();
+    if (opt.duration_s > 0) {
+      loop.run_for(ticks_from_sec(opt.duration_s));
+    } else {
+      while (true) loop.run_for(ticks_from_sec(3600));
+    }
+    sender.stop();
+    std::printf("sent %lld heartbeats\n",
+                static_cast<long long>(sender.sent_count()));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "twfd_beacon: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,178 @@
+// twfd_monitor — the monitoring side as a standalone daemon.
+//
+// Watches one beacon with the 2W-FD detector (or a baseline) and logs
+// Suspect/Trust transitions with timestamps. With --qos, runs Chen's
+// configuration procedure from a requirements tuple and requests the
+// resulting heartbeat interval from the beacon.
+//
+//   twfd_monitor --port 4100 --sender-id 7 --interval-ms 100
+//                [--detector 2w|chen|bertier|phi|ed|fixed]
+//                [--margin-ms 115 | --threshold 2.0]
+//                [--qos TD_S,TMR_PER_S,TM_S --beacon HOST:PORT]
+//                [--duration-s 0]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <string>
+
+#include "config/qos_config.hpp"
+#include "core/factory.hpp"
+#include "net/event_loop.hpp"
+#include "service/dispatcher.hpp"
+#include "service/monitor.hpp"
+
+using namespace twfd;
+
+namespace {
+
+struct Options {
+  std::uint16_t port = 4100;
+  std::uint64_t sender_id = 1;
+  long interval_ms = 100;
+  std::string detector = "2w";
+  double margin_ms = 115;
+  double threshold = 2.0;
+  long duration_s = 0;
+  bool have_qos = false;
+  config::QosRequirements qos;
+  std::string beacon;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--port N] [--sender-id N] [--interval-ms N]\n"
+      "          [--detector 2w|chen|bertier|phi|ed|fixed]\n"
+      "          [--margin-ms X | --threshold X] [--duration-s N]\n"
+      "          [--qos TD,TMR,TM --beacon HOST:PORT]\n",
+      argv0);
+  std::exit(2);
+}
+
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      opt.port = static_cast<std::uint16_t>(std::stoi(next()));
+    } else if (arg == "--sender-id") {
+      opt.sender_id = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--interval-ms") {
+      opt.interval_ms = std::stol(next());
+    } else if (arg == "--detector") {
+      opt.detector = next();
+    } else if (arg == "--margin-ms") {
+      opt.margin_ms = std::stod(next());
+    } else if (arg == "--threshold") {
+      opt.threshold = std::stod(next());
+    } else if (arg == "--duration-s") {
+      opt.duration_s = std::stol(next());
+    } else if (arg == "--beacon") {
+      opt.beacon = next();
+    } else if (arg == "--qos") {
+      const std::string spec = next();
+      if (std::sscanf(spec.c_str(), "%lf,%lf,%lf", &opt.qos.td_upper_s,
+                      &opt.qos.tmr_upper_per_s, &opt.qos.tm_upper_s) != 3) {
+        usage(argv[0]);
+      }
+      opt.have_qos = true;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  return opt;
+}
+
+core::DetectorSpec spec_from(const Options& opt) {
+  const Tick margin = ticks_from_seconds(opt.margin_ms * 1e-3);
+  if (opt.detector == "2w") return core::DetectorSpec::two_window(1, 1000, margin);
+  if (opt.detector == "chen") return core::DetectorSpec::chen(1000, margin);
+  if (opt.detector == "bertier") return core::DetectorSpec::bertier();
+  if (opt.detector == "phi") return core::DetectorSpec::phi(opt.threshold);
+  if (opt.detector == "ed") return core::DetectorSpec::ed(opt.threshold);
+  if (opt.detector == "fixed") return core::DetectorSpec::fixed_timeout(margin);
+  throw std::invalid_argument("unknown detector: " + opt.detector);
+}
+
+void log_line(const char* what) {
+  const std::time_t now = std::time(nullptr);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%H:%M:%S", std::localtime(&now));
+  std::printf("[%s] %s\n", buf, what);
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    Options opt = parse_args(argc, argv);
+
+    Tick interval = ticks_from_ms(opt.interval_ms);
+    Tick margin = ticks_from_seconds(opt.margin_ms * 1e-3);
+    if (opt.have_qos) {
+      // Derive (Delta_i, Delta_to) from the requirements tuple; network
+      // behaviour defaults are conservative LAN-ish numbers.
+      const config::NetworkBehaviour net{0.01, 1e-4};
+      const auto cfg = config::chen_configure(opt.qos, net);
+      if (!cfg.feasible) {
+        std::fprintf(stderr, "QoS tuple not achievable\n");
+        return 1;
+      }
+      interval = ticks_from_seconds(cfg.interval_s);
+      margin = ticks_from_seconds(cfg.margin_s);
+      opt.margin_ms = cfg.margin_s * 1e3;
+      std::printf("configured from QoS tuple: Delta_i=%s Delta_to=%s\n",
+                  format_ticks(interval).c_str(), format_ticks(margin).c_str());
+    }
+
+    net::EventLoop loop(opt.port);
+    service::Dispatcher dispatch(loop.runtime());
+
+    auto spec = spec_from(opt);
+    spec.safety_margin = margin;
+    auto detector = core::make_detector(spec, interval);
+    std::printf("monitoring sender %llu on udp port %u with %s\n",
+                static_cast<unsigned long long>(opt.sender_id), loop.local_port(),
+                detector->name().c_str());
+
+    service::Monitor monitor(loop.runtime(), opt.sender_id, std::move(detector),
+                             {[](Tick) { log_line("SUSPECT"); },
+                              [](Tick) { log_line("TRUST") ; }});
+    dispatch.on_heartbeat([&](PeerId from, const net::HeartbeatMsg& m, Tick at) {
+      monitor.handle_heartbeat(from, m, at);
+    });
+
+    if (opt.have_qos && !opt.beacon.empty()) {
+      const auto colon = opt.beacon.rfind(':');
+      if (colon == std::string::npos) usage(argv[0]);
+      const auto addr = net::SocketAddress::parse(
+          opt.beacon.substr(0, colon),
+          static_cast<std::uint16_t>(std::stoi(opt.beacon.substr(colon + 1))));
+      net::IntervalRequestMsg req{opt.sender_id, interval};
+      const auto payload = net::encode(req);
+      loop.send(loop.add_peer(addr), payload);
+      std::printf("requested interval %s from %s\n",
+                  format_ticks(interval).c_str(), addr.to_string().c_str());
+    }
+
+    if (opt.duration_s > 0) {
+      loop.run_for(ticks_from_sec(opt.duration_s));
+    } else {
+      while (true) loop.run_for(ticks_from_sec(3600));
+    }
+    std::printf("saw %llu heartbeats; final: %s\n",
+                static_cast<unsigned long long>(monitor.heartbeats_seen()),
+                monitor.output() == detect::Output::Trust ? "TRUST" : "SUSPECT");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "twfd_monitor: %s\n", e.what());
+    return 1;
+  }
+}
