@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_windows.dir/ablation_windows.cpp.o"
+  "CMakeFiles/ablation_windows.dir/ablation_windows.cpp.o.d"
+  "ablation_windows"
+  "ablation_windows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_windows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

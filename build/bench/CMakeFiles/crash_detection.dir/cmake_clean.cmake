@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crash_detection.dir/crash_detection.cpp.o"
+  "CMakeFiles/crash_detection.dir/crash_detection.cpp.o.d"
+  "crash_detection"
+  "crash_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crash_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_window_sizes_tmr.dir/fig04_window_sizes_tmr.cpp.o"
+  "CMakeFiles/fig04_window_sizes_tmr.dir/fig04_window_sizes_tmr.cpp.o.d"
+  "fig04_window_sizes_tmr"
+  "fig04_window_sizes_tmr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_window_sizes_tmr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig04_window_sizes_tmr.
+# This may be replaced when dependencies are built.

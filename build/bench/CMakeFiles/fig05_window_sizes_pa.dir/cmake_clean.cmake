@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_window_sizes_pa.dir/fig05_window_sizes_pa.cpp.o"
+  "CMakeFiles/fig05_window_sizes_pa.dir/fig05_window_sizes_pa.cpp.o.d"
+  "fig05_window_sizes_pa"
+  "fig05_window_sizes_pa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_window_sizes_pa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

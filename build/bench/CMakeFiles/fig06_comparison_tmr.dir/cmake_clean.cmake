@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_comparison_tmr.dir/fig06_comparison_tmr.cpp.o"
+  "CMakeFiles/fig06_comparison_tmr.dir/fig06_comparison_tmr.cpp.o.d"
+  "fig06_comparison_tmr"
+  "fig06_comparison_tmr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_comparison_tmr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

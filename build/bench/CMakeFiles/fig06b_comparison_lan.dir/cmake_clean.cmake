@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06b_comparison_lan.dir/fig06b_comparison_lan.cpp.o"
+  "CMakeFiles/fig06b_comparison_lan.dir/fig06b_comparison_lan.cpp.o.d"
+  "fig06b_comparison_lan"
+  "fig06b_comparison_lan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06b_comparison_lan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

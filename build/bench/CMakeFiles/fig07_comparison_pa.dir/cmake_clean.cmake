@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_comparison_pa.dir/fig07_comparison_pa.cpp.o"
+  "CMakeFiles/fig07_comparison_pa.dir/fig07_comparison_pa.cpp.o.d"
+  "fig07_comparison_pa"
+  "fig07_comparison_pa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_comparison_pa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_subsample_mistakes.dir/fig08_subsample_mistakes.cpp.o"
+  "CMakeFiles/fig08_subsample_mistakes.dir/fig08_subsample_mistakes.cpp.o.d"
+  "fig08_subsample_mistakes"
+  "fig08_subsample_mistakes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_subsample_mistakes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

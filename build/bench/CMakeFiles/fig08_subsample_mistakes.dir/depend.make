@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_subsample_mistakes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_mistake_overlap.dir/fig09_mistake_overlap.cpp.o"
+  "CMakeFiles/fig09_mistake_overlap.dir/fig09_mistake_overlap.cpp.o.d"
+  "fig09_mistake_overlap"
+  "fig09_mistake_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_mistake_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

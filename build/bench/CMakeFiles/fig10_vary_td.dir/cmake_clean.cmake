@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_vary_td.dir/fig10_vary_td.cpp.o"
+  "CMakeFiles/fig10_vary_td.dir/fig10_vary_td.cpp.o.d"
+  "fig10_vary_td"
+  "fig10_vary_td.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_vary_td.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

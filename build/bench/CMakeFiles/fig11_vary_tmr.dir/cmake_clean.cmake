@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_vary_tmr.dir/fig11_vary_tmr.cpp.o"
+  "CMakeFiles/fig11_vary_tmr.dir/fig11_vary_tmr.cpp.o.d"
+  "fig11_vary_tmr"
+  "fig11_vary_tmr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_vary_tmr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

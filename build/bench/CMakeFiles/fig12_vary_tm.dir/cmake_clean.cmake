@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_vary_tm.dir/fig12_vary_tm.cpp.o"
+  "CMakeFiles/fig12_vary_tm.dir/fig12_vary_tm.cpp.o.d"
+  "fig12_vary_tm"
+  "fig12_vary_tm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_vary_tm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

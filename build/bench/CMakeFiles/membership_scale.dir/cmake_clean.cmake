@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/membership_scale.dir/membership_scale.cpp.o"
+  "CMakeFiles/membership_scale.dir/membership_scale.cpp.o.d"
+  "membership_scale"
+  "membership_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/membership_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_detectors.dir/micro_detectors.cpp.o"
+  "CMakeFiles/micro_detectors.dir/micro_detectors.cpp.o.d"
+  "micro_detectors"
+  "micro_detectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_detectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reproduction_summary.dir/reproduction_summary.cpp.o"
+  "CMakeFiles/reproduction_summary.dir/reproduction_summary.cpp.o.d"
+  "reproduction_summary"
+  "reproduction_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reproduction_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

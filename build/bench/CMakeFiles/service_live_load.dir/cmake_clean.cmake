@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_live_load.dir/service_live_load.cpp.o"
+  "CMakeFiles/service_live_load.dir/service_live_load.cpp.o.d"
+  "service_live_load"
+  "service_live_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_live_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_service_qos.dir/shared_service_qos.cpp.o"
+  "CMakeFiles/shared_service_qos.dir/shared_service_qos.cpp.o.d"
+  "shared_service_qos"
+  "shared_service_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_service_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

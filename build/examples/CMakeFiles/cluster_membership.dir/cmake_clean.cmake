@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_membership.dir/cluster_membership.cpp.o"
+  "CMakeFiles/cluster_membership.dir/cluster_membership.cpp.o.d"
+  "cluster_membership"
+  "cluster_membership.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_membership.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

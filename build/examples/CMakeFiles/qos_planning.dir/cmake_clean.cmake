@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qos_planning.dir/qos_planning.cpp.o"
+  "CMakeFiles/qos_planning.dir/qos_planning.cpp.o.d"
+  "qos_planning"
+  "qos_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qos_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_service.dir/shared_service.cpp.o"
+  "CMakeFiles/shared_service.dir/shared_service.cpp.o.d"
+  "shared_service"
+  "shared_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

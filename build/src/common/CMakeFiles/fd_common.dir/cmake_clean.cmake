@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fd_common.dir/math.cpp.o"
+  "CMakeFiles/fd_common.dir/math.cpp.o.d"
+  "CMakeFiles/fd_common.dir/quantile.cpp.o"
+  "CMakeFiles/fd_common.dir/quantile.cpp.o.d"
+  "CMakeFiles/fd_common.dir/rng.cpp.o"
+  "CMakeFiles/fd_common.dir/rng.cpp.o.d"
+  "CMakeFiles/fd_common.dir/table.cpp.o"
+  "CMakeFiles/fd_common.dir/table.cpp.o.d"
+  "CMakeFiles/fd_common.dir/time.cpp.o"
+  "CMakeFiles/fd_common.dir/time.cpp.o.d"
+  "libfd_common.a"
+  "libfd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fd_config.dir/qos_config.cpp.o"
+  "CMakeFiles/fd_config.dir/qos_config.cpp.o.d"
+  "libfd_config.a"
+  "libfd_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fd_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

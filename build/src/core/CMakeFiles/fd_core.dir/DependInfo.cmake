@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive_multi_window.cpp" "src/core/CMakeFiles/fd_core.dir/adaptive_multi_window.cpp.o" "gcc" "src/core/CMakeFiles/fd_core.dir/adaptive_multi_window.cpp.o.d"
+  "/root/repo/src/core/factory.cpp" "src/core/CMakeFiles/fd_core.dir/factory.cpp.o" "gcc" "src/core/CMakeFiles/fd_core.dir/factory.cpp.o.d"
+  "/root/repo/src/core/multi_window.cpp" "src/core/CMakeFiles/fd_core.dir/multi_window.cpp.o" "gcc" "src/core/CMakeFiles/fd_core.dir/multi_window.cpp.o.d"
+  "/root/repo/src/core/shared_margin.cpp" "src/core/CMakeFiles/fd_core.dir/shared_margin.cpp.o" "gcc" "src/core/CMakeFiles/fd_core.dir/shared_margin.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/detect/CMakeFiles/fd_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

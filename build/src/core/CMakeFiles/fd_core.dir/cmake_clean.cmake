@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fd_core.dir/adaptive_multi_window.cpp.o"
+  "CMakeFiles/fd_core.dir/adaptive_multi_window.cpp.o.d"
+  "CMakeFiles/fd_core.dir/factory.cpp.o"
+  "CMakeFiles/fd_core.dir/factory.cpp.o.d"
+  "CMakeFiles/fd_core.dir/multi_window.cpp.o"
+  "CMakeFiles/fd_core.dir/multi_window.cpp.o.d"
+  "CMakeFiles/fd_core.dir/shared_margin.cpp.o"
+  "CMakeFiles/fd_core.dir/shared_margin.cpp.o.d"
+  "libfd_core.a"
+  "libfd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detect/bertier.cpp" "src/detect/CMakeFiles/fd_detect.dir/bertier.cpp.o" "gcc" "src/detect/CMakeFiles/fd_detect.dir/bertier.cpp.o.d"
+  "/root/repo/src/detect/chen.cpp" "src/detect/CMakeFiles/fd_detect.dir/chen.cpp.o" "gcc" "src/detect/CMakeFiles/fd_detect.dir/chen.cpp.o.d"
+  "/root/repo/src/detect/ed.cpp" "src/detect/CMakeFiles/fd_detect.dir/ed.cpp.o" "gcc" "src/detect/CMakeFiles/fd_detect.dir/ed.cpp.o.d"
+  "/root/repo/src/detect/fixed_timeout.cpp" "src/detect/CMakeFiles/fd_detect.dir/fixed_timeout.cpp.o" "gcc" "src/detect/CMakeFiles/fd_detect.dir/fixed_timeout.cpp.o.d"
+  "/root/repo/src/detect/nfd_s.cpp" "src/detect/CMakeFiles/fd_detect.dir/nfd_s.cpp.o" "gcc" "src/detect/CMakeFiles/fd_detect.dir/nfd_s.cpp.o.d"
+  "/root/repo/src/detect/phi_accrual.cpp" "src/detect/CMakeFiles/fd_detect.dir/phi_accrual.cpp.o" "gcc" "src/detect/CMakeFiles/fd_detect.dir/phi_accrual.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

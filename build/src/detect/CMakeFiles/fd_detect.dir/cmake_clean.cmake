@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fd_detect.dir/bertier.cpp.o"
+  "CMakeFiles/fd_detect.dir/bertier.cpp.o.d"
+  "CMakeFiles/fd_detect.dir/chen.cpp.o"
+  "CMakeFiles/fd_detect.dir/chen.cpp.o.d"
+  "CMakeFiles/fd_detect.dir/ed.cpp.o"
+  "CMakeFiles/fd_detect.dir/ed.cpp.o.d"
+  "CMakeFiles/fd_detect.dir/fixed_timeout.cpp.o"
+  "CMakeFiles/fd_detect.dir/fixed_timeout.cpp.o.d"
+  "CMakeFiles/fd_detect.dir/nfd_s.cpp.o"
+  "CMakeFiles/fd_detect.dir/nfd_s.cpp.o.d"
+  "CMakeFiles/fd_detect.dir/phi_accrual.cpp.o"
+  "CMakeFiles/fd_detect.dir/phi_accrual.cpp.o.d"
+  "libfd_detect.a"
+  "libfd_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fd_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fd_net.dir/event_loop.cpp.o"
+  "CMakeFiles/fd_net.dir/event_loop.cpp.o.d"
+  "CMakeFiles/fd_net.dir/udp_socket.cpp.o"
+  "CMakeFiles/fd_net.dir/udp_socket.cpp.o.d"
+  "CMakeFiles/fd_net.dir/wire.cpp.o"
+  "CMakeFiles/fd_net.dir/wire.cpp.o.d"
+  "libfd_net.a"
+  "libfd_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fd_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

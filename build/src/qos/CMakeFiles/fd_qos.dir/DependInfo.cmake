@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qos/crash_experiment.cpp" "src/qos/CMakeFiles/fd_qos.dir/crash_experiment.cpp.o" "gcc" "src/qos/CMakeFiles/fd_qos.dir/crash_experiment.cpp.o.d"
+  "/root/repo/src/qos/evaluator.cpp" "src/qos/CMakeFiles/fd_qos.dir/evaluator.cpp.o" "gcc" "src/qos/CMakeFiles/fd_qos.dir/evaluator.cpp.o.d"
+  "/root/repo/src/qos/intervals.cpp" "src/qos/CMakeFiles/fd_qos.dir/intervals.cpp.o" "gcc" "src/qos/CMakeFiles/fd_qos.dir/intervals.cpp.o.d"
+  "/root/repo/src/qos/mistake_set.cpp" "src/qos/CMakeFiles/fd_qos.dir/mistake_set.cpp.o" "gcc" "src/qos/CMakeFiles/fd_qos.dir/mistake_set.cpp.o.d"
+  "/root/repo/src/qos/parallel_eval.cpp" "src/qos/CMakeFiles/fd_qos.dir/parallel_eval.cpp.o" "gcc" "src/qos/CMakeFiles/fd_qos.dir/parallel_eval.cpp.o.d"
+  "/root/repo/src/qos/subsample.cpp" "src/qos/CMakeFiles/fd_qos.dir/subsample.cpp.o" "gcc" "src/qos/CMakeFiles/fd_qos.dir/subsample.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/fd_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/fd_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fd_qos.dir/crash_experiment.cpp.o"
+  "CMakeFiles/fd_qos.dir/crash_experiment.cpp.o.d"
+  "CMakeFiles/fd_qos.dir/evaluator.cpp.o"
+  "CMakeFiles/fd_qos.dir/evaluator.cpp.o.d"
+  "CMakeFiles/fd_qos.dir/intervals.cpp.o"
+  "CMakeFiles/fd_qos.dir/intervals.cpp.o.d"
+  "CMakeFiles/fd_qos.dir/mistake_set.cpp.o"
+  "CMakeFiles/fd_qos.dir/mistake_set.cpp.o.d"
+  "CMakeFiles/fd_qos.dir/parallel_eval.cpp.o"
+  "CMakeFiles/fd_qos.dir/parallel_eval.cpp.o.d"
+  "CMakeFiles/fd_qos.dir/subsample.cpp.o"
+  "CMakeFiles/fd_qos.dir/subsample.cpp.o.d"
+  "libfd_qos.a"
+  "libfd_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fd_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

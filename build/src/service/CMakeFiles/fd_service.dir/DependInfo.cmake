@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/service/dispatcher.cpp" "src/service/CMakeFiles/fd_service.dir/dispatcher.cpp.o" "gcc" "src/service/CMakeFiles/fd_service.dir/dispatcher.cpp.o.d"
+  "/root/repo/src/service/fd_service.cpp" "src/service/CMakeFiles/fd_service.dir/fd_service.cpp.o" "gcc" "src/service/CMakeFiles/fd_service.dir/fd_service.cpp.o.d"
+  "/root/repo/src/service/heartbeat_sender.cpp" "src/service/CMakeFiles/fd_service.dir/heartbeat_sender.cpp.o" "gcc" "src/service/CMakeFiles/fd_service.dir/heartbeat_sender.cpp.o.d"
+  "/root/repo/src/service/membership.cpp" "src/service/CMakeFiles/fd_service.dir/membership.cpp.o" "gcc" "src/service/CMakeFiles/fd_service.dir/membership.cpp.o.d"
+  "/root/repo/src/service/monitor.cpp" "src/service/CMakeFiles/fd_service.dir/monitor.cpp.o" "gcc" "src/service/CMakeFiles/fd_service.dir/monitor.cpp.o.d"
+  "/root/repo/src/service/trace_recorder.cpp" "src/service/CMakeFiles/fd_service.dir/trace_recorder.cpp.o" "gcc" "src/service/CMakeFiles/fd_service.dir/trace_recorder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/fd_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/fd_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fd_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/fd_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fd_service.dir/dispatcher.cpp.o"
+  "CMakeFiles/fd_service.dir/dispatcher.cpp.o.d"
+  "CMakeFiles/fd_service.dir/fd_service.cpp.o"
+  "CMakeFiles/fd_service.dir/fd_service.cpp.o.d"
+  "CMakeFiles/fd_service.dir/heartbeat_sender.cpp.o"
+  "CMakeFiles/fd_service.dir/heartbeat_sender.cpp.o.d"
+  "CMakeFiles/fd_service.dir/membership.cpp.o"
+  "CMakeFiles/fd_service.dir/membership.cpp.o.d"
+  "CMakeFiles/fd_service.dir/monitor.cpp.o"
+  "CMakeFiles/fd_service.dir/monitor.cpp.o.d"
+  "CMakeFiles/fd_service.dir/trace_recorder.cpp.o"
+  "CMakeFiles/fd_service.dir/trace_recorder.cpp.o.d"
+  "libfd_service.a"
+  "libfd_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fd_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

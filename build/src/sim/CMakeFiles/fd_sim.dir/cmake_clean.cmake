@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fd_sim.dir/sim_world.cpp.o"
+  "CMakeFiles/fd_sim.dir/sim_world.cpp.o.d"
+  "libfd_sim.a"
+  "libfd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

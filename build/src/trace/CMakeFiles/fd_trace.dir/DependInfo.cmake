@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/analysis.cpp" "src/trace/CMakeFiles/fd_trace.dir/analysis.cpp.o" "gcc" "src/trace/CMakeFiles/fd_trace.dir/analysis.cpp.o.d"
+  "/root/repo/src/trace/delay_model.cpp" "src/trace/CMakeFiles/fd_trace.dir/delay_model.cpp.o" "gcc" "src/trace/CMakeFiles/fd_trace.dir/delay_model.cpp.o.d"
+  "/root/repo/src/trace/generator.cpp" "src/trace/CMakeFiles/fd_trace.dir/generator.cpp.o" "gcc" "src/trace/CMakeFiles/fd_trace.dir/generator.cpp.o.d"
+  "/root/repo/src/trace/heartbeat.cpp" "src/trace/CMakeFiles/fd_trace.dir/heartbeat.cpp.o" "gcc" "src/trace/CMakeFiles/fd_trace.dir/heartbeat.cpp.o.d"
+  "/root/repo/src/trace/io.cpp" "src/trace/CMakeFiles/fd_trace.dir/io.cpp.o" "gcc" "src/trace/CMakeFiles/fd_trace.dir/io.cpp.o.d"
+  "/root/repo/src/trace/loss_model.cpp" "src/trace/CMakeFiles/fd_trace.dir/loss_model.cpp.o" "gcc" "src/trace/CMakeFiles/fd_trace.dir/loss_model.cpp.o.d"
+  "/root/repo/src/trace/scenario.cpp" "src/trace/CMakeFiles/fd_trace.dir/scenario.cpp.o" "gcc" "src/trace/CMakeFiles/fd_trace.dir/scenario.cpp.o.d"
+  "/root/repo/src/trace/trace_stats.cpp" "src/trace/CMakeFiles/fd_trace.dir/trace_stats.cpp.o" "gcc" "src/trace/CMakeFiles/fd_trace.dir/trace_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

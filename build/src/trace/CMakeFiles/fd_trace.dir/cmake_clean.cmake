@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fd_trace.dir/analysis.cpp.o"
+  "CMakeFiles/fd_trace.dir/analysis.cpp.o.d"
+  "CMakeFiles/fd_trace.dir/delay_model.cpp.o"
+  "CMakeFiles/fd_trace.dir/delay_model.cpp.o.d"
+  "CMakeFiles/fd_trace.dir/generator.cpp.o"
+  "CMakeFiles/fd_trace.dir/generator.cpp.o.d"
+  "CMakeFiles/fd_trace.dir/heartbeat.cpp.o"
+  "CMakeFiles/fd_trace.dir/heartbeat.cpp.o.d"
+  "CMakeFiles/fd_trace.dir/io.cpp.o"
+  "CMakeFiles/fd_trace.dir/io.cpp.o.d"
+  "CMakeFiles/fd_trace.dir/loss_model.cpp.o"
+  "CMakeFiles/fd_trace.dir/loss_model.cpp.o.d"
+  "CMakeFiles/fd_trace.dir/scenario.cpp.o"
+  "CMakeFiles/fd_trace.dir/scenario.cpp.o.d"
+  "CMakeFiles/fd_trace.dir/trace_stats.cpp.o"
+  "CMakeFiles/fd_trace.dir/trace_stats.cpp.o.d"
+  "libfd_trace.a"
+  "libfd_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fd_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

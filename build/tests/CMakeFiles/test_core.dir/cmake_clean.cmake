@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/adaptive_multi_window_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/adaptive_multi_window_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/factory_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/factory_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/multi_window_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/multi_window_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/shared_margin_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/shared_margin_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

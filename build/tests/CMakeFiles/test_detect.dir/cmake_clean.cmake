@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_detect.dir/detect/bertier_test.cpp.o"
+  "CMakeFiles/test_detect.dir/detect/bertier_test.cpp.o.d"
+  "CMakeFiles/test_detect.dir/detect/chen_test.cpp.o"
+  "CMakeFiles/test_detect.dir/detect/chen_test.cpp.o.d"
+  "CMakeFiles/test_detect.dir/detect/contract_test.cpp.o"
+  "CMakeFiles/test_detect.dir/detect/contract_test.cpp.o.d"
+  "CMakeFiles/test_detect.dir/detect/ed_test.cpp.o"
+  "CMakeFiles/test_detect.dir/detect/ed_test.cpp.o.d"
+  "CMakeFiles/test_detect.dir/detect/estimator_test.cpp.o"
+  "CMakeFiles/test_detect.dir/detect/estimator_test.cpp.o.d"
+  "CMakeFiles/test_detect.dir/detect/fixed_timeout_test.cpp.o"
+  "CMakeFiles/test_detect.dir/detect/fixed_timeout_test.cpp.o.d"
+  "CMakeFiles/test_detect.dir/detect/nfd_s_test.cpp.o"
+  "CMakeFiles/test_detect.dir/detect/nfd_s_test.cpp.o.d"
+  "CMakeFiles/test_detect.dir/detect/phi_test.cpp.o"
+  "CMakeFiles/test_detect.dir/detect/phi_test.cpp.o.d"
+  "test_detect"
+  "test_detect.pdb"
+  "test_detect[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/eq13_property_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/eq13_property_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/eq13_random_traces_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/eq13_random_traces_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/failure_injection_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/failure_injection_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/golden_regression_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/golden_regression_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/live_vs_replay_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/live_vs_replay_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/replay_properties_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/replay_properties_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/shared_service_qos_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/shared_service_qos_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/udp_end_to_end_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/udp_end_to_end_test.cpp.o.d"
+  "test_integration"
+  "test_integration.pdb"
+  "test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

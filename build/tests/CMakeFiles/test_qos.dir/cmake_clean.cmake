@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qos.dir/qos/crash_experiment_test.cpp.o"
+  "CMakeFiles/test_qos.dir/qos/crash_experiment_test.cpp.o.d"
+  "CMakeFiles/test_qos.dir/qos/evaluator_test.cpp.o"
+  "CMakeFiles/test_qos.dir/qos/evaluator_test.cpp.o.d"
+  "CMakeFiles/test_qos.dir/qos/intervals_test.cpp.o"
+  "CMakeFiles/test_qos.dir/qos/intervals_test.cpp.o.d"
+  "CMakeFiles/test_qos.dir/qos/mistake_set_test.cpp.o"
+  "CMakeFiles/test_qos.dir/qos/mistake_set_test.cpp.o.d"
+  "CMakeFiles/test_qos.dir/qos/parallel_eval_test.cpp.o"
+  "CMakeFiles/test_qos.dir/qos/parallel_eval_test.cpp.o.d"
+  "CMakeFiles/test_qos.dir/qos/subsample_test.cpp.o"
+  "CMakeFiles/test_qos.dir/qos/subsample_test.cpp.o.d"
+  "test_qos"
+  "test_qos.pdb"
+  "test_qos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

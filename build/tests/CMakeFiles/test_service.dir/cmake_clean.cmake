@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_service.dir/service/fd_service_test.cpp.o"
+  "CMakeFiles/test_service.dir/service/fd_service_test.cpp.o.d"
+  "CMakeFiles/test_service.dir/service/membership_test.cpp.o"
+  "CMakeFiles/test_service.dir/service/membership_test.cpp.o.d"
+  "CMakeFiles/test_service.dir/service/monitor_test.cpp.o"
+  "CMakeFiles/test_service.dir/service/monitor_test.cpp.o.d"
+  "CMakeFiles/test_service.dir/service/sender_test.cpp.o"
+  "CMakeFiles/test_service.dir/service/sender_test.cpp.o.d"
+  "CMakeFiles/test_service.dir/service/trace_recorder_test.cpp.o"
+  "CMakeFiles/test_service.dir/service/trace_recorder_test.cpp.o.d"
+  "test_service"
+  "test_service.pdb"
+  "test_service[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

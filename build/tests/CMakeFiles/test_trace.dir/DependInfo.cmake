@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trace/analysis_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/analysis_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/analysis_test.cpp.o.d"
+  "/root/repo/tests/trace/generator_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/generator_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/generator_test.cpp.o.d"
+  "/root/repo/tests/trace/heartbeat_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/heartbeat_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/heartbeat_test.cpp.o.d"
+  "/root/repo/tests/trace/io_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/io_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/io_test.cpp.o.d"
+  "/root/repo/tests/trace/models_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/models_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/models_test.cpp.o.d"
+  "/root/repo/tests/trace/scenario_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/scenario_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/scenario_test.cpp.o.d"
+  "/root/repo/tests/trace/stats_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/stats_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/stats_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/service/CMakeFiles/fd_service.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/qos/CMakeFiles/fd_qos.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/fd_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/fd_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/fd_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fd_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/twfd_beacon.cpp" "tools/CMakeFiles/twfd_beacon.dir/twfd_beacon.cpp.o" "gcc" "tools/CMakeFiles/twfd_beacon.dir/twfd_beacon.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/service/CMakeFiles/fd_service.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/fd_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/qos/CMakeFiles/fd_qos.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/fd_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fd_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/fd_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twfd_beacon.dir/twfd_beacon.cpp.o"
+  "CMakeFiles/twfd_beacon.dir/twfd_beacon.cpp.o.d"
+  "twfd_beacon"
+  "twfd_beacon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twfd_beacon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

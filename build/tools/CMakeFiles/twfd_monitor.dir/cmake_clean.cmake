@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twfd_monitor.dir/twfd_monitor.cpp.o"
+  "CMakeFiles/twfd_monitor.dir/twfd_monitor.cpp.o.d"
+  "twfd_monitor"
+  "twfd_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twfd_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

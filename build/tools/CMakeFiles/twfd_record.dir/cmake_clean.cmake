@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twfd_record.dir/twfd_record.cpp.o"
+  "CMakeFiles/twfd_record.dir/twfd_record.cpp.o.d"
+  "twfd_record"
+  "twfd_record.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twfd_record.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

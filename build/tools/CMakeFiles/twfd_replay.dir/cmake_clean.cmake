@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twfd_replay.dir/twfd_replay.cpp.o"
+  "CMakeFiles/twfd_replay.dir/twfd_replay.cpp.o.d"
+  "twfd_replay"
+  "twfd_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twfd_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for twfd_replay.
+# This may be replaced when dependencies are built.
