@@ -235,4 +235,5 @@ bench/CMakeFiles/shared_service_qos.dir/shared_service_qos.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
- /root/repo/src/common/ring_buffer.hpp
+ /root/repo/src/common/ring_buffer.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h

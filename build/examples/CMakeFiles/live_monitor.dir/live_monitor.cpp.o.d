@@ -231,7 +231,8 @@ examples/CMakeFiles/live_monitor.dir/live_monitor.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/cstddef \
- /root/repo/src/common/ring_buffer.hpp /root/repo/src/common/time.hpp \
+ /root/repo/src/common/ring_buffer.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/common/time.hpp \
  /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
  /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/detect/failure_detector.hpp \
@@ -248,9 +249,7 @@ examples/CMakeFiles/live_monitor.dir/live_monitor.cpp.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
  /root/repo/src/common/runtime.hpp /usr/include/c++/12/span \
  /root/repo/src/net/udp_socket.hpp /usr/include/netinet/in.h \
  /usr/include/x86_64-linux-gnu/sys/socket.h \

@@ -249,7 +249,8 @@ examples/CMakeFiles/shared_service.dir/shared_service.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
- /root/repo/src/common/ring_buffer.hpp \
+ /root/repo/src/common/ring_buffer.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/detect/failure_detector.hpp \
  /root/repo/src/trace/trace_stats.hpp /root/repo/src/trace/heartbeat.hpp \
  /root/repo/src/service/heartbeat_sender.hpp \

@@ -230,7 +230,8 @@ src/core/CMakeFiles/fd_core.dir/factory.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/cstddef \
- /root/repo/src/common/ring_buffer.hpp /root/repo/src/detect/bertier.hpp \
+ /root/repo/src/common/ring_buffer.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/detect/bertier.hpp \
  /root/repo/src/detect/chen.hpp /root/repo/src/detect/ed.hpp \
  /root/repo/src/detect/fixed_timeout.hpp /root/repo/src/detect/nfd_s.hpp \
  /root/repo/src/detect/phi_accrual.hpp

@@ -329,12 +329,9 @@ tests/CMakeFiles/test_integration.dir/integration/udp_end_to_end_test.cpp.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/common/ring_buffer.hpp /root/repo/src/common/time.hpp \
  /usr/include/c++/12/chrono /root/repo/src/detect/failure_detector.hpp \
- /root/repo/src/net/event_loop.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/common/runtime.hpp /usr/include/c++/12/span \
- /root/repo/src/net/udp_socket.hpp /usr/include/netinet/in.h \
- /usr/include/x86_64-linux-gnu/sys/socket.h \
+ /root/repo/src/net/event_loop.hpp /root/repo/src/common/runtime.hpp \
+ /usr/include/c++/12/span /root/repo/src/net/udp_socket.hpp \
+ /usr/include/netinet/in.h /usr/include/x86_64-linux-gnu/sys/socket.h \
  /usr/include/x86_64-linux-gnu/bits/types/struct_iovec.h \
  /usr/include/x86_64-linux-gnu/bits/socket.h \
  /usr/include/x86_64-linux-gnu/bits/socket_type.h \

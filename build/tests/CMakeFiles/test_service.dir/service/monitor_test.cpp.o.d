@@ -324,6 +324,7 @@ tests/CMakeFiles/test_service.dir/service/monitor_test.cpp.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/common/ring_buffer.hpp /root/repo/src/detect/chen.hpp \
+ /root/repo/src/detect/fixed_timeout.hpp \
  /root/repo/src/service/dispatcher.hpp \
  /root/repo/src/service/heartbeat_sender.hpp \
  /root/repo/src/sim/sim_world.hpp /usr/include/c++/12/queue \

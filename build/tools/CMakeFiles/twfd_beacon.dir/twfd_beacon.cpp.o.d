@@ -140,9 +140,7 @@ tools/CMakeFiles/twfd_beacon.dir/twfd_beacon.cpp.o: \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
  /root/repo/src/common/runtime.hpp /usr/include/c++/12/cstddef \
  /usr/include/c++/12/span /root/repo/src/common/time.hpp \
  /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \

@@ -69,5 +69,18 @@ int main() {
   std::cout << "saw " << monitor.heartbeats_seen() << " heartbeats; final state: "
             << (monitor.output() == detect::Output::Trust ? "TRUST" : "SUSPECT")
             << "\n";
+
+  // The timer core's self-accounting: with reschedule-based re-arming the
+  // monitor moves one freshness timer per heartbeat instead of allocating
+  // a fresh one, and the poll loop should wake for I/O and real
+  // deadlines, not spuriously.
+  const auto& s = monitor_loop.stats();
+  std::cout << "loop stats: rx=" << s.datagrams_received
+            << " | timers sched=" << s.timers.scheduled
+            << " resched=" << s.timers.rescheduled
+            << " cancel=" << s.timers.cancelled << " fired=" << s.timers.fired
+            << " compact=" << s.timers.compactions
+            << " | wakeups io=" << s.wakeups_io << " timer=" << s.wakeups_timer
+            << " spurious=" << s.wakeups_spurious << "\n";
   return 0;
 }

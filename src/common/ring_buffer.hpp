@@ -3,10 +3,15 @@
 // The sliding-window arrival estimators (Chen Eq 2, Bertier, phi-accrual)
 // all keep "the last n samples"; this container backs them with one
 // allocation at construction and O(1) push/evict.
+//
+// Storage is raw memory: slots are constructed on first write and
+// destroyed on clear/destruction, so T only needs to be copy-constructible
+// and copy-assignable — never default-constructible.
 #pragma once
 
 #include <cstddef>
-#include <vector>
+#include <memory>
+#include <utility>
 
 #include "common/assert.hpp"
 
@@ -16,32 +21,83 @@ template <typename T>
 class RingBuffer {
  public:
   /// Creates a buffer holding at most `capacity` elements. capacity >= 1.
-  explicit RingBuffer(std::size_t capacity) : buf_(capacity) {
+  explicit RingBuffer(std::size_t capacity) : cap_(capacity) {
     TWFD_CHECK(capacity >= 1);
+    buf_ = std::allocator<T>{}.allocate(cap_);
   }
 
-  [[nodiscard]] std::size_t capacity() const noexcept { return buf_.size(); }
+  ~RingBuffer() {
+    if (buf_ == nullptr) return;  // moved-from
+    destroy_all();
+    std::allocator<T>{}.deallocate(buf_, cap_);
+  }
+
+  RingBuffer(const RingBuffer& other) : cap_(other.cap_) {
+    buf_ = std::allocator<T>{}.allocate(cap_);
+    try {
+      for (; size_ < other.size_; ++size_) {
+        std::construct_at(buf_ + size_, other.oldest(size_));
+      }
+    } catch (...) {
+      destroy_all();
+      std::allocator<T>{}.deallocate(buf_, cap_);
+      throw;
+    }
+  }
+
+  RingBuffer& operator=(const RingBuffer& other) {
+    if (this == &other) return *this;
+    RingBuffer tmp(other);
+    swap(tmp);
+    return *this;
+  }
+
+  RingBuffer(RingBuffer&& other) noexcept
+      : buf_(std::exchange(other.buf_, nullptr)),
+        cap_(std::exchange(other.cap_, 0)),
+        head_(std::exchange(other.head_, 0)),
+        size_(std::exchange(other.size_, 0)) {}
+
+  RingBuffer& operator=(RingBuffer&& other) noexcept {
+    if (this != &other) {
+      if (buf_ != nullptr) {
+        destroy_all();
+        std::allocator<T>{}.deallocate(buf_, cap_);
+      }
+      buf_ = std::exchange(other.buf_, nullptr);
+      cap_ = std::exchange(other.cap_, 0);
+      head_ = std::exchange(other.head_, 0);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return cap_; }
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
-  [[nodiscard]] bool full() const noexcept { return size_ == buf_.size(); }
+  [[nodiscard]] bool full() const noexcept { return size_ == cap_; }
 
-  /// Appends `v`. If full, evicts and returns the oldest element.
-  /// Returns true in `evicted_out` cases via the overload below.
+  /// Appends `v`; if full, the oldest element is overwritten in place.
   void push(const T& v) {
-    T dummy{};
-    (void)push_evict(v, dummy);
+    if (full()) {
+      buf_[head_] = v;
+      head_ = next(head_);
+      return;
+    }
+    std::construct_at(buf_ + (head_ + size_) % cap_, v);
+    ++size_;
   }
 
   /// Appends `v`; when eviction happens, stores the evicted value in
   /// `evicted` and returns true.
   bool push_evict(const T& v, T& evicted) {
     if (full()) {
-      evicted = buf_[head_];
+      evicted = std::move(buf_[head_]);
       buf_[head_] = v;
       head_ = next(head_);
       return true;
     }
-    buf_[(head_ + size_) % buf_.size()] = v;
+    std::construct_at(buf_ + (head_ + size_) % cap_, v);
     ++size_;
     return false;
   }
@@ -49,26 +105,41 @@ class RingBuffer {
   /// Element `i` positions from the oldest (0 = oldest).
   [[nodiscard]] const T& oldest(std::size_t i = 0) const {
     TWFD_CHECK(i < size_);
-    return buf_[(head_ + i) % buf_.size()];
+    return buf_[(head_ + i) % cap_];
   }
 
   /// Element `i` positions back from the newest (0 = newest).
   [[nodiscard]] const T& newest(std::size_t i = 0) const {
     TWFD_CHECK(i < size_);
-    return buf_[(head_ + size_ - 1 - i) % buf_.size()];
+    return buf_[(head_ + size_ - 1 - i) % cap_];
   }
 
   void clear() noexcept {
+    destroy_all();
     head_ = 0;
     size_ = 0;
   }
 
- private:
-  [[nodiscard]] std::size_t next(std::size_t i) const noexcept {
-    return (i + 1) % buf_.size();
+  void swap(RingBuffer& other) noexcept {
+    std::swap(buf_, other.buf_);
+    std::swap(cap_, other.cap_);
+    std::swap(head_, other.head_);
+    std::swap(size_, other.size_);
   }
 
-  std::vector<T> buf_;
+ private:
+  [[nodiscard]] std::size_t next(std::size_t i) const noexcept {
+    return (i + 1) % cap_;
+  }
+
+  void destroy_all() noexcept {
+    for (std::size_t i = 0; i < size_; ++i) {
+      std::destroy_at(buf_ + (head_ + i) % cap_);
+    }
+  }
+
+  T* buf_ = nullptr;
+  std::size_t cap_ = 0;
   std::size_t head_ = 0;  // index of the oldest element
   std::size_t size_ = 0;
 };

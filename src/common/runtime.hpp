@@ -37,6 +37,16 @@ class Transport {
 using TimerId = std::uint64_t;
 inline constexpr TimerId kInvalidTimer = 0;
 
+/// Timer-lifecycle accounting shared by every TimerService implementation
+/// (see docs/runtime.md). Counters are cumulative since construction.
+struct TimerStats {
+  std::uint64_t scheduled = 0;    ///< schedule_at calls
+  std::uint64_t cancelled = 0;    ///< cancels that hit a pending timer
+  std::uint64_t rescheduled = 0;  ///< reschedules that hit a pending timer
+  std::uint64_t fired = 0;        ///< callbacks actually invoked
+  std::uint64_t compactions = 0;  ///< stale-entry heap compactions
+};
+
 /// One-shot timers in the runtime's local clock domain.
 class TimerService {
  public:
@@ -47,6 +57,18 @@ class TimerService {
 
   /// Cancels a pending timer; cancelling a fired/unknown id is a no-op.
   virtual void cancel(TimerId id) = 0;
+
+  /// Moves pending timer `id` to fire at `when` instead, keeping its
+  /// callback. Returns false when `id` already fired / was cancelled /
+  /// is unknown (or the implementation does not support rescheduling);
+  /// the caller must then fall back to cancel + schedule_at. This is the
+  /// hot-path primitive: re-arming a freshness timer on every heartbeat
+  /// must not pay a map erase + callback reallocation per message.
+  virtual bool reschedule(TimerId id, Tick when) {
+    (void)id;
+    (void)when;
+    return false;
+  }
 };
 
 /// Bundle handed to service components.

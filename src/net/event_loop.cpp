@@ -15,7 +15,7 @@ Tick EventLoop::now() const { return clock_.now(); }
 void EventLoop::send(PeerId to, std::span<const std::byte> data) {
   TWFD_CHECK_MSG(to >= 1 && to <= peer_addrs_.size(), "unknown peer");
   socket_.send_to(peer_addrs_[to - 1], data);
-  ++sent_;
+  ++stats_.datagrams_sent;
 }
 
 void EventLoop::set_receive_handler(ReceiveHandler handler) {
@@ -31,39 +31,118 @@ PeerId EventLoop::add_peer(const SocketAddress& addr) {
   return id;
 }
 
+// ---------------------------------------------------------------------------
+// Timer core: lazy-deletion min-heap with stale accounting.
+//
+// A timer is live iff it has a record in timers_. Each live timer owns one
+// canonical heap entry, identified by (at, order) == (record.heap_at,
+// record.order); every other entry referencing its id — and every entry
+// whose id has no record — is stale. cancel() and the earlier-reschedule
+// path only bump stale_; the entries themselves are skipped when they
+// reach the top, and the whole heap is rebuilt from the live records once
+// stale entries reach the live count, bounding storage at 2x live.
+// ---------------------------------------------------------------------------
+
+void EventLoop::push_canonical(Tick at, TimerId id, TimerRecord& rec) {
+  rec.heap_at = at;
+  rec.order = order_counter_++;
+  heap_.push_back({at, rec.order, id});
+  std::push_heap(heap_.begin(), heap_.end(), HeapCmp{});
+}
+
 TimerId EventLoop::schedule_at(Tick when, std::function<void()> fn) {
   const TimerId id = next_timer_id_++;
-  timer_fns_.emplace(id, std::move(fn));
-  timers_.push({when, order_counter_++, id});
+  TimerRecord& rec =
+      timers_.emplace(id, TimerRecord{std::move(fn), when, 0, 0}).first->second;
+  push_canonical(when, id, rec);
+  ++stats_.timers.scheduled;
   return id;
 }
 
-void EventLoop::cancel(TimerId id) { timer_fns_.erase(id); }
+void EventLoop::cancel(TimerId id) {
+  if (timers_.erase(id) == 0) return;  // fired or unknown: no-op
+  ++stale_;
+  ++stats_.timers.cancelled;
+  compact_if_stale_heavy();
+}
 
-Tick EventLoop::next_timer_at() const {
-  // The heap may hold cancelled entries; peek past is not possible with
-  // priority_queue, so report the top (a cancelled top only costs one
-  // spurious wakeup).
-  return timers_.empty() ? kTickInfinity : timers_.top().at;
+bool EventLoop::reschedule(TimerId id, Tick when) {
+  const auto it = timers_.find(id);
+  if (it == timers_.end()) return false;
+  TimerRecord& rec = it->second;
+  rec.deadline = when;
+  if (when < rec.heap_at) {
+    // The canonical entry would surface too late; plant a fresh one and
+    // let the old entry die as stale. The common service-layer pattern
+    // (freshness deadline pushed *out* by each heartbeat) takes the
+    // cheaper branch below: deadline moves, the heap is untouched, and
+    // normalize_top() migrates the entry when it surfaces.
+    ++stale_;
+    push_canonical(when, id, rec);
+    compact_if_stale_heavy();
+  }
+  ++stats_.timers.rescheduled;
+  return true;
+}
+
+EventLoop::TimerRecord* EventLoop::normalize_top() {
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_.front();
+    const auto it = timers_.find(top.id);
+    if (it == timers_.end() || it->second.heap_at != top.at ||
+        it->second.order != top.order) {
+      // Cancelled, or superseded by an earlier reschedule.
+      std::pop_heap(heap_.begin(), heap_.end(), HeapCmp{});
+      heap_.pop_back();
+      --stale_;
+      continue;
+    }
+    TimerRecord& rec = it->second;
+    if (rec.deadline > top.at) {
+      // Postponed by reschedule(); migrate the canonical entry now.
+      std::pop_heap(heap_.begin(), heap_.end(), HeapCmp{});
+      heap_.pop_back();
+      push_canonical(rec.deadline, top.id, rec);
+      continue;
+    }
+    return &rec;
+  }
+  return nullptr;
+}
+
+void EventLoop::compact_if_stale_heavy() {
+  if (stale_ == 0 || stale_ < timers_.size()) return;
+  heap_.clear();
+  for (const auto& [id, rec] : timers_) {
+    heap_.push_back({rec.heap_at, rec.order, id});
+  }
+  std::make_heap(heap_.begin(), heap_.end(), HeapCmp{});
+  stale_ = 0;
+  ++stats_.timers.compactions;
+}
+
+Tick EventLoop::next_timer_at() {
+  return normalize_top() == nullptr ? kTickInfinity : heap_.front().at;
 }
 
 void EventLoop::fire_due_timers() {
   const Tick t = now();
-  while (!timers_.empty() && timers_.top().at <= t) {
-    const TimerId id = timers_.top().id;
-    timers_.pop();
-    const auto it = timer_fns_.find(id);
-    if (it == timer_fns_.end()) continue;  // cancelled
-    auto fn = std::move(it->second);
-    timer_fns_.erase(it);
+  while (!stopped_) {
+    if (normalize_top() == nullptr || heap_.front().at > t) return;
+    const TimerId id = heap_.front().id;
+    std::pop_heap(heap_.begin(), heap_.end(), HeapCmp{});
+    heap_.pop_back();
+    const auto it = timers_.find(id);
+    auto fn = std::move(it->second.fn);
+    timers_.erase(it);
+    ++stats_.timers.fired;
     fn();
-    if (stopped_) return;
   }
 }
 
 void EventLoop::drain_socket() {
   while (auto dgram = socket_.receive()) {
-    ++received_;
+    ++stats_.datagrams_received;
     if (on_receive_) {
       const PeerId from = add_peer(dgram->from);
       on_receive_(from, std::span<const std::byte>(dgram->data));
@@ -82,15 +161,26 @@ void EventLoop::run_until(Tick deadline) {
 
     const Tick t = now();
     if (t >= deadline) break;
-    const Tick wake = std::min(deadline, next_timer_at());
+    const Tick next_due = next_timer_at();
+    const Tick wake = std::min(deadline, next_due);
     const Tick wait = wake <= t ? 0 : wake - t;
     // Sleep at most 50 ms per turn so stop() from signal-ish contexts and
-    // socket readiness both stay responsive.
-    const int timeout_ms = static_cast<int>(
-        std::min<Tick>(ticks_from_ms(50), wait) / ticks_from_ms(1));
+    // socket readiness both stay responsive. Partial milliseconds round
+    // *up*: truncating a sub-millisecond wait to a 0 ms poll would spin
+    // the CPU until the deadline instead of sleeping.
+    const Tick capped = std::min<Tick>(ticks_from_ms(50), wait);
+    const int timeout_ms =
+        static_cast<int>((capped + ticks_from_ms(1) - 1) / ticks_from_ms(1));
 
     pollfd pfd{socket_.fd(), POLLIN, 0};
-    (void)::poll(&pfd, 1, std::max(0, timeout_ms));
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc > 0 && (pfd.revents & POLLIN) != 0) {
+      ++stats_.wakeups_io;
+    } else if (next_due <= now()) {
+      ++stats_.wakeups_timer;
+    } else {
+      ++stats_.wakeups_spurious;
+    }
   }
 }
 

@@ -4,12 +4,18 @@
 // Peers are registered (or auto-learned from inbound datagrams) and
 // addressed by PeerId, mirroring the simulator's addressing so service
 // code is identical in both worlds.
+//
+// Timer core (see docs/runtime.md): a binary min-heap with lazy deletion.
+// cancel() and reschedule() never touch the heap directly; dead or
+// superseded entries are skipped when they surface at the top, and the
+// heap is compacted whenever stale entries reach the live-timer count, so
+// storage stays O(live timers) under the service layer's re-arm-per-
+// heartbeat pattern instead of O(heartbeats observed).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <queue>
 #include <vector>
 
 #include "common/runtime.hpp"
@@ -20,6 +26,19 @@ namespace twfd::net {
 
 class EventLoop final : public Clock, public Transport, public TimerService {
  public:
+  /// Loop observability counters (cumulative since construction).
+  struct Stats {
+    TimerStats timers;
+    std::uint64_t datagrams_sent = 0;
+    std::uint64_t datagrams_received = 0;
+    /// poll() returns split by what woke the loop: socket readable,
+    /// a timer deadline reached, or neither (the 50 ms responsiveness
+    /// cap and interrupted waits land here).
+    std::uint64_t wakeups_io = 0;
+    std::uint64_t wakeups_timer = 0;
+    std::uint64_t wakeups_spurious = 0;
+  };
+
   /// Binds the loop's socket on `port` (0 = ephemeral).
   explicit EventLoop(std::uint16_t port = 0);
 
@@ -33,6 +52,13 @@ class EventLoop final : public Clock, public Transport, public TimerService {
   // TimerService.
   TimerId schedule_at(Tick when, std::function<void()> fn) override;
   void cancel(TimerId id) override;
+  bool reschedule(TimerId id, Tick when) override;
+
+  /// Deadline of the earliest *live* timer (kTickInfinity when none).
+  /// Skips cancelled/superseded heap tops, so run_until never wakes
+  /// early for a dead timer. Mutates the heap (normalization) but not
+  /// observable timer state.
+  [[nodiscard]] Tick next_timer_at();
 
   /// Registers a peer address; idempotent (same address -> same id).
   PeerId add_peer(const SocketAddress& addr);
@@ -46,24 +72,51 @@ class EventLoop final : public Clock, public Transport, public TimerService {
   /// Makes a concurrent run_until return promptly (callable from handlers).
   void stop() { stopped_ = true; }
 
-  [[nodiscard]] std::uint64_t datagrams_sent() const noexcept { return sent_; }
-  [[nodiscard]] std::uint64_t datagrams_received() const noexcept { return received_; }
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::uint64_t datagrams_sent() const noexcept {
+    return stats_.datagrams_sent;
+  }
+  [[nodiscard]] std::uint64_t datagrams_received() const noexcept {
+    return stats_.datagrams_received;
+  }
+
+  /// Pending (schedulable) timers — the O(live) quantity.
+  [[nodiscard]] std::size_t live_timer_count() const noexcept {
+    return timers_.size();
+  }
+  /// Heap entries including stale ones; bounded at 2x live by compaction.
+  [[nodiscard]] std::size_t timer_heap_size() const noexcept {
+    return heap_.size();
+  }
 
  private:
-  struct PendingTimer {
+  struct HeapEntry {
     Tick at;
     std::uint64_t order;
     TimerId id;
   };
-  struct TimerCmp {
-    bool operator()(const PendingTimer& a, const PendingTimer& b) const {
+  struct HeapCmp {
+    // std::push_heap builds a max-heap; invert for earliest-first, with
+    // FIFO tiebreak on the insertion order.
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
       return a.at != b.at ? a.at > b.at : a.order > b.order;
     }
+  };
+  struct TimerRecord {
+    std::function<void()> fn;
+    Tick deadline;        // current target instant
+    Tick heap_at;         // `at` of this timer's canonical heap entry
+    std::uint64_t order;  // `order` of the canonical entry
   };
 
   void drain_socket();
   void fire_due_timers();
-  [[nodiscard]] Tick next_timer_at() const;
+  void push_canonical(Tick at, TimerId id, TimerRecord& rec);
+  void compact_if_stale_heavy();
+  /// Pops stale tops and re-pushes postponed canonical entries until the
+  /// top is live (or the heap is empty). Returns the live record, or
+  /// nullptr when no timers remain.
+  TimerRecord* normalize_top();
 
   UdpSocket socket_;
   SteadyClock clock_;
@@ -72,14 +125,17 @@ class EventLoop final : public Clock, public Transport, public TimerService {
   std::map<SocketAddress, PeerId> peer_ids_;
   std::vector<SocketAddress> peer_addrs_;  // index = PeerId - 1
 
-  std::priority_queue<PendingTimer, std::vector<PendingTimer>, TimerCmp> timers_;
-  std::map<TimerId, std::function<void()>> timer_fns_;  // erased = cancelled
+  // Invariant: heap_.size() == timers_.size() + stale_. Each live timer
+  // has exactly one canonical entry (at == record.heap_at); every other
+  // entry is stale (cancelled, or superseded by an earlier reschedule).
+  std::vector<HeapEntry> heap_;
+  std::map<TimerId, TimerRecord> timers_;
+  std::size_t stale_ = 0;
   TimerId next_timer_id_ = 1;
   std::uint64_t order_counter_ = 0;
   bool stopped_ = false;
 
-  std::uint64_t sent_ = 0;
-  std::uint64_t received_ = 0;
+  Stats stats_;
 };
 
 }  // namespace twfd::net

@@ -139,13 +139,8 @@ void FdService::recombine(Remote& remote) {
 void FdService::rebuild_detector(Remote& remote) {
   // Estimation state restarts: the freshness geometry below it (the
   // sender's Delta_i) is changing, so old normalised arrivals are no
-  // longer comparable.
-  for (auto& sub : remote.subs) {
-    if (sub.timer != kInvalidTimer) {
-      rt_.timers->cancel(sub.timer);
-      sub.timer = kInvalidTimer;
-    }
-  }
+  // longer comparable. Pending freshness timers are re-armed (not
+  // cancelled) by the arm_timer pass at the end.
   remote.detector = std::make_unique<core::SharedMarginDetector>(
       params_.windows, std::max<Tick>(remote.requested_interval, 1));
   for (std::size_t j = 0; j < remote.subs.size(); ++j) {
@@ -181,13 +176,25 @@ void FdService::handle_heartbeat(PeerId from, const net::HeartbeatMsg& msg,
 }
 
 void FdService::arm_timer(Remote& remote, Subscription& sub) {
+  const Tick sa = remote.detector && !sub.suspecting
+                      ? remote.detector->suspect_after(sub.shared_index)
+                      : kTickInfinity;
+  if (sa == kTickInfinity) {
+    if (sub.timer != kInvalidTimer) {
+      rt_.timers->cancel(sub.timer);
+      sub.timer = kInvalidTimer;
+    }
+    return;
+  }
+  // Hot path: every heartbeat re-arms every subscription's freshness
+  // timer, so move the pending timer instead of cancel + schedule. The
+  // callback captures only (peer, id) and resolves state at fire time,
+  // so it survives detector rebuilds unchanged.
   if (sub.timer != kInvalidTimer) {
+    if (rt_.timers->reschedule(sub.timer, sa)) return;
     rt_.timers->cancel(sub.timer);
     sub.timer = kInvalidTimer;
   }
-  if (sub.suspecting || !remote.detector) return;
-  const Tick sa = remote.detector->suspect_after(sub.shared_index);
-  if (sa == kTickInfinity) return;
   const PeerId peer = remote.peer;
   const SubscriptionId id = sub.id;
   sub.timer = rt_.timers->schedule_at(sa, [this, peer, id] { on_sub_timer(peer, id); });

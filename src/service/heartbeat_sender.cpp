@@ -50,8 +50,11 @@ void HeartbeatSender::handle_interval_request(PeerId requester,
   if (after != before && running_) {
     // Re-anchor the cadence: the in-flight gap shrinks (or grows) starting
     // from the last emission.
-    if (timer_ != kInvalidTimer) rt_.timers->cancel(timer_);
     next_send_ = std::max(rt_.clock->now(), next_send_ - before + after);
+    if (timer_ != kInvalidTimer) {
+      if (rt_.timers->reschedule(timer_, next_send_)) return;
+      rt_.timers->cancel(timer_);
+    }
     timer_ = rt_.timers->schedule_at(next_send_, [this] { send_one(); });
   }
 }

@@ -35,23 +35,41 @@ void Monitor::handle_heartbeat(PeerId /*from*/, const net::HeartbeatMsg& msg,
 }
 
 void Monitor::arm_timer() {
+  const Tick sa = detector_->suspect_after();
+  if (sa == kTickInfinity || suspecting_) {
+    // No freshness deadline to watch: while suspecting, the next
+    // heartbeat (not a timer) is what changes state.
+    if (timer_ != kInvalidTimer) {
+      rt_.timers->cancel(timer_);
+      timer_ = kInvalidTimer;
+    }
+    return;
+  }
+  // Per-heartbeat re-arm is the monitor hot path: move the pending timer
+  // instead of paying a cancel + schedule (and a callback allocation)
+  // per message. Falls back when the timer already fired or the runtime
+  // does not support rescheduling.
   if (timer_ != kInvalidTimer) {
+    if (rt_.timers->reschedule(timer_, sa)) return;
     rt_.timers->cancel(timer_);
     timer_ = kInvalidTimer;
   }
-  const Tick sa = detector_->suspect_after();
-  if (sa == kTickInfinity || suspecting_) return;
   timer_ = rt_.timers->schedule_at(sa, [this] { on_timer(); });
 }
 
 void Monitor::on_timer() {
   timer_ = kInvalidTimer;
+  if (suspecting_) return;  // stale fire while already suspecting: no-op
   const Tick t = rt_.clock->now();
-  if (!suspecting_ && detector_->output_at(t) == detect::Output::Suspect) {
+  if (detector_->output_at(t) == detect::Output::Suspect) {
     suspecting_ = true;
     if (callbacks_.on_suspect) callbacks_.on_suspect(t);
-  } else if (!suspecting_) {
+  } else {
     // Raced with a heartbeat that pushed suspect_after out; re-arm.
+    // A same-tick heartbeat may also have reset suspecting_ just before
+    // this fire — output_at(t) re-checks the detector, so the
+    // trust -> suspect -> trust sequence at equal ticks stays correct
+    // (pinned by Monitor.EqualTick* regression tests).
     arm_timer();
   }
 }

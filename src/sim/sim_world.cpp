@@ -43,6 +43,10 @@ TimerId SimEndpoint::schedule_at(Tick when, std::function<void()> fn) {
 
 void SimEndpoint::cancel(TimerId id) { world_->cancel_timer(id); }
 
+bool SimEndpoint::reschedule(TimerId id, Tick when) {
+  return world_->reschedule_timer(*this, id, when);
+}
+
 // ---------------------------------------------------------------------------
 // Link prototypes
 // ---------------------------------------------------------------------------
@@ -144,22 +148,53 @@ TimerId SimWorld::schedule_local(SimEndpoint& ep, Tick local_when,
                                  std::function<void()> fn) {
   const TimerId id = next_timer_id_++;
   const Tick global_when = std::max(now_, ep.to_global(local_when));
-  cancelled_[id] = false;
-  post(
-      global_when,
-      [this, id, cb = std::move(fn)]() {
-        const auto it = cancelled_.find(id);
-        const bool is_cancelled = it != cancelled_.end() && it->second;
-        cancelled_.erase(id);
-        if (!is_cancelled) cb();
-      },
-      id);
+  timers_.emplace(id, TimerRecord{std::move(fn), global_when, global_when});
+  post(global_when, [this, id, global_when] { fire_timer(id, global_when); }, id);
+  ++timer_stats_.scheduled;
   return id;
 }
 
 void SimWorld::cancel_timer(TimerId id) {
-  const auto it = cancelled_.find(id);
-  if (it != cancelled_.end()) it->second = true;
+  if (timers_.erase(id) == 0) return;  // fired or unknown: no-op
+  ++timer_stats_.cancelled;
+  // The queue event stays behind as a stale entry; fire_timer skips it
+  // when it surfaces (virtual time jumps there immediately, so unlike
+  // the live loop no compaction pass is needed).
+}
+
+bool SimWorld::reschedule_timer(SimEndpoint& ep, TimerId id, Tick local_when) {
+  const auto it = timers_.find(id);
+  if (it == timers_.end()) return false;
+  TimerRecord& rec = it->second;
+  rec.due_global = std::max(now_, ep.to_global(local_when));
+  if (rec.due_global < rec.posted_at) {
+    // The canonical event would surface too late; post a fresh one and
+    // let the old event die as stale. Deadlines pushed *out* (the common
+    // per-heartbeat re-arm) leave the queue untouched: fire_timer
+    // re-posts lazily when the event surfaces early.
+    rec.posted_at = rec.due_global;
+    const Tick at = rec.posted_at;
+    post(at, [this, id, at] { fire_timer(id, at); }, id);
+  }
+  ++timer_stats_.rescheduled;
+  return true;
+}
+
+void SimWorld::fire_timer(TimerId id, Tick at) {
+  const auto it = timers_.find(id);
+  if (it == timers_.end() || it->second.posted_at != at) return;  // stale
+  TimerRecord& rec = it->second;
+  if (rec.due_global > at) {
+    // Postponed by reschedule(); migrate the canonical event now.
+    rec.posted_at = rec.due_global;
+    const Tick new_at = rec.posted_at;
+    post(new_at, [this, id, new_at] { fire_timer(id, new_at); }, id);
+    return;
+  }
+  auto fn = std::move(rec.fn);
+  timers_.erase(it);
+  ++timer_stats_.fired;
+  fn();
 }
 
 bool SimWorld::step() {

@@ -38,6 +38,7 @@ class SimEndpoint final : public Clock, public Transport, public TimerService {
   // TimerService (local-clock deadlines).
   TimerId schedule_at(Tick when, std::function<void()> fn) override;
   void cancel(TimerId id) override;
+  bool reschedule(TimerId id, Tick when) override;
 
   [[nodiscard]] PeerId id() const noexcept { return id_; }
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
@@ -121,6 +122,16 @@ class SimWorld {
     return delivered_;
   }
 
+  /// Timer-lifecycle accounting, mirroring net::EventLoop::stats().timers
+  /// so live and replay runs are comparable on the same counters.
+  [[nodiscard]] const TimerStats& timer_stats() const noexcept {
+    return timer_stats_;
+  }
+  /// Timers scheduled but not yet fired or cancelled.
+  [[nodiscard]] std::size_t live_timer_count() const noexcept {
+    return timers_.size();
+  }
+
  private:
   friend class SimEndpoint;
 
@@ -141,10 +152,24 @@ class SimWorld {
     Tick busy_until = kTickNegInfinity;  // bottleneck queue head
   };
 
+  // Callbacks of pending timers live here (not in the event closure), so
+  // reschedule() can move a deadline without re-posting the callback.
+  // Each record owns one canonical queue event, identified by posted_at;
+  // events that surface with a different timestamp — or whose id has no
+  // record — are stale and skipped (same lazy-deletion semantics as
+  // net::EventLoop's timer heap).
+  struct TimerRecord {
+    std::function<void()> fn;
+    Tick due_global;  // current target instant (global time)
+    Tick posted_at;   // timestamp of the canonical queue event
+  };
+
   void post(Tick at_global, std::function<void()> fn, TimerId timer_id);
   void dispatch_send(PeerId from, PeerId to, std::vector<std::byte> data);
   TimerId schedule_local(SimEndpoint& ep, Tick local_when, std::function<void()> fn);
   void cancel_timer(TimerId id);
+  bool reschedule_timer(SimEndpoint& ep, TimerId id, Tick local_when);
+  void fire_timer(TimerId id, Tick at);
 
   Tick now_ = 0;
   std::uint64_t order_counter_ = 0;
@@ -152,7 +177,8 @@ class SimWorld {
   std::priority_queue<Event, std::vector<Event>, EventCmp> queue_;
   std::vector<std::unique_ptr<SimEndpoint>> endpoints_;
   std::map<std::pair<PeerId, PeerId>, Link> links_;
-  std::map<TimerId, bool> cancelled_;  // ids with pending events
+  std::map<TimerId, TimerRecord> timers_;
+  TimerStats timer_stats_;
   Xoshiro256 rng_;
   std::uint64_t sent_ = 0;
   std::uint64_t delivered_ = 0;

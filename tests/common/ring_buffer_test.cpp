@@ -3,9 +3,60 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <string>
+#include <type_traits>
 
 namespace twfd {
 namespace {
+
+// The arrival-sample types the estimators store need not be
+// default-constructible; the buffer must never materialise a dummy T.
+struct NoDefault {
+  explicit NoDefault(int x) : value(x) {}
+  int value;
+  bool operator==(const NoDefault&) const = default;
+};
+static_assert(!std::is_default_constructible_v<NoDefault>);
+
+TEST(RingBuffer, WorksWithoutDefaultConstructor) {
+  RingBuffer<NoDefault> rb(3);
+  rb.push(NoDefault{1});
+  rb.push(NoDefault{2});
+  rb.push(NoDefault{3});
+  rb.push(NoDefault{4});  // evicts 1 via in-place overwrite
+  EXPECT_EQ(rb.oldest().value, 2);
+  EXPECT_EQ(rb.newest().value, 4);
+
+  NoDefault evicted{0};
+  EXPECT_TRUE(rb.push_evict(NoDefault{5}, evicted));
+  EXPECT_EQ(evicted.value, 2);
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  rb.push(NoDefault{9});
+  EXPECT_EQ(rb.oldest().value, 9);
+}
+
+TEST(RingBuffer, NonTrivialElementLifetimes) {
+  // Heap-owning elements + wrap-around; leaks or double-destroys show up
+  // under the sanitizer configuration (tools/sanitize_check.sh).
+  RingBuffer<std::string> rb(3);
+  for (int i = 0; i < 10; ++i) rb.push("value-" + std::to_string(i));
+  EXPECT_EQ(rb.oldest(), "value-7");
+  EXPECT_EQ(rb.newest(), "value-9");
+
+  RingBuffer<std::string> copy(rb);
+  EXPECT_EQ(copy.newest(), "value-9");
+  copy.push("value-10");
+  EXPECT_EQ(copy.newest(), "value-10");
+  EXPECT_EQ(rb.newest(), "value-9");  // deep copy
+
+  RingBuffer<std::string> moved(std::move(copy));
+  EXPECT_EQ(moved.newest(), "value-10");
+  rb = moved;
+  EXPECT_EQ(rb.oldest(), "value-8");
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+}
 
 TEST(RingBuffer, StartsEmpty) {
   RingBuffer<int> rb(4);

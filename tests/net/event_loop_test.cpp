@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -102,6 +103,154 @@ TEST(EventLoop, ReceiveIdentifiesSender) {
 TEST(EventLoop, UnknownPeerSendRejected) {
   EventLoop loop;
   EXPECT_THROW(loop.send(42, bytes("x")), std::logic_error);
+}
+
+TEST(EventLoop, RescheduleLaterMovesFiringTime) {
+  EventLoop loop;
+  const Tick t0 = loop.now();
+  Tick fired_at = 0;
+  const TimerId id =
+      loop.schedule_at(t0 + ticks_from_ms(10), [&] { fired_at = loop.now(); });
+  EXPECT_TRUE(loop.reschedule(id, t0 + ticks_from_ms(60)));
+  loop.run_for(ticks_from_ms(200));
+  EXPECT_GE(fired_at, t0 + ticks_from_ms(60));
+  EXPECT_EQ(loop.stats().timers.rescheduled, 1u);
+  EXPECT_EQ(loop.stats().timers.fired, 1u);
+}
+
+TEST(EventLoop, RescheduleEarlierMovesFiringTime) {
+  EventLoop loop;
+  const Tick t0 = loop.now();
+  Tick fired_at = 0;
+  const TimerId id =
+      loop.schedule_at(t0 + ticks_from_sec(30), [&] { fired_at = loop.now(); });
+  EXPECT_TRUE(loop.reschedule(id, t0 + ticks_from_ms(20)));
+  loop.run_for(ticks_from_ms(300));
+  EXPECT_GE(fired_at, t0 + ticks_from_ms(20));
+  EXPECT_LT(fired_at, t0 + ticks_from_ms(300));
+}
+
+TEST(EventLoop, RescheduleAfterFireOrCancelReturnsFalse) {
+  EventLoop loop;
+  const TimerId fired = loop.schedule_at(loop.now() - 1, [] {});
+  loop.run_for(ticks_from_ms(30));
+  EXPECT_FALSE(loop.reschedule(fired, loop.now() + ticks_from_ms(10)));
+
+  const TimerId cancelled = loop.schedule_at(loop.now() + ticks_from_sec(5), [] {});
+  loop.cancel(cancelled);
+  EXPECT_FALSE(loop.reschedule(cancelled, loop.now() + ticks_from_ms(10)));
+  EXPECT_FALSE(loop.reschedule(kInvalidTimer, loop.now()));
+}
+
+TEST(EventLoop, NextTimerAtSkipsCancelledTop) {
+  EventLoop loop;
+  const Tick t0 = loop.now();
+  const TimerId a = loop.schedule_at(t0 + ticks_from_ms(10), [] {});
+  const TimerId b = loop.schedule_at(t0 + ticks_from_ms(50), [] {});
+  EXPECT_EQ(loop.next_timer_at(), t0 + ticks_from_ms(10));
+  // Cancelling the top must not leave a phantom early wakeup behind.
+  loop.cancel(a);
+  EXPECT_EQ(loop.next_timer_at(), t0 + ticks_from_ms(50));
+  loop.cancel(b);
+  EXPECT_EQ(loop.next_timer_at(), kTickInfinity);
+}
+
+TEST(EventLoop, NextTimerAtTracksReschedule) {
+  EventLoop loop;
+  const Tick t0 = loop.now();
+  const TimerId id = loop.schedule_at(t0 + ticks_from_ms(10), [] {});
+  ASSERT_TRUE(loop.reschedule(id, t0 + ticks_from_ms(80)));
+  EXPECT_EQ(loop.next_timer_at(), t0 + ticks_from_ms(80));
+  ASSERT_TRUE(loop.reschedule(id, t0 + ticks_from_ms(5)));
+  EXPECT_EQ(loop.next_timer_at(), t0 + ticks_from_ms(5));
+}
+
+// The Monitor hot path: every heartbeat cancels and re-arms one freshness
+// timer per peer. The heap must stay O(live timers) across 100k such
+// cycles — not O(heartbeats observed) — with compactions doing the
+// bounding.
+TEST(EventLoop, StressCancelRearmKeepsHeapBounded) {
+  constexpr std::size_t kPeers = 64;
+  constexpr std::size_t kCycles = 100'000;
+  EventLoop loop;
+  const Tick far = loop.now() + ticks_from_sec(3600);
+
+  std::vector<TimerId> timers(kPeers);
+  for (std::size_t i = 0; i < kPeers; ++i) {
+    timers[i] = loop.schedule_at(far + static_cast<Tick>(i), [] {});
+  }
+  std::size_t max_heap = 0;
+  for (std::size_t c = 0; c < kCycles; ++c) {
+    const std::size_t i = c % kPeers;
+    loop.cancel(timers[i]);
+    timers[i] = loop.schedule_at(far + static_cast<Tick>(c), [] {});
+    max_heap = std::max(max_heap, loop.timer_heap_size());
+  }
+  EXPECT_EQ(loop.live_timer_count(), kPeers);
+  EXPECT_LE(max_heap, 2 * kPeers);
+  EXPECT_LE(loop.timer_heap_size(), 2 * kPeers);
+  EXPECT_EQ(loop.stats().timers.scheduled, kPeers + kCycles);
+  EXPECT_EQ(loop.stats().timers.cancelled, kCycles);
+  EXPECT_GT(loop.stats().timers.compactions, 0u);
+  EXPECT_EQ(loop.stats().timers.fired, 0u);
+}
+
+// The same workload through reschedule(): pushing a deadline out must not
+// grow the heap at all, and pulling it in stays within the 2x bound.
+TEST(EventLoop, StressRescheduleKeepsHeapBounded) {
+  constexpr std::size_t kPeers = 64;
+  constexpr std::size_t kCycles = 100'000;
+  EventLoop loop;
+  const Tick far = loop.now() + ticks_from_sec(3600);
+
+  std::vector<TimerId> timers(kPeers);
+  for (std::size_t i = 0; i < kPeers; ++i) {
+    timers[i] = loop.schedule_at(far + static_cast<Tick>(i), [] {});
+  }
+  // Later-reschedules are lazy: heap size must stay exactly at live.
+  for (std::size_t c = 0; c < kCycles; ++c) {
+    const std::size_t i = c % kPeers;
+    ASSERT_TRUE(loop.reschedule(timers[i], far + ticks_from_sec(1) +
+                                               static_cast<Tick>(c)));
+    ASSERT_EQ(loop.timer_heap_size(), kPeers);
+  }
+  // Earlier-reschedules plant fresh entries; compaction bounds the heap.
+  std::size_t max_heap = 0;
+  for (std::size_t c = 0; c < kCycles; ++c) {
+    const std::size_t i = c % kPeers;
+    ASSERT_TRUE(loop.reschedule(
+        timers[i], far + ticks_from_sec(1) - static_cast<Tick>(c + 1)));
+    max_heap = std::max(max_heap, loop.timer_heap_size());
+  }
+  EXPECT_EQ(loop.live_timer_count(), kPeers);
+  EXPECT_LE(max_heap, 2 * kPeers);
+  EXPECT_EQ(loop.stats().timers.rescheduled, 2 * kCycles);
+  EXPECT_EQ(loop.stats().timers.fired, 0u);
+}
+
+// A sub-millisecond wait must sleep (rounded up to 1 ms), not degenerate
+// into a poll(0) busy-spin until the deadline.
+TEST(EventLoop, SubMillisecondWaitDoesNotBusySpin) {
+  EventLoop loop;
+  bool fired = false;
+  loop.schedule_at(loop.now() + ticks_from_us(500), [&] { fired = true; });
+  loop.run_for(ticks_from_ms(5));
+  EXPECT_TRUE(fired);
+  const auto& s = loop.stats();
+  // A spin would record thousands of wakeups in those 5 ms.
+  EXPECT_LT(s.wakeups_io + s.wakeups_timer + s.wakeups_spurious, 100u);
+  EXPECT_GE(s.wakeups_timer, 1u);
+}
+
+TEST(EventLoop, StatsCountDatagrams) {
+  EventLoop rx;
+  EventLoop tx;
+  const PeerId rx_peer = tx.add_peer(SocketAddress::loopback(rx.local_port()));
+  rx.set_receive_handler([&](PeerId, std::span<const std::byte>) { rx.stop(); });
+  tx.send(rx_peer, bytes("ping"));
+  rx.run_for(ticks_from_sec(2));
+  EXPECT_EQ(tx.stats().datagrams_sent, 1u);
+  EXPECT_EQ(rx.stats().datagrams_received, 1u);
 }
 
 TEST(EventLoop, StopFromTimer) {

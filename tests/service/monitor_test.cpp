@@ -6,6 +6,7 @@
 
 #include "core/multi_window.hpp"
 #include "detect/chen.hpp"
+#include "detect/fixed_timeout.hpp"
 #include "service/dispatcher.hpp"
 #include "service/heartbeat_sender.hpp"
 #include "sim/sim_world.hpp"
@@ -108,6 +109,105 @@ TEST(Monitor, RepeatedCrashesProduceRepeatedAlarms) {
   }
   EXPECT_EQ(rig.suspects.size(), 3u);
   EXPECT_EQ(rig.trusts.size(), 2u);  // last crash never recovers
+}
+
+// Regression pin for the on_timer / handle_heartbeat re-arm race at
+// EQUAL ticks: the freshness timer fires at exactly t = suspect_after and
+// a heartbeat arrives in the same tick, immediately after. The suspicion
+// must be raised, the heartbeat must restore trust in the same tick, and
+// — crucially — the monitor must re-arm so the *next* silence is still
+// detected (nothing gets swallowed by the same-tick suspecting_ reset).
+TEST(Monitor, EqualTickSuspectThenTrustStillRearms) {
+  sim::SimWorld world(30);
+  auto& q = world.add_endpoint("q");
+  std::vector<Tick> suspects, trusts;
+
+  detect::FixedTimeoutDetector::Params p;
+  p.timeout = ticks_from_ms(150);
+  Monitor monitor(q.runtime(), /*watched_sender_id=*/1,
+                  std::make_unique<detect::FixedTimeoutDetector>(p),
+                  {[&](Tick t) { suspects.push_back(t); },
+                   [&](Tick t) { trusts.push_back(t); }});
+
+  auto heartbeat = [](std::int64_t seq, Tick send) {
+    net::HeartbeatMsg m;
+    m.sender_id = 1;
+    m.seq = seq;
+    m.send_time = send;
+    m.interval = ticks_from_ms(150);
+    return m;
+  };
+  // Heartbeat #1 at t=0 arms the freshness timer at exactly t=150ms.
+  // Heartbeat #2 is scheduled *after* the monitor handled #1, so at
+  // t=150ms the timer event precedes it in FIFO order: the timer fires
+  // (Suspect at 150ms), then the heartbeat lands in the same tick
+  // (Trust at 150ms) and re-arms for t=300ms.
+  q.schedule_at(0, [&] {
+    monitor.handle_heartbeat(/*from=*/1, heartbeat(1, 0), q.now());
+    q.schedule_at(ticks_from_ms(150),
+                  [&] { monitor.handle_heartbeat(1, heartbeat(2, ticks_from_ms(150)),
+                                                 q.now()); });
+  });
+
+  world.run_until(ticks_from_ms(149));
+  EXPECT_TRUE(suspects.empty());
+
+  world.run_until(ticks_from_ms(150));
+  ASSERT_EQ(suspects.size(), 1u);
+  ASSERT_EQ(trusts.size(), 1u);
+  EXPECT_EQ(suspects[0], ticks_from_ms(150));
+  EXPECT_EQ(trusts[0], ticks_from_ms(150));
+  EXPECT_EQ(monitor.output(), detect::Output::Trust);
+
+  // The re-arm must not have been swallowed: renewed silence is detected.
+  world.run_until(ticks_from_sec(1));
+  ASSERT_EQ(suspects.size(), 2u);
+  EXPECT_EQ(suspects[1], ticks_from_ms(300));
+  EXPECT_EQ(trusts.size(), 1u);
+  EXPECT_EQ(monitor.output(), detect::Output::Suspect);
+}
+
+// Opposite equal-tick order: the heartbeat is scheduled *before* the
+// timer is armed, so at t = suspect_after the heartbeat is processed
+// first and reschedules the freshness deadline out. The superseded timer
+// event surfacing in the same tick must not raise a spurious suspicion.
+TEST(Monitor, EqualTickHeartbeatFirstSuppressesSuspicion) {
+  sim::SimWorld world(31);
+  auto& q = world.add_endpoint("q");
+  std::vector<Tick> suspects, trusts;
+
+  detect::FixedTimeoutDetector::Params p;
+  p.timeout = ticks_from_ms(150);
+  Monitor monitor(q.runtime(), 1,
+                  std::make_unique<detect::FixedTimeoutDetector>(p),
+                  {[&](Tick t) { suspects.push_back(t); },
+                   [&](Tick t) { trusts.push_back(t); }});
+
+  auto heartbeat = [](std::int64_t seq, Tick send) {
+    net::HeartbeatMsg m;
+    m.sender_id = 1;
+    m.seq = seq;
+    m.send_time = send;
+    m.interval = ticks_from_ms(150);
+    return m;
+  };
+  // Both injections are scheduled up front; the monitor's timer (armed
+  // while handling #1 at t=0) carries a later FIFO order than the
+  // injection event at t=150ms, so the heartbeat wins the tie.
+  q.schedule_at(0, [&] { monitor.handle_heartbeat(1, heartbeat(1, 0), q.now()); });
+  q.schedule_at(ticks_from_ms(150), [&] {
+    monitor.handle_heartbeat(1, heartbeat(2, ticks_from_ms(150)), q.now());
+  });
+
+  world.run_until(ticks_from_ms(150));
+  EXPECT_TRUE(suspects.empty());
+  EXPECT_TRUE(trusts.empty());
+  EXPECT_EQ(monitor.output(), detect::Output::Trust);
+
+  // Silence after the last heartbeat is still detected on schedule.
+  world.run_until(ticks_from_sec(1));
+  ASSERT_EQ(suspects.size(), 1u);
+  EXPECT_EQ(suspects[0], ticks_from_ms(300));
 }
 
 TEST(Monitor, WorksWithMultiWindowDetector) {

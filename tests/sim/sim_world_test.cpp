@@ -95,6 +95,92 @@ TEST(SimWorld, CancelledTimerDoesNotFire) {
   EXPECT_FALSE(fired);
 }
 
+TEST(SimWorld, RescheduleLaterMovesFiringTime) {
+  SimWorld world(23);
+  auto& a = world.add_endpoint("a");
+  Tick fired_at = -1;
+  const TimerId id = a.schedule_at(ticks_from_ms(10), [&] { fired_at = world.now(); });
+  EXPECT_TRUE(a.reschedule(id, ticks_from_ms(70)));
+  world.run();
+  EXPECT_EQ(fired_at, ticks_from_ms(70));
+  EXPECT_EQ(world.timer_stats().rescheduled, 1u);
+  EXPECT_EQ(world.timer_stats().fired, 1u);
+}
+
+TEST(SimWorld, RescheduleEarlierMovesFiringTime) {
+  SimWorld world(24);
+  auto& a = world.add_endpoint("a");
+  Tick fired_at = -1;
+  int fires = 0;
+  const TimerId id = a.schedule_at(ticks_from_sec(10), [&] {
+    fired_at = world.now();
+    ++fires;
+  });
+  EXPECT_TRUE(a.reschedule(id, ticks_from_ms(5)));
+  world.run();
+  EXPECT_EQ(fired_at, ticks_from_ms(5));
+  EXPECT_EQ(fires, 1);  // the superseded event must not fire a second time
+}
+
+TEST(SimWorld, RescheduleHonoursLocalClockDomain) {
+  SimWorld world(25);
+  auto& a = world.add_endpoint("a", /*skew=*/ticks_from_sec(100));
+  Tick fired_local = -1;
+  const TimerId id = a.schedule_at(ticks_from_sec(100) + ticks_from_ms(10),
+                                   [&] { fired_local = a.now(); });
+  EXPECT_TRUE(a.reschedule(id, ticks_from_sec(100) + ticks_from_ms(40)));
+  world.run();
+  EXPECT_EQ(world.now(), ticks_from_ms(40));
+  EXPECT_EQ(fired_local, ticks_from_sec(100) + ticks_from_ms(40));
+}
+
+TEST(SimWorld, RescheduleAfterFireOrCancelReturnsFalse) {
+  SimWorld world(26);
+  auto& a = world.add_endpoint("a");
+  const TimerId fired = a.schedule_at(ticks_from_ms(1), [] {});
+  world.run();
+  EXPECT_FALSE(a.reschedule(fired, ticks_from_ms(50)));
+
+  const TimerId cancelled = a.schedule_at(ticks_from_ms(10), [] {});
+  a.cancel(cancelled);
+  EXPECT_FALSE(a.reschedule(cancelled, ticks_from_ms(50)));
+}
+
+TEST(SimWorld, CancelAfterRescheduleSilencesBothEvents) {
+  SimWorld world(27);
+  auto& a = world.add_endpoint("a");
+  bool fire = false;
+  // Earlier-reschedule posts a second queue event; cancelling must
+  // silence the original and the replanted one.
+  const TimerId id = a.schedule_at(ticks_from_ms(30), [&] { fire = true; });
+  EXPECT_TRUE(a.reschedule(id, ticks_from_ms(5)));
+  a.cancel(id);
+  world.run();
+  EXPECT_FALSE(fire);
+  EXPECT_EQ(world.timer_stats().cancelled, 1u);
+  EXPECT_EQ(world.timer_stats().fired, 0u);
+  EXPECT_EQ(world.live_timer_count(), 0u);
+}
+
+TEST(SimWorld, TimerStatsAccounting) {
+  SimWorld world(28);
+  auto& a = world.add_endpoint("a");
+  const TimerId keep = a.schedule_at(ticks_from_ms(1), [] {});
+  const TimerId move = a.schedule_at(ticks_from_ms(2), [] {});
+  const TimerId drop = a.schedule_at(ticks_from_ms(3), [] {});
+  (void)keep;
+  EXPECT_TRUE(a.reschedule(move, ticks_from_ms(8)));
+  a.cancel(drop);
+  EXPECT_EQ(world.live_timer_count(), 2u);
+  world.run();
+  const TimerStats& ts = world.timer_stats();
+  EXPECT_EQ(ts.scheduled, 3u);
+  EXPECT_EQ(ts.rescheduled, 1u);
+  EXPECT_EQ(ts.cancelled, 1u);
+  EXPECT_EQ(ts.fired, 2u);
+  EXPECT_EQ(world.live_timer_count(), 0u);
+}
+
 TEST(SimWorld, EventsOrderedByTimeThenFifo) {
   SimWorld world(6);
   auto& a = world.add_endpoint("a");

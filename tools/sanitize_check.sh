@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# ASan+UBSan build-and-test pass (tier-1 companion; see README "Build,
+# test, reproduce"). The timer core and the raw-storage ring buffer are
+# lifetime-sensitive; this keeps them sanitizer-checked on every change.
+#
+#   tools/sanitize_check.sh [build-dir]   (default: build-sanitize)
+#
+# Runs the test suite only (benches/examples are skipped for speed).
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-sanitize}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DTWFD_SANITIZE=ON \
+  -DTWFD_BUILD_BENCH=OFF \
+  -DTWFD_BUILD_EXAMPLES=OFF
+cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || sysctl -n hw.ncpu)"
+ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc 2>/dev/null || sysctl -n hw.ncpu)"

@@ -170,6 +170,21 @@ int main(int argc, char** argv) {
     std::printf("saw %llu heartbeats; final: %s\n",
                 static_cast<unsigned long long>(monitor.heartbeats_seen()),
                 monitor.output() == detect::Output::Trust ? "TRUST" : "SUSPECT");
+    const auto& s = loop.stats();
+    std::printf(
+        "loop stats: rx=%llu tx=%llu | timers sched=%llu resched=%llu "
+        "cancel=%llu fired=%llu compact=%llu | wakeups io=%llu timer=%llu "
+        "spurious=%llu\n",
+        static_cast<unsigned long long>(s.datagrams_received),
+        static_cast<unsigned long long>(s.datagrams_sent),
+        static_cast<unsigned long long>(s.timers.scheduled),
+        static_cast<unsigned long long>(s.timers.rescheduled),
+        static_cast<unsigned long long>(s.timers.cancelled),
+        static_cast<unsigned long long>(s.timers.fired),
+        static_cast<unsigned long long>(s.timers.compactions),
+        static_cast<unsigned long long>(s.wakeups_io),
+        static_cast<unsigned long long>(s.wakeups_timer),
+        static_cast<unsigned long long>(s.wakeups_spurious));
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "twfd_monitor: %s\n", e.what());
