@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 
 #include "common/assert.hpp"
@@ -170,6 +171,62 @@ void emit(const Table& table) {
   } else {
     table.print(std::cout);
   }
+}
+
+namespace {
+
+// Cells that fully parse as a finite double are valid JSON numbers as-is
+// (Table formats them with %f/%e shapes); everything else is a string.
+bool is_json_number(const std::string& cell) {
+  if (cell.empty() || cell.front() == '.' || cell.front() == '+') return false;
+  if (cell.find_first_not_of("0123456789+-.eE") != std::string::npos) return false;
+  char* end = nullptr;
+  const double v = std::strtod(cell.c_str(), &end);
+  return end == cell.c_str() + cell.size() && std::isfinite(v);
+}
+
+void json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void emit_json(const std::string& name, const Table& table) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "emit_json: cannot open " << path << "\n";
+    return;
+  }
+  os << "{\n  \"bench\": ";
+  json_string(os, name);
+  os << ",\n  \"headers\": [";
+  const auto& headers = table.headers();
+  for (std::size_t i = 0; i < headers.size(); ++i) {
+    if (i > 0) os << ", ";
+    json_string(os, headers[i]);
+  }
+  os << "],\n  \"rows\": [\n";
+  const auto& rows = table.rows();
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    os << "    [";
+    for (std::size_t c = 0; c < rows[r].size(); ++c) {
+      if (c > 0) os << ", ";
+      if (is_json_number(rows[r][c])) {
+        os << rows[r][c];
+      } else {
+        json_string(os, rows[r][c]);
+      }
+    }
+    os << (r + 1 < rows.size() ? "],\n" : "]\n");
+  }
+  os << "  ]\n}\n";
+  std::cout << "wrote " << path << "\n";
 }
 
 void print_header(const std::string& experiment, const std::string& paper_ref,

@@ -62,4 +62,10 @@ void print_header(const std::string& experiment, const std::string& paper_ref,
 /// CSV when the environment sets FD_BENCH_CSV=1 (for plotting pipelines).
 void emit(const Table& table);
 
+/// Writes the table as BENCH_<name>.json in the working directory:
+/// {"bench": name, "headers": [...], "rows": [[...], ...]} with cells
+/// that parse as finite numbers emitted as JSON numbers. Result harnesses
+/// scrape these files; gitignored.
+void emit_json(const std::string& name, const Table& table);
+
 }  // namespace twfd::bench

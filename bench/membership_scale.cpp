@@ -8,6 +8,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "common/table.hpp"
 #include "service/membership.hpp"
 #include "sim/sim_world.hpp"
@@ -108,7 +109,8 @@ int main() {
                    Table::num(r.datagrams_per_s, 1), Table::num(r.convergence_s, 3),
                    std::to_string(r.false_changes)});
   }
-  table.print(std::cout);
+  bench::emit(table);
+  bench::emit_json("membership_scale", table);
 
   std::cout << "\nExpected shape: load grows quadratically (the cost that"
                " motivates shared detection services); convergence stays"

@@ -1,0 +1,132 @@
+// Lock-free bounded multi-producer / single-consumer queue.
+//
+// The sharded monitoring runtime marshals control-plane commands and
+// handed-off datagrams onto shard worker threads with this queue: any
+// thread may try_push, only the owning shard thread pops. The algorithm
+// is Vyukov's bounded MPMC ring (per-cell sequence numbers; producers
+// claim slots with one CAS, the single consumer needs no CAS at all), and
+// the storage discipline is the same as common::RingBuffer — raw slots,
+// constructed on push and destroyed on pop, so T only needs to be
+// move-constructible, never default-constructible.
+//
+// Capacity is rounded up to a power of two. try_push fails (returns
+// false) when the ring is full instead of blocking: callers decide
+// whether to drop (datagram handoff — heartbeats are loss-tolerant) or
+// retry (control-plane commands).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace twfd {
+
+template <typename T>
+class MpscQueue {
+ public:
+  /// Creates a queue holding at least `capacity` elements (rounded up to
+  /// a power of two). capacity >= 1.
+  explicit MpscQueue(std::size_t capacity) : cap_(round_up_pow2(capacity)) {
+    TWFD_CHECK(capacity >= 1);
+    cells_ = std::allocator<Cell>{}.allocate(cap_);
+    for (std::size_t i = 0; i < cap_; ++i) {
+      std::construct_at(&cells_[i].seq, i);
+    }
+  }
+
+  ~MpscQueue() {
+    // Single-threaded by the time the owner destroys the queue; drain
+    // whatever the consumer never popped.
+    const std::size_t tail = pop_pos_.load(std::memory_order_relaxed);
+    const std::size_t head = push_pos_.load(std::memory_order_relaxed);
+    for (std::size_t pos = tail; pos != head; ++pos) {
+      Cell& cell = cells_[pos & (cap_ - 1)];
+      if (cell.seq.load(std::memory_order_relaxed) == pos + 1) {
+        std::destroy_at(value_ptr(cell));
+      }
+    }
+    for (std::size_t i = 0; i < cap_; ++i) std::destroy_at(&cells_[i].seq);
+    std::allocator<Cell>{}.deallocate(cells_, cap_);
+  }
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return cap_; }
+
+  /// Appends `v`; returns false when the ring is full. Safe to call from
+  /// any number of threads concurrently.
+  bool try_push(T&& v) {
+    std::size_t pos = push_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & (cap_ - 1)];
+      const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+      const auto dif = static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos);
+      if (dif == 0) {
+        if (push_pos_.compare_exchange_weak(pos, pos + 1,
+                                            std::memory_order_relaxed)) {
+          std::construct_at(value_ptr(cell), std::move(v));
+          cell.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+        // CAS refreshed pos; retry with the new claim point.
+      } else if (dif < 0) {
+        return false;  // the slot cap_ behind us is still occupied: full
+      } else {
+        pos = push_pos_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Pops the oldest element into `out`; returns false when empty. Must
+  /// only be called from the single consumer thread.
+  bool try_pop(T& out) {
+    const std::size_t pos = pop_pos_.load(std::memory_order_relaxed);
+    Cell& cell = cells_[pos & (cap_ - 1)];
+    const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+    const auto dif =
+        static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos + 1);
+    if (dif < 0) return false;  // producer has not committed this slot yet
+    out = std::move(*value_ptr(cell));
+    std::destroy_at(value_ptr(cell));
+    cell.seq.store(pos + cap_, std::memory_order_release);
+    pop_pos_.store(pos + 1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Racy size estimate (monitoring only).
+  [[nodiscard]] std::size_t approx_size() const noexcept {
+    const std::size_t head = push_pos_.load(std::memory_order_relaxed);
+    const std::size_t tail = pop_pos_.load(std::memory_order_relaxed);
+    return head >= tail ? head - tail : 0;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> seq;
+    alignas(T) unsigned char storage[sizeof(T)];
+  };
+
+  static T* value_ptr(Cell& cell) noexcept {
+    return std::launder(reinterpret_cast<T*>(cell.storage));
+  }
+
+  static std::size_t round_up_pow2(std::size_t n) noexcept {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  Cell* cells_ = nullptr;
+  std::size_t cap_ = 0;
+  // Producers contend on push_pos_; keep the consumer's cursor on its own
+  // cache line so pops do not bounce the producers' line.
+  alignas(64) std::atomic<std::size_t> push_pos_{0};
+  alignas(64) std::atomic<std::size_t> pop_pos_{0};
+};
+
+}  // namespace twfd

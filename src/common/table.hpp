@@ -29,6 +29,14 @@ class Table {
 
   [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
 
+  // Raw access for non-textual renderers (e.g. the bench JSON emitter).
+  [[nodiscard]] const std::vector<std::string>& headers() const noexcept {
+    return headers_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const noexcept {
+    return rows_;
+  }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

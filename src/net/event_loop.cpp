@@ -1,14 +1,86 @@
 #include "net/event_loop.hpp"
 
+#include <fcntl.h>
 #include <poll.h>
+#include <unistd.h>
+
+#ifdef __linux__
+#include <sys/eventfd.h>
+#endif
 
 #include <algorithm>
+#include <cerrno>
+#include <system_error>
 
 #include "common/assert.hpp"
 
 namespace twfd::net {
 
-EventLoop::EventLoop(std::uint16_t port) : socket_(port) {}
+EventLoop::Stats& EventLoop::Stats::operator+=(const Stats& o) {
+  timers.scheduled += o.timers.scheduled;
+  timers.cancelled += o.timers.cancelled;
+  timers.rescheduled += o.timers.rescheduled;
+  timers.fired += o.timers.fired;
+  timers.compactions += o.timers.compactions;
+  datagrams_sent += o.datagrams_sent;
+  datagrams_received += o.datagrams_received;
+  datagrams_injected += o.datagrams_injected;
+  send_soft_failures += o.send_soft_failures;
+  wakeups_io += o.wakeups_io;
+  wakeups_timer += o.wakeups_timer;
+  wakeups_cross += o.wakeups_cross;
+  wakeups_spurious += o.wakeups_spurious;
+  return *this;
+}
+
+EventLoop::EventLoop(std::uint16_t port) : socket_(port) { open_wake_fd(); }
+
+EventLoop::EventLoop(const UdpSocket::Options& options) : socket_(options) {
+  open_wake_fd();
+}
+
+EventLoop::~EventLoop() {
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (wake_write_fd_ >= 0 && wake_write_fd_ != wake_fd_) ::close(wake_write_fd_);
+}
+
+void EventLoop::open_wake_fd() {
+#ifdef __linux__
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) {
+    throw std::system_error(errno, std::generic_category(), "eventfd()");
+  }
+  wake_write_fd_ = wake_fd_;
+#else
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    throw std::system_error(errno, std::generic_category(), "pipe()");
+  }
+  for (const int fd : {fds[0], fds[1]}) {
+    ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL) | O_NONBLOCK);
+  }
+  wake_fd_ = fds[0];
+  wake_write_fd_ = fds[1];
+#endif
+}
+
+void EventLoop::wake() noexcept {
+  const std::uint64_t one = 1;
+  ssize_t n;
+  do {
+    n = ::write(wake_write_fd_, &one, sizeof one);
+  } while (n < 0 && errno == EINTR);
+  // EAGAIN means the counter/pipe already holds a pending wake — the loop
+  // is guaranteed to notice; nothing more to do.
+}
+
+void EventLoop::drain_wake_fd() noexcept {
+  std::uint64_t buf;
+  ssize_t n;
+  do {
+    n = ::read(wake_fd_, &buf, sizeof buf);
+  } while (n > 0 || (n < 0 && errno == EINTR));
+}
 
 Tick EventLoop::now() const { return clock_.now(); }
 
@@ -16,6 +88,7 @@ void EventLoop::send(PeerId to, std::span<const std::byte> data) {
   TWFD_CHECK_MSG(to >= 1 && to <= peer_addrs_.size(), "unknown peer");
   socket_.send_to(peer_addrs_[to - 1], data);
   ++stats_.datagrams_sent;
+  stats_.send_soft_failures = socket_.soft_send_failures();
 }
 
 void EventLoop::set_receive_handler(ReceiveHandler handler) {
@@ -29,6 +102,17 @@ PeerId EventLoop::add_peer(const SocketAddress& addr) {
   const PeerId id = peer_addrs_.size();
   peer_ids_.emplace(addr, id);
   return id;
+}
+
+const SocketAddress& EventLoop::peer_address(PeerId id) const {
+  TWFD_CHECK_MSG(id >= 1 && id <= peer_addrs_.size(), "unknown peer");
+  return peer_addrs_[id - 1];
+}
+
+void EventLoop::inject_datagram(const SocketAddress& from,
+                                std::span<const std::byte> data) {
+  ++stats_.datagrams_injected;
+  if (on_receive_) on_receive_(add_peer(from), data);
 }
 
 // ---------------------------------------------------------------------------
@@ -127,7 +211,7 @@ Tick EventLoop::next_timer_at() {
 
 void EventLoop::fire_due_timers() {
   const Tick t = now();
-  while (!stopped_) {
+  while (!is_stopped()) {
     if (normalize_top() == nullptr || heap_.front().at > t) return;
     const TimerId id = heap_.front().id;
     std::pop_heap(heap_.begin(), heap_.end(), HeapCmp{});
@@ -147,23 +231,23 @@ void EventLoop::drain_socket() {
       const PeerId from = add_peer(dgram->from);
       on_receive_(from, std::span<const std::byte>(dgram->data));
     }
-    if (stopped_) return;
+    if (is_stopped()) return;
   }
 }
 
 void EventLoop::run_until(Tick deadline) {
-  stopped_ = false;
-  while (!stopped_) {
+  stopped_.store(false, std::memory_order_release);
+  while (!is_stopped()) {
     fire_due_timers();
-    if (stopped_) break;
+    if (is_stopped()) break;
     drain_socket();
-    if (stopped_) break;
+    if (is_stopped()) break;
 
     const Tick t = now();
     if (t >= deadline) break;
     const Tick next_due = next_timer_at();
-    const Tick wake = std::min(deadline, next_due);
-    const Tick wait = wake <= t ? 0 : wake - t;
+    const Tick wake_at = std::min(deadline, next_due);
+    const Tick wait = wake_at <= t ? 0 : wake_at - t;
     // Sleep at most 50 ms per turn so stop() from signal-ish contexts and
     // socket readiness both stay responsive. Partial milliseconds round
     // *up*: truncating a sub-millisecond wait to a 0 ms poll would spin
@@ -172,13 +256,19 @@ void EventLoop::run_until(Tick deadline) {
     const int timeout_ms =
         static_cast<int>((capped + ticks_from_ms(1) - 1) / ticks_from_ms(1));
 
-    pollfd pfd{socket_.fd(), POLLIN, 0};
-    const int rc = ::poll(&pfd, 1, timeout_ms);
-    if (rc > 0 && (pfd.revents & POLLIN) != 0) {
+    pollfd pfds[2] = {{socket_.fd(), POLLIN, 0}, {wake_fd_, POLLIN, 0}};
+    const int rc = ::poll(pfds, 2, timeout_ms);
+    const bool woken = rc > 0 && (pfds[1].revents & POLLIN) != 0;
+    if (woken) {
+      drain_wake_fd();
+      ++stats_.wakeups_cross;
+      if (on_wake_) on_wake_();
+    }
+    if (rc > 0 && (pfds[0].revents & POLLIN) != 0) {
       ++stats_.wakeups_io;
     } else if (next_due <= now()) {
       ++stats_.wakeups_timer;
-    } else {
+    } else if (!woken) {
       ++stats_.wakeups_spurious;
     }
   }

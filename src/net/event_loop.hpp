@@ -11,8 +11,17 @@
 // heap is compacted whenever stale entries reach the live-timer count, so
 // storage stays O(live timers) under the service layer's re-arm-per-
 // heartbeat pattern instead of O(heartbeats observed).
+//
+// Threading (see docs/runtime.md "Threading model"): the loop itself is
+// shard-confined — every method must be called from the thread that runs
+// run_until, EXCEPT wake() and stop(), which are async-signal-ish entry
+// points other threads use to interrupt the poll. Cross-thread work is
+// marshalled by pushing a command somewhere the wake handler can see it
+// (shard::ShardedMonitorService pairs the wakeup with a lock-free
+// MpscQueue) and then calling wake().
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -31,16 +40,31 @@ class EventLoop final : public Clock, public Transport, public TimerService {
     TimerStats timers;
     std::uint64_t datagrams_sent = 0;
     std::uint64_t datagrams_received = 0;
+    /// Datagrams handed to this loop by another shard (inject_datagram).
+    std::uint64_t datagrams_injected = 0;
+    /// Send attempts the socket reported as soft failures (EAGAIN etc).
+    std::uint64_t send_soft_failures = 0;
     /// poll() returns split by what woke the loop: socket readable,
-    /// a timer deadline reached, or neither (the 50 ms responsiveness
-    /// cap and interrupted waits land here).
+    /// a timer deadline reached, a cross-thread wake(), or none of those
+    /// (the 50 ms responsiveness cap and interrupted waits land here).
     std::uint64_t wakeups_io = 0;
     std::uint64_t wakeups_timer = 0;
+    std::uint64_t wakeups_cross = 0;
     std::uint64_t wakeups_spurious = 0;
+
+    /// Element-wise sum (shard aggregation).
+    Stats& operator+=(const Stats& o);
   };
 
   /// Binds the loop's socket on `port` (0 = ephemeral).
   explicit EventLoop(std::uint16_t port = 0);
+  /// Binds with explicit socket options (SO_REUSEPORT / SO_RCVBUF — the
+  /// sharded receive path).
+  explicit EventLoop(const UdpSocket::Options& options);
+  ~EventLoop() override;
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
 
   // Clock (monotonic).
   [[nodiscard]] Tick now() const override;
@@ -62,15 +86,41 @@ class EventLoop final : public Clock, public Transport, public TimerService {
 
   /// Registers a peer address; idempotent (same address -> same id).
   PeerId add_peer(const SocketAddress& addr);
+  /// The address behind a PeerId (loop-thread only; id must be known).
+  [[nodiscard]] const SocketAddress& peer_address(PeerId id) const;
   [[nodiscard]] std::uint16_t local_port() const { return socket_.local_port(); }
   [[nodiscard]] Runtime runtime() noexcept { return {this, this, this}; }
+
+  /// Feeds a datagram into the receive path as if it had arrived on this
+  /// loop's socket (loop-thread only). This is the shard hand-off: a
+  /// sibling shard that received a datagram for a peer this loop owns
+  /// marshals the bytes over and injects them here, so detector state is
+  /// only ever touched by its owning shard.
+  void inject_datagram(const SocketAddress& from, std::span<const std::byte> data);
 
   /// Runs timers and socket I/O until `deadline` (Clock domain).
   void run_until(Tick deadline);
   /// Convenience: run for a duration from now.
   void run_for(Tick duration) { run_until(now() + duration); }
-  /// Makes a concurrent run_until return promptly (callable from handlers).
-  void stop() { stopped_ = true; }
+
+  // --- Cross-thread entry points (the ONLY thread-safe methods) ---
+
+  /// Makes a concurrent run_until return promptly. Callable from handlers
+  /// on the loop thread and from other threads (pairs with wake()).
+  void stop() {
+    stopped_.store(true, std::memory_order_release);
+    wake();
+  }
+
+  /// Interrupts a concurrent poll; the loop then runs the wake handler.
+  /// Lock-free (one eventfd/pipe write); callable from any thread.
+  void wake() noexcept;
+
+  /// Installs the callback run on the loop thread after every wake()
+  /// (shards drain their command queue here). Loop-thread only.
+  void set_wake_handler(std::function<void()> handler) {
+    on_wake_ = std::move(handler);
+  }
 
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   [[nodiscard]] std::uint64_t datagrams_sent() const noexcept {
@@ -109,6 +159,8 @@ class EventLoop final : public Clock, public Transport, public TimerService {
     std::uint64_t order;  // `order` of the canonical entry
   };
 
+  void open_wake_fd();
+  void drain_wake_fd() noexcept;
   void drain_socket();
   void fire_due_timers();
   void push_canonical(Tick at, TimerId id, TimerRecord& rec);
@@ -117,10 +169,20 @@ class EventLoop final : public Clock, public Transport, public TimerService {
   /// top is live (or the heap is empty). Returns the live record, or
   /// nullptr when no timers remain.
   TimerRecord* normalize_top();
+  [[nodiscard]] bool is_stopped() const noexcept {
+    return stopped_.load(std::memory_order_acquire);
+  }
 
   UdpSocket socket_;
   SteadyClock clock_;
   ReceiveHandler on_receive_;
+  std::function<void()> on_wake_;
+
+  // Cross-thread wakeup: eventfd on Linux, self-pipe elsewhere. wake_fd_
+  // is the readable end polled by run_until; wake_write_fd_ the end other
+  // threads write to (same fd for eventfd).
+  int wake_fd_ = -1;
+  int wake_write_fd_ = -1;
 
   std::map<SocketAddress, PeerId> peer_ids_;
   std::vector<SocketAddress> peer_addrs_;  // index = PeerId - 1
@@ -133,7 +195,7 @@ class EventLoop final : public Clock, public Transport, public TimerService {
   std::size_t stale_ = 0;
   TimerId next_timer_id_ = 1;
   std::uint64_t order_counter_ = 0;
-  bool stopped_ = false;
+  std::atomic<bool> stopped_{false};
 
   Stats stats_;
 };

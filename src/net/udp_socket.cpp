@@ -45,15 +45,29 @@ SocketAddress SocketAddress::from_sockaddr(const sockaddr_in& sa) {
   return {ntohl(sa.sin_addr.s_addr), ntohs(sa.sin_port)};
 }
 
-UdpSocket::UdpSocket(std::uint16_t port) {
+UdpSocket::UdpSocket(const Options& options) {
   fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK, 0);
   if (fd_ < 0) {
     throw std::system_error(errno, std::generic_category(), "socket()");
   }
+  if (options.reuse_port) {
+    const int one = 1;
+    if (::setsockopt(fd_, SOL_SOCKET, SO_REUSEPORT, &one, sizeof one) != 0) {
+      const int err = errno;
+      close_fd();
+      throw std::system_error(err, std::generic_category(), "SO_REUSEPORT");
+    }
+  }
+  if (options.rcvbuf_bytes > 0) {
+    // Best-effort: the kernel clamps to rmem_max; a smaller buffer is a
+    // performance matter, not a correctness one.
+    (void)::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &options.rcvbuf_bytes,
+                       sizeof options.rcvbuf_bytes);
+  }
   sockaddr_in sa{};
   sa.sin_family = AF_INET;
   sa.sin_addr.s_addr = htonl(INADDR_ANY);
-  sa.sin_port = htons(port);
+  sa.sin_port = htons(options.port);
   if (::bind(fd_, reinterpret_cast<sockaddr*>(&sa), sizeof sa) != 0) {
     const int err = errno;
     close_fd();
@@ -63,12 +77,15 @@ UdpSocket::UdpSocket(std::uint16_t port) {
 
 UdpSocket::~UdpSocket() { close_fd(); }
 
-UdpSocket::UdpSocket(UdpSocket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+UdpSocket::UdpSocket(UdpSocket&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      soft_send_failures_(std::exchange(other.soft_send_failures_, 0)) {}
 
 UdpSocket& UdpSocket::operator=(UdpSocket&& other) noexcept {
   if (this != &other) {
     close_fd();
     fd_ = std::exchange(other.fd_, -1);
+    soft_send_failures_ = std::exchange(other.soft_send_failures_, 0);
   }
   return *this;
 }
@@ -91,16 +108,27 @@ std::uint16_t UdpSocket::local_port() const {
 
 void UdpSocket::send_to(const SocketAddress& to, std::span<const std::byte> data) {
   const sockaddr_in sa = to.to_sockaddr();
-  (void)::sendto(fd_, data.data(), data.size(), 0,
+  ssize_t n;
+  do {
+    n = ::sendto(fd_, data.data(), data.size(), 0,
                  reinterpret_cast<const sockaddr*>(&sa), sizeof sa);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOBUFS ||
+                errno == ECONNREFUSED || errno == EPERM)) {
+    ++soft_send_failures_;
+  }
 }
 
 std::optional<UdpSocket::Datagram> UdpSocket::receive() {
   std::byte buf[2048];
   sockaddr_in sa{};
   socklen_t len = sizeof sa;
-  const ssize_t n = ::recvfrom(fd_, buf, sizeof buf, 0,
-                               reinterpret_cast<sockaddr*>(&sa), &len);
+  ssize_t n;
+  do {
+    len = sizeof sa;
+    n = ::recvfrom(fd_, buf, sizeof buf, 0, reinterpret_cast<sockaddr*>(&sa),
+                   &len);
+  } while (n < 0 && errno == EINTR);
   if (n < 0) return std::nullopt;  // EAGAIN / transient errors: no datagram
   Datagram d;
   d.from = SocketAddress::from_sockaddr(sa);

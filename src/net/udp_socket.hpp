@@ -30,9 +30,22 @@ struct SocketAddress {
 
 class UdpSocket {
  public:
+  /// Bind-time options for the sharded receive path.
+  struct Options {
+    std::uint16_t port = 0;  ///< 0 = ephemeral
+    /// SO_REUSEPORT: several sockets (one per shard worker) bind the same
+    /// port and the kernel spreads inbound flows across them.
+    bool reuse_port = false;
+    /// SO_RCVBUF request in bytes (0 = kernel default). Sharded monitors
+    /// absorb heartbeat bursts from thousands of peers; a deeper receive
+    /// buffer rides out scheduling hiccups.
+    int rcvbuf_bytes = 0;
+  };
+
   /// Opens and binds a non-blocking UDP socket on 0.0.0.0:`port`
   /// (port 0 = ephemeral). Throws std::system_error on failure.
-  explicit UdpSocket(std::uint16_t port = 0);
+  explicit UdpSocket(std::uint16_t port = 0) : UdpSocket(Options{port}) {}
+  explicit UdpSocket(const Options& options);
   ~UdpSocket();
 
   UdpSocket(UdpSocket&& other) noexcept;
@@ -43,8 +56,10 @@ class UdpSocket {
   /// The locally bound port (resolved after ephemeral bind).
   [[nodiscard]] std::uint16_t local_port() const;
 
-  /// Sends a datagram; best-effort (EAGAIN and friends are swallowed —
-  /// heartbeats are loss-tolerant by design).
+  /// Sends a datagram; best-effort (heartbeats are loss-tolerant by
+  /// design), but soft failures — EAGAIN/ENOBUFS (socket buffer full) and
+  /// ECONNREFUSED (peer gone) — are counted instead of silently ignored,
+  /// and EINTR is retried.
   void send_to(const SocketAddress& to, std::span<const std::byte> data);
 
   struct Datagram {
@@ -53,13 +68,22 @@ class UdpSocket {
   };
 
   /// Non-blocking receive; std::nullopt when no datagram is queued.
+  /// Retries EINTR.
   [[nodiscard]] std::optional<Datagram> receive();
+
+  /// Send attempts that failed softly (EAGAIN/EWOULDBLOCK/ENOBUFS/
+  /// ECONNREFUSED/EPERM) since construction. Not thread-safe: read from
+  /// the thread that sends.
+  [[nodiscard]] std::uint64_t soft_send_failures() const noexcept {
+    return soft_send_failures_;
+  }
 
   [[nodiscard]] int fd() const noexcept { return fd_; }
 
  private:
   void close_fd() noexcept;
   int fd_ = -1;
+  std::uint64_t soft_send_failures_ = 0;
 };
 
 }  // namespace twfd::net

@@ -7,19 +7,21 @@ namespace twfd::service {
 Dispatcher::Dispatcher(Runtime rt) : rt_(rt) {
   TWFD_CHECK(rt.clock && rt.transport && rt.timers);
   rt_.transport->set_receive_handler(
-      [this](PeerId from, std::span<const std::byte> data) {
-        const auto msg = net::decode(data);
-        if (!msg) {
-          ++malformed_;
-          return;
-        }
-        if (const auto* hb = std::get_if<net::HeartbeatMsg>(&*msg)) {
-          ++heartbeats_;
-          if (heartbeat_) heartbeat_(from, *hb, rt_.clock->now());
-        } else if (const auto* ir = std::get_if<net::IntervalRequestMsg>(&*msg)) {
-          if (interval_request_) interval_request_(from, *ir);
-        }
-      });
+      [this](PeerId from, std::span<const std::byte> data) { ingest(from, data); });
+}
+
+void Dispatcher::ingest(PeerId from, std::span<const std::byte> data) {
+  const auto msg = net::decode(data);
+  if (!msg) {
+    ++malformed_;
+    return;
+  }
+  if (const auto* hb = std::get_if<net::HeartbeatMsg>(&*msg)) {
+    ++heartbeats_;
+    if (heartbeat_) heartbeat_(from, *hb, rt_.clock->now());
+  } else if (const auto* ir = std::get_if<net::IntervalRequestMsg>(&*msg)) {
+    if (interval_request_) interval_request_(from, *ir);
+  }
 }
 
 }  // namespace twfd::service

@@ -30,6 +30,12 @@ class Dispatcher {
     interval_request_ = std::move(handler);
   }
 
+  /// Decodes and routes one datagram. The transport receive handler calls
+  /// this; the sharded runtime also calls it directly for datagrams handed
+  /// off from a sibling shard. Malformed datagrams bump malformed_count()
+  /// and are dropped without disturbing the heartbeat path.
+  void ingest(PeerId from, std::span<const std::byte> data);
+
   [[nodiscard]] std::uint64_t malformed_count() const noexcept { return malformed_; }
   [[nodiscard]] std::uint64_t heartbeat_count() const noexcept { return heartbeats_; }
 

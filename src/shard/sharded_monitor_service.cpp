@@ -1,0 +1,329 @@
+#include "shard/sharded_monitor_service.hpp"
+
+#include <future>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace twfd::shard {
+
+std::size_t shard_of(const net::SocketAddress& addr, std::size_t shard_count) {
+  TWFD_CHECK(shard_count >= 1);
+  // splitmix64 finalizer over ip:port — cheap, well-mixed, and identical
+  // everywhere a routing decision is made.
+  std::uint64_t x =
+      (std::uint64_t{addr.ip_host_order} << 16) ^ std::uint64_t{addr.port};
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<std::size_t>(x % shard_count);
+}
+
+ShardedMonitorService::ShardStats& ShardedMonitorService::ShardStats::operator+=(
+    const ShardStats& o) {
+  loop += o.loop;
+  dispatcher_heartbeats += o.dispatcher_heartbeats;
+  dispatcher_malformed += o.dispatcher_malformed;
+  service_heartbeats += o.service_heartbeats;
+  handoff_out += o.handoff_out;
+  handoff_dropped += o.handoff_dropped;
+  commands_run += o.commands_run;
+  events_dropped += o.events_dropped;
+  return *this;
+}
+
+ShardedMonitorService::Shard::Shard(std::size_t idx, const Params& params,
+                                    std::uint16_t bind_port, bool reuse_port)
+    : index(idx),
+      commands(params.command_queue_capacity),
+      events(params.event_queue_capacity) {
+  net::UdpSocket::Options opts;
+  opts.port = bind_port;
+  opts.reuse_port = reuse_port;
+  opts.rcvbuf_bytes = params.rcvbuf_bytes;
+  loop = std::make_unique<net::EventLoop>(opts);
+  dispatcher = std::make_unique<service::Dispatcher>(loop->runtime());
+  fd = std::make_unique<service::FdService>(loop->runtime(), params.service);
+  auto* fdp = fd.get();
+  dispatcher->on_heartbeat(
+      [fdp](PeerId from, const net::HeartbeatMsg& m, Tick at) {
+        fdp->handle_heartbeat(from, m, at);
+      });
+}
+
+ShardedMonitorService::ShardedMonitorService(Params params)
+    : params_(std::move(params)) {
+  TWFD_CHECK_MSG(params_.shards >= 1, "need at least one shard");
+  const bool reuse =
+      params_.receive_mode == ReceiveMode::kReusePort && params_.shards > 1;
+
+  // Shard 0 resolves the service port (possibly ephemeral); in reuse-port
+  // mode every other shard joins it, in single-socket mode they bind
+  // ephemeral send-side sockets.
+  shards_.push_back(std::make_unique<Shard>(0, params_, params_.port, reuse));
+  const std::uint16_t service_port = shards_[0]->loop->local_port();
+  for (std::size_t i = 1; i < params_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(
+        i, params_, reuse ? service_port : std::uint16_t{0}, reuse));
+  }
+
+  for (auto& sp : shards_) {
+    Shard* s = sp.get();
+    // The router replaces the Dispatcher's auto-installed handler: owned
+    // datagrams go straight into the dispatcher, foreign ones are handed
+    // off to their owner's command queue.
+    s->loop->set_receive_handler(
+        [this, s](PeerId from, std::span<const std::byte> data) {
+          route_datagram(*s, from, data);
+        });
+    s->loop->set_wake_handler([this, s] { drain_commands(*s); });
+  }
+
+  view_.store(std::make_shared<const Snapshot>(), std::memory_order_release);
+}
+
+ShardedMonitorService::~ShardedMonitorService() { stop(); }
+
+std::uint16_t ShardedMonitorService::port() const {
+  return shards_[0]->loop->local_port();
+}
+
+void ShardedMonitorService::start() {
+  TWFD_CHECK_MSG(!running_, "service already started");
+  running_ = true;
+  for (auto& sp : shards_) {
+    Shard* s = sp.get();
+    s->thread = std::thread([this, s] { worker_main(*s); });
+  }
+}
+
+void ShardedMonitorService::stop() {
+  if (!running_) return;
+  // Stop flag first, then wake: the worker's wake handler re-checks the
+  // flag, so the wake that follows the store can never be lost even if
+  // run_until resets the loop's own stop latch.
+  for (auto& sp : shards_) {
+    sp->stop_requested.store(true, std::memory_order_release);
+    sp->loop->stop();
+  }
+  for (auto& sp : shards_) {
+    if (sp->thread.joinable()) sp->thread.join();
+  }
+  running_ = false;
+  // Discard unexecuted commands — any waiter sees broken_promise rather
+  // than hanging — then fold remaining transitions into the snapshot.
+  for (auto& sp : shards_) {
+    Command cmd;
+    while (sp->commands.try_pop(cmd)) cmd = nullptr;
+  }
+  poll_events();
+}
+
+void ShardedMonitorService::worker_main(Shard& s) {
+  while (!s.stop_requested.load(std::memory_order_acquire)) {
+    s.loop->run_until(kTickInfinity);
+  }
+}
+
+void ShardedMonitorService::drain_commands(Shard& s) {
+  Command cmd;
+  while (s.commands.try_pop(cmd)) {
+    ++s.commands_run;
+    cmd();
+    cmd = nullptr;
+  }
+  if (s.stop_requested.load(std::memory_order_acquire)) s.loop->stop();
+}
+
+void ShardedMonitorService::route_datagram(Shard& s, PeerId from,
+                                           std::span<const std::byte> data) {
+  const net::SocketAddress addr = s.loop->peer_address(from);
+  const std::size_t owner = shard_of(addr, shards_.size());
+  if (owner == s.index) {
+    s.dispatcher->ingest(from, data);
+    return;
+  }
+  // Hash hand-off: marshal the raw bytes to the owning shard and replay
+  // them there. Heartbeats are loss-tolerant, so a full queue drops the
+  // datagram (counted) instead of blocking the receive path.
+  Shard& dst = *shards_[owner];
+  std::vector<std::byte> bytes(data.begin(), data.end());
+  Command cmd = [dstp = &dst, addr, bytes = std::move(bytes)] {
+    dstp->loop->inject_datagram(addr, bytes);
+  };
+  if (!dst.commands.try_push(std::move(cmd))) {
+    ++s.handoff_dropped;
+    return;
+  }
+  ++s.handoff_out;
+  dst.loop->wake();
+}
+
+void ShardedMonitorService::post(Shard& s, Command cmd) {
+  while (!s.commands.try_push(std::move(cmd))) {
+    // Queue full: nudge the shard to drain and retry. Control-plane
+    // traffic is rare; this path only triggers under handoff floods.
+    s.loop->wake();
+    std::this_thread::yield();
+  }
+  s.loop->wake();
+}
+
+void ShardedMonitorService::publish_event(Shard& s, StatusEvent event) {
+  if (!s.events.try_push(std::move(event))) {
+    s.events_dropped.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+ShardedMonitorService::SubscriptionId ShardedMonitorService::subscribe(
+    const net::SocketAddress& peer, std::uint64_t sender_id, std::string app,
+    const config::QosRequirements& qos) {
+  TWFD_CHECK_MSG(running_, "subscribe() requires a started service");
+  const std::size_t idx = shard_for(peer);
+  Shard& s = *shards_[idx];
+  const SubscriptionId gid = next_sub_id_.fetch_add(1, std::memory_order_relaxed);
+
+  {
+    // Seed the view before the shard can emit events for this id, so no
+    // transition is ever applied to a missing entry.
+    std::lock_guard lk(agg_mu_);
+    state_[gid] = {gid, app, detect::Output::Trust, 0, idx};
+    republish_locked();
+  }
+
+  auto prom =
+      std::make_shared<std::promise<service::FdService::SubscriptionId>>();
+  auto fut = prom->get_future();
+  post(s, [this, sp = &s, peer, sender_id, app, qos, gid, prom] {
+    try {
+      prom->set_value(sp->fd->subscribe(
+          sp->loop->add_peer(peer), sender_id, app, qos,
+          [this, sp, gid](const service::FdService::StatusEvent& e) {
+            publish_event(*sp, {gid, e.app, e.output, e.when, sp->index});
+          }));
+    } catch (...) {
+      prom->set_exception(std::current_exception());
+    }
+  });
+
+  service::FdService::SubscriptionId local = 0;
+  try {
+    local = fut.get();  // rethrows infeasible-QoS from the shard thread
+  } catch (...) {
+    std::lock_guard lk(agg_mu_);
+    state_.erase(gid);
+    republish_locked();
+    throw;
+  }
+  std::lock_guard lk(control_mu_);
+  subs_[gid] = {idx, local};
+  return gid;
+}
+
+void ShardedMonitorService::unsubscribe(SubscriptionId id) {
+  TWFD_CHECK_MSG(running_, "unsubscribe() requires a started service");
+  SubRef ref;
+  {
+    std::lock_guard lk(control_mu_);
+    const auto it = subs_.find(id);
+    if (it == subs_.end()) return;
+    ref = it->second;
+    subs_.erase(it);
+  }
+  Shard& s = *shards_[ref.shard];
+  auto prom = std::make_shared<std::promise<void>>();
+  auto fut = prom->get_future();
+  post(s, [sp = &s, local = ref.local, prom] {
+    sp->fd->unsubscribe(local);
+    prom->set_value();
+  });
+  fut.get();
+  std::lock_guard lk(agg_mu_);
+  state_.erase(id);
+  republish_locked();
+}
+
+void ShardedMonitorService::reconfigure(const net::SocketAddress& peer) {
+  TWFD_CHECK_MSG(running_, "reconfigure() requires a started service");
+  Shard& s = *shards_[shard_for(peer)];
+  auto prom = std::make_shared<std::promise<void>>();
+  auto fut = prom->get_future();
+  post(s, [sp = &s, peer, prom] {
+    sp->fd->reconfigure(sp->loop->add_peer(peer));
+    prom->set_value();
+  });
+  fut.get();
+}
+
+std::size_t ShardedMonitorService::poll_events(
+    const std::function<void(const StatusEvent&)>& fn) {
+  std::lock_guard lk(agg_mu_);
+  std::size_t drained = 0;
+  StatusEvent e;
+  for (auto& sp : shards_) {
+    while (sp->events.try_pop(e)) {
+      ++drained;
+      ++events_seen_;
+      const auto it = state_.find(e.subscription);
+      if (it != state_.end()) {
+        it->second.output = e.output;
+        it->second.since = e.when;
+      }
+      if (fn) fn(e);
+    }
+  }
+  if (drained > 0) republish_locked();
+  return drained;
+}
+
+void ShardedMonitorService::republish_locked() {
+  auto snap = std::make_shared<Snapshot>();
+  snap->entries.reserve(state_.size());
+  for (const auto& [id, entry] : state_) snap->entries.push_back(entry);
+  snap->events_seen = events_seen_;
+  view_.store(std::shared_ptr<const Snapshot>(std::move(snap)),
+              std::memory_order_release);
+}
+
+ShardedMonitorService::ShardStats ShardedMonitorService::collect_stats_on_shard(
+    Shard& s) const {
+  ShardStats st;
+  st.loop = s.loop->stats();
+  st.dispatcher_heartbeats = s.dispatcher->heartbeat_count();
+  st.dispatcher_malformed = s.dispatcher->malformed_count();
+  st.service_heartbeats = s.fd->heartbeats_processed();
+  st.handoff_out = s.handoff_out;
+  st.handoff_dropped = s.handoff_dropped;
+  st.commands_run = s.commands_run;
+  st.events_dropped = s.events_dropped.load(std::memory_order_relaxed);
+  return st;
+}
+
+std::vector<ShardedMonitorService::ShardStats> ShardedMonitorService::shard_stats() {
+  std::vector<ShardStats> out(shards_.size());
+  if (!running_) {
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      out[i] = collect_stats_on_shard(*shards_[i]);
+    }
+    return out;
+  }
+  std::vector<std::future<ShardStats>> futures;
+  futures.reserve(shards_.size());
+  for (auto& sp : shards_) {
+    auto prom = std::make_shared<std::promise<ShardStats>>();
+    futures.push_back(prom->get_future());
+    Shard* s = sp.get();
+    post(*s, [this, s, prom] { prom->set_value(collect_stats_on_shard(*s)); });
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) out[i] = futures[i].get();
+  return out;
+}
+
+ShardedMonitorService::ShardStats ShardedMonitorService::merged_stats() {
+  ShardStats total;
+  for (const auto& st : shard_stats()) total += st;
+  return total;
+}
+
+}  // namespace twfd::shard

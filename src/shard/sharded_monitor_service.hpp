@@ -1,0 +1,226 @@
+// Sharded multi-threaded monitoring runtime (the host-wide FD service at
+// scale).
+//
+// One ShardedMonitorService partitions monitored peers across N shard
+// workers by consistent peer-hash. Each worker owns a private
+// net::EventLoop + service::Dispatcher + service::FdService (per-peer
+// SharedMarginDetector set) — there is NO shared mutable detector state;
+// **shard ownership is the invariant**: a peer's estimator, timers and
+// subscriptions are only ever touched by the shard thread that owns the
+// peer.
+//
+// Cross-thread interaction is restricted to three mechanisms:
+//   1. Control plane (subscribe/unsubscribe/reconfigure/stats): any
+//      thread marshals a command onto the owning shard through a
+//      lock-free MpscQueue + EventLoop::wake(), and blocks on a promise
+//      for the result.
+//   2. Receive path: with ReceiveMode::kReusePort every shard binds the
+//      service port with SO_REUSEPORT and the kernel spreads inbound
+//      flows; with kSingleSocket (the portable fallback) shard 0 owns the
+//      only service socket. Either way, a datagram landing on a shard
+//      that does not own its source peer is handed off — raw bytes
+//      marshalled to the owner's command queue and re-injected there, so
+//      decoding and detector updates stay shard-confined.
+//   3. Aggregation: Suspect/Trust transitions flow out through per-shard
+//      MPSC event queues, drained by poll_events() into an atomically
+//      published global view snapshot (lock-free readers via view()).
+//
+// See docs/runtime.md "Threading model" for the full rules, including
+// shutdown ordering.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/mpsc_queue.hpp"
+#include "common/runtime.hpp"
+#include "config/qos_config.hpp"
+#include "net/event_loop.hpp"
+#include "service/dispatcher.hpp"
+#include "service/fd_service.hpp"
+
+namespace twfd::shard {
+
+/// Consistent peer -> shard mapping (splitmix64 over ip:port). Stable
+/// across processes and runs, so every layer — receive routing, control
+/// plane, external tooling — agrees on ownership.
+[[nodiscard]] std::size_t shard_of(const net::SocketAddress& addr,
+                                   std::size_t shard_count);
+
+class ShardedMonitorService {
+ public:
+  enum class ReceiveMode {
+    /// Every shard binds the service port with SO_REUSEPORT; the kernel
+    /// spreads inbound flows across the shard sockets (a given remote
+    /// consistently lands on one socket). Misrouted peers are handed off.
+    kReusePort,
+    /// Shard 0 owns the only service socket and hands every datagram off
+    /// to its hash-owner. Portable fallback; shard 0 pays the recv cost.
+    kSingleSocket,
+  };
+
+  struct Params {
+    std::size_t shards = 4;
+    /// Service port remotes send heartbeats to (0 = ephemeral, resolved
+    /// at construction; see port()).
+    std::uint16_t port = 0;
+    ReceiveMode receive_mode = ReceiveMode::kReusePort;
+    /// SO_RCVBUF request per shard socket (0 = kernel default).
+    int rcvbuf_bytes = 1 << 20;
+    std::size_t command_queue_capacity = 1024;
+    std::size_t event_queue_capacity = 1 << 14;
+    /// Per-shard FdService tuning (windows, assumed network, ...).
+    service::FdService::Params service{};
+  };
+
+  using SubscriptionId = std::uint64_t;
+
+  /// A Suspect/Trust transition, stamped with the owning shard.
+  struct StatusEvent {
+    SubscriptionId subscription = 0;
+    std::string app;
+    detect::Output output = detect::Output::Trust;
+    Tick when = 0;
+    std::size_t shard = 0;
+  };
+
+  /// Immutable global view published by poll_events(); readers get it
+  /// wait-free via view().
+  struct Snapshot {
+    struct Entry {
+      SubscriptionId subscription = 0;
+      std::string app;
+      detect::Output output = detect::Output::Trust;
+      Tick since = 0;  ///< instant of the last transition (0 = none yet)
+      std::size_t shard = 0;
+    };
+    std::vector<Entry> entries;  ///< ordered by subscription id
+    std::uint64_t events_seen = 0;
+  };
+
+  /// Per-shard observability, gathered race-free by marshalling a stats
+  /// command onto each shard (or read directly once stopped).
+  struct ShardStats {
+    net::EventLoop::Stats loop;
+    std::uint64_t dispatcher_heartbeats = 0;
+    std::uint64_t dispatcher_malformed = 0;
+    std::uint64_t service_heartbeats = 0;
+    std::uint64_t handoff_out = 0;      ///< datagrams forwarded to siblings
+    std::uint64_t handoff_dropped = 0;  ///< forwards lost: sibling queue full
+    std::uint64_t commands_run = 0;
+    std::uint64_t events_dropped = 0;   ///< transitions lost: event queue full
+
+    ShardStats& operator+=(const ShardStats& o);
+  };
+
+  explicit ShardedMonitorService(Params params);
+  ~ShardedMonitorService();
+
+  ShardedMonitorService(const ShardedMonitorService&) = delete;
+  ShardedMonitorService& operator=(const ShardedMonitorService&) = delete;
+
+  /// Spawns the shard worker threads. Call before any control-plane op.
+  void start();
+  /// Stops every shard loop, joins the workers, discards unexecuted
+  /// commands (their waiters see broken_promise) and drains remaining
+  /// events into the snapshot. Idempotent. Do not race control-plane
+  /// calls against stop().
+  void stop();
+  [[nodiscard]] bool running() const noexcept { return running_; }
+
+  /// The service port remotes send heartbeats to. In kReusePort mode all
+  /// shards share it; in kSingleSocket mode it is shard 0's socket.
+  [[nodiscard]] std::uint16_t port() const;
+  [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
+  [[nodiscard]] std::size_t shard_for(const net::SocketAddress& addr) const {
+    return shard_of(addr, shards_.size());
+  }
+
+  // --- Control plane (any thread; blocks until the owning shard acks) ---
+
+  /// Registers `app` to monitor the process `sender_id` reachable at
+  /// `peer` with QoS tuple `qos`. Throws std::logic_error (from the
+  /// owning shard) when the tuple is infeasible.
+  SubscriptionId subscribe(const net::SocketAddress& peer, std::uint64_t sender_id,
+                           std::string app, const config::QosRequirements& qos);
+  void unsubscribe(SubscriptionId id);
+  /// Forces a reconfiguration pass for `peer` on its owning shard.
+  void reconfigure(const net::SocketAddress& peer);
+
+  // --- Aggregation ---
+
+  /// Drains every shard's event queue into the global view and publishes
+  /// a fresh snapshot; `fn` (optional) observes each event in shard-major
+  /// order. Serialized internally; returns the number of events drained.
+  std::size_t poll_events(const std::function<void(const StatusEvent&)>& fn = {});
+
+  /// Latest published snapshot (never null after construction). Wait-free.
+  [[nodiscard]] std::shared_ptr<const Snapshot> view() const {
+    return view_.load(std::memory_order_acquire);
+  }
+
+  /// Race-free per-shard counters (marshalled; see ShardStats).
+  [[nodiscard]] std::vector<ShardStats> shard_stats();
+  /// Element-wise sum of shard_stats().
+  [[nodiscard]] ShardStats merged_stats();
+
+ private:
+  using Command = std::function<void()>;
+
+  struct Shard {
+    std::size_t index = 0;
+    std::unique_ptr<net::EventLoop> loop;
+    std::unique_ptr<service::Dispatcher> dispatcher;
+    std::unique_ptr<service::FdService> fd;
+    MpscQueue<Command> commands;
+    MpscQueue<StatusEvent> events;
+    std::atomic<bool> stop_requested{false};
+    // Shard-thread-only counters (published via the stats command).
+    std::uint64_t handoff_out = 0;
+    std::uint64_t handoff_dropped = 0;
+    std::uint64_t commands_run = 0;
+    std::atomic<std::uint64_t> events_dropped{0};
+    std::thread thread;
+
+    Shard(std::size_t idx, const Params& params, std::uint16_t bind_port,
+          bool reuse_port);
+  };
+
+  void worker_main(Shard& s);
+  void drain_commands(Shard& s);
+  void route_datagram(Shard& s, PeerId from, std::span<const std::byte> data);
+  void post(Shard& s, Command cmd);
+  void publish_event(Shard& s, StatusEvent event);
+  void republish_locked();
+  [[nodiscard]] ShardStats collect_stats_on_shard(Shard& s) const;
+
+  Params params_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  bool running_ = false;
+
+  // Control-plane registry: global subscription id -> owning shard +
+  // the shard-local FdService id.
+  struct SubRef {
+    std::size_t shard = 0;
+    service::FdService::SubscriptionId local = 0;
+  };
+  std::mutex control_mu_;
+  std::map<SubscriptionId, SubRef> subs_;
+  std::atomic<SubscriptionId> next_sub_id_{1};
+
+  // Aggregation state: agg_mu_ serializes the single logical consumer of
+  // the per-shard event queues; view_ is the lock-free read side.
+  std::mutex agg_mu_;
+  std::map<SubscriptionId, Snapshot::Entry> state_;
+  std::uint64_t events_seen_ = 0;
+  std::atomic<std::shared_ptr<const Snapshot>> view_;
+};
+
+}  // namespace twfd::shard

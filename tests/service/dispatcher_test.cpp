@@ -1,0 +1,80 @@
+// Dispatcher::ingest: malformed datagrams are counted and dropped while
+// well-formed heartbeats keep flowing — the shard hand-off path calls
+// ingest directly, so junk arriving between heartbeats must never
+// disturb the heartbeat stream or crash the decode.
+
+#include "service/dispatcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "net/event_loop.hpp"
+#include "net/wire.hpp"
+
+namespace twfd {
+namespace {
+
+std::vector<std::byte> heartbeat_bytes(std::int64_t seq) {
+  net::HeartbeatMsg hb;
+  hb.sender_id = 1;
+  hb.seq = seq;
+  hb.send_time = ticks_from_ms(seq * 20);
+  hb.interval = ticks_from_ms(20);
+  return net::encode(hb);
+}
+
+TEST(Dispatcher, MalformedDatagramsCountedAndDroppedWithoutDisturbingHeartbeats) {
+  net::EventLoop loop;
+  service::Dispatcher dispatch(loop.runtime());
+
+  std::vector<std::int64_t> seen;
+  dispatch.on_heartbeat([&](PeerId, const net::HeartbeatMsg& m, Tick) {
+    seen.push_back(m.seq);
+  });
+
+  const PeerId peer = loop.add_peer(net::SocketAddress::loopback(9));
+
+  dispatch.ingest(peer, heartbeat_bytes(1));
+
+  // Garbage: random bytes, wrong magic, truncation, empty payload.
+  const std::vector<std::byte> junk = {std::byte{0xde}, std::byte{0xad},
+                                       std::byte{0xbe}, std::byte{0xef}};
+  dispatch.ingest(peer, junk);
+
+  auto bad_magic = heartbeat_bytes(2);
+  bad_magic[0] = std::byte{0x00};
+  dispatch.ingest(peer, bad_magic);
+
+  auto truncated = heartbeat_bytes(3);
+  truncated.resize(truncated.size() / 2);
+  dispatch.ingest(peer, truncated);
+
+  dispatch.ingest(peer, {});
+
+  dispatch.ingest(peer, heartbeat_bytes(4));
+
+  EXPECT_EQ(dispatch.malformed_count(), 4u);
+  EXPECT_EQ(dispatch.heartbeat_count(), 2u);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], 1);
+  EXPECT_EQ(seen[1], 4);
+}
+
+TEST(Dispatcher, CorruptedVersionByteIsMalformed) {
+  net::EventLoop loop;
+  service::Dispatcher dispatch(loop.runtime());
+  int heartbeats = 0;
+  dispatch.on_heartbeat([&](PeerId, const net::HeartbeatMsg&, Tick) { ++heartbeats; });
+
+  auto bytes = heartbeat_bytes(1);
+  bytes[4] = std::byte{0xff};  // version field follows the 4-byte magic
+  dispatch.ingest(loop.add_peer(net::SocketAddress::loopback(9)), bytes);
+
+  EXPECT_EQ(dispatch.malformed_count(), 1u);
+  EXPECT_EQ(heartbeats, 0);
+}
+
+}  // namespace
+}  // namespace twfd

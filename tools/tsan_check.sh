@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# ThreadSanitizer pass over the concurrency suite (CTest label `threaded`:
+# the MPSC command queue and the sharded monitoring runtime; see README
+# "Build, test, reproduce" and docs/runtime.md "Threading model").
+#
+#   tools/tsan_check.sh [build-dir]   (default: build-tsan)
+#
+# Builds with TWFD_SANITIZE_THREAD and runs ONLY the `threaded`-labelled
+# tests: TSan's happens-before tracking makes the full suite slow, and the
+# single-threaded tests cannot race by construction.
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DTWFD_SANITIZE_THREAD=ON \
+  -DTWFD_BUILD_BENCH=OFF \
+  -DTWFD_BUILD_EXAMPLES=OFF
+cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || sysctl -n hw.ncpu)" \
+  --target test_threaded
+TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+  ctest --test-dir "$BUILD_DIR" -L threaded --output-on-failure
