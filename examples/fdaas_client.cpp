@@ -1,0 +1,141 @@
+// fdaas_client — a remote application consuming verdicts over the wire.
+//
+// Connects to a twfd_fdaasd API port, subscribes to one monitored peer
+// with this application's own QoS tuple, then pumps EVENT frames and
+// prints every Suspect/Trust transition as it arrives. Pair it with:
+//
+//   ./tools/twfd_fdaasd --api-port 4200 --service-port 4100 &
+//   ./tools/twfd_beacon --id 7 --port 9000 --target 127.0.0.1:4100 &
+//   ./examples/fdaas_client --server 127.0.0.1:4200 --peer 127.0.0.1:9000
+//       --sender-id 7 --app dashboard --td-s 4 --duration-s 30
+//
+// Kill the beacon mid-run and the client prints Suspect within its own
+// T_D^U; restart it (same --port) and Trust follows.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "api/client.hpp"
+
+using namespace twfd;
+
+namespace {
+
+struct Options {
+  net::SocketAddress server;
+  net::SocketAddress peer;
+  std::uint64_t sender_id = 1;
+  std::string app = "example";
+  double td_s = 4.0;        ///< detection-time ceiling T_D^U
+  double tmr_per_s = 1e-3;  ///< mistake-rate ceiling (1/T_MR^L)
+  double tm_s = 4.0;        ///< mistake-duration ceiling T_M^U
+  long duration_s = 30;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --server HOST:PORT --peer HOST:PORT [--sender-id N]\n"
+               "          [--app NAME] [--td-s X] [--tmr-per-s X] [--tm-s X]\n"
+               "          [--duration-s N]\n",
+               argv0);
+  std::exit(2);
+}
+
+net::SocketAddress parse_hostport(const std::string& s) {
+  const auto colon = s.rfind(':');
+  if (colon == std::string::npos) {
+    throw std::invalid_argument("expected HOST:PORT, got: " + s);
+  }
+  const int port = std::stoi(s.substr(colon + 1));
+  if (port <= 0 || port > 65535) {
+    throw std::invalid_argument("bad port in: " + s);
+  }
+  return net::SocketAddress::parse(s.substr(0, colon),
+                                   static_cast<std::uint16_t>(port));
+}
+
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  bool have_server = false;
+  bool have_peer = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--server") {
+      opt.server = parse_hostport(next());
+      have_server = true;
+    } else if (arg == "--peer") {
+      opt.peer = parse_hostport(next());
+      have_peer = true;
+    } else if (arg == "--sender-id") {
+      opt.sender_id = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--app") {
+      opt.app = next();
+    } else if (arg == "--td-s") {
+      opt.td_s = std::stod(next());
+    } else if (arg == "--tmr-per-s") {
+      opt.tmr_per_s = std::stod(next());
+    } else if (arg == "--tm-s") {
+      opt.tm_s = std::stod(next());
+    } else if (arg == "--duration-s") {
+      opt.duration_s = std::stol(next());
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (!have_server || !have_peer) usage(argv[0]);
+  return opt;
+}
+
+const char* output_name(detect::Output o) {
+  return o == detect::Output::Suspect ? "SUSPECT" : "TRUST";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Options opt = parse_args(argc, argv);
+
+    api::Client client(opt.server);
+    client.set_event_handler([](const api::EventMsg& event) {
+      std::printf("event: sub %llu -> %s (t=%s)\n",
+                  static_cast<unsigned long long>(event.subscription_id),
+                  output_name(event.output), format_ticks(event.when).c_str());
+      std::fflush(stdout);
+    });
+
+    const config::QosRequirements qos{opt.td_s, opt.tmr_per_s, opt.tm_s};
+    const std::uint64_t sub =
+        client.subscribe(opt.peer, opt.sender_id, opt.app, qos);
+    std::printf("subscribed: id %llu, peer %s, app %s, QoS(T_D<=%.2fs, "
+                "rate<=%.0e/s, T_M<=%.2fs), lease %llu ms\n",
+                static_cast<unsigned long long>(sub),
+                opt.peer.to_string().c_str(), opt.app.c_str(), opt.td_s,
+                opt.tmr_per_s, opt.tm_s,
+                static_cast<unsigned long long>(client.ping()));
+
+    for (const auto& entry : client.snapshot()) {
+      std::printf("snapshot: sub %llu = %s\n",
+                  static_cast<unsigned long long>(entry.subscription_id),
+                  output_name(entry.output));
+    }
+    std::fflush(stdout);
+
+    if (!client.pump_for(ticks_from_sec(opt.duration_s))) {
+      std::fprintf(stderr, "fdaas_client: connection lost\n");
+      return 1;
+    }
+    client.unsubscribe(sub);
+    std::printf("done: %llu events received\n",
+                static_cast<unsigned long long>(client.events_received()));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fdaas_client: %s\n", e.what());
+    return 1;
+  }
+}

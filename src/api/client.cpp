@@ -1,0 +1,213 @@
+#include "api/client.hpp"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <stdexcept>
+#include <system_error>
+#include <utility>
+
+namespace twfd::api {
+namespace {
+
+[[nodiscard]] int poll_timeout_ms(Tick now, Tick deadline) {
+  if (deadline <= now) return 0;
+  const Tick wait = deadline - now;
+  return static_cast<int>((wait + ticks_from_ms(1) - 1) / ticks_from_ms(1));
+}
+
+}  // namespace
+
+Client::Client(const net::SocketAddress& server) : Client(server, Options{}) {}
+
+Client::Client(const net::SocketAddress& server, Options options)
+    : options_(options) {
+  auto conn = net::TcpConn::connect(server, options_.connect_timeout);
+  if (!conn) {
+    throw std::system_error(ECONNREFUSED, std::generic_category(),
+                            "connect(" + server.to_string() + ")");
+  }
+  conn_ = std::move(*conn);
+}
+
+void Client::send_all(std::span<const std::byte> data, Tick deadline) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const auto w = conn_.write_some(data.subspan(sent));
+    if (w.status == net::TcpConn::IoStatus::kClosed) {
+      conn_.close();
+      throw std::runtime_error("fdaas connection closed while sending");
+    }
+    if (w.status == net::TcpConn::IoStatus::kOk) {
+      sent += w.bytes;
+      continue;
+    }
+    const Tick now = clock_.now();
+    if (now >= deadline) throw std::runtime_error("fdaas send timed out");
+    pollfd pfd{conn_.fd(), POLLOUT, 0};
+    ::poll(&pfd, 1, poll_timeout_ms(now, deadline));
+  }
+}
+
+bool Client::read_available(Tick deadline) {
+  if (!conn_.valid()) return false;
+  for (;;) {
+    std::byte buf[4096];
+    const auto r = conn_.read_some(buf);
+    if (r.status == net::TcpConn::IoStatus::kOk) {
+      rx_.push(std::span<const std::byte>(buf, r.bytes));
+      return true;
+    }
+    if (r.status == net::TcpConn::IoStatus::kClosed) {
+      conn_.close();
+      return false;
+    }
+    const Tick now = clock_.now();
+    if (now >= deadline) return false;
+    pollfd pfd{conn_.fd(), POLLIN, 0};
+    int rc;
+    do {
+      rc = ::poll(&pfd, 1, poll_timeout_ms(now, deadline));
+    } while (rc < 0 && errno == EINTR);
+    if (rc == 0) return false;  // timeout
+  }
+}
+
+void Client::dispatch(ControlMessage msg) {
+  if (auto* event = std::get_if<EventMsg>(&msg)) {
+    ++events_received_;
+    if (on_event_) on_event_(*event);
+  } else if (auto* pong = std::get_if<PongMsg>(&msg)) {
+    lease_ms_ = pong->lease_ms;
+  }
+  // Stray replies (e.g. a late Pong after a timed-out ping) are absorbed.
+}
+
+std::optional<ControlMessage> Client::drain_frames(
+    const std::function<bool(const ControlMessage&)>& matches) {
+  for (;;) {
+    auto body = rx_.next();
+    if (!body) {
+      if (rx_.corrupt()) {
+        conn_.close();
+        throw std::runtime_error("fdaas stream corrupt");
+      }
+      return std::nullopt;
+    }
+    auto msg = decode_body(*body);
+    if (!msg) {
+      conn_.close();
+      throw std::runtime_error("fdaas server sent a malformed frame");
+    }
+    if (matches && matches(*msg)) return msg;
+    dispatch(std::move(*msg));
+  }
+}
+
+ControlMessage Client::request(
+    const ControlMessage& req,
+    const std::function<bool(const ControlMessage&)>& matches) {
+  if (!conn_.valid()) throw std::runtime_error("fdaas client is closed");
+  const Tick deadline = clock_.now() + options_.request_timeout;
+  send_all(encode_frame(req), deadline);
+  for (;;) {
+    if (auto reply = drain_frames(matches)) return std::move(*reply);
+    if (clock_.now() >= deadline) {
+      throw std::runtime_error("fdaas request timed out");
+    }
+    if (!read_available(deadline)) {
+      if (!conn_.valid()) throw std::runtime_error("fdaas connection closed");
+      throw std::runtime_error("fdaas request timed out");
+    }
+  }
+}
+
+std::uint64_t Client::subscribe(const net::SocketAddress& peer,
+                                std::uint64_t sender_id, const std::string& app,
+                                const config::QosRequirements& qos) {
+  const std::uint64_t rid = next_request_id_++;
+  const auto reply = request(
+      SubscribeRequest{rid, peer, sender_id, app, qos},
+      [rid](const ControlMessage& m) {
+        if (const auto* ok = std::get_if<SubscribeOk>(&m)) {
+          return ok->request_id == rid;
+        }
+        if (const auto* err = std::get_if<ErrorMsg>(&m)) {
+          return err->request_id == rid;
+        }
+        return false;
+      });
+  if (const auto* err = std::get_if<ErrorMsg>(&reply)) {
+    throw std::runtime_error("subscribe rejected: " + err->message);
+  }
+  return std::get<SubscribeOk>(reply).subscription_id;
+}
+
+void Client::unsubscribe(std::uint64_t subscription_id) {
+  const std::uint64_t rid = next_request_id_++;
+  const auto reply = request(
+      UnsubscribeRequest{rid, subscription_id},
+      [rid](const ControlMessage& m) {
+        if (const auto* ok = std::get_if<UnsubscribeOk>(&m)) {
+          return ok->request_id == rid;
+        }
+        if (const auto* err = std::get_if<ErrorMsg>(&m)) {
+          return err->request_id == rid;
+        }
+        return false;
+      });
+  if (const auto* err = std::get_if<ErrorMsg>(&reply)) {
+    throw std::runtime_error("unsubscribe rejected: " + err->message);
+  }
+}
+
+std::vector<SnapshotEntry> Client::snapshot() {
+  const std::uint64_t rid = next_request_id_++;
+  auto reply = request(SnapshotRequest{rid}, [rid](const ControlMessage& m) {
+    const auto* snap = std::get_if<SnapshotReply>(&m);
+    return snap != nullptr && snap->request_id == rid;
+  });
+  return std::move(std::get<SnapshotReply>(reply).entries);
+}
+
+std::uint64_t Client::ping() {
+  const std::uint64_t nonce = next_nonce_++;
+  const auto reply = request(PingMsg{nonce}, [nonce](const ControlMessage& m) {
+    const auto* pong = std::get_if<PongMsg>(&m);
+    return pong != nullptr && pong->nonce == nonce;
+  });
+  lease_ms_ = std::get<PongMsg>(reply).lease_ms;
+  return lease_ms_;
+}
+
+bool Client::pump_for(Tick duration) {
+  const Tick deadline = clock_.now() + duration;
+  Tick next_ping = 0;  // ping immediately on the first turn
+  while (conn_.valid()) {
+    // Dispatch whatever is already assembled.
+    try {
+      drain_frames({});
+    } catch (const std::runtime_error&) {
+      return false;  // corrupt/malformed stream; connection already closed
+    }
+    const Tick now = clock_.now();
+    if (now >= deadline) return true;
+    if (now >= next_ping) {
+      const Tick interval = lease_ms_ > 0
+                                ? ticks_from_ms(static_cast<std::int64_t>(lease_ms_)) / 3
+                                : options_.default_ping_interval;
+      next_ping = now + std::max<Tick>(interval, ticks_from_ms(10));
+      try {
+        send_all(encode_frame(PingMsg{next_nonce_++}),
+                 now + options_.request_timeout);
+      } catch (const std::runtime_error&) {
+        return false;  // connection died under the lease renewal
+      }
+    }
+    read_available(std::min(deadline, next_ping));
+  }
+  return false;
+}
+
+}  // namespace twfd::api

@@ -1,0 +1,99 @@
+// Synchronous client for the TWFD control protocol (the FDaaS wire API).
+//
+// One Client == one TCP connection == one session on the server.
+// Requests (subscribe / unsubscribe / snapshot / ping) block until the
+// matching reply arrives; EVENT frames interleaved with replies are
+// dispatched to the event handler as they are decoded, never dropped.
+// pump_for() is the push side: it drains events for a duration and
+// renews the session lease with automatic pings, so a monitoring
+// dashboard is `client.subscribe(...); while (...) client.pump_for(...)`.
+//
+// Not thread-safe: one thread owns a Client (spawn one per connection).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/control.hpp"
+#include "common/time.hpp"
+#include "config/qos_config.hpp"
+#include "net/tcp.hpp"
+
+namespace twfd::api {
+
+class Client {
+ public:
+  struct Options {
+    Tick connect_timeout = ticks_from_sec(5);
+    /// Per-request bound on waiting for the matching reply.
+    Tick request_timeout = ticks_from_sec(5);
+    /// Lease-renewal cadence for pump_for before the server's lease is
+    /// known (a Pong teaches it; thereafter lease/3 is used).
+    Tick default_ping_interval = ticks_from_sec(2);
+  };
+
+  /// Connects to `server`; throws std::system_error on refusal/timeout.
+  explicit Client(const net::SocketAddress& server);
+  Client(const net::SocketAddress& server, Options options);
+  ~Client() = default;
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  using EventHandler = std::function<void(const EventMsg&)>;
+  /// Installs the callback for pushed Suspect/Trust events.
+  void set_event_handler(EventHandler handler) { on_event_ = std::move(handler); }
+
+  /// Registers a subscription with this client's own QoS tuple. Returns
+  /// the server-global subscription id; throws std::runtime_error with
+  /// the server's message when the tuple is rejected (or on timeout).
+  std::uint64_t subscribe(const net::SocketAddress& peer, std::uint64_t sender_id,
+                          const std::string& app,
+                          const config::QosRequirements& qos);
+  void unsubscribe(std::uint64_t subscription_id);
+  /// Current verdicts for this session's subscriptions.
+  std::vector<SnapshotEntry> snapshot();
+  /// Lease probe; returns the server's lease in milliseconds.
+  std::uint64_t ping();
+
+  /// Reads and dispatches events for `duration`, pinging to keep the
+  /// lease alive. Returns false once the connection is closed.
+  bool pump_for(Tick duration);
+
+  [[nodiscard]] bool connected() const noexcept { return conn_.valid(); }
+  void close() noexcept { conn_.close(); }
+  [[nodiscard]] std::uint64_t events_received() const noexcept {
+    return events_received_;
+  }
+
+ private:
+  /// Sends `req` and waits for the reply matching `matches`, dispatching
+  /// events meanwhile. Throws std::runtime_error on timeout/close, and
+  /// translates a matching ErrorMsg into std::runtime_error.
+  ControlMessage request(const ControlMessage& req,
+                         const std::function<bool(const ControlMessage&)>& matches);
+  void send_all(std::span<const std::byte> data, Tick deadline);
+  /// Blocks until bytes arrive (deadline in SteadyClock domain); false
+  /// on close/timeout.
+  bool read_available(Tick deadline);
+  /// Drains assembled frames; events are dispatched, the first frame
+  /// matching `matches` (if any) is returned.
+  std::optional<ControlMessage> drain_frames(
+      const std::function<bool(const ControlMessage&)>& matches);
+  void dispatch(ControlMessage msg);
+
+  net::TcpConn conn_;
+  Options options_;
+  SteadyClock clock_;
+  FrameAssembler rx_;
+  EventHandler on_event_;
+  std::uint64_t next_request_id_ = 1;
+  std::uint64_t next_nonce_ = 1;
+  std::uint64_t lease_ms_ = 0;
+  std::uint64_t events_received_ = 0;
+};
+
+}  // namespace twfd::api

@@ -1,0 +1,257 @@
+#include "api/control.hpp"
+
+#include <cmath>
+
+#include "net/wire_codec.hpp"
+
+namespace twfd::api {
+namespace {
+
+using net::codec::Reader;
+using net::codec::Writer;
+
+constexpr std::uint8_t kTypeSubscribe = 1;
+constexpr std::uint8_t kTypeSubscribeOk = 2;
+constexpr std::uint8_t kTypeUnsubscribe = 3;
+constexpr std::uint8_t kTypeUnsubscribeOk = 4;
+constexpr std::uint8_t kTypeSnapshotRequest = 5;
+constexpr std::uint8_t kTypeSnapshotReply = 6;
+constexpr std::uint8_t kTypePing = 7;
+constexpr std::uint8_t kTypePong = 8;
+constexpr std::uint8_t kTypeEvent = 9;
+constexpr std::uint8_t kTypeError = 10;
+
+void header(Writer& w, std::uint8_t type) {
+  w.u32(kControlMagic);
+  w.u8(kControlVersion);
+  w.u8(type);
+}
+
+void body(Writer& w, const SubscribeRequest& m) {
+  header(w, kTypeSubscribe);
+  w.u64(m.request_id);
+  w.u32(m.peer.ip_host_order);
+  w.u16(m.peer.port);
+  w.u64(m.sender_id);
+  w.str16(m.app);
+  w.f64(m.qos.td_upper_s);
+  w.f64(m.qos.tmr_upper_per_s);
+  w.f64(m.qos.tm_upper_s);
+}
+
+void body(Writer& w, const SubscribeOk& m) {
+  header(w, kTypeSubscribeOk);
+  w.u64(m.request_id);
+  w.u64(m.subscription_id);
+}
+
+void body(Writer& w, const UnsubscribeRequest& m) {
+  header(w, kTypeUnsubscribe);
+  w.u64(m.request_id);
+  w.u64(m.subscription_id);
+}
+
+void body(Writer& w, const UnsubscribeOk& m) {
+  header(w, kTypeUnsubscribeOk);
+  w.u64(m.request_id);
+}
+
+void body(Writer& w, const SnapshotRequest& m) {
+  header(w, kTypeSnapshotRequest);
+  w.u64(m.request_id);
+}
+
+void body(Writer& w, const SnapshotReply& m) {
+  header(w, kTypeSnapshotReply);
+  w.u64(m.request_id);
+  w.u32(static_cast<std::uint32_t>(m.entries.size()));
+  for (const auto& e : m.entries) {
+    w.u64(e.subscription_id);
+    w.u8(static_cast<std::uint8_t>(e.output));
+    w.i64(e.since);
+  }
+}
+
+void body(Writer& w, const PingMsg& m) {
+  header(w, kTypePing);
+  w.u64(m.nonce);
+}
+
+void body(Writer& w, const PongMsg& m) {
+  header(w, kTypePong);
+  w.u64(m.nonce);
+  w.u64(m.lease_ms);
+}
+
+void body(Writer& w, const EventMsg& m) {
+  header(w, kTypeEvent);
+  w.u64(m.subscription_id);
+  w.u8(static_cast<std::uint8_t>(m.output));
+  w.i64(m.when);
+}
+
+void body(Writer& w, const ErrorMsg& m) {
+  header(w, kTypeError);
+  w.u64(m.request_id);
+  w.u16(static_cast<std::uint16_t>(m.code));
+  w.str16(m.message);
+}
+
+[[nodiscard]] bool valid_output_byte(std::uint8_t b) {
+  return b <= static_cast<std::uint8_t>(detect::Output::Suspect);
+}
+
+[[nodiscard]] bool finite_qos(const config::QosRequirements& q) {
+  return std::isfinite(q.td_upper_s) && std::isfinite(q.tmr_upper_per_s) &&
+         std::isfinite(q.tm_upper_s);
+}
+
+}  // namespace
+
+std::vector<std::byte> encode_frame(const ControlMessage& msg) {
+  Writer w(64);
+  std::visit([&w](const auto& m) { body(w, m); }, msg);
+  std::vector<std::byte> payload = w.take();
+
+  Writer framed(4 + payload.size());
+  framed.u32(static_cast<std::uint32_t>(payload.size()));
+  std::vector<std::byte> out = framed.take();
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::optional<ControlMessage> decode_body(std::span<const std::byte> data) {
+  if (data.size() > kMaxFrameBody) return std::nullopt;
+  Reader r(data);
+  if (r.u32() != kControlMagic) return std::nullopt;
+  if (r.u8() != kControlVersion) return std::nullopt;
+  const std::uint8_t type = r.u8();
+
+  const auto done = [&r](auto m) -> std::optional<ControlMessage> {
+    if (!r.ok() || r.remaining() != 0) return std::nullopt;
+    return ControlMessage(std::move(m));
+  };
+
+  switch (type) {
+    case kTypeSubscribe: {
+      SubscribeRequest m;
+      m.request_id = r.u64();
+      m.peer.ip_host_order = r.u32();
+      m.peer.port = r.u16();
+      m.sender_id = r.u64();
+      m.app = r.str16(kMaxAppName);
+      m.qos.td_upper_s = r.f64();
+      m.qos.tmr_upper_per_s = r.f64();
+      m.qos.tm_upper_s = r.f64();
+      if (!finite_qos(m.qos)) return std::nullopt;
+      return done(std::move(m));
+    }
+    case kTypeSubscribeOk: {
+      SubscribeOk m;
+      m.request_id = r.u64();
+      m.subscription_id = r.u64();
+      return done(m);
+    }
+    case kTypeUnsubscribe: {
+      UnsubscribeRequest m;
+      m.request_id = r.u64();
+      m.subscription_id = r.u64();
+      return done(m);
+    }
+    case kTypeUnsubscribeOk: {
+      UnsubscribeOk m;
+      m.request_id = r.u64();
+      return done(m);
+    }
+    case kTypeSnapshotRequest: {
+      SnapshotRequest m;
+      m.request_id = r.u64();
+      return done(m);
+    }
+    case kTypeSnapshotReply: {
+      SnapshotReply m;
+      m.request_id = r.u64();
+      const std::uint32_t count = r.u32();
+      if (!r.ok() || count > kMaxSnapshotEntries ||
+          std::size_t{count} * 17 > r.remaining()) {
+        return std::nullopt;
+      }
+      m.entries.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        SnapshotEntry e;
+        e.subscription_id = r.u64();
+        const std::uint8_t out = r.u8();
+        if (!valid_output_byte(out)) return std::nullopt;
+        e.output = static_cast<detect::Output>(out);
+        e.since = r.i64();
+        m.entries.push_back(e);
+      }
+      return done(std::move(m));
+    }
+    case kTypePing: {
+      PingMsg m;
+      m.nonce = r.u64();
+      return done(m);
+    }
+    case kTypePong: {
+      PongMsg m;
+      m.nonce = r.u64();
+      m.lease_ms = r.u64();
+      return done(m);
+    }
+    case kTypeEvent: {
+      EventMsg m;
+      m.subscription_id = r.u64();
+      const std::uint8_t out = r.u8();
+      if (!valid_output_byte(out)) return std::nullopt;
+      m.output = static_cast<detect::Output>(out);
+      m.when = r.i64();
+      return done(m);
+    }
+    case kTypeError: {
+      ErrorMsg m;
+      m.request_id = r.u64();
+      const std::uint16_t code = r.u16();
+      if (code < 1 || code > static_cast<std::uint16_t>(ErrorCode::kInternal)) {
+        return std::nullopt;
+      }
+      m.code = static_cast<ErrorCode>(code);
+      m.message = r.str16(kMaxErrorText);
+      return done(std::move(m));
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+void FrameAssembler::push(std::span<const std::byte> data) {
+  if (corrupt_) return;
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+std::optional<std::vector<std::byte>> FrameAssembler::next() {
+  if (corrupt_) return std::nullopt;
+  if (buf_.size() - pos_ < 4) return std::nullopt;
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<std::uint32_t>(
+               static_cast<std::uint8_t>(buf_[pos_ + i]))
+           << (8 * i);
+  }
+  if (len > kMaxFrameBody) {
+    corrupt_ = true;
+    return std::nullopt;
+  }
+  if (buf_.size() - pos_ < 4 + std::size_t{len}) return std::nullopt;
+  std::vector<std::byte> out(buf_.begin() + pos_ + 4,
+                             buf_.begin() + pos_ + 4 + len);
+  pos_ += 4 + len;
+  // Reclaim the consumed prefix once it dominates the buffer.
+  if (pos_ > 4096 && pos_ * 2 >= buf_.size()) {
+    buf_.erase(buf_.begin(), buf_.begin() + pos_);
+    pos_ = 0;
+  }
+  return out;
+}
+
+}  // namespace twfd::api

@@ -1,0 +1,156 @@
+// TWFD control protocol (TCP, v1): the FDaaS wire API.
+//
+// Remote applications subscribe to the shared sharded monitoring runtime
+// (shard::ShardedMonitorService) over one TCP connection per client,
+// bringing their own QoS tuple (T_D^U, T_MR^U, T_M^U) per subscription
+// — Section V's failure-detection-as-a-service, extended across the
+// network. The stream carries length-prefixed frames:
+//
+//   [u32 body_len (LE)] [body]
+//   body = [u32 magic "TWFC"] [u8 version] [u8 type] [payload]
+//
+// following the TWHD datagram conventions (explicit little-endian,
+// fixed-width fields, validate-then-trust; see docs/protocol.md for the
+// byte layout of every frame). decode_body never throws and never
+// trusts a malformed body; FrameAssembler turns an arbitrary chunking
+// of the byte stream back into bodies and latches a `corrupt` state on
+// hostile length prefixes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/time.hpp"
+#include "config/qos_config.hpp"
+#include "detect/failure_detector.hpp"
+#include "net/udp_socket.hpp"
+
+namespace twfd::api {
+
+inline constexpr std::uint32_t kControlMagic = 0x54574643;  // "TWFC"
+inline constexpr std::uint8_t kControlVersion = 1;
+
+/// Hard cap on a frame body. A length prefix above this is hostile (or
+/// garbage on the stream) and poisons the connection, never the server.
+inline constexpr std::size_t kMaxFrameBody = 64 * 1024;
+inline constexpr std::size_t kMaxAppName = 256;
+inline constexpr std::size_t kMaxErrorText = 512;
+inline constexpr std::size_t kMaxSnapshotEntries = 4096;
+
+enum class ErrorCode : std::uint16_t {
+  kMalformed = 1,            ///< request parsed but carried nonsense
+  kInfeasibleQos = 2,        ///< Chen's procedure rejected the tuple
+  kUnknownSubscription = 3,  ///< id not owned by this session
+  kLimit = 4,                ///< per-session subscription cap reached
+  kInternal = 5,
+};
+
+// --- Client -> server ---
+
+struct SubscribeRequest {
+  std::uint64_t request_id = 0;
+  net::SocketAddress peer;    ///< heartbeat source to monitor
+  std::uint64_t sender_id = 0;
+  std::string app;            ///< application label (diagnostics)
+  config::QosRequirements qos;
+};
+
+struct UnsubscribeRequest {
+  std::uint64_t request_id = 0;
+  std::uint64_t subscription_id = 0;
+};
+
+struct SnapshotRequest {
+  std::uint64_t request_id = 0;
+};
+
+/// Lease renewal + liveness probe. Any well-formed frame renews the
+/// session lease; Ping is the frame to send when there is nothing else.
+struct PingMsg {
+  std::uint64_t nonce = 0;
+};
+
+// --- Server -> client ---
+
+struct SubscribeOk {
+  std::uint64_t request_id = 0;
+  std::uint64_t subscription_id = 0;
+};
+
+struct UnsubscribeOk {
+  std::uint64_t request_id = 0;
+};
+
+struct SnapshotEntry {
+  std::uint64_t subscription_id = 0;
+  detect::Output output = detect::Output::Trust;
+  Tick since = 0;  ///< instant of the last transition (0 = none yet)
+};
+
+struct SnapshotReply {
+  std::uint64_t request_id = 0;
+  std::vector<SnapshotEntry> entries;  ///< the session's subscriptions only
+};
+
+struct PongMsg {
+  std::uint64_t nonce = 0;
+  std::uint64_t lease_ms = 0;  ///< server lease; renew well within it
+};
+
+/// Pushed Suspect/Trust transition.
+struct EventMsg {
+  std::uint64_t subscription_id = 0;
+  detect::Output output = detect::Output::Trust;
+  Tick when = 0;  ///< server clock domain
+};
+
+struct ErrorMsg {
+  std::uint64_t request_id = 0;  ///< 0 when not tied to a request
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+};
+
+using ControlMessage =
+    std::variant<SubscribeRequest, UnsubscribeRequest, SnapshotRequest, PingMsg,
+                 SubscribeOk, UnsubscribeOk, SnapshotReply, PongMsg, EventMsg,
+                 ErrorMsg>;
+
+/// Serialises a message into a complete frame (length prefix included).
+[[nodiscard]] std::vector<std::byte> encode_frame(const ControlMessage& msg);
+
+/// Parses one frame body (magic + version + type + payload, no length
+/// prefix); std::nullopt on anything malformed — bad magic/version/type,
+/// short or oversize payload, out-of-range enum bytes, non-finite QoS.
+[[nodiscard]] std::optional<ControlMessage> decode_body(
+    std::span<const std::byte> body);
+
+/// Reassembles frame bodies from an arbitrarily chunked byte stream.
+class FrameAssembler {
+ public:
+  /// Appends received bytes (no-op once corrupt).
+  void push(std::span<const std::byte> data);
+
+  /// Next complete frame body, or std::nullopt when more bytes are
+  /// needed (or the stream is corrupt).
+  [[nodiscard]] std::optional<std::vector<std::byte>> next();
+
+  /// A length prefix exceeded kMaxFrameBody: the stream can never
+  /// re-synchronise and the connection must be dropped.
+  [[nodiscard]] bool corrupt() const noexcept { return corrupt_; }
+
+  [[nodiscard]] std::size_t buffered() const noexcept {
+    return buf_.size() - pos_;
+  }
+
+ private:
+  std::vector<std::byte> buf_;
+  std::size_t pos_ = 0;
+  bool corrupt_ = false;
+};
+
+}  // namespace twfd::api

@@ -1,0 +1,393 @@
+#include "api/fdaas_server.hpp"
+
+#include <unistd.h>
+
+#include <future>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace twfd::api {
+
+FdaasServer::Stats& FdaasServer::Stats::operator+=(const Stats& o) {
+  sessions_accepted += o.sessions_accepted;
+  sessions_active += o.sessions_active;
+  sessions_rejected += o.sessions_rejected;
+  subscriptions_active += o.subscriptions_active;
+  subscriptions_total += o.subscriptions_total;
+  frames_received += o.frames_received;
+  frames_malformed += o.frames_malformed;
+  events_pushed += o.events_pushed;
+  events_unroutable += o.events_unroutable;
+  slow_evictions += o.slow_evictions;
+  lease_expiries += o.lease_expiries;
+  disconnects += o.disconnects;
+  accept_resource_failures += o.accept_resource_failures;
+  accept_aborted += o.accept_aborted;
+  conn_soft_errors += o.conn_soft_errors;
+  bytes_sent += o.bytes_sent;
+  bytes_received += o.bytes_received;
+  return *this;
+}
+
+FdaasServer::FdaasServer(shard::ShardedMonitorService& service, Params params)
+    : service_(service),
+      params_(std::move(params)),
+      listener_({params_.port}),
+      loop_(std::make_unique<net::EventLoop>(std::uint16_t{0})),
+      commands_(256) {
+  TWFD_CHECK_MSG(params_.lease > 0, "lease must be positive");
+  TWFD_CHECK_MSG(params_.poll_interval > 0, "poll_interval must be positive");
+}
+
+FdaasServer::~FdaasServer() { stop(); }
+
+void FdaasServer::start() {
+  TWFD_CHECK_MSG(!running_, "server already started");
+  stop_requested_.store(false, std::memory_order_release);
+  running_ = true;
+  thread_ = std::thread([this] { worker_main(); });
+}
+
+void FdaasServer::stop() {
+  if (!running_) return;
+  stop_requested_.store(true, std::memory_order_release);
+  loop_->stop();
+  if (thread_.joinable()) thread_.join();
+  running_ = false;
+  Command cmd;
+  while (commands_.try_pop(cmd)) cmd = nullptr;  // waiters see broken_promise
+}
+
+void FdaasServer::worker_main() {
+  loop_->set_wake_handler([this] { drain_commands(); });
+  loop_->watch_fd(listener_.fd(), net::kFdRead,
+                  [this](unsigned) { on_accept(); });
+  arm_poll_timer();
+  arm_lease_timer();
+
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    loop_->run_until(kTickInfinity);
+  }
+
+  // Teardown (single-threaded: the loop no longer runs). Sessions are
+  // closed and their subscriptions released while the monitoring service
+  // is still up — the documented shutdown order is server before service.
+  std::vector<std::uint64_t> sids;
+  sids.reserve(sessions_.size());
+  for (const auto& [sid, s] : sessions_) sids.push_back(sid);
+  for (const std::uint64_t sid : sids) close_session(sid);
+  loop_->unwatch_fd(listener_.fd());
+  loop_->cancel(poll_timer_);
+  loop_->cancel(lease_timer_);
+}
+
+void FdaasServer::drain_commands() {
+  Command cmd;
+  while (commands_.try_pop(cmd)) {
+    cmd();
+    cmd = nullptr;
+  }
+  if (stop_requested_.load(std::memory_order_acquire)) loop_->stop();
+}
+
+void FdaasServer::post(Command cmd) {
+  while (!commands_.try_push(std::move(cmd))) {
+    loop_->wake();
+    std::this_thread::yield();
+  }
+  loop_->wake();
+}
+
+void FdaasServer::arm_poll_timer() {
+  poll_timer_ = loop_->schedule_at(loop_->now() + params_.poll_interval, [this] {
+    service_.poll_events(
+        [this](const shard::ShardedMonitorService::StatusEvent& e) {
+          deliver(e);
+        });
+    arm_poll_timer();
+  });
+}
+
+void FdaasServer::arm_lease_timer() {
+  const Tick period = std::max<Tick>(params_.lease / 4, ticks_from_ms(20));
+  lease_timer_ = loop_->schedule_at(loop_->now() + period, [this] {
+    expire_leases();
+    arm_lease_timer();
+  });
+}
+
+void FdaasServer::on_accept() {
+  while (auto accepted = listener_.accept()) {
+    if (sessions_.size() >= params_.max_sessions) {
+      ++stats_.sessions_rejected;
+      ::close(accepted->fd);
+      continue;
+    }
+    auto session = std::make_unique<Session>();
+    session->id = next_session_id_++;
+    session->conn = net::TcpConn(accepted->fd);
+    session->peer = accepted->peer;
+    session->lease_deadline = loop_->now() + params_.lease;
+    if (params_.conn_sndbuf_bytes > 0) {
+      session->conn.set_send_buffer(params_.conn_sndbuf_bytes);
+    }
+    const std::uint64_t sid = session->id;
+    loop_->watch_fd(session->conn.fd(), net::kFdRead,
+                    [this, sid](unsigned events) { on_session_io(sid, events); });
+    sessions_.emplace(sid, std::move(session));
+    ++stats_.sessions_accepted;
+  }
+  // Descriptor exhaustion: the pending connection stays in the backlog
+  // and poll() would report the listener readable in a tight loop. Park
+  // accept interest and retry after a delay, like UdpSocket's soft-send
+  // accounting this is counted, never thrown.
+  const std::uint64_t failures = listener_.resource_failures();
+  if (failures > seen_resource_failures_ && !accept_parked_) {
+    seen_resource_failures_ = failures;
+    accept_parked_ = true;
+    loop_->update_fd(listener_.fd(), 0);
+    loop_->schedule_at(loop_->now() + params_.accept_retry_delay, [this] {
+      accept_parked_ = false;
+      loop_->update_fd(listener_.fd(), net::kFdRead);
+    });
+  }
+}
+
+void FdaasServer::on_session_io(std::uint64_t sid, unsigned events) {
+  if (events & net::kFdWrite) {
+    const auto it = sessions_.find(sid);
+    if (it == sessions_.end()) return;
+    if (!flush(*it->second)) return;  // closed during flush
+  }
+  if (events & net::kFdRead) on_readable(sid);
+}
+
+void FdaasServer::on_readable(std::uint64_t sid) {
+  std::byte buf[4096];
+  for (;;) {
+    auto it = sessions_.find(sid);
+    if (it == sessions_.end()) return;
+    Session& s = *it->second;
+
+    const auto r = s.conn.read_some(buf);
+    if (r.status == net::TcpConn::IoStatus::kWouldBlock) return;
+    if (r.status == net::TcpConn::IoStatus::kClosed) {
+      ++stats_.disconnects;
+      close_session(sid);
+      return;
+    }
+    stats_.bytes_received += r.bytes;
+    s.rx.push(std::span<const std::byte>(buf, r.bytes));
+
+    for (;;) {
+      auto body = s.rx.next();
+      if (!body) break;
+      ++stats_.frames_received;
+      auto msg = decode_body(*body);
+      if (!msg) {
+        ++stats_.frames_malformed;
+        close_session(sid);
+        return;
+      }
+      s.lease_deadline = loop_->now() + params_.lease;
+      if (!handle_message(sid, std::move(*msg))) return;
+      // handle_message may have flushed; the session object is stable
+      // (node-based map) but re-check existence on the next iteration.
+      if (sessions_.find(sid) == sessions_.end()) return;
+    }
+    if (s.rx.corrupt()) {
+      ++stats_.frames_malformed;
+      close_session(sid);
+      return;
+    }
+  }
+}
+
+bool FdaasServer::handle_message(std::uint64_t sid, ControlMessage msg) {
+  const auto it = sessions_.find(sid);
+  if (it == sessions_.end()) return false;
+  Session& s = *it->second;
+
+  if (auto* sub = std::get_if<SubscribeRequest>(&msg)) {
+    if (s.subs.size() >= params_.max_subscriptions_per_session) {
+      return send_frame(s, ErrorMsg{sub->request_id, ErrorCode::kLimit,
+                                    "subscription limit reached"});
+    }
+    std::uint64_t id = 0;
+    try {
+      id = service_.subscribe(sub->peer, sub->sender_id, sub->app, sub->qos);
+    } catch (const std::logic_error& e) {
+      return send_frame(
+          s, ErrorMsg{sub->request_id, ErrorCode::kInfeasibleQos, e.what()});
+    } catch (...) {
+      return send_frame(s, ErrorMsg{sub->request_id, ErrorCode::kInternal,
+                                    "subscribe failed"});
+    }
+    s.subs.insert(id);
+    sub_owner_[id] = sid;
+    ++stats_.subscriptions_total;
+    return send_frame(s, SubscribeOk{sub->request_id, id});
+  }
+
+  if (auto* unsub = std::get_if<UnsubscribeRequest>(&msg)) {
+    if (s.subs.erase(unsub->subscription_id) == 0) {
+      return send_frame(s,
+                        ErrorMsg{unsub->request_id, ErrorCode::kUnknownSubscription,
+                                 "not a subscription of this session"});
+    }
+    sub_owner_.erase(unsub->subscription_id);
+    service_.unsubscribe(unsub->subscription_id);
+    return send_frame(s, UnsubscribeOk{unsub->request_id});
+  }
+
+  if (auto* snap = std::get_if<SnapshotRequest>(&msg)) {
+    SnapshotReply reply{snap->request_id, {}};
+    const auto view = service_.view();
+    for (const auto& e : view->entries) {
+      if (s.subs.count(e.subscription) == 0) continue;
+      if (reply.entries.size() >= kMaxSnapshotEntries) break;
+      reply.entries.push_back({e.subscription, e.output, e.since});
+    }
+    return send_frame(s, reply);
+  }
+
+  if (auto* ping = std::get_if<PingMsg>(&msg)) {
+    return send_frame(
+        s, PongMsg{ping->nonce,
+                   static_cast<std::uint64_t>(params_.lease / ticks_from_ms(1))});
+  }
+
+  // Server-bound streams must only carry the four request types; a
+  // client echoing server frames is broken or hostile.
+  ++stats_.frames_malformed;
+  close_session(sid);
+  return false;
+}
+
+void FdaasServer::deliver(const shard::ShardedMonitorService::StatusEvent& event) {
+  const auto owner = sub_owner_.find(event.subscription);
+  if (owner == sub_owner_.end()) {
+    ++stats_.events_unroutable;
+    return;
+  }
+  const auto it = sessions_.find(owner->second);
+  if (it == sessions_.end()) {
+    ++stats_.events_unroutable;
+    return;
+  }
+  if (send_frame(*it->second,
+                 EventMsg{event.subscription, event.output, event.when})) {
+    ++stats_.events_pushed;
+  }
+}
+
+bool FdaasServer::send_frame(Session& s, const ControlMessage& msg) {
+  const std::vector<std::byte> frame = encode_frame(msg);
+  const std::size_t pending = s.tx.size() - s.tx_pos;
+  if (pending + frame.size() > params_.max_send_queue_bytes) {
+    // Slow client: its backlog would exceed the cap. Evict — the shards
+    // and every healthy session keep their cadence.
+    ++stats_.slow_evictions;
+    close_session(s.id);
+    return false;
+  }
+  s.tx.insert(s.tx.end(), frame.begin(), frame.end());
+  return flush(s);
+}
+
+bool FdaasServer::flush(Session& s) {
+  while (s.tx_pos < s.tx.size()) {
+    const auto w = s.conn.write_some(
+        std::span<const std::byte>(s.tx.data() + s.tx_pos, s.tx.size() - s.tx_pos));
+    if (w.status == net::TcpConn::IoStatus::kClosed) {
+      ++stats_.disconnects;
+      close_session(s.id);
+      return false;
+    }
+    if (w.status == net::TcpConn::IoStatus::kWouldBlock) break;
+    stats_.bytes_sent += w.bytes;
+    s.tx_pos += w.bytes;
+  }
+  if (s.tx_pos >= s.tx.size()) {
+    s.tx.clear();
+    s.tx_pos = 0;
+    if (s.want_write) {
+      s.want_write = false;
+      loop_->update_fd(s.conn.fd(), net::kFdRead);
+    }
+  } else {
+    if (s.tx_pos > 4096 && s.tx_pos * 2 >= s.tx.size()) {
+      s.tx.erase(s.tx.begin(), s.tx.begin() + s.tx_pos);
+      s.tx_pos = 0;
+    }
+    if (!s.want_write) {
+      s.want_write = true;
+      loop_->update_fd(s.conn.fd(), net::kFdRead | net::kFdWrite);
+    }
+  }
+  return true;
+}
+
+void FdaasServer::close_session(std::uint64_t sid) {
+  const auto it = sessions_.find(sid);
+  if (it == sessions_.end()) return;
+  Session& s = *it->second;
+  loop_->unwatch_fd(s.conn.fd());
+  for (const std::uint64_t sub : s.subs) {
+    sub_owner_.erase(sub);
+    if (service_.running()) {
+      try {
+        service_.unsubscribe(sub);
+      } catch (...) {
+        // Service raced into shutdown; its own stop() discards state.
+      }
+    }
+  }
+  stats_.conn_soft_errors += s.conn.soft_errors();
+  s.conn.close();
+  sessions_.erase(it);
+}
+
+void FdaasServer::expire_leases() {
+  const Tick now = loop_->now();
+  std::vector<std::uint64_t> expired;
+  for (const auto& [sid, s] : sessions_) {
+    if (s->lease_deadline <= now) expired.push_back(sid);
+  }
+  for (const std::uint64_t sid : expired) {
+    ++stats_.lease_expiries;
+    close_session(sid);
+  }
+}
+
+FdaasServer::Stats FdaasServer::collect_stats() {
+  Stats out = stats_;
+  out.sessions_active = sessions_.size();
+  out.subscriptions_active = sub_owner_.size();
+  out.accept_resource_failures = listener_.resource_failures();
+  out.accept_aborted = listener_.aborted_accepts();
+  return out;
+}
+
+FdaasServer::Stats FdaasServer::stats() {
+  if (!running_) return collect_stats();
+  auto prom = std::make_shared<std::promise<Stats>>();
+  auto fut = prom->get_future();
+  post([this, prom] { prom->set_value(collect_stats()); });
+  return fut.get();
+}
+
+void FdaasServer::inject_events(
+    std::vector<shard::ShardedMonitorService::StatusEvent> events) {
+  TWFD_CHECK_MSG(running_, "inject_events() requires a started server");
+  auto prom = std::make_shared<std::promise<void>>();
+  auto fut = prom->get_future();
+  post([this, evs = std::move(events), prom] {
+    for (const auto& e : evs) deliver(e);
+    prom->set_value();
+  });
+  fut.get();
+}
+
+}  // namespace twfd::api

@@ -1,0 +1,166 @@
+// FDaaS control plane: serves Suspect/Trust verdicts from a
+// shard::ShardedMonitorService to remote TCP subscribers.
+//
+// One FdaasServer runs one API thread with a private net::EventLoop.
+// That thread owns every session object and all server counters — the
+// same shard-confinement discipline as the monitoring shards — and is,
+// by construction, the sole caller of ShardedMonitorService::
+// poll_events(), draining transitions on a fixed cadence and pushing
+// them as EVENT frames to the owning sessions. Toward the shards the
+// API thread is an ordinary control-plane client (subscribe/unsubscribe
+// marshal commands and block briefly on the owning shard); no shard
+// thread ever blocks on the API thread, so event delivery can never
+// stall detection. See docs/runtime.md "The FDaaS API thread".
+//
+// Sessions are defended in three ways (docs/protocol.md):
+//   * bounded per-session send queues — a client that stops reading is
+//     evicted the moment its backlog would exceed the cap, so one slow
+//     subscriber cannot hold memory or delay the delivery loop;
+//   * lease-based expiry — a half-open client (network gone, no FIN)
+//     stops renewing and is reclaimed, subscriptions included;
+//   * a poisoned stream (bad magic, hostile length prefix) drops the
+//     session immediately; counters record every such exit.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "api/control.hpp"
+#include "common/mpsc_queue.hpp"
+#include "net/event_loop.hpp"
+#include "net/tcp.hpp"
+#include "shard/sharded_monitor_service.hpp"
+
+namespace twfd::api {
+
+class FdaasServer {
+ public:
+  struct Params {
+    std::uint16_t port = 0;  ///< TCP listen port (0 = ephemeral)
+    /// Session lease; any well-formed inbound frame renews it. A session
+    /// silent for a full lease is expired and its subscriptions released.
+    Tick lease = ticks_from_sec(10);
+    /// Cadence of the poll_events() drain (event push latency bound).
+    Tick poll_interval = ticks_from_ms(20);
+    /// Per-session cap on unsent bytes; exceeding it evicts the session.
+    std::size_t max_send_queue_bytes = 256 * 1024;
+    std::size_t max_sessions = 1024;
+    std::size_t max_subscriptions_per_session = 1024;
+    /// Back-off before re-arming accept after descriptor exhaustion.
+    Tick accept_retry_delay = ticks_from_ms(100);
+    /// SO_SNDBUF per accepted connection (0 = kernel default; tests
+    /// shrink it to provoke backpressure deterministically).
+    int conn_sndbuf_bytes = 0;
+  };
+
+  /// Server observability (API-thread counters; gauges are instantaneous).
+  struct Stats {
+    std::uint64_t sessions_accepted = 0;
+    std::uint64_t sessions_active = 0;    ///< gauge
+    std::uint64_t sessions_rejected = 0;  ///< over max_sessions
+    std::uint64_t subscriptions_active = 0;  ///< gauge
+    std::uint64_t subscriptions_total = 0;
+    std::uint64_t frames_received = 0;
+    std::uint64_t frames_malformed = 0;  ///< bad body / hostile prefix
+    std::uint64_t events_pushed = 0;
+    std::uint64_t events_unroutable = 0;  ///< no session owns the id
+    std::uint64_t slow_evictions = 0;
+    std::uint64_t lease_expiries = 0;
+    std::uint64_t disconnects = 0;  ///< EOF / reset closes
+    std::uint64_t accept_resource_failures = 0;
+    std::uint64_t accept_aborted = 0;
+    std::uint64_t conn_soft_errors = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t bytes_received = 0;
+
+    Stats& operator+=(const Stats& o);
+  };
+
+  /// The service must outlive the server; stop() the server BEFORE
+  /// stopping the service (teardown releases client subscriptions).
+  FdaasServer(shard::ShardedMonitorService& service, Params params);
+  ~FdaasServer();
+
+  FdaasServer(const FdaasServer&) = delete;
+  FdaasServer& operator=(const FdaasServer&) = delete;
+
+  /// Spawns the API thread. The listen socket exists (and port() is
+  /// valid) from construction, so clients may connect immediately.
+  void start();
+  /// Stops the API thread, closes every session and releases their
+  /// subscriptions (when the service is still running). Idempotent.
+  void stop();
+  [[nodiscard]] bool running() const noexcept { return running_; }
+
+  [[nodiscard]] std::uint16_t port() const { return listener_.local_port(); }
+
+  /// Race-free counters (marshalled onto the API thread while running).
+  [[nodiscard]] Stats stats();
+
+  /// Load-generation / test seam: delivers synthetic events through the
+  /// exact push path (routing, send queues, eviction), marshalled onto
+  /// the API thread and acknowledged before return.
+  void inject_events(std::vector<shard::ShardedMonitorService::StatusEvent> events);
+
+ private:
+  using Command = std::function<void()>;
+
+  struct Session {
+    std::uint64_t id = 0;
+    net::TcpConn conn;
+    net::SocketAddress peer;
+    FrameAssembler rx;
+    std::vector<std::byte> tx;  // unsent frames; [tx_pos, size) pending
+    std::size_t tx_pos = 0;
+    bool want_write = false;
+    Tick lease_deadline = 0;
+    std::set<std::uint64_t> subs;  // global subscription ids
+  };
+
+  void worker_main();
+  void drain_commands();
+  void post(Command cmd);
+  void on_accept();
+  void on_session_io(std::uint64_t sid, unsigned events);
+  void on_readable(std::uint64_t sid);
+  /// True while the session still exists.
+  bool handle_message(std::uint64_t sid, ControlMessage msg);
+  void deliver(const shard::ShardedMonitorService::StatusEvent& event);
+  /// Queues a frame and flushes opportunistically. False when the frame
+  /// evicted the session (send-queue cap) or the connection died.
+  bool send_frame(Session& s, const ControlMessage& msg);
+  /// Writes pending bytes; false when the session was closed.
+  bool flush(Session& s);
+  void close_session(std::uint64_t sid);
+  void expire_leases();
+  void arm_poll_timer();
+  void arm_lease_timer();
+  [[nodiscard]] Stats collect_stats();
+
+  shard::ShardedMonitorService& service_;
+  Params params_;
+  net::TcpListener listener_;
+  std::unique_ptr<net::EventLoop> loop_;
+  MpscQueue<Command> commands_;
+  std::thread thread_;
+  std::atomic<bool> stop_requested_{false};
+  bool running_ = false;
+
+  // --- API-thread-only state ---
+  std::map<std::uint64_t, std::unique_ptr<Session>> sessions_;
+  std::map<std::uint64_t, std::uint64_t> sub_owner_;  // sub id -> session id
+  std::uint64_t next_session_id_ = 1;
+  std::uint64_t seen_resource_failures_ = 0;
+  bool accept_parked_ = false;
+  TimerId poll_timer_ = kInvalidTimer;
+  TimerId lease_timer_ = kInvalidTimer;
+  Stats stats_;
+};
+
+}  // namespace twfd::api

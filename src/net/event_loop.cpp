@@ -30,6 +30,7 @@ EventLoop::Stats& EventLoop::Stats::operator+=(const Stats& o) {
   wakeups_timer += o.wakeups_timer;
   wakeups_cross += o.wakeups_cross;
   wakeups_spurious += o.wakeups_spurious;
+  fd_dispatches += o.fd_dispatches;
   return *this;
 }
 
@@ -108,6 +109,18 @@ const SocketAddress& EventLoop::peer_address(PeerId id) const {
   TWFD_CHECK_MSG(id >= 1 && id <= peer_addrs_.size(), "unknown peer");
   return peer_addrs_[id - 1];
 }
+
+void EventLoop::watch_fd(int fd, unsigned interest, FdHandler handler) {
+  TWFD_CHECK_MSG(fd >= 0, "watch_fd: bad fd");
+  watches_[fd] = FdWatch{interest, ++watch_generation_, std::move(handler)};
+}
+
+void EventLoop::update_fd(int fd, unsigned interest) {
+  const auto it = watches_.find(fd);
+  if (it != watches_.end()) it->second.interest = interest;
+}
+
+void EventLoop::unwatch_fd(int fd) { watches_.erase(fd); }
 
 void EventLoop::inject_datagram(const SocketAddress& from,
                                 std::span<const std::byte> data) {
@@ -256,15 +269,51 @@ void EventLoop::run_until(Tick deadline) {
     const int timeout_ms =
         static_cast<int>((capped + ticks_from_ms(1) - 1) / ticks_from_ms(1));
 
-    pollfd pfds[2] = {{socket_.fd(), POLLIN, 0}, {wake_fd_, POLLIN, 0}};
-    const int rc = ::poll(pfds, 2, timeout_ms);
-    const bool woken = rc > 0 && (pfds[1].revents & POLLIN) != 0;
+    pfds_.clear();
+    pfds_.push_back({socket_.fd(), POLLIN, 0});
+    pfds_.push_back({wake_fd_, POLLIN, 0});
+    poll_snapshot_.clear();
+    for (const auto& [fd, w] : watches_) {
+      short ev = 0;
+      if (w.interest & kFdRead) ev |= POLLIN;
+      if (w.interest & kFdWrite) ev |= POLLOUT;
+      if (ev == 0) continue;  // parked watch (e.g. accept backoff)
+      pfds_.push_back({fd, ev, 0});
+      poll_snapshot_.emplace_back(fd, w.generation);
+    }
+    const int rc = ::poll(pfds_.data(), static_cast<nfds_t>(pfds_.size()),
+                          timeout_ms);
+    const bool woken = rc > 0 && (pfds_[1].revents & POLLIN) != 0;
     if (woken) {
       drain_wake_fd();
       ++stats_.wakeups_cross;
       if (on_wake_) on_wake_();
     }
-    if (rc > 0 && (pfds[0].revents & POLLIN) != 0) {
+    bool fd_io = false;
+    if (rc > 0) {
+      for (std::size_t i = 2; i < pfds_.size() && !is_stopped(); ++i) {
+        const short revents = pfds_[i].revents;
+        if (revents == 0) continue;
+        fd_io = true;
+        const auto it = watches_.find(pfds_[i].fd);
+        // Skip watches dropped — or dropped and replaced — by an earlier
+        // handler this round; a replacement gets fresh readiness next turn.
+        if (it == watches_.end() ||
+            it->second.generation != poll_snapshot_[i - 2].second) {
+          continue;
+        }
+        unsigned events = 0;
+        if (revents & (POLLIN | POLLHUP | POLLERR | POLLNVAL)) events |= kFdRead;
+        if (revents & POLLOUT) events |= kFdWrite;
+        if (events == 0) continue;
+        // Copy: the handler may unwatch its own fd, destroying the stored
+        // std::function mid-call otherwise.
+        const FdHandler handler = it->second.handler;
+        ++stats_.fd_dispatches;
+        handler(events);
+      }
+    }
+    if (rc > 0 && ((pfds_[0].revents & POLLIN) != 0 || fd_io)) {
       ++stats_.wakeups_io;
     } else if (next_due <= now()) {
       ++stats_.wakeups_timer;

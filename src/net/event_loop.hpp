@@ -21,6 +21,8 @@
 // MpscQueue) and then calling wake().
 #pragma once
 
+#include <poll.h>
+
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -32,6 +34,12 @@
 #include "net/udp_socket.hpp"
 
 namespace twfd::net {
+
+/// Interest/readiness bits for EventLoop::watch_fd. POLLHUP/POLLERR/
+/// POLLNVAL are always delivered as kFdRead so the handler's read path
+/// observes the EOF/error and can clean up.
+inline constexpr unsigned kFdRead = 1u;
+inline constexpr unsigned kFdWrite = 2u;
 
 class EventLoop final : public Clock, public Transport, public TimerService {
  public:
@@ -51,6 +59,8 @@ class EventLoop final : public Clock, public Transport, public TimerService {
     std::uint64_t wakeups_timer = 0;
     std::uint64_t wakeups_cross = 0;
     std::uint64_t wakeups_spurious = 0;
+    /// Readiness callbacks delivered to watched fds (watch_fd).
+    std::uint64_t fd_dispatches = 0;
 
     /// Element-wise sum (shard aggregation).
     Stats& operator+=(const Stats& o);
@@ -90,6 +100,24 @@ class EventLoop final : public Clock, public Transport, public TimerService {
   [[nodiscard]] const SocketAddress& peer_address(PeerId id) const;
   [[nodiscard]] std::uint16_t local_port() const { return socket_.local_port(); }
   [[nodiscard]] Runtime runtime() noexcept { return {this, this, this}; }
+
+  // --- External fd watches (the TCP control plane; loop-thread only) ---
+
+  /// Readiness bits (kFdRead/kFdWrite) actually pending on the fd.
+  using FdHandler = std::function<void(unsigned events)>;
+
+  /// Polls `fd` for `interest` (kFdRead|kFdWrite; 0 parks the watch) and
+  /// invokes `handler` with the ready bits each loop turn. One watch per
+  /// fd; re-watching an fd replaces the previous watch. The handler may
+  /// watch/unwatch any fd, including its own.
+  void watch_fd(int fd, unsigned interest, FdHandler handler);
+  /// Changes the interest set of an existing watch (no-op when unknown).
+  void update_fd(int fd, unsigned interest);
+  /// Drops the watch; after return the handler will not be called again.
+  void unwatch_fd(int fd);
+  [[nodiscard]] std::size_t watched_fd_count() const noexcept {
+    return watches_.size();
+  }
 
   /// Feeds a datagram into the receive path as if it had arrived on this
   /// loop's socket (loop-thread only). This is the shard hand-off: a
@@ -186,6 +214,20 @@ class EventLoop final : public Clock, public Transport, public TimerService {
 
   std::map<SocketAddress, PeerId> peer_ids_;
   std::vector<SocketAddress> peer_addrs_;  // index = PeerId - 1
+
+  // External fd watches. The generation stamp guards dispatch against a
+  // watch being dropped and a new one registered on the same fd number
+  // by an earlier handler in the same poll round.
+  struct FdWatch {
+    unsigned interest = 0;
+    std::uint64_t generation = 0;
+    FdHandler handler;
+  };
+  std::map<int, FdWatch> watches_;
+  std::uint64_t watch_generation_ = 0;
+  // Per-turn poll scratch (member to avoid reallocation each turn).
+  std::vector<pollfd> pfds_;
+  std::vector<std::pair<int, std::uint64_t>> poll_snapshot_;
 
   // Invariant: heap_.size() == timers_.size() + stale_. Each live timer
   // has exactly one canonical entry (at == record.heap_at); every other

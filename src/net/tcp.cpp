@@ -1,0 +1,217 @@
+#include "net/tcp.hpp"
+
+#include <fcntl.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <system_error>
+#include <utility>
+
+namespace twfd::net {
+namespace {
+
+void set_nonblocking(int fd) {
+  ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL) | O_NONBLOCK);
+  ::fcntl(fd, F_SETFD, ::fcntl(fd, F_GETFD) | FD_CLOEXEC);
+}
+
+void set_nodelay(int fd) noexcept {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TcpListener
+// ---------------------------------------------------------------------------
+
+TcpListener::TcpListener(const Options& options) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw std::system_error(errno, std::generic_category(), "socket(TCP)");
+  }
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  set_nonblocking(fd_);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(options.port);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    const int err = errno;
+    close_fd();
+    throw std::system_error(err, std::generic_category(), "bind(TCP)");
+  }
+  if (::listen(fd_, options.backlog) != 0) {
+    const int err = errno;
+    close_fd();
+    throw std::system_error(err, std::generic_category(), "listen()");
+  }
+}
+
+TcpListener::~TcpListener() { close_fd(); }
+
+TcpListener::TcpListener(TcpListener&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      resource_failures_(other.resource_failures_),
+      aborted_accepts_(other.aborted_accepts_) {}
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  if (this != &other) {
+    close_fd();
+    fd_ = std::exchange(other.fd_, -1);
+    resource_failures_ = other.resource_failures_;
+    aborted_accepts_ = other.aborted_accepts_;
+  }
+  return *this;
+}
+
+void TcpListener::close_fd() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::uint16_t TcpListener::local_port() const {
+  sockaddr_in addr{};
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    throw std::system_error(errno, std::generic_category(), "getsockname()");
+  }
+  return ntohs(addr.sin_port);
+}
+
+std::optional<TcpListener::Accepted> TcpListener::accept() {
+  for (;;) {
+    sockaddr_in addr{};
+    socklen_t len = sizeof addr;
+    const int cfd = ::accept(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    if (cfd >= 0) {
+      set_nonblocking(cfd);
+      set_nodelay(cfd);
+      return Accepted{cfd, SocketAddress::from_sockaddr(addr)};
+    }
+    const int err = errno;
+    if (err == EINTR) continue;
+    if (err == EAGAIN || err == EWOULDBLOCK) return std::nullopt;
+    if (err == ECONNABORTED || err == EPROTO) {
+      ++aborted_accepts_;
+      continue;  // the next backlog entry may be healthy
+    }
+    // EMFILE/ENFILE/... and anything unexpected: count and report empty;
+    // the listener fd stays valid, the caller backs off.
+    ++resource_failures_;
+    return std::nullopt;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TcpConn
+// ---------------------------------------------------------------------------
+
+TcpConn::TcpConn(int fd) : fd_(fd) {
+  set_nonblocking(fd_);
+  set_nodelay(fd_);
+}
+
+TcpConn::~TcpConn() { close(); }
+
+TcpConn::TcpConn(TcpConn&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), soft_errors_(other.soft_errors_) {}
+
+TcpConn& TcpConn::operator=(TcpConn&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    soft_errors_ = other.soft_errors_;
+  }
+  return *this;
+}
+
+void TcpConn::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::optional<TcpConn> TcpConn::connect(const SocketAddress& to, Tick timeout) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return std::nullopt;
+  set_nonblocking(fd);
+
+  const sockaddr_in addr = to.to_sockaddr();
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0 && errno != EINPROGRESS) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  if (rc != 0) {
+    // Handshake in flight: wait for writability, then read the verdict.
+    pollfd pfd{fd, POLLOUT, 0};
+    const int timeout_ms =
+        static_cast<int>((timeout + ticks_from_ms(1) - 1) / ticks_from_ms(1));
+    do {
+      rc = ::poll(&pfd, 1, timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    int err = 0;
+    socklen_t len = sizeof err;
+    if (rc <= 0 ||
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      ::close(fd);
+      return std::nullopt;
+    }
+  }
+  return TcpConn(fd);
+}
+
+TcpConn::IoResult TcpConn::read_some(std::span<std::byte> buf) {
+  if (fd_ < 0) return {IoStatus::kClosed, 0};
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buf.data(), buf.size(), 0);
+    if (n > 0) return {IoStatus::kOk, static_cast<std::size_t>(n)};
+    if (n == 0) return {IoStatus::kClosed, 0};  // orderly EOF
+    const int err = errno;
+    if (err == EINTR) continue;
+    if (err == EAGAIN || err == EWOULDBLOCK) return {IoStatus::kWouldBlock, 0};
+    ++soft_errors_;  // ECONNRESET, ETIMEDOUT, ...
+    return {IoStatus::kClosed, 0};
+  }
+}
+
+TcpConn::IoResult TcpConn::write_some(std::span<const std::byte> buf) {
+  if (fd_ < 0) return {IoStatus::kClosed, 0};
+  if (buf.empty()) return {IoStatus::kOk, 0};
+  for (;;) {
+    const ssize_t n = ::send(fd_, buf.data(), buf.size(), MSG_NOSIGNAL);
+    if (n >= 0) return {IoStatus::kOk, static_cast<std::size_t>(n)};
+    const int err = errno;
+    if (err == EINTR) continue;
+    if (err == EAGAIN || err == EWOULDBLOCK) return {IoStatus::kWouldBlock, 0};
+    ++soft_errors_;  // EPIPE, ECONNRESET, ...
+    return {IoStatus::kClosed, 0};
+  }
+}
+
+void TcpConn::set_send_buffer(int bytes) noexcept {
+  if (fd_ >= 0 && bytes > 0) {
+    ::setsockopt(fd_, SOL_SOCKET, SO_SNDBUF, &bytes, sizeof bytes);
+  }
+}
+
+void TcpConn::set_recv_buffer(int bytes) noexcept {
+  if (fd_ >= 0 && bytes > 0) {
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &bytes, sizeof bytes);
+  }
+}
+
+}  // namespace twfd::net

@@ -1,0 +1,131 @@
+// Non-blocking IPv4 TCP primitives for the FDaaS control plane
+// (src/api): a listening socket and a byte-stream connection.
+//
+// Hardening stance mirrors UdpSocket: constructors throw (setup errors
+// are programming/deployment errors), but the accept/read/write hot
+// paths never do. EINTR is retried, EAGAIN is reported as would-block,
+// and everything else — ECONNRESET, EPIPE, ETIMEDOUT on connections;
+// ECONNABORTED and the EMFILE/ENFILE resource-exhaustion family on
+// accept — is counted and mapped to a closed/empty result, so an event
+// loop can keep serving healthy clients while the counters surface the
+// noise (FdaasServer folds them into its stats).
+#pragma once
+
+#include <netinet/in.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "common/time.hpp"
+#include "net/udp_socket.hpp"
+
+namespace twfd::net {
+
+class TcpListener {
+ public:
+  struct Options {
+    std::uint16_t port = 0;  ///< 0 = ephemeral
+    int backlog = 128;
+  };
+
+  /// Opens, binds (SO_REUSEADDR) and listens on 0.0.0.0:`port` with a
+  /// non-blocking socket. Throws std::system_error on failure.
+  explicit TcpListener(const Options& options);
+  ~TcpListener();
+
+  TcpListener(TcpListener&& other) noexcept;
+  TcpListener& operator=(TcpListener&& other) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  struct Accepted {
+    int fd = -1;  ///< non-blocking, TCP_NODELAY; ownership passes to the caller
+    SocketAddress peer;
+  };
+
+  /// Non-blocking accept; std::nullopt when no connection is pending or
+  /// the process/system is out of descriptors (see resource_failures()).
+  /// Retries EINTR; connections that died in the backlog (ECONNABORTED/
+  /// EPROTO) are skipped and counted.
+  [[nodiscard]] std::optional<Accepted> accept();
+
+  /// The locally bound port (resolved after ephemeral bind).
+  [[nodiscard]] std::uint16_t local_port() const;
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+  /// Accept attempts that failed on descriptor/memory exhaustion
+  /// (EMFILE/ENFILE/ENOBUFS/ENOMEM). The listen queue still holds the
+  /// connection, so poll() will report the fd readable again immediately:
+  /// callers should park accept interest briefly instead of spinning.
+  [[nodiscard]] std::uint64_t resource_failures() const noexcept {
+    return resource_failures_;
+  }
+  /// Connections that were already dead when accepted (ECONNABORTED etc).
+  [[nodiscard]] std::uint64_t aborted_accepts() const noexcept {
+    return aborted_accepts_;
+  }
+
+ private:
+  void close_fd() noexcept;
+  int fd_ = -1;
+  std::uint64_t resource_failures_ = 0;
+  std::uint64_t aborted_accepts_ = 0;
+};
+
+/// A non-blocking TCP connection (accepted or dialled). Never throws
+/// after construction; peers vanishing mid-stream surface as kClosed
+/// results plus a soft-error count, not exceptions.
+class TcpConn {
+ public:
+  TcpConn() = default;
+  /// Adopts `fd`, switching it to non-blocking + TCP_NODELAY.
+  explicit TcpConn(int fd);
+  ~TcpConn();
+
+  TcpConn(TcpConn&& other) noexcept;
+  TcpConn& operator=(TcpConn&& other) noexcept;
+  TcpConn(const TcpConn&) = delete;
+  TcpConn& operator=(const TcpConn&) = delete;
+
+  /// Dials `to`, waiting at most `timeout` for the handshake.
+  /// std::nullopt on refusal/timeout/error.
+  [[nodiscard]] static std::optional<TcpConn> connect(const SocketAddress& to,
+                                                     Tick timeout);
+
+  enum class IoStatus : std::uint8_t {
+    kOk,          ///< bytes > 0 transferred
+    kWouldBlock,  ///< no space / no data right now (bytes == 0)
+    kClosed,      ///< orderly EOF or hard error; stop using the connection
+  };
+  struct IoResult {
+    IoStatus status = IoStatus::kClosed;
+    std::size_t bytes = 0;
+  };
+
+  /// Reads whatever is available into `buf` (at most buf.size()).
+  [[nodiscard]] IoResult read_some(std::span<std::byte> buf);
+  /// Writes as much of `buf` as the socket accepts (partial writes are
+  /// normal). MSG_NOSIGNAL: a dead peer yields kClosed, never SIGPIPE.
+  [[nodiscard]] IoResult write_some(std::span<const std::byte> buf);
+
+  /// SO_SNDBUF / SO_RCVBUF requests, best effort (tests shrink them to
+  /// provoke backpressure quickly).
+  void set_send_buffer(int bytes) noexcept;
+  void set_recv_buffer(int bytes) noexcept;
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  void close() noexcept;
+
+  /// Hard errors observed on read/write (ECONNRESET, EPIPE, ETIMEDOUT,
+  /// ...). Orderly EOF is not an error. Read from the owning thread.
+  [[nodiscard]] std::uint64_t soft_errors() const noexcept { return soft_errors_; }
+
+ private:
+  int fd_ = -1;
+  std::uint64_t soft_errors_ = 0;
+};
+
+}  // namespace twfd::net

@@ -1,61 +1,15 @@
 #include "net/wire.hpp"
 
+#include "net/wire_codec.hpp"
+
 namespace twfd::net {
 namespace {
 
+using codec::Reader;
+using codec::Writer;
+
 constexpr std::uint8_t kTypeHeartbeat = 1;
 constexpr std::uint8_t kTypeIntervalRequest = 2;
-
-class Writer {
- public:
-  explicit Writer(std::size_t capacity) { buf_.reserve(capacity); }
-
-  void u8(std::uint8_t v) { buf_.push_back(static_cast<std::byte>(v)); }
-  void u32(std::uint32_t v) {
-    for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
-  }
-  void u64(std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
-  }
-  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
-
-  std::vector<std::byte> take() { return std::move(buf_); }
-
- private:
-  std::vector<std::byte> buf_;
-};
-
-class Reader {
- public:
-  explicit Reader(std::span<const std::byte> data) : data_(data) {}
-
-  [[nodiscard]] bool ok() const noexcept { return ok_; }
-  [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
-
-  std::uint8_t u8() {
-    if (pos_ + 1 > data_.size()) {
-      ok_ = false;
-      return 0;
-    }
-    return static_cast<std::uint8_t>(data_[pos_++]);
-  }
-  std::uint32_t u32() {
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(u8()) << (8 * i);
-    return v;
-  }
-  std::uint64_t u64() {
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(u8()) << (8 * i);
-    return v;
-  }
-  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
-
- private:
-  std::span<const std::byte> data_;
-  std::size_t pos_ = 0;
-  bool ok_ = true;
-};
 
 void header(Writer& w, std::uint8_t type) {
   w.u32(kWireMagic);

@@ -1,0 +1,100 @@
+// Little-endian byte codec shared by every TWFD wire format (the UDP
+// heartbeat datagrams in net/wire.* and the TCP control frames in
+// src/api/control.*).
+//
+// Explicit per-byte shifts — no struct punning, no host-order leaks —
+// and a Reader that never touches memory past the buffer: out-of-range
+// reads latch ok() = false and return zeros, so decoders can parse
+// optimistically and reject once at the end.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace twfd::net::codec {
+
+class Writer {
+ public:
+  explicit Writer(std::size_t capacity) { buf_.reserve(capacity); }
+
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<std::byte>(v)); }
+  void u16(std::uint16_t v) {
+    for (int i = 0; i < 2; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  /// u16 length followed by the raw bytes (the only variable-size field).
+  void str16(const std::string& s) {
+    u16(static_cast<std::uint16_t>(s.size()));
+    for (const char c : s) u8(static_cast<std::uint8_t>(c));
+  }
+
+  std::vector<std::byte> take() { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::byte> data) : data_(data) {}
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
+
+  std::uint8_t u8() {
+    if (pos_ + 1 > data_.size()) {
+      ok_ = false;
+      return 0;
+    }
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+  std::uint16_t u16() {
+    std::uint16_t v = 0;
+    for (int i = 0; i < 2; ++i) v |= static_cast<std::uint16_t>(u8()) << (8 * i);
+    return v;
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(u8()) << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(u8()) << (8 * i);
+    return v;
+  }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64() { return std::bit_cast<double>(u64()); }
+  /// Counterpart of Writer::str16; declared lengths beyond `max_len` or
+  /// past the buffer fail the whole read.
+  std::string str16(std::size_t max_len) {
+    const std::uint16_t len = u16();
+    if (!ok_ || len > max_len || len > remaining()) {
+      ok_ = false;
+      return {};
+    }
+    std::string s;
+    s.reserve(len);
+    for (std::uint16_t i = 0; i < len; ++i) s.push_back(static_cast<char>(u8()));
+    return s;
+  }
+
+ private:
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace twfd::net::codec

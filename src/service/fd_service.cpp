@@ -141,8 +141,16 @@ void FdService::rebuild_detector(Remote& remote) {
   // sender's Delta_i) is changing, so old normalised arrivals are no
   // longer comparable. Pending freshness timers are re-armed (not
   // cancelled) by the arm_timer pass at the end.
+  // Normalise arrivals by the interval the sender actually emits at, not
+  // the one we asked for: senders only honour requests downwards (another
+  // service may have negotiated a smaller Delta_i,min), and Chen-style
+  // estimation with a mismatched Delta_i skews every expected arrival by
+  // (assumed - actual), so detection time drifts without bound. Before
+  // the first heartbeat the requested interval is the best guess.
+  const Tick delta_i = remote.sender_interval > 0 ? remote.sender_interval
+                                                  : remote.requested_interval;
   remote.detector = std::make_unique<core::SharedMarginDetector>(
-      params_.windows, std::max<Tick>(remote.requested_interval, 1));
+      params_.windows, std::max<Tick>(delta_i, 1));
   for (std::size_t j = 0; j < remote.subs.size(); ++j) {
     remote.subs[j].shared_index =
         remote.detector->add_application(remote.subs[j].app, remote.subs[j].margin);
@@ -158,6 +166,15 @@ void FdService::handle_heartbeat(PeerId from, const net::HeartbeatMsg& msg,
   Remote* remote = find_remote(from);
   if (remote == nullptr || msg.sender_id != remote->sender_id) return;
   if (!remote->detector) return;
+
+  // Heartbeats are self-describing (wire.hpp): adopt the sender's
+  // advertised Delta_i whenever it changes. Estimation state restarts on
+  // a rebuild, but advertised intervals only change when the sender
+  // applies a negotiation, not per heartbeat.
+  if (msg.interval > 0 && msg.interval != remote->sender_interval) {
+    remote->sender_interval = msg.interval;
+    rebuild_detector(*remote);
+  }
 
   ++heartbeats_;
   remote->estimator.on_heartbeat(msg.seq, msg.send_time, arrival);

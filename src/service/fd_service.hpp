@@ -116,6 +116,8 @@ class FdService {
     config::CombinedConfig combined;
     trace::NetworkEstimator estimator;
     Tick requested_interval = 0;
+    Tick sender_interval = 0;  // Delta_i the sender's heartbeats advertise
+                               // (0 until the first heartbeat arrives)
     TimerId reconfigure_timer = kInvalidTimer;
   };
 

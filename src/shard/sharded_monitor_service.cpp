@@ -80,7 +80,10 @@ ShardedMonitorService::ShardedMonitorService(Params params)
     s->loop->set_wake_handler([this, s] { drain_commands(*s); });
   }
 
-  view_.store(std::make_shared<const Snapshot>(), std::memory_order_release);
+  {
+    std::lock_guard lk(view_mu_);
+    view_ = std::make_shared<const Snapshot>();
+  }
 }
 
 ShardedMonitorService::~ShardedMonitorService() { stop(); }
@@ -282,8 +285,8 @@ void ShardedMonitorService::republish_locked() {
   snap->entries.reserve(state_.size());
   for (const auto& [id, entry] : state_) snap->entries.push_back(entry);
   snap->events_seen = events_seen_;
-  view_.store(std::shared_ptr<const Snapshot>(std::move(snap)),
-              std::memory_order_release);
+  std::lock_guard lk(view_mu_);
+  view_ = std::shared_ptr<const Snapshot>(std::move(snap));
 }
 
 ShardedMonitorService::ShardStats ShardedMonitorService::collect_stats_on_shard(

@@ -22,8 +22,9 @@
 //      marshalled to the owner's command queue and re-injected there, so
 //      decoding and detector updates stay shard-confined.
 //   3. Aggregation: Suspect/Trust transitions flow out through per-shard
-//      MPSC event queues, drained by poll_events() into an atomically
-//      published global view snapshot (lock-free readers via view()).
+//      MPSC event queues, drained by poll_events() into an immutable
+//      global view snapshot; view() hands readers the current snapshot
+//      pointer under a short mutex.
 //
 // See docs/runtime.md "Threading model" for the full rules, including
 // shutdown ordering.
@@ -91,8 +92,8 @@ class ShardedMonitorService {
     std::size_t shard = 0;
   };
 
-  /// Immutable global view published by poll_events(); readers get it
-  /// wait-free via view().
+  /// Immutable global view published by poll_events(); readers obtain
+  /// the current snapshot pointer via view().
   struct Snapshot {
     struct Entry {
       SubscriptionId subscription = 0;
@@ -161,9 +162,13 @@ class ShardedMonitorService {
   /// order. Serialized internally; returns the number of events drained.
   std::size_t poll_events(const std::function<void(const StatusEvent&)>& fn = {});
 
-  /// Latest published snapshot (never null after construction). Wait-free.
+  /// Latest published snapshot (never null after construction). Copies
+  /// the current pointer under a short mutex — held only for the copy,
+  /// never while a snapshot is being built — so the caller reads the
+  /// immutable Snapshot without further synchronisation.
   [[nodiscard]] std::shared_ptr<const Snapshot> view() const {
-    return view_.load(std::memory_order_acquire);
+    std::lock_guard lk(view_mu_);
+    return view_;
   }
 
   /// Race-free per-shard counters (marshalled; see ShardStats).
@@ -216,11 +221,17 @@ class ShardedMonitorService {
   std::atomic<SubscriptionId> next_sub_id_{1};
 
   // Aggregation state: agg_mu_ serializes the single logical consumer of
-  // the per-shard event queues; view_ is the lock-free read side.
+  // the per-shard event queues; view_mu_ guards only the published
+  // pointer and is held for a pointer copy, never while building a
+  // snapshot. (std::atomic<std::shared_ptr> would make readers wait-free,
+  // but libstdc++'s _Sp_atomic releases its embedded spin-lock with
+  // relaxed ordering, which ThreadSanitizer cannot model — concurrent
+  // load/store would report a false race.)
   std::mutex agg_mu_;
   std::map<SubscriptionId, Snapshot::Entry> state_;
   std::uint64_t events_seen_ = 0;
-  std::atomic<std::shared_ptr<const Snapshot>> view_;
+  mutable std::mutex view_mu_;
+  std::shared_ptr<const Snapshot> view_;
 };
 
 }  // namespace twfd::shard

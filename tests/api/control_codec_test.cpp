@@ -1,0 +1,289 @@
+// TWFC control-protocol codec: roundtrips, wire-layout stability, and
+// the hostile-input surface (mirrors the TWHD fuzz coverage in
+// FailureInjection.WireDecodeSurvives*). The codec is the trust boundary
+// of the FDaaS API — decode_body must reject, never crash, never
+// over-read, and the FrameAssembler must reassemble bodies from ANY
+// chunking of the byte stream while latching corrupt on hostile lengths.
+
+#include "api/control.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace twfd {
+namespace {
+
+using namespace twfd::api;
+
+/// encode_frame emits [u32 len][body]; decode_body wants just the body.
+std::span<const std::byte> body_of(const std::vector<std::byte>& frame) {
+  return std::span<const std::byte>(frame).subspan(4);
+}
+
+ControlMessage roundtrip(const ControlMessage& msg) {
+  const auto frame = encode_frame(msg);
+  const auto decoded = decode_body(body_of(frame));
+  EXPECT_TRUE(decoded.has_value());
+  return decoded.value_or(PingMsg{});
+}
+
+TEST(ControlCodec, RoundtripsEveryMessageType) {
+  {
+    const SubscribeRequest m{7, net::SocketAddress::parse("10.1.2.3", 4100), 42,
+                             "dashboard", {0.8, 1e-3, 4.0}};
+    const auto r = roundtrip(m);
+    const auto& d = std::get<SubscribeRequest>(r);
+    EXPECT_EQ(d.request_id, 7u);
+    EXPECT_EQ(d.peer, m.peer);
+    EXPECT_EQ(d.sender_id, 42u);
+    EXPECT_EQ(d.app, "dashboard");
+    EXPECT_DOUBLE_EQ(d.qos.td_upper_s, 0.8);
+    EXPECT_DOUBLE_EQ(d.qos.tmr_upper_per_s, 1e-3);
+    EXPECT_DOUBLE_EQ(d.qos.tm_upper_s, 4.0);
+  }
+  {
+    const auto r = roundtrip(UnsubscribeRequest{8, 99});
+    const auto& d = std::get<UnsubscribeRequest>(r);
+    EXPECT_EQ(d.request_id, 8u);
+    EXPECT_EQ(d.subscription_id, 99u);
+  }
+  {
+    const auto r = roundtrip(SnapshotRequest{9});
+    EXPECT_EQ(std::get<SnapshotRequest>(r).request_id, 9u);
+  }
+  {
+    const auto r = roundtrip(PingMsg{0x1122334455667788ull});
+    EXPECT_EQ(std::get<PingMsg>(r).nonce, 0x1122334455667788ull);
+  }
+  {
+    const auto r = roundtrip(SubscribeOk{7, 1001});
+    EXPECT_EQ(std::get<SubscribeOk>(r).subscription_id, 1001u);
+  }
+  {
+    const auto r = roundtrip(UnsubscribeOk{8});
+    EXPECT_EQ(std::get<UnsubscribeOk>(r).request_id, 8u);
+  }
+  {
+    SnapshotReply m{9, {{1001, detect::Output::Suspect, ticks_from_sec(3)},
+                        {1002, detect::Output::Trust, 0}}};
+    const auto r = roundtrip(m);
+    const auto& d = std::get<SnapshotReply>(r);
+    ASSERT_EQ(d.entries.size(), 2u);
+    EXPECT_EQ(d.entries[0].subscription_id, 1001u);
+    EXPECT_EQ(d.entries[0].output, detect::Output::Suspect);
+    EXPECT_EQ(d.entries[0].since, ticks_from_sec(3));
+    EXPECT_EQ(d.entries[1].output, detect::Output::Trust);
+  }
+  {
+    const auto r = roundtrip(PongMsg{5, 10'000});
+    EXPECT_EQ(std::get<PongMsg>(r).lease_ms, 10'000u);
+  }
+  {
+    const auto r = roundtrip(EventMsg{1001, detect::Output::Suspect,
+                                      ticks_from_ms(1500)});
+    const auto& d = std::get<EventMsg>(r);
+    EXPECT_EQ(d.subscription_id, 1001u);
+    EXPECT_EQ(d.output, detect::Output::Suspect);
+    EXPECT_EQ(d.when, ticks_from_ms(1500));
+  }
+  {
+    const auto r = roundtrip(ErrorMsg{7, ErrorCode::kInfeasibleQos, "no margin"});
+    const auto& d = std::get<ErrorMsg>(r);
+    EXPECT_EQ(d.code, ErrorCode::kInfeasibleQos);
+    EXPECT_EQ(d.message, "no margin");
+  }
+}
+
+// The wire layout is a published contract (docs/protocol.md): byte-exact
+// golden frame, so an accidental field reorder or width change fails
+// loudly instead of silently breaking cross-version clients.
+TEST(ControlCodec, PingFrameLayoutIsStable) {
+  const auto frame = encode_frame(PingMsg{0x1122334455667788ull});
+  const std::uint8_t expected[] = {
+      0x0e, 0x00, 0x00, 0x00,        // length prefix: 14-byte body, LE
+      0x43, 0x46, 0x57, 0x54,        // magic 0x54574643 "TWFC", LE
+      0x01,                          // version
+      0x07,                          // type: Ping
+      0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11,  // nonce, LE
+  };
+  ASSERT_EQ(frame.size(), sizeof(expected));
+  EXPECT_EQ(std::memcmp(frame.data(), expected, sizeof(expected)), 0);
+}
+
+TEST(ControlCodec, RejectsBadMagicVersionAndType) {
+  const auto frame = encode_frame(PingMsg{1});
+  auto body = std::vector<std::byte>(body_of(frame).begin(), body_of(frame).end());
+  {
+    auto bad = body;
+    bad[0] ^= std::byte{0xff};  // magic
+    EXPECT_FALSE(decode_body(bad).has_value());
+  }
+  {
+    auto bad = body;
+    bad[4] = std::byte{2};  // unknown version
+    EXPECT_FALSE(decode_body(bad).has_value());
+  }
+  {
+    auto bad = body;
+    bad[5] = std::byte{0};  // type 0 is invalid
+    EXPECT_FALSE(decode_body(bad).has_value());
+    bad[5] = std::byte{11};  // one past kTypeError
+    EXPECT_FALSE(decode_body(bad).has_value());
+  }
+}
+
+TEST(ControlCodec, RejectsTruncationAndTrailingGarbage) {
+  const auto frame = encode_frame(
+      SubscribeRequest{1, net::SocketAddress::loopback(9), 2, "a", {1, 1, 1}});
+  auto body = std::vector<std::byte>(body_of(frame).begin(), body_of(frame).end());
+  // Every proper prefix must be rejected (no over-read, no partial decode).
+  for (std::size_t len = 0; len < body.size(); ++len) {
+    EXPECT_FALSE(decode_body(std::span(body).first(len)).has_value())
+        << "prefix of " << len << " bytes decoded";
+  }
+  // Exact length decodes; one trailing byte must reject.
+  EXPECT_TRUE(decode_body(body).has_value());
+  body.push_back(std::byte{0});
+  EXPECT_FALSE(decode_body(body).has_value());
+}
+
+TEST(ControlCodec, RejectsNonFiniteQosAndBadEnums) {
+  {
+    SubscribeRequest m{1, net::SocketAddress::loopback(9), 2, "a", {1, 1, 1}};
+    m.qos.td_upper_s = std::numeric_limits<double>::infinity();
+    const auto frame = encode_frame(m);
+    EXPECT_FALSE(decode_body(body_of(frame)).has_value());
+  }
+  {
+    const auto frame = encode_frame(EventMsg{1, detect::Output::Trust, 0});
+    auto body = std::vector<std::byte>(body_of(frame).begin(),
+                                       body_of(frame).end());
+    body[6 + 8] = std::byte{7};  // output byte past Suspect
+    EXPECT_FALSE(decode_body(body).has_value());
+  }
+  {
+    const auto frame = encode_frame(ErrorMsg{1, ErrorCode::kInternal, "x"});
+    auto body = std::vector<std::byte>(body_of(frame).begin(),
+                                       body_of(frame).end());
+    body[6 + 8] = std::byte{0};  // error code 0 out of range
+    EXPECT_FALSE(decode_body(body).has_value());
+  }
+}
+
+TEST(ControlCodec, DecodeSurvivesRandomBytes) {
+  Xoshiro256 rng(201);
+  std::size_t decoded = 0;
+  for (int i = 0; i < 50'000; ++i) {
+    const std::size_t len = rng.uniform_int(64);
+    std::vector<std::byte> data(len);
+    for (auto& b : data) b = static_cast<std::byte>(rng.uniform_int(256));
+    if (decode_body(data).has_value()) ++decoded;
+  }
+  // A random magic+version+type match is a ~2^-40 event per try.
+  EXPECT_EQ(decoded, 0u);
+}
+
+TEST(ControlCodec, DecodeSurvivesBitFlips) {
+  const auto frame = encode_frame(SubscribeRequest{
+      3, net::SocketAddress::parse("192.168.1.50", 4100), 11, "svc",
+      {0.8, 1e-3, 4.0}});
+  const auto good =
+      std::vector<std::byte>(body_of(frame).begin(), body_of(frame).end());
+  Xoshiro256 rng(202);
+  for (int i = 0; i < 10'000; ++i) {
+    auto flipped = good;
+    const std::size_t byte = rng.uniform_int(flipped.size());
+    flipped[byte] ^= static_cast<std::byte>(1u << rng.uniform_int(8));
+    const auto msg = decode_body(flipped);  // must not crash
+    if (msg.has_value()) {
+      // Flips in payload fields decode; the QoS doubles must stay finite
+      // (the NaN/Inf bit patterns are rejected explicitly).
+      if (const auto* sub = std::get_if<SubscribeRequest>(&*msg)) {
+        EXPECT_TRUE(std::isfinite(sub->qos.td_upper_s));
+        EXPECT_TRUE(std::isfinite(sub->qos.tmr_upper_per_s));
+        EXPECT_TRUE(std::isfinite(sub->qos.tm_upper_s));
+        EXPECT_LE(sub->app.size(), kMaxAppName);
+      }
+    }
+  }
+}
+
+// Property: ANY chunking of a frame sequence reassembles to the same
+// bodies. TCP is free to deliver one byte at a time or everything at once.
+TEST(ControlCodec, AssemblerReassemblesUnderArbitrarySplits) {
+  std::vector<std::byte> stream;
+  std::vector<std::vector<std::byte>> expected;
+  for (int i = 0; i < 32; ++i) {
+    ControlMessage msg;
+    switch (i % 4) {
+      case 0: msg = PingMsg{static_cast<std::uint64_t>(i)}; break;
+      case 1: msg = EventMsg{static_cast<std::uint64_t>(i),
+                             detect::Output::Suspect, ticks_from_ms(i)}; break;
+      case 2: msg = SubscribeRequest{static_cast<std::uint64_t>(i),
+                                     net::SocketAddress::loopback(9), 1,
+                                     std::string(static_cast<std::size_t>(i), 'x'),
+                                     {1, 1, 1}}; break;
+      default: msg = ErrorMsg{static_cast<std::uint64_t>(i),
+                              ErrorCode::kInternal, "boom"}; break;
+    }
+    const auto frame = encode_frame(msg);
+    expected.emplace_back(body_of(frame).begin(), body_of(frame).end());
+    stream.insert(stream.end(), frame.begin(), frame.end());
+  }
+
+  Xoshiro256 rng(203);
+  for (int trial = 0; trial < 200; ++trial) {
+    FrameAssembler rx;
+    std::vector<std::vector<std::byte>> got;
+    std::size_t pos = 0;
+    while (pos < stream.size()) {
+      const std::size_t chunk =
+          std::min(stream.size() - pos, 1 + rng.uniform_int(37));
+      rx.push(std::span(stream).subspan(pos, chunk));
+      pos += chunk;
+      while (auto body = rx.next()) got.push_back(std::move(*body));
+    }
+    EXPECT_FALSE(rx.corrupt());
+    EXPECT_EQ(rx.buffered(), 0u);
+    ASSERT_EQ(got.size(), expected.size());
+    EXPECT_EQ(got, expected);
+  }
+}
+
+TEST(ControlCodec, AssemblerLatchesCorruptOnHostileLength) {
+  FrameAssembler rx;
+  // Length prefix far above kMaxFrameBody: a poisoned stream.
+  const std::uint8_t hostile[] = {0xff, 0xff, 0xff, 0x7f, 0x00, 0x00};
+  rx.push(std::as_bytes(std::span(hostile)));
+  EXPECT_FALSE(rx.next().has_value());
+  EXPECT_TRUE(rx.corrupt());
+  // Once corrupt, further bytes are ignored and nothing ever decodes.
+  const auto frame = encode_frame(PingMsg{1});
+  rx.push(frame);
+  EXPECT_FALSE(rx.next().has_value());
+  EXPECT_TRUE(rx.corrupt());
+}
+
+TEST(ControlCodec, AssemblerHandlesEmptyAndZeroLengthBodies) {
+  FrameAssembler rx;
+  rx.push({});
+  EXPECT_FALSE(rx.next().has_value());
+  // A zero-length body is well-framed (decode_body then rejects it).
+  const std::uint8_t zero[] = {0x00, 0x00, 0x00, 0x00};
+  rx.push(std::as_bytes(std::span(zero)));
+  const auto body = rx.next();
+  ASSERT_TRUE(body.has_value());
+  EXPECT_TRUE(body->empty());
+  EXPECT_FALSE(decode_body(*body).has_value());
+}
+
+}  // namespace
+}  // namespace twfd

@@ -1,0 +1,32 @@
+#!/usr/bin/env sh
+# The full pre-merge gate, in the order a reviewer would run it:
+#
+#   1. tier-1: release configure + build + the complete ctest suite
+#      (the command ROADMAP.md names as the bar every change must hold);
+#   2. tools/sanitize_check.sh — ASan+UBSan over the whole suite;
+#   3. tools/tsan_check.sh — TSan over the `threaded` label (the MPSC
+#      queues, the sharded runtime, and the FDaaS API server/client).
+#
+#   tools/ci_check.sh [build-dir]   (default: build)
+#
+# Each stage fails the script immediately (set -e); sanitizer stages use
+# their own build trees (build-sanitize, build-tsan), so the tier-1 tree
+# stays a plain release build.
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu)"
+
+echo "== tier-1: build + ctest ($BUILD_DIR) =="
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+echo "== ASan+UBSan (build-sanitize) =="
+tools/sanitize_check.sh
+
+echo "== TSan, label 'threaded' (build-tsan) =="
+tools/tsan_check.sh
+
+echo "== ci_check: all stages passed =="

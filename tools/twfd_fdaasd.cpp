@@ -1,0 +1,147 @@
+// twfd_fdaasd — failure detection as a service, as one daemon.
+//
+// Runs a sharded monitoring runtime (UDP heartbeat ingest on
+// --service-port) and the FDaaS wire API (TCP subscriptions on
+// --api-port) in one process. Remote beacons send heartbeats to the
+// service port; remote applications connect to the API port, SUBSCRIBE
+// with their own QoS tuples and receive Suspect/Trust EVENT frames.
+//
+//   twfd_fdaasd --api-port 4200 --service-port 4100 [--shards 4]
+//               [--lease-ms 10000] [--stats-interval-s 10]
+//               [--duration-s 0]
+//
+// duration 0 = run until killed.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "api/fdaas_server.hpp"
+#include "shard/sharded_monitor_service.hpp"
+
+using namespace twfd;
+
+namespace {
+
+struct Options {
+  std::uint16_t api_port = 4200;
+  std::uint16_t service_port = 4100;
+  std::size_t shards = 4;
+  long lease_ms = 10'000;
+  long stats_interval_s = 10;
+  long duration_s = 0;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--api-port N] [--service-port N] [--shards N]\n"
+               "          [--lease-ms N] [--stats-interval-s N] [--duration-s N]\n",
+               argv0);
+  std::exit(2);
+}
+
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--api-port") {
+      opt.api_port = static_cast<std::uint16_t>(std::stoi(next()));
+    } else if (arg == "--service-port") {
+      opt.service_port = static_cast<std::uint16_t>(std::stoi(next()));
+    } else if (arg == "--shards") {
+      opt.shards = static_cast<std::size_t>(std::stoul(next()));
+    } else if (arg == "--lease-ms") {
+      opt.lease_ms = std::stol(next());
+    } else if (arg == "--stats-interval-s") {
+      opt.stats_interval_s = std::stol(next());
+    } else if (arg == "--duration-s") {
+      opt.duration_s = std::stol(next());
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (opt.shards == 0 || opt.lease_ms <= 0) usage(argv[0]);
+  return opt;
+}
+
+void print_stats(api::FdaasServer& server, shard::ShardedMonitorService& service) {
+  const auto api = server.stats();
+  const auto sh = service.merged_stats();
+  std::printf(
+      "[fdaasd] sessions=%llu/%llu subs=%llu events: pushed=%llu unroutable=%llu | "
+      "evict: slow=%llu lease=%llu disconnect=%llu | frames: rx=%llu bad=%llu | "
+      "bytes: tx=%llu rx=%llu | shards: hb=%llu handoff=%llu dropped=%llu\n",
+      static_cast<unsigned long long>(api.sessions_active),
+      static_cast<unsigned long long>(api.sessions_accepted),
+      static_cast<unsigned long long>(api.subscriptions_active),
+      static_cast<unsigned long long>(api.events_pushed),
+      static_cast<unsigned long long>(api.events_unroutable),
+      static_cast<unsigned long long>(api.slow_evictions),
+      static_cast<unsigned long long>(api.lease_expiries),
+      static_cast<unsigned long long>(api.disconnects),
+      static_cast<unsigned long long>(api.frames_received),
+      static_cast<unsigned long long>(api.frames_malformed),
+      static_cast<unsigned long long>(api.bytes_sent),
+      static_cast<unsigned long long>(api.bytes_received),
+      static_cast<unsigned long long>(sh.service_heartbeats),
+      static_cast<unsigned long long>(sh.handoff_out),
+      static_cast<unsigned long long>(sh.events_dropped));
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Options opt = parse_args(argc, argv);
+
+    shard::ShardedMonitorService::Params service_params;
+    service_params.shards = opt.shards;
+    service_params.port = opt.service_port;
+    shard::ShardedMonitorService service(service_params);
+    service.start();
+
+    api::FdaasServer::Params api_params;
+    api_params.port = opt.api_port;
+    api_params.lease = ticks_from_ms(opt.lease_ms);
+    api::FdaasServer server(service, api_params);
+    server.start();
+
+    std::printf("fdaasd up: heartbeats on udp/%u (%zu shards), API on tcp/%u, "
+                "lease %ld ms\n",
+                service.port(), service.shard_count(), server.port(),
+                opt.lease_ms);
+    std::fflush(stdout);
+
+    SteadyClock clock;
+    const Tick start = clock.now();
+    const Tick deadline =
+        opt.duration_s > 0 ? start + ticks_from_sec(opt.duration_s) : 0;
+    Tick next_stats = start + ticks_from_sec(opt.stats_interval_s);
+    for (;;) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      const Tick now = clock.now();
+      if (deadline != 0 && now >= deadline) break;
+      if (opt.stats_interval_s > 0 && now >= next_stats) {
+        print_stats(server, service);
+        next_stats = now + ticks_from_sec(opt.stats_interval_s);
+      }
+    }
+
+    // Server before service: teardown releases client subscriptions while
+    // the shards can still execute the unsubscribe commands.
+    print_stats(server, service);
+    server.stop();
+    service.stop();
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "twfd_fdaasd: %s\n", e.what());
+    return 1;
+  }
+}
