@@ -82,5 +82,13 @@ int main() {
             << " compact=" << s.timers.compactions
             << " | wakeups io=" << s.wakeups_io << " timer=" << s.wakeups_timer
             << " spurious=" << s.wakeups_spurious << "\n";
+  // Batched RX self-accounting: how full the recvmmsg batches ran and
+  // whether arrival times came from kernel timestamps or the clock.
+  std::cout << "rx batches: n=" << s.rx_batches << " size=" << s.rx_batch_min
+            << ".." << s.rx_batch_max
+            << " | stamps kernel=" << s.rx_kernel_stamps
+            << " clock=" << s.rx_clock_stamps
+            << " | truncated=" << s.rx_truncated
+            << " recv_errors=" << s.recv_errors << "\n";
   return 0;
 }

@@ -27,7 +27,22 @@ class Transport {
   /// Fire-and-forget datagram send; may be silently dropped by the network.
   virtual void send(PeerId to, std::span<const std::byte> data) = 0;
 
-  using ReceiveHandler = std::function<void(PeerId from, std::span<const std::byte>)>;
+  /// Fans one payload out to every peer in `to`. Implementations with a
+  /// batched wire path (EventLoop via sendmmsg) override this to move the
+  /// whole fan-out in O(targets / batch) syscalls; the default is a plain
+  /// per-target send() loop, so every Transport supports it.
+  virtual void send_many(std::span<const PeerId> to,
+                         std::span<const std::byte> data) {
+    for (const PeerId peer : to) send(peer, data);
+  }
+
+  /// `arrival` is the transport's best estimate of when the datagram hit
+  /// this host, in the runtime's own clock domain: kernel RX timestamps
+  /// when available, otherwise one clock read per receive batch. Always
+  /// <= clock->now(); datagrams read off a runtime's own socket carry
+  /// non-decreasing stamps (cross-shard injected ones may interleave).
+  using ReceiveHandler = std::function<void(
+      PeerId from, std::span<const std::byte>, Tick arrival)>;
 
   /// Installs the single receive callback (invoked on the runtime's
   /// thread / event turn).

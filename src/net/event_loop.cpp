@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <ctime>
 #include <system_error>
 
 #include "common/assert.hpp"
@@ -26,6 +27,16 @@ EventLoop::Stats& EventLoop::Stats::operator+=(const Stats& o) {
   datagrams_received += o.datagrams_received;
   datagrams_injected += o.datagrams_injected;
   send_soft_failures += o.send_soft_failures;
+  recv_errors += o.recv_errors;
+  rx_batches += o.rx_batches;
+  // min merges as "smallest nonzero" (0 means the loop saw no batch yet).
+  if (o.rx_batch_min != 0 && (rx_batch_min == 0 || o.rx_batch_min < rx_batch_min)) {
+    rx_batch_min = o.rx_batch_min;
+  }
+  rx_batch_max = std::max(rx_batch_max, o.rx_batch_max);
+  rx_kernel_stamps += o.rx_kernel_stamps;
+  rx_clock_stamps += o.rx_clock_stamps;
+  rx_truncated += o.rx_truncated;
   wakeups_io += o.wakeups_io;
   wakeups_timer += o.wakeups_timer;
   wakeups_cross += o.wakeups_cross;
@@ -92,6 +103,21 @@ void EventLoop::send(PeerId to, std::span<const std::byte> data) {
   stats_.send_soft_failures = socket_.soft_send_failures();
 }
 
+void EventLoop::send_many(std::span<const PeerId> to,
+                          std::span<const std::byte> data) {
+  send_addrs_.clear();
+  send_addrs_.reserve(to.size());
+  for (const PeerId peer : to) {
+    TWFD_CHECK_MSG(peer >= 1 && peer <= peer_addrs_.size(), "unknown peer");
+    send_addrs_.push_back(peer_addrs_[peer - 1]);
+  }
+  socket_.send_batch(send_addrs_, data);
+  // Attempts count as sent, matching send(); failures show up in the
+  // soft-failure counter, not by under-counting sends.
+  stats_.datagrams_sent += to.size();
+  stats_.send_soft_failures = socket_.soft_send_failures();
+}
+
 void EventLoop::set_receive_handler(ReceiveHandler handler) {
   on_receive_ = std::move(handler);
 }
@@ -123,9 +149,9 @@ void EventLoop::update_fd(int fd, unsigned interest) {
 void EventLoop::unwatch_fd(int fd) { watches_.erase(fd); }
 
 void EventLoop::inject_datagram(const SocketAddress& from,
-                                std::span<const std::byte> data) {
+                                std::span<const std::byte> data, Tick arrival) {
   ++stats_.datagrams_injected;
-  if (on_receive_) on_receive_(add_peer(from), data);
+  if (on_receive_) on_receive_(add_peer(from), data, arrival);
 }
 
 // ---------------------------------------------------------------------------
@@ -238,12 +264,51 @@ void EventLoop::fire_due_timers() {
 }
 
 void EventLoop::drain_socket() {
-  while (auto dgram = socket_.receive()) {
-    ++stats_.datagrams_received;
-    if (on_receive_) {
-      const PeerId from = add_peer(dgram->from);
-      on_receive_(from, std::span<const std::byte>(dgram->data));
+  for (;;) {
+    const auto batch = socket_.receive_batch();
+    stats_.recv_errors = socket_.recv_errors();
+    if (batch.empty()) return;
+
+    ++stats_.rx_batches;
+    const std::uint64_t n = batch.size();
+    stats_.datagrams_received += n;
+    if (stats_.rx_batch_min == 0 || n < stats_.rx_batch_min) {
+      stats_.rx_batch_min = n;
     }
+    stats_.rx_batch_max = std::max(stats_.rx_batch_max, n);
+
+    // Timestamp ladder: kernel stamps are CLOCK_REALTIME, the Tick domain
+    // is monotonic, so sample the offset between the two ONCE per batch
+    // and apply it to every stamped datagram. Unstamped datagrams (and
+    // the portable path) share one clock read per batch — never one per
+    // datagram. Mapped stamps are clamped to [last_arrival_, batch_now]:
+    // arrival can neither run backwards nor sit in the future.
+    const Tick batch_now = now();
+    std::int64_t offset = 0;
+    bool have_offset = false;
+    for (const auto& item : batch) {
+      Tick arrival = batch_now;
+      if (item.kernel_time_ns != 0) {
+        if (!have_offset) {
+          timespec rt{};
+          ::clock_gettime(CLOCK_REALTIME, &rt);
+          offset = batch_now - (static_cast<std::int64_t>(rt.tv_sec) * 1'000'000'000 +
+                                rt.tv_nsec);
+          have_offset = true;
+        }
+        arrival = std::min(item.kernel_time_ns + offset, batch_now);
+        ++stats_.rx_kernel_stamps;
+      } else {
+        ++stats_.rx_clock_stamps;
+      }
+      arrival = std::max(arrival, last_arrival_);
+      last_arrival_ = arrival;
+      if (item.truncated) ++stats_.rx_truncated;
+      if (on_receive_) on_receive_(add_peer(item.from), item.data, arrival);
+    }
+    if (on_batch_end_) on_batch_end_();
+    // Deliver the whole in-hand batch before honouring stop: those
+    // datagrams were already consumed from the kernel and would be lost.
     if (is_stopped()) return;
   }
 }

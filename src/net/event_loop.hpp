@@ -52,6 +52,20 @@ class EventLoop final : public Clock, public Transport, public TimerService {
     std::uint64_t datagrams_injected = 0;
     /// Send attempts the socket reported as soft failures (EAGAIN etc).
     std::uint64_t send_soft_failures = 0;
+    /// Hard receive errors surfaced by the socket (EBADF etc) — distinct
+    /// from "no datagram queued", which is not an error.
+    std::uint64_t recv_errors = 0;
+    /// Non-empty receive_batch() calls. datagrams_received / rx_batches
+    /// is the mean batch size; min/max bound the distribution.
+    std::uint64_t rx_batches = 0;
+    std::uint64_t rx_batch_min = 0;  ///< smallest non-empty batch (0 = none yet)
+    std::uint64_t rx_batch_max = 0;  ///< largest batch in one syscall
+    /// Arrival-timestamp source split: kernel SO_TIMESTAMPNS stamps vs.
+    /// the per-batch clock-read fallback.
+    std::uint64_t rx_kernel_stamps = 0;
+    std::uint64_t rx_clock_stamps = 0;
+    /// Datagrams longer than the socket's receive slot, delivered cut.
+    std::uint64_t rx_truncated = 0;
     /// poll() returns split by what woke the loop: socket readable,
     /// a timer deadline reached, a cross-thread wake(), or none of those
     /// (the 50 ms responsiveness cap and interrupted waits land here).
@@ -81,6 +95,9 @@ class EventLoop final : public Clock, public Transport, public TimerService {
 
   // Transport.
   void send(PeerId to, std::span<const std::byte> data) override;
+  /// One sendmmsg per kBatchMax targets instead of one sendto each.
+  void send_many(std::span<const PeerId> to,
+                 std::span<const std::byte> data) override;
   void set_receive_handler(ReceiveHandler handler) override;
 
   // TimerService.
@@ -123,8 +140,15 @@ class EventLoop final : public Clock, public Transport, public TimerService {
   /// loop's socket (loop-thread only). This is the shard hand-off: a
   /// sibling shard that received a datagram for a peer this loop owns
   /// marshals the bytes over and injects them here, so detector state is
-  /// only ever touched by its owning shard.
-  void inject_datagram(const SocketAddress& from, std::span<const std::byte> data);
+  /// only ever touched by its owning shard. `arrival` is the stamp the
+  /// receiving shard observed (shared monotonic domain); the two-argument
+  /// form stamps with now().
+  void inject_datagram(const SocketAddress& from, std::span<const std::byte> data,
+                       Tick arrival);
+  void inject_datagram(const SocketAddress& from,
+                       std::span<const std::byte> data) {
+    inject_datagram(from, data, now());
+  }
 
   /// Runs timers and socket I/O until `deadline` (Clock domain).
   void run_until(Tick deadline);
@@ -148,6 +172,15 @@ class EventLoop final : public Clock, public Transport, public TimerService {
   /// (shards drain their command queue here). Loop-thread only.
   void set_wake_handler(std::function<void()> handler) {
     on_wake_ = std::move(handler);
+  }
+
+  /// Installs a callback run once after each non-empty receive batch has
+  /// been fully delivered to the receive handler. The sharded runtime
+  /// flushes its per-batch hand-off staging here — one bulk enqueue and
+  /// at most one wake per destination shard per batch instead of per
+  /// datagram. Loop-thread only.
+  void set_batch_end_handler(std::function<void()> handler) {
+    on_batch_end_ = std::move(handler);
   }
 
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
@@ -205,6 +238,12 @@ class EventLoop final : public Clock, public Transport, public TimerService {
   SteadyClock clock_;
   ReceiveHandler on_receive_;
   std::function<void()> on_wake_;
+  std::function<void()> on_batch_end_;
+  /// Monotonicity floor for socket arrival stamps: kernel stamps from
+  /// different batches are clamped so arrivals never run backwards.
+  Tick last_arrival_ = 0;
+  /// Per-call scratch for send_many (member to avoid reallocation).
+  std::vector<SocketAddress> send_addrs_;
 
   // Cross-thread wakeup: eventfd on Linux, self-pipe elsewhere. wake_fd_
   // is the readable end polled by run_until; wake_write_fd_ the end other

@@ -5,20 +5,37 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <array>
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
 #include <system_error>
 #include <utility>
 
+#include "common/assert.hpp"
+
+// The batched syscall implementation. TWFD_NO_RECVMMSG pins the portable
+// per-datagram loop at build time (tests compile the translation unit a
+// second time with it set to prove both paths behave identically).
+#if defined(__linux__) && !defined(TWFD_NO_RECVMMSG)
+#define TWFD_HAVE_MMSG 1
+#else
+#define TWFD_HAVE_MMSG 0
+#endif
+
 namespace twfd::net {
 
 std::string SocketAddress::to_string() const {
+  // "255.255.255.255:65535" is 21 chars; 32 leaves headroom, and the
+  // return value is checked so a future format change cannot silently
+  // truncate addresses out of stats/log lines.
   char buf[32];
-  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u:%u", (ip_host_order >> 24) & 0xff,
-                (ip_host_order >> 16) & 0xff, (ip_host_order >> 8) & 0xff,
-                ip_host_order & 0xff, port);
-  return buf;
+  const int n = std::snprintf(buf, sizeof buf, "%u.%u.%u.%u:%u",
+                              (ip_host_order >> 24) & 0xff, (ip_host_order >> 16) & 0xff,
+                              (ip_host_order >> 8) & 0xff, ip_host_order & 0xff, port);
+  TWFD_CHECK_MSG(n > 0 && static_cast<std::size_t>(n) < sizeof buf,
+                 "SocketAddress::to_string truncated");
+  return std::string(buf, static_cast<std::size_t>(n));
 }
 
 SocketAddress SocketAddress::parse(const std::string& ip, std::uint16_t port) {
@@ -45,6 +62,43 @@ SocketAddress SocketAddress::from_sockaddr(const sockaddr_in& sa) {
   return {ntohl(sa.sin_addr.s_addr), ntohs(sa.sin_port)};
 }
 
+// ---------------------------------------------------------------------------
+// Batch pool: every buffer the batched RX/TX paths touch, allocated once
+// per socket on first use and reused for the socket's lifetime — the
+// steady-state hot path performs zero heap allocations per datagram.
+// ---------------------------------------------------------------------------
+
+struct UdpSocket::BatchPool {
+  // RX: one fixed slot per datagram, plus per-message headers.
+  std::vector<std::byte> slots;  // kBatchMax * kRecvSlotBytes
+  std::array<sockaddr_in, kBatchMax> addrs{};
+  std::vector<RecvBatchItem> items;  // reused result storage
+#if TWFD_HAVE_MMSG
+  std::array<mmsghdr, kBatchMax> msgs{};
+  std::array<iovec, kBatchMax> iovs{};
+  // CMSG_SPACE(timespec) is 32 on LP64; 64 leaves room for alignment.
+  std::array<std::array<char, 64>, kBatchMax> cmsg{};
+  // TX scratch (shared payload, per-destination headers).
+  std::array<mmsghdr, kBatchMax> tx_msgs{};
+  std::array<iovec, kBatchMax> tx_iovs{};
+  std::array<sockaddr_in, kBatchMax> tx_addrs{};
+#endif
+
+  BatchPool() {
+    slots.resize(kBatchMax * kRecvSlotBytes);
+    items.reserve(kBatchMax);
+  }
+
+  [[nodiscard]] std::byte* slot(std::size_t i) noexcept {
+    return slots.data() + i * kRecvSlotBytes;
+  }
+};
+
+UdpSocket::BatchPool& UdpSocket::pool() {
+  if (!pool_) pool_ = std::make_unique<BatchPool>();
+  return *pool_;
+}
+
 UdpSocket::UdpSocket(const Options& options) {
   fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK, 0);
   if (fd_ < 0) {
@@ -64,6 +118,16 @@ UdpSocket::UdpSocket(const Options& options) {
     (void)::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &options.rcvbuf_bytes,
                        sizeof options.rcvbuf_bytes);
   }
+  portable_batch_ = options.portable_batch_io || !kBatchSyscalls;
+#if TWFD_HAVE_MMSG && defined(SO_TIMESTAMPNS)
+  if (!portable_batch_) {
+    // Best-effort: without kernel stamps the event loop falls back to one
+    // clock read per batch (the documented timestamp ladder).
+    const int one = 1;
+    timestamps_enabled_ =
+        ::setsockopt(fd_, SOL_SOCKET, SO_TIMESTAMPNS, &one, sizeof one) == 0;
+  }
+#endif
   sockaddr_in sa{};
   sa.sin_family = AF_INET;
   sa.sin_addr.s_addr = htonl(INADDR_ANY);
@@ -79,13 +143,23 @@ UdpSocket::~UdpSocket() { close_fd(); }
 
 UdpSocket::UdpSocket(UdpSocket&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
-      soft_send_failures_(std::exchange(other.soft_send_failures_, 0)) {}
+      soft_send_failures_(std::exchange(other.soft_send_failures_, 0)),
+      recv_errors_(std::exchange(other.recv_errors_, 0)),
+      portable_batch_(other.portable_batch_),
+      timestamps_enabled_(std::exchange(other.timestamps_enabled_, false)),
+      rx_scratch_(std::move(other.rx_scratch_)),
+      pool_(std::move(other.pool_)) {}
 
 UdpSocket& UdpSocket::operator=(UdpSocket&& other) noexcept {
   if (this != &other) {
     close_fd();
     fd_ = std::exchange(other.fd_, -1);
     soft_send_failures_ = std::exchange(other.soft_send_failures_, 0);
+    recv_errors_ = std::exchange(other.recv_errors_, 0);
+    portable_batch_ = other.portable_batch_;
+    timestamps_enabled_ = std::exchange(other.timestamps_enabled_, false);
+    rx_scratch_ = std::move(other.rx_scratch_);
+    pool_ = std::move(other.pool_);
   }
   return *this;
 }
@@ -106,6 +180,15 @@ std::uint16_t UdpSocket::local_port() const {
   return ntohs(sa.sin_port);
 }
 
+namespace {
+
+bool is_soft_send_errno(int err) {
+  return err == EAGAIN || err == EWOULDBLOCK || err == ENOBUFS ||
+         err == ECONNREFUSED || err == EPERM;
+}
+
+}  // namespace
+
 void UdpSocket::send_to(const SocketAddress& to, std::span<const std::byte> data) {
   const sockaddr_in sa = to.to_sockaddr();
   ssize_t n;
@@ -113,27 +196,172 @@ void UdpSocket::send_to(const SocketAddress& to, std::span<const std::byte> data
     n = ::sendto(fd_, data.data(), data.size(), 0,
                  reinterpret_cast<const sockaddr*>(&sa), sizeof sa);
   } while (n < 0 && errno == EINTR);
-  if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOBUFS ||
-                errno == ECONNREFUSED || errno == EPERM)) {
+  if (n < 0 && is_soft_send_errno(errno)) {
     ++soft_send_failures_;
   }
 }
 
-std::optional<UdpSocket::Datagram> UdpSocket::receive() {
-  std::byte buf[2048];
+std::size_t UdpSocket::send_batch_portable(std::span<const SocketAddress> to,
+                                           std::span<const std::byte> payload) {
+  std::size_t sent = 0;
+  for (const SocketAddress& dst : to) {
+    const sockaddr_in sa = dst.to_sockaddr();
+    ssize_t n;
+    do {
+      n = ::sendto(fd_, payload.data(), payload.size(), 0,
+                   reinterpret_cast<const sockaddr*>(&sa), sizeof sa);
+    } while (n < 0 && errno == EINTR);
+    if (n >= 0) {
+      ++sent;
+    } else if (is_soft_send_errno(errno)) {
+      ++soft_send_failures_;
+    }
+  }
+  return sent;
+}
+
+std::size_t UdpSocket::send_batch(std::span<const SocketAddress> to,
+                                  std::span<const std::byte> payload) {
+#if TWFD_HAVE_MMSG
+  if (!portable_batch_) {
+    BatchPool& p = pool();
+    std::size_t sent = 0;
+    std::size_t off = 0;
+    while (off < to.size()) {
+      const std::size_t chunk = std::min(kBatchMax, to.size() - off);
+      for (std::size_t i = 0; i < chunk; ++i) {
+        p.tx_addrs[i] = to[off + i].to_sockaddr();
+        p.tx_iovs[i] = {const_cast<std::byte*>(payload.data()), payload.size()};
+        msghdr& h = p.tx_msgs[i].msg_hdr;
+        h = {};
+        h.msg_name = &p.tx_addrs[i];
+        h.msg_namelen = sizeof p.tx_addrs[i];
+        h.msg_iov = &p.tx_iovs[i];
+        h.msg_iovlen = 1;
+        p.tx_msgs[i].msg_len = 0;
+      }
+      int n;
+      do {
+        n = ::sendmmsg(fd_, p.tx_msgs.data(), static_cast<unsigned>(chunk), 0);
+      } while (n < 0 && errno == EINTR);
+      if (n < 0) {
+        // Nothing from this chunk went out; mirror send_to's per-datagram
+        // soft accounting for the whole remainder and stop — a persistent
+        // EAGAIN would fail every following chunk the same way.
+        if (is_soft_send_errno(errno)) soft_send_failures_ += to.size() - off;
+        break;
+      }
+      sent += static_cast<std::size_t>(n);
+      off += static_cast<std::size_t>(n);
+      if (static_cast<std::size_t>(n) < chunk) {
+        // Partial: datagram n failed; its errno surfaces on the next call.
+        // Retry the remainder on the next loop turn.
+        continue;
+      }
+    }
+    return sent;
+  }
+#endif
+  return send_batch_portable(to, payload);
+}
+
+const UdpSocket::Datagram* UdpSocket::receive() {
+  std::byte buf[kRecvSlotBytes];
   sockaddr_in sa{};
-  socklen_t len = sizeof sa;
+  socklen_t len;
   ssize_t n;
   do {
     len = sizeof sa;
-    n = ::recvfrom(fd_, buf, sizeof buf, 0, reinterpret_cast<sockaddr*>(&sa),
-                   &len);
+    n = ::recvfrom(fd_, buf, sizeof buf, 0, reinterpret_cast<sockaddr*>(&sa), &len);
   } while (n < 0 && errno == EINTR);
-  if (n < 0) return std::nullopt;  // EAGAIN / transient errors: no datagram
-  Datagram d;
-  d.from = SocketAddress::from_sockaddr(sa);
-  d.data.assign(buf, buf + n);
-  return d;
+  if (n < 0) {
+    // EAGAIN means "no datagram"; anything else is a hard socket error
+    // (EBADF, ENOTCONN, ...) that must not masquerade as an idle socket.
+    if (errno != EAGAIN && errno != EWOULDBLOCK) ++recv_errors_;
+    return nullptr;
+  }
+  rx_scratch_.from = SocketAddress::from_sockaddr(sa);
+  // assign() reuses the member vector's capacity: after the first call
+  // this path never touches the allocator.
+  rx_scratch_.data.assign(buf, buf + n);
+  return &rx_scratch_;
+}
+
+std::span<const UdpSocket::RecvBatchItem> UdpSocket::receive_batch_portable(
+    BatchPool& p) {
+  for (std::size_t i = 0; i < kBatchMax; ++i) {
+    iovec iov{p.slot(i), kRecvSlotBytes};
+    msghdr h{};
+    h.msg_name = &p.addrs[i];
+    h.msg_namelen = sizeof p.addrs[i];
+    h.msg_iov = &iov;
+    h.msg_iovlen = 1;
+    ssize_t n;
+    do {
+      n = ::recvmsg(fd_, &h, 0);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) {
+      if (errno != EAGAIN && errno != EWOULDBLOCK) ++recv_errors_;
+      break;
+    }
+    RecvBatchItem item;
+    item.from = SocketAddress::from_sockaddr(p.addrs[i]);
+    item.data = {p.slot(i), static_cast<std::size_t>(n)};
+    item.truncated = (h.msg_flags & MSG_TRUNC) != 0;
+    p.items.push_back(item);
+  }
+  return {p.items.data(), p.items.size()};
+}
+
+std::span<const UdpSocket::RecvBatchItem> UdpSocket::receive_batch() {
+  BatchPool& p = pool();
+  p.items.clear();
+#if TWFD_HAVE_MMSG
+  if (!portable_batch_) {
+    for (std::size_t i = 0; i < kBatchMax; ++i) {
+      p.iovs[i] = {p.slot(i), kRecvSlotBytes};
+      msghdr& h = p.msgs[i].msg_hdr;
+      h = {};
+      h.msg_name = &p.addrs[i];
+      h.msg_namelen = sizeof p.addrs[i];
+      h.msg_iov = &p.iovs[i];
+      h.msg_iovlen = 1;
+      h.msg_control = p.cmsg[i].data();
+      h.msg_controllen = p.cmsg[i].size();
+      p.msgs[i].msg_len = 0;
+    }
+    int n;
+    do {
+      n = ::recvmmsg(fd_, p.msgs.data(), static_cast<unsigned>(kBatchMax),
+                     MSG_DONTWAIT, nullptr);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) {
+      if (errno != EAGAIN && errno != EWOULDBLOCK) ++recv_errors_;
+      return {};
+    }
+    for (int i = 0; i < n; ++i) {
+      msghdr& h = p.msgs[i].msg_hdr;
+      RecvBatchItem item;
+      item.from = SocketAddress::from_sockaddr(p.addrs[i]);
+      item.data = {p.slot(static_cast<std::size_t>(i)),
+                   std::min<std::size_t>(p.msgs[i].msg_len, kRecvSlotBytes)};
+      item.truncated = (h.msg_flags & MSG_TRUNC) != 0;
+#ifdef SO_TIMESTAMPNS
+      for (cmsghdr* c = CMSG_FIRSTHDR(&h); c != nullptr; c = CMSG_NXTHDR(&h, c)) {
+        if (c->cmsg_level == SOL_SOCKET && c->cmsg_type == SCM_TIMESTAMPNS) {
+          timespec ts;
+          std::memcpy(&ts, CMSG_DATA(c), sizeof ts);
+          item.kernel_time_ns =
+              static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+        }
+      }
+#endif
+      p.items.push_back(item);
+    }
+    return {p.items.data(), p.items.size()};
+  }
+#endif
+  return receive_batch_portable(p);
 }
 
 }  // namespace twfd::net

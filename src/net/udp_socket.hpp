@@ -1,11 +1,26 @@
 // RAII wrapper over a non-blocking IPv4 UDP socket.
+//
+// Two receive paths share the fd:
+//   receive()        one datagram per syscall, for simple callers. The
+//                    returned view reuses a member buffer, so the steady
+//                    state allocates nothing.
+//   receive_batch()  up to kBatchMax datagrams per syscall (recvmmsg on
+//                    Linux, a portable recvmsg loop elsewhere or when the
+//                    build defines TWFD_NO_RECVMMSG), read into a
+//                    persistent per-socket buffer pool and returned as
+//                    spans — the event-loop hot path. When the kernel
+//                    supports SO_TIMESTAMPNS each datagram also carries
+//                    its kernel RX timestamp, so arrival times are immune
+//                    to userland scheduling jitter.
+// send_batch() is the TX mirror: one payload fanned out to many
+// destinations in sendmmsg chunks (heartbeat broadcast).
 #pragma once
 
 #include <netinet/in.h>
 
 #include <cstddef>
 #include <cstdint>
-#include <optional>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -30,6 +45,21 @@ struct SocketAddress {
 
 class UdpSocket {
  public:
+  /// Most datagrams one receive_batch()/send_batch() call moves through
+  /// the kernel in a single syscall.
+  static constexpr std::size_t kBatchMax = 64;
+  /// Bytes per receive-pool slot; longer datagrams are truncated to this
+  /// and flagged. Heartbeat/control datagrams are well under 100 bytes.
+  static constexpr std::size_t kRecvSlotBytes = 2048;
+  /// True when this build selected the recvmmsg/sendmmsg implementation
+  /// (Linux without TWFD_NO_RECVMMSG). The portable per-datagram loop is
+  /// always compiled and can be forced per socket via Options.
+#if defined(__linux__) && !defined(TWFD_NO_RECVMMSG)
+  static constexpr bool kBatchSyscalls = true;
+#else
+  static constexpr bool kBatchSyscalls = false;
+#endif
+
   /// Bind-time options for the sharded receive path.
   struct Options {
     std::uint16_t port = 0;  ///< 0 = ephemeral
@@ -40,11 +70,16 @@ class UdpSocket {
     /// absorb heartbeat bursts from thousands of peers; a deeper receive
     /// buffer rides out scheduling hiccups.
     int rcvbuf_bytes = 0;
+    /// Forces the portable per-datagram batch implementation (and the
+    /// kernel-timestamp-free ladder) even where recvmmsg is compiled in.
+    /// Tests and A/B benches use this to pin identical observable
+    /// behaviour across both implementations.
+    bool portable_batch_io = false;
   };
 
   /// Opens and binds a non-blocking UDP socket on 0.0.0.0:`port`
   /// (port 0 = ephemeral). Throws std::system_error on failure.
-  explicit UdpSocket(std::uint16_t port = 0) : UdpSocket(Options{port}) {}
+  explicit UdpSocket(std::uint16_t port = 0) : UdpSocket(Options{.port = port}) {}
   explicit UdpSocket(const Options& options);
   ~UdpSocket();
 
@@ -62,14 +97,42 @@ class UdpSocket {
   /// and EINTR is retried.
   void send_to(const SocketAddress& to, std::span<const std::byte> data);
 
+  /// Fans one payload out to every destination in `to`, batching
+  /// kBatchMax datagrams per sendmmsg syscall (portable fallback: a
+  /// sendto loop). Soft failures are counted per datagram exactly like
+  /// send_to. Returns the number of datagrams handed to the kernel.
+  std::size_t send_batch(std::span<const SocketAddress> to,
+                         std::span<const std::byte> payload);
+
   struct Datagram {
     SocketAddress from;
     std::vector<std::byte> data;
   };
 
-  /// Non-blocking receive; std::nullopt when no datagram is queued.
-  /// Retries EINTR.
-  [[nodiscard]] std::optional<Datagram> receive();
+  /// Non-blocking receive; nullptr when no datagram is queued. Retries
+  /// EINTR. The returned datagram reuses a member buffer — it is valid
+  /// until the next receive() call and never allocates in steady state.
+  [[nodiscard]] const Datagram* receive();
+
+  /// One received datagram inside a batch. `data` views the socket's
+  /// internal buffer pool and is invalidated by the next receive_batch()
+  /// call on this socket.
+  struct RecvBatchItem {
+    SocketAddress from;
+    std::span<const std::byte> data;
+    /// Kernel RX timestamp (CLOCK_REALTIME nanoseconds since the epoch)
+    /// from SO_TIMESTAMPNS; 0 when the platform/path provides none. The
+    /// event loop maps it into the monotonic tick domain.
+    std::int64_t kernel_time_ns = 0;
+    /// The datagram exceeded kRecvSlotBytes and was truncated to it.
+    bool truncated = false;
+  };
+
+  /// Receives up to kBatchMax queued datagrams in one syscall (recvmmsg)
+  /// or via the portable per-datagram loop. Returns an empty span when
+  /// nothing is queued. The items (and their data spans) live in socket
+  /// storage reused by the next receive_batch() call.
+  [[nodiscard]] std::span<const RecvBatchItem> receive_batch();
 
   /// Send attempts that failed softly (EAGAIN/EWOULDBLOCK/ENOBUFS/
   /// ECONNREFUSED/EPERM) since construction. Not thread-safe: read from
@@ -78,12 +141,35 @@ class UdpSocket {
     return soft_send_failures_;
   }
 
+  /// Hard receive errors (anything other than "no datagram queued", e.g.
+  /// EBADF/ENOTCONN) observed by receive()/receive_batch(). Persistent
+  /// socket breakage is visible here instead of masquerading as an idle
+  /// socket. Not thread-safe: read from the receiving thread.
+  [[nodiscard]] std::uint64_t recv_errors() const noexcept { return recv_errors_; }
+
+  /// Whether this socket delivers kernel RX timestamps in batch items.
+  [[nodiscard]] bool kernel_timestamps() const noexcept {
+    return timestamps_enabled_;
+  }
+
   [[nodiscard]] int fd() const noexcept { return fd_; }
 
  private:
+  struct BatchPool;  // persistent recvmmsg/sendmmsg scratch, lazily built
+
   void close_fd() noexcept;
+  [[nodiscard]] BatchPool& pool();
+  std::span<const RecvBatchItem> receive_batch_portable(BatchPool& p);
+  std::size_t send_batch_portable(std::span<const SocketAddress> to,
+                                  std::span<const std::byte> payload);
+
   int fd_ = -1;
   std::uint64_t soft_send_failures_ = 0;
+  std::uint64_t recv_errors_ = 0;
+  bool portable_batch_ = false;
+  bool timestamps_enabled_ = false;
+  Datagram rx_scratch_;
+  std::unique_ptr<BatchPool> pool_;
 };
 
 }  // namespace twfd::net

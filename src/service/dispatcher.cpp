@@ -7,10 +7,17 @@ namespace twfd::service {
 Dispatcher::Dispatcher(Runtime rt) : rt_(rt) {
   TWFD_CHECK(rt.clock && rt.transport && rt.timers);
   rt_.transport->set_receive_handler(
-      [this](PeerId from, std::span<const std::byte> data) { ingest(from, data); });
+      [this](PeerId from, std::span<const std::byte> data, Tick arrival) {
+        ingest(from, data, arrival);
+      });
 }
 
 void Dispatcher::ingest(PeerId from, std::span<const std::byte> data) {
+  ingest(from, data, rt_.clock->now());
+}
+
+void Dispatcher::ingest(PeerId from, std::span<const std::byte> data,
+                        Tick arrival) {
   const auto msg = net::decode(data);
   if (!msg) {
     ++malformed_;
@@ -18,7 +25,7 @@ void Dispatcher::ingest(PeerId from, std::span<const std::byte> data) {
   }
   if (const auto* hb = std::get_if<net::HeartbeatMsg>(&*msg)) {
     ++heartbeats_;
-    if (heartbeat_) heartbeat_(from, *hb, rt_.clock->now());
+    if (heartbeat_) heartbeat_(from, *hb, arrival);
   } else if (const auto* ir = std::get_if<net::IntervalRequestMsg>(&*msg)) {
     if (interval_request_) interval_request_(from, *ir);
   }

@@ -1,9 +1,10 @@
 // Datagram -> typed message routing.
 //
 // A Runtime's transport has one receive callback; the Dispatcher owns it,
-// decodes wire messages, stamps arrivals with the local clock and routes
-// them to the sender / monitor components sharing the runtime. Malformed
-// datagrams are counted and dropped.
+// decodes wire messages and routes them — together with the transport's
+// arrival timestamp (kernel RX stamp or per-batch clock read) — to the
+// sender / monitor components sharing the runtime. Malformed datagrams
+// are counted and dropped.
 #pragma once
 
 #include <cstdint>
@@ -30,10 +31,14 @@ class Dispatcher {
     interval_request_ = std::move(handler);
   }
 
-  /// Decodes and routes one datagram. The transport receive handler calls
-  /// this; the sharded runtime also calls it directly for datagrams handed
-  /// off from a sibling shard. Malformed datagrams bump malformed_count()
-  /// and are dropped without disturbing the heartbeat path.
+  /// Decodes and routes one datagram, attributing `arrival` as its
+  /// receive time. The transport receive handler calls this; the sharded
+  /// runtime also calls it directly for datagrams handed off from a
+  /// sibling shard (preserving the receiving shard's stamp). Malformed
+  /// datagrams bump malformed_count() and are dropped without disturbing
+  /// the heartbeat path.
+  void ingest(PeerId from, std::span<const std::byte> data, Tick arrival);
+  /// Convenience for callers without a transport stamp: arrival = now().
   void ingest(PeerId from, std::span<const std::byte> data);
 
   [[nodiscard]] std::uint64_t malformed_count() const noexcept { return malformed_; }

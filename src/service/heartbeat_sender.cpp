@@ -70,9 +70,10 @@ void HeartbeatSender::send_one() {
   msg.send_time = rt_.clock->now();
   msg.interval = effective_interval();
   const auto payload = net::encode(msg);
-  for (const PeerId target : targets_) {
-    rt_.transport->send(target, payload);
-  }
+  // One transport call for the whole fan-out: the live runtime batches
+  // this into sendmmsg syscalls, the simulator falls back to per-target
+  // sends — either way the tick is a single broadcast.
+  rt_.transport->send_many(targets_, payload);
   schedule_next();
 }
 

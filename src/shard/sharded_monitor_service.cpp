@@ -28,6 +28,7 @@ ShardedMonitorService::ShardStats& ShardedMonitorService::ShardStats::operator+=
   service_heartbeats += o.service_heartbeats;
   handoff_out += o.handoff_out;
   handoff_dropped += o.handoff_dropped;
+  handoff_batches += o.handoff_batches;
   commands_run += o.commands_run;
   events_dropped += o.events_dropped;
   return *this;
@@ -38,6 +39,7 @@ ShardedMonitorService::Shard::Shard(std::size_t idx, const Params& params,
     : index(idx),
       commands(params.command_queue_capacity),
       events(params.event_queue_capacity) {
+  staging.resize(params.shards);
   net::UdpSocket::Options opts;
   opts.port = bind_port;
   opts.reuse_port = reuse_port;
@@ -74,9 +76,12 @@ ShardedMonitorService::ShardedMonitorService(Params params)
     // datagrams go straight into the dispatcher, foreign ones are handed
     // off to their owner's command queue.
     s->loop->set_receive_handler(
-        [this, s](PeerId from, std::span<const std::byte> data) {
-          route_datagram(*s, from, data);
+        [this, s](PeerId from, std::span<const std::byte> data, Tick arrival) {
+          route_datagram(*s, from, data, arrival);
         });
+    // Foreign datagrams staged by the router are flushed once per receive
+    // batch — one bulk command and at most one wake per destination shard.
+    s->loop->set_batch_end_handler([this, s] { flush_handoffs(*s); });
     s->loop->set_wake_handler([this, s] { drain_commands(*s); });
   }
 
@@ -140,27 +145,54 @@ void ShardedMonitorService::drain_commands(Shard& s) {
 }
 
 void ShardedMonitorService::route_datagram(Shard& s, PeerId from,
-                                           std::span<const std::byte> data) {
+                                           std::span<const std::byte> data,
+                                           Tick arrival) {
   const net::SocketAddress addr = s.loop->peer_address(from);
   const std::size_t owner = shard_of(addr, shards_.size());
   if (owner == s.index) {
-    s.dispatcher->ingest(from, data);
+    s.dispatcher->ingest(from, data, arrival);
     return;
   }
-  // Hash hand-off: marshal the raw bytes to the owning shard and replay
-  // them there. Heartbeats are loss-tolerant, so a full queue drops the
-  // datagram (counted) instead of blocking the receive path.
-  Shard& dst = *shards_[owner];
-  std::vector<std::byte> bytes(data.begin(), data.end());
-  Command cmd = [dstp = &dst, addr, bytes = std::move(bytes)] {
-    dstp->loop->inject_datagram(addr, bytes);
-  };
-  if (!dst.commands.try_push(std::move(cmd))) {
-    ++s.handoff_dropped;
-    return;
+  // Hash hand-off: stage the raw bytes (plus the arrival stamp observed
+  // here, so the owner's estimator sees the true receive time) for the
+  // owning shard. The stage is flushed once per receive batch.
+  HandoffStage& stage = s.staging[owner];
+  HandoffStage::Item item;
+  item.from = addr;
+  item.arrival = arrival;
+  item.offset = static_cast<std::uint32_t>(stage.bytes.size());
+  item.length = static_cast<std::uint32_t>(data.size());
+  stage.bytes.insert(stage.bytes.end(), data.begin(), data.end());
+  stage.items.push_back(item);
+}
+
+void ShardedMonitorService::flush_handoffs(Shard& s) {
+  for (std::size_t owner = 0; owner < s.staging.size(); ++owner) {
+    HandoffStage& stage = s.staging[owner];
+    if (stage.empty()) continue;
+    const std::uint64_t count = stage.items.size();
+    Shard& dst = *shards_[owner];
+    // The whole stage moves into one command; the staging slot is left
+    // empty (moved-from) and regrows next batch. Heartbeats are
+    // loss-tolerant, so a full queue drops the batch (counted) instead of
+    // blocking the receive path.
+    Command cmd = [dstp = &dst, batch = std::move(stage)] {
+      for (const HandoffStage::Item& it : batch.items) {
+        dstp->loop->inject_datagram(
+            it.from,
+            std::span<const std::byte>(batch.bytes.data() + it.offset, it.length),
+            it.arrival);
+      }
+    };
+    stage = HandoffStage{};
+    if (!dst.commands.try_push(std::move(cmd))) {
+      s.handoff_dropped += count;
+      continue;
+    }
+    s.handoff_out += count;
+    ++s.handoff_batches;
+    dst.loop->wake();
   }
-  ++s.handoff_out;
-  dst.loop->wake();
 }
 
 void ShardedMonitorService::post(Shard& s, Command cmd) {
@@ -298,6 +330,7 @@ ShardedMonitorService::ShardStats ShardedMonitorService::collect_stats_on_shard(
   st.service_heartbeats = s.fd->heartbeats_processed();
   st.handoff_out = s.handoff_out;
   st.handoff_dropped = s.handoff_dropped;
+  st.handoff_batches = s.handoff_batches;
   st.commands_run = s.commands_run;
   st.events_dropped = s.events_dropped.load(std::memory_order_relaxed);
   return st;

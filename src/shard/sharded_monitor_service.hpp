@@ -18,9 +18,12 @@
 //      service port with SO_REUSEPORT and the kernel spreads inbound
 //      flows; with kSingleSocket (the portable fallback) shard 0 owns the
 //      only service socket. Either way, a datagram landing on a shard
-//      that does not own its source peer is handed off — raw bytes
-//      marshalled to the owner's command queue and re-injected there, so
-//      decoding and detector updates stay shard-confined.
+//      that does not own its source peer is handed off — raw bytes and
+//      arrival stamps staged per destination for the duration of one
+//      receive batch, then marshalled to each owner's command queue as a
+//      single bulk command (at most one wake per shard per batch) and
+//      re-injected there, so decoding and detector updates stay
+//      shard-confined.
 //   3. Aggregation: Suspect/Trust transitions flow out through per-shard
 //      MPSC event queues, drained by poll_events() into an immutable
 //      global view snapshot; view() hands readers the current snapshot
@@ -115,6 +118,10 @@ class ShardedMonitorService {
     std::uint64_t service_heartbeats = 0;
     std::uint64_t handoff_out = 0;      ///< datagrams forwarded to siblings
     std::uint64_t handoff_dropped = 0;  ///< forwards lost: sibling queue full
+    /// Hand-off flush commands pushed (one per destination shard per
+    /// receive batch). handoff_out / handoff_batches is the wake-
+    /// coalescing factor the batched receive path buys.
+    std::uint64_t handoff_batches = 0;
     std::uint64_t commands_run = 0;
     std::uint64_t events_dropped = 0;   ///< transitions lost: event queue full
 
@@ -179,6 +186,25 @@ class ShardedMonitorService {
  private:
   using Command = std::function<void()>;
 
+  /// Foreign datagrams staged during one receive batch, bound for one
+  /// destination shard: raw bytes in a flat buffer plus per-datagram
+  /// (source, extent, arrival) records. Flushed as ONE command and at
+  /// most one wake at batch end; the flush moves the buffers into the
+  /// command closure, so marshalling costs one allocation per destination
+  /// shard per batch rather than one per datagram.
+  struct HandoffStage {
+    struct Item {
+      net::SocketAddress from;
+      Tick arrival = 0;
+      std::uint32_t offset = 0;  ///< into `bytes`
+      std::uint32_t length = 0;
+    };
+    std::vector<std::byte> bytes;
+    std::vector<Item> items;
+
+    [[nodiscard]] bool empty() const noexcept { return items.empty(); }
+  };
+
   struct Shard {
     std::size_t index = 0;
     std::unique_ptr<net::EventLoop> loop;
@@ -187,9 +213,13 @@ class ShardedMonitorService {
     MpscQueue<Command> commands;
     MpscQueue<StatusEvent> events;
     std::atomic<bool> stop_requested{false};
+    // Shard-thread-only: per-destination hand-off staging for the batch
+    // currently being drained (index = destination shard; own slot unused).
+    std::vector<HandoffStage> staging;
     // Shard-thread-only counters (published via the stats command).
     std::uint64_t handoff_out = 0;
     std::uint64_t handoff_dropped = 0;
+    std::uint64_t handoff_batches = 0;
     std::uint64_t commands_run = 0;
     std::atomic<std::uint64_t> events_dropped{0};
     std::thread thread;
@@ -200,7 +230,9 @@ class ShardedMonitorService {
 
   void worker_main(Shard& s);
   void drain_commands(Shard& s);
-  void route_datagram(Shard& s, PeerId from, std::span<const std::byte> data);
+  void route_datagram(Shard& s, PeerId from, std::span<const std::byte> data,
+                      Tick arrival);
+  void flush_handoffs(Shard& s);
   void post(Shard& s, Command cmd);
   void publish_event(Shard& s, StatusEvent event);
   void republish_locked();

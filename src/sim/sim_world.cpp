@@ -138,7 +138,10 @@ void SimWorld::dispatch_send(PeerId from, PeerId to, std::vector<std::byte> data
       [this, dest, from, payload = std::move(data)]() {
         ++delivered_;
         if (dest->on_receive_) {
-          dest->on_receive_(from, std::span<const std::byte>(payload));
+          // Arrival = delivery instant on the destination's local clock,
+          // matching the live runtime's "stamp at RX" semantics.
+          dest->on_receive_(from, std::span<const std::byte>(payload),
+                            dest->now());
         }
       },
       kInvalidTimer);

@@ -72,15 +72,22 @@ TEST(EventLoop, LoopbackTransportDelivers) {
   const PeerId rx_peer = tx.add_peer(SocketAddress::loopback(rx.local_port()));
 
   std::string got;
-  rx.set_receive_handler([&](PeerId, std::span<const std::byte> data) {
+  Tick arrival = -1;
+  rx.set_receive_handler([&](PeerId, std::span<const std::byte> data, Tick at) {
     got.assign(reinterpret_cast<const char*>(data.data()), data.size());
+    arrival = at;
     rx.stop();
   });
   tx.send(rx_peer, bytes("over-the-wire"));
+  const Tick before = rx.now();
   rx.run_for(ticks_from_sec(2));
   EXPECT_EQ(got, "over-the-wire");
   EXPECT_EQ(tx.datagrams_sent(), 1u);
   EXPECT_EQ(rx.datagrams_received(), 1u);
+  // The arrival stamp lands inside the run window regardless of which
+  // rung of the timestamp ladder produced it.
+  EXPECT_GE(arrival, before - ticks_from_sec(1));
+  EXPECT_LE(arrival, rx.now());
 }
 
 TEST(EventLoop, ReceiveIdentifiesSender) {
@@ -91,7 +98,7 @@ TEST(EventLoop, ReceiveIdentifiesSender) {
   // the same id.
   const PeerId expected = rx.add_peer(SocketAddress::loopback(tx.local_port()));
   PeerId seen = 0;
-  rx.set_receive_handler([&](PeerId from, std::span<const std::byte>) {
+  rx.set_receive_handler([&](PeerId from, std::span<const std::byte>, Tick) {
     seen = from;
     rx.stop();
   });
@@ -246,11 +253,43 @@ TEST(EventLoop, StatsCountDatagrams) {
   EventLoop rx;
   EventLoop tx;
   const PeerId rx_peer = tx.add_peer(SocketAddress::loopback(rx.local_port()));
-  rx.set_receive_handler([&](PeerId, std::span<const std::byte>) { rx.stop(); });
+  rx.set_receive_handler(
+      [&](PeerId, std::span<const std::byte>, Tick) { rx.stop(); });
   tx.send(rx_peer, bytes("ping"));
   rx.run_for(ticks_from_sec(2));
   EXPECT_EQ(tx.stats().datagrams_sent, 1u);
   EXPECT_EQ(rx.stats().datagrams_received, 1u);
+  EXPECT_EQ(rx.stats().rx_batches, 1u);
+  EXPECT_EQ(rx.stats().rx_batch_min, 1u);
+  EXPECT_EQ(rx.stats().rx_batch_max, 1u);
+  EXPECT_EQ(rx.stats().rx_kernel_stamps + rx.stats().rx_clock_stamps, 1u);
+  EXPECT_EQ(rx.stats().recv_errors, 0u);
+}
+
+TEST(EventLoop, SendManyFansOutOnePayload) {
+  EventLoop rx1;
+  EventLoop rx2;
+  EventLoop tx;
+  const PeerId p1 = tx.add_peer(SocketAddress::loopback(rx1.local_port()));
+  const PeerId p2 = tx.add_peer(SocketAddress::loopback(rx2.local_port()));
+  const std::vector<PeerId> targets{p1, p2};
+
+  std::string got1;
+  std::string got2;
+  rx1.set_receive_handler([&](PeerId, std::span<const std::byte> d, Tick) {
+    got1.assign(reinterpret_cast<const char*>(d.data()), d.size());
+    rx1.stop();
+  });
+  rx2.set_receive_handler([&](PeerId, std::span<const std::byte> d, Tick) {
+    got2.assign(reinterpret_cast<const char*>(d.data()), d.size());
+    rx2.stop();
+  });
+  tx.send_many(targets, bytes("tick"));
+  rx1.run_for(ticks_from_sec(2));
+  rx2.run_for(ticks_from_sec(2));
+  EXPECT_EQ(got1, "tick");
+  EXPECT_EQ(got2, "tick");
+  EXPECT_EQ(tx.stats().datagrams_sent, 2u);
 }
 
 TEST(EventLoop, StopFromTimer) {

@@ -223,7 +223,13 @@ TEST(ShardedService, SingleSocketHandoffDetectsCrashes) {
         << foreign << " beacons hash to shards 1..3; their heartbeats must be handed off";
     EXPECT_GT(total.loop.datagrams_injected, 0u);
     EXPECT_GT(total.loop.wakeups_cross, 0u);
+    // Hand-offs move per receive batch: at least one flush happened, and
+    // never more than one flush command per forwarded datagram.
+    EXPECT_GT(total.handoff_batches, 0u);
+    EXPECT_LE(total.handoff_batches, total.handoff_out);
   }
+  EXPECT_GT(total.loop.rx_batches, 0u);
+  EXPECT_GE(total.loop.rx_batch_max, total.loop.rx_batch_min);
 
   const auto per_shard = svc.shard_stats();
   std::uint64_t receiving_shards = 0;

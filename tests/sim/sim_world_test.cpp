@@ -27,7 +27,7 @@ TEST(SimWorld, DeliversWithLinkDelay) {
 
   Tick delivered_at = -1;
   std::string got;
-  b.set_receive_handler([&](PeerId from, std::span<const std::byte> data) {
+  b.set_receive_handler([&](PeerId from, std::span<const std::byte> data, Tick) {
     EXPECT_EQ(from, a.id());
     got.assign(reinterpret_cast<const char*>(data.data()), data.size());
     delivered_at = world.now();
@@ -46,7 +46,7 @@ TEST(SimWorld, UnroutableDropsSilently) {
   auto& a = world.add_endpoint("a");
   auto& b = world.add_endpoint("b");
   bool got = false;
-  b.set_receive_handler([&](PeerId, std::span<const std::byte>) { got = true; });
+  b.set_receive_handler([&](PeerId, std::span<const std::byte>, Tick) { got = true; });
   a.send(b.id(), bytes("x"));  // no link installed
   world.run();
   EXPECT_FALSE(got);
@@ -59,7 +59,7 @@ TEST(SimWorld, LossyLinkDrops) {
   auto& b = world.add_endpoint("b");
   world.connect(a, b, fixed_link(0.001, 1.0));  // everything lost
   bool got = false;
-  b.set_receive_handler([&](PeerId, std::span<const std::byte>) { got = true; });
+  b.set_receive_handler([&](PeerId, std::span<const std::byte>, Tick) { got = true; });
   a.send(b.id(), bytes("x"));
   world.run();
   EXPECT_FALSE(got);
@@ -215,7 +215,7 @@ TEST(SimWorld, FifoLinkPreservesOrderUnderJitter) {
   world.connect(a, b, std::move(p));
 
   std::vector<int> received;
-  b.set_receive_handler([&](PeerId, std::span<const std::byte> data) {
+  b.set_receive_handler([&](PeerId, std::span<const std::byte> data, Tick) {
     received.push_back(static_cast<int>(data[0]));
   });
   // Send 50 numbered messages 1 ms apart; heavy jitter would reorder a
@@ -241,7 +241,7 @@ TEST(SimWorld, ReproducibleForSeed) {
     world.connect(a, b, std::move(p));
     std::vector<Tick> arrivals;
     b.set_receive_handler(
-        [&](PeerId, std::span<const std::byte>) { arrivals.push_back(world.now()); });
+        [&](PeerId, std::span<const std::byte>, Tick) { arrivals.push_back(world.now()); });
     for (int i = 0; i < 100; ++i) {
       const std::byte payload[1] = {static_cast<std::byte>(i)};
       a.schedule_at(i * ticks_from_ms(2),
@@ -259,7 +259,7 @@ TEST(SimWorld, DisconnectDropsSubsequentSends) {
   auto& b = world.add_endpoint("b");
   world.connect(a, b, fixed_link(0.001));
   int got = 0;
-  b.set_receive_handler([&](PeerId, std::span<const std::byte>) { ++got; });
+  b.set_receive_handler([&](PeerId, std::span<const std::byte>, Tick) { ++got; });
   a.send(b.id(), bytes("one"));
   world.run();
   world.disconnect(a, b);
@@ -283,7 +283,7 @@ TEST(SimWorld, BottleneckSerializesBackToBackSends) {
 
   std::vector<Tick> arrivals;
   b.set_receive_handler(
-      [&](PeerId, std::span<const std::byte>) { arrivals.push_back(world.now()); });
+      [&](PeerId, std::span<const std::byte>, Tick) { arrivals.push_back(world.now()); });
   // Three 5-byte datagrams sent at the same instant queue behind each
   // other: deliveries at 5, 10, 15 ms.
   a.send(b.id(), bytes("aaaaa"));
@@ -305,7 +305,7 @@ TEST(SimWorld, BottleneckIdlesBetweenSpacedSends) {
   world.connect(a, b, std::move(p));
   std::vector<Tick> arrivals;
   b.set_receive_handler(
-      [&](PeerId, std::span<const std::byte>) { arrivals.push_back(world.now()); });
+      [&](PeerId, std::span<const std::byte>, Tick) { arrivals.push_back(world.now()); });
   // Sends 100 ms apart: no queueing, each takes only its own 5 ms.
   a.schedule_at(0, [&] { a.send(b.id(), bytes("aaaaa")); });
   a.schedule_at(ticks_from_ms(100), [&] { a.send(b.id(), bytes("bbbbb")); });
@@ -321,8 +321,8 @@ TEST(SimWorld, ConnectBothInstallsSymmetricLinks) {
   auto& b = world.add_endpoint("b");
   world.connect_both(a, b, lan_link());
   int a_got = 0, b_got = 0;
-  a.set_receive_handler([&](PeerId, std::span<const std::byte>) { ++a_got; });
-  b.set_receive_handler([&](PeerId, std::span<const std::byte>) { ++b_got; });
+  a.set_receive_handler([&](PeerId, std::span<const std::byte>, Tick) { ++a_got; });
+  b.set_receive_handler([&](PeerId, std::span<const std::byte>, Tick) { ++b_got; });
   a.send(b.id(), bytes("x"));
   b.send(a.id(), bytes("y"));
   world.run();

@@ -23,6 +23,13 @@ cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
+echo "== bench smoke: net_hotpath (tiny samples) =="
+# Keeps the hot-path bench binary from rotting; runs in the build tree so
+# its tiny-sample JSON never clobbers a real BENCH_net_hotpath.json.
+( cd "$BUILD_DIR" &&
+  FD_BENCH_HOTPATH_ROUNDS=5 FD_BENCH_HOTPATH_DATAGRAMS=64 \
+  FD_BENCH_HOTPATH_FANOUT=32 bench/net_hotpath >/dev/null )
+
 echo "== ASan+UBSan (build-sanitize) =="
 tools/sanitize_check.sh
 

@@ -185,6 +185,16 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(s.wakeups_io),
         static_cast<unsigned long long>(s.wakeups_timer),
         static_cast<unsigned long long>(s.wakeups_spurious));
+    std::printf(
+        "rx batches: n=%llu size=%llu..%llu | stamps kernel=%llu clock=%llu "
+        "| truncated=%llu recv_errors=%llu\n",
+        static_cast<unsigned long long>(s.rx_batches),
+        static_cast<unsigned long long>(s.rx_batch_min),
+        static_cast<unsigned long long>(s.rx_batch_max),
+        static_cast<unsigned long long>(s.rx_kernel_stamps),
+        static_cast<unsigned long long>(s.rx_clock_stamps),
+        static_cast<unsigned long long>(s.rx_truncated),
+        static_cast<unsigned long long>(s.recv_errors));
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "twfd_monitor: %s\n", e.what());
