@@ -90,5 +90,7 @@ int main() {
             << " clock=" << s.rx_clock_stamps
             << " | truncated=" << s.rx_truncated
             << " recv_errors=" << s.recv_errors << "\n";
+  // Silent-drop accounting: sends the kernel refused (buffer pressure).
+  std::cout << "drops: send_failures=" << s.send_soft_failures << "\n";
   return 0;
 }

@@ -2,7 +2,9 @@
 
 #include <unistd.h>
 
+#include <chrono>
 #include <future>
+#include <stdexcept>
 #include <utility>
 
 #include "common/assert.hpp"
@@ -27,6 +29,9 @@ FdaasServer::Stats& FdaasServer::Stats::operator+=(const Stats& o) {
   conn_soft_errors += o.conn_soft_errors;
   bytes_sent += o.bytes_sent;
   bytes_received += o.bytes_received;
+  health_broadcasts += o.health_broadcasts;
+  post_retries += o.post_retries;
+  post_stalls += o.post_stalls;
   return *this;
 }
 
@@ -92,9 +97,23 @@ void FdaasServer::drain_commands() {
 }
 
 void FdaasServer::post(Command cmd) {
-  while (!commands_.try_push(std::move(cmd))) {
+  // Bounded backoff ladder (mirrors ShardedMonitorService::post): a
+  // wedged API thread must not livelock its callers.
+  constexpr int kYieldRounds = 64;
+  constexpr int kSleepRounds = 200;  // 200 x 1 ms ≈ 200 ms worst case
+  for (int attempt = 0;; ++attempt) {
+    if (commands_.try_push(std::move(cmd))) break;
+    post_retries_.fetch_add(1, std::memory_order_relaxed);
+    if (attempt >= kYieldRounds + kSleepRounds) {
+      post_stalls_.fetch_add(1, std::memory_order_relaxed);
+      throw std::runtime_error("fdaas: command queue wedged, post abandoned");
+    }
     loop_->wake();
-    std::this_thread::yield();
+    if (attempt < kYieldRounds) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
   }
   loop_->wake();
 }
@@ -266,6 +285,24 @@ bool FdaasServer::handle_message(std::uint64_t sid, ControlMessage msg) {
 }
 
 void FdaasServer::deliver(const shard::ShardedMonitorService::StatusEvent& event) {
+  if (event.subscription == shard::ShardedMonitorService::kHealthSubscription) {
+    // Shard health transitions (degraded/recovered) are session-agnostic:
+    // fan them out to every session. Session ids are snapshotted first
+    // because send_frame may evict a slow client and mutate sessions_.
+    std::vector<std::uint64_t> ids;
+    ids.reserve(sessions_.size());
+    for (const auto& [sid, s] : sessions_) ids.push_back(sid);
+    for (const std::uint64_t sid : ids) {
+      const auto it = sessions_.find(sid);
+      if (it == sessions_.end()) continue;
+      if (send_frame(*it->second,
+                     EventMsg{event.subscription, event.output, event.when})) {
+        ++stats_.events_pushed;
+        ++stats_.health_broadcasts;
+      }
+    }
+    return;
+  }
   const auto owner = sub_owner_.find(event.subscription);
   if (owner == sub_owner_.end()) {
     ++stats_.events_unroutable;
@@ -367,6 +404,8 @@ FdaasServer::Stats FdaasServer::collect_stats() {
   out.subscriptions_active = sub_owner_.size();
   out.accept_resource_failures = listener_.resource_failures();
   out.accept_aborted = listener_.aborted_accepts();
+  out.post_retries = post_retries_.load(std::memory_order_relaxed);
+  out.post_stalls = post_stalls_.load(std::memory_order_relaxed);
   return out;
 }
 

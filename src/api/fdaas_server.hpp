@@ -78,6 +78,9 @@ class FdaasServer {
     std::uint64_t conn_soft_errors = 0;
     std::uint64_t bytes_sent = 0;
     std::uint64_t bytes_received = 0;
+    std::uint64_t health_broadcasts = 0;  ///< shard health events fanned out
+    std::uint64_t post_retries = 0;  ///< control pushes that found the queue full
+    std::uint64_t post_stalls = 0;   ///< posts abandoned: queue wedged
 
     Stats& operator+=(const Stats& o);
   };
@@ -150,6 +153,8 @@ class FdaasServer {
   MpscQueue<Command> commands_;
   std::thread thread_;
   std::atomic<bool> stop_requested_{false};
+  std::atomic<std::uint64_t> post_retries_{0};
+  std::atomic<std::uint64_t> post_stalls_{0};
   bool running_ = false;
 
   // --- API-thread-only state ---

@@ -1,0 +1,202 @@
+#include "api/reconnecting_client.hpp"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace twfd::api {
+
+ReconnectingClient::ReconnectingClient(const net::SocketAddress& server)
+    : ReconnectingClient(server, Options{}) {}
+
+ReconnectingClient::ReconnectingClient(const net::SocketAddress& server,
+                                       Options options)
+    : server_(server),
+      options_(options),
+      jitter_(options.jitter_seed),
+      backoff_(options.backoff_min) {}
+
+void ReconnectingClient::close() noexcept {
+  if (client_) client_->close();
+  client_.reset();
+  by_server_id_.clear();
+  for (auto& [handle, sub] : subs_) sub.server_id = 0;
+}
+
+void ReconnectingClient::note_disconnect() {
+  client_.reset();
+  by_server_id_.clear();
+  for (auto& [handle, sub] : subs_) sub.server_id = 0;
+}
+
+void ReconnectingClient::deliver(std::uint64_t handle, detect::Output output,
+                                 Tick when, bool synthetic) {
+  auto it = subs_.find(handle);
+  if (it == subs_.end()) return;
+  it->second.last = output;
+  it->second.since = when;
+  ++events_delivered_;
+  if (synthetic) ++reconciled_events_;
+  if (on_event_) {
+    EventMsg e;
+    e.subscription_id = handle;  // the stable id, not the server's
+    e.output = output;
+    e.when = when;
+    on_event_(e);
+  }
+}
+
+void ReconnectingClient::handle_server_event(const EventMsg& e) {
+  if (e.subscription_id == 0) {
+    // Shard health broadcast (server-side degraded/recovered): forward
+    // verbatim — 0 is never a handle, so the application can tell these
+    // apart from verdicts.
+    ++events_delivered_;
+    if (on_event_) on_event_(e);
+    return;
+  }
+  const auto it = by_server_id_.find(e.subscription_id);
+  if (it == by_server_id_.end()) return;  // an id from a previous session
+  deliver(it->second, e.output, e.when, /*synthetic=*/false);
+}
+
+bool ReconnectingClient::try_connect_once() {
+  try {
+    auto fresh = std::make_unique<Client>(server_, options_.client);
+    fresh->set_event_handler(
+        [this](const EventMsg& e) { handle_server_event(e); });
+
+    // Re-establish the desired set. The server ids are fresh; the stable
+    // handles (and their last-delivered verdicts) carry over.
+    by_server_id_.clear();
+    for (auto& [handle, sub] : subs_) {
+      sub.server_id = 0;
+      try {
+        sub.server_id =
+            fresh->subscribe(sub.peer, sub.sender_id, sub.app, sub.qos);
+        by_server_id_[sub.server_id] = handle;
+      } catch (const std::exception& e) {
+        if (!fresh->connected()) throw;  // connection died mid-resubscribe
+        // A healthy server actively rejected the tuple it accepted
+        // before (config drift). Keep the subscription pending rather
+        // than silently dropping it; the next reconnect retries.
+        last_error_ = e.what();
+      }
+    }
+
+    // Reconcile: one synthetic event per subscription whose verdict
+    // changed while we were away, so the application observes the net
+    // transition it missed.
+    for (const SnapshotEntry& entry : fresh->snapshot()) {
+      const auto it = by_server_id_.find(entry.subscription_id);
+      if (it == by_server_id_.end()) continue;
+      const Sub& sub = subs_.at(it->second);
+      if (entry.output != sub.last) {
+        deliver(it->second, entry.output, entry.since, /*synthetic=*/true);
+      }
+    }
+
+    client_ = std::move(fresh);
+    if (ever_connected_) ++reconnects_;
+    ever_connected_ = true;
+    backoff_ = options_.backoff_min;
+    return true;
+  } catch (const std::exception& e) {
+    last_error_ = e.what();
+    note_disconnect();
+    return false;
+  }
+}
+
+bool ReconnectingClient::ensure_connected(Tick deadline) {
+  if (client_ && client_->connected()) return true;
+  while (true) {
+    if (try_connect_once()) return true;
+    const Tick now = clock_.now();
+    if (now >= deadline) return false;
+    // Jittered sleep: backoff * [0.5, 1.0), clipped to the deadline so a
+    // bounded pump never oversleeps its budget.
+    const Tick step = static_cast<Tick>(
+        static_cast<double>(backoff_) * (0.5 + 0.5 * jitter_.uniform01()));
+    const Tick sleep_for = std::min(std::max<Tick>(step, ticks_from_ms(1)),
+                                    deadline - now);
+    std::this_thread::sleep_for(std::chrono::nanoseconds(sleep_for));
+    backoff_ = std::min(backoff_ * 2, options_.backoff_max);
+    if (clock_.now() >= deadline) return false;
+  }
+}
+
+std::uint64_t ReconnectingClient::subscribe(const net::SocketAddress& peer,
+                                            std::uint64_t sender_id,
+                                            const std::string& app,
+                                            const config::QosRequirements& qos) {
+  const std::uint64_t handle = next_handle_++;
+  Sub sub;
+  sub.peer = peer;
+  sub.sender_id = sender_id;
+  sub.app = app;
+  sub.qos = qos;
+  subs_.emplace(handle, std::move(sub));
+
+  // Establish eagerly when possible; a dead/unreachable server leaves it
+  // pending for the next reconnect (that is the point of this class).
+  if (!connected()) ensure_connected(clock_.now() + options_.client.connect_timeout);
+  if (connected()) {
+    Sub& registered = subs_.at(handle);
+    try {
+      registered.server_id =
+          client_->subscribe(registered.peer, registered.sender_id,
+                             registered.app, registered.qos);
+      by_server_id_[registered.server_id] = handle;
+    } catch (const std::exception& e) {
+      if (client_ && client_->connected()) {
+        // Active rejection over a healthy connection (infeasible QoS) is
+        // a caller error: remove from the desired set and surface it.
+        subs_.erase(handle);
+        throw;
+      }
+      last_error_ = e.what();
+      note_disconnect();  // pending; re-established on reconnect
+    }
+  }
+  return handle;
+}
+
+void ReconnectingClient::unsubscribe(std::uint64_t handle) {
+  const auto it = subs_.find(handle);
+  if (it == subs_.end()) return;
+  if (connected() && it->second.server_id != 0) {
+    try {
+      client_->unsubscribe(it->second.server_id);
+    } catch (const std::exception& e) {
+      // Best effort: a dead connection tears the session (and its
+      // subscriptions) down server-side anyway.
+      last_error_ = e.what();
+      if (!client_->connected()) note_disconnect();
+    }
+  }
+  by_server_id_.erase(it->second.server_id);
+  subs_.erase(it);
+}
+
+bool ReconnectingClient::pump_for(Tick duration) {
+  const Tick deadline = clock_.now() + duration;
+  while (true) {
+    const Tick now = clock_.now();
+    if (now >= deadline) break;
+    if (!ensure_connected(deadline)) break;
+    if (!client_->pump_for(deadline - clock_.now())) {
+      note_disconnect();  // dropped mid-pump; loop reconnects with backoff
+    }
+  }
+  return connected();
+}
+
+std::optional<detect::Output> ReconnectingClient::verdict(
+    std::uint64_t handle) const {
+  const auto it = subs_.find(handle);
+  if (it == subs_.end()) return std::nullopt;
+  return it->second.last;
+}
+
+}  // namespace twfd::api

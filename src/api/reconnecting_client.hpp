@@ -1,0 +1,143 @@
+// Self-healing wrapper around api::Client: survives any number of
+// connection drops (server restarts, mid-stream resets, chaos-proxy
+// kills) while preserving pump_for semantics.
+//
+// The wrapper owns the DESIRED subscription set, keyed by stable local
+// handles that never change across reconnects (the server-global ids
+// do). On every (re)connect it
+//   1. dials with capped exponential backoff + deterministic jitter,
+//   2. re-subscribes every registered subscription,
+//   3. reconciles: fetches a snapshot and, for each subscription whose
+//      current server verdict differs from the last verdict delivered to
+//      the application, synthesizes exactly one event — so a transition
+//      that happened during the outage is re-emitted rather than lost.
+//      (Intermediate flaps inside the outage are unobservable by
+//      construction; reconciliation restores the NET transition.)
+//
+// Events reach the handler with subscription_id rewritten to the stable
+// local handle, so application state keyed by the return value of
+// subscribe() stays valid forever. Synthetic reconciliation events are
+// indistinguishable from pushed ones on purpose.
+//
+// Not thread-safe: one thread owns a ReconnectingClient, like Client.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "api/client.hpp"
+#include "common/rng.hpp"
+
+namespace twfd::api {
+
+class ReconnectingClient {
+ public:
+  struct Options {
+    Client::Options client{};
+    /// Reconnect backoff ladder: doubles per failed attempt, resets on
+    /// success; each sleep is jittered to backoff * [0.5, 1.0).
+    Tick backoff_min = ticks_from_ms(50);
+    Tick backoff_max = ticks_from_sec(5);
+    /// Seed for the deterministic jitter stream (reproducible runs).
+    std::uint64_t jitter_seed = 1;
+  };
+
+  /// Lazy: no connection is attempted until the first call that needs
+  /// one (subscribe / pump_for / ping), so a client can be built while
+  /// the server is still down.
+  explicit ReconnectingClient(const net::SocketAddress& server);
+  ReconnectingClient(const net::SocketAddress& server, Options options);
+
+  ReconnectingClient(const ReconnectingClient&) = delete;
+  ReconnectingClient& operator=(const ReconnectingClient&) = delete;
+
+  /// Handler for Suspect/Trust events; EventMsg::subscription_id is the
+  /// stable local handle, and reconciliation synthesizes events for
+  /// transitions that happened while disconnected.
+  void set_event_handler(Client::EventHandler handler) {
+    on_event_ = std::move(handler);
+  }
+
+  /// Registers the subscription in the desired set and establishes it on
+  /// the live connection when there is one. Returns the stable handle.
+  /// Throws std::runtime_error only when the server actively REJECTS the
+  /// tuple (infeasible QoS) over a healthy connection; a dead connection
+  /// leaves the subscription pending for the next reconnect.
+  std::uint64_t subscribe(const net::SocketAddress& peer, std::uint64_t sender_id,
+                          const std::string& app,
+                          const config::QosRequirements& qos);
+  /// Removes from the desired set (and the live session, best effort).
+  void unsubscribe(std::uint64_t handle);
+
+  /// Pumps events for `duration`, transparently reconnecting (with
+  /// backoff) and reconciling as often as needed. Returns true when the
+  /// connection is healthy at the deadline, false when the whole
+  /// duration elapsed without one.
+  bool pump_for(Tick duration);
+
+  /// Last verdict delivered to the application for `handle` (from pushed
+  /// events or reconciliation); nullopt for unknown handles.
+  [[nodiscard]] std::optional<detect::Output> verdict(std::uint64_t handle) const;
+
+  [[nodiscard]] bool connected() const noexcept {
+    return client_ && client_->connected();
+  }
+  void close() noexcept;
+
+  /// Successful connections beyond the first (i.e. recoveries).
+  [[nodiscard]] std::uint64_t reconnects() const noexcept { return reconnects_; }
+  /// Events delivered to the handler, synthetic reconciliation ones
+  /// included.
+  [[nodiscard]] std::uint64_t events_delivered() const noexcept {
+    return events_delivered_;
+  }
+  /// Reconciliation events synthesized (subset of events_delivered).
+  [[nodiscard]] std::uint64_t reconciled_events() const noexcept {
+    return reconciled_events_;
+  }
+  [[nodiscard]] const std::string& last_error() const noexcept {
+    return last_error_;
+  }
+
+ private:
+  struct Sub {
+    net::SocketAddress peer;
+    std::uint64_t sender_id = 0;
+    std::string app;
+    config::QosRequirements qos;
+    std::uint64_t server_id = 0;  ///< 0 = not established on current conn
+    detect::Output last = detect::Output::Trust;
+    Tick since = 0;
+  };
+
+  /// Connects (retrying with backoff) until `deadline`; true when a
+  /// healthy, resubscribed, reconciled connection is live.
+  bool ensure_connected(Tick deadline);
+  /// One dial + resubscribe + reconcile attempt; false on any failure.
+  bool try_connect_once();
+  void note_disconnect();
+  void deliver(std::uint64_t handle, detect::Output output, Tick when,
+               bool synthetic);
+  void handle_server_event(const EventMsg& e);
+
+  net::SocketAddress server_;
+  Options options_;
+  SteadyClock clock_;
+  Client::EventHandler on_event_;
+  std::unique_ptr<Client> client_;
+  std::map<std::uint64_t, Sub> subs_;            ///< handle -> desired sub
+  std::map<std::uint64_t, std::uint64_t> by_server_id_;  ///< current conn only
+  std::uint64_t next_handle_ = 1;
+  Xoshiro256 jitter_;
+  Tick backoff_ = 0;
+  bool ever_connected_ = false;
+  std::uint64_t reconnects_ = 0;
+  std::uint64_t events_delivered_ = 0;
+  std::uint64_t reconciled_events_ = 0;
+  std::string last_error_;
+};
+
+}  // namespace twfd::api

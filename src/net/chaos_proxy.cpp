@@ -1,0 +1,188 @@
+#include "net/chaos_proxy.hpp"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace twfd::net {
+
+ChaosTcpProxy::ChaosTcpProxy(Options options)
+    : options_(std::move(options)),
+      listener_({options_.listen_port}),
+      engine_(options_.plan) {}
+
+ChaosTcpProxy::~ChaosTcpProxy() { stop(); }
+
+void ChaosTcpProxy::start() {
+  TWFD_CHECK_MSG(!running_, "proxy already started");
+  stop_requested_.store(false, std::memory_order_release);
+  running_ = true;
+  thread_ = std::thread([this] { pump_main(); });
+}
+
+void ChaosTcpProxy::stop() {
+  if (!running_) return;
+  stop_requested_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  running_ = false;
+  links_.clear();
+}
+
+void ChaosTcpProxy::force_reset() {
+  force_resets_requested_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+ChaosTcpProxy::Stats ChaosTcpProxy::stats() const {
+  std::lock_guard lk(stats_mu_);
+  return stats_;
+}
+
+bool ChaosTcpProxy::link_dead(const Link& link) const {
+  // A side is finished when its source hit EOF and everything read from
+  // it has been forwarded. Half-open forwarding is not worth modelling
+  // for a chaos tool: either direction ending ends the link.
+  const bool up_done =
+      !link.client.valid() || (link.up.src_closed && link.up.pos >= link.up.buf.size());
+  const bool down_done = !link.upstream.valid() ||
+                         (link.down.src_closed && link.down.pos >= link.down.buf.size());
+  return up_done || down_done;
+}
+
+void ChaosTcpProxy::accept_new() {
+  while (links_.size() < options_.max_links) {
+    auto accepted = listener_.accept();
+    if (!accepted) break;
+    auto upstream = TcpConn::connect(options_.upstream, ticks_from_sec(2));
+    if (!upstream) {
+      TcpConn(accepted->fd).close();
+      continue;
+    }
+    auto link = std::make_unique<Link>();
+    link->client = TcpConn(accepted->fd);
+    link->upstream = std::move(*upstream);
+    links_.push_back(std::move(link));
+    std::lock_guard lk(stats_mu_);
+    ++stats_.links_opened;
+  }
+}
+
+std::size_t ChaosTcpProxy::pump_pipe(Pipe& pipe, TcpConn& src, TcpConn& dst) {
+  // Refill from the source while the buffer stays under the cap.
+  std::byte scratch[4096];
+  while (!pipe.src_closed && pipe.buf.size() - pipe.pos < options_.max_buffered) {
+    const auto r = src.read_some(scratch);
+    if (r.status == TcpConn::IoStatus::kOk) {
+      pipe.buf.insert(pipe.buf.end(), scratch, scratch + r.bytes);
+      continue;
+    }
+    if (r.status == TcpConn::IoStatus::kClosed) pipe.src_closed = true;
+    break;
+  }
+
+  // Forward, honouring the trickle cap per turn.
+  std::size_t pending = pipe.buf.size() - pipe.pos;
+  if (options_.plan.tcp_trickle_bytes > 0) {
+    pending = std::min(pending, options_.plan.tcp_trickle_bytes);
+  }
+  std::size_t forwarded = 0;
+  while (forwarded < pending) {
+    const auto w = dst.write_some(std::span<const std::byte>(
+        pipe.buf.data() + pipe.pos, pending - forwarded));
+    if (w.status != TcpConn::IoStatus::kOk) break;
+    pipe.pos += w.bytes;
+    forwarded += w.bytes;
+  }
+  if (pipe.pos >= pipe.buf.size()) {
+    pipe.buf.clear();
+    pipe.pos = 0;
+  } else if (pipe.pos > 8192) {
+    pipe.buf.erase(pipe.buf.begin(),
+                   pipe.buf.begin() + static_cast<std::ptrdiff_t>(pipe.pos));
+    pipe.pos = 0;
+  }
+  return forwarded;
+}
+
+void ChaosTcpProxy::pump_main() {
+  const int timeout_ms = std::max<int>(
+      1, static_cast<int>(options_.pump_interval / ticks_from_ms(1)));
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    accept_new();
+
+    // One pending force_reset kills every active link; the request is
+    // held until at least one link exists so a test's kill cannot be
+    // silently absorbed between connections.
+    const std::uint64_t wanted =
+        force_resets_requested_.load(std::memory_order_acquire);
+    if (wanted > force_resets_done_ && !links_.empty()) {
+      for (auto& link : links_) {
+        link->client.close();
+        link->upstream.close();
+      }
+      const std::uint64_t kills = wanted - force_resets_done_;
+      force_resets_done_ = wanted;
+      links_.clear();
+      std::lock_guard lk(stats_mu_);
+      stats_.forced_resets += kills;
+    }
+
+    const Tick now = clock_.now();
+    std::uint64_t up = 0, down = 0, resets = 0, stalls = 0;
+    for (auto& link : links_) {
+      if (link->stall_until > now) continue;
+      const std::size_t moved_up =
+          pump_pipe(link->up, link->client, link->upstream);
+      const std::size_t moved_down =
+          pump_pipe(link->down, link->upstream, link->client);
+      up += moved_up;
+      down += moved_down;
+      if (moved_up + moved_down == 0) continue;
+      // A chunk crossed the proxy: consult the plan.
+      const FaultEngine::TcpDecision d = engine_.next_chunk();
+      if (d.reset) {
+        link->client.close();
+        link->upstream.close();
+        ++resets;
+        continue;
+      }
+      if (d.stall && options_.plan.tcp_stall_for > 0) {
+        link->stall_until = now + options_.plan.tcp_stall_for;
+        ++stalls;
+      }
+    }
+    std::erase_if(links_,
+                  [this](const std::unique_ptr<Link>& l) { return link_dead(*l); });
+
+    {
+      std::lock_guard lk(stats_mu_);
+      stats_.bytes_up += up;
+      stats_.bytes_down += down;
+      stats_.resets_injected += resets;
+      stats_.stalls += stalls;
+      stats_.links_active = links_.size();
+    }
+
+    // Sleep on readiness of every fd (or the pump interval, whichever
+    // first); IO above is non-blocking, so readiness is an optimisation,
+    // not a correctness requirement.
+    std::vector<pollfd> pfds;
+    pfds.push_back({listener_.fd(), POLLIN, 0});
+    for (const auto& link : links_) {
+      pfds.push_back({link->client.fd(), POLLIN, 0});
+      pfds.push_back({link->upstream.fd(), POLLIN, 0});
+    }
+    ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), timeout_ms);
+  }
+  for (auto& link : links_) {
+    link->client.close();
+    link->upstream.close();
+  }
+  links_.clear();
+  std::lock_guard lk(stats_mu_);
+  stats_.links_active = 0;
+}
+
+}  // namespace twfd::net

@@ -1,0 +1,115 @@
+// Chaos TCP proxy: the stream half of a FaultPlan.
+//
+// Sits in front of a TCP server (the FDaaS API port) and forwards bytes
+// both ways while injecting the plan's stream faults:
+//   reset=P     after forwarding a chunk, abruptly close BOTH sides —
+//               the client sees a mid-stream reset, exactly the failure
+//               api::ReconnectingClient exists to survive;
+//   stall=P:D   freeze the link (no bytes either way) for D;
+//   trickle=N   forward at most N bytes per direction per pump turn —
+//               a pathologically slow path that exercises partial-frame
+//               reassembly and send-queue backpressure.
+//
+// Faults draw from one deterministic FaultEngine (seed logged at start),
+// so a chaos run is reproducible from its plan string. force_reset()
+// kills every active link on demand — tests use it to inject an exact
+// number of resets at exact points in the protocol exchange.
+//
+// One proxy = one background thread; start()/stop() bracket it. Tests
+// run client -> proxy -> server on loopback; twfd_fdaasd --chaos with
+// TCP faults puts one in front of its own API port.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/time.hpp"
+#include "net/fault.hpp"
+#include "net/tcp.hpp"
+
+namespace twfd::net {
+
+class ChaosTcpProxy {
+ public:
+  struct Options {
+    std::uint16_t listen_port = 0;  ///< 0 = ephemeral
+    SocketAddress upstream;         ///< the real server
+    FaultPlan plan;
+    /// Pump cadence (poll timeout); bounds added latency per hop.
+    Tick pump_interval = ticks_from_ms(2);
+    std::size_t max_links = 64;
+    /// Per-direction buffered-byte cap; reading pauses above it.
+    std::size_t max_buffered = 256 * 1024;
+  };
+
+  struct Stats {
+    std::uint64_t links_opened = 0;
+    std::uint64_t links_active = 0;  ///< gauge
+    std::uint64_t resets_injected = 0;  ///< plan-scheduled resets
+    std::uint64_t forced_resets = 0;    ///< force_reset() kills
+    std::uint64_t stalls = 0;
+    std::uint64_t bytes_up = 0;    ///< client -> upstream
+    std::uint64_t bytes_down = 0;  ///< upstream -> client
+  };
+
+  explicit ChaosTcpProxy(Options options);
+  ~ChaosTcpProxy();
+
+  ChaosTcpProxy(const ChaosTcpProxy&) = delete;
+  ChaosTcpProxy& operator=(const ChaosTcpProxy&) = delete;
+
+  /// Spawns the pump thread. The listen socket exists from construction.
+  void start();
+  /// Stops the pump and closes every link. Idempotent.
+  void stop();
+
+  [[nodiscard]] std::uint16_t port() const { return listener_.local_port(); }
+
+  /// Abruptly closes every active link (asynchronously, on the pump
+  /// thread). Each call is honoured exactly once even if links are
+  /// momentarily absent — the kill waits for the next active link.
+  void force_reset();
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Pipe {
+    std::vector<std::byte> buf;  ///< bytes read but not yet forwarded
+    std::size_t pos = 0;
+    bool src_closed = false;
+  };
+  struct Link {
+    TcpConn client;
+    TcpConn upstream;
+    Pipe up;    ///< client -> upstream
+    Pipe down;  ///< upstream -> client
+    Tick stall_until = 0;
+  };
+
+  void pump_main();
+  void accept_new();
+  /// Moves bytes one hop for one direction; returns bytes forwarded.
+  std::size_t pump_pipe(Pipe& pipe, TcpConn& src, TcpConn& dst);
+  [[nodiscard]] bool link_dead(const Link& link) const;
+
+  Options options_;
+  TcpListener listener_;
+  FaultEngine engine_;
+  SteadyClock clock_;
+  std::thread thread_;
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<std::uint64_t> force_resets_requested_{0};
+  bool running_ = false;
+
+  // Pump-thread state; stats mirrored out under the mutex.
+  std::vector<std::unique_ptr<Link>> links_;
+  std::uint64_t force_resets_done_ = 0;
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+};
+
+}  // namespace twfd::net

@@ -1,0 +1,331 @@
+#include "net/fault.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace twfd::net {
+namespace {
+
+[[noreturn]] void bad_spec(const std::string& token, const char* why) {
+  throw std::invalid_argument("fault plan: bad token '" + token + "': " + why);
+}
+
+double parse_probability(const std::string& token, const std::string& value) {
+  char* end = nullptr;
+  const double p = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0') bad_spec(token, "not a number");
+  if (p < 0.0 || p > 1.0) bad_spec(token, "probability outside [0, 1]");
+  return p;
+}
+
+Tick parse_duration(const std::string& token, const std::string& value) {
+  char* end = nullptr;
+  const double n = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || n < 0) bad_spec(token, "not a duration");
+  const std::string suffix = end;
+  if (suffix == "us") return ticks_from_seconds(n * 1e-6);
+  if (suffix == "ms") return ticks_from_seconds(n * 1e-3);
+  if (suffix == "s") return ticks_from_seconds(n);
+  bad_spec(token, "duration needs a us/ms/s suffix");
+}
+
+/// Splits "P:REST" (probability, payload); REST may be empty when the
+/// colon is absent, in which case P defaults to 1.
+std::pair<double, std::string> parse_prob_prefix(const std::string& token,
+                                                 const std::string& value) {
+  const auto colon = value.find(':');
+  if (colon == std::string::npos) return {1.0, value};
+  return {parse_probability(token, value.substr(0, colon)),
+          value.substr(colon + 1)};
+}
+
+std::string format_duration(Tick t) {
+  std::ostringstream os;
+  if (t % ticks_from_ms(1) == 0) {
+    os << (t / ticks_from_ms(1)) << "ms";
+  } else {
+    os << (t / ticks_from_us(1)) << "us";
+  }
+  return os.str();
+}
+
+std::string format_probability(double p) {
+  std::ostringstream os;
+  os << p;
+  return os.str();
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const auto comma = spec.find(',', pos);
+    const std::string token = spec.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    pos = comma == std::string::npos ? spec.size() : comma + 1;
+    if (token.empty()) continue;
+
+    const auto eq = token.find('=');
+    if (eq == std::string::npos) bad_spec(token, "expected key=value");
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+
+    if (key == "seed") {
+      char* end = nullptr;
+      plan.seed = std::strtoull(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') bad_spec(token, "not an integer");
+    } else if (key == "drop") {
+      plan.drop = parse_probability(token, value);
+    } else if (key == "dup") {
+      plan.duplicate = parse_probability(token, value);
+    } else if (key == "reorder") {
+      plan.reorder = parse_probability(token, value);
+    } else if (key == "trunc") {
+      plan.truncate = parse_probability(token, value);
+    } else if (key == "delay") {
+      const auto [p, range] = parse_prob_prefix(token, value);
+      const auto dots = range.find("..");
+      if (dots == std::string::npos) bad_spec(token, "expected MIN..MAX range");
+      plan.delay = p;
+      plan.delay_min = parse_duration(token, range.substr(0, dots));
+      plan.delay_max = parse_duration(token, range.substr(dots + 2));
+      if (plan.delay_max < plan.delay_min) bad_spec(token, "MAX below MIN");
+    } else if (key == "reset") {
+      plan.tcp_reset = parse_probability(token, value);
+    } else if (key == "stall") {
+      const auto [p, dur] = parse_prob_prefix(token, value);
+      plan.tcp_stall = p;
+      plan.tcp_stall_for = parse_duration(token, dur);
+    } else if (key == "trickle") {
+      char* end = nullptr;
+      const unsigned long long n = std::strtoull(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || n == 0) {
+        bad_spec(token, "expected a positive byte count");
+      }
+      plan.tcp_trickle_bytes = static_cast<std::size_t>(n);
+    } else {
+      bad_spec(token, "unknown key");
+    }
+  }
+  return plan;
+}
+
+std::string FaultPlan::to_string() const {
+  std::ostringstream os;
+  os << "seed=" << seed;
+  if (drop > 0) os << ",drop=" << format_probability(drop);
+  if (duplicate > 0) os << ",dup=" << format_probability(duplicate);
+  if (reorder > 0) os << ",reorder=" << format_probability(reorder);
+  if (truncate > 0) os << ",trunc=" << format_probability(truncate);
+  if (delay > 0) {
+    os << ",delay=" << format_probability(delay) << ":"
+       << format_duration(delay_min) << ".." << format_duration(delay_max);
+  }
+  if (tcp_reset > 0) os << ",reset=" << format_probability(tcp_reset);
+  if (tcp_stall > 0) {
+    os << ",stall=" << format_probability(tcp_stall) << ":"
+       << format_duration(tcp_stall_for);
+  }
+  if (tcp_trickle_bytes > 0) os << ",trickle=" << tcp_trickle_bytes;
+  return os.str();
+}
+
+FaultEngine::FaultEngine(const FaultPlan& plan) : plan_(plan), rng_(plan.seed) {}
+
+void FaultEngine::mix(std::uint64_t v) noexcept {
+  hash_ ^= v;
+  hash_ *= 1099511628211ULL;  // FNV-1a prime
+}
+
+FaultDecision FaultEngine::next_datagram() {
+  // Fixed draw order, every variate consumed unconditionally: the Nth
+  // datagram's decision depends only on (seed, N), never on what earlier
+  // outcomes were used for.
+  FaultDecision d;
+  d.drop = rng_.bernoulli(plan_.drop);
+  d.duplicate = rng_.bernoulli(plan_.duplicate);
+  d.reorder = rng_.bernoulli(plan_.reorder);
+  d.truncate = rng_.bernoulli(plan_.truncate);
+  const bool delayed = rng_.bernoulli(plan_.delay);
+  const double delay_frac = rng_.uniform01();
+  if (delayed && plan_.delay_max > 0) {
+    d.delay = plan_.delay_min +
+              static_cast<Tick>(delay_frac *
+                                static_cast<double>(plan_.delay_max - plan_.delay_min));
+  }
+  ++decisions_;
+  mix((std::uint64_t{d.drop} << 0) | (std::uint64_t{d.duplicate} << 1) |
+      (std::uint64_t{d.reorder} << 2) | (std::uint64_t{d.truncate} << 3));
+  mix(static_cast<std::uint64_t>(d.delay));
+  return d;
+}
+
+FaultEngine::TcpDecision FaultEngine::next_chunk() {
+  TcpDecision d;
+  d.reset = rng_.bernoulli(plan_.tcp_reset);
+  d.stall = rng_.bernoulli(plan_.tcp_stall);
+  ++decisions_;
+  mix((std::uint64_t{d.reset} << 0) | (std::uint64_t{d.stall} << 1) | (1ULL << 8));
+  return d;
+}
+
+FaultStats& FaultStats::operator+=(const FaultStats& o) noexcept {
+  offered += o.offered;
+  passed += o.passed;
+  dropped += o.dropped;
+  duplicated += o.duplicated;
+  reordered += o.reordered;
+  truncated += o.truncated;
+  delayed += o.delayed;
+  return *this;
+}
+
+// --- ChaosTransport -------------------------------------------------------
+
+ChaosTransport::ChaosTransport(Runtime rt, const FaultPlan& plan)
+    : rt_(rt), engine_(plan) {}
+
+void ChaosTransport::deliver(PeerId to, std::vector<std::byte> data, Tick delay) {
+  if (delay <= 0) {
+    rt_.transport->send(to, data);
+    return;
+  }
+  rt_.timers->schedule_at(rt_.clock->now() + delay,
+                          [this, to, bytes = std::move(data)] {
+                            rt_.transport->send(to, bytes);
+                          });
+}
+
+void ChaosTransport::flush_held() {
+  if (!held_) return;
+  auto [to, bytes] = std::move(*held_);
+  held_.reset();
+  if (held_flush_timer_ != kInvalidTimer) {
+    rt_.timers->cancel(held_flush_timer_);
+    held_flush_timer_ = kInvalidTimer;
+  }
+  rt_.transport->send(to, bytes);
+}
+
+void ChaosTransport::send(PeerId to, std::span<const std::byte> data) {
+  ++stats_.offered;
+  const FaultDecision d = engine_.next_datagram();
+  if (d.drop) {
+    ++stats_.dropped;
+    flush_held();  // a held datagram still goes out behind the dropped one
+    return;
+  }
+  std::vector<std::byte> bytes(data.begin(), data.end());
+  if (d.truncate && bytes.size() > 1) {
+    ++stats_.truncated;
+    bytes.resize(bytes.size() / 2);
+  }
+  if (d.reorder && !held_) {
+    // Stash; the next datagram overtakes it. A timer bounds the hold so
+    // the final datagram of a burst cannot be withheld forever.
+    ++stats_.reordered;
+    held_.emplace(to, std::move(bytes));
+    const Tick bound =
+        engine_.plan().delay_max > 0 ? engine_.plan().delay_max : ticks_from_ms(10);
+    held_flush_timer_ =
+        rt_.timers->schedule_at(rt_.clock->now() + bound, [this] {
+          held_flush_timer_ = kInvalidTimer;
+          flush_held();
+        });
+    return;
+  }
+  ++stats_.passed;
+  if (d.delay > 0) ++stats_.delayed;
+  if (d.duplicate) {
+    ++stats_.duplicated;
+    deliver(to, bytes, d.delay);
+  }
+  deliver(to, std::move(bytes), d.delay);
+  flush_held();
+}
+
+void ChaosTransport::send_many(std::span<const PeerId> to,
+                               std::span<const std::byte> data) {
+  // Per-target decisions: a fan-out under chaos loses/distorts each copy
+  // independently, like independent network paths.
+  for (const PeerId peer : to) send(peer, data);
+}
+
+// --- FaultInjector --------------------------------------------------------
+
+FaultInjector::FaultInjector(Clock& clock, TimerService& timers,
+                             const FaultPlan& plan, Sink sink)
+    : clock_(clock), timers_(timers), engine_(plan), sink_(std::move(sink)) {}
+
+void FaultInjector::emit(const SocketAddress& from,
+                         std::span<const std::byte> data) {
+  sink_(from, data, clock_.now());
+}
+
+void FaultInjector::flush_held() {
+  if (!held_) return;
+  Held h = std::move(*held_);
+  held_.reset();
+  if (held_flush_timer_ != kInvalidTimer) {
+    timers_.cancel(held_flush_timer_);
+    held_flush_timer_ = kInvalidTimer;
+  }
+  emit(h.from, h.data);
+}
+
+void FaultInjector::offer(const SocketAddress& from,
+                          std::span<const std::byte> data, Tick arrival) {
+  ++stats_.offered;
+  const FaultDecision d = engine_.next_datagram();
+  if (d.drop) {
+    ++stats_.dropped;
+    flush_held();
+    return;
+  }
+  std::span<const std::byte> payload = data;
+  if (d.truncate && payload.size() > 1) {
+    ++stats_.truncated;
+    payload = payload.first(payload.size() / 2);
+  }
+  if (d.reorder && !held_) {
+    ++stats_.reordered;
+    held_.emplace(Held{from, {payload.begin(), payload.end()}});
+    const Tick bound =
+        engine_.plan().delay_max > 0 ? engine_.plan().delay_max : ticks_from_ms(10);
+    held_flush_timer_ = timers_.schedule_at(clock_.now() + bound, [this] {
+      held_flush_timer_ = kInvalidTimer;
+      flush_held();
+    });
+    return;
+  }
+  ++stats_.passed;
+  if (d.delay > 0) {
+    ++stats_.delayed;
+    timers_.schedule_at(clock_.now() + d.delay,
+                        [this, from, bytes = std::vector<std::byte>(
+                                   payload.begin(), payload.end())] {
+                          emit(from, bytes);
+                        });
+    if (d.duplicate) {
+      ++stats_.duplicated;
+      timers_.schedule_at(clock_.now() + d.delay,
+                          [this, from, bytes = std::vector<std::byte>(
+                                     payload.begin(), payload.end())] {
+                            emit(from, bytes);
+                          });
+    }
+  } else {
+    sink_(from, payload, arrival);
+    if (d.duplicate) {
+      ++stats_.duplicated;
+      sink_(from, payload, arrival);
+    }
+  }
+  flush_held();
+}
+
+}  // namespace twfd::net

@@ -1,0 +1,211 @@
+// Deterministic fault injection (the chaos layer).
+//
+// A FaultPlan is a seeded schedule of network faults; everything that
+// consumes one draws its decisions from a FaultEngine, which hashes the
+// decision stream so two runs with the same plan can be asserted
+// bit-identical (deterministic chaos replay — the seed IS the run).
+//
+// Three consumers:
+//   ChaosTransport  wraps a Transport on the SEND side (a beacon whose
+//                   heartbeats are dropped/delayed/reordered/duplicated/
+//                   truncated before they reach the wire);
+//   FaultInjector   sits on the RECEIVE side between the socket and the
+//                   dispatcher (a monitor whose inbound datagrams are
+//                   distorted) — this is what --chaos wires into
+//                   twfd_monitor and the sharded service;
+//   ChaosTcpProxy   (chaos_proxy.hpp) applies the TCP half of the plan —
+//                   mid-stream resets, stalls, byte-trickle — in front of
+//                   the FDaaS API port.
+//
+// Plan grammar (comma-separated key=value, parsed by FaultPlan::parse):
+//
+//   seed=N              engine seed (default 1); logged by every consumer
+//   drop=P              drop each datagram with probability P
+//   dup=P               deliver a duplicate immediately after the original
+//   reorder=P           hold the datagram and deliver it after the next one
+//   trunc=P             cut the payload in half (exercises decoder guards)
+//   delay=P:MIN..MAX    with probability P delay by uniform [MIN, MAX)
+//   reset=P             TCP: reset the connection after a forwarded chunk
+//   stall=P:DUR         TCP: freeze the flow for DUR after a chunk
+//   trickle=N           TCP: forward at most N bytes per pump turn
+//
+// Durations take us/ms/s suffixes. Example:
+//   --chaos "seed=7,drop=0.1,reorder=0.05,dup=0.02,delay=0.2:2ms..20ms,reset=0.01"
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/runtime.hpp"
+#include "common/time.hpp"
+#include "net/udp_socket.hpp"
+
+namespace twfd::net {
+
+struct FaultPlan {
+  std::uint64_t seed = 1;
+
+  // --- datagram faults (probabilities in [0, 1]) ---
+  double drop = 0.0;
+  double duplicate = 0.0;
+  double reorder = 0.0;
+  double truncate = 0.0;
+  double delay = 0.0;
+  Tick delay_min = 0;
+  Tick delay_max = 0;
+
+  // --- TCP stream faults (ChaosTcpProxy) ---
+  double tcp_reset = 0.0;
+  double tcp_stall = 0.0;
+  Tick tcp_stall_for = 0;
+  std::size_t tcp_trickle_bytes = 0;  ///< 0 = unlimited
+
+  [[nodiscard]] bool any_datagram_faults() const noexcept {
+    return drop > 0 || duplicate > 0 || reorder > 0 || truncate > 0 || delay > 0;
+  }
+  [[nodiscard]] bool any_tcp_faults() const noexcept {
+    return tcp_reset > 0 || tcp_stall > 0 || tcp_trickle_bytes > 0;
+  }
+
+  /// Parses the grammar above; throws std::invalid_argument naming the
+  /// offending token. An empty spec is a valid all-zero plan.
+  [[nodiscard]] static FaultPlan parse(const std::string& spec);
+  /// Canonical spec string (only non-default keys); parse(to_string())
+  /// round-trips.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// What the engine decided for one datagram. Decisions are mutually
+/// exclusive except duplicate/truncate, which compose with pass.
+struct FaultDecision {
+  bool drop = false;
+  bool duplicate = false;
+  bool reorder = false;
+  bool truncate = false;
+  Tick delay = 0;  ///< 0 = deliver now
+};
+
+/// The deterministic decision source. One engine per chaos consumer; the
+/// stream of decisions is fully determined by (plan, number of calls),
+/// and schedule_hash() folds it into a value tests compare across runs.
+class FaultEngine {
+ public:
+  explicit FaultEngine(const FaultPlan& plan);
+
+  /// Decision for the next datagram. Always draws the same number of
+  /// variates regardless of outcome, so schedules stay aligned.
+  [[nodiscard]] FaultDecision next_datagram();
+
+  struct TcpDecision {
+    bool reset = false;
+    bool stall = false;
+  };
+  /// Decision after forwarding one TCP chunk.
+  [[nodiscard]] TcpDecision next_chunk();
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+  [[nodiscard]] std::uint64_t decisions() const noexcept { return decisions_; }
+  /// FNV-1a over the decision stream — identical across runs with the
+  /// same plan, different across seeds (with overwhelming probability).
+  [[nodiscard]] std::uint64_t schedule_hash() const noexcept { return hash_; }
+
+ private:
+  void mix(std::uint64_t v) noexcept;
+
+  FaultPlan plan_;
+  Xoshiro256 rng_;
+  std::uint64_t decisions_ = 0;
+  std::uint64_t hash_ = 14695981039346656037ULL;
+};
+
+/// Cumulative fault accounting, shared by both datagram wrappers.
+struct FaultStats {
+  std::uint64_t offered = 0;
+  std::uint64_t passed = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t reordered = 0;
+  std::uint64_t truncated = 0;
+  std::uint64_t delayed = 0;
+
+  FaultStats& operator+=(const FaultStats& o) noexcept;
+};
+
+/// Send-side chaos: a Transport that distorts outbound datagrams before
+/// handing them to the wrapped transport. Delays and reorders are
+/// realized with the runtime's own timers, so the schedule is
+/// deterministic in the simulator and tick-accurate live.
+class ChaosTransport final : public Transport {
+ public:
+  /// `rt.transport` is the wrapped transport; clock+timers realize
+  /// delays. All pointers must outlive the wrapper.
+  ChaosTransport(Runtime rt, const FaultPlan& plan);
+
+  void send(PeerId to, std::span<const std::byte> data) override;
+  void send_many(std::span<const PeerId> to,
+                 std::span<const std::byte> data) override;
+  void set_receive_handler(ReceiveHandler handler) override {
+    rt_.transport->set_receive_handler(std::move(handler));
+  }
+
+  [[nodiscard]] const FaultStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const FaultEngine& engine() const noexcept { return engine_; }
+
+ private:
+  void deliver(PeerId to, std::vector<std::byte> data, Tick delay);
+  void flush_held();
+
+  Runtime rt_;
+  FaultEngine engine_;
+  FaultStats stats_;
+  // Reorder hold slot: the stashed datagram goes out after the next one.
+  std::optional<std::pair<PeerId, std::vector<std::byte>>> held_;
+  TimerId held_flush_timer_ = kInvalidTimer;
+};
+
+/// Receive-side chaos: sits between a socket's receive handler and the
+/// real consumer (Dispatcher::ingest / the shard router), applying the
+/// datagram half of a plan to inbound traffic. Delayed and reordered
+/// datagrams are copied and re-delivered from a timer, stamped with the
+/// clock at delivery time — exactly what a slow network would produce:
+/// the estimator sees the datagram arrive late.
+class FaultInjector {
+ public:
+  using Sink = std::function<void(const SocketAddress& from,
+                                  std::span<const std::byte> data, Tick arrival)>;
+
+  /// `timers`/`clock` must belong to the thread that calls offer().
+  FaultInjector(Clock& clock, TimerService& timers, const FaultPlan& plan,
+                Sink sink);
+
+  /// Runs one datagram through the plan; the sink sees it now, later,
+  /// twice, truncated — or never.
+  void offer(const SocketAddress& from, std::span<const std::byte> data,
+             Tick arrival);
+
+  [[nodiscard]] const FaultStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const FaultEngine& engine() const noexcept { return engine_; }
+
+ private:
+  struct Held {
+    SocketAddress from;
+    std::vector<std::byte> data;
+  };
+  void emit(const SocketAddress& from, std::span<const std::byte> data);
+  void flush_held();
+
+  Clock& clock_;
+  TimerService& timers_;
+  FaultEngine engine_;
+  FaultStats stats_;
+  Sink sink_;
+  std::optional<Held> held_;
+  TimerId held_flush_timer_ = kInvalidTimer;
+};
+
+}  // namespace twfd::net

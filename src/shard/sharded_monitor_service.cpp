@@ -1,11 +1,32 @@
 #include "shard/sharded_monitor_service.hpp"
 
+#include <chrono>
 #include <future>
+#include <stdexcept>
 #include <utility>
 
 #include "common/assert.hpp"
 
 namespace twfd::shard {
+namespace {
+
+/// Thrown by the WorkerFault::kCrash test seam; any exception escaping a
+/// command or handler kills the worker the same way.
+struct WorkerCrash : std::runtime_error {
+  WorkerCrash() : std::runtime_error("injected worker crash") {}
+};
+
+/// Distinct deterministic per-shard chaos seed (splitmix64 step of the
+/// plan seed, keyed by shard index): every shard draws an independent
+/// fault schedule, yet the whole run is reproducible from one seed.
+std::uint64_t shard_chaos_seed(std::uint64_t base, std::size_t index) {
+  std::uint64_t x = base + 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(index) + 1);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
 
 std::size_t shard_of(const net::SocketAddress& addr, std::size_t shard_count) {
   TWFD_CHECK(shard_count >= 1);
@@ -31,27 +52,72 @@ ShardedMonitorService::ShardStats& ShardedMonitorService::ShardStats::operator+=
   handoff_batches += o.handoff_batches;
   commands_run += o.commands_run;
   events_dropped += o.events_dropped;
+  post_retries += o.post_retries;
+  post_stalls += o.post_stalls;
+  restarts += o.restarts;
+  stalls_detected += o.stalls_detected;
+  resubscribed += o.resubscribed;
+  degraded += o.degraded;
+  chaos += o.chaos;
   return *this;
 }
 
-ShardedMonitorService::Shard::Shard(std::size_t idx, const Params& params,
-                                    std::uint16_t bind_port, bool reuse_port)
+ShardedMonitorService::Shard::Shard(std::size_t idx, const Params& params)
     : index(idx),
       commands(params.command_queue_capacity),
       events(params.event_queue_capacity) {
   staging.resize(params.shards);
+}
+
+void ShardedMonitorService::build_shard_runtime(Shard& s) {
   net::UdpSocket::Options opts;
-  opts.port = bind_port;
-  opts.reuse_port = reuse_port;
-  opts.rcvbuf_bytes = params.rcvbuf_bytes;
-  loop = std::make_unique<net::EventLoop>(opts);
-  dispatcher = std::make_unique<service::Dispatcher>(loop->runtime());
-  fd = std::make_unique<service::FdService>(loop->runtime(), params.service);
-  auto* fdp = fd.get();
-  dispatcher->on_heartbeat(
+  opts.port = s.bind_port;
+  opts.reuse_port = s.reuse_port;
+  opts.rcvbuf_bytes = params_.rcvbuf_bytes;
+  s.loop = std::make_unique<net::EventLoop>(opts);
+  s.dispatcher = std::make_unique<service::Dispatcher>(s.loop->runtime());
+  s.fd = std::make_unique<service::FdService>(s.loop->runtime(), params_.service);
+  auto* fdp = s.fd.get();
+  s.dispatcher->on_heartbeat(
       [fdp](PeerId from, const net::HeartbeatMsg& m, Tick at) {
         fdp->handle_heartbeat(from, m, at);
       });
+
+  Shard* sp = &s;
+  if (params_.chaos.any_datagram_faults()) {
+    net::FaultPlan plan = params_.chaos;
+    plan.seed = shard_chaos_seed(params_.chaos.seed, s.index);
+    // The injector re-emits delayed/reordered datagrams from timers, so
+    // a foreign datagram can be staged outside a receive batch; the sink
+    // flushes hand-offs itself, trading some wake coalescing (chaos is a
+    // drill mode) for never stranding a staged datagram.
+    s.chaos = std::make_unique<net::FaultInjector>(
+        *s.loop, *s.loop, plan,
+        [this, sp](const net::SocketAddress& from, std::span<const std::byte> data,
+                   Tick arrival) {
+          route_datagram(*sp, from, data, arrival);
+          flush_handoffs(*sp);
+        });
+  }
+
+  // The router replaces the Dispatcher's auto-installed handler: owned
+  // datagrams go straight into the dispatcher, foreign ones are handed
+  // off to their owner's command queue. Hand-off replays re-enter here
+  // via inject_datagram with in_handoff set — already-chaosed traffic is
+  // never run through the plan a second time.
+  s.loop->set_receive_handler(
+      [this, sp](PeerId from, std::span<const std::byte> data, Tick arrival) {
+        const net::SocketAddress addr = sp->loop->peer_address(from);
+        if (sp->chaos && !sp->in_handoff) {
+          sp->chaos->offer(addr, data, arrival);
+        } else {
+          route_datagram(*sp, addr, data, arrival);
+        }
+      });
+  // Foreign datagrams staged by the router are flushed once per receive
+  // batch — one bulk command and at most one wake per destination shard.
+  s.loop->set_batch_end_handler([this, sp] { flush_handoffs(*sp); });
+  s.loop->set_wake_handler([this, sp] { drain_commands(*sp); });
 }
 
 ShardedMonitorService::ShardedMonitorService(Params params)
@@ -60,29 +126,24 @@ ShardedMonitorService::ShardedMonitorService(Params params)
   const bool reuse =
       params_.receive_mode == ReceiveMode::kReusePort && params_.shards > 1;
 
-  // Shard 0 resolves the service port (possibly ephemeral); in reuse-port
-  // mode every other shard joins it, in single-socket mode they bind
-  // ephemeral send-side sockets.
-  shards_.push_back(std::make_unique<Shard>(0, params_, params_.port, reuse));
-  const std::uint16_t service_port = shards_[0]->loop->local_port();
-  for (std::size_t i = 1; i < params_.shards; ++i) {
-    shards_.push_back(std::make_unique<Shard>(
-        i, params_, reuse ? service_port : std::uint16_t{0}, reuse));
+  for (std::size_t i = 0; i < params_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(i, params_));
   }
 
-  for (auto& sp : shards_) {
-    Shard* s = sp.get();
-    // The router replaces the Dispatcher's auto-installed handler: owned
-    // datagrams go straight into the dispatcher, foreign ones are handed
-    // off to their owner's command queue.
-    s->loop->set_receive_handler(
-        [this, s](PeerId from, std::span<const std::byte> data, Tick arrival) {
-          route_datagram(*s, from, data, arrival);
-        });
-    // Foreign datagrams staged by the router are flushed once per receive
-    // batch — one bulk command and at most one wake per destination shard.
-    s->loop->set_batch_end_handler([this, s] { flush_handoffs(*s); });
-    s->loop->set_wake_handler([this, s] { drain_commands(*s); });
+  // Shard 0 resolves the service port (possibly ephemeral); in reuse-port
+  // mode every other shard joins it, in single-socket mode they bind
+  // ephemeral send-side sockets. Each shard remembers its RESOLVED port
+  // so a supervisor rebuild rebinds the same one.
+  shards_[0]->bind_port = params_.port;
+  shards_[0]->reuse_port = reuse;
+  build_shard_runtime(*shards_[0]);
+  service_port_ = shards_[0]->loop->local_port();
+  shards_[0]->bind_port = service_port_;
+  for (std::size_t i = 1; i < params_.shards; ++i) {
+    Shard& s = *shards_[i];
+    s.reuse_port = reuse;
+    s.bind_port = reuse ? service_port_ : std::uint16_t{0};
+    build_shard_runtime(s);
   }
 
   {
@@ -93,10 +154,6 @@ ShardedMonitorService::ShardedMonitorService(Params params)
 
 ShardedMonitorService::~ShardedMonitorService() { stop(); }
 
-std::uint16_t ShardedMonitorService::port() const {
-  return shards_[0]->loop->local_port();
-}
-
 void ShardedMonitorService::start() {
   TWFD_CHECK_MSG(!running_, "service already started");
   running_ = true;
@@ -104,16 +161,33 @@ void ShardedMonitorService::start() {
     Shard* s = sp.get();
     s->thread = std::thread([this, s] { worker_main(*s); });
   }
+  if (params_.supervision.enabled) {
+    {
+      std::lock_guard lk(sup_mu_);
+      sup_stop_ = false;
+    }
+    supervisor_ = std::thread([this] { supervisor_main(); });
+  }
 }
 
 void ShardedMonitorService::stop() {
   if (!running_) return;
+  // The supervisor goes first so no restart can race the teardown.
+  if (supervisor_.joinable()) {
+    {
+      std::lock_guard lk(sup_mu_);
+      sup_stop_ = true;
+    }
+    sup_cv_.notify_all();
+    supervisor_.join();
+  }
   // Stop flag first, then wake: the worker's wake handler re-checks the
   // flag, so the wake that follows the store can never be lost even if
   // run_until resets the loop's own stop latch.
   for (auto& sp : shards_) {
     sp->stop_requested.store(true, std::memory_order_release);
-    sp->loop->stop();
+    std::lock_guard lk(sp->swap_mu);
+    if (sp->loop) sp->loop->stop();
   }
   for (auto& sp : shards_) {
     if (sp->thread.joinable()) sp->thread.join();
@@ -129,9 +203,22 @@ void ShardedMonitorService::stop() {
 }
 
 void ShardedMonitorService::worker_main(Shard& s) {
-  while (!s.stop_requested.load(std::memory_order_acquire)) {
-    s.loop->run_until(kTickInfinity);
+  // Sliced loop: each slice advances the liveness counter the supervisor
+  // watches, so a worker that wedges inside a handler stops advancing and
+  // is declared degraded after Supervision::stall_timeout.
+  const Tick slice =
+      std::max<Tick>(params_.supervision.worker_heartbeat_period, ticks_from_ms(1));
+  try {
+    while (!s.stop_requested.load(std::memory_order_acquire)) {
+      s.liveness.fetch_add(1, std::memory_order_relaxed);
+      s.loop->run_until(tick_add_sat(s.loop->now(), slice));
+    }
+  } catch (...) {
+    // A command or handler threw (fault injection, or a genuine defect).
+    // Record the crash and fall through: the supervisor rebuilds this
+    // shard's runtime and re-seeds its subscriptions.
   }
+  s.worker_exited.store(true, std::memory_order_release);
 }
 
 void ShardedMonitorService::drain_commands(Shard& s) {
@@ -144,13 +231,12 @@ void ShardedMonitorService::drain_commands(Shard& s) {
   if (s.stop_requested.load(std::memory_order_acquire)) s.loop->stop();
 }
 
-void ShardedMonitorService::route_datagram(Shard& s, PeerId from,
+void ShardedMonitorService::route_datagram(Shard& s, const net::SocketAddress& from,
                                            std::span<const std::byte> data,
                                            Tick arrival) {
-  const net::SocketAddress addr = s.loop->peer_address(from);
-  const std::size_t owner = shard_of(addr, shards_.size());
+  const std::size_t owner = shard_of(from, shards_.size());
   if (owner == s.index) {
-    s.dispatcher->ingest(from, data, arrival);
+    s.dispatcher->ingest(s.loop->add_peer(from), data, arrival);
     return;
   }
   // Hash hand-off: stage the raw bytes (plus the arrival stamp observed
@@ -158,7 +244,7 @@ void ShardedMonitorService::route_datagram(Shard& s, PeerId from,
   // owning shard. The stage is flushed once per receive batch.
   HandoffStage& stage = s.staging[owner];
   HandoffStage::Item item;
-  item.from = addr;
+  item.from = from;
   item.arrival = arrival;
   item.offset = static_cast<std::uint32_t>(stage.bytes.size());
   item.length = static_cast<std::uint32_t>(data.size());
@@ -175,14 +261,17 @@ void ShardedMonitorService::flush_handoffs(Shard& s) {
     // The whole stage moves into one command; the staging slot is left
     // empty (moved-from) and regrows next batch. Heartbeats are
     // loss-tolerant, so a full queue drops the batch (counted) instead of
-    // blocking the receive path.
+    // blocking the receive path. in_handoff marks the replay so the
+    // destination's chaos wrapper does not distort the bytes again.
     Command cmd = [dstp = &dst, batch = std::move(stage)] {
+      dstp->in_handoff = true;
       for (const HandoffStage::Item& it : batch.items) {
         dstp->loop->inject_datagram(
             it.from,
             std::span<const std::byte>(batch.bytes.data() + it.offset, it.length),
             it.arrival);
       }
+      dstp->in_handoff = false;
     };
     stage = HandoffStage{};
     if (!dst.commands.try_push(std::move(cmd))) {
@@ -191,18 +280,38 @@ void ShardedMonitorService::flush_handoffs(Shard& s) {
     }
     s.handoff_out += count;
     ++s.handoff_batches;
-    dst.loop->wake();
+    wake_shard(dst);
   }
 }
 
+void ShardedMonitorService::wake_shard(Shard& s) {
+  std::lock_guard lk(s.swap_mu);
+  if (s.loop) s.loop->wake();
+}
+
 void ShardedMonitorService::post(Shard& s, Command cmd) {
-  while (!s.commands.try_push(std::move(cmd))) {
-    // Queue full: nudge the shard to drain and retry. Control-plane
-    // traffic is rare; this path only triggers under handoff floods.
-    s.loop->wake();
-    std::this_thread::yield();
+  // Bounded backoff ladder instead of an unbounded spin: a wedged shard
+  // (worker crashed mid-rebuild, or stuck in a handler) must not livelock
+  // the control plane. Yield a few rounds, then sleep in 1 ms steps, then
+  // give up with an exception the caller can surface.
+  constexpr int kYieldRounds = 64;
+  constexpr int kSleepRounds = 200;  // 200 x 1 ms ≈ 200 ms worst case
+  for (int attempt = 0;; ++attempt) {
+    if (s.commands.try_push(std::move(cmd))) break;
+    s.post_retries.fetch_add(1, std::memory_order_relaxed);
+    if (attempt >= kYieldRounds + kSleepRounds) {
+      s.post_stalls.fetch_add(1, std::memory_order_relaxed);
+      throw std::runtime_error("shard " + std::to_string(s.index) +
+                               ": command queue wedged, post abandoned");
+    }
+    wake_shard(s);
+    if (attempt < kYieldRounds) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
   }
-  s.loop->wake();
+  wake_shard(s);
 }
 
 void ShardedMonitorService::publish_event(Shard& s, StatusEvent event) {
@@ -230,29 +339,30 @@ ShardedMonitorService::SubscriptionId ShardedMonitorService::subscribe(
   auto prom =
       std::make_shared<std::promise<service::FdService::SubscriptionId>>();
   auto fut = prom->get_future();
-  post(s, [this, sp = &s, peer, sender_id, app, qos, gid, prom] {
-    try {
-      prom->set_value(sp->fd->subscribe(
-          sp->loop->add_peer(peer), sender_id, app, qos,
-          [this, sp, gid](const service::FdService::StatusEvent& e) {
-            publish_event(*sp, {gid, e.app, e.output, e.when, sp->index});
-          }));
-    } catch (...) {
-      prom->set_exception(std::current_exception());
-    }
-  });
-
   service::FdService::SubscriptionId local = 0;
   try {
+    post(s, [this, sp = &s, peer, sender_id, app, qos, gid, prom] {
+      try {
+        prom->set_value(sp->fd->subscribe(
+            sp->loop->add_peer(peer), sender_id, app, qos,
+            [this, sp, gid](const service::FdService::StatusEvent& e) {
+              publish_event(*sp, {gid, e.app, e.output, e.when, sp->index});
+            }));
+      } catch (...) {
+        prom->set_exception(std::current_exception());
+      }
+    });
     local = fut.get();  // rethrows infeasible-QoS from the shard thread
   } catch (...) {
+    // post() gave up on a wedged shard, or the shard rejected the tuple:
+    // roll the seeded view entry back.
     std::lock_guard lk(agg_mu_);
     state_.erase(gid);
     republish_locked();
     throw;
   }
   std::lock_guard lk(control_mu_);
-  subs_[gid] = {idx, local};
+  subs_[gid] = {idx, local, peer, sender_id, std::move(app), qos};
   return gid;
 }
 
@@ -264,7 +374,6 @@ void ShardedMonitorService::unsubscribe(SubscriptionId id) {
     const auto it = subs_.find(id);
     if (it == subs_.end()) return;
     ref = it->second;
-    subs_.erase(it);
   }
   Shard& s = *shards_[ref.shard];
   auto prom = std::make_shared<std::promise<void>>();
@@ -274,6 +383,13 @@ void ShardedMonitorService::unsubscribe(SubscriptionId id) {
     prom->set_value();
   });
   fut.get();
+  // Deregister only after the shard acked: if post() threw on a wedged
+  // shard the registry still owns the subscription (and a later restart
+  // will re-seed it).
+  {
+    std::lock_guard lk(control_mu_);
+    subs_.erase(id);
+  }
   std::lock_guard lk(agg_mu_);
   state_.erase(id);
   republish_locked();
@@ -300,6 +416,8 @@ std::size_t ShardedMonitorService::poll_events(
     while (sp->events.try_pop(e)) {
       ++drained;
       ++events_seen_;
+      // Health events (subscription 0) pass through to `fn` but are not
+      // snapshot entries; verdicts update the per-subscription state.
       const auto it = state_.find(e.subscription);
       if (it != state_.end()) {
         it->second.output = e.output;
@@ -321,9 +439,212 @@ void ShardedMonitorService::republish_locked() {
   view_ = std::shared_ptr<const Snapshot>(std::move(snap));
 }
 
-ShardedMonitorService::ShardStats ShardedMonitorService::collect_stats_on_shard(
+// --- Supervision -----------------------------------------------------------
+
+ShardedMonitorService::ShardHealth ShardedMonitorService::health(
+    std::size_t shard) const {
+  TWFD_CHECK(shard < shards_.size());
+  const Shard& s = *shards_[shard];
+  ShardHealth h;
+  h.degraded = s.degraded.load(std::memory_order_relaxed);
+  h.worker_exited = s.worker_exited.load(std::memory_order_acquire);
+  h.restarts = s.restarts.load(std::memory_order_relaxed);
+  h.stalls_detected = s.stalls_detected.load(std::memory_order_relaxed);
+  h.liveness = s.liveness.load(std::memory_order_relaxed);
+  return h;
+}
+
+std::size_t ShardedMonitorService::degraded_count() const {
+  std::size_t n = 0;
+  for (const auto& sp : shards_) {
+    if (sp->degraded.load(std::memory_order_relaxed)) ++n;
+  }
+  return n;
+}
+
+void ShardedMonitorService::inject_worker_fault(std::size_t shard,
+                                                WorkerFault fault,
+                                                Tick stall_for) {
+  TWFD_CHECK(shard < shards_.size());
+  Shard& s = *shards_[shard];
+  switch (fault) {
+    case WorkerFault::kCrash:
+      post(s, [] { throw WorkerCrash{}; });
+      break;
+    case WorkerFault::kStall:
+      post(s, [stall_for] {
+        std::this_thread::sleep_for(std::chrono::nanoseconds(stall_for));
+      });
+      break;
+  }
+}
+
+void ShardedMonitorService::emit_health(Shard& s, detect::Output output) {
+  StatusEvent e;
+  e.subscription = kHealthSubscription;
+  e.app = "shard-" + std::to_string(s.index);
+  e.output = output;
+  e.when = SteadyClock{}.now();
+  e.shard = s.index;
+  publish_event(s, std::move(e));
+}
+
+bool ShardedMonitorService::restart_shard(Shard& s) {
+  if (s.thread.joinable()) s.thread.join();
+  {
+    std::lock_guard lk(s.swap_mu);
+    // Destruction order: service and dispatcher hold the loop's runtime,
+    // and the chaos injector's pending timers live in the loop, so the
+    // loop goes last — and is destroyed before the new one binds, so the
+    // saved port is free to rebind.
+    s.fd.reset();
+    s.dispatcher.reset();
+    s.chaos.reset();
+    s.loop.reset();
+    try {
+      build_shard_runtime(s);
+    } catch (...) {
+      // Rebind/rebuild failed (e.g. the port was stolen while we were
+      // down). Leave the shard dead; the supervisor backs off and retries.
+      s.fd.reset();
+      s.dispatcher.reset();
+      s.chaos.reset();
+      s.loop.reset();
+      return false;
+    }
+  }
+  s.worker_exited.store(false, std::memory_order_release);
+
+  // Re-seed the subscriptions this shard owned. The control registry is
+  // the source of truth; the aggregated view still carries each
+  // subscription's last verdict, so monitoring resumes here and the next
+  // genuine transition restores full parity with an uncrashed run. The
+  // worker thread is not running yet, so the shard runtime is exclusively
+  // ours — no marshalling needed.
+  std::vector<std::pair<SubscriptionId, SubRef>> owned;
+  {
+    std::lock_guard lk(control_mu_);
+    for (const auto& [gid, ref] : subs_) {
+      if (ref.shard == s.index) owned.emplace_back(gid, ref);
+    }
+  }
+  for (auto& [gid, ref] : owned) {
+    try {
+      const auto local = s.fd->subscribe(
+          s.loop->add_peer(ref.peer), ref.sender_id, ref.app, ref.qos,
+          [this, sp = &s, gid](const service::FdService::StatusEvent& e) {
+            publish_event(*sp, {gid, e.app, e.output, e.when, sp->index});
+          });
+      {
+        std::lock_guard lk(control_mu_);
+        const auto it = subs_.find(gid);
+        if (it != subs_.end()) it->second.local = local;
+      }
+      s.resubscribed.fetch_add(1, std::memory_order_relaxed);
+    } catch (...) {
+      // The tuple was feasible before the crash; if it is rejected now we
+      // drop this subscription rather than wedge the restart.
+    }
+  }
+
+  s.thread = std::thread([this, sp = &s] { worker_main(*sp); });
+  return true;
+}
+
+void ShardedMonitorService::supervisor_main() {
+  struct Track {
+    std::uint64_t last_liveness = 0;
+    Tick last_advance = 0;
+    Tick last_restart = 0;
+    Tick backoff = 0;
+    Tick restart_at = kTickInfinity;
+  };
+  const Supervision& sup = params_.supervision;
+  SteadyClock clock;
+  std::vector<Track> tracks(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    tracks[i].last_liveness = shards_[i]->liveness.load(std::memory_order_relaxed);
+    tracks[i].last_advance = clock.now();
+    tracks[i].backoff = sup.restart_backoff_min;
+  }
+
+  std::unique_lock lk(sup_mu_);
+  while (!sup_stop_) {
+    sup_cv_.wait_for(lk, std::chrono::nanoseconds(sup.check_interval),
+                     [this] { return sup_stop_; });
+    if (sup_stop_) break;
+    lk.unlock();
+
+    const Tick now = clock.now();
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      Shard& s = *shards_[i];
+      Track& t = tracks[i];
+      const std::uint64_t lv = s.liveness.load(std::memory_order_relaxed);
+      const bool exited = s.worker_exited.load(std::memory_order_acquire);
+
+      if (lv != t.last_liveness) {
+        t.last_liveness = lv;
+        t.last_advance = now;
+        if (s.degraded.load(std::memory_order_relaxed) && !exited) {
+          // A stalled worker resumed, or a restarted one came back up.
+          s.degraded.store(false, std::memory_order_relaxed);
+          emit_health(s, detect::Output::Trust);
+        }
+      }
+
+      if (!s.degraded.load(std::memory_order_relaxed)) {
+        // A healthy stretch as long as the watchdog bound earns the shard
+        // its minimum backoff again (a crash loop keeps the doubled one).
+        if (t.backoff != sup.restart_backoff_min &&
+            now - t.last_restart >= sup.stall_timeout) {
+          t.backoff = sup.restart_backoff_min;
+        }
+        const bool stalled = now - t.last_advance >= sup.stall_timeout;
+        if (exited || stalled) {
+          s.degraded.store(true, std::memory_order_relaxed);
+          if (!exited) s.stalls_detected.fetch_add(1, std::memory_order_relaxed);
+          emit_health(s, detect::Output::Suspect);
+          t.restart_at = tick_add_sat(now, exited ? 0 : sup.restart_backoff_min);
+        }
+      }
+
+      // Only an EXITED worker is restarted — a wedged C++ thread cannot
+      // be killed safely, so a stall stays degraded until it resumes.
+      if (s.degraded.load(std::memory_order_relaxed) && exited &&
+          now >= t.restart_at) {
+        restart_shard(s);
+        s.restarts.fetch_add(1, std::memory_order_relaxed);
+        t.last_restart = now;
+        t.restart_at = tick_add_sat(now, t.backoff);
+        t.backoff = std::min<Tick>(t.backoff * 2, sup.restart_backoff_max);
+        t.last_liveness = s.liveness.load(std::memory_order_relaxed);
+        t.last_advance = now;
+      }
+    }
+
+    lk.lock();
+  }
+}
+
+// --- Stats -----------------------------------------------------------------
+
+ShardedMonitorService::ShardStats ShardedMonitorService::collect_supervision_stats(
     Shard& s) const {
   ShardStats st;
+  st.events_dropped = s.events_dropped.load(std::memory_order_relaxed);
+  st.post_retries = s.post_retries.load(std::memory_order_relaxed);
+  st.post_stalls = s.post_stalls.load(std::memory_order_relaxed);
+  st.restarts = s.restarts.load(std::memory_order_relaxed);
+  st.stalls_detected = s.stalls_detected.load(std::memory_order_relaxed);
+  st.resubscribed = s.resubscribed.load(std::memory_order_relaxed);
+  st.degraded = s.degraded.load(std::memory_order_relaxed) ? 1 : 0;
+  return st;
+}
+
+ShardedMonitorService::ShardStats ShardedMonitorService::collect_stats_on_shard(
+    Shard& s) const {
+  ShardStats st = collect_supervision_stats(s);
+  if (!s.loop) return st;  // shard died and its rebuild failed
   st.loop = s.loop->stats();
   st.dispatcher_heartbeats = s.dispatcher->heartbeat_count();
   st.dispatcher_malformed = s.dispatcher->malformed_count();
@@ -332,7 +653,7 @@ ShardedMonitorService::ShardStats ShardedMonitorService::collect_stats_on_shard(
   st.handoff_dropped = s.handoff_dropped;
   st.handoff_batches = s.handoff_batches;
   st.commands_run = s.commands_run;
-  st.events_dropped = s.events_dropped.load(std::memory_order_relaxed);
+  if (s.chaos) st.chaos = s.chaos->stats();
   return st;
 }
 
@@ -344,15 +665,30 @@ std::vector<ShardedMonitorService::ShardStats> ShardedMonitorService::shard_stat
     }
     return out;
   }
-  std::vector<std::future<ShardStats>> futures;
-  futures.reserve(shards_.size());
-  for (auto& sp : shards_) {
+  // Marshal a stats command per shard, but never hang on a dead or
+  // wedged one: a bounded wait, then fall back to the supervision
+  // atomics (shard-confined counters read as zero for that shard).
+  std::vector<std::future<ShardStats>> futures(shards_.size());
+  std::vector<bool> posted(shards_.size(), false);
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
     auto prom = std::make_shared<std::promise<ShardStats>>();
-    futures.push_back(prom->get_future());
-    Shard* s = sp.get();
-    post(*s, [this, s, prom] { prom->set_value(collect_stats_on_shard(*s)); });
+    futures[i] = prom->get_future();
+    Shard* s = shards_[i].get();
+    try {
+      post(*s, [this, s, prom] { prom->set_value(collect_stats_on_shard(*s)); });
+      posted[i] = true;
+    } catch (const std::runtime_error&) {
+      posted[i] = false;
+    }
   }
-  for (std::size_t i = 0; i < futures.size(); ++i) out[i] = futures[i].get();
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (posted[i] &&
+        futures[i].wait_for(std::chrono::seconds(2)) == std::future_status::ready) {
+      out[i] = futures[i].get();
+    } else {
+      out[i] = collect_supervision_stats(*shards_[i]);
+    }
+  }
   return out;
 }
 

@@ -29,11 +29,31 @@
 //      global view snapshot; view() hands readers the current snapshot
 //      pointer under a short mutex.
 //
-// See docs/runtime.md "Threading model" for the full rules, including
-// shutdown ordering.
+// Self-healing (Params::supervision): each worker loop advances a
+// per-shard liveness counter once per slice; a supervisor thread watches
+// those counters and the workers' exit flags. A worker that stops
+// advancing is marked DEGRADED (surfaced in ShardStats/health() and as a
+// subscription-0 health StatusEvent); a worker that exited — a command
+// or handler threw — is additionally RESTARTED with capped exponential
+// backoff: the shard's runtime (loop/dispatcher/service) is rebuilt on
+// the same port, its subscriptions are re-seeded from the control
+// registry, and a fresh worker thread is launched. The aggregated view
+// keeps each subscription's last verdict across the restart, so verdict
+// parity holds once the rebuilt detectors re-converge.
+//
+// Chaos (Params::chaos): when the plan has datagram faults, every shard
+// routes inbound socket datagrams through a deterministic
+// net::FaultInjector (per-shard seed derived from the plan seed) before
+// dispatch — drop/duplicate/reorder/truncate/delay applied to real
+// traffic for fault drills. Handed-off datagrams are injected once and
+// never re-chaosed by the destination shard.
+//
+// See docs/runtime.md "Threading model" and "Self-healing and chaos
+// testing" for the full rules, including shutdown ordering.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -47,6 +67,7 @@
 #include "common/runtime.hpp"
 #include "config/qos_config.hpp"
 #include "net/event_loop.hpp"
+#include "net/fault.hpp"
 #include "service/dispatcher.hpp"
 #include "service/fd_service.hpp"
 
@@ -70,6 +91,24 @@ class ShardedMonitorService {
     kSingleSocket,
   };
 
+  /// Supervisor tuning. The worker heartbeat period bounds how long a
+  /// worker may sit inside one run_until slice; the stall timeout is the
+  /// watchdog bound — a worker whose liveness counter does not advance
+  /// for that long is declared degraded.
+  struct Supervision {
+    bool enabled = true;
+    /// Worker loop slice: liveness advances once per slice.
+    Tick worker_heartbeat_period = ticks_from_ms(20);
+    /// Supervisor poll cadence.
+    Tick check_interval = ticks_from_ms(20);
+    /// No liveness advance for this long => degraded (watchdog bound).
+    Tick stall_timeout = ticks_from_ms(500);
+    /// Restart backoff ladder for crashed workers (doubles per restart,
+    /// resets once the shard reports healthy again).
+    Tick restart_backoff_min = ticks_from_ms(50);
+    Tick restart_backoff_max = ticks_from_sec(2);
+  };
+
   struct Params {
     std::size_t shards = 4;
     /// Service port remotes send heartbeats to (0 = ephemeral, resolved
@@ -80,11 +119,21 @@ class ShardedMonitorService {
     int rcvbuf_bytes = 1 << 20;
     std::size_t command_queue_capacity = 1024;
     std::size_t event_queue_capacity = 1 << 14;
+    Supervision supervision{};
+    /// Datagram half of a fault plan, applied per shard to inbound
+    /// traffic (RX chaos). Inactive unless any_datagram_faults().
+    net::FaultPlan chaos{};
     /// Per-shard FdService tuning (windows, assumed network, ...).
     service::FdService::Params service{};
   };
 
   using SubscriptionId = std::uint64_t;
+
+  /// Subscription id carried by shard health events: Suspect = the named
+  /// shard is degraded (stalled or crashed), Trust = it recovered. The
+  /// event's `app` is "shard-N". Health events flow through poll_events()
+  /// like verdicts but never appear in the snapshot's entry list.
+  static constexpr SubscriptionId kHealthSubscription = 0;
 
   /// A Suspect/Trust transition, stamped with the owning shard.
   struct StatusEvent {
@@ -110,7 +159,10 @@ class ShardedMonitorService {
   };
 
   /// Per-shard observability, gathered race-free by marshalling a stats
-  /// command onto each shard (or read directly once stopped).
+  /// command onto each shard (or read directly once stopped). A restart
+  /// rebuilds the shard runtime, so the shard-confined counters (loop,
+  /// dispatcher, service, handoff) restart from zero; the supervision
+  /// counters are service-owned atomics and survive.
   struct ShardStats {
     net::EventLoop::Stats loop;
     std::uint64_t dispatcher_heartbeats = 0;
@@ -124,8 +176,33 @@ class ShardedMonitorService {
     std::uint64_t handoff_batches = 0;
     std::uint64_t commands_run = 0;
     std::uint64_t events_dropped = 0;   ///< transitions lost: event queue full
+    // --- supervision / control-plane resilience ---
+    std::uint64_t post_retries = 0;   ///< control pushes that found the queue full
+    std::uint64_t post_stalls = 0;    ///< posts abandoned: queue wedged
+    std::uint64_t restarts = 0;       ///< supervisor rebuilds of this shard
+    std::uint64_t stalls_detected = 0;  ///< degraded-while-alive detections
+    std::uint64_t resubscribed = 0;   ///< subscriptions re-seeded by restarts
+    std::uint64_t degraded = 0;       ///< gauge: 1 while marked degraded
+    /// RX chaos accounting (all zero unless Params::chaos is active).
+    net::FaultStats chaos;
 
     ShardStats& operator+=(const ShardStats& o);
+  };
+
+  /// Lock-free supervision snapshot for one shard (any thread).
+  struct ShardHealth {
+    bool degraded = false;
+    bool worker_exited = false;
+    std::uint64_t restarts = 0;
+    std::uint64_t stalls_detected = 0;
+    std::uint64_t liveness = 0;
+  };
+
+  /// Test seam: makes the shard worker misbehave on purpose so the
+  /// supervisor path can be exercised deterministically.
+  enum class WorkerFault {
+    kCrash,  ///< the worker thread throws and exits
+    kStall,  ///< the worker thread sleeps for `stall_for` without serving
   };
 
   explicit ShardedMonitorService(Params params);
@@ -134,18 +211,20 @@ class ShardedMonitorService {
   ShardedMonitorService(const ShardedMonitorService&) = delete;
   ShardedMonitorService& operator=(const ShardedMonitorService&) = delete;
 
-  /// Spawns the shard worker threads. Call before any control-plane op.
+  /// Spawns the shard worker threads (and the supervisor when enabled).
+  /// Call before any control-plane op.
   void start();
-  /// Stops every shard loop, joins the workers, discards unexecuted
-  /// commands (their waiters see broken_promise) and drains remaining
-  /// events into the snapshot. Idempotent. Do not race control-plane
-  /// calls against stop().
+  /// Stops the supervisor, then every shard loop; joins the workers,
+  /// discards unexecuted commands (their waiters see broken_promise) and
+  /// drains remaining events into the snapshot. Idempotent. Do not race
+  /// control-plane calls against stop().
   void stop();
   [[nodiscard]] bool running() const noexcept { return running_; }
 
   /// The service port remotes send heartbeats to. In kReusePort mode all
   /// shards share it; in kSingleSocket mode it is shard 0's socket.
-  [[nodiscard]] std::uint16_t port() const;
+  /// Stable across shard restarts.
+  [[nodiscard]] std::uint16_t port() const noexcept { return service_port_; }
   [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
   [[nodiscard]] std::size_t shard_for(const net::SocketAddress& addr) const {
     return shard_of(addr, shards_.size());
@@ -155,7 +234,8 @@ class ShardedMonitorService {
 
   /// Registers `app` to monitor the process `sender_id` reachable at
   /// `peer` with QoS tuple `qos`. Throws std::logic_error (from the
-  /// owning shard) when the tuple is infeasible.
+  /// owning shard) when the tuple is infeasible, std::runtime_error when
+  /// the owning shard's command queue is wedged.
   SubscriptionId subscribe(const net::SocketAddress& peer, std::uint64_t sender_id,
                            std::string app, const config::QosRequirements& qos);
   void unsubscribe(SubscriptionId id);
@@ -178,7 +258,21 @@ class ShardedMonitorService {
     return view_;
   }
 
-  /// Race-free per-shard counters (marshalled; see ShardStats).
+  // --- Supervision ---
+
+  /// Lock-free health read for one shard (any thread, any time).
+  [[nodiscard]] ShardHealth health(std::size_t shard) const;
+  /// Number of shards currently marked degraded.
+  [[nodiscard]] std::size_t degraded_count() const;
+
+  /// Injects a worker fault (test seam; see WorkerFault). Asynchronous:
+  /// the fault lands when the worker next drains its command queue.
+  void inject_worker_fault(std::size_t shard, WorkerFault fault,
+                           Tick stall_for = 0);
+
+  /// Race-free per-shard counters (marshalled; see ShardStats). A shard
+  /// whose worker is dead or wedged answers with its supervision atomics
+  /// only (shard-confined counters read as zero) after a bounded wait.
   [[nodiscard]] std::vector<ShardStats> shard_stats();
   /// Element-wise sum of shard_stats().
   [[nodiscard]] ShardStats merged_stats();
@@ -207,50 +301,97 @@ class ShardedMonitorService {
 
   struct Shard {
     std::size_t index = 0;
+    // Rebind target for restarts (the resolved port, not the requested
+    // one, so an ephemeral service port stays stable across rebuilds).
+    std::uint16_t bind_port = 0;
+    bool reuse_port = false;
     std::unique_ptr<net::EventLoop> loop;
     std::unique_ptr<service::Dispatcher> dispatcher;
     std::unique_ptr<service::FdService> fd;
+    /// RX chaos wrapper (null unless Params::chaos is active).
+    std::unique_ptr<net::FaultInjector> chaos;
     MpscQueue<Command> commands;
     MpscQueue<StatusEvent> events;
     std::atomic<bool> stop_requested{false};
     // Shard-thread-only: per-destination hand-off staging for the batch
     // currently being drained (index = destination shard; own slot unused).
     std::vector<HandoffStage> staging;
+    // Shard-thread-only: set while replaying a hand-off batch so injected
+    // datagrams are not run through the chaos plan a second time.
+    bool in_handoff = false;
     // Shard-thread-only counters (published via the stats command).
     std::uint64_t handoff_out = 0;
     std::uint64_t handoff_dropped = 0;
     std::uint64_t handoff_batches = 0;
     std::uint64_t commands_run = 0;
     std::atomic<std::uint64_t> events_dropped{0};
+    // --- supervision state (service-owned atomics; survive restarts) ---
+    std::atomic<std::uint64_t> liveness{0};  ///< advanced once per worker slice
+    std::atomic<bool> worker_exited{false};
+    std::atomic<bool> degraded{false};
+    std::atomic<std::uint64_t> restarts{0};
+    std::atomic<std::uint64_t> stalls_detected{0};
+    std::atomic<std::uint64_t> post_retries{0};
+    std::atomic<std::uint64_t> post_stalls{0};
+    std::atomic<std::uint64_t> resubscribed{0};
+    /// Guards the runtime pointers (loop/dispatcher/fd/chaos) against the
+    /// supervisor swapping them during a restart while another thread
+    /// wakes or reads the shard. The worker thread itself never takes it:
+    /// a swap only happens after the worker exited and was joined.
+    std::mutex swap_mu;
     std::thread thread;
 
-    Shard(std::size_t idx, const Params& params, std::uint16_t bind_port,
-          bool reuse_port);
+    Shard(std::size_t idx, const Params& params);
   };
 
+  void build_shard_runtime(Shard& s);
   void worker_main(Shard& s);
   void drain_commands(Shard& s);
-  void route_datagram(Shard& s, PeerId from, std::span<const std::byte> data,
-                      Tick arrival);
+  void route_datagram(Shard& s, const net::SocketAddress& from,
+                      std::span<const std::byte> data, Tick arrival);
   void flush_handoffs(Shard& s);
   void post(Shard& s, Command cmd);
+  /// wake() under swap_mu: safe against a concurrent runtime rebuild.
+  void wake_shard(Shard& s);
   void publish_event(Shard& s, StatusEvent event);
   void republish_locked();
   [[nodiscard]] ShardStats collect_stats_on_shard(Shard& s) const;
+  [[nodiscard]] ShardStats collect_supervision_stats(Shard& s) const;
+
+  // --- supervisor machinery ---
+  void supervisor_main();
+  /// Joins the exited worker, rebuilds the shard runtime on the same
+  /// port, re-seeds its subscriptions from the control registry, and
+  /// relaunches the worker thread. Returns false when the rebuild itself
+  /// failed (e.g. rebind raced a port thief); the caller backs off.
+  bool restart_shard(Shard& s);
+  void emit_health(Shard& s, detect::Output output);
 
   Params params_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::uint16_t service_port_ = 0;
   bool running_ = false;
 
-  // Control-plane registry: global subscription id -> owning shard +
-  // the shard-local FdService id.
+  // Control-plane registry: global subscription id -> owning shard, the
+  // shard-local FdService id, and everything needed to re-seed the
+  // subscription when the owning shard is rebuilt after a crash.
   struct SubRef {
     std::size_t shard = 0;
     service::FdService::SubscriptionId local = 0;
+    net::SocketAddress peer;
+    std::uint64_t sender_id = 0;
+    std::string app;
+    config::QosRequirements qos;
   };
   std::mutex control_mu_;
   std::map<SubscriptionId, SubRef> subs_;
   std::atomic<SubscriptionId> next_sub_id_{1};
+
+  // Supervisor thread: woken early for shutdown via the cv.
+  std::thread supervisor_;
+  std::mutex sup_mu_;
+  std::condition_variable sup_cv_;
+  bool sup_stop_ = false;
 
   // Aggregation state: agg_mu_ serializes the single logical consumer of
   // the per-shard event queues; view_mu_ guards only the published

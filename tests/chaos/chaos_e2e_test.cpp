@@ -1,0 +1,253 @@
+// Self-healing end-to-end (CTest label `chaos`): a ReconnectingClient
+// watching a real beacon through a ChaosTcpProxy, over a sharded service
+// whose inbound heartbeats run a 10% drop + reorder + duplication fault
+// plan.
+//
+// The acceptance scenario: the TCP path to the FDaaS API is killed five
+// times mid-run (forced mid-stream resets), yet the application observes
+// every verdict transition — the crash-induced Suspect arrives live, and
+// the recovery Trust that happens while the connection is down is
+// re-emitted by snapshot reconciliation after the reconnect. Connection
+// loss may delay a verdict; it must never lose one.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "api/fdaas_server.hpp"
+#include "api/reconnecting_client.hpp"
+#include "net/chaos_proxy.hpp"
+#include "net/event_loop.hpp"
+#include "net/fault.hpp"
+#include "net/tcp.hpp"
+#include "service/dispatcher.hpp"
+#include "service/heartbeat_sender.hpp"
+#include "shard/sharded_monitor_service.hpp"
+
+namespace twfd {
+namespace {
+
+using shard::ShardedMonitorService;
+
+constexpr config::QosRequirements kQos{0.8, 1e-3, 4.0};
+constexpr Tick kBeaconInterval = ticks_from_ms(200);
+
+/// A monitored process (same shape as the shard/api suites' helper),
+/// with an explicit bind port so a revived process can reclaim its old
+/// UDP address — the service identifies peers by source ip:port.
+class Beacon {
+ public:
+  Beacon(std::uint64_t sender_id, std::uint16_t service_port,
+         std::uint16_t bind_port = 0)
+      : loop_(std::make_unique<net::EventLoop>(bind_port)) {
+    port_ = loop_->local_port();
+    thread_ = std::thread([this, sender_id, service_port] {
+      service::Dispatcher dispatch(loop_->runtime());
+      service::HeartbeatSender sender(
+          loop_->runtime(),
+          {.sender_id = sender_id, .base_interval = kBeaconInterval});
+      dispatch.on_interval_request(
+          [&](PeerId from, const net::IntervalRequestMsg& msg) {
+            sender.handle_interval_request(from, msg);
+          });
+      sender.add_target(
+          loop_->add_peer(net::SocketAddress::loopback(service_port)));
+      sender.start();
+      while (!stop_.load(std::memory_order_acquire)) {
+        loop_->run_for(ticks_from_ms(50));
+      }
+      sender.stop();
+    });
+  }
+
+  ~Beacon() { crash(); }
+
+  void crash() {
+    stop_.store(true, std::memory_order_release);
+    loop_->wake();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] net::SocketAddress address() const {
+    return net::SocketAddress::loopback(port_);
+  }
+
+ private:
+  std::unique_ptr<net::EventLoop> loop_;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+/// Pumps `client` in short slices until `pred` holds or `timeout`
+/// elapses; returns the final predicate value. Events arrive on this
+/// thread, inside the pump.
+bool pump_until(api::ReconnectingClient& client, const std::function<bool()>& pred,
+                std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    client.pump_for(ticks_from_ms(100));
+  }
+  return true;
+}
+
+TEST(ChaosE2E, ClientSurvivesFiveResetsWithoutLosingATransition) {
+  // 10% drop + reorder + duplication on every inbound heartbeat, fixed
+  // seed — a lossy, jittery network the detector must ride out.
+  ShardedMonitorService service(
+      {.shards = 2,
+       .chaos = net::FaultPlan::parse("seed=42,drop=0.1,reorder=0.1,dup=0.1")});
+  service.start();
+  api::FdaasServer server(service, {});
+  server.start();
+
+  // The proxy owns the client-facing endpoint; the plan's TCP half is
+  // empty because this test injects its resets at exact protocol points.
+  net::ChaosTcpProxy::Options popts;
+  popts.upstream = net::SocketAddress::loopback(server.port());
+  net::ChaosTcpProxy proxy(popts);
+  proxy.start();
+
+  auto beacon = std::make_unique<Beacon>(1, service.port());
+  const auto peer = beacon->address();
+  const std::uint16_t beacon_port = beacon->port();
+
+  api::ReconnectingClient::Options copts;
+  copts.backoff_min = ticks_from_ms(20);
+  copts.backoff_max = ticks_from_ms(500);
+  api::ReconnectingClient client(net::SocketAddress::loopback(proxy.port()),
+                                 copts);
+  std::vector<api::EventMsg> events;
+  client.set_event_handler(
+      [&](const api::EventMsg& e) { events.push_back(e); });
+
+  const std::uint64_t handle = client.subscribe(peer, 1, "chaos-app", kQos);
+  ASSERT_TRUE(client.connected());
+  const auto saw = [&](detect::Output output) {
+    return std::any_of(events.begin(), events.end(), [&](const api::EventMsg& e) {
+      return e.subscription_id == handle && e.output == output;
+    });
+  };
+
+  // Resets 1..4: kill the live TCP session mid-pump; the client must
+  // notice, redial through the proxy and resubscribe, every time.
+  for (std::uint64_t round = 1; round <= 4; ++round) {
+    client.pump_for(ticks_from_ms(200));
+    proxy.force_reset();
+    ASSERT_TRUE(pump_until(
+        client, [&] { return client.reconnects() >= round; },
+        std::chrono::milliseconds(5000)))
+        << "client failed to recover from reset " << round
+        << " (last_error: " << client.last_error() << ")";
+  }
+
+  // The crash happens while connected: the Suspect transition must be
+  // pushed live, within the QoS detection bound (plus generous slack for
+  // CI scheduling and the chaos-induced heartbeat losses).
+  events.clear();
+  beacon->crash();
+  beacon.reset();
+  ASSERT_TRUE(pump_until(client,
+                         [&] { return saw(detect::Output::Suspect); },
+                         std::chrono::milliseconds(8000)))
+      << "crash never reached the application";
+  EXPECT_EQ(client.verdict(handle), detect::Output::Suspect);
+
+  // Reset 5 lands while the application is NOT pumping, and the process
+  // revives during the outage: the Suspect->Trust transition happens
+  // server-side with nobody connected. Reconciliation must re-emit it.
+  proxy.force_reset();
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  auto revived = std::make_unique<Beacon>(1, service.port(), beacon_port);
+  ASSERT_EQ(revived->port(), beacon_port);
+  std::this_thread::sleep_for(std::chrono::milliseconds(1000));
+
+  events.clear();
+  ASSERT_TRUE(pump_until(
+      client,
+      [&] {
+        return saw(detect::Output::Trust) &&
+               client.verdict(handle) == detect::Output::Trust;
+      },
+      std::chrono::milliseconds(8000)))
+      << "recovery transition lost across the outage";
+
+  EXPECT_GE(client.reconnects(), 5u);
+  EXPECT_GE(client.reconciled_events(), 1u)
+      << "the Trust after the 5th reset must come from reconciliation";
+  EXPECT_EQ(proxy.stats().forced_resets, 5u);
+
+  // The datagram chaos plan was genuinely active on the heartbeat path.
+  // (Too few heartbeats flow in this test to assert specific fault
+  // counts; the parity test covers those. Here: the plan saw every
+  // inbound datagram and its accounting balances.)
+  const auto merged = service.merged_stats();
+  EXPECT_GT(merged.chaos.offered, 0u);
+  // Held (reordered) and delayed datagrams may still be in flight when
+  // the counters are read, so resolved <= offered.
+  EXPECT_LE(merged.chaos.passed + merged.chaos.dropped, merged.chaos.offered);
+
+  client.close();
+  revived.reset();
+  proxy.stop();
+  server.stop();
+  service.stop();
+}
+
+// A client built while the server is unreachable must come up on its own
+// once the endpoint exists — the lazy-dial half of self-healing.
+TEST(ChaosE2E, SubscribeBeforeServerExistsEstablishesOnFirstPump) {
+  ShardedMonitorService service({.shards = 1});
+  service.start();
+
+  // Reserve a free TCP port, then release it: until the server below
+  // claims it, connections to it are refused.
+  std::uint16_t api_port = 0;
+  {
+    net::TcpListener probe({.port = 0});
+    api_port = probe.local_port();
+  }
+
+  api::ReconnectingClient::Options copts;
+  copts.client.connect_timeout = ticks_from_ms(300);
+  copts.backoff_min = ticks_from_ms(20);
+  api::ReconnectingClient client(net::SocketAddress::loopback(api_port), copts);
+
+  // Nothing is listening yet: subscribe must register the desired
+  // subscription without throwing and leave it pending.
+  const auto handle =
+      client.subscribe(net::SocketAddress::loopback(45300), 4, "early", kQos);
+  EXPECT_FALSE(client.connected());
+  EXPECT_EQ(client.verdict(handle), detect::Output::Trust) << "seeded verdict";
+
+  api::FdaasServer server(service, {.port = api_port});
+  server.start();
+  ASSERT_TRUE(pump_until(client, [&] { return client.connected(); },
+                         std::chrono::milliseconds(5000)));
+
+  // The pending subscription was established server-side.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(3000);
+  bool registered = false;
+  while (!registered && std::chrono::steady_clock::now() < deadline) {
+    service.poll_events();
+    registered = !service.view()->entries.empty();
+    if (!registered) std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_TRUE(registered);
+
+  client.close();
+  server.stop();
+  service.stop();
+}
+
+}  // namespace
+}  // namespace twfd

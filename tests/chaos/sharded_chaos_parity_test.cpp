@@ -1,0 +1,231 @@
+// Sharded parity under chaos (CTest label `chaos`): one shard worker is
+// killed mid-run while every inbound heartbeat rides a 10% drop +
+// reorder + duplication fault plan. The supervisor must detect the dead
+// worker within the watchdog bound, rebuild the shard on the same port,
+// re-seed its subscriptions — and the final per-app verdicts must match
+// a single-loop FdService oracle run on the same workload.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/event_loop.hpp"
+#include "net/fault.hpp"
+#include "service/dispatcher.hpp"
+#include "service/fd_service.hpp"
+#include "service/heartbeat_sender.hpp"
+#include "shard/sharded_monitor_service.hpp"
+
+namespace twfd {
+namespace {
+
+using shard::ShardedMonitorService;
+
+constexpr config::QosRequirements kQos{0.8, 1e-3, 4.0};
+constexpr Tick kBeaconInterval = ticks_from_ms(200);
+
+class Beacon {
+ public:
+  Beacon(std::uint64_t sender_id, std::uint16_t service_port)
+      : loop_(std::make_unique<net::EventLoop>()) {
+    port_ = loop_->local_port();
+    thread_ = std::thread([this, sender_id, service_port] {
+      service::Dispatcher dispatch(loop_->runtime());
+      service::HeartbeatSender sender(
+          loop_->runtime(),
+          {.sender_id = sender_id, .base_interval = kBeaconInterval});
+      dispatch.on_interval_request(
+          [&](PeerId from, const net::IntervalRequestMsg& msg) {
+            sender.handle_interval_request(from, msg);
+          });
+      sender.add_target(
+          loop_->add_peer(net::SocketAddress::loopback(service_port)));
+      sender.start();
+      while (!stop_.load(std::memory_order_acquire)) {
+        loop_->run_for(ticks_from_ms(50));
+      }
+      sender.stop();
+    });
+  }
+
+  ~Beacon() { crash(); }
+
+  void crash() {
+    stop_.store(true, std::memory_order_release);
+    loop_->wake();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  [[nodiscard]] net::SocketAddress address() const {
+    return net::SocketAddress::loopback(port_);
+  }
+
+ private:
+  std::unique_ptr<net::EventLoop> loop_;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+bool wait_until(const std::function<bool()>& pred,
+                std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return true;
+}
+
+TEST(ShardedChaosParity, WorkerKillMidRunStillMatchesSingleLoopOracle) {
+  constexpr std::size_t kBeacons = 4;
+  const std::set<std::size_t> kCrashed = {1, 2};
+  const auto app_name = [](std::size_t i) { return "capp" + std::to_string(i); };
+
+  // --- Oracle: the classic single-loop service, clean network ---
+  std::map<std::string, detect::Output> oracle;
+  {
+    net::EventLoop loop;
+    service::Dispatcher dispatch(loop.runtime());
+    service::FdService fd(loop.runtime(), {});
+    dispatch.on_heartbeat([&](PeerId from, const net::HeartbeatMsg& m, Tick at) {
+      fd.handle_heartbeat(from, m, at);
+    });
+
+    std::vector<std::unique_ptr<Beacon>> beacons;
+    std::vector<service::FdService::SubscriptionId> subs;
+    for (std::size_t i = 0; i < kBeacons; ++i) {
+      beacons.push_back(std::make_unique<Beacon>(i + 1, loop.local_port()));
+      subs.push_back(fd.subscribe(loop.add_peer(beacons[i]->address()), i + 1,
+                                  app_name(i), kQos,
+                                  [](const service::FdService::StatusEvent&) {}));
+    }
+    loop.run_for(ticks_from_ms(1500));
+    for (std::size_t i : kCrashed) beacons[i]->crash();
+    loop.run_for(ticks_from_ms(2500));
+    for (int retry = 0; retry < 6; ++retry) {
+      bool settled = true;
+      for (std::size_t i = 0; i < kBeacons; ++i) {
+        const auto expect = kCrashed.count(i) ? detect::Output::Suspect
+                                              : detect::Output::Trust;
+        if (fd.output(subs[i]) != expect) settled = false;
+      }
+      if (settled) break;
+      loop.run_for(ticks_from_ms(500));
+    }
+    for (std::size_t i = 0; i < kBeacons; ++i) {
+      oracle[app_name(i)] = fd.output(subs[i]);
+    }
+  }
+
+  // --- Sharded run: chaos on the wire, a worker killed mid-run ---
+  ShardedMonitorService svc(
+      {.shards = 2,
+       .receive_mode = ShardedMonitorService::ReceiveMode::kSingleSocket,
+       .supervision = {.worker_heartbeat_period = ticks_from_ms(10),
+                       .check_interval = ticks_from_ms(10),
+                       .stall_timeout = ticks_from_ms(300),
+                       .restart_backoff_min = ticks_from_ms(20),
+                       .restart_backoff_max = ticks_from_ms(500)},
+       .chaos = net::FaultPlan::parse("seed=42,drop=0.1,reorder=0.1,dup=0.1")});
+  svc.start();
+
+  std::vector<ShardedMonitorService::StatusEvent> health;
+  const auto poll = [&] {
+    svc.poll_events([&](const ShardedMonitorService::StatusEvent& e) {
+      if (e.subscription == ShardedMonitorService::kHealthSubscription) {
+        health.push_back(e);
+      }
+    });
+  };
+
+  std::vector<std::unique_ptr<Beacon>> beacons;
+  std::size_t owned_by_0 = 0;
+  for (std::size_t i = 0; i < kBeacons; ++i) {
+    beacons.push_back(std::make_unique<Beacon>(i + 1, svc.port()));
+    if (svc.shard_for(beacons[i]->address()) == 0) ++owned_by_0;
+    svc.subscribe(beacons[i]->address(), i + 1, app_name(i), kQos);
+  }
+
+  // Warm-up, then kill shard 0's worker — in single-socket mode that is
+  // the shard holding the only service socket: the hardest restart.
+  std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+  poll();
+  svc.inject_worker_fault(0, ShardedMonitorService::WorkerFault::kCrash);
+
+  ASSERT_TRUE(wait_until(
+      [&] {
+        poll();
+        const auto h = svc.health(0);
+        return h.restarts >= 1 && !h.worker_exited && !h.degraded;
+      },
+      std::chrono::milliseconds(5000)))
+      << "supervisor failed to restart the killed worker in bound";
+
+  // The outage was announced and the recovery too (subscription-0 health
+  // events for shard-0), and health events never leak into the entry list.
+  EXPECT_TRUE(std::any_of(health.begin(), health.end(), [](const auto& e) {
+    return e.app == "shard-0" && e.output == detect::Output::Suspect;
+  }));
+  ASSERT_TRUE(wait_until(
+      [&] {
+        poll();
+        return std::any_of(health.begin(), health.end(), [](const auto& e) {
+          return e.app == "shard-0" && e.output == detect::Output::Trust;
+        });
+      },
+      std::chrono::milliseconds(3000)));
+  for (const auto& entry : svc.view()->entries) {
+    EXPECT_NE(entry.subscription, ShardedMonitorService::kHealthSubscription);
+  }
+
+  // Let the rebuilt detectors re-converge on live traffic, then crash
+  // the same subset as the oracle run.
+  std::this_thread::sleep_for(std::chrono::milliseconds(1000));
+  for (std::size_t i : kCrashed) beacons[i]->crash();
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(10000);
+  bool settled = false;
+  while (!settled && std::chrono::steady_clock::now() < deadline) {
+    poll();
+    const auto snap = svc.view();
+    settled = snap->entries.size() == kBeacons;
+    for (const auto& e : snap->entries) {
+      std::size_t i = 0;
+      for (; i < kBeacons; ++i)
+        if (e.app == app_name(i)) break;
+      const auto expect =
+          kCrashed.count(i) ? detect::Output::Suspect : detect::Output::Trust;
+      if (e.output != expect) settled = false;
+    }
+    if (!settled) std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  ASSERT_TRUE(settled) << "sharded verdicts never converged after the restart";
+
+  std::map<std::string, detect::Output> sharded;
+  for (const auto& e : svc.view()->entries) sharded[e.app] = e.output;
+  EXPECT_EQ(oracle, sharded) << "verdict parity must hold across the restart";
+
+  const auto merged = svc.merged_stats();
+  EXPECT_GE(merged.restarts, 1u);
+  EXPECT_GE(merged.resubscribed, owned_by_0)
+      << "every subscription owned by the killed shard must be re-seeded";
+  EXPECT_GT(merged.chaos.offered, 0u) << "the fault plan must have been live";
+  EXPECT_GT(merged.chaos.dropped, 0u);
+
+  svc.stop();
+}
+
+}  // namespace
+}  // namespace twfd

@@ -1,0 +1,211 @@
+// Shard supervision (CTest label `threaded`, the ThreadSanitizer
+// target): the watchdog state machine around the shard workers.
+//
+// Three behaviours under test, each driven through the WorkerFault test
+// seam so the timing is deterministic:
+//   * a CRASHED worker (command threw, thread exited) is detected within
+//     the watchdog bound, announced as a subscription-0 Suspect health
+//     event, restarted with its subscriptions re-seeded, and announced
+//     recovered (Trust) once the rebuilt worker proves liveness;
+//   * a STALLED worker (alive but not serving) is marked degraded and
+//     announced, but NOT restarted — and recovers by itself;
+//   * a WEDGED command queue makes post give up after a bounded retry
+//     ladder (counted), instead of spinning forever.
+
+#include "shard/sharded_monitor_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace twfd {
+namespace {
+
+using shard::ShardedMonitorService;
+
+constexpr config::QosRequirements kQos{0.8, 1e-3, 4.0};
+
+ShardedMonitorService::Supervision fast_supervision() {
+  return {.enabled = true,
+          .worker_heartbeat_period = ticks_from_ms(10),
+          .check_interval = ticks_from_ms(10),
+          .stall_timeout = ticks_from_ms(200),
+          .restart_backoff_min = ticks_from_ms(20),
+          .restart_backoff_max = ticks_from_ms(500)};
+}
+
+bool wait_until(const std::function<bool()>& pred,
+                std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return true;
+}
+
+/// First loopback port >= `from` whose peer hashes to `shard`.
+std::uint16_t port_on_shard(const ShardedMonitorService& svc, std::size_t shard,
+                            std::uint16_t from) {
+  for (std::uint16_t p = from;; ++p) {
+    if (svc.shard_for(net::SocketAddress::loopback(p)) == shard) return p;
+  }
+}
+
+/// Drains events, stashing subscription-0 health events into `health`.
+std::size_t poll_health(ShardedMonitorService& svc,
+                        std::vector<ShardedMonitorService::StatusEvent>& health) {
+  return svc.poll_events([&](const ShardedMonitorService::StatusEvent& e) {
+    if (e.subscription == ShardedMonitorService::kHealthSubscription) {
+      health.push_back(e);
+    }
+  });
+}
+
+bool saw_health(const std::vector<ShardedMonitorService::StatusEvent>& health,
+                const std::string& app, detect::Output output) {
+  return std::any_of(health.begin(), health.end(), [&](const auto& e) {
+    return e.app == app && e.output == output;
+  });
+}
+
+TEST(ShardSupervisor, CrashedWorkerIsRestartedAndResubscribed) {
+  ShardedMonitorService svc({.shards = 2, .supervision = fast_supervision()});
+  svc.start();
+
+  // Two subscriptions owned by the shard we will kill, one by the other:
+  // the restart must re-seed exactly the victims.
+  const auto p0 = port_on_shard(svc, 0, 47000);
+  const auto p1a = port_on_shard(svc, 1, 47100);
+  const auto p1b = port_on_shard(svc, 1, static_cast<std::uint16_t>(p1a + 1));
+  svc.subscribe(net::SocketAddress::loopback(p0), 1, "keep", kQos);
+  svc.subscribe(net::SocketAddress::loopback(p1a), 2, "victim-a", kQos);
+  svc.subscribe(net::SocketAddress::loopback(p1b), 3, "victim-b", kQos);
+
+  std::vector<ShardedMonitorService::StatusEvent> health;
+  svc.inject_worker_fault(1, ShardedMonitorService::WorkerFault::kCrash);
+
+  // Watchdog bound: exit detected, announced, restarted, recovered.
+  ASSERT_TRUE(wait_until(
+      [&] {
+        poll_health(svc, health);
+        const auto h = svc.health(1);
+        return h.restarts >= 1 && !h.worker_exited && !h.degraded;
+      },
+      std::chrono::milliseconds(5000)));
+  EXPECT_TRUE(saw_health(health, "shard-1", detect::Output::Suspect));
+  ASSERT_TRUE(wait_until(
+      [&] {
+        poll_health(svc, health);
+        return saw_health(health, "shard-1", detect::Output::Trust);
+      },
+      std::chrono::milliseconds(3000)));
+
+  // The view kept all three subscriptions (verdicts preserved across the
+  // rebuild), and no health event leaked into the entry list.
+  const auto snap = svc.view();
+  EXPECT_EQ(snap->entries.size(), 3u);
+  for (const auto& e : snap->entries) {
+    EXPECT_NE(e.subscription, ShardedMonitorService::kHealthSubscription);
+  }
+
+  const auto stats = svc.shard_stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_GE(stats[1].restarts, 1u);
+  EXPECT_EQ(stats[0].restarts, 0u);
+  EXPECT_GE(stats[1].resubscribed, 2u) << "both victims must be re-seeded";
+
+  // The rebuilt shard serves the control plane again.
+  const auto id = svc.subscribe(net::SocketAddress::loopback(p1b + 7), 9,
+                                "post-restart", kQos);
+  svc.unsubscribe(id);
+  EXPECT_EQ(svc.degraded_count(), 0u);
+  svc.stop();
+}
+
+TEST(ShardSupervisor, StalledWorkerDegradesAndRecoversWithoutRestart) {
+  ShardedMonitorService svc({.shards = 2, .supervision = fast_supervision()});
+  svc.start();
+
+  std::vector<ShardedMonitorService::StatusEvent> health;
+  // Stall well past the 200 ms watchdog bound; the worker stays alive.
+  svc.inject_worker_fault(1, ShardedMonitorService::WorkerFault::kStall,
+                          ticks_from_ms(800));
+
+  ASSERT_TRUE(wait_until(
+      [&] {
+        poll_health(svc, health);
+        return svc.health(1).degraded;
+      },
+      std::chrono::milliseconds(3000)))
+      << "stall never tripped the watchdog";
+  EXPECT_GE(svc.health(1).stalls_detected, 1u);
+  EXPECT_FALSE(svc.health(1).worker_exited);
+  EXPECT_EQ(svc.degraded_count(), 1u);
+  EXPECT_TRUE(saw_health(health, "shard-1", detect::Output::Suspect));
+
+  // The sleep ends; liveness resumes; degraded clears with NO restart —
+  // a live thread cannot be killed, only waited out.
+  ASSERT_TRUE(wait_until(
+      [&] {
+        poll_health(svc, health);
+        return !svc.health(1).degraded;
+      },
+      std::chrono::milliseconds(3000)));
+  EXPECT_TRUE(saw_health(health, "shard-1", detect::Output::Trust));
+  EXPECT_EQ(svc.health(1).restarts, 0u);
+  EXPECT_EQ(svc.degraded_count(), 0u);
+  svc.stop();
+}
+
+TEST(ShardSupervisor, WedgedCommandQueuePostGivesUpBounded) {
+  // Tiny command queue + supervision off: this isolates the post ladder
+  // from the restart machinery.
+  ShardedMonitorService svc({.shards = 1,
+                             .command_queue_capacity = 4,
+                             .supervision = {.enabled = false}});
+  svc.start();
+
+  // Put the worker to sleep, give it a moment to pick the command up,
+  // then flood the queue: the ladder must retry (counted), then give up
+  // with an exception instead of spinning forever.
+  svc.inject_worker_fault(0, ShardedMonitorService::WorkerFault::kStall,
+                          ticks_from_ms(1500));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  int throws = 0;
+  for (int i = 0; i < 12 && throws == 0; ++i) {
+    try {
+      svc.inject_worker_fault(0, ShardedMonitorService::WorkerFault::kStall, 0);
+    } catch (const std::runtime_error&) {
+      ++throws;
+    }
+  }
+  EXPECT_EQ(throws, 1) << "a full queue against a wedged worker must make "
+                          "post give up within its bounded ladder";
+
+  // The worker wakes, drains the backlog, and the service stays usable.
+  ASSERT_TRUE(wait_until(
+      [&] {
+        const auto stats = svc.shard_stats();
+        return stats[0].post_stalls >= 1 && stats[0].commands_run > 0;
+      },
+      std::chrono::milliseconds(5000)));
+  const auto stats = svc.shard_stats();
+  EXPECT_GE(stats[0].post_retries, 1u);
+  EXPECT_GE(stats[0].post_stalls, 1u);
+
+  const auto id = svc.subscribe(net::SocketAddress::loopback(47500), 5,
+                                "after-wedge", kQos);
+  svc.unsubscribe(id);
+  svc.stop();
+}
+
+}  // namespace
+}  // namespace twfd

@@ -3,9 +3,14 @@
 #
 #   1. tier-1: release configure + build + the complete ctest suite
 #      (the command ROADMAP.md names as the bar every change must hold);
-#   2. tools/sanitize_check.sh — ASan+UBSan over the whole suite;
-#   3. tools/tsan_check.sh — TSan over the `threaded` label (the MPSC
-#      queues, the sharded runtime, and the FDaaS API server/client).
+#   2. the `chaos` label on its own (fault plans, chaos TCP proxy,
+#      reconnecting client, worker-kill parity) so a resilience
+#      regression is named by its lane, not buried in the full run;
+#   3. tools/sanitize_check.sh — ASan+UBSan over the whole suite —
+#      followed by an explicit chaos pass in the same sanitized tree;
+#   4. tools/tsan_check.sh — TSan over the `threaded` label (the MPSC
+#      queues, the sharded runtime + supervisor, and the FDaaS API
+#      server/client).
 #
 #   tools/ci_check.sh [build-dir]   (default: build)
 #
@@ -23,6 +28,9 @@ cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
+echo "== chaos suite, plain (label 'chaos', $BUILD_DIR) =="
+ctest --test-dir "$BUILD_DIR" -L chaos --output-on-failure
+
 echo "== bench smoke: net_hotpath (tiny samples) =="
 # Keeps the hot-path bench binary from rotting; runs in the build tree so
 # its tiny-sample JSON never clobbers a real BENCH_net_hotpath.json.
@@ -32,6 +40,10 @@ echo "== bench smoke: net_hotpath (tiny samples) =="
 
 echo "== ASan+UBSan (build-sanitize) =="
 tools/sanitize_check.sh
+
+echo "== chaos suite under ASan+UBSan (build-sanitize) =="
+ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
+  ctest --test-dir build-sanitize -L chaos --output-on-failure
 
 echo "== TSan, label 'threaded' (build-tsan) =="
 tools/tsan_check.sh

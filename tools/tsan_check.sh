@@ -1,6 +1,7 @@
 #!/usr/bin/env sh
 # ThreadSanitizer pass over the concurrency suite (CTest label `threaded`:
-# the MPSC command queue and the sharded monitoring runtime; see README
+# the MPSC command queue, the sharded monitoring runtime including the
+# supervisor/restart tests, and the FDaaS API server/client; see README
 # "Build, test, reproduce" and docs/runtime.md "Threading model").
 #
 #   tools/tsan_check.sh [build-dir]   (default: build-tsan)

@@ -8,17 +8,28 @@
 //
 //   twfd_fdaasd --api-port 4200 --service-port 4100 [--shards 4]
 //               [--lease-ms 10000] [--stats-interval-s 10]
+//               [--chaos SPEC] [--chaos-seed N]
 //               [--duration-s 0]
 //
 // duration 0 = run until killed.
+//
+// --chaos takes a fault-plan spec (net/fault.hpp grammar). The datagram
+// half (drop/dup/reorder/trunc/delay) is applied per shard to inbound
+// heartbeats; when the plan also has TCP faults (reset/stall/trickle), a
+// ChaosTcpProxy takes over the public API port and the real server moves
+// to an ephemeral one behind it. The plan (seed included) is logged;
+// --chaos-seed overrides the seed to reproduce a logged run.
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <thread>
 
 #include "api/fdaas_server.hpp"
+#include "net/chaos_proxy.hpp"
+#include "net/fault.hpp"
 #include "shard/sharded_monitor_service.hpp"
 
 using namespace twfd;
@@ -32,12 +43,16 @@ struct Options {
   long lease_ms = 10'000;
   long stats_interval_s = 10;
   long duration_s = 0;
+  std::string chaos;
+  std::uint64_t chaos_seed = 0;
+  bool have_chaos_seed = false;
 };
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--api-port N] [--service-port N] [--shards N]\n"
-               "          [--lease-ms N] [--stats-interval-s N] [--duration-s N]\n",
+               "          [--lease-ms N] [--stats-interval-s N] [--duration-s N]\n"
+               "          [--chaos SPEC] [--chaos-seed N]\n",
                argv0);
   std::exit(2);
 }
@@ -62,6 +77,11 @@ Options parse_args(int argc, char** argv) {
       opt.stats_interval_s = std::stol(next());
     } else if (arg == "--duration-s") {
       opt.duration_s = std::stol(next());
+    } else if (arg == "--chaos") {
+      opt.chaos = next();
+    } else if (arg == "--chaos-seed") {
+      opt.chaos_seed = std::strtoull(next().c_str(), nullptr, 10);
+      opt.have_chaos_seed = true;
     } else {
       usage(argv[0]);
     }
@@ -70,13 +90,14 @@ Options parse_args(int argc, char** argv) {
   return opt;
 }
 
-void print_stats(api::FdaasServer& server, shard::ShardedMonitorService& service) {
+void print_stats(api::FdaasServer& server, shard::ShardedMonitorService& service,
+                 const net::ChaosTcpProxy* proxy) {
   const auto api = server.stats();
   const auto sh = service.merged_stats();
   std::printf(
       "[fdaasd] sessions=%llu/%llu subs=%llu events: pushed=%llu unroutable=%llu | "
       "evict: slow=%llu lease=%llu disconnect=%llu | frames: rx=%llu bad=%llu | "
-      "bytes: tx=%llu rx=%llu | shards: hb=%llu handoff=%llu dropped=%llu\n",
+      "bytes: tx=%llu rx=%llu | shards: hb=%llu handoff=%llu\n",
       static_cast<unsigned long long>(api.sessions_active),
       static_cast<unsigned long long>(api.sessions_accepted),
       static_cast<unsigned long long>(api.subscriptions_active),
@@ -90,8 +111,54 @@ void print_stats(api::FdaasServer& server, shard::ShardedMonitorService& service
       static_cast<unsigned long long>(api.bytes_sent),
       static_cast<unsigned long long>(api.bytes_received),
       static_cast<unsigned long long>(sh.service_heartbeats),
-      static_cast<unsigned long long>(sh.handoff_out),
-      static_cast<unsigned long long>(sh.events_dropped));
+      static_cast<unsigned long long>(sh.handoff_out));
+  // Every silent-drop path and the self-healing counters on one line, so
+  // a lossy or degraded run is visible without attaching a debugger.
+  std::printf(
+      "[fdaasd] drops: handoff=%llu events=%llu send_failures=%llu "
+      "slow_evictions=%llu lease_expiries=%llu | supervision: degraded=%llu "
+      "restarts=%llu stalls=%llu resubscribed=%llu post_retries=%llu+%llu "
+      "post_stalls=%llu+%llu\n",
+      static_cast<unsigned long long>(sh.handoff_dropped),
+      static_cast<unsigned long long>(sh.events_dropped),
+      static_cast<unsigned long long>(sh.loop.send_soft_failures),
+      static_cast<unsigned long long>(api.slow_evictions),
+      static_cast<unsigned long long>(api.lease_expiries),
+      static_cast<unsigned long long>(sh.degraded),
+      static_cast<unsigned long long>(sh.restarts),
+      static_cast<unsigned long long>(sh.stalls_detected),
+      static_cast<unsigned long long>(sh.resubscribed),
+      static_cast<unsigned long long>(sh.post_retries),
+      static_cast<unsigned long long>(api.post_retries),
+      static_cast<unsigned long long>(sh.post_stalls),
+      static_cast<unsigned long long>(api.post_stalls));
+  const auto& cs = sh.chaos;
+  if (cs.offered != 0 || proxy != nullptr) {
+    std::printf(
+        "[fdaasd] chaos: offered=%llu passed=%llu dropped=%llu dup=%llu "
+        "reorder=%llu trunc=%llu delayed=%llu",
+        static_cast<unsigned long long>(cs.offered),
+        static_cast<unsigned long long>(cs.passed),
+        static_cast<unsigned long long>(cs.dropped),
+        static_cast<unsigned long long>(cs.duplicated),
+        static_cast<unsigned long long>(cs.reordered),
+        static_cast<unsigned long long>(cs.truncated),
+        static_cast<unsigned long long>(cs.delayed));
+    if (proxy != nullptr) {
+      const auto ps = proxy->stats();
+      std::printf(
+          " | proxy: links=%llu/%llu resets=%llu forced=%llu stalls=%llu "
+          "bytes up=%llu down=%llu",
+          static_cast<unsigned long long>(ps.links_active),
+          static_cast<unsigned long long>(ps.links_opened),
+          static_cast<unsigned long long>(ps.resets_injected),
+          static_cast<unsigned long long>(ps.forced_resets),
+          static_cast<unsigned long long>(ps.stalls),
+          static_cast<unsigned long long>(ps.bytes_up),
+          static_cast<unsigned long long>(ps.bytes_down));
+    }
+    std::printf("\n");
+  }
   std::fflush(stdout);
 }
 
@@ -101,22 +168,46 @@ int main(int argc, char** argv) {
   try {
     const Options opt = parse_args(argc, argv);
 
+    net::FaultPlan plan;
+    const bool chaos_active = !opt.chaos.empty() || opt.have_chaos_seed;
+    if (!opt.chaos.empty()) plan = net::FaultPlan::parse(opt.chaos);
+    if (opt.have_chaos_seed) plan.seed = opt.chaos_seed;
+
     shard::ShardedMonitorService::Params service_params;
     service_params.shards = opt.shards;
     service_params.port = opt.service_port;
+    if (chaos_active) service_params.chaos = plan;
     shard::ShardedMonitorService service(service_params);
     service.start();
 
+    // With TCP faults in the plan, the chaos proxy owns the public API
+    // port and the real server hides behind it on an ephemeral one; the
+    // client-visible endpoint misbehaves exactly as specified.
+    const bool proxy_active = chaos_active && plan.any_tcp_faults();
     api::FdaasServer::Params api_params;
-    api_params.port = opt.api_port;
+    api_params.port = proxy_active ? 0 : opt.api_port;
     api_params.lease = ticks_from_ms(opt.lease_ms);
     api::FdaasServer server(service, api_params);
     server.start();
 
+    std::unique_ptr<net::ChaosTcpProxy> proxy;
+    if (proxy_active) {
+      net::ChaosTcpProxy::Options popts;
+      popts.listen_port = opt.api_port;
+      popts.upstream = net::SocketAddress::parse("127.0.0.1", server.port());
+      popts.plan = plan;
+      proxy = std::make_unique<net::ChaosTcpProxy>(popts);
+      proxy->start();
+    }
+
     std::printf("fdaasd up: heartbeats on udp/%u (%zu shards), API on tcp/%u, "
                 "lease %ld ms\n",
-                service.port(), service.shard_count(), server.port(),
-                opt.lease_ms);
+                service.port(), service.shard_count(),
+                proxy ? proxy->port() : server.port(), opt.lease_ms);
+    if (chaos_active) {
+      std::printf("chaos plan active: %s%s\n", plan.to_string().c_str(),
+                  proxy ? " (TCP faults proxied)" : "");
+    }
     std::fflush(stdout);
 
     SteadyClock clock;
@@ -129,14 +220,16 @@ int main(int argc, char** argv) {
       const Tick now = clock.now();
       if (deadline != 0 && now >= deadline) break;
       if (opt.stats_interval_s > 0 && now >= next_stats) {
-        print_stats(server, service);
+        print_stats(server, service, proxy.get());
         next_stats = now + ticks_from_sec(opt.stats_interval_s);
       }
     }
 
-    // Server before service: teardown releases client subscriptions while
-    // the shards can still execute the unsubscribe commands.
-    print_stats(server, service);
+    // Proxy, then server, then service: teardown releases client
+    // subscriptions while the shards can still execute the unsubscribe
+    // commands.
+    print_stats(server, service, proxy.get());
+    if (proxy) proxy->stop();
     server.stop();
     service.stop();
     return 0;

@@ -9,17 +9,26 @@
 //                [--detector 2w|chen|bertier|phi|ed|fixed]
 //                [--margin-ms 115 | --threshold 2.0]
 //                [--qos TD_S,TMR_PER_S,TM_S --beacon HOST:PORT]
+//                [--chaos SPEC] [--chaos-seed N]
 //                [--duration-s 0]
+//
+// --chaos runs inbound datagrams through a deterministic fault plan
+// (drop/dup/reorder/trunc/delay; see net/fault.hpp for the grammar)
+// before the dispatcher — a live fault drill. The active plan and its
+// seed are logged; --chaos-seed overrides the seed so a logged run can
+// be reproduced exactly.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <ctime>
+#include <memory>
 #include <string>
 
 #include "config/qos_config.hpp"
 #include "core/factory.hpp"
 #include "net/event_loop.hpp"
+#include "net/fault.hpp"
 #include "service/dispatcher.hpp"
 #include "service/monitor.hpp"
 
@@ -38,6 +47,9 @@ struct Options {
   bool have_qos = false;
   config::QosRequirements qos;
   std::string beacon;
+  std::string chaos;
+  std::uint64_t chaos_seed = 0;
+  bool have_chaos_seed = false;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -46,7 +58,8 @@ struct Options {
       "usage: %s [--port N] [--sender-id N] [--interval-ms N]\n"
       "          [--detector 2w|chen|bertier|phi|ed|fixed]\n"
       "          [--margin-ms X | --threshold X] [--duration-s N]\n"
-      "          [--qos TD,TMR,TM --beacon HOST:PORT]\n",
+      "          [--qos TD,TMR,TM --beacon HOST:PORT]\n"
+      "          [--chaos SPEC] [--chaos-seed N]\n",
       argv0);
   std::exit(2);
 }
@@ -75,6 +88,11 @@ Options parse_args(int argc, char** argv) {
       opt.duration_s = std::stol(next());
     } else if (arg == "--beacon") {
       opt.beacon = next();
+    } else if (arg == "--chaos") {
+      opt.chaos = next();
+    } else if (arg == "--chaos-seed") {
+      opt.chaos_seed = std::strtoull(next().c_str(), nullptr, 10);
+      opt.have_chaos_seed = true;
     } else if (arg == "--qos") {
       const std::string spec = next();
       if (std::sscanf(spec.c_str(), "%lf,%lf,%lf", &opt.qos.td_upper_s,
@@ -149,6 +167,26 @@ int main(int argc, char** argv) {
       monitor.handle_heartbeat(from, m, at);
     });
 
+    // RX chaos: inbound datagrams run through the fault plan before the
+    // dispatcher. The seed is always logged so the run is reproducible.
+    std::unique_ptr<net::FaultInjector> chaos;
+    if (!opt.chaos.empty() || opt.have_chaos_seed) {
+      net::FaultPlan plan =
+          opt.chaos.empty() ? net::FaultPlan{} : net::FaultPlan::parse(opt.chaos);
+      if (opt.have_chaos_seed) plan.seed = opt.chaos_seed;
+      chaos = std::make_unique<net::FaultInjector>(
+          loop, loop, plan,
+          [&](const net::SocketAddress& from, std::span<const std::byte> data,
+              Tick arrival) {
+            dispatch.ingest(loop.add_peer(from), data, arrival);
+          });
+      loop.set_receive_handler(
+          [&](PeerId from, std::span<const std::byte> data, Tick arrival) {
+            chaos->offer(loop.peer_address(from), data, arrival);
+          });
+      std::printf("chaos plan active: %s\n", plan.to_string().c_str());
+    }
+
     if (opt.have_qos && !opt.beacon.empty()) {
       const auto colon = opt.beacon.rfind(':');
       if (colon == std::string::npos) usage(argv[0]);
@@ -195,6 +233,23 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(s.rx_clock_stamps),
         static_cast<unsigned long long>(s.rx_truncated),
         static_cast<unsigned long long>(s.recv_errors));
+    std::printf("drops: send_failures=%llu\n",
+                static_cast<unsigned long long>(s.send_soft_failures));
+    if (chaos) {
+      const auto& cs = chaos->stats();
+      std::printf(
+          "chaos: offered=%llu passed=%llu dropped=%llu dup=%llu reorder=%llu "
+          "trunc=%llu delayed=%llu | decisions=%llu schedule_hash=%016llx\n",
+          static_cast<unsigned long long>(cs.offered),
+          static_cast<unsigned long long>(cs.passed),
+          static_cast<unsigned long long>(cs.dropped),
+          static_cast<unsigned long long>(cs.duplicated),
+          static_cast<unsigned long long>(cs.reordered),
+          static_cast<unsigned long long>(cs.truncated),
+          static_cast<unsigned long long>(cs.delayed),
+          static_cast<unsigned long long>(chaos->engine().decisions()),
+          static_cast<unsigned long long>(chaos->engine().schedule_hash()));
+    }
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "twfd_monitor: %s\n", e.what());
