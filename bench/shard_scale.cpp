@@ -1,37 +1,110 @@
 // Engineering bench: heartbeat-processing throughput of the sharded
-// monitoring runtime over shard count.
+// monitoring runtime over shard count, in two phases.
 //
-// P synthetic peers (each its own UDP socket, so source addresses — and
-// hence shard ownership — are distinct) blast paced heartbeats at the
-// service port while every peer is subscribed. For each shard count the
-// bench reports offered vs processed rate, the hand-off volume, queue
-// drops, and the per-shard load balance. On a multi-core host the
-// processed rate scales with shards (the acceptance target is ~3x at 4
-// shards); on a single core the numbers expose the hand-off overhead
-// instead — both are honest readings of the same counters, so the JSON
-// is interpretable either way (see the cores column).
+// Phase A (sockets): P synthetic peers (each its own UDP socket, so
+// source addresses — and hence shard ownership — are distinct) blast
+// paced heartbeats at the service port while every peer is subscribed.
+// Shard workers are core-pinned (Params::pin_cores; skipped gracefully
+// when the host has fewer cores than shards — the `pinned` column counts
+// the workers that actually got a core). For each shard count the bench
+// reports offered vs processed rate, hand-off volume, queue drops and
+// per-shard balance. The speedup baseline is ALWAYS the shards=1 row: it
+// runs first whether or not the sweep asked for it.
 //
-// Knobs: FD_BENCH_SHARD_PEERS (default 64), FD_BENCH_SHARD_INTERVAL_US
-// (per-peer send interval, default 2000), FD_BENCH_SHARD_SECONDS
-// (measured window per shard count, default 2), FD_BENCH_SHARD_COUNTS
-// (comma list, default "1,2,4,8").
+// Phase B (peer-scale): the socket path caps peers at the fd limit and
+// the pacing threads at the sender's clock, so the slab peer table is
+// measured by direct drive instead: per shard a pinned thread owns a
+// private EventLoop + Dispatcher + FdService pre-sized for P peers
+// (>=100k by default), subscribes every peer, pre-encodes one heartbeat
+// datagram per peer and re-stamps seq/send_time in place each round —
+// the ingest path (decode -> slab lookup -> estimator -> embedded
+// detector -> timer re-arm) is exactly the shard worker's per-datagram
+// work, minus the socket syscall. Reported: ns_per_datagram (slowest
+// thread — the number a shard worker pays per heartbeat) and
+// allocs_per_hb from a replacement global operator new (the
+// zero-allocation steady-state claim, measured across every thread).
 //
-// Emits BENCH_shard_scale.json via bench::emit_json.
+// On a multi-core host the phase-A processed rate scales with shards
+// (acceptance target ~2.5x+ at 4 shards); on a single core both phases
+// expose per-datagram cost and hand-off overhead instead — honest
+// readings of the same counters either way (see the cores/pinned
+// columns).
+//
+// Knobs: FD_BENCH_SHARD_COUNTS (comma list, default "1,2,4,8"; both
+// phases), FD_BENCH_SHARD_PEERS (phase A, default 64),
+// FD_BENCH_SHARD_INTERVAL_US (phase A per-peer send interval, default
+// 2000), FD_BENCH_SHARD_SECONDS (phase A measured window, default 2),
+// FD_BENCH_SHARD_SCALE_PEERS (phase B peers per shard, default 100000),
+// FD_BENCH_SHARD_SCALE_ROUNDS (phase B measured rounds, default 10).
+//
+// Emits BENCH_shard_scale.json via bench::emit_json; exits non-zero if
+// no row carries a numeric ns_per_datagram (the CI smoke contract).
 
 #include <atomic>
+#include <barrier>
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <memory>
+#include <new>
 #include <string>
 #include <thread>
 #include <vector>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 #include "bench_common.hpp"
 #include "common/table.hpp"
+#include "net/event_loop.hpp"
 #include "net/udp_socket.hpp"
 #include "net/wire.hpp"
+#include "service/dispatcher.hpp"
+#include "service/fd_service.hpp"
 #include "shard/sharded_monitor_service.hpp"
+
+// ---------------------------------------------------------------------------
+// Allocation counter: every heap allocation in the process bumps g_allocs
+// (aligned overloads included — the slab allocates cache-line-aligned).
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, std::align_val_t al) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, std::max(static_cast<std::size_t>(al), sizeof(void*)),
+                     n ? n : 1) == 0) {
+    return p;
+  }
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t n, std::align_val_t al) {
+  return ::operator new(n, al);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 
 using namespace twfd;
 
@@ -56,10 +129,48 @@ std::vector<std::size_t> env_shard_counts() {
     pos = comma + 1;
   }
   if (out.empty()) out = {1, 2, 4, 8};
-  return out;
+  // The speedup baseline is the shards=1 run: always run it, and first.
+  std::vector<std::size_t> ordered{1};
+  for (std::size_t s : out) {
+    if (s != 1) ordered.push_back(s);
+  }
+  return ordered;
 }
 
-struct RunResult {
+/// Same policy as ShardedMonitorService::maybe_pin, for phase-B threads:
+/// pin to the index-th allowed CPU, skip when threads > usable cores.
+bool pin_to_core(std::size_t index, std::size_t total_threads) {
+#if defined(__linux__)
+  cpu_set_t avail;
+  CPU_ZERO(&avail);
+  if (sched_getaffinity(0, sizeof(avail), &avail) != 0) return false;
+  const int cores = CPU_COUNT(&avail);
+  if (cores <= 0 || total_threads > static_cast<std::size_t>(cores)) return false;
+  int want = static_cast<int>(index);
+  int cpu = -1;
+  for (int c = 0; c < CPU_SETSIZE; ++c) {
+    if (CPU_ISSET(c, &avail) && want-- == 0) {
+      cpu = c;
+      break;
+    }
+  }
+  if (cpu < 0) return false;
+  cpu_set_t one;
+  CPU_ZERO(&one);
+  CPU_SET(cpu, &one);
+  return pthread_setaffinity_np(pthread_self(), sizeof(one), &one) == 0;
+#else
+  (void)index;
+  (void)total_threads;
+  return false;
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Phase A: socket sweep over the sharded runtime.
+// ---------------------------------------------------------------------------
+
+struct SocketRunResult {
   std::size_t shards = 0;
   std::uint64_t offered = 0;
   std::uint64_t processed = 0;
@@ -69,13 +180,18 @@ struct RunResult {
   std::uint64_t handoff_batches = 0;
   std::uint64_t wakeups_cross = 0;
   std::uint64_t injected = 0;
-  double balance = 0;  // max/min per-shard service heartbeats (1.0 = even)
+  std::uint64_t pinned = 0;          ///< workers that got their own core
+  std::uint64_t zero_hb_shards = 0;  ///< shards that processed NOTHING
+  std::uint64_t min_hb = 0;
+  std::uint64_t max_hb = 0;
 };
 
-RunResult run(std::size_t shards, std::size_t peers, long interval_us, long seconds) {
+SocketRunResult run_sockets(std::size_t shards, std::size_t peers, long interval_us,
+                            long seconds) {
   shard::ShardedMonitorService svc(
       {.shards = shards,
        .receive_mode = shard::ShardedMonitorService::ReceiveMode::kReusePort,
+       .pin_cores = true,
        .service = {.assumed_network = {0.01, 1e-4}}});
   svc.start();
   const std::uint16_t port = svc.port();
@@ -137,26 +253,160 @@ RunResult run(std::size_t shards, std::size_t peers, long interval_us, long seco
   svc.poll_events();
   svc.stop();
 
-  RunResult r;
+  SocketRunResult r;
   r.shards = shards;
   r.seconds = std::chrono::duration<double>(t1 - t0).count();
   r.offered = offered1 - offered0;
-  std::uint64_t min_hb = ~0ULL, max_hb = 0;
+  r.min_hb = ~0ULL;
   for (std::size_t i = 0; i < shards; ++i) {
     const std::uint64_t hb =
         after[i].service_heartbeats - before[i].service_heartbeats;
     r.processed += hb;
-    min_hb = hb < min_hb ? hb : min_hb;
-    max_hb = hb > max_hb ? hb : max_hb;
+    r.min_hb = hb < r.min_hb ? hb : r.min_hb;
+    r.max_hb = hb > r.max_hb ? hb : r.max_hb;
+    if (hb == 0) ++r.zero_hb_shards;
     r.handoff_out += after[i].handoff_out - before[i].handoff_out;
     r.handoff_dropped += after[i].handoff_dropped - before[i].handoff_dropped;
     r.handoff_batches += after[i].handoff_batches - before[i].handoff_batches;
     r.wakeups_cross += after[i].loop.wakeups_cross - before[i].loop.wakeups_cross;
     r.injected +=
         after[i].loop.datagrams_injected - before[i].loop.datagrams_injected;
+    r.pinned += after[i].pinned;
   }
-  r.balance = min_hb > 0 ? static_cast<double>(max_hb) / static_cast<double>(min_hb)
-                         : 0.0;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Phase B: peer-scale direct drive of the slab peer table.
+// ---------------------------------------------------------------------------
+
+struct ScaleRunResult {
+  std::size_t shards = 0;
+  std::size_t peers_per_shard = 0;
+  std::uint64_t processed = 0;     ///< heartbeats across all threads
+  double worst_seconds = 0;        ///< slowest thread's measured wall time
+  double aggregate_per_s = 0;      ///< processed / coordinator wall time
+  double allocs_per_hb = 0;        ///< global alloc delta / processed
+  std::uint64_t pinned = 0;
+};
+
+ScaleRunResult run_peer_scale(std::size_t shards, std::size_t peers, long rounds) {
+  constexpr long kWarmRounds = 3;
+  ScaleRunResult r;
+  r.shards = shards;
+  r.peers_per_shard = peers;
+
+  std::barrier sync(static_cast<std::ptrdiff_t>(shards) + 1);
+  std::vector<double> thread_seconds(shards, 0.0);
+  std::vector<std::uint64_t> thread_processed(shards, 0);
+  std::vector<std::uint8_t> thread_pinned(shards, 0);
+
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < shards; ++t) {
+    workers.emplace_back([&, t] {
+      thread_pinned[t] = pin_to_core(t, shards) ? 1 : 0;
+
+      net::EventLoop loop(net::UdpSocket::Options{});  // ephemeral, never read
+      service::Dispatcher dispatcher(loop.runtime());
+      service::FdService::Params params;
+      params.assumed_network = {0.01, 1e-4};
+      params.expected_peers = peers;
+      service::FdService fd(loop.runtime(), params);
+      dispatcher.on_heartbeat(
+          [&fd](PeerId from, const net::HeartbeatMsg& m, Tick at) {
+            fd.handle_heartbeat(from, m, at);
+          });
+
+      // Distinct fake source addresses inside 127.0.0.0/8 (whole block is
+      // loopback on Linux, so the subscribe-time IntervalRequest send has
+      // a route and vanishes harmlessly). Peer identity is ip:port.
+      std::vector<PeerId> ids(peers);
+      for (std::size_t i = 0; i < peers; ++i) {
+        const net::SocketAddress addr{
+            0x7f000001u + static_cast<std::uint32_t>(t * peers + i), 4242};
+        ids[i] = loop.add_peer(addr);
+        fd.subscribe(ids[i], i + 1, "app", {2.0, 1e-2, 10.0},
+                     [](const service::FdService::StatusEvent&) {});
+      }
+      const Tick interval = fd.shared_interval(ids[0]);
+
+      // One pre-encoded 38-byte heartbeat per peer; each round re-stamps
+      // seq and send_time in place (wire layout: LE, sender_id@6, seq@14,
+      // send_time@22, interval@30). Advertising the negotiated interval
+      // keeps the steady state rebuild-free after the first heartbeat.
+      std::vector<std::byte> frames(peers * net::HeartbeatMsg::kWireSize);
+      for (std::size_t i = 0; i < peers; ++i) {
+        net::HeartbeatMsg hb;
+        hb.sender_id = i + 1;
+        hb.seq = 1;
+        hb.send_time = 0;
+        hb.interval = interval;
+        const auto bytes = net::encode(hb);
+        std::memcpy(frames.data() + i * net::HeartbeatMsg::kWireSize,
+                    bytes.data(), bytes.size());
+      }
+      const auto patch_i64 = [&](std::size_t frame, std::size_t offset,
+                                 std::int64_t v) {
+        std::byte* p =
+            frames.data() + frame * net::HeartbeatMsg::kWireSize + offset;
+        for (int b = 0; b < 8; ++b) {
+          p[b] = static_cast<std::byte>(static_cast<std::uint64_t>(v) >> (8 * b));
+        }
+      };
+      const Tick base = loop.now();
+      const auto drive_round = [&](long round) {
+        const Tick send = base + (round + 1) * interval;
+        const Tick arrival = send + ticks_from_us(50);
+        for (std::size_t i = 0; i < peers; ++i) {
+          patch_i64(i, 14, round + 1);  // seq
+          patch_i64(i, 22, send);       // send_time
+          dispatcher.ingest(
+              ids[i],
+              std::span<const std::byte>(
+                  frames.data() + i * net::HeartbeatMsg::kWireSize,
+                  net::HeartbeatMsg::kWireSize),
+              arrival);
+        }
+      };
+
+      for (long round = 0; round < kWarmRounds; ++round) drive_round(round);
+      sync.arrive_and_wait();  // (1) warm done
+      sync.arrive_and_wait();  // (2) alloc counter snapshotted: measure
+      const auto t0 = std::chrono::steady_clock::now();
+      for (long round = 0; round < rounds; ++round) {
+        drive_round(kWarmRounds + round);
+      }
+      const auto t1 = std::chrono::steady_clock::now();
+      thread_seconds[t] = std::chrono::duration<double>(t1 - t0).count();
+      thread_processed[t] = static_cast<std::uint64_t>(rounds) * peers;
+      sync.arrive_and_wait();  // (3) measured region closed
+    });
+  }
+
+  sync.arrive_and_wait();  // (1)
+  const std::uint64_t allocs0 = g_allocs.load(std::memory_order_relaxed);
+  sync.arrive_and_wait();  // (2)
+  const auto wall0 = std::chrono::steady_clock::now();
+  sync.arrive_and_wait();  // (3)
+  const auto wall1 = std::chrono::steady_clock::now();
+  const std::uint64_t allocs1 = g_allocs.load(std::memory_order_relaxed);
+  for (auto& w : workers) w.join();
+
+  for (std::size_t t = 0; t < shards; ++t) {
+    r.processed += thread_processed[t];
+    r.worst_seconds = std::max(r.worst_seconds, thread_seconds[t]);
+    r.pinned += thread_pinned[t];
+  }
+  // The aggregate rate uses the COORDINATOR's wall clock over the whole
+  // measured region, not the sum of per-thread rates: on an oversubscribed
+  // host (threads > cores) the scheduler can run each thread's region
+  // back-to-back, so per-thread wall times only cover their own active
+  // slice and their sum would fake linear scaling where there is none.
+  const double wall = std::chrono::duration<double>(wall1 - wall0).count();
+  if (wall > 0) r.aggregate_per_s = static_cast<double>(r.processed) / wall;
+  r.allocs_per_hb = r.processed > 0 ? static_cast<double>(allocs1 - allocs0) /
+                                          static_cast<double>(r.processed)
+                                    : 0.0;
   return r;
 }
 
@@ -166,49 +416,97 @@ int main() {
   const auto peers = static_cast<std::size_t>(env_long("FD_BENCH_SHARD_PEERS", 64));
   const long interval_us = env_long("FD_BENCH_SHARD_INTERVAL_US", 2000);
   const long seconds = env_long("FD_BENCH_SHARD_SECONDS", 2);
+  const auto scale_peers =
+      static_cast<std::size_t>(env_long("FD_BENCH_SHARD_SCALE_PEERS", 100000));
+  const long scale_rounds = env_long("FD_BENCH_SHARD_SCALE_ROUNDS", 10);
   const unsigned cores = std::thread::hardware_concurrency();
+  const auto counts = env_shard_counts();
 
   std::cout << "shard_scale\n"
             << "sharded monitoring runtime: heartbeat throughput vs shard count\n"
-            << "peers=" << peers << "  interval_us=" << interval_us
-            << "  window_s=" << seconds << "  cores=" << cores << "\n\n";
+            << "phase A: peers=" << peers << "  interval_us=" << interval_us
+            << "  window_s=" << seconds << "\n"
+            << "phase B: peers/shard=" << scale_peers
+            << "  rounds=" << scale_rounds << "\n"
+            << "cores=" << cores << "\n\n";
 
-  Table table({"shards", "cores", "peers", "offered_per_s", "processed_per_s",
-               "speedup", "handoff_per_s", "handoff_dropped", "injected_per_s",
+  Table table({"phase", "shards", "cores", "pinned", "peers", "offered_per_s",
+               "processed_per_s", "speedup", "ns_per_datagram", "allocs_per_hb",
+               "handoff_per_s", "handoff_dropped", "zero_hb_shards",
                "handoff_coalesce", "cross_wakes_per_s", "balance_max_min"});
-  double base_rate = 0;
-  for (std::size_t shards : env_shard_counts()) {
-    const auto r = run(shards, peers, interval_us, seconds);
+
+  // --- Phase A ---
+  double base_rate_a = 0;
+  for (std::size_t shards : counts) {
+    const auto r = run_sockets(shards, peers, interval_us, seconds);
     const double processed_rate = static_cast<double>(r.processed) / r.seconds;
-    if (base_rate <= 0) base_rate = processed_rate;
+    if (shards == 1) base_rate_a = processed_rate;  // counts[0] is always 1
     // Datagrams moved per hand-off flush: the wake-coalescing factor the
     // per-batch staging buys over the old one-wake-per-datagram scheme.
     const double coalesce =
         r.handoff_batches > 0 ? static_cast<double>(r.handoff_out) /
                                     static_cast<double>(r.handoff_batches)
                               : 0.0;
-    table.add_row({std::to_string(r.shards), std::to_string(cores),
-                   std::to_string(peers),
+    // A shard that processed zero heartbeats means the sweep was too
+    // short or ownership never touched it — either way max/min would be
+    // division by zero dressed up as "perfectly balanced", so say so.
+    const std::string balance =
+        r.min_hb > 0 ? Table::num(static_cast<double>(r.max_hb) /
+                                      static_cast<double>(r.min_hb),
+                                  2)
+                     : "unbalanced";
+    table.add_row({"sockets", std::to_string(r.shards), std::to_string(cores),
+                   std::to_string(r.pinned), std::to_string(peers),
                    Table::num(static_cast<double>(r.offered) / r.seconds, 1),
                    Table::num(processed_rate, 1),
-                   Table::num(base_rate > 0 ? processed_rate / base_rate : 0, 2),
+                   base_rate_a > 0 ? Table::num(processed_rate / base_rate_a, 2)
+                                   : "n/a",
+                   "-", "-",
                    Table::num(static_cast<double>(r.handoff_out) / r.seconds, 1),
                    std::to_string(r.handoff_dropped),
-                   Table::num(static_cast<double>(r.injected) / r.seconds, 1),
-                   Table::num(coalesce, 2),
+                   std::to_string(r.zero_hb_shards), Table::num(coalesce, 2),
                    Table::num(static_cast<double>(r.wakeups_cross) / r.seconds, 1),
-                   Table::num(r.balance, 2)});
+                   balance});
   }
+
+  // --- Phase B ---
+  bool have_ns = false;
+  double base_rate_b = 0;
+  for (std::size_t shards : counts) {
+    const auto r = run_peer_scale(shards, scale_peers, scale_rounds);
+    if (r.processed == 0 || r.worst_seconds <= 0) continue;
+    const double ns_per_datagram =
+        r.worst_seconds * 1e9 /
+        (static_cast<double>(r.processed) / static_cast<double>(shards));
+    if (shards == 1) base_rate_b = r.aggregate_per_s;
+    have_ns = true;
+    table.add_row(
+        {"slab", std::to_string(shards), std::to_string(cores),
+         std::to_string(r.pinned),
+         std::to_string(r.peers_per_shard * shards), "-",
+         Table::num(r.aggregate_per_s, 1),
+         base_rate_b > 0 ? Table::num(r.aggregate_per_s / base_rate_b, 2)
+                         : "n/a",
+         Table::num(ns_per_datagram, 1), Table::num(r.allocs_per_hb, 4), "-",
+         "-", "-", "-", "-", "-"});
+  }
+
   bench::emit(table);
   bench::emit_json("shard_scale", table);
 
-  std::cout << "\nExpected shape: processed_per_s tracks offered_per_s while"
-               " shards have cores to run on (speedup -> ~3x at 4 shards on"
-               " >=4 cores); on fewer cores the speedup column reads ~1x and"
+  std::cout << "\nExpected shape: phase-A processed_per_s tracks offered_per_s"
+               " while shards have cores to run on (speedup >= 2.5x at 4"
+               " shards on >=4 cores); on fewer cores the speedup column"
+               " reads ~1x, the pinned column reads 0 (pinning skipped) and"
                " the hand-off columns price the cross-shard marshaling."
-               " handoff_coalesce > 1 means the per-batch staging amortised"
-               " several forwarded datagrams into one queue push + wake."
-               " balance_max_min near 1 means splitmix64 spread the peers"
-               " evenly.\n";
+               " Phase-B ns_per_datagram is the slab table's per-heartbeat"
+               " cost at scale and allocs_per_hb must read 0 in steady"
+               " state.\n";
+
+  if (!have_ns) {
+    std::cerr << "shard_scale: no phase-B row produced a numeric"
+                 " ns_per_datagram\n";
+    return 1;
+  }
   return 0;
 }

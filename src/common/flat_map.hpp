@@ -1,0 +1,179 @@
+// FlatMap64: open-addressing hash map from uint64 keys to small values.
+//
+// The slab peer table's index: PeerId -> SlabHandle and SubscriptionId ->
+// PeerId lookups sit on the heartbeat hot path, where a std::map costs a
+// pointer chase per tree level. This map probes linearly through three
+// parallel flat arrays (1-byte states, keys, values) — the probe touches
+// only states+keys, one or two cache lines for the common hit — and
+// performs ZERO allocations on find, insert (below the load limit) and
+// erase. Erase leaves a tombstone; the table rehashes (growing to keep
+// load below 1/2 of capacity, tombstones included below 7/8) only on
+// insert, so lookups never write.
+//
+// Keys are mixed through the splitmix64 finalizer, so sequential ids
+// (subscription counters, sim peer handles) spread uniformly. Any uint64
+// key value is legal, including 0 and ~0 — liveness lives in the state
+// byte, not in reserved key values.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace twfd {
+
+template <typename V>
+class FlatMap64 {
+ public:
+  FlatMap64() = default;
+  explicit FlatMap64(std::size_t expected) { reserve(expected); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t bucket_count() const noexcept { return states_.size(); }
+
+  /// Ensures `n` entries fit without a rehash-on-insert.
+  void reserve(std::size_t n) {
+    std::size_t want = 16;
+    while (want < n * 2) want *= 2;
+    if (want > states_.size()) rehash(want);
+  }
+
+  [[nodiscard]] V* find(std::uint64_t key) noexcept {
+    if (states_.empty()) return nullptr;
+    const std::size_t mask = states_.size() - 1;
+    std::size_t i = mix(key) & mask;
+    while (true) {
+      const std::uint8_t st = states_[i];
+      if (st == kEmpty) return nullptr;
+      if (st == kFull && keys_[i] == key) return &values_[i];
+      i = (i + 1) & mask;
+    }
+  }
+  [[nodiscard]] const V* find(std::uint64_t key) const noexcept {
+    return const_cast<FlatMap64*>(this)->find(key);
+  }
+
+  /// Inserts or overwrites; returns the stored value.
+  V& insert_or_assign(std::uint64_t key, V value) {
+    auto [v, inserted] = try_emplace(key, std::move(value));
+    if (!inserted) *v = std::move(value);
+    return *v;
+  }
+
+  /// Inserts `V(args...)` unless `key` is present. Returns {value,
+  /// inserted}; never invalidates other entries' contents (the arrays may
+  /// move on rehash — pointers are invalidated, keys/values are not).
+  template <typename... Args>
+  std::pair<V*, bool> try_emplace(std::uint64_t key, Args&&... args) {
+    if (states_.empty() || (used_ + 1) * 8 > states_.size() * 7) {
+      rehash(states_.empty() ? 16
+                             : (size_ + 1) * 4 > states_.size()
+                                   ? states_.size() * 2
+                                   : states_.size());  // same size: drop tombstones
+    }
+    const std::size_t mask = states_.size() - 1;
+    std::size_t i = mix(key) & mask;
+    std::size_t grave = kNpos;
+    while (true) {
+      const std::uint8_t st = states_[i];
+      if (st == kFull && keys_[i] == key) return {&values_[i], false};
+      if (st == kTombstone && grave == kNpos) grave = i;
+      if (st == kEmpty) {
+        if (grave != kNpos) {
+          i = grave;  // recycle the tombstone closest to the home bucket
+        } else {
+          ++used_;
+        }
+        states_[i] = kFull;
+        keys_[i] = key;
+        values_[i] = V(std::forward<Args>(args)...);
+        ++size_;
+        return {&values_[i], true};
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+  /// Removes `key` (tombstoned; O(1), allocation-free). False if absent.
+  bool erase(std::uint64_t key) noexcept {
+    if (states_.empty()) return false;
+    const std::size_t mask = states_.size() - 1;
+    std::size_t i = mix(key) & mask;
+    while (true) {
+      const std::uint8_t st = states_[i];
+      if (st == kEmpty) return false;
+      if (st == kFull && keys_[i] == key) {
+        states_[i] = kTombstone;
+        values_[i] = V{};
+        --size_;
+        return true;
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+  /// `fn(key, V&)` over every entry, in table order.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (std::size_t i = 0; i < states_.size(); ++i) {
+      if (states_[i] == kFull) fn(keys_[i], values_[i]);
+    }
+  }
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < states_.size(); ++i) {
+      if (states_[i] == kFull) fn(keys_[i], values_[i]);
+    }
+  }
+
+  void clear() noexcept {
+    std::fill(states_.begin(), states_.end(), kEmpty);
+    size_ = 0;
+    used_ = 0;
+  }
+
+ private:
+  static constexpr std::uint8_t kEmpty = 0;
+  static constexpr std::uint8_t kFull = 1;
+  static constexpr std::uint8_t kTombstone = 2;
+  static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+  [[nodiscard]] static std::uint64_t mix(std::uint64_t x) noexcept {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  void rehash(std::size_t new_buckets) {
+    TWFD_CHECK((new_buckets & (new_buckets - 1)) == 0 && new_buckets >= 16);
+    std::vector<std::uint8_t> old_states = std::move(states_);
+    std::vector<std::uint64_t> old_keys = std::move(keys_);
+    std::vector<V> old_values = std::move(values_);
+    states_.assign(new_buckets, kEmpty);
+    keys_.assign(new_buckets, 0);
+    values_.assign(new_buckets, V{});
+    const std::size_t mask = new_buckets - 1;
+    for (std::size_t i = 0; i < old_states.size(); ++i) {
+      if (old_states[i] != kFull) continue;
+      std::size_t j = mix(old_keys[i]) & mask;
+      while (states_[j] == kFull) j = (j + 1) & mask;
+      states_[j] = kFull;
+      keys_[j] = old_keys[i];
+      values_[j] = std::move(old_values[i]);
+    }
+    used_ = size_;
+  }
+
+  std::vector<std::uint8_t> states_;
+  std::vector<std::uint64_t> keys_;
+  std::vector<V> values_;
+  std::size_t size_ = 0;  // kFull buckets
+  std::size_t used_ = 0;  // kFull + kTombstone buckets
+};
+
+}  // namespace twfd

@@ -1,0 +1,267 @@
+// Slab: a contiguous, cache-line-aligned object pool with generation-
+// stamped handles and O(1) free-list reuse (the daemonproxy fixed-pool
+// idiom, templated).
+//
+// Slots live in ONE allocation; iteration visits live slots in slot-index
+// order, i.e. in memory order — the traversal the per-shard hot paths
+// want, instead of chasing std::map nodes scattered over the heap. Each
+// slot carries a generation counter (odd = live, even = free); a
+// SlabHandle is (slot, generation), so a handle kept across an erase can
+// never alias the slot's next tenant: get() returns nullptr for it.
+//
+// Two erase policies:
+//   SlabPolicy::kDestroy — erase() destroys the object (plain pool).
+//   SlabPolicy::kRecycle — erase() calls T::park() and keeps the object
+//     constructed in the freed slot; the next emplace() on that slot
+//     calls T::reuse(args...) instead of a constructor. This is what
+//     makes admission/eviction allocation-free after warm-up when T owns
+//     heavy internal buffers (detector windows, sample rings): park()
+//     releases semantic resources but keeps capacity, reuse() re-labels
+//     the object. Parked objects are destroyed by clear()/destruction.
+//
+// The slab may grow (2x, single allocation); growth move-constructs the
+// resident objects, so pointers into the slab are invalidated by
+// emplace() — hold SlabHandles across calls that can admit, not T*.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace twfd {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Generation-stamped reference to a slab slot. Value-type, trivially
+/// copyable; default-constructed handles are invalid.
+struct SlabHandle {
+  static constexpr std::uint32_t kNpos = 0xffffffffu;
+
+  std::uint32_t slot = kNpos;
+  std::uint32_t generation = 0;
+
+  [[nodiscard]] constexpr bool valid() const noexcept { return slot != kNpos; }
+  friend constexpr bool operator==(SlabHandle, SlabHandle) noexcept = default;
+};
+
+enum class SlabPolicy {
+  kDestroy,  ///< erase() runs ~T(); emplace() always placement-news.
+  kRecycle,  ///< erase() parks T in place; emplace() reuses it. See above.
+};
+
+template <typename T, SlabPolicy Policy = SlabPolicy::kDestroy>
+class Slab {
+  static_assert(std::is_move_constructible_v<T>,
+                "slab growth relocates resident objects");
+
+ public:
+  Slab() = default;
+  explicit Slab(std::size_t initial_capacity) { reserve(initial_capacity); }
+
+  Slab(const Slab&) = delete;
+  Slab& operator=(const Slab&) = delete;
+
+  Slab(Slab&& o) noexcept
+      : slots_(std::exchange(o.slots_, nullptr)),
+        capacity_(std::exchange(o.capacity_, 0)),
+        used_(std::exchange(o.used_, 0)),
+        size_(std::exchange(o.size_, 0)),
+        free_head_(std::exchange(o.free_head_, SlabHandle::kNpos)) {}
+
+  Slab& operator=(Slab&& o) noexcept {
+    if (this != &o) {
+      release();
+      slots_ = std::exchange(o.slots_, nullptr);
+      capacity_ = std::exchange(o.capacity_, 0);
+      used_ = std::exchange(o.used_, 0);
+      size_ = std::exchange(o.size_, 0);
+      free_head_ = std::exchange(o.free_head_, SlabHandle::kNpos);
+    }
+    return *this;
+  }
+
+  ~Slab() { release(); }
+
+  /// Number of live objects.
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  /// Slots allocated (live + free).
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// High-water slot count: slots ever handed out (free-list reuse keeps
+  /// this flat under churn — the admission-is-O(1) invariant in a number).
+  [[nodiscard]] std::size_t high_water() const noexcept { return used_; }
+
+  void reserve(std::size_t n) {
+    if (n > capacity_) grow(n);
+  }
+
+  /// Admits an object: pops the free list (O(1), allocation-free) or
+  /// claims the next fresh slot, growing the slab only when every slot is
+  /// in use. Under kRecycle a popped slot still holding a parked object
+  /// gets `parked.reuse(args...)`; otherwise T is constructed in place.
+  template <typename... Args>
+  SlabHandle emplace(Args&&... args) {
+    std::uint32_t idx;
+    if (free_head_ != SlabHandle::kNpos) {
+      idx = free_head_;
+      free_head_ = slots_[idx].next_free;
+    } else {
+      if (used_ == capacity_) grow(capacity_ < 8 ? 16 : capacity_ * 2);
+      idx = used_++;
+    }
+    Slot& s = slots_[idx];
+    if constexpr (Policy == SlabPolicy::kRecycle) {
+      if (s.constructed) {
+        s.object()->reuse(std::forward<Args>(args)...);
+      } else {
+        ::new (s.storage) T(std::forward<Args>(args)...);
+        s.constructed = true;
+      }
+    } else {
+      ::new (s.storage) T(std::forward<Args>(args)...);
+      s.constructed = true;
+    }
+    ++s.generation;  // even -> odd: live
+    ++size_;
+    return {idx, s.generation};
+  }
+
+  /// Frees a slot (O(1)). Returns false for a stale/invalid handle. The
+  /// slot's generation advances, so every outstanding handle to it dies.
+  bool erase(SlabHandle h) {
+    Slot* s = slot_for(h);
+    if (s == nullptr) return false;
+    if constexpr (Policy == SlabPolicy::kRecycle) {
+      s->object()->park();
+    } else {
+      s->object()->~T();
+      s->constructed = false;
+    }
+    ++s->generation;  // odd -> even: free
+    s->next_free = free_head_;
+    free_head_ = h.slot;
+    --size_;
+    return true;
+  }
+
+  /// Live object for `h`, or nullptr when the handle is stale (the slot
+  /// was erased — and possibly re-used — since the handle was minted).
+  [[nodiscard]] T* get(SlabHandle h) noexcept {
+    Slot* s = slot_for(h);
+    return s == nullptr ? nullptr : s->object();
+  }
+  [[nodiscard]] const T* get(SlabHandle h) const noexcept {
+    return const_cast<Slab*>(this)->get(h);
+  }
+
+  /// Visits every live object in slot order — a linear sweep of the
+  /// backing memory. `fn(SlabHandle, T&)`.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (std::uint32_t i = 0; i < used_; ++i) {
+      Slot& s = slots_[i];
+      if (s.generation & 1u) fn(SlabHandle{i, s.generation}, *s.object());
+    }
+  }
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::uint32_t i = 0; i < used_; ++i) {
+      const Slot& s = slots_[i];
+      if (s.generation & 1u) fn(SlabHandle{i, s.generation}, *s.object());
+    }
+  }
+
+  /// Destroys every object — live and (under kRecycle) parked — and
+  /// resets the slab to empty. Keeps the allocation; generations are
+  /// preserved, so pre-clear handles stay invalid forever.
+  void clear() {
+    for (std::uint32_t i = 0; i < used_; ++i) {
+      Slot& s = slots_[i];
+      if (s.generation & 1u) ++s.generation;
+      if (s.constructed) {
+        s.object()->~T();
+        s.constructed = false;
+      }
+    }
+    used_ = 0;
+    size_ = 0;
+    free_head_ = SlabHandle::kNpos;
+  }
+
+ private:
+  // One cache line (or more, for large T) per slot: the object starts at
+  // the line boundary, the bookkeeping rides in its tail padding when it
+  // fits. Two shard-hot neighbours never false-share a line.
+  struct alignas(kCacheLineBytes) Slot {
+    alignas(alignof(T)) unsigned char storage[sizeof(T)];
+    std::uint32_t generation = 0;  // odd = live, even = free
+    std::uint32_t next_free = SlabHandle::kNpos;
+    bool constructed = false;
+
+    [[nodiscard]] T* object() noexcept {
+      return std::launder(reinterpret_cast<T*>(storage));
+    }
+    [[nodiscard]] const T* object() const noexcept {
+      return std::launder(reinterpret_cast<const T*>(storage));
+    }
+  };
+  static_assert(alignof(Slot) >= kCacheLineBytes);
+
+  [[nodiscard]] Slot* slot_for(SlabHandle h) noexcept {
+    if (h.slot >= used_) return nullptr;
+    Slot& s = slots_[h.slot];
+    if (s.generation != h.generation || (h.generation & 1u) == 0) return nullptr;
+    return &s;
+  }
+
+  void grow(std::size_t new_capacity) {
+    TWFD_CHECK(new_capacity > capacity_);
+    auto* fresh = static_cast<Slot*>(::operator new(
+        new_capacity * sizeof(Slot), std::align_val_t{alignof(Slot)}));
+    for (std::uint32_t i = 0; i < used_; ++i) {
+      Slot& old = slots_[i];
+      Slot& neo = fresh[i];
+      neo.generation = old.generation;
+      neo.next_free = old.next_free;
+      neo.constructed = old.constructed;
+      if (old.constructed) {
+        ::new (neo.storage) T(std::move(*old.object()));
+        old.object()->~T();
+      }
+    }
+    for (std::size_t i = used_; i < new_capacity; ++i) {
+      fresh[i].generation = 0;
+      fresh[i].next_free = SlabHandle::kNpos;
+      fresh[i].constructed = false;
+    }
+    if (slots_ != nullptr) {
+      ::operator delete(slots_, std::align_val_t{alignof(Slot)});
+    }
+    slots_ = fresh;
+    capacity_ = static_cast<std::uint32_t>(new_capacity);
+  }
+
+  void release() {
+    if (slots_ == nullptr) return;
+    for (std::uint32_t i = 0; i < used_; ++i) {
+      if (slots_[i].constructed) slots_[i].object()->~T();
+    }
+    ::operator delete(slots_, std::align_val_t{alignof(Slot)});
+    slots_ = nullptr;
+    capacity_ = used_ = 0;
+    size_ = 0;
+    free_head_ = SlabHandle::kNpos;
+  }
+
+  Slot* slots_ = nullptr;
+  std::uint32_t capacity_ = 0;
+  std::uint32_t used_ = 0;  // high-water mark: slots ever handed out
+  std::uint32_t size_ = 0;  // live objects
+  std::uint32_t free_head_ = SlabHandle::kNpos;
+};
+
+}  // namespace twfd

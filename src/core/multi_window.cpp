@@ -45,6 +45,10 @@ void MaxWindowEstimator::clear() {
   for (auto& e : estimators_) e.clear();
 }
 
+void MaxWindowEstimator::reset(Tick interval) {
+  for (auto& e : estimators_) e.reset(interval);
+}
+
 MultiWindowDetector::MultiWindowDetector(Params params)
     : params_(params), estimator_(params.windows, params.interval) {
   TWFD_CHECK(params.safety_margin >= 0);

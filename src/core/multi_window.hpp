@@ -44,6 +44,11 @@ class MaxWindowEstimator {
 
   void clear();
 
+  /// Re-bases every window on a new Delta_i and drops all samples,
+  /// reusing the existing window storage — no allocation. The slab peer
+  /// table rebuilds embedded detectors in place with this.
+  void reset(Tick interval);
+
  private:
   std::vector<std::size_t> windows_;
   std::vector<detect::ArrivalWindowEstimator> estimators_;

@@ -41,4 +41,12 @@ void SharedMarginDetector::reset() {
   bootstrap_anchor_ = kTickInfinity;
 }
 
+void SharedMarginDetector::rebuild(Tick interval) {
+  estimator_.reset(interval);
+  apps_.clear();
+  highest_seq_ = 0;
+  current_ea_ = kTickInfinity;
+  bootstrap_anchor_ = kTickInfinity;
+}
+
 }  // namespace twfd::core

@@ -58,6 +58,13 @@ class SharedMarginDetector {
 
   void reset();
 
+  /// Full re-base for a new combined interval: drops the application set,
+  /// every arrival sample and the bootstrap anchor, re-bases each window
+  /// on `interval`. Reuses all existing storage (window rings, app
+  /// vector capacity) — no allocation. The slab peer table rebuilds its
+  /// embedded detectors in place with this instead of re-constructing.
+  void rebuild(Tick interval);
+
  private:
   struct App {
     std::string name;

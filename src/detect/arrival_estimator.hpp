@@ -46,6 +46,15 @@ class ArrivalWindowEstimator {
 
   void clear() noexcept { win_.clear(); }
 
+  /// Re-bases the estimator on a new Delta_i, dropping every sample (they
+  /// were normalised against the old interval and are not comparable).
+  /// The window's ring storage is retained — no allocation.
+  void reset(Tick interval) noexcept {
+    TWFD_CHECK(interval > 0);
+    interval_ = interval;
+    win_.clear();
+  }
+
  private:
   Tick interval_;
   WindowedStats win_;

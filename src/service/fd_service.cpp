@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "common/assert.hpp"
 
@@ -10,17 +11,22 @@ namespace twfd::service {
 FdService::FdService(Runtime rt, Params params) : rt_(rt), params_(std::move(params)) {
   TWFD_CHECK(rt.clock && rt.transport && rt.timers);
   TWFD_CHECK(!params_.windows.empty());
+  if (params_.expected_peers > 0) {
+    remotes_.reserve(params_.expected_peers);
+    peer_index_.reserve(params_.expected_peers);
+    sub_to_peer_.reserve(params_.expected_peers);
+  }
 }
 
 FdService::~FdService() {
-  for (auto& [peer, remote] : remotes_) {
+  remotes_.for_each([&](SlabHandle, Remote& remote) {
     for (auto& sub : remote.subs) {
       if (sub.timer != kInvalidTimer) rt_.timers->cancel(sub.timer);
     }
     if (remote.reconfigure_timer != kInvalidTimer) {
       rt_.timers->cancel(remote.reconfigure_timer);
     }
-  }
+  });
 }
 
 config::NetworkBehaviour FdService::behaviour_for(const Remote& remote) const {
@@ -35,69 +41,90 @@ FdService::SubscriptionId FdService::subscribe(PeerId peer, std::uint64_t sender
                                                std::string app,
                                                const config::QosRequirements& qos,
                                                StatusCallback callback) {
-  auto [it, inserted] = remotes_.try_emplace(peer);
-  Remote& remote = it->second;
-  if (inserted) {
-    remote.peer = peer;
-    remote.sender_id = sender_id;
-    schedule_reconfigure(remote);
-  } else {
-    TWFD_CHECK_MSG(remote.sender_id == sender_id,
+  Remote* existing = find_remote(peer);
+  if (existing != nullptr) {
+    TWFD_CHECK_MSG(existing->sender_id == sender_id,
                    "one remote peer cannot host two sender ids");
   }
 
-  Subscription sub;
-  sub.id = next_sub_id_++;
-  sub.app = std::move(app);
-  sub.qos = qos;
-  sub.callback = std::move(callback);
-  remote.subs.push_back(std::move(sub));
-  sub_to_peer_[remote.subs.back().id] = peer;
+  // Pre-flight, pure: combine the would-be membership and validate it
+  // BEFORE touching any state. A doomed subscription must not leak an
+  // IntervalRequest onto the wire or rebuild the detector under the
+  // pre-existing subscribers' feet.
+  std::vector<config::AppRequest> requests;
+  requests.reserve((existing != nullptr ? existing->subs.size() : 0) + 1);
+  if (existing != nullptr) {
+    for (const auto& sub : existing->subs) requests.push_back({sub.app, sub.qos});
+  }
+  requests.push_back({app, qos});
+  const config::NetworkBehaviour behaviour =
+      existing != nullptr ? behaviour_for(*existing) : params_.assumed_network;
+  config::CombinedConfig combined = config::combine_requirements(requests, behaviour);
 
-  recombine(remote);
   const bool too_demanding =
-      remote.combined.feasible &&
-      ticks_from_seconds(remote.combined.shared_interval_s) < params_.min_interval;
-  if (!remote.combined.feasible || too_demanding) {
-    // Roll back the doomed subscription before reporting failure.
-    sub_to_peer_.erase(remote.subs.back().id);
-    remote.subs.pop_back();
-    if (!remote.subs.empty()) {
-      recombine(remote);
-    } else {
-      if (remote.reconfigure_timer != kInvalidTimer) {
-        rt_.timers->cancel(remote.reconfigure_timer);
-      }
-      remotes_.erase(remote.peer);
-    }
+      combined.feasible &&
+      ticks_from_seconds(combined.shared_interval_s) < params_.min_interval;
+  if (!combined.feasible || too_demanding) {
     throw std::logic_error(
         too_demanding
             ? "QoS requirements demand a heartbeat interval below the floor"
             : "QoS requirements unachievable under network behaviour");
   }
-  return remote.subs.back().id;
+
+  // Verdict is in: admit. apply_combined reuses the combination computed
+  // above — no second configuration pass, no rollback path.
+  Remote* remote = existing != nullptr ? existing : admit_remote(peer, sender_id);
+  Subscription sub;
+  sub.id = next_sub_id_++;
+  sub.app = std::move(app);
+  sub.qos = qos;
+  sub.callback = std::move(callback);
+  const SubscriptionId id = sub.id;
+  remote->subs.push_back(std::move(sub));
+  sub_to_peer_.insert_or_assign(id, peer);
+  apply_combined(*remote, std::move(combined));
+  return id;
 }
 
 void FdService::unsubscribe(SubscriptionId id) {
-  const auto peer_it = sub_to_peer_.find(id);
-  if (peer_it == sub_to_peer_.end()) return;
-  Remote& remote = remotes_.at(peer_it->second);
-  sub_to_peer_.erase(peer_it);
+  PeerId* peer = sub_to_peer_.find(id);
+  if (peer == nullptr) return;
+  Remote* remote = find_remote(*peer);
+  TWFD_CHECK(remote != nullptr);
+  sub_to_peer_.erase(id);
 
-  const auto it = std::find_if(remote.subs.begin(), remote.subs.end(),
+  const auto it = std::find_if(remote->subs.begin(), remote->subs.end(),
                                [&](const Subscription& s) { return s.id == id; });
-  TWFD_CHECK(it != remote.subs.end());
+  TWFD_CHECK(it != remote->subs.end());
   if (it->timer != kInvalidTimer) rt_.timers->cancel(it->timer);
-  remote.subs.erase(it);
+  remote->subs.erase(it);
 
-  if (remote.subs.empty()) {
-    if (remote.reconfigure_timer != kInvalidTimer) {
-      rt_.timers->cancel(remote.reconfigure_timer);
-    }
-    remotes_.erase(remote.peer);
+  if (remote->subs.empty()) {
+    evict_remote(*remote);
     return;
   }
-  recombine(remote);
+  recombine(*remote);
+}
+
+FdService::Remote* FdService::admit_remote(PeerId peer, std::uint64_t sender_id) {
+  const SlabHandle h = remotes_.emplace(peer, sender_id, params_.windows);
+  peer_index_.insert_or_assign(peer, h);
+  Remote* remote = remotes_.get(h);
+  schedule_reconfigure(*remote);
+  return remote;
+}
+
+void FdService::evict_remote(Remote& remote) {
+  TWFD_CHECK_MSG(remote.subs.empty(), "evicting a remote with live subscriptions");
+  if (remote.reconfigure_timer != kInvalidTimer) {
+    rt_.timers->cancel(remote.reconfigure_timer);
+    remote.reconfigure_timer = kInvalidTimer;
+  }
+  const SlabHandle* h = peer_index_.find(remote.peer);
+  TWFD_CHECK(h != nullptr);
+  const SlabHandle handle = *h;
+  peer_index_.erase(remote.peer);
+  remotes_.erase(handle);  // parks the slot: buffers wait for the next peer
 }
 
 void FdService::recombine(Remote& remote) {
@@ -105,8 +132,19 @@ void FdService::recombine(Remote& remote) {
   requests.reserve(remote.subs.size());
   for (const auto& sub : remote.subs) requests.push_back({sub.app, sub.qos});
 
-  remote.combined = config::combine_requirements(requests, behaviour_for(remote));
-  if (!remote.combined.feasible) return;
+  config::CombinedConfig combined =
+      config::combine_requirements(requests, behaviour_for(remote));
+  if (!combined.feasible) {
+    remote.combined = std::move(combined);
+    return;
+  }
+  apply_combined(remote, std::move(combined));
+}
+
+void FdService::apply_combined(Remote& remote, config::CombinedConfig&& combined) {
+  TWFD_CHECK(combined.feasible);
+  TWFD_CHECK(combined.apps.size() == remote.subs.size());
+  remote.combined = std::move(combined);
 
   const Tick interval = ticks_from_seconds(remote.combined.shared_interval_s);
   for (std::size_t j = 0; j < remote.subs.size(); ++j) {
@@ -123,23 +161,25 @@ void FdService::recombine(Remote& remote) {
     const auto payload = net::encode(req);
     rt_.transport->send(remote.peer, payload);
     rebuild_detector(remote);
-  } else if (!remote.detector || remote.detector->app_count() != remote.subs.size()) {
+  } else if (!remote.detector_ready ||
+             remote.detector.app_count() != remote.subs.size()) {
     rebuild_detector(remote);
   } else {
     // Same membership count and interval: margins may still have shifted;
     // rebuild only if any margin disagrees with the detector's.
     bool dirty = false;
     for (std::size_t j = 0; j < remote.subs.size(); ++j) {
-      if (remote.detector->margin(j) != remote.subs[j].margin) dirty = true;
+      if (remote.detector.margin(j) != remote.subs[j].margin) dirty = true;
     }
     if (dirty) rebuild_detector(remote);
   }
 }
 
 void FdService::rebuild_detector(Remote& remote) {
-  // Estimation state restarts: the freshness geometry below it (the
-  // sender's Delta_i) is changing, so old normalised arrivals are no
-  // longer comparable. Pending freshness timers are re-armed (not
+  // The freshness geometry below the estimation (the sender's Delta_i) is
+  // changing, so old normalised arrivals are no longer comparable; the
+  // embedded detector re-bases its windows in place — no allocation for
+  // the ring storage. Pending freshness timers are re-armed (not
   // cancelled) by the arm_timer pass at the end.
   // Normalise arrivals by the interval the sender actually emits at, not
   // the one we asked for: senders only honour requests downwards (another
@@ -149,15 +189,16 @@ void FdService::rebuild_detector(Remote& remote) {
   // the first heartbeat the requested interval is the best guess.
   const Tick delta_i = remote.sender_interval > 0 ? remote.sender_interval
                                                   : remote.requested_interval;
-  remote.detector = std::make_unique<core::SharedMarginDetector>(
-      params_.windows, std::max<Tick>(delta_i, 1));
+  remote.detector.rebuild(std::max<Tick>(delta_i, 1));
   for (std::size_t j = 0; j < remote.subs.size(); ++j) {
     remote.subs[j].shared_index =
-        remote.detector->add_application(remote.subs[j].app, remote.subs[j].margin);
+        remote.detector.add_application(remote.subs[j].app, remote.subs[j].margin);
   }
+  remote.detector_ready = true;
+  ++detector_rebuilds_;
   // A silent remote must still be suspected: until the first heartbeat
   // arrives, each app's deadline counts from now.
-  remote.detector->set_bootstrap_anchor(rt_.clock->now());
+  remote.detector.set_bootstrap_anchor(rt_.clock->now());
   for (auto& sub : remote.subs) arm_timer(remote, sub);
 }
 
@@ -165,24 +206,33 @@ void FdService::handle_heartbeat(PeerId from, const net::HeartbeatMsg& msg,
                                  Tick arrival) {
   Remote* remote = find_remote(from);
   if (remote == nullptr || msg.sender_id != remote->sender_id) return;
-  if (!remote->detector) return;
+  if (!remote->detector_ready) return;
 
   // Heartbeats are self-describing (wire.hpp): adopt the sender's
-  // advertised Delta_i whenever it changes. Estimation state restarts on
-  // a rebuild, but advertised intervals only change when the sender
-  // applies a negotiation, not per heartbeat.
+  // advertised Delta_i whenever it changes. The shared arrival estimation
+  // always restarts (rebuild re-bases the windows). The p_L/V(D)
+  // estimator restarts only on an UNSOLICITED change — one we did not
+  // request, i.e. another monitor renegotiated or the sender was
+  // reconfigured, so the sample history comes from a different sending
+  // regime. A change the service itself asked for keeps the estimator:
+  // those live samples are exactly the evidence that justified the
+  // request, and wiping them would drop the service below
+  // min_samples_for_estimate, snap behaviour_for() back to the assumed
+  // network and oscillate the negotiation forever.
   if (msg.interval > 0 && msg.interval != remote->sender_interval) {
+    const bool solicited = msg.interval == remote->requested_interval;
     remote->sender_interval = msg.interval;
+    if (!solicited) remote->estimator.reset();
     rebuild_detector(*remote);
   }
 
   ++heartbeats_;
   remote->estimator.on_heartbeat(msg.seq, msg.send_time, arrival);
-  remote->detector->on_heartbeat(msg.seq, msg.send_time, arrival);
+  remote->detector.on_heartbeat(msg.seq, msg.send_time, arrival);
 
   for (auto& sub : remote->subs) {
     if (sub.suspecting &&
-        remote->detector->suspect_after(sub.shared_index) > arrival) {
+        remote->detector.suspect_after(sub.shared_index) > arrival) {
       sub.suspecting = false;
       if (sub.callback) {
         sub.callback({sub.id, sub.app, detect::Output::Trust, arrival});
@@ -193,8 +243,8 @@ void FdService::handle_heartbeat(PeerId from, const net::HeartbeatMsg& msg,
 }
 
 void FdService::arm_timer(Remote& remote, Subscription& sub) {
-  const Tick sa = remote.detector && !sub.suspecting
-                      ? remote.detector->suspect_after(sub.shared_index)
+  const Tick sa = remote.detector_ready && !sub.suspecting
+                      ? remote.detector.suspect_after(sub.shared_index)
                       : kTickInfinity;
   if (sa == kTickInfinity) {
     if (sub.timer != kInvalidTimer) {
@@ -206,7 +256,7 @@ void FdService::arm_timer(Remote& remote, Subscription& sub) {
   // Hot path: every heartbeat re-arms every subscription's freshness
   // timer, so move the pending timer instead of cancel + schedule. The
   // callback captures only (peer, id) and resolves state at fire time,
-  // so it survives detector rebuilds unchanged.
+  // so it survives detector rebuilds and slab moves unchanged.
   if (sub.timer != kInvalidTimer) {
     if (rt_.timers->reschedule(sub.timer, sa)) return;
     rt_.timers->cancel(sub.timer);
@@ -224,10 +274,10 @@ void FdService::on_sub_timer(PeerId peer, SubscriptionId id) {
                                [&](const Subscription& s) { return s.id == id; });
   if (it == remote->subs.end()) return;
   it->timer = kInvalidTimer;
-  if (it->suspecting || !remote->detector) return;
+  if (it->suspecting || !remote->detector_ready) return;
 
   const Tick t = rt_.clock->now();
-  if (remote->detector->output_at(it->shared_index, t) == detect::Output::Suspect) {
+  if (remote->detector.output_at(it->shared_index, t) == detect::Output::Suspect) {
     it->suspecting = true;
     if (it->callback) it->callback({it->id, it->app, detect::Output::Suspect, t});
   } else {
@@ -257,33 +307,46 @@ void FdService::reconfigure(PeerId peer) {
 detect::Output FdService::output(SubscriptionId id) const {
   const Subscription* sub = find_subscription(id);
   TWFD_CHECK_MSG(sub != nullptr, "unknown subscription");
-  const Remote& remote = remotes_.at(sub_to_peer_.at(id));
-  if (!remote.detector) return detect::Output::Trust;
-  return remote.detector->output_at(sub->shared_index, rt_.clock->now());
+  const PeerId* peer = sub_to_peer_.find(id);
+  const Remote* remote = find_remote(*peer);
+  TWFD_CHECK(remote != nullptr);
+  if (!remote->detector_ready) return detect::Output::Trust;
+  return remote->detector.output_at(sub->shared_index, rt_.clock->now());
 }
 
 Tick FdService::shared_interval(PeerId peer) const {
-  const auto it = remotes_.find(peer);
-  return it == remotes_.end() ? 0 : it->second.requested_interval;
+  const Remote* remote = find_remote(peer);
+  return remote == nullptr ? 0 : remote->requested_interval;
 }
 
 const config::CombinedConfig* FdService::combined_config(PeerId peer) const {
-  const auto it = remotes_.find(peer);
-  return it == remotes_.end() ? nullptr : &it->second.combined;
+  const Remote* remote = find_remote(peer);
+  return remote == nullptr ? nullptr : &remote->combined;
+}
+
+const trace::NetworkEstimator* FdService::network_estimator(PeerId peer) const {
+  const Remote* remote = find_remote(peer);
+  return remote == nullptr ? nullptr : &remote->estimator;
 }
 
 FdService::Remote* FdService::find_remote(PeerId peer) {
-  const auto it = remotes_.find(peer);
-  return it == remotes_.end() ? nullptr : &it->second;
+  const SlabHandle* h = peer_index_.find(peer);
+  return h == nullptr ? nullptr : remotes_.get(*h);
+}
+
+const FdService::Remote* FdService::find_remote(PeerId peer) const {
+  const SlabHandle* h = peer_index_.find(peer);
+  return h == nullptr ? nullptr : remotes_.get(*h);
 }
 
 const FdService::Subscription* FdService::find_subscription(SubscriptionId id) const {
-  const auto peer_it = sub_to_peer_.find(id);
-  if (peer_it == sub_to_peer_.end()) return nullptr;
-  const Remote& remote = remotes_.at(peer_it->second);
-  const auto it = std::find_if(remote.subs.begin(), remote.subs.end(),
+  const PeerId* peer = sub_to_peer_.find(id);
+  if (peer == nullptr) return nullptr;
+  const Remote* remote = find_remote(*peer);
+  if (remote == nullptr) return nullptr;
+  const auto it = std::find_if(remote->subs.begin(), remote->subs.end(),
                                [&](const Subscription& s) { return s.id == id; });
-  return it == remote.subs.end() ? nullptr : &*it;
+  return it == remote->subs.end() ? nullptr : &*it;
 }
 
 }  // namespace twfd::service

@@ -15,16 +15,24 @@
 //      p_L / V(D) estimates (Section V-A: adaptive reconfiguration).
 // Every application gets the illusion of a dedicated detector while the
 // host emits a single heartbeat stream per remote.
+//
+// Storage: remotes live in a contiguous cache-line-aligned Slab (one slot
+// per peer, detector embedded by value — no per-peer heap node, no
+// per-peer detector allocation), indexed by an open-addressing
+// PeerId -> SlabHandle map. The slab recycles slots (SlabPolicy::kRecycle)
+// so an evicted peer's window rings and vector capacities survive for the
+// next admission: after warm-up, admission and eviction are O(1) and the
+// heartbeat path performs zero allocations.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <map>
-#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "common/runtime.hpp"
+#include "common/slab.hpp"
 #include "config/qos_config.hpp"
 #include "core/shared_margin.hpp"
 #include "net/wire.hpp"
@@ -50,6 +58,9 @@ class FdService {
     Tick min_interval = ticks_from_ms(1);
     /// Identity used in IntervalRequest messages.
     std::uint64_t service_id = 1;
+    /// Pre-sizes the peer slab and index so a known population admits
+    /// without a single grow/rehash (0 = grow on demand).
+    std::size_t expected_peers = 0;
   };
 
   using SubscriptionId = std::uint64_t;
@@ -70,7 +81,9 @@ class FdService {
 
   /// Registers application `app` to monitor the process `sender_id`
   /// reachable at `peer`, with QoS tuple `qos`. Throws std::logic_error
-  /// if the tuple is infeasible under the current network behaviour.
+  /// if the tuple is infeasible under the current network behaviour; a
+  /// rejected subscribe leaves the service untouched — no state change,
+  /// no wire traffic, no detector rebuild.
   SubscriptionId subscribe(PeerId peer, std::uint64_t sender_id, std::string app,
                            const config::QosRequirements& qos, StatusCallback callback);
 
@@ -93,6 +106,22 @@ class FdService {
     return heartbeats_;
   }
 
+  /// Times any remote's shared detector was rebuilt (a rebuild drops the
+  /// arrival estimation; tests pin down when this must NOT happen).
+  [[nodiscard]] std::uint64_t detector_rebuilds() const noexcept {
+    return detector_rebuilds_;
+  }
+
+  /// Live p_L / V(D) estimator for `peer` (nullptr if unknown).
+  [[nodiscard]] const trace::NetworkEstimator* network_estimator(PeerId peer) const;
+
+  /// Monitored remotes right now.
+  [[nodiscard]] std::size_t remote_count() const noexcept { return remotes_.size(); }
+  /// Peer slots ever occupied; stays flat under churn (slot reuse).
+  [[nodiscard]] std::size_t remote_high_water() const noexcept {
+    return remotes_.high_water();
+  }
+
   /// Forces a reconfiguration pass for `peer` using live estimates.
   void reconfigure(PeerId peer);
 
@@ -108,34 +137,75 @@ class FdService {
     TimerId timer = kInvalidTimer;
   };
 
+  /// One slab slot per monitored peer. The detector is embedded by value:
+  /// its window rings live with the slot and are re-based in place
+  /// (SharedMarginDetector::rebuild) instead of re-allocated. park()/
+  /// reuse() implement SlabPolicy::kRecycle — see slab.hpp.
   struct Remote {
     PeerId peer = 0;
     std::uint64_t sender_id = 0;
     std::vector<Subscription> subs;
-    std::unique_ptr<core::SharedMarginDetector> detector;
+    core::SharedMarginDetector detector;
+    bool detector_ready = false;  // false until the first rebuild
     config::CombinedConfig combined;
     trace::NetworkEstimator estimator;
     Tick requested_interval = 0;
     Tick sender_interval = 0;  // Delta_i the sender's heartbeats advertise
                                // (0 until the first heartbeat arrives)
     TimerId reconfigure_timer = kInvalidTimer;
+
+    Remote(PeerId p, std::uint64_t sid, const std::vector<std::size_t>& windows)
+        : peer(p), sender_id(sid), detector(windows, 1) {}
+
+    /// Eviction under kRecycle: drop semantic state, keep every buffer's
+    /// capacity (window rings, subs/apps vectors) for the next tenant.
+    /// All timers must already be cancelled.
+    void park() {
+      subs.clear();
+      detector.rebuild(1);
+      detector_ready = false;
+      combined.feasible = false;
+      combined.shared_interval_s = 0.0;
+      combined.apps.clear();
+      combined.dedicated_msgs_per_s = 0.0;
+      combined.shared_msgs_per_s = 0.0;
+      estimator.reset();
+      peer = 0;
+      sender_id = 0;
+      requested_interval = 0;
+      sender_interval = 0;
+      reconfigure_timer = kInvalidTimer;
+    }
+
+    /// Re-admission into a parked slot: allocation-free re-labelling.
+    void reuse(PeerId p, std::uint64_t sid,
+               const std::vector<std::size_t>& /*windows: fixed per service*/) {
+      peer = p;
+      sender_id = sid;
+    }
   };
 
   [[nodiscard]] config::NetworkBehaviour behaviour_for(const Remote& remote) const;
+  Remote* admit_remote(PeerId peer, std::uint64_t sender_id);
+  void evict_remote(Remote& remote);
   void recombine(Remote& remote);
+  void apply_combined(Remote& remote, config::CombinedConfig&& combined);
   void rebuild_detector(Remote& remote);
   void arm_timer(Remote& remote, Subscription& sub);
   void on_sub_timer(PeerId peer, SubscriptionId id);
   void schedule_reconfigure(Remote& remote);
   Remote* find_remote(PeerId peer);
+  [[nodiscard]] const Remote* find_remote(PeerId peer) const;
   [[nodiscard]] const Subscription* find_subscription(SubscriptionId id) const;
 
   Runtime rt_;
   Params params_;
-  std::map<PeerId, Remote> remotes_;
-  std::map<SubscriptionId, PeerId> sub_to_peer_;
+  Slab<Remote, SlabPolicy::kRecycle> remotes_;
+  FlatMap64<SlabHandle> peer_index_;   // PeerId -> slab slot
+  FlatMap64<PeerId> sub_to_peer_;      // SubscriptionId -> PeerId
   SubscriptionId next_sub_id_ = 1;
   std::uint64_t heartbeats_ = 0;
+  std::uint64_t detector_rebuilds_ = 0;
 };
 
 }  // namespace twfd::service

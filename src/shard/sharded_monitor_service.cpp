@@ -5,6 +5,11 @@
 #include <stdexcept>
 #include <utility>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 #include "common/assert.hpp"
 
 namespace twfd::shard {
@@ -58,6 +63,7 @@ ShardedMonitorService::ShardStats& ShardedMonitorService::ShardStats::operator+=
   stalls_detected += o.stalls_detected;
   resubscribed += o.resubscribed;
   degraded += o.degraded;
+  pinned += o.pinned;
   chaos += o.chaos;
   return *this;
 }
@@ -202,7 +208,40 @@ void ShardedMonitorService::stop() {
   poll_events();
 }
 
+void ShardedMonitorService::maybe_pin(Shard& s) {
+  s.pinned.store(false, std::memory_order_relaxed);
+  if (!params_.pin_cores) return;
+#if defined(__linux__)
+  // Pin shard i to the i-th CPU the process is allowed on — robust to
+  // sparse/offline CPU ids and cgroup cpusets, unlike assuming ids
+  // 0..N-1. Skip gracefully when there are fewer usable cores than
+  // shards: pinning two workers to one core is strictly worse than
+  // letting the scheduler migrate them.
+  cpu_set_t avail;
+  CPU_ZERO(&avail);
+  if (sched_getaffinity(0, sizeof(avail), &avail) != 0) return;
+  const int cores = CPU_COUNT(&avail);
+  if (cores <= 0 || shards_.size() > static_cast<std::size_t>(cores)) return;
+  int want = static_cast<int>(s.index);
+  int cpu = -1;
+  for (int c = 0; c < CPU_SETSIZE; ++c) {
+    if (CPU_ISSET(c, &avail) && want-- == 0) {
+      cpu = c;
+      break;
+    }
+  }
+  if (cpu < 0) return;
+  cpu_set_t one;
+  CPU_ZERO(&one);
+  CPU_SET(cpu, &one);
+  if (pthread_setaffinity_np(pthread_self(), sizeof(one), &one) == 0) {
+    s.pinned.store(true, std::memory_order_relaxed);
+  }
+#endif
+}
+
 void ShardedMonitorService::worker_main(Shard& s) {
+  maybe_pin(s);
   // Sliced loop: each slice advances the liveness counter the supervisor
   // watches, so a worker that wedges inside a handler stops advancing and
   // is declared degraded after Supervision::stall_timeout.
@@ -638,6 +677,7 @@ ShardedMonitorService::ShardStats ShardedMonitorService::collect_supervision_sta
   st.stalls_detected = s.stalls_detected.load(std::memory_order_relaxed);
   st.resubscribed = s.resubscribed.load(std::memory_order_relaxed);
   st.degraded = s.degraded.load(std::memory_order_relaxed) ? 1 : 0;
+  st.pinned = s.pinned.load(std::memory_order_relaxed) ? 1 : 0;
   return st;
 }
 

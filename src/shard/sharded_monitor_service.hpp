@@ -120,10 +120,18 @@ class ShardedMonitorService {
     std::size_t command_queue_capacity = 1024;
     std::size_t event_queue_capacity = 1 << 14;
     Supervision supervision{};
+    /// Pin each shard worker to its own core (shard i -> the i-th CPU the
+    /// process may run on). Skipped gracefully — workers run unpinned and
+    /// ShardStats::pinned stays 0 — when the host has fewer usable cores
+    /// than shards, the platform lacks pthread_setaffinity_np, or the
+    /// affinity call is refused. Survives supervisor restarts (the pin is
+    /// applied at worker-thread entry).
+    bool pin_cores = false;
     /// Datagram half of a fault plan, applied per shard to inbound
     /// traffic (RX chaos). Inactive unless any_datagram_faults().
     net::FaultPlan chaos{};
-    /// Per-shard FdService tuning (windows, assumed network, ...).
+    /// Per-shard FdService tuning (windows, assumed network, slab
+    /// pre-sizing via expected_peers, ...).
     service::FdService::Params service{};
   };
 
@@ -183,6 +191,7 @@ class ShardedMonitorService {
     std::uint64_t stalls_detected = 0;  ///< degraded-while-alive detections
     std::uint64_t resubscribed = 0;   ///< subscriptions re-seeded by restarts
     std::uint64_t degraded = 0;       ///< gauge: 1 while marked degraded
+    std::uint64_t pinned = 0;         ///< gauge: 1 if the worker is core-pinned
     /// RX chaos accounting (all zero unless Params::chaos is active).
     net::FaultStats chaos;
 
@@ -334,6 +343,7 @@ class ShardedMonitorService {
     std::atomic<std::uint64_t> post_retries{0};
     std::atomic<std::uint64_t> post_stalls{0};
     std::atomic<std::uint64_t> resubscribed{0};
+    std::atomic<bool> pinned{false};  ///< worker is affinity-pinned right now
     /// Guards the runtime pointers (loop/dispatcher/fd/chaos) against the
     /// supervisor swapping them during a restart while another thread
     /// wakes or reads the shard. The worker thread itself never takes it:
@@ -345,6 +355,9 @@ class ShardedMonitorService {
   };
 
   void build_shard_runtime(Shard& s);
+  /// Applies Params::pin_cores at worker entry; no-op skip when the host
+  /// cannot honour it (see the Params field).
+  void maybe_pin(Shard& s);
   void worker_main(Shard& s);
   void drain_commands(Shard& s);
   void route_datagram(Shard& s, const net::SocketAddress& from,

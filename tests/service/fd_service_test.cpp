@@ -264,5 +264,119 @@ TEST(FdService, PeriodicReconfigureUsesLiveEstimates) {
               static_cast<double>(informed), 1e6 /* 1 ms */);
 }
 
+// A rejected subscribe must be observable as if it never happened: no
+// admission, no detector rebuild, no renegotiation on the wire. The
+// pre-slab service combined AFTER mutating, so a doomed subscribe left a
+// phantom remote behind and spammed the sender with a stale request.
+TEST(FdService, RejectedSubscribeHasNoSideEffects) {
+  Rig rig;
+  rig.subscribe("ok", kMedium);
+  rig.world.run();  // settle the initial negotiation
+
+  std::size_t wire_requests = 0;
+  rig.p_dispatch.on_interval_request(
+      [&](PeerId from, const net::IntervalRequestMsg& m) {
+        ++wire_requests;
+        rig.sender.handle_interval_request(from, m);
+      });
+  const Tick interval = rig.svc.shared_interval(rig.p.id());
+  const std::uint64_t rebuilds = rig.svc.detector_rebuilds();
+
+  config::QosRequirements impossible{0.001, 1e-9, 0.001};
+  EXPECT_THROW(rig.subscribe("doomed", impossible), std::logic_error);
+  rig.world.run();
+
+  EXPECT_EQ(wire_requests, 0u);  // nothing reached the sender
+  EXPECT_EQ(rig.svc.detector_rebuilds(), rebuilds);
+  EXPECT_EQ(rig.svc.shared_interval(rig.p.id()), interval);
+  const auto* combined = rig.svc.combined_config(rig.p.id());
+  ASSERT_NE(combined, nullptr);
+  ASSERT_EQ(combined->apps.size(), 1u);  // the doomed app was never adopted
+
+  // Against an UNKNOWN peer the rejection must not admit a remote either.
+  EXPECT_EQ(rig.svc.remote_count(), 1u);
+  EXPECT_THROW(rig.svc.subscribe(rig.p.id() + 1000, 9, "doomed-too", impossible,
+                                 [](const FdService::StatusEvent&) {}),
+               std::logic_error);
+  EXPECT_EQ(rig.svc.remote_count(), 1u);
+
+  // The surviving subscription still detects normally. (The settle run
+  // above outlived the bootstrap deadline, so "ok" may already carry a
+  // Suspect/Trust pair — only the post-crash events matter here.)
+  rig.sender.start();
+  rig.world.run_until(ticks_from_sec(10));
+  rig.events.clear();
+  rig.sender.stop();
+  rig.world.run_until(ticks_from_sec(20));
+  ASSERT_EQ(rig.events.size(), 1u);
+  EXPECT_EQ(rig.events[0].app, "ok");
+  EXPECT_EQ(rig.events[0].output, detect::Output::Suspect);
+}
+
+// An advertised-interval change the service did NOT request means the
+// sender was reconfigured behind our back: the accumulated p_L / V(D)
+// samples describe the old sending regime and must be dropped. A change
+// we DID request keeps them — they are the evidence that justified the
+// request (and wiping them would oscillate the negotiation; see
+// PeriodicReconfigureUsesLiveEstimates, which pins the solicited path
+// end-to-end).
+TEST(FdService, UnsolicitedIntervalChangeRestartsEstimator) {
+  Rig rig;
+  rig.subscribe("app", kMedium);
+  rig.sender.start();
+  rig.world.run_until(ticks_from_sec(10));
+
+  const auto* est = rig.svc.network_estimator(rig.p.id());
+  ASSERT_NE(est, nullptr);
+  const std::int64_t before = est->received();
+  ASSERT_GT(before, 10);
+  const Tick requested = rig.svc.shared_interval(rig.p.id());
+  const std::uint64_t rebuilds = rig.svc.detector_rebuilds();
+
+  // The sender restarts with a config of its own choosing: twice the
+  // negotiated interval, never requested by this service.
+  net::HeartbeatMsg rogue;
+  rogue.sender_id = 1;
+  rogue.seq = est->highest_seq() + 1;
+  rogue.send_time = rig.world.now();
+  rogue.interval = requested * 2;
+  rig.svc.handle_heartbeat(rig.p.id(), rogue, rig.world.now());
+
+  est = rig.svc.network_estimator(rig.p.id());
+  ASSERT_NE(est, nullptr);
+  // Estimation restarted: only the announcing heartbeat itself remains.
+  EXPECT_EQ(est->received(), 1);
+  // The arrival estimation was re-based too.
+  EXPECT_EQ(rig.svc.detector_rebuilds(), rebuilds + 1);
+
+  // Now the sender adopts the interval we HAD requested (solicited
+  // catch-up): samples survive, only the arrival windows re-base.
+  net::HeartbeatMsg solicited;
+  solicited.sender_id = 1;
+  solicited.seq = rogue.seq + 1;
+  solicited.send_time = rig.world.now();
+  solicited.interval = requested;
+  rig.svc.handle_heartbeat(rig.p.id(), solicited, rig.world.now());
+
+  est = rig.svc.network_estimator(rig.p.id());
+  ASSERT_NE(est, nullptr);
+  EXPECT_EQ(est->received(), 2);  // not reset — it grew
+}
+
+// Subscribe/unsubscribe churn on the same peer must recycle the one slab
+// slot instead of claiming fresh ones (O(1) allocation-free admission
+// after warm-up).
+TEST(FdService, PeerChurnReusesSlabSlot) {
+  Rig rig;
+  for (int i = 0; i < 100; ++i) {
+    const auto id = rig.subscribe("churn", kMedium);
+    ASSERT_EQ(rig.svc.remote_count(), 1u);
+    rig.svc.unsubscribe(id);
+    ASSERT_EQ(rig.svc.remote_count(), 0u);
+    rig.world.run();  // drain the interval-request traffic
+  }
+  EXPECT_EQ(rig.svc.remote_high_water(), 1u);
+}
+
 }  // namespace
 }  // namespace twfd::service

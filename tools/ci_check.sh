@@ -31,12 +31,17 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 echo "== chaos suite, plain (label 'chaos', $BUILD_DIR) =="
 ctest --test-dir "$BUILD_DIR" -L chaos --output-on-failure
 
-echo "== bench smoke: net_hotpath (tiny samples) =="
-# Keeps the hot-path bench binary from rotting; runs in the build tree so
-# its tiny-sample JSON never clobbers a real BENCH_net_hotpath.json.
-( cd "$BUILD_DIR" &&
-  FD_BENCH_HOTPATH_ROUNDS=5 FD_BENCH_HOTPATH_DATAGRAMS=64 \
-  FD_BENCH_HOTPATH_FANOUT=32 bench/net_hotpath >/dev/null )
+echo "== bench smoke (label 'bench', $BUILD_DIR) =="
+# Tiny-sweep runs of the scaling benches (shard_scale, net_hotpath),
+# registered in bench/CMakeLists.txt; they write their JSON into the
+# bench build dir so a real committed BENCH_*.json is never clobbered.
+ctest --test-dir "$BUILD_DIR" -L bench --output-on-failure
+# The shard_scale JSON is a contract: downstream tooling reads the
+# per-datagram cost column, so its disappearance must fail the gate.
+grep -q '"ns_per_datagram"' "$BUILD_DIR/bench/BENCH_shard_scale.json" || {
+  echo "ci_check: BENCH_shard_scale.json lost the ns_per_datagram field" >&2
+  exit 1
+}
 
 echo "== ASan+UBSan (build-sanitize) =="
 tools/sanitize_check.sh
