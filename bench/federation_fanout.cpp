@@ -1,0 +1,209 @@
+// Engineering bench: upstream bandwidth of the federation tier — the
+// bytes a child monitor node ships per liveness transition when batching
+// them into delta-coded TWFC Digest frames, against the baseline of one
+// raw Event frame per transition (what a naive fan-out of the FDaaS
+// push path across node links would cost).
+//
+// Three traffic shapes over the same peer population:
+//   * crash_wave:   every peer transitions once inside one flush window
+//                   (correlated failure — rack loss, partition heal);
+//   * steady_flaps: a small random fraction transitions per window,
+//                   many windows (the steady-state trickle);
+//   * flap_storm:   a hot subset flaps several times per window — the
+//                   coalescing case, where the digest ships net state
+//                   and the raw path pays for every intermediate flap.
+//
+// For each shape: transitions recorded, digest frames/bytes actually
+// encoded via api::encode_frame (length prefix included, exactly what
+// the TCP link carries), raw bytes as one encoded EventMsg frame per
+// transition, bytes per transition on both paths, and the ratio. The
+// digest encode cost is timed per recorded transition.
+//
+// Knobs: FD_BENCH_FED_PEERS (default 10000), FD_BENCH_FED_WINDOWS
+// (steady/storm windows, default 50), FD_BENCH_FED_FLAP_PCT (percent of
+// peers flapping per steady window, default 2).
+//
+// Emits BENCH_federation_fanout.json; exits non-zero if the 10k-peer
+// crash wave fails the acceptance contract digest_bytes <= raw_bytes/5.
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "api/control.hpp"
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "federation/digest.hpp"
+
+using namespace twfd;
+
+namespace {
+
+long env_long(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::atol(v);
+}
+
+/// What the naive path ships for one transition: a complete Event frame.
+std::size_t raw_event_frame_bytes() {
+  static const std::size_t bytes =
+      api::encode_frame(api::ControlMessage{
+                            api::EventMsg{1, detect::Output::Suspect, 0}})
+          .size();
+  return bytes;
+}
+
+struct ShapeResult {
+  std::uint64_t transitions = 0;  ///< recorded at the child
+  std::uint64_t frames = 0;
+  std::uint64_t digest_bytes = 0;
+  std::uint64_t raw_bytes = 0;
+  double encode_ns_per_transition = 0;
+};
+
+/// Drains the builder through the real encoder, tallying wire bytes.
+void drain(federation::DigestBuilder& b, ShapeResult& r) {
+  for (const auto& frame : b.take()) {
+    ++r.frames;
+    r.digest_bytes += api::encode_frame(api::ControlMessage{frame}).size();
+  }
+}
+
+ShapeResult crash_wave(std::size_t peers) {
+  federation::DigestBuilder b(/*node_id=*/1, peers);
+  ShapeResult r;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < peers; ++i) {
+    b.add(i + 1, /*seq=*/2, detect::Output::Suspect, ticks_from_ms(1));
+    ++r.transitions;
+  }
+  drain(b, r);
+  const auto t1 = std::chrono::steady_clock::now();
+  r.raw_bytes = r.transitions * raw_event_frame_bytes();
+  r.encode_ns_per_transition =
+      std::chrono::duration<double, std::nano>(t1 - t0).count() /
+      static_cast<double>(r.transitions);
+  return r;
+}
+
+ShapeResult steady_flaps(std::size_t peers, long windows, long flap_pct) {
+  federation::DigestBuilder b(1, peers);
+  ShapeResult r;
+  Xoshiro256 rng(7);
+  const auto flappers =
+      static_cast<std::size_t>(peers * static_cast<std::size_t>(flap_pct) / 100);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (long w = 0; w < windows; ++w) {
+    for (std::size_t i = 0; i < flappers; ++i) {
+      const std::uint64_t peer = 1 + rng.uniform_int(peers);
+      const auto out = (w + static_cast<long>(i)) % 2 == 0
+                           ? detect::Output::Suspect
+                           : detect::Output::Trust;
+      b.add(peer, static_cast<std::uint64_t>(w) + 2, out, ticks_from_ms(w));
+      ++r.transitions;
+    }
+    drain(b, r);  // one flush per window
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  r.raw_bytes = r.transitions * raw_event_frame_bytes();
+  r.encode_ns_per_transition =
+      std::chrono::duration<double, std::nano>(t1 - t0).count() /
+      static_cast<double>(r.transitions);
+  return r;
+}
+
+ShapeResult flap_storm(std::size_t peers, long windows) {
+  federation::DigestBuilder b(1, peers);
+  ShapeResult r;
+  // 1% of peers flap 6 times inside every window: the digest coalesces
+  // each peer to its net state, the raw path ships all six.
+  const std::size_t hot = peers / 100 > 0 ? peers / 100 : 1;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (long w = 0; w < windows; ++w) {
+    for (std::size_t i = 0; i < hot; ++i) {
+      for (int f = 0; f < 6; ++f) {
+        const auto out =
+            f % 2 == 0 ? detect::Output::Suspect : detect::Output::Trust;
+        b.add(i + 1, static_cast<std::uint64_t>(w * 6 + f) + 2, out,
+              ticks_from_ms(w));
+        ++r.transitions;
+      }
+    }
+    drain(b, r);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  r.raw_bytes = r.transitions * raw_event_frame_bytes();
+  r.encode_ns_per_transition =
+      std::chrono::duration<double, std::nano>(t1 - t0).count() /
+      static_cast<double>(r.transitions);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const auto peers =
+      static_cast<std::size_t>(env_long("FD_BENCH_FED_PEERS", 10'000));
+  const long windows = env_long("FD_BENCH_FED_WINDOWS", 50);
+  const long flap_pct = env_long("FD_BENCH_FED_FLAP_PCT", 2);
+
+  std::cout << "federation_fanout\n"
+            << "digest vs raw-event upstream bytes per liveness transition\n"
+            << "peers=" << peers << "  windows=" << windows
+            << "  flap_pct=" << flap_pct
+            << "  raw_event_frame_bytes=" << raw_event_frame_bytes() << "\n\n";
+
+  Table table({"shape", "peers", "transitions", "digest_frames",
+               "digest_bytes", "raw_bytes", "digest_bytes_per_transition",
+               "raw_bytes_per_transition", "raw_over_digest",
+               "encode_ns_per_transition"});
+
+  struct Named {
+    const char* name;
+    ShapeResult r;
+  };
+  const Named shapes[] = {
+      {"crash_wave", crash_wave(peers)},
+      {"steady_flaps", steady_flaps(peers, windows, flap_pct)},
+      {"flap_storm", flap_storm(peers, windows)},
+  };
+
+  double crash_wave_ratio = 0;
+  for (const auto& [name, r] : shapes) {
+    const double per_digest =
+        static_cast<double>(r.digest_bytes) / static_cast<double>(r.transitions);
+    const double per_raw =
+        static_cast<double>(r.raw_bytes) / static_cast<double>(r.transitions);
+    const double ratio = per_raw / per_digest;
+    if (std::string(name) == "crash_wave") crash_wave_ratio = ratio;
+    table.add_row({name, std::to_string(peers), std::to_string(r.transitions),
+                   std::to_string(r.frames), std::to_string(r.digest_bytes),
+                   std::to_string(r.raw_bytes), Table::num(per_digest, 2),
+                   Table::num(per_raw, 2), Table::num(ratio, 2),
+                   Table::num(r.encode_ns_per_transition, 1)});
+  }
+
+  bench::emit(table);
+  bench::emit_json("federation_fanout", table);
+
+  std::cout << "\nExpected shape: the crash wave amortises the frame header"
+               " across " << api::kMaxDigestEntries << "-entry chunks, so"
+               " digest bytes/transition sit near the ~5-byte entry cost"
+               " against a " << raw_event_frame_bytes() << "-byte Event frame"
+               " (>=5x denser — the acceptance floor). Steady flaps carry"
+               " more header per entry but stay well above 5x at realistic"
+               " window populations; the flap storm beats everything because"
+               " coalescing deletes intermediate flaps before they ever"
+               " reach a wire.\n";
+
+  if (crash_wave_ratio < 5.0) {
+    std::cerr << "federation_fanout: crash-wave digest density "
+              << crash_wave_ratio << "x below the 5x acceptance floor\n";
+    return 1;
+  }
+  return 0;
+}

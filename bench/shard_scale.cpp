@@ -5,8 +5,11 @@
 // source addresses — and hence shard ownership — are distinct) blast
 // paced heartbeats at the service port while every peer is subscribed.
 // Shard workers are core-pinned (Params::pin_cores; skipped gracefully
-// when the host has fewer cores than shards — the `pinned` column counts
-// the workers that actually got a core). For each shard count the bench
+// when the host has fewer cores than shards — the `pinned_shards` column
+// counts the workers that actually got a core, `hw_cores` records what
+// the host offered, and `speedup_valid` is 1 only for rows whose speedup
+// reading is honest: shards=1, or every worker pinned to its own core).
+// For each shard count the bench
 // reports offered vs processed rate, hand-off volume, queue drops and
 // per-shard balance. The speedup baseline is ALWAYS the shards=1 row: it
 // runs first whether or not the sweep asked for it.
@@ -27,8 +30,9 @@
 // On a multi-core host the phase-A processed rate scales with shards
 // (acceptance target ~2.5x+ at 4 shards); on a single core both phases
 // expose per-datagram cost and hand-off overhead instead — honest
-// readings of the same counters either way (see the cores/pinned
-// columns).
+// readings of the same counters either way (see the hw_cores /
+// pinned_shards / speedup_valid columns; a warning is printed whenever
+// cores < shards).
 //
 // Knobs: FD_BENCH_SHARD_COUNTS (comma list, default "1,2,4,8"; both
 // phases), FD_BENCH_SHARD_PEERS (phase A, default 64),
@@ -430,10 +434,24 @@ int main() {
             << "  rounds=" << scale_rounds << "\n"
             << "cores=" << cores << "\n\n";
 
-  Table table({"phase", "shards", "cores", "pinned", "peers", "offered_per_s",
-               "processed_per_s", "speedup", "ns_per_datagram", "allocs_per_hb",
-               "handoff_per_s", "handoff_dropped", "zero_hb_shards",
-               "handoff_coalesce", "cross_wakes_per_s", "balance_max_min"});
+  Table table({"phase", "shards", "hw_cores", "pinned_shards", "speedup_valid",
+               "peers", "offered_per_s", "processed_per_s", "speedup",
+               "ns_per_datagram", "allocs_per_hb", "handoff_per_s",
+               "handoff_dropped", "zero_hb_shards", "handoff_coalesce",
+               "cross_wakes_per_s", "balance_max_min"});
+
+  // A speedup reading only means something when every worker owned a
+  // core: shards=1 is its own baseline, otherwise require pinned==shards.
+  const auto speedup_valid = [](std::size_t shards, std::uint64_t pinned) {
+    return shards == 1 || pinned == shards ? "1" : "0";
+  };
+  for (std::size_t shards : counts) {
+    if (cores < shards) {
+      std::cerr << "WARNING: " << cores << " hardware core(s) for " << shards
+                << " shards - workers share cores, the speedup column is"
+                   " contention, not scaling (speedup_valid=0)\n";
+    }
+  }
 
   // --- Phase A ---
   double base_rate_a = 0;
@@ -456,7 +474,8 @@ int main() {
                                   2)
                      : "unbalanced";
     table.add_row({"sockets", std::to_string(r.shards), std::to_string(cores),
-                   std::to_string(r.pinned), std::to_string(peers),
+                   std::to_string(r.pinned), speedup_valid(shards, r.pinned),
+                   std::to_string(peers),
                    Table::num(static_cast<double>(r.offered) / r.seconds, 1),
                    Table::num(processed_rate, 1),
                    base_rate_a > 0 ? Table::num(processed_rate / base_rate_a, 2)
@@ -482,7 +501,7 @@ int main() {
     have_ns = true;
     table.add_row(
         {"slab", std::to_string(shards), std::to_string(cores),
-         std::to_string(r.pinned),
+         std::to_string(r.pinned), speedup_valid(shards, r.pinned),
          std::to_string(r.peers_per_shard * shards), "-",
          Table::num(r.aggregate_per_s, 1),
          base_rate_b > 0 ? Table::num(r.aggregate_per_s / base_rate_b, 2)

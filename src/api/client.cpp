@@ -80,8 +80,15 @@ void Client::dispatch(ControlMessage msg) {
     if (on_event_) on_event_(*event);
   } else if (auto* pong = std::get_if<PongMsg>(&msg)) {
     lease_ms_ = pong->lease_ms;
+  } else if (auto* delegate = std::get_if<DelegateMsg>(&msg)) {
+    if (on_delegate_) on_delegate_(*delegate);
   }
   // Stray replies (e.g. a late Pong after a timed-out ping) are absorbed.
+}
+
+void Client::send_message(const ControlMessage& msg) {
+  if (!conn_.valid()) throw std::runtime_error("fdaas client is closed");
+  send_all(encode_frame(msg), clock_.now() + options_.request_timeout);
 }
 
 std::optional<ControlMessage> Client::drain_frames(

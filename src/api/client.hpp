@@ -47,6 +47,19 @@ class Client {
   /// Installs the callback for pushed Suspect/Trust events.
   void set_event_handler(EventHandler handler) { on_event_ = std::move(handler); }
 
+  using DelegateHandler = std::function<void(const DelegateMsg&)>;
+  /// Installs the callback for server-pushed Delegate frames (the
+  /// federation parent assigning peer-key ranges to this node).
+  void set_delegate_handler(DelegateHandler handler) {
+    on_delegate_ = std::move(handler);
+  }
+
+  /// Sends one frame without waiting for any reply — the fire-and-forget
+  /// path federation Digest frames ride (they renew the lease like any
+  /// well-formed frame). Throws std::runtime_error when the connection
+  /// dies or the send times out.
+  void send_message(const ControlMessage& msg);
+
   /// Registers a subscription with this client's own QoS tuple. Returns
   /// the server-global subscription id; throws std::runtime_error with
   /// the server's message when the tuple is rejected (or on timeout).
@@ -90,6 +103,7 @@ class Client {
   SteadyClock clock_;
   FrameAssembler rx_;
   EventHandler on_event_;
+  DelegateHandler on_delegate_;
   std::uint64_t next_request_id_ = 1;
   std::uint64_t next_nonce_ = 1;
   std::uint64_t lease_ms_ = 0;

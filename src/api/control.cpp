@@ -20,6 +20,8 @@ constexpr std::uint8_t kTypePing = 7;
 constexpr std::uint8_t kTypePong = 8;
 constexpr std::uint8_t kTypeEvent = 9;
 constexpr std::uint8_t kTypeError = 10;
+constexpr std::uint8_t kTypeDigest = 11;
+constexpr std::uint8_t kTypeDelegate = 12;
 
 void header(Writer& w, std::uint8_t type) {
   w.u32(kControlMagic);
@@ -95,6 +97,47 @@ void body(Writer& w, const ErrorMsg& m) {
   w.u64(m.request_id);
   w.u16(static_cast<std::uint16_t>(m.code));
   w.str16(m.message);
+}
+
+void body(Writer& w, const DigestMsg& m) {
+  header(w, kTypeDigest);
+  w.u64(m.node_id);
+  w.u64(m.digest_seq);
+  w.u8(m.flags);
+  w.u32(static_cast<std::uint32_t>(m.entries.size()));
+  // Entries are sorted by strictly ascending peer_key (the encoder's
+  // precondition, validated on decode): the first key and `when` are
+  // absolute, the rest are deltas from their predecessor.
+  std::uint64_t prev_key = 0;
+  Tick prev_when = 0;
+  bool first = true;
+  for (const auto& e : m.entries) {
+    if (first) {
+      w.varint(e.peer_key);
+      w.varint(e.seq);
+      w.u8(static_cast<std::uint8_t>(e.output));
+      w.svarint(e.when);
+      first = false;
+    } else {
+      w.varint(e.peer_key - prev_key);
+      w.varint(e.seq);
+      w.u8(static_cast<std::uint8_t>(e.output));
+      w.svarint(e.when - prev_when);
+    }
+    prev_key = e.peer_key;
+    prev_when = e.when;
+  }
+}
+
+void body(Writer& w, const DelegateMsg& m) {
+  header(w, kTypeDelegate);
+  w.u64(m.node_id);
+  w.u64(m.delegation_seq);
+  w.u32(static_cast<std::uint32_t>(m.ranges.size()));
+  for (const auto& r : m.ranges) {
+    w.u64(r.lo);
+    w.u64(r.hi);
+  }
 }
 
 [[nodiscard]] bool valid_output_byte(std::uint8_t b) {
@@ -217,6 +260,69 @@ std::optional<ControlMessage> decode_body(std::span<const std::byte> data) {
       }
       m.code = static_cast<ErrorCode>(code);
       m.message = r.str16(kMaxErrorText);
+      return done(std::move(m));
+    }
+    case kTypeDigest: {
+      DigestMsg m;
+      m.node_id = r.u64();
+      m.digest_seq = r.u64();
+      m.flags = r.u8();
+      const std::uint32_t count = r.u32();
+      // Every entry costs at least 4 bytes on the wire (1-byte varints
+      // plus the output byte), so bound the reserve before trusting it.
+      if (!r.ok() || count > kMaxDigestEntries ||
+          std::size_t{count} * 4 > r.remaining() ||
+          (m.flags & ~DigestMsg::kFlagSnapshot) != 0) {
+        return std::nullopt;
+      }
+      m.entries.reserve(count);
+      std::uint64_t prev_key = 0;
+      Tick prev_when = 0;
+      for (std::uint32_t i = 0; i < count; ++i) {
+        DigestEntry e;
+        const std::uint64_t kd = r.varint();
+        e.seq = r.varint();
+        const std::uint8_t out = r.u8();
+        const Tick wd = r.svarint();
+        if (!r.ok() || !valid_output_byte(out)) return std::nullopt;
+        if (i == 0) {
+          e.peer_key = kd;
+          e.when = wd;
+        } else {
+          // Strictly ascending keys: a zero delta (duplicate key) or a
+          // wrap-around is hostile.
+          if (kd == 0 || prev_key > ~std::uint64_t{0} - kd) return std::nullopt;
+          e.peer_key = prev_key + kd;
+          e.when = prev_when + wd;
+        }
+        e.output = static_cast<detect::Output>(out);
+        prev_key = e.peer_key;
+        prev_when = e.when;
+        m.entries.push_back(e);
+      }
+      return done(std::move(m));
+    }
+    case kTypeDelegate: {
+      DelegateMsg m;
+      m.node_id = r.u64();
+      m.delegation_seq = r.u64();
+      const std::uint32_t count = r.u32();
+      if (!r.ok() || count > kMaxDelegateRanges ||
+          std::size_t{count} * 16 > r.remaining()) {
+        return std::nullopt;
+      }
+      m.ranges.reserve(count);
+      std::uint64_t prev_hi = 0;
+      for (std::uint32_t i = 0; i < count; ++i) {
+        PeerKeyRange range;
+        range.lo = r.u64();
+        range.hi = r.u64();
+        if (range.lo > range.hi) return std::nullopt;
+        // Sorted and non-overlapping, so ownership checks can bisect.
+        if (i > 0 && range.lo <= prev_hi) return std::nullopt;
+        prev_hi = range.hi;
+        m.ranges.push_back(range);
+      }
       return done(std::move(m));
     }
     default:

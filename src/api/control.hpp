@@ -41,6 +41,10 @@ inline constexpr std::size_t kMaxFrameBody = 64 * 1024;
 inline constexpr std::size_t kMaxAppName = 256;
 inline constexpr std::size_t kMaxErrorText = 512;
 inline constexpr std::size_t kMaxSnapshotEntries = 4096;
+/// Worst-case Digest entry is 31 bytes (three 10-byte varints + the
+/// output byte), so 2048 entries always fit under kMaxFrameBody.
+inline constexpr std::size_t kMaxDigestEntries = 2048;
+inline constexpr std::size_t kMaxDelegateRanges = 1024;
 
 enum class ErrorCode : std::uint16_t {
   kMalformed = 1,            ///< request parsed but carried nonsense
@@ -115,10 +119,54 @@ struct ErrorMsg {
   std::string message;
 };
 
+// --- Federation frames (child monitor node <-> parent monitor node) ---
+
+/// One liveness transition inside a Digest. `seq` is assigned by the
+/// LEAF node that monitors the peer and travels unchanged through every
+/// aggregation level, so any node can discard stale or replayed entries
+/// (entry applies iff seq exceeds the stored one). `when` is in the
+/// originating leaf's clock domain.
+struct DigestEntry {
+  std::uint64_t peer_key = 0;  ///< federation-wide peer identity
+  std::uint64_t seq = 0;       ///< origin (leaf) transition counter
+  detect::Output output = detect::Output::Trust;
+  Tick when = 0;
+};
+
+/// Delta-encoded batch of liveness transitions, pushed by a child node
+/// up its TWFC link on a flush interval or size trigger. Entries are
+/// sorted by strictly ascending peer_key; the wire packs peer keys and
+/// `when` stamps as deltas (varint / zigzag varint), which is what makes
+/// digest traffic ~5x+ denser than raw per-peer Event frames.
+struct DigestMsg {
+  std::uint64_t node_id = 0;     ///< originating federation node
+  std::uint64_t digest_seq = 0;  ///< per-link monotone frame counter
+  /// A full-state digest (sent after (re)connect so the parent can
+  /// reconcile net transitions missed during an outage), not a delta.
+  static constexpr std::uint8_t kFlagSnapshot = 0x01;
+  std::uint8_t flags = 0;
+  std::vector<DigestEntry> entries;
+};
+
+/// Inclusive peer-key range [lo, hi].
+struct PeerKeyRange {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+};
+
+/// Parent -> child: the receiving node owns exactly these peer-ID
+/// ranges (sorted, non-overlapping; empty = owns everything). Entries
+/// for peers outside the owned ranges are dropped and counted.
+struct DelegateMsg {
+  std::uint64_t node_id = 0;         ///< the child being instructed
+  std::uint64_t delegation_seq = 0;  ///< newer assignment replaces older
+  std::vector<PeerKeyRange> ranges;
+};
+
 using ControlMessage =
     std::variant<SubscribeRequest, UnsubscribeRequest, SnapshotRequest, PingMsg,
                  SubscribeOk, UnsubscribeOk, SnapshotReply, PongMsg, EventMsg,
-                 ErrorMsg>;
+                 ErrorMsg, DigestMsg, DelegateMsg>;
 
 /// Serialises a message into a complete frame (length prefix included).
 [[nodiscard]] std::vector<std::byte> encode_frame(const ControlMessage& msg);

@@ -32,6 +32,14 @@ FdaasServer::Stats& FdaasServer::Stats::operator+=(const Stats& o) {
   health_broadcasts += o.health_broadcasts;
   post_retries += o.post_retries;
   post_stalls += o.post_stalls;
+  digests_ingested += o.digests_ingested;
+  digest_entries_applied += o.digest_entries_applied;
+  digest_entries_stale += o.digest_entries_stale;
+  digest_entries_foreign += o.digest_entries_foreign;
+  digest_frames_flushed += o.digest_frames_flushed;
+  fed_subscriptions_active += o.fed_subscriptions_active;
+  fed_events_pushed += o.fed_events_pushed;
+  delegates_sent += o.delegates_sent;
   return *this;
 }
 
@@ -64,12 +72,53 @@ void FdaasServer::stop() {
   while (commands_.try_pop(cmd)) cmd = nullptr;  // waiters see broken_promise
 }
 
+void FdaasServer::attach_federation(
+    FederationAdapter* adapter,
+    std::function<void(std::vector<DigestMsg>)> upstream_sink) {
+  TWFD_CHECK_MSG(!running_, "attach_federation() must precede start()");
+  TWFD_CHECK_MSG(adapter != nullptr, "null federation adapter");
+  adapter_ = adapter;
+  upstream_sink_ = std::move(upstream_sink);
+  adapter_->set_transition_sink(
+      [this](const DigestEntry& e) { fed_fanout(e); });
+}
+
+void FdaasServer::run_on_api_thread(const std::function<void()>& fn) {
+  if (!running_) {
+    fn();
+    return;
+  }
+  auto prom = std::make_shared<std::promise<void>>();
+  auto fut = prom->get_future();
+  post([&fn, prom] {
+    fn();
+    prom->set_value();
+  });
+  fut.get();
+}
+
+bool FdaasServer::send_delegate(std::uint64_t child_node, DelegateMsg msg) {
+  bool sent = false;
+  run_on_api_thread([this, child_node, &msg, &sent] {
+    const auto child = child_sessions_.find(child_node);
+    if (child == child_sessions_.end()) return;
+    const auto it = sessions_.find(child->second);
+    if (it == sessions_.end()) return;
+    if (send_frame(*it->second, msg)) {
+      ++stats_.delegates_sent;
+      sent = true;
+    }
+  });
+  return sent;
+}
+
 void FdaasServer::worker_main() {
   loop_->set_wake_handler([this] { drain_commands(); });
   loop_->watch_fd(listener_.fd(), net::kFdRead,
                   [this](unsigned) { on_accept(); });
   arm_poll_timer();
   arm_lease_timer();
+  if (adapter_ != nullptr) arm_fed_flush_timer();
 
   while (!stop_requested_.load(std::memory_order_acquire)) {
     loop_->run_until(kTickInfinity);
@@ -85,6 +134,7 @@ void FdaasServer::worker_main() {
   loop_->unwatch_fd(listener_.fd());
   loop_->cancel(poll_timer_);
   loop_->cancel(lease_timer_);
+  if (fed_flush_timer_ != kInvalidTimer) loop_->cancel(fed_flush_timer_);
 }
 
 void FdaasServer::drain_commands() {
@@ -125,6 +175,23 @@ void FdaasServer::arm_poll_timer() {
           deliver(e);
         });
     arm_poll_timer();
+  });
+}
+
+void FdaasServer::arm_fed_flush_timer() {
+  // Half the adapter's flush interval: the core's own due() gate keeps
+  // the actual emission cadence at flush_interval, while the finer
+  // timer bounds the alignment slack, so worst-case digest latency
+  // stays within the 2 x flush_interval budget the T_D^U check charges.
+  const Tick period =
+      std::max<Tick>(adapter_->flush_interval() / 2, ticks_from_ms(1));
+  fed_flush_timer_ = loop_->schedule_at(loop_->now() + period, [this] {
+    auto frames = adapter_->flush(loop_->now());
+    if (!frames.empty()) {
+      stats_.digest_frames_flushed += frames.size();
+      if (upstream_sink_) upstream_sink_(std::move(frames));
+    }
+    arm_fed_flush_timer();
   });
 }
 
@@ -229,10 +296,12 @@ bool FdaasServer::handle_message(std::uint64_t sid, ControlMessage msg) {
   Session& s = *it->second;
 
   if (auto* sub = std::get_if<SubscribeRequest>(&msg)) {
-    if (s.subs.size() >= params_.max_subscriptions_per_session) {
+    if (s.subs.size() + s.fed_subs.size() >=
+        params_.max_subscriptions_per_session) {
       return send_frame(s, ErrorMsg{sub->request_id, ErrorCode::kLimit,
                                     "subscription limit reached"});
     }
+    if (is_fed_subscribe(*sub)) return handle_fed_subscribe(s, *sub);
     std::uint64_t id = 0;
     try {
       id = service_.subscribe(sub->peer, sub->sender_id, sub->app, sub->qos);
@@ -250,6 +319,23 @@ bool FdaasServer::handle_message(std::uint64_t sid, ControlMessage msg) {
   }
 
   if (auto* unsub = std::get_if<UnsubscribeRequest>(&msg)) {
+    if ((unsub->subscription_id & kFedSubBit) != 0) {
+      if (s.fed_subs.erase(unsub->subscription_id) == 0) {
+        return send_frame(
+            s, ErrorMsg{unsub->request_id, ErrorCode::kUnknownSubscription,
+                        "not a subscription of this session"});
+      }
+      const auto fed = fed_subs_.find(unsub->subscription_id);
+      if (fed != fed_subs_.end()) {
+        auto by_key = fed_subs_by_key_.find(fed->second.key);
+        if (by_key != fed_subs_by_key_.end()) {
+          by_key->second.erase(unsub->subscription_id);
+          if (by_key->second.empty()) fed_subs_by_key_.erase(by_key);
+        }
+        fed_subs_.erase(fed);
+      }
+      return send_frame(s, UnsubscribeOk{unsub->request_id});
+    }
     if (s.subs.erase(unsub->subscription_id) == 0) {
       return send_frame(s,
                         ErrorMsg{unsub->request_id, ErrorCode::kUnknownSubscription,
@@ -268,7 +354,25 @@ bool FdaasServer::handle_message(std::uint64_t sid, ControlMessage msg) {
       if (reply.entries.size() >= kMaxSnapshotEntries) break;
       reply.entries.push_back({e.subscription, e.output, e.since});
     }
+    // Federated subscriptions answer from the adapter's liveness table;
+    // a peer with no known state yet defaults to Trust-since-never,
+    // matching a local detector that has not transitioned.
+    for (const std::uint64_t fid : s.fed_subs) {
+      if (reply.entries.size() >= kMaxSnapshotEntries) break;
+      const auto fed = fed_subs_.find(fid);
+      if (fed == fed_subs_.end()) continue;
+      const auto state = adapter_->peer_state(fed->second.key);
+      if (state.has_value()) {
+        reply.entries.push_back({fid, state->output, state->when});
+      } else {
+        reply.entries.push_back({fid, detect::Output::Trust, 0});
+      }
+    }
     return send_frame(s, reply);
+  }
+
+  if (auto* digest = std::get_if<DigestMsg>(&msg)) {
+    return handle_digest(s, *digest);
   }
 
   if (auto* ping = std::get_if<PingMsg>(&msg)) {
@@ -277,11 +381,86 @@ bool FdaasServer::handle_message(std::uint64_t sid, ControlMessage msg) {
                    static_cast<std::uint64_t>(params_.lease / ticks_from_ms(1))});
   }
 
-  // Server-bound streams must only carry the four request types; a
-  // client echoing server frames is broken or hostile.
+  // Server-bound streams must only carry the request types (plus child
+  // Digest pushes, handled above); a client echoing server frames is
+  // broken or hostile.
   ++stats_.frames_malformed;
   close_session(sid);
   return false;
+}
+
+bool FdaasServer::is_fed_subscribe(const SubscribeRequest& sub) const {
+  // A zero peer address can never name a monitorable process; with a
+  // federation core attached it addresses the federated peer whose
+  // 64-bit key rides in sender_id.
+  return adapter_ != nullptr && sub.peer.ip_host_order == 0 &&
+         sub.peer.port == 0;
+}
+
+bool FdaasServer::handle_fed_subscribe(Session& s, const SubscribeRequest& sub) {
+  // The subscriber's detection-latency budget must absorb the digest
+  // pipeline: each federation level adds up to ~2 x flush_interval
+  // (flush alignment + push). One level is the floor we can check here.
+  const Tick budget = static_cast<Tick>(sub.qos.td_upper_s * 1e9);
+  if (budget <= 2 * adapter_->flush_interval()) {
+    return send_frame(
+        s, ErrorMsg{sub.request_id, ErrorCode::kInfeasibleQos,
+                    "TD upper bound inside the digest flush latency budget"});
+  }
+  const std::uint64_t key = sub.sender_id;
+  const std::uint64_t id = kFedSubBit | next_fed_sub_++;
+  s.fed_subs.insert(id);
+  fed_subs_.emplace(id, FedSub{s.id, key});
+  fed_subs_by_key_[key].insert(id);
+  ++stats_.subscriptions_total;
+  if (!send_frame(s, SubscribeOk{sub.request_id, id})) return false;
+  // Prime the subscriber with the current verdict when one is known, so
+  // a peer that went Suspect before the subscribe still surfaces.
+  if (const auto state = adapter_->peer_state(key); state.has_value()) {
+    if (!send_frame(s, EventMsg{id, state->output, state->when})) return false;
+    ++stats_.events_pushed;
+    ++stats_.fed_events_pushed;
+  }
+  return true;
+}
+
+bool FdaasServer::handle_digest(Session& s, const DigestMsg& digest) {
+  if (adapter_ == nullptr) {
+    // Not a federation node: a Digest here is as hostile as any other
+    // server-typed frame on a server-bound stream.
+    ++stats_.frames_malformed;
+    close_session(s.id);
+    return false;
+  }
+  // First Digest identifies the child; the latest session claiming a
+  // node id wins (a restarted child redials before its old session
+  // expires, and Delegate frames must reach the live connection).
+  s.fed_node_id = digest.node_id;
+  child_sessions_[digest.node_id] = s.id;
+  const auto result = adapter_->ingest_digest(digest.node_id, digest);
+  ++stats_.digests_ingested;
+  stats_.digest_entries_applied += result.applied;
+  stats_.digest_entries_stale += result.stale;
+  stats_.digest_entries_foreign += result.foreign;
+  return true;
+}
+
+void FdaasServer::fed_fanout(const DigestEntry& entry) {
+  const auto by_key = fed_subs_by_key_.find(entry.peer_key);
+  if (by_key == fed_subs_by_key_.end()) return;
+  // Snapshot the ids: send_frame can evict a slow session, which
+  // mutates fed_subs_by_key_ through close_session.
+  std::vector<std::uint64_t> ids(by_key->second.begin(), by_key->second.end());
+  for (const std::uint64_t fid : ids) {
+    const auto fed = fed_subs_.find(fid);
+    if (fed == fed_subs_.end()) continue;
+    const auto it = sessions_.find(fed->second.sid);
+    if (it == sessions_.end()) continue;
+    if (send_frame(*it->second, EventMsg{fid, entry.output, entry.when})) {
+      ++stats_.events_pushed;
+      ++stats_.fed_events_pushed;
+    }
+  }
 }
 
 void FdaasServer::deliver(const shard::ShardedMonitorService::StatusEvent& event) {
@@ -381,6 +560,24 @@ void FdaasServer::close_session(std::uint64_t sid) {
       }
     }
   }
+  for (const std::uint64_t fid : s.fed_subs) {
+    const auto fed = fed_subs_.find(fid);
+    if (fed == fed_subs_.end()) continue;
+    auto by_key = fed_subs_by_key_.find(fed->second.key);
+    if (by_key != fed_subs_by_key_.end()) {
+      by_key->second.erase(fid);
+      if (by_key->second.empty()) fed_subs_by_key_.erase(by_key);
+    }
+    fed_subs_.erase(fed);
+  }
+  if (s.fed_node_id != 0) {
+    // Only drop the child binding if this session still holds it — a
+    // restarted child may have re-registered on a fresh session already.
+    const auto child = child_sessions_.find(s.fed_node_id);
+    if (child != child_sessions_.end() && child->second == sid) {
+      child_sessions_.erase(child);
+    }
+  }
   stats_.conn_soft_errors += s.conn.soft_errors();
   s.conn.close();
   sessions_.erase(it);
@@ -402,6 +599,7 @@ FdaasServer::Stats FdaasServer::collect_stats() {
   Stats out = stats_;
   out.sessions_active = sessions_.size();
   out.subscriptions_active = sub_owner_.size();
+  out.fed_subscriptions_active = fed_subs_.size();
   out.accept_resource_failures = listener_.resource_failures();
   out.accept_aborted = listener_.aborted_accepts();
   out.post_retries = post_retries_.load(std::memory_order_relaxed);

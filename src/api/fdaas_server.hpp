@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "api/control.hpp"
+#include "api/federation_hooks.hpp"
 #include "common/mpsc_queue.hpp"
 #include "net/event_loop.hpp"
 #include "net/tcp.hpp"
@@ -81,9 +82,23 @@ class FdaasServer {
     std::uint64_t health_broadcasts = 0;  ///< shard health events fanned out
     std::uint64_t post_retries = 0;  ///< control pushes that found the queue full
     std::uint64_t post_stalls = 0;   ///< posts abandoned: queue wedged
+    // Federation tier (all zero unless attach_federation() was called):
+    std::uint64_t digests_ingested = 0;       ///< child Digest frames accepted
+    std::uint64_t digest_entries_applied = 0;
+    std::uint64_t digest_entries_stale = 0;   ///< seq-dropped (replay/failover)
+    std::uint64_t digest_entries_foreign = 0; ///< outside delegated ranges
+    std::uint64_t digest_frames_flushed = 0;  ///< frames handed upstream
+    std::uint64_t fed_subscriptions_active = 0;  ///< gauge
+    std::uint64_t fed_events_pushed = 0;  ///< subtree transitions fanned out
+    std::uint64_t delegates_sent = 0;
 
     Stats& operator+=(const Stats& o);
   };
+
+  /// Federated subscription ids live in their own half of the id space
+  /// so they can never collide with ShardedMonitorService ids (which
+  /// count up from 1) and are recognisable in Unsubscribe/Snapshot.
+  static constexpr std::uint64_t kFedSubBit = 1ull << 63;
 
   /// The service must outlive the server; stop() the server BEFORE
   /// stopping the service (teardown releases client subscriptions).
@@ -111,6 +126,32 @@ class FdaasServer {
   /// the API thread and acknowledged before return.
   void inject_events(std::vector<shard::ShardedMonitorService::StatusEvent> events);
 
+  // --- Federation tier (docs/runtime.md "Federation tier") ---
+
+  /// Attaches the federated monitoring core. Must be called before
+  /// start(); the adapter must outlive the server. From then on:
+  ///   * child sessions may push Digest frames (ingested via the
+  ///     adapter; the first Digest identifies the session's node id);
+  ///   * clients may subscribe to FEDERATED peers — SubscribeRequest
+  ///     with a zero peer address, sender_id = the 64-bit peer key —
+  ///     and receive Event frames for transitions anywhere in the
+  ///     subtree (ids carry kFedSubBit);
+  ///   * a flush timer drains the adapter on its flush_interval() and
+  ///     hands the wire-ready frames to `upstream_sink` (API thread;
+  ///     null at the federation root).
+  void attach_federation(FederationAdapter* adapter,
+                         std::function<void(std::vector<DigestMsg>)> upstream_sink);
+
+  /// Runs `fn` on the API thread and waits for it (direct call when the
+  /// server is not running). The federated node uses this to touch
+  /// adapter state — peer mappings, stats — under the thread contract.
+  void run_on_api_thread(const std::function<void()>& fn);
+
+  /// Pushes a Delegate frame to the child session that most recently
+  /// identified itself as `child_node` (via a Digest). Marshalled onto
+  /// the API thread; false when no such child session is connected.
+  bool send_delegate(std::uint64_t child_node, DelegateMsg msg);
+
  private:
   using Command = std::function<void()>;
 
@@ -123,7 +164,17 @@ class FdaasServer {
     std::size_t tx_pos = 0;
     bool want_write = false;
     Tick lease_deadline = 0;
-    std::set<std::uint64_t> subs;  // global subscription ids
+    std::set<std::uint64_t> subs;      // global subscription ids
+    std::set<std::uint64_t> fed_subs;  // federated ids (kFedSubBit set)
+    /// Non-zero once the session pushed a Digest: it is the child node
+    /// with this federation node id (Delegate frames route here).
+    std::uint64_t fed_node_id = 0;
+  };
+
+  /// One federated subscription: session `sid` watches peer `key`.
+  struct FedSub {
+    std::uint64_t sid = 0;
+    std::uint64_t key = 0;
   };
 
   void worker_main();
@@ -144,6 +195,14 @@ class FdaasServer {
   void expire_leases();
   void arm_poll_timer();
   void arm_lease_timer();
+  void arm_fed_flush_timer();
+  /// Fans one applied federated transition out to its subscribers (the
+  /// adapter's transition sink lands here, on the API thread).
+  void fed_fanout(const DigestEntry& entry);
+  /// True when `sub` targets a federated peer (zero address, adapter on).
+  [[nodiscard]] bool is_fed_subscribe(const SubscribeRequest& sub) const;
+  bool handle_fed_subscribe(Session& s, const SubscribeRequest& sub);
+  bool handle_digest(Session& s, const DigestMsg& digest);
   [[nodiscard]] Stats collect_stats();
 
   shard::ShardedMonitorService& service_;
@@ -166,6 +225,15 @@ class FdaasServer {
   TimerId poll_timer_ = kInvalidTimer;
   TimerId lease_timer_ = kInvalidTimer;
   Stats stats_;
+
+  // --- Federation (API-thread-only; null/empty unless attached) ---
+  FederationAdapter* adapter_ = nullptr;
+  std::function<void(std::vector<DigestMsg>)> upstream_sink_;
+  std::map<std::uint64_t, FedSub> fed_subs_;            // fed sub id -> sub
+  std::map<std::uint64_t, std::set<std::uint64_t>> fed_subs_by_key_;
+  std::map<std::uint64_t, std::uint64_t> child_sessions_;  // node id -> sid
+  std::uint64_t next_fed_sub_ = 1;
+  TimerId fed_flush_timer_ = kInvalidTimer;
 };
 
 }  // namespace twfd::api

@@ -1,0 +1,57 @@
+// The seam between the FDaaS API server and the federation tier.
+//
+// FdaasServer is the API-thread owner; the federated monitoring core
+// (federation::FederationCore) is plain single-threaded state. To keep
+// the library layering acyclic — fd_federation links fd_api, never the
+// other way — the server talks to the core through this interface:
+// every method is invoked ON the API thread only, and the core reports
+// applied transitions back through the transition sink the server
+// installs at attach time (used to fan Event frames out to subtree
+// subscribers). See docs/runtime.md "Federation tier".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "api/control.hpp"
+
+namespace twfd::api {
+
+class FederationAdapter {
+ public:
+  struct IngestResult {
+    std::size_t applied = 0;  ///< entries newer than the stored state
+    std::size_t stale = 0;    ///< replayed / out-of-date entries dropped
+    std::size_t foreign = 0;  ///< entries outside the delegated ranges
+  };
+
+  virtual ~FederationAdapter() = default;
+
+  /// Called once at attach: `sink` receives every APPLIED transition
+  /// (local or ingested) so the server can route it to subscribers.
+  virtual void set_transition_sink(
+      std::function<void(const DigestEntry&)> sink) = 0;
+
+  /// A child session (`child_node` from the frame) pushed a digest.
+  virtual IngestResult ingest_digest(std::uint64_t child_node,
+                                     const DigestMsg& digest) = 0;
+
+  /// Drains pending upstream transitions into wire-ready frames when a
+  /// flush is due (interval elapsed or size trigger); empty otherwise.
+  virtual std::vector<DigestMsg> flush(Tick now) = 0;
+
+  /// Full-state digests (kFlagSnapshot) covering every known peer — the
+  /// reconciliation payload sent upstream after a link (re)connect.
+  virtual std::vector<DigestMsg> snapshot_digests() = 0;
+
+  /// Current state of a federated peer, nullopt when unknown.
+  virtual std::optional<DigestEntry> peer_state(std::uint64_t peer_key) const = 0;
+
+  /// The digest flush cadence: the per-level latency the server must
+  /// budget against a subscriber's T_D^U.
+  [[nodiscard]] virtual Tick flush_interval() const = 0;
+};
+
+}  // namespace twfd::api

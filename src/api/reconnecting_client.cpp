@@ -65,6 +65,9 @@ bool ReconnectingClient::try_connect_once() {
     auto fresh = std::make_unique<Client>(server_, options_.client);
     fresh->set_event_handler(
         [this](const EventMsg& e) { handle_server_event(e); });
+    fresh->set_delegate_handler([this](const DelegateMsg& d) {
+      if (on_delegate_) on_delegate_(d);
+    });
 
     // Re-establish the desired set. The server ids are fresh; the stable
     // handles (and their last-delivered verdicts) carry over.
@@ -100,6 +103,9 @@ bool ReconnectingClient::try_connect_once() {
     if (ever_connected_) ++reconnects_;
     ever_connected_ = true;
     backoff_ = options_.backoff_min;
+    // Post-connect hook (federation snapshot push): a throw here means
+    // the fresh connection is unusable — fail the attempt and retry.
+    if (on_connect_) on_connect_();
     return true;
   } catch (const std::exception& e) {
     last_error_ = e.what();
@@ -120,7 +126,11 @@ bool ReconnectingClient::ensure_connected(Tick deadline) {
         static_cast<double>(backoff_) * (0.5 + 0.5 * jitter_.uniform01()));
     const Tick sleep_for = std::min(std::max<Tick>(step, ticks_from_ms(1)),
                                     deadline - now);
-    std::this_thread::sleep_for(std::chrono::nanoseconds(sleep_for));
+    if (options_.sleep_hook) {
+      if (!options_.sleep_hook(sleep_for)) return false;
+    } else {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(sleep_for));
+    }
     backoff_ = std::min(backoff_ * 2, options_.backoff_max);
     if (clock_.now() >= deadline) return false;
   }
@@ -190,6 +200,18 @@ bool ReconnectingClient::pump_for(Tick duration) {
     }
   }
   return connected();
+}
+
+bool ReconnectingClient::send_message(const ControlMessage& msg) {
+  if (!connected()) return false;
+  try {
+    client_->send_message(msg);
+    return true;
+  } catch (const std::exception& e) {
+    last_error_ = e.what();
+    note_disconnect();
+    return false;
+  }
 }
 
 std::optional<detect::Output> ReconnectingClient::verdict(

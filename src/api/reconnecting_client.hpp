@@ -43,6 +43,11 @@ class ReconnectingClient {
     Tick backoff_max = ticks_from_sec(5);
     /// Seed for the deterministic jitter stream (reproducible runs).
     std::uint64_t jitter_seed = 1;
+    /// Test seam: when set, called with each jittered redial sleep
+    /// INSTEAD of sleeping. Return false to abandon the reconnect loop
+    /// (as if the deadline passed) — the backoff regression suite uses
+    /// this to observe 50 simulated resets without wall-clock cost.
+    std::function<bool(Tick)> sleep_hook;
   };
 
   /// Lazy: no connection is attempted until the first call that needs
@@ -60,6 +65,26 @@ class ReconnectingClient {
   void set_event_handler(Client::EventHandler handler) {
     on_event_ = std::move(handler);
   }
+
+  /// Server-pushed Delegate frames (federation range assignment) pass
+  /// straight through, on whatever connection is live.
+  void set_delegate_handler(Client::DelegateHandler handler) {
+    on_delegate_ = std::move(handler);
+  }
+
+  /// Invoked after every successful (re)connect, once resubscription
+  /// and snapshot reconciliation are done and the connection is the
+  /// live one. The federation upstream link pushes its full-state
+  /// snapshot digest from here; a throw fails the connect attempt.
+  void set_connect_handler(std::function<void()> handler) {
+    on_connect_ = std::move(handler);
+  }
+
+  /// Sends one fire-and-forget frame on the live connection. Returns
+  /// false — and records the disconnect, so the next pump redials —
+  /// when there is no connection or the send fails. Never blocks on
+  /// reconnect backoff.
+  bool send_message(const ControlMessage& msg);
 
   /// Registers the subscription in the desired set and establishes it on
   /// the live connection when there is one. Returns the stable handle.
@@ -127,6 +152,8 @@ class ReconnectingClient {
   Options options_;
   SteadyClock clock_;
   Client::EventHandler on_event_;
+  Client::DelegateHandler on_delegate_;
+  std::function<void()> on_connect_;
   std::unique_ptr<Client> client_;
   std::map<std::uint64_t, Sub> subs_;            ///< handle -> desired sub
   std::map<std::uint64_t, std::uint64_t> by_server_id_;  ///< current conn only

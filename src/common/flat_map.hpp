@@ -6,9 +6,13 @@
 // parallel flat arrays (1-byte states, keys, values) — the probe touches
 // only states+keys, one or two cache lines for the common hit — and
 // performs ZERO allocations on find, insert (below the load limit) and
-// erase. Erase leaves a tombstone; the table rehashes (growing to keep
-// load below 1/2 of capacity, tombstones included below 7/8) only on
-// insert, so lookups never write.
+// erase. Erase leaves a tombstone; the table rehashes growing to keep
+// load below 1/2 of capacity (tombstones included below 7/8) on insert.
+// Erase additionally compacts IN PLACE (same-size rehash) once
+// tombstones exceed 3/8 of capacity: an erase-heavy churn phase with no
+// interleaved inserts would otherwise stretch every miss probe toward a
+// full-table scan, because probes only stop at never-used buckets.
+// Lookups still never write.
 //
 // Keys are mixed through the splitmix64 finalizer, so sequential ids
 // (subscription counters, sim peer handles) spread uniformly. Any uint64
@@ -34,6 +38,8 @@ class FlatMap64 {
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
   [[nodiscard]] std::size_t bucket_count() const noexcept { return states_.size(); }
+  /// Tombstoned buckets awaiting compaction (observability/test seam).
+  [[nodiscard]] std::size_t tombstones() const noexcept { return used_ - size_; }
 
   /// Ensures `n` entries fit without a rehash-on-insert.
   void reserve(std::size_t n) {
@@ -98,8 +104,11 @@ class FlatMap64 {
     }
   }
 
-  /// Removes `key` (tombstoned; O(1), allocation-free). False if absent.
-  bool erase(std::uint64_t key) noexcept {
+  /// Removes `key` (tombstoned; O(1) amortised). False if absent. Once
+  /// tombstones pass 3/8 of capacity the table compacts in place — a
+  /// same-size rehash, the one erase that is not allocation-free — so
+  /// miss probes stay short under sustained delete-only churn.
+  bool erase(std::uint64_t key) {
     if (states_.empty()) return false;
     const std::size_t mask = states_.size() - 1;
     std::size_t i = mix(key) & mask;
@@ -110,6 +119,7 @@ class FlatMap64 {
         states_[i] = kTombstone;
         values_[i] = V{};
         --size_;
+        if (tombstones() * 8 >= states_.size() * 3) rehash(states_.size());
         return true;
       }
       i = (i + 1) & mask;

@@ -1,0 +1,70 @@
+#include "federation/digest.hpp"
+
+#include <algorithm>
+
+namespace twfd::federation {
+
+DigestBuilder::DigestBuilder(std::uint64_t node_id, std::size_t expected_peers)
+    : node_id_(node_id) {
+  if (expected_peers > 0) {
+    index_.reserve(expected_peers);
+    entries_.reserve(expected_peers);
+  }
+}
+
+void DigestBuilder::add(PeerKey peer, std::uint64_t seq, detect::Output output,
+                        Tick when) {
+  auto [slot, inserted] =
+      index_.try_emplace(peer, static_cast<std::uint32_t>(entries_.size()));
+  if (inserted) {
+    entries_.push_back({peer, seq, output, when});
+    return;
+  }
+  // Coalesce: the peer already has a pending transition; the later one
+  // (higher origin seq) wins, so only the net state ships.
+  api::DigestEntry& e = entries_[*slot];
+  if (seq >= e.seq) {
+    e.seq = seq;
+    e.output = output;
+    e.when = when;
+  }
+}
+
+void DigestBuilder::clear() {
+  index_.clear();
+  entries_.clear();
+}
+
+std::vector<api::DigestMsg> DigestBuilder::take(std::uint8_t flags) {
+  std::vector<api::DigestEntry> drained = std::move(entries_);
+  entries_ = {};
+  index_.clear();
+  return frames_for(std::move(drained), flags);
+}
+
+std::vector<api::DigestMsg> DigestBuilder::frames_for(
+    std::vector<api::DigestEntry> entries, std::uint8_t flags) {
+  std::vector<api::DigestMsg> frames;
+  if (entries.empty()) return frames;
+  std::sort(entries.begin(), entries.end(),
+            [](const api::DigestEntry& a, const api::DigestEntry& b) {
+              return a.peer_key < b.peer_key;
+            });
+  frames.reserve((entries.size() + api::kMaxDigestEntries - 1) /
+                 api::kMaxDigestEntries);
+  for (std::size_t pos = 0; pos < entries.size();
+       pos += api::kMaxDigestEntries) {
+    const std::size_t n =
+        std::min(api::kMaxDigestEntries, entries.size() - pos);
+    api::DigestMsg frame;
+    frame.node_id = node_id_;
+    frame.digest_seq = next_digest_seq_++;
+    frame.flags = flags;
+    frame.entries.assign(entries.begin() + static_cast<std::ptrdiff_t>(pos),
+                         entries.begin() + static_cast<std::ptrdiff_t>(pos + n));
+    frames.push_back(std::move(frame));
+  }
+  return frames;
+}
+
+}  // namespace twfd::federation

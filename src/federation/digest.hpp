@@ -1,0 +1,53 @@
+// DigestBuilder: accumulates liveness transitions bound upstream and
+// drains them into wire-ready api::DigestMsg frames.
+//
+// Transitions are coalesced per peer — a peer that flaps
+// Trust->Suspect->Trust inside one flush window ships once, with the
+// LAST output and the origin seq of that last transition, so upstream
+// nodes converge on the net state (intermediate flaps inside a window
+// are unobservable by construction, exactly like the reconnecting
+// client's snapshot reconciliation). take() sorts entries by peer key
+// (the delta-encoding precondition) and chunks them into frames of at
+// most api::kMaxDigestEntries, stamping a monotone digest_seq per frame.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "api/control.hpp"
+#include "common/flat_map.hpp"
+
+namespace twfd::federation {
+
+using PeerKey = std::uint64_t;
+
+class DigestBuilder {
+ public:
+  explicit DigestBuilder(std::uint64_t node_id, std::size_t expected_peers = 0);
+
+  /// Records (or coalesces) one pending transition.
+  void add(PeerKey peer, std::uint64_t seq, detect::Output output, Tick when);
+
+  [[nodiscard]] std::size_t pending() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  void clear();
+
+  /// Drains everything pending into encoded-order frames (sorted,
+  /// chunked, digest_seq stamped). `flags` is applied to every frame.
+  [[nodiscard]] std::vector<api::DigestMsg> take(std::uint8_t flags = 0);
+
+  /// Builds frames from an externally assembled entry set (used for
+  /// full-state snapshot digests); entries need not be sorted yet.
+  [[nodiscard]] std::vector<api::DigestMsg> frames_for(
+      std::vector<api::DigestEntry> entries, std::uint8_t flags);
+
+  [[nodiscard]] std::uint64_t frames_built() const noexcept { return next_digest_seq_ - 1; }
+
+ private:
+  std::uint64_t node_id_;
+  std::uint64_t next_digest_seq_ = 1;
+  FlatMap64<std::uint32_t> index_;  // peer key -> slot in entries_
+  std::vector<api::DigestEntry> entries_;
+};
+
+}  // namespace twfd::federation

@@ -1,0 +1,126 @@
+#include "federation/federated_node.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace twfd::federation {
+
+namespace {
+
+FederationCore::Params core_params(const FederatedMonitorNode::Params& p) {
+  FederationCore::Params core = p.core;
+  core.node_id = p.node_id;
+  // A root has nowhere to flush to; keeping the builder off makes the
+  // table terminal without a special-case in the server.
+  core.emit_upstream = p.parent.has_value();
+  return core;
+}
+
+}  // namespace
+
+FederatedMonitorNode::FederatedMonitorNode(Params params)
+    : params_(std::move(params)),
+      service_(params_.service),
+      core_(core_params(params_)),
+      server_(service_, params_.server) {
+  // The shard event listener feeds every drained transition into the
+  // core. It runs inside poll_events(), whose sole caller in this
+  // composition is the server's API thread — the core's thread contract
+  // holds by construction.
+  service_.set_event_listener(
+      [this](const shard::ShardedMonitorService::StatusEvent& e) {
+        core_.note_local_event(e.subscription, e.output, e.when);
+      });
+
+  if (params_.parent.has_value()) {
+    UpstreamLink::Params link = params_.link;
+    link.parent = *params_.parent;
+    link_ = std::make_unique<UpstreamLink>(
+        std::move(link),
+        // Snapshot source and delegate handler fire on the link thread;
+        // both marshal onto the API thread before touching the core.
+        [this] {
+          std::vector<api::DigestMsg> frames;
+          server_.run_on_api_thread([this, &frames] {
+            frames = core_.snapshot_digests();
+          });
+          return frames;
+        },
+        [this](const api::DelegateMsg& d) {
+          server_.run_on_api_thread([this, &d] { core_.apply_delegate(d); });
+        });
+    server_.attach_federation(&core_, [this](std::vector<api::DigestMsg> f) {
+      link_->enqueue(std::move(f));
+    });
+  } else {
+    server_.attach_federation(&core_, nullptr);
+  }
+}
+
+FederatedMonitorNode::~FederatedMonitorNode() { stop(); }
+
+void FederatedMonitorNode::start() {
+  TWFD_CHECK_MSG(!running_, "federated node already started");
+  service_.start();
+  server_.start();
+  if (link_) link_->start();
+  running_ = true;
+}
+
+void FederatedMonitorNode::stop() {
+  if (!running_) return;
+  // Reverse order: the link stops dialling first, then the server
+  // releases sessions while the service still runs (documented order),
+  // then the shards come down.
+  if (link_) link_->stop();
+  server_.stop();
+  service_.stop();
+  running_ = false;
+}
+
+std::uint64_t FederatedMonitorNode::subscribe_local(
+    const net::SocketAddress& peer, std::uint64_t sender_id,
+    const std::string& app, const config::QosRequirements& qos, PeerKey key) {
+  const std::uint64_t id = service_.subscribe(peer, sender_id, app, qos);
+  server_.run_on_api_thread(
+      [this, id, key] { core_.map_local_subscription(id, key); });
+  return id;
+}
+
+void FederatedMonitorNode::unsubscribe_local(std::uint64_t subscription_id) {
+  server_.run_on_api_thread([this, subscription_id] {
+    core_.unmap_local_subscription(subscription_id);
+  });
+  service_.unsubscribe(subscription_id);
+}
+
+void FederatedMonitorNode::inject_transition(PeerKey key, detect::Output output,
+                                             Tick when) {
+  server_.run_on_api_thread([this, key, output, when] {
+    core_.note_local_transition(key, output, when);
+  });
+}
+
+bool FederatedMonitorNode::delegate_to_child(
+    std::uint64_t child_node, std::vector<api::PeerKeyRange> ranges) {
+  api::DelegateMsg msg;
+  msg.node_id = params_.node_id;
+  msg.delegation_seq = next_delegation_seq_++;
+  msg.ranges = std::move(ranges);
+  return server_.send_delegate(child_node, std::move(msg));
+}
+
+FederationCore::Stats FederatedMonitorNode::core_stats() {
+  FederationCore::Stats out;
+  server_.run_on_api_thread([this, &out] { out = core_.stats(); });
+  return out;
+}
+
+std::size_t FederatedMonitorNode::peer_count() {
+  std::size_t out = 0;
+  server_.run_on_api_thread([this, &out] { out = core_.peer_count(); });
+  return out;
+}
+
+}  // namespace twfd::federation

@@ -1,0 +1,114 @@
+// FederatedMonitorNode: one node of the federated monitoring tier.
+//
+// Composition (docs/runtime.md "Federation tier"):
+//
+//   ShardedMonitorService --event listener--> FederationCore
+//            ^                                   |        ^
+//            | subscribe/unsubscribe      flush  |        | ingest
+//            |                                   v        |
+//          FdaasServer  <--attach_federation-->  (adapter seam)
+//            |                                   |
+//            | Event frames to subtree           v
+//            v subscribers               UpstreamLink --> parent FdaasServer
+//
+// A LEAF node monitors real peers with its sharded 2W-FD service and
+// turns their Suspect/Trust transitions into digest entries (after the
+// caller binds each local subscription to a federation-wide peer key
+// via subscribe_local). An INTERIOR node aggregates children: their
+// UpstreamLinks dial this node's FDaaS port and push Digest frames,
+// which the server ingests into the same core. The ROOT simply has no
+// parent (emit_upstream=false), so the table is terminal there.
+//
+// At every level an ordinary api::Client may subscribe to any peer in
+// the subtree (zero peer address + peer key as sender_id) and receives
+// Event frames within its T_D^U — the server budgets the digest flush
+// latency against the requested bound at subscribe time.
+//
+// Thread contract: FederationCore is confined to the server's API
+// thread. Every core access from outside goes through
+// FdaasServer::run_on_api_thread — including the UpstreamLink's
+// snapshot source and delegate handler, which fire on the link thread.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "api/fdaas_server.hpp"
+#include "federation/federation_core.hpp"
+#include "federation/upstream_link.hpp"
+#include "shard/sharded_monitor_service.hpp"
+
+namespace twfd::federation {
+
+class FederatedMonitorNode {
+ public:
+  struct Params {
+    /// Federation-wide node identity (stable across restarts — failover
+    /// depends on the restarted node re-claiming its id upstream).
+    std::uint64_t node_id = 1;
+    shard::ShardedMonitorService::Params service{};
+    api::FdaasServer::Params server{};
+    FederationCore::Params core{};
+    /// Parent FDaaS address; unset = this node is the federation root.
+    std::optional<net::SocketAddress> parent;
+    UpstreamLink::Params link{};
+  };
+
+  explicit FederatedMonitorNode(Params params);
+  ~FederatedMonitorNode();
+
+  FederatedMonitorNode(const FederatedMonitorNode&) = delete;
+  FederatedMonitorNode& operator=(const FederatedMonitorNode&) = delete;
+
+  void start();
+  void stop();
+  [[nodiscard]] bool running() const noexcept { return running_; }
+
+  /// FDaaS/TWFC port (children dial it; so do subscribers).
+  [[nodiscard]] std::uint16_t api_port() const { return server_.port(); }
+  /// UDP heartbeat port of the local sharded service.
+  [[nodiscard]] std::uint16_t service_port() const { return service_.port(); }
+
+  /// Leaf-side: monitor `peer` with the local 2W-FD service AND bind the
+  /// subscription to the federation-wide `key`, so its transitions enter
+  /// the digest stream. Returns the local subscription id.
+  std::uint64_t subscribe_local(const net::SocketAddress& peer,
+                                std::uint64_t sender_id, const std::string& app,
+                                const config::QosRequirements& qos,
+                                PeerKey key);
+  void unsubscribe_local(std::uint64_t subscription_id);
+
+  /// Test/load seam: records a leaf-side transition for `key` directly,
+  /// under the API-thread contract — the live path is the shard event
+  /// listener. Lets chaos suites drive the digest pipeline without
+  /// standing up real heartbeat traffic.
+  void inject_transition(PeerKey key, detect::Output output, Tick when);
+
+  /// Interior-side: assign peer-key ranges to a connected child node
+  /// (pushes a Delegate frame). False when the child is not connected.
+  bool delegate_to_child(std::uint64_t child_node,
+                         std::vector<api::PeerKeyRange> ranges);
+
+  /// Core counters, read under the API-thread contract.
+  [[nodiscard]] FederationCore::Stats core_stats();
+  [[nodiscard]] std::size_t peer_count();
+
+  [[nodiscard]] api::FdaasServer& server() noexcept { return server_; }
+  [[nodiscard]] shard::ShardedMonitorService& service() noexcept {
+    return service_;
+  }
+  [[nodiscard]] UpstreamLink* link() noexcept { return link_.get(); }
+
+ private:
+  Params params_;
+  shard::ShardedMonitorService service_;
+  FederationCore core_;
+  api::FdaasServer server_;
+  std::unique_ptr<UpstreamLink> link_;
+  std::uint64_t next_delegation_seq_ = 1;
+  bool running_ = false;
+};
+
+}  // namespace twfd::federation

@@ -1,0 +1,137 @@
+#include "federation/federation_core.hpp"
+
+#include <algorithm>
+
+namespace twfd::federation {
+
+FederationCore::FederationCore(Params params)
+    : params_(params),
+      peers_(params.expected_peers > 0 ? params.expected_peers : 16),
+      builder_(params.node_id, params.emit_upstream ? params.expected_peers : 0) {}
+
+bool FederationCore::apply(PeerKey key, std::uint64_t seq,
+                           detect::Output output, Tick when) {
+  auto [state, inserted] = peers_.try_emplace(key);
+  if (!inserted && seq <= state->seq) {
+    ++stats_.entries_stale;
+    return false;
+  }
+  const bool changed = inserted || state->output != output;
+  state->seq = seq;
+  state->output = output;
+  state->when = when;
+  ++stats_.entries_applied;
+  if (params_.emit_upstream) builder_.add(key, seq, output, when);
+  // The sink fires only on observable transitions: a seq advance that
+  // lands on the same verdict (a flap pair coalesced below) refreshes
+  // the table but is not an event.
+  if (changed && sink_) sink_({key, seq, output, when});
+  return true;
+}
+
+FederationCore::IngestResult FederationCore::ingest_digest(
+    std::uint64_t /*child_node*/, const api::DigestMsg& digest) {
+  IngestResult result;
+  ++stats_.digests_ingested;
+  for (const api::DigestEntry& e : digest.entries) {
+    if (!owns(e.peer_key)) {
+      ++result.foreign;
+      ++stats_.entries_foreign;
+      continue;
+    }
+    if (apply(e.peer_key, e.seq, e.output, e.when)) {
+      ++result.applied;
+    } else {
+      ++result.stale;
+    }
+  }
+  return result;
+}
+
+void FederationCore::map_local_subscription(std::uint64_t subscription_id,
+                                            PeerKey key) {
+  local_subs_.insert_or_assign(subscription_id, key);
+}
+
+void FederationCore::unmap_local_subscription(std::uint64_t subscription_id) {
+  local_subs_.erase(subscription_id);
+}
+
+void FederationCore::note_local_event(std::uint64_t subscription_id,
+                                      detect::Output output, Tick when) {
+  const PeerKey* key = local_subs_.find(subscription_id);
+  if (key == nullptr) {
+    ++stats_.local_unmapped;
+    return;
+  }
+  note_local_transition(*key, output, when);
+}
+
+void FederationCore::note_local_transition(PeerKey key, detect::Output output,
+                                           Tick when) {
+  if (!owns(key)) {
+    ++stats_.entries_foreign;
+    return;
+  }
+  const PeerState* existing = peers_.find(key);
+  if (existing != nullptr && existing->output == output) return;  // no-op
+  const std::uint64_t seq = existing != nullptr ? existing->seq + 1 : 1;
+  ++stats_.local_transitions;
+  apply(key, seq, output, when);
+}
+
+std::vector<api::DigestMsg> FederationCore::flush(Tick now) {
+  if (!params_.emit_upstream || builder_.empty() || !due(now)) return {};
+  last_flush_ = now;
+  flushed_once_ = true;
+  auto frames = builder_.take();
+  ++stats_.flushes;
+  stats_.frames_flushed += frames.size();
+  for (const auto& f : frames) stats_.entries_flushed += f.entries.size();
+  return frames;
+}
+
+std::vector<api::DigestMsg> FederationCore::snapshot_digests() {
+  ++stats_.snapshots_built;
+  std::vector<api::DigestEntry> entries;
+  entries.reserve(peers_.size());
+  peers_.for_each([&entries](std::uint64_t key, const PeerState& s) {
+    entries.push_back({key, s.seq, s.output, s.when});
+  });
+  // The snapshot supersedes every pending delta — the upstream link
+  // sends it first after a (re)connect, so the builder restarts clean.
+  builder_.clear();
+  return builder_.frames_for(std::move(entries), api::DigestMsg::kFlagSnapshot);
+}
+
+std::optional<api::DigestEntry> FederationCore::peer_state(
+    std::uint64_t peer_key) const {
+  const PeerState* s = peers_.find(peer_key);
+  if (s == nullptr) return std::nullopt;
+  return api::DigestEntry{peer_key, s->seq, s->output, s->when};
+}
+
+void FederationCore::apply_delegate(const api::DelegateMsg& msg) {
+  if (delegation_seq_ != 0 && msg.delegation_seq <= delegation_seq_) return;
+  delegation_seq_ = msg.delegation_seq;
+  ranges_ = msg.ranges;
+  ++stats_.delegations_applied;
+}
+
+bool FederationCore::owns(PeerKey key) const {
+  if (ranges_.empty()) return true;
+  // Ranges are sorted and non-overlapping (codec invariant): find the
+  // first range whose hi >= key and check its lo.
+  const auto it = std::lower_bound(
+      ranges_.begin(), ranges_.end(), key,
+      [](const api::PeerKeyRange& r, PeerKey k) { return r.hi < k; });
+  return it != ranges_.end() && it->lo <= key;
+}
+
+bool FederationCore::due(Tick now) const {
+  if (!params_.emit_upstream || builder_.empty()) return false;
+  if (builder_.pending() >= params_.flush_max_pending) return true;
+  return !flushed_once_ || now - last_flush_ >= params_.flush_interval;
+}
+
+}  // namespace twfd::federation

@@ -1,0 +1,148 @@
+// FederationCore: the deterministic heart of one federated monitor node.
+//
+// A node is a leaf (its transitions come from the local sharded 2W-FD
+// service, via the shard::ShardedMonitorService event-listener export
+// hook), an interior aggregator (transitions come from child digests),
+// or both. The core keeps the subtree's liveness table — one entry per
+// federated peer: origin seq, current verdict, transition instant —
+// and feeds a DigestBuilder bound upstream.
+//
+// Sequence numbers ORIGINATE at the leaf that monitors a peer and pass
+// through every level unchanged. That single rule is what makes
+// failover loss-free: an interior node that crashes and restarts holds
+// an empty table, its children re-send full-state snapshot digests on
+// reconnect, and the levels above discard the entries they already
+// applied (seq <= stored) while net transitions that happened during
+// the outage (seq > stored) still surface. No acknowledgement protocol
+// is needed.
+//
+// The core is single-threaded on purpose: in the live runtime it is
+// confined to the FDaaS API thread (api::FederationAdapter contract);
+// in the deterministic federation sim it is driven directly with
+// virtual time. It never touches a clock or a socket — flush instants
+// are passed in.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "api/control.hpp"
+#include "api/federation_hooks.hpp"
+#include "common/flat_map.hpp"
+#include "federation/digest.hpp"
+
+namespace twfd::federation {
+
+class FederationCore final : public api::FederationAdapter {
+ public:
+  struct Params {
+    std::uint64_t node_id = 1;
+    /// Upstream digest cadence; also the per-level detection-latency
+    /// budget the API server charges against a subscriber's T_D^U.
+    Tick flush_interval = ticks_from_ms(50);
+    /// Size trigger: a flush is due early once this many transitions
+    /// are pending, so bursts do not wait out the interval.
+    std::size_t flush_max_pending = 4096;
+    /// False at the federation root: transitions are terminal here, the
+    /// builder stays empty and flush() never emits.
+    bool emit_upstream = true;
+    /// Pre-sizes the peer table and builder (100k-peer subtrees).
+    std::size_t expected_peers = 0;
+  };
+
+  struct Stats {
+    std::uint64_t local_transitions = 0;   ///< leaf-side transitions noted
+    std::uint64_t local_unmapped = 0;      ///< events with no peer-key mapping
+    std::uint64_t digests_ingested = 0;    ///< child digest frames accepted
+    std::uint64_t entries_applied = 0;     ///< newer than stored state
+    std::uint64_t entries_stale = 0;       ///< replay/out-of-date, dropped
+    std::uint64_t entries_foreign = 0;     ///< outside delegated ranges
+    std::uint64_t flushes = 0;             ///< non-empty flush() calls
+    std::uint64_t frames_flushed = 0;
+    std::uint64_t entries_flushed = 0;
+    std::uint64_t snapshots_built = 0;     ///< snapshot_digests() calls
+    std::uint64_t delegations_applied = 0; ///< Delegate frames adopted
+  };
+
+  explicit FederationCore(Params params);
+
+  [[nodiscard]] std::uint64_t node_id() const noexcept { return params_.node_id; }
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t peer_count() const noexcept { return peers_.size(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return builder_.pending(); }
+
+  // --- api::FederationAdapter (API thread / sim thread) ---
+
+  void set_transition_sink(
+      std::function<void(const api::DigestEntry&)> sink) override {
+    sink_ = std::move(sink);
+  }
+  IngestResult ingest_digest(std::uint64_t child_node,
+                             const api::DigestMsg& digest) override;
+  std::vector<api::DigestMsg> flush(Tick now) override;
+  std::vector<api::DigestMsg> snapshot_digests() override;
+  std::optional<api::DigestEntry> peer_state(std::uint64_t peer_key) const override;
+  [[nodiscard]] Tick flush_interval() const override {
+    return params_.flush_interval;
+  }
+
+  // --- Leaf side ---
+
+  /// Binds a local ShardedMonitorService subscription id to the peer's
+  /// federation-wide key; note_local_event routes through the binding.
+  void map_local_subscription(std::uint64_t subscription_id, PeerKey key);
+  void unmap_local_subscription(std::uint64_t subscription_id);
+
+  /// A transition drained from the local sharded service (the shard
+  /// event-listener hook feeds this). Unmapped subscriptions are
+  /// counted and dropped — health events (subscription 0) land here by
+  /// design and must never enter the digest stream.
+  void note_local_event(std::uint64_t subscription_id, detect::Output output,
+                        Tick when);
+
+  /// Direct leaf-side transition for a federated peer (the sim drives
+  /// this; note_local_event is the live-runtime path to it). Assigns
+  /// the next origin seq. No-op when output equals the stored verdict.
+  void note_local_transition(PeerKey key, detect::Output output, Tick when);
+
+  // --- Delegation ---
+
+  /// Adopts a Delegate assignment (newer delegation_seq replaces older;
+  /// stale ones are ignored). Ranges are assumed valid per the codec.
+  void apply_delegate(const api::DelegateMsg& msg);
+  /// True when `key` falls inside the delegated ranges (or none are set).
+  [[nodiscard]] bool owns(PeerKey key) const;
+  [[nodiscard]] std::uint64_t delegation_seq() const noexcept {
+    return delegation_seq_;
+  }
+
+  /// True when flush(now) would emit: interval elapsed since the last
+  /// non-empty flush, or the size trigger tripped.
+  [[nodiscard]] bool due(Tick now) const;
+
+ private:
+  struct PeerState {
+    std::uint64_t seq = 0;
+    detect::Output output = detect::Output::Trust;
+    Tick when = 0;
+  };
+
+  /// Applies one transition (table + builder + sink). `origin_seq` must
+  /// already be assigned. Returns false when stale.
+  bool apply(PeerKey key, std::uint64_t seq, detect::Output output, Tick when);
+
+  Params params_;
+  FlatMap64<PeerState> peers_;
+  FlatMap64<PeerKey> local_subs_;  // local subscription id -> peer key
+  DigestBuilder builder_;
+  std::function<void(const api::DigestEntry&)> sink_;
+  std::vector<api::PeerKeyRange> ranges_;  // empty = owns everything
+  std::uint64_t delegation_seq_ = 0;
+  Tick last_flush_ = 0;
+  bool flushed_once_ = false;
+  Stats stats_;
+};
+
+}  // namespace twfd::federation

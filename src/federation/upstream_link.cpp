@@ -1,0 +1,136 @@
+#include "federation/upstream_link.hpp"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace twfd::federation {
+
+UpstreamLink::UpstreamLink(
+    Params params, std::function<std::vector<api::DigestMsg>()> snapshot_source,
+    api::Client::DelegateHandler on_delegate)
+    : params_(params),
+      snapshot_source_(std::move(snapshot_source)),
+      on_delegate_(std::move(on_delegate)) {}
+
+UpstreamLink::~UpstreamLink() { stop(); }
+
+void UpstreamLink::start() {
+  if (running_) return;
+  {
+    std::lock_guard lk(mu_);
+    stop_requested_ = false;
+  }
+  running_ = true;
+  thread_ = std::thread([this] { run(); });
+}
+
+void UpstreamLink::stop() {
+  if (!running_) return;
+  {
+    std::lock_guard lk(mu_);
+    stop_requested_ = true;
+  }
+  thread_.join();
+  running_ = false;
+  std::lock_guard lk(mu_);
+  connected_ = false;
+}
+
+void UpstreamLink::enqueue(std::vector<api::DigestMsg> frames) {
+  if (frames.empty()) return;
+  std::lock_guard lk(mu_);
+  for (auto& f : frames) queue_.push_back(std::move(f));
+  while (queue_.size() > params_.max_queued_frames) {
+    queue_.pop_front();
+    ++stats_.frames_dropped;
+  }
+}
+
+bool UpstreamLink::connected() const {
+  std::lock_guard lk(mu_);
+  return connected_;
+}
+
+UpstreamLink::Stats UpstreamLink::stats() const {
+  std::lock_guard lk(mu_);
+  return stats_;
+}
+
+void UpstreamLink::drain_queue(api::ReconnectingClient& rc) {
+  for (;;) {
+    api::DigestMsg frame;
+    {
+      std::lock_guard lk(mu_);
+      if (queue_.empty() || stop_requested_) return;
+      frame = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    if (rc.send_message(api::ControlMessage{frame})) {
+      std::lock_guard lk(mu_);
+      ++stats_.frames_sent;
+    } else {
+      // The connection died mid-drain: requeue at the FRONT so ordering
+      // holds, and let the next pump turn redial (the connect hook will
+      // clear the queue in favour of a snapshot anyway).
+      std::lock_guard lk(mu_);
+      queue_.push_front(std::move(frame));
+      return;
+    }
+  }
+}
+
+void UpstreamLink::run() {
+  api::ReconnectingClient::Options opts = params_.client;
+  // Bound each redial ladder inside a pump slice so stop() is honoured
+  // promptly even while the parent is down.
+  opts.sleep_hook = [this, base = params_.client.sleep_hook](Tick sleep_for) {
+    {
+      std::lock_guard lk(mu_);
+      if (stop_requested_) return false;
+    }
+    if (base) return base(sleep_for);
+    std::this_thread::sleep_for(std::chrono::nanoseconds(sleep_for));
+    return true;
+  };
+
+  api::ReconnectingClient rc(params_.parent, opts);
+  rc.set_delegate_handler([this](const api::DelegateMsg& d) {
+    if (on_delegate_) on_delegate_(d);
+  });
+  rc.set_connect_handler([this, &rc] {
+    // Fresh connection: whatever deltas were queued for the dead one
+    // are superseded by a full-state snapshot (stale entries are
+    // dropped upstream by seq, so over-sending is harmless; dropping
+    // queued deltas without the snapshot would not be).
+    {
+      std::lock_guard lk(mu_);
+      queue_.clear();
+    }
+    auto snapshot = snapshot_source_ ? snapshot_source_()
+                                     : std::vector<api::DigestMsg>{};
+    for (const auto& frame : snapshot) {
+      rc.send_message(api::ControlMessage{frame});
+    }
+    std::lock_guard lk(mu_);
+    ++stats_.snapshots_sent;
+    stats_.frames_sent += snapshot.size();
+  });
+
+  for (;;) {
+    {
+      std::lock_guard lk(mu_);
+      if (stop_requested_) break;
+    }
+    const bool live = rc.pump_for(params_.pump_slice);
+    {
+      std::lock_guard lk(mu_);
+      connected_ = live;
+      stats_.reconnects = rc.reconnects();
+    }
+    if (live) drain_queue(rc);
+  }
+  rc.close();
+}
+
+}  // namespace twfd::federation

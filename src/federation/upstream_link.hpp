@@ -1,0 +1,96 @@
+// UpstreamLink: the one-way digest pipe from a federated node to its
+// parent, built on api::ReconnectingClient so it survives parent
+// restarts with the same discipline as any FDaaS client.
+//
+// The link owns a dedicated thread. The API thread enqueues wire-ready
+// Digest frames (FederationCore::flush output) from the server's flush
+// timer; the link thread alternates between pumping the connection
+// (lease renewal + Delegate frames pushed by the parent) and draining
+// the queue with fire-and-forget sends. On every (re)connect the
+// ReconnectingClient's connect hook fires: queued deltas are discarded
+// and a full-state snapshot digest — fetched from the node through the
+// snapshot source, marshalled onto the API thread by the caller — is
+// sent instead. The snapshot supersedes anything the dead connection
+// swallowed; the seq-originates-at-leaf rule makes the replay free of
+// duplicates upstream (already-applied entries are stale-dropped).
+//
+// The queue is bounded: beyond max_queued_frames the OLDEST frames are
+// dropped (and counted), because the reconnect snapshot restores any
+// state they carried — bounded memory beats a perfect delta history.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "api/reconnecting_client.hpp"
+
+namespace twfd::federation {
+
+class UpstreamLink {
+ public:
+  struct Params {
+    net::SocketAddress parent{};
+    api::ReconnectingClient::Options client{};
+    /// Queue bound; overflow drops oldest (snapshot-on-reconnect makes
+    /// that safe) and counts it.
+    std::size_t max_queued_frames = 4096;
+    /// How long each pump turn listens for Delegate pushes before
+    /// checking the queue again — the upper bound on send latency added
+    /// by the link itself.
+    Tick pump_slice = ticks_from_ms(20);
+  };
+
+  struct Stats {
+    std::uint64_t frames_sent = 0;
+    std::uint64_t frames_dropped = 0;   ///< queue-overflow discards
+    std::uint64_t snapshots_sent = 0;   ///< reconnect snapshot pushes
+    std::uint64_t reconnects = 0;       ///< recoveries beyond first connect
+  };
+
+  /// `snapshot_source` supplies the full-state digests pushed after a
+  /// (re)connect; the caller is responsible for making it safe to call
+  /// from the link thread (the federated node marshals it onto the API
+  /// thread). `on_delegate` receives parent-pushed Delegate frames on
+  /// the link thread, same contract.
+  UpstreamLink(Params params,
+               std::function<std::vector<api::DigestMsg>()> snapshot_source,
+               api::Client::DelegateHandler on_delegate);
+  ~UpstreamLink();
+
+  UpstreamLink(const UpstreamLink&) = delete;
+  UpstreamLink& operator=(const UpstreamLink&) = delete;
+
+  void start();
+  void stop();
+
+  /// Queues frames for upstream delivery; callable from any thread.
+  void enqueue(std::vector<api::DigestMsg> frames);
+
+  [[nodiscard]] bool connected() const;
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  void run();
+  /// Sends everything queued on the live connection; frames that fail
+  /// mid-drain go back to the front for the next turn.
+  void drain_queue(api::ReconnectingClient& rc);
+
+  Params params_;
+  std::function<std::vector<api::DigestMsg>()> snapshot_source_;
+  api::Client::DelegateHandler on_delegate_;
+
+  mutable std::mutex mu_;
+  std::deque<api::DigestMsg> queue_;
+  Stats stats_;
+  bool connected_ = false;
+  bool stop_requested_ = false;
+
+  std::thread thread_;
+  bool running_ = false;
+};
+
+}  // namespace twfd::federation

@@ -38,6 +38,23 @@ class Writer {
     u16(static_cast<std::uint16_t>(s.size()));
     for (const char c : s) u8(static_cast<std::uint8_t>(c));
   }
+  /// LEB128 varint: 7 value bits per byte, high bit = continuation.
+  /// 1 byte below 128, at most 10 bytes for the full u64 range — the
+  /// packing behind the federation Digest frames, where deltas between
+  /// sorted peer keys are small.
+  void varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      u8(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    u8(static_cast<std::uint8_t>(v));
+  }
+  /// Zigzag-mapped varint for signed deltas (small magnitudes of either
+  /// sign stay short): n -> (n << 1) ^ (n >> 63).
+  void svarint(std::int64_t v) {
+    varint((static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63));
+  }
 
   std::vector<std::byte> take() { return std::move(buf_); }
   [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
@@ -77,6 +94,28 @@ class Reader {
   }
   std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
   double f64() { return std::bit_cast<double>(u64()); }
+  /// Counterpart of Writer::varint. A varint longer than 10 bytes (or a
+  /// 10th byte carrying more than the u64's final bit) is malformed and
+  /// latches ok() = false — no silent wrap-around.
+  std::uint64_t varint() {
+    std::uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      const std::uint8_t b = u8();
+      if (!ok_) return 0;
+      if (shift == 63 && (b & 0xfe) != 0) {
+        ok_ = false;  // would overflow the u64
+        return 0;
+      }
+      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) return v;
+    }
+    ok_ = false;
+    return 0;
+  }
+  std::int64_t svarint() {
+    const std::uint64_t z = varint();
+    return static_cast<std::int64_t>((z >> 1) ^ (~(z & 1) + 1));
+  }
   /// Counterpart of Writer::str16; declared lengths beyond `max_len` or
   /// past the buffer fail the whole read.
   std::string str16(std::size_t max_len) {

@@ -462,6 +462,7 @@ std::size_t ShardedMonitorService::poll_events(
         it->second.output = e.output;
         it->second.since = e.when;
       }
+      if (event_listener_) event_listener_(e);
       if (fn) fn(e);
     }
   }

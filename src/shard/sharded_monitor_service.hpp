@@ -258,6 +258,16 @@ class ShardedMonitorService {
   /// order. Serialized internally; returns the number of events drained.
   std::size_t poll_events(const std::function<void(const StatusEvent&)>& fn = {});
 
+  /// Standing per-event export hook, invoked from poll_events() for
+  /// every drained event (health events included), before the per-call
+  /// `fn`. This is the federation tier's transition feed: the FDaaS
+  /// server is the sole poll_events() caller in the live runtime, so
+  /// the listener runs on the API thread. Set before start(); not
+  /// synchronized against concurrent poll_events() calls.
+  void set_event_listener(std::function<void(const StatusEvent&)> listener) {
+    event_listener_ = std::move(listener);
+  }
+
   /// Latest published snapshot (never null after construction). Copies
   /// the current pointer under a short mutex — held only for the copy,
   /// never while a snapshot is being built — so the caller reads the
@@ -416,6 +426,7 @@ class ShardedMonitorService {
   std::mutex agg_mu_;
   std::map<SubscriptionId, Snapshot::Entry> state_;
   std::uint64_t events_seen_ = 0;
+  std::function<void(const StatusEvent&)> event_listener_;
   mutable std::mutex view_mu_;
   std::shared_ptr<const Snapshot> view_;
 };

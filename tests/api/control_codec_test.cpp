@@ -135,8 +135,242 @@ TEST(ControlCodec, RejectsBadMagicVersionAndType) {
     auto bad = body;
     bad[5] = std::byte{0};  // type 0 is invalid
     EXPECT_FALSE(decode_body(bad).has_value());
-    bad[5] = std::byte{11};  // one past kTypeError
+    bad[5] = std::byte{13};  // one past kTypeDelegate
     EXPECT_FALSE(decode_body(bad).has_value());
+  }
+}
+
+TEST(ControlCodec, RoundtripsDigestAndDelegate) {
+  {
+    DigestMsg m;
+    m.node_id = 0xfeedfacecafebeefull;
+    m.digest_seq = 41;
+    m.flags = DigestMsg::kFlagSnapshot;
+    // Keys strictly ascend; `when` stamps go BACKWARDS between entries
+    // (different origin leaves), exercising the zigzag delta path.
+    m.entries = {{100, 7, detect::Output::Trust, ticks_from_ms(500)},
+                 {101, 1, detect::Output::Suspect, ticks_from_ms(200)},
+                 {5'000'000'000ull, 3, detect::Output::Trust, -ticks_from_ms(9)}};
+    const auto r = roundtrip(m);
+    const auto& d = std::get<DigestMsg>(r);
+    EXPECT_EQ(d.node_id, m.node_id);
+    EXPECT_EQ(d.digest_seq, 41u);
+    EXPECT_EQ(d.flags, DigestMsg::kFlagSnapshot);
+    ASSERT_EQ(d.entries.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i) {
+      EXPECT_EQ(d.entries[i].peer_key, m.entries[i].peer_key) << i;
+      EXPECT_EQ(d.entries[i].seq, m.entries[i].seq) << i;
+      EXPECT_EQ(d.entries[i].output, m.entries[i].output) << i;
+      EXPECT_EQ(d.entries[i].when, m.entries[i].when) << i;
+    }
+  }
+  {
+    // An empty delta digest is legal (pure liveness of the link).
+    const auto r = roundtrip(DigestMsg{9, 1, 0, {}});
+    EXPECT_TRUE(std::get<DigestMsg>(r).entries.empty());
+  }
+  {
+    DelegateMsg m{2, 7, {{0, 99}, {200, 200}, {1000, ~0ull}}};
+    const auto r = roundtrip(m);
+    const auto& d = std::get<DelegateMsg>(r);
+    EXPECT_EQ(d.node_id, 2u);
+    EXPECT_EQ(d.delegation_seq, 7u);
+    ASSERT_EQ(d.ranges.size(), 3u);
+    EXPECT_EQ(d.ranges[1].lo, 200u);
+    EXPECT_EQ(d.ranges[1].hi, 200u);
+    EXPECT_EQ(d.ranges[2].hi, ~0ull);
+  }
+  {
+    // Empty ranges = "own everything" — the documented reset form.
+    const auto r = roundtrip(DelegateMsg{2, 8, {}});
+    EXPECT_TRUE(std::get<DelegateMsg>(r).ranges.empty());
+  }
+}
+
+// Golden Digest frame (docs/protocol.md): first entry absolute, later
+// entries delta-coded — varint key deltas, zigzag varint `when` deltas.
+TEST(ControlCodec, DigestFrameLayoutIsStable) {
+  DigestMsg m;
+  m.node_id = 5;
+  m.digest_seq = 2;
+  m.flags = DigestMsg::kFlagSnapshot;
+  m.entries = {{100, 1, detect::Output::Trust, 1000},
+               {260, 9, detect::Output::Suspect, 900}};
+  const auto frame = encode_frame(ControlMessage{m});
+  const std::uint8_t expected[] = {
+      0x26, 0x00, 0x00, 0x00,        // length prefix: 38-byte body, LE
+      0x43, 0x46, 0x57, 0x54,        // magic "TWFC", LE
+      0x01,                          // version
+      0x0b,                          // type: Digest
+      0x05, 0, 0, 0, 0, 0, 0, 0,     // node_id, LE
+      0x02, 0, 0, 0, 0, 0, 0, 0,     // digest_seq, LE
+      0x01,                          // flags: snapshot
+      0x02, 0x00, 0x00, 0x00,        // entry count, LE
+      0x64,                          // key 100, absolute varint
+      0x01,                          // seq 1
+      0x00,                          // output: Trust
+      0xd0, 0x0f,                    // when 1000 -> zigzag 2000
+      0xa0, 0x01,                    // key delta 160 (-> 260)
+      0x09,                          // seq 9
+      0x01,                          // output: Suspect
+      0xc7, 0x01,                    // when delta -100 -> zigzag 199
+  };
+  ASSERT_EQ(frame.size(), sizeof(expected));
+  EXPECT_EQ(std::memcmp(frame.data(), expected, sizeof(expected)), 0);
+}
+
+TEST(ControlCodec, DelegateFrameLayoutIsStable) {
+  const auto frame =
+      encode_frame(ControlMessage{DelegateMsg{2, 7, {{1, 10}, {20, 30}}}});
+  const std::uint8_t expected[] = {
+      0x3a, 0x00, 0x00, 0x00,        // length prefix: 58-byte body, LE
+      0x43, 0x46, 0x57, 0x54,        // magic "TWFC", LE
+      0x01,                          // version
+      0x0c,                          // type: Delegate
+      0x02, 0, 0, 0, 0, 0, 0, 0,     // node_id, LE
+      0x07, 0, 0, 0, 0, 0, 0, 0,     // delegation_seq, LE
+      0x02, 0x00, 0x00, 0x00,        // range count, LE
+      0x01, 0, 0, 0, 0, 0, 0, 0,     // [1,
+      0x0a, 0, 0, 0, 0, 0, 0, 0,     //     10]
+      0x14, 0, 0, 0, 0, 0, 0, 0,     // [20,
+      0x1e, 0, 0, 0, 0, 0, 0, 0,     //     30]
+  };
+  ASSERT_EQ(frame.size(), sizeof(expected));
+  EXPECT_EQ(std::memcmp(frame.data(), expected, sizeof(expected)), 0);
+}
+
+// Hand-built hostile Digest bodies: the decoder must enforce every
+// documented invariant, not just "parses".
+TEST(ControlCodec, RejectsHostileDigest) {
+  // A minimal well-formed 2-entry digest, all varints one byte:
+  // keys 5 and 6, seqs 1, when stamps 0.
+  const std::uint8_t good[] = {
+      0x43, 0x46, 0x57, 0x54, 0x01, 0x0b,  // magic, version, type
+      0x09, 0, 0, 0, 0, 0, 0, 0,           // node_id 9
+      0x01, 0, 0, 0, 0, 0, 0, 0,           // digest_seq 1
+      0x00,                                // flags
+      0x02, 0x00, 0x00, 0x00,              // count 2
+      0x05, 0x01, 0x00, 0x00,              // entry 0: key 5
+      0x01, 0x01, 0x01, 0x00,              // entry 1: key delta 1 -> 6
+  };
+  auto as_vec = [](std::span<const std::uint8_t> s) {
+    std::vector<std::byte> v(s.size());
+    std::memcpy(v.data(), s.data(), s.size());
+    return v;
+  };
+  const auto base = as_vec(good);
+  ASSERT_TRUE(decode_body(base).has_value()) << "baseline must be valid";
+
+  {
+    auto bad = base;
+    bad[22] = std::byte{0x02};  // undefined flag bit
+    EXPECT_FALSE(decode_body(bad).has_value());
+  }
+  {
+    auto bad = base;
+    bad[31] = std::byte{0x00};  // key delta 0: duplicate key
+    EXPECT_FALSE(decode_body(bad).has_value());
+  }
+  {
+    auto bad = base;
+    bad[29] = std::byte{0x07};  // output byte past Suspect
+    EXPECT_FALSE(decode_body(bad).has_value());
+  }
+  {
+    // count claims 2047 entries but only 8 payload bytes remain: the
+    // 4-bytes-per-entry lower bound must reject before any reserve.
+    auto bad = base;
+    bad[23] = std::byte{0xff};
+    bad[24] = std::byte{0x07};
+    EXPECT_FALSE(decode_body(bad).has_value());
+  }
+  {
+    auto bad = base;
+    bad[24] = std::byte{0x08};  // count 2050 > kMaxDigestEntries
+    EXPECT_FALSE(decode_body(bad).has_value());
+  }
+  {
+    // First key = 2^64-1 (10-byte varint), then delta 1: peer_key wraps.
+    const std::uint8_t wrap[] = {
+        0x43, 0x46, 0x57, 0x54, 0x01, 0x0b,
+        0x09, 0, 0, 0, 0, 0, 0, 0,
+        0x01, 0, 0, 0, 0, 0, 0, 0,
+        0x00,
+        0x02, 0x00, 0x00, 0x00,
+        0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01,  // key ~0
+        0x01, 0x00, 0x00,                    // seq 1, Trust, when 0
+        0x01, 0x01, 0x01, 0x00,              // delta 1: wraps past ~0
+    };
+    EXPECT_FALSE(decode_body(as_vec(wrap)).has_value());
+  }
+  // Every proper prefix must be rejected — varint boundaries included.
+  for (std::size_t len = 0; len < base.size(); ++len) {
+    EXPECT_FALSE(decode_body(std::span(base).first(len)).has_value())
+        << "digest prefix of " << len << " bytes decoded";
+  }
+  {
+    auto bad = base;
+    bad.push_back(std::byte{0x00});  // trailing garbage
+    EXPECT_FALSE(decode_body(bad).has_value());
+  }
+}
+
+TEST(ControlCodec, RejectsHostileDelegate) {
+  const auto frame =
+      encode_frame(ControlMessage{DelegateMsg{2, 7, {{1, 10}, {20, 30}}}});
+  const auto base =
+      std::vector<std::byte>(body_of(frame).begin(), body_of(frame).end());
+  ASSERT_TRUE(decode_body(base).has_value());
+
+  {
+    auto bad = base;
+    bad[26] = std::byte{0x0b};  // range 0 becomes [11, 10]: lo > hi
+    EXPECT_FALSE(decode_body(bad).has_value());
+  }
+  {
+    auto bad = base;
+    bad[42] = std::byte{0x05};  // range 1 becomes [5, 30]: overlaps [1, 10]
+    EXPECT_FALSE(decode_body(bad).has_value());
+  }
+  {
+    auto bad = base;
+    bad[22] = std::byte{0xff};  // count 511 but nowhere near 511*16 bytes
+    bad[23] = std::byte{0x01};
+    EXPECT_FALSE(decode_body(bad).has_value());
+  }
+  for (std::size_t len = 0; len < base.size(); ++len) {
+    EXPECT_FALSE(decode_body(std::span(base).first(len)).has_value())
+        << "delegate prefix of " << len << " bytes decoded";
+  }
+}
+
+// Bit-flip fuzz over a Digest body: whatever decodes must still satisfy
+// the decoder's published invariants (ascending keys, legal flags).
+TEST(ControlCodec, DigestDecodeSurvivesBitFlips) {
+  DigestMsg m;
+  m.node_id = 3;
+  m.digest_seq = 12;
+  m.entries = {{10, 1, detect::Output::Trust, ticks_from_ms(1)},
+               {40, 2, detect::Output::Suspect, ticks_from_ms(2)},
+               {41, 3, detect::Output::Trust, ticks_from_ms(3)},
+               {500, 1, detect::Output::Suspect, 0}};
+  const auto frame = encode_frame(ControlMessage{m});
+  const auto good =
+      std::vector<std::byte>(body_of(frame).begin(), body_of(frame).end());
+  Xoshiro256 rng(204);
+  for (int i = 0; i < 10'000; ++i) {
+    auto flipped = good;
+    const std::size_t byte = rng.uniform_int(flipped.size());
+    flipped[byte] ^= static_cast<std::byte>(1u << rng.uniform_int(8));
+    const auto msg = decode_body(flipped);  // must not crash
+    if (!msg.has_value()) continue;
+    if (const auto* d = std::get_if<DigestMsg>(&*msg)) {
+      EXPECT_EQ(d->flags & ~DigestMsg::kFlagSnapshot, 0);
+      EXPECT_LE(d->entries.size(), kMaxDigestEntries);
+      for (std::size_t e = 1; e < d->entries.size(); ++e) {
+        EXPECT_GT(d->entries[e].peer_key, d->entries[e - 1].peer_key);
+      }
+    }
   }
 }
 
@@ -223,7 +457,7 @@ TEST(ControlCodec, AssemblerReassemblesUnderArbitrarySplits) {
   std::vector<std::vector<std::byte>> expected;
   for (int i = 0; i < 32; ++i) {
     ControlMessage msg;
-    switch (i % 4) {
+    switch (i % 6) {
       case 0: msg = PingMsg{static_cast<std::uint64_t>(i)}; break;
       case 1: msg = EventMsg{static_cast<std::uint64_t>(i),
                              detect::Output::Suspect, ticks_from_ms(i)}; break;
@@ -231,6 +465,11 @@ TEST(ControlCodec, AssemblerReassemblesUnderArbitrarySplits) {
                                      net::SocketAddress::loopback(9), 1,
                                      std::string(static_cast<std::size_t>(i), 'x'),
                                      {1, 1, 1}}; break;
+      case 3: msg = DigestMsg{static_cast<std::uint64_t>(i), 1, 0,
+                              {{10, 1, detect::Output::Trust, ticks_from_ms(i)},
+                               {20, 2, detect::Output::Suspect, 0}}}; break;
+      case 4: msg = DelegateMsg{static_cast<std::uint64_t>(i), 1,
+                                {{0, static_cast<std::uint64_t>(i) + 1}}}; break;
       default: msg = ErrorMsg{static_cast<std::uint64_t>(i),
                               ErrorCode::kInternal, "boom"}; break;
     }

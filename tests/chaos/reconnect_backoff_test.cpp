@@ -1,0 +1,87 @@
+// Regression suite for the ReconnectingClient redial ladder: across 50
+// simulated connection resets the jittered sleep must stay inside the
+// documented envelope — backoff * [0.5, 1.0) with the backoff doubling
+// from backoff_min and capping at backoff_max. A regression here either
+// hammers a recovering server (sleeps below the floor) or blows the
+// reconnection SLA (sleeps above the cap).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "api/reconnecting_client.hpp"
+
+namespace twfd::api {
+namespace {
+
+// A loopback port with no listener: every dial fails fast with
+// ECONNREFUSED, so each ensure_connected attempt is one simulated reset.
+net::SocketAddress dead_server() {
+  net::TcpListener probe({0});
+  const std::uint16_t port = probe.local_port();
+  // Listener closes here; the port is free (and very unlikely to be
+  // re-bound between now and the test's dials).
+  return net::SocketAddress::loopback(port);
+}
+
+TEST(ReconnectBackoff, StaysInsideDocumentedCapAndJitterBounds) {
+  constexpr int kResets = 50;
+  ReconnectingClient::Options opts;
+  opts.backoff_min = ticks_from_ms(10);
+  opts.backoff_max = ticks_from_ms(200);
+  opts.jitter_seed = 42;
+  opts.client.connect_timeout = ticks_from_ms(250);
+
+  std::vector<Tick> sleeps;
+  opts.sleep_hook = [&sleeps](Tick sleep_for) {
+    sleeps.push_back(sleep_for);
+    return sleeps.size() < kResets;  // observe 50 resets, then abandon
+  };
+
+  ReconnectingClient rc(dead_server(), opts);
+  EXPECT_FALSE(rc.pump_for(ticks_from_sec(3600)));  // returns on abandon
+  ASSERT_EQ(sleeps.size(), static_cast<std::size_t>(kResets));
+
+  Tick expected = opts.backoff_min;  // ladder BEFORE the i-th sleep
+  bool reached_cap = false;
+  for (int i = 0; i < kResets; ++i) {
+    // Documented envelope: jitter scales the current rung to [0.5, 1.0),
+    // with a 1ms floor. No sleep may exceed the rung, and none may
+    // undercut half of it.
+    const Tick floor = std::max<Tick>(expected / 2, ticks_from_ms(1));
+    EXPECT_GE(sleeps[static_cast<std::size_t>(i)], floor)
+        << "sleep " << i << " undercuts the jitter floor";
+    EXPECT_LE(sleeps[static_cast<std::size_t>(i)], expected)
+        << "sleep " << i << " exceeds the backoff rung";
+    EXPECT_LE(sleeps[static_cast<std::size_t>(i)], opts.backoff_max)
+        << "sleep " << i << " exceeds the documented cap";
+    expected = std::min(expected * 2, opts.backoff_max);
+    if (expected == opts.backoff_max) reached_cap = true;
+  }
+  EXPECT_TRUE(reached_cap) << "50 resets never exercised the cap";
+
+  // The ladder actually reaches and HOLDS the cap: every late sleep
+  // lives in [cap/2, cap].
+  for (std::size_t i = 10; i < sleeps.size(); ++i) {
+    EXPECT_GE(sleeps[i], opts.backoff_max / 2);
+    EXPECT_LE(sleeps[i], opts.backoff_max);
+  }
+}
+
+TEST(ReconnectBackoff, SleepHookAbortStopsTheLadderImmediately) {
+  ReconnectingClient::Options opts;
+  opts.backoff_min = ticks_from_ms(10);
+  opts.backoff_max = ticks_from_ms(50);
+  int calls = 0;
+  opts.sleep_hook = [&calls](Tick) {
+    ++calls;
+    return false;  // abandon on the very first reset
+  };
+  ReconnectingClient rc(dead_server(), opts);
+  EXPECT_FALSE(rc.pump_for(ticks_from_sec(3600)));
+  EXPECT_EQ(calls, 1);
+  EXPECT_FALSE(rc.connected());
+}
+
+}  // namespace
+}  // namespace twfd::api

@@ -1,0 +1,82 @@
+// FlatMap64 behaviour under churn: the open-addressing table must keep
+// miss probes short when entries are erased without interleaved inserts
+// (delete-only phases used to accumulate tombstones until every miss
+// scanned to the first never-used bucket — silently, since correctness
+// held). The compaction trigger in erase() is the regression target.
+#include "common/flat_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace twfd {
+namespace {
+
+TEST(FlatMapCompaction, EraseCompactsTombstonePressure) {
+  FlatMap64<std::uint64_t> m;
+  constexpr std::uint64_t kN = 4096;
+  for (std::uint64_t k = 0; k < kN; ++k) m.try_emplace(k, k);
+  const std::size_t buckets = m.bucket_count();
+
+  // Delete-only churn: erase most of the table with NO inserts. Without
+  // the in-place compaction the tombstone count would climb to kN and
+  // every miss probe would walk to the first never-used bucket.
+  for (std::uint64_t k = 0; k < kN - 8; ++k) EXPECT_TRUE(m.erase(k));
+
+  EXPECT_EQ(m.size(), 8u);
+  // The 3/8-of-capacity trigger must have fired along the way.
+  EXPECT_LT(m.tombstones() * 8, m.bucket_count() * 3);
+  // Compaction never grows the table — it is a same-size rehash.
+  EXPECT_LE(m.bucket_count(), buckets);
+
+  // Survivors are intact; the erased majority miss correctly.
+  for (std::uint64_t k = kN - 8; k < kN; ++k) {
+    ASSERT_NE(m.find(k), nullptr);
+    EXPECT_EQ(*m.find(k), k);
+  }
+  for (std::uint64_t k = 0; k < 64; ++k) EXPECT_EQ(m.find(k), nullptr);
+}
+
+TEST(FlatMapCompaction, ChurnKeepsTombstonesBoundedForever) {
+  FlatMap64<int> m;
+  // Steady-state churn at a fixed working set: whatever the interleaving,
+  // the tombstone load must stay under the compaction threshold, so the
+  // worst-case miss probe stays bounded by a constant fraction of the
+  // (fixed-size) table rather than degrading with total churn volume.
+  constexpr std::uint64_t kWindow = 512;
+  for (std::uint64_t k = 0; k < 200'000; ++k) {
+    m.try_emplace(k, 1);
+    if (k >= kWindow) EXPECT_TRUE(m.erase(k - kWindow));
+    ASSERT_LT(m.tombstones() * 8, m.bucket_count() * 3 + 8)
+        << "tombstone pressure unbounded at k=" << k;
+  }
+  EXPECT_EQ(m.size(), kWindow);
+  // The table sized itself for the working set, not the churn volume.
+  EXPECT_LE(m.bucket_count(), 4096u);
+}
+
+TEST(FlatMapCompaction, TombstoneRecyclingStillWorksAfterCompaction) {
+  FlatMap64<int> m;
+  for (std::uint64_t k = 0; k < 1024; ++k) m.try_emplace(k, 1);
+  for (std::uint64_t k = 0; k < 1024; k += 2) m.erase(k);
+  // Reinsert into the half-empty table: every key must land and find.
+  for (std::uint64_t k = 0; k < 1024; ++k) m.insert_or_assign(k, 2);
+  EXPECT_EQ(m.size(), 1024u);
+  for (std::uint64_t k = 0; k < 1024; ++k) {
+    ASSERT_NE(m.find(k), nullptr);
+    EXPECT_EQ(*m.find(k), 2);
+  }
+}
+
+TEST(FlatMapCompaction, ClearResetsTombstones) {
+  FlatMap64<int> m;
+  for (std::uint64_t k = 0; k < 100; ++k) m.try_emplace(k, 1);
+  for (std::uint64_t k = 0; k < 50; ++k) m.erase(k);
+  m.clear();
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.tombstones(), 0u);
+  EXPECT_EQ(m.find(60), nullptr);
+}
+
+}  // namespace
+}  // namespace twfd

@@ -1,0 +1,214 @@
+// Unit coverage for the federation tier's deterministic heart: the
+// DigestBuilder (coalescing, chunking) and the FederationCore (origin
+// sequencing, stale-drop, delegation routing, snapshot reconciliation,
+// flush cadence). Everything here is virtual-time, no sockets.
+#include "federation/federation_core.hpp"
+
+#include <gtest/gtest.h>
+
+#include "federation/digest.hpp"
+
+namespace twfd::federation {
+namespace {
+
+using detect::Output;
+
+TEST(DigestBuilder, CoalescesFlapsToNetState) {
+  DigestBuilder b(7);
+  b.add(100, 1, Output::Suspect, ticks_from_ms(10));
+  b.add(100, 2, Output::Trust, ticks_from_ms(20));  // flap back inside window
+  b.add(200, 1, Output::Suspect, ticks_from_ms(15));
+  EXPECT_EQ(b.pending(), 2u);
+
+  const auto frames = b.take();
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].node_id, 7u);
+  EXPECT_EQ(frames[0].digest_seq, 1u);
+  ASSERT_EQ(frames[0].entries.size(), 2u);
+  // Sorted by peer key; peer 100 ships only its net state (Trust, seq 2).
+  EXPECT_EQ(frames[0].entries[0].peer_key, 100u);
+  EXPECT_EQ(frames[0].entries[0].seq, 2u);
+  EXPECT_EQ(frames[0].entries[0].output, Output::Trust);
+  EXPECT_EQ(frames[0].entries[1].peer_key, 200u);
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(DigestBuilder, IgnoresOutOfOrderSeqForSamePeer) {
+  DigestBuilder b(1);
+  b.add(5, 9, Output::Trust, ticks_from_ms(90));
+  b.add(5, 3, Output::Suspect, ticks_from_ms(30));  // older origin seq
+  const auto frames = b.take();
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].entries[0].seq, 9u);
+  EXPECT_EQ(frames[0].entries[0].output, Output::Trust);
+}
+
+TEST(DigestBuilder, ChunksAtMaxEntriesWithMonotoneDigestSeq) {
+  DigestBuilder b(1);
+  const std::size_t total = api::kMaxDigestEntries + 100;
+  for (std::size_t i = 0; i < total; ++i) {
+    b.add(i, 1, Output::Trust, ticks_from_ms(1));
+  }
+  const auto frames = b.take();
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].entries.size(), api::kMaxDigestEntries);
+  EXPECT_EQ(frames[1].entries.size(), 100u);
+  EXPECT_EQ(frames[0].digest_seq + 1, frames[1].digest_seq);
+  // Chunk boundary preserves global peer-key ordering.
+  EXPECT_LT(frames[0].entries.back().peer_key, frames[1].entries.front().peer_key);
+}
+
+TEST(FederationCore, AssignsOriginSeqAndSkipsVerdictNoops) {
+  FederationCore core({});
+  core.note_local_transition(42, Output::Suspect, ticks_from_ms(10));
+  core.note_local_transition(42, Output::Suspect, ticks_from_ms(20));  // no-op
+  core.note_local_transition(42, Output::Trust, ticks_from_ms(30));
+
+  const auto state = core.peer_state(42);
+  ASSERT_TRUE(state.has_value());
+  EXPECT_EQ(state->seq, 2u);  // two real transitions, one no-op
+  EXPECT_EQ(state->output, Output::Trust);
+  EXPECT_EQ(core.stats().local_transitions, 2u);
+}
+
+TEST(FederationCore, StaleEntriesAreDroppedBySeq) {
+  FederationCore core({});
+  api::DigestMsg fresh;
+  fresh.node_id = 9;
+  fresh.entries = {{1, 5, Output::Suspect, ticks_from_ms(50)}};
+  auto r = core.ingest_digest(9, fresh);
+  EXPECT_EQ(r.applied, 1u);
+
+  // A replay (same seq) and an older entry both drop.
+  api::DigestMsg replay;
+  replay.node_id = 9;
+  replay.entries = {{1, 5, Output::Suspect, ticks_from_ms(50)},
+                    {1, 3, Output::Trust, ticks_from_ms(30)}};
+  r = core.ingest_digest(9, replay);
+  EXPECT_EQ(r.applied, 0u);
+  EXPECT_EQ(r.stale, 2u);
+  EXPECT_EQ(core.peer_state(1)->output, Output::Suspect);
+}
+
+TEST(FederationCore, SinkFiresOnlyOnObservableTransitions) {
+  FederationCore core({});
+  std::vector<api::DigestEntry> seen;
+  core.set_transition_sink([&seen](const api::DigestEntry& e) {
+    seen.push_back(e);
+  });
+  api::DigestMsg d;
+  d.node_id = 2;
+  d.entries = {{7, 1, Output::Suspect, ticks_from_ms(10)}};
+  core.ingest_digest(2, d);
+  // A seq advance landing on the same verdict (coalesced flap pair)
+  // refreshes the table but must not re-notify subscribers.
+  d.entries = {{7, 3, Output::Suspect, ticks_from_ms(40)}};
+  core.ingest_digest(2, d);
+  d.entries = {{7, 4, Output::Trust, ticks_from_ms(60)}};
+  core.ingest_digest(2, d);
+
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].output, Output::Suspect);
+  EXPECT_EQ(seen[1].output, Output::Trust);
+  EXPECT_EQ(seen[1].seq, 4u);
+}
+
+TEST(FederationCore, DelegateRoutesForeignEntriesOut) {
+  FederationCore core({});
+  api::DelegateMsg assign;
+  assign.node_id = 1;
+  assign.delegation_seq = 1;
+  assign.ranges = {{100, 199}, {300, 399}};
+  core.apply_delegate(assign);
+  EXPECT_TRUE(core.owns(150));
+  EXPECT_TRUE(core.owns(300));
+  EXPECT_FALSE(core.owns(200));
+  EXPECT_FALSE(core.owns(99));
+
+  api::DigestMsg d;
+  d.node_id = 4;
+  d.entries = {{150, 1, Output::Suspect, 0},
+               {250, 1, Output::Suspect, 0},   // foreign
+               {399, 1, Output::Trust, 0}};
+  const auto r = core.ingest_digest(4, d);
+  EXPECT_EQ(r.applied, 2u);
+  EXPECT_EQ(r.foreign, 1u);
+  EXPECT_FALSE(core.peer_state(250).has_value());
+
+  // A stale delegation must not regress the assignment.
+  api::DelegateMsg stale;
+  stale.node_id = 1;
+  stale.delegation_seq = 1;
+  stale.ranges = {{0, 10}};
+  core.apply_delegate(stale);
+  EXPECT_TRUE(core.owns(150));
+  EXPECT_EQ(core.stats().delegations_applied, 1u);
+}
+
+TEST(FederationCore, FlushHonoursIntervalAndSizeTrigger) {
+  FederationCore::Params p;
+  p.flush_interval = ticks_from_ms(100);
+  p.flush_max_pending = 3;
+  FederationCore core(p);
+
+  core.note_local_transition(1, Output::Suspect, ticks_from_ms(1));
+  // First flush is immediate (nothing flushed yet).
+  EXPECT_TRUE(core.due(ticks_from_ms(1)));
+  auto frames = core.flush(ticks_from_ms(1));
+  ASSERT_EQ(frames.size(), 1u);
+
+  core.note_local_transition(2, Output::Suspect, ticks_from_ms(2));
+  EXPECT_FALSE(core.due(ticks_from_ms(50)));  // interval not yet elapsed
+  EXPECT_TRUE(core.flush(ticks_from_ms(50)).empty());
+  EXPECT_TRUE(core.due(ticks_from_ms(101)));
+
+  // Size trigger: pending >= flush_max_pending flushes early.
+  core.note_local_transition(3, Output::Suspect, ticks_from_ms(3));
+  core.note_local_transition(4, Output::Suspect, ticks_from_ms(3));
+  EXPECT_TRUE(core.due(ticks_from_ms(10)));
+  frames = core.flush(ticks_from_ms(10));
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].entries.size(), 3u);
+}
+
+TEST(FederationCore, SnapshotSupersedesPendingDeltas) {
+  FederationCore core({});
+  core.note_local_transition(1, Output::Suspect, ticks_from_ms(1));
+  core.note_local_transition(2, Output::Trust, ticks_from_ms(2));
+  EXPECT_EQ(core.pending(), 2u);
+
+  const auto snap = core.snapshot_digests();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].flags, api::DigestMsg::kFlagSnapshot);
+  EXPECT_EQ(snap[0].entries.size(), 2u);
+  // The snapshot carried everything; the delta builder restarts clean.
+  EXPECT_EQ(core.pending(), 0u);
+}
+
+TEST(FederationCore, RootEmitsNothingUpstream) {
+  FederationCore::Params p;
+  p.emit_upstream = false;
+  FederationCore core(p);
+  core.note_local_transition(1, Output::Suspect, ticks_from_ms(1));
+  EXPECT_EQ(core.pending(), 0u);
+  EXPECT_TRUE(core.flush(ticks_from_sec(10)).empty());
+  EXPECT_EQ(core.peer_state(1)->output, Output::Suspect);
+}
+
+TEST(FederationCore, UnmappedLocalEventsAreCountedNotDigested) {
+  FederationCore core({});
+  core.map_local_subscription(11, 500);
+  core.note_local_event(11, Output::Suspect, ticks_from_ms(5));
+  core.note_local_event(0, Output::Suspect, ticks_from_ms(6));  // health sub
+  core.note_local_event(99, Output::Trust, ticks_from_ms(7));   // unknown
+  EXPECT_EQ(core.peer_state(500)->output, Output::Suspect);
+  EXPECT_EQ(core.stats().local_unmapped, 2u);
+  EXPECT_EQ(core.pending(), 1u);
+
+  core.unmap_local_subscription(11);
+  core.note_local_event(11, Output::Trust, ticks_from_ms(8));
+  EXPECT_EQ(core.stats().local_unmapped, 3u);
+}
+
+}  // namespace
+}  // namespace twfd::federation

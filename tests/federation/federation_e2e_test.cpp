@@ -1,0 +1,190 @@
+// Federation end-to-end over real sockets: a 3-level tree of
+// FederatedMonitorNodes (leaf -> interior -> root) on loopback, a real
+// api::Client subscribed at the root, and a chaos pass that kills the
+// interior node mid-burst and restarts it on the same port — the leaf's
+// UpstreamLink must redial, re-send its full-state snapshot digest, and
+// the net transitions that happened during the outage must surface at
+// the root subscriber with nothing lost and nothing double-delivered.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <functional>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "api/client.hpp"
+#include "federation/federated_node.hpp"
+
+namespace twfd::federation {
+namespace {
+
+using detect::Output;
+
+constexpr Tick kFlush = ticks_from_ms(10);
+
+FederatedMonitorNode::Params node_params(std::uint64_t node_id,
+                                         std::uint16_t api_port) {
+  FederatedMonitorNode::Params p;
+  p.node_id = node_id;
+  p.service.shards = 1;
+  p.service.port = 0;
+  p.server.port = api_port;
+  p.server.lease = ticks_from_sec(2);
+  p.core.flush_interval = kFlush;
+  // Fast failover so the kill/restart pass stays inside test budgets.
+  p.link.client.backoff_min = ticks_from_ms(10);
+  p.link.client.backoff_max = ticks_from_ms(100);
+  p.link.client.client.connect_timeout = ticks_from_ms(500);
+  p.link.pump_slice = ticks_from_ms(5);
+  return p;
+}
+
+/// Pumps `client` until `pred()` holds or `timeout` elapses.
+bool pump_until(api::Client& client, const std::function<bool()>& pred,
+                Tick timeout = ticks_from_sec(10)) {
+  SteadyClock clock;
+  const Tick deadline = clock.now() + timeout;
+  while (clock.now() < deadline) {
+    if (pred()) return true;
+    client.pump_for(ticks_from_ms(20));
+  }
+  return pred();
+}
+
+/// Polls `pred` (no client to pump) until it holds or `timeout` elapses.
+bool wait_until(const std::function<bool()>& pred,
+                Tick timeout = ticks_from_sec(10)) {
+  SteadyClock clock;
+  const Tick deadline = clock.now() + timeout;
+  while (clock.now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return pred();
+}
+
+TEST(FederationE2E, SubtreeEventsReachRootSubscriberAndSurviveInteriorKill) {
+  SteadyClock clock;
+
+  FederatedMonitorNode root(node_params(1, 0));
+  root.start();
+  const auto root_addr = net::SocketAddress::loopback(root.api_port());
+
+  auto interior_params = node_params(2, 0);
+  interior_params.parent = root_addr;
+  auto interior = std::make_unique<FederatedMonitorNode>(interior_params);
+  interior->start();
+  const std::uint16_t interior_port = interior->api_port();
+
+  auto leaf_params = node_params(4, 0);
+  leaf_params.parent = net::SocketAddress::loopback(interior_port);
+  FederatedMonitorNode leaf(leaf_params);
+  leaf.start();
+
+  // A dashboard at the ROOT subscribes to two peers monitored by the
+  // LEAF — zero peer address, federation peer key as sender_id.
+  api::Client client(root_addr);
+  std::map<std::uint64_t, std::vector<Output>> events;  // sub id -> outputs
+  client.set_event_handler([&events](const api::EventMsg& e) {
+    events[e.subscription_id].push_back(e.output);
+  });
+  config::QosRequirements qos;  // td_upper_s = 1s >> 2 x 10ms flush budget
+  const std::uint64_t sub42 =
+      client.subscribe(net::SocketAddress{}, /*peer key=*/42, "dash", qos);
+  const std::uint64_t sub43 =
+      client.subscribe(net::SocketAddress{}, /*peer key=*/43, "dash", qos);
+  EXPECT_NE(sub42 & api::FdaasServer::kFedSubBit, 0u);
+  EXPECT_NE(sub43 & api::FdaasServer::kFedSubBit, 0u);
+
+  // Leaf-side transition propagates two levels up to the subscriber.
+  leaf.inject_transition(42, Output::Suspect, clock.now());
+  ASSERT_TRUE(pump_until(client, [&] { return !events[sub42].empty(); }))
+      << "leaf Suspect never reached the root subscriber";
+  EXPECT_EQ(events[sub42].back(), Output::Suspect);
+
+  // The parent can direct its child's ownership once the child has
+  // identified itself with a digest; the Delegate frame rides the same
+  // reconnecting link downstream.
+  ASSERT_TRUE(wait_until([&] {
+    return root.delegate_to_child(2, {{0, 1'000'000}});
+  })) << "interior never registered as a child of the root";
+  FederatedMonitorNode* interior_ptr = interior.get();
+  EXPECT_TRUE(wait_until([&] {
+    return interior_ptr->core_stats().delegations_applied >= 1;
+  }));
+
+  // CHAOS: kill the interior mid-burst. Transitions keep happening at
+  // the leaf while the middle of the tree is gone.
+  interior->stop();
+  interior.reset();
+  leaf.inject_transition(42, Output::Trust, clock.now());
+  leaf.inject_transition(43, Output::Suspect, clock.now());
+  // Let several flush intervals die against the closed port.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_TRUE(events[sub43].empty()) << "event leaked through a dead node";
+
+  // Restart the interior EMPTY on the same port (fresh process in
+  // production; SO_REUSEADDR makes the rebind immediate).
+  interior_params.server.port = interior_port;
+  interior = std::make_unique<FederatedMonitorNode>(interior_params);
+  interior->start();
+
+  // Failover contract: every net transition from the outage surfaces —
+  // 42's flap back to Trust and 43's crash — via snapshot reconciliation.
+  ASSERT_TRUE(pump_until(client, [&] {
+    return !events[sub42].empty() && events[sub42].back() == Output::Trust &&
+           !events[sub43].empty() && events[sub43].back() == Output::Suspect;
+  })) << "net transitions lost across interior failover";
+
+  // Nothing was double-delivered: the stale-drop rule means at most one
+  // event per net transition per subscription.
+  EXPECT_LE(events[sub42].size(), 2u);  // Suspect, then Trust
+  EXPECT_EQ(events[sub43].size(), 1u);  // Suspect only
+
+  client.close();
+  leaf.stop();
+  interior->stop();
+  root.stop();
+}
+
+TEST(FederationE2E, LateSubscriberIsPrimedWithCurrentVerdict) {
+  FederatedMonitorNode root(node_params(1, 0));
+  root.start();
+
+  auto leaf_params = node_params(4, 0);
+  leaf_params.parent = net::SocketAddress::loopback(root.api_port());
+  FederatedMonitorNode leaf(leaf_params);
+  leaf.start();
+
+  SteadyClock clock;
+  leaf.inject_transition(77, Output::Suspect, clock.now());
+  ASSERT_TRUE(wait_until([&] { return root.peer_count() >= 1; }))
+      << "digest never reached the root";
+
+  // Subscribe AFTER the transition: the subscriber must still learn the
+  // current verdict (initial-state event), not wait for the next flap.
+  api::Client client(net::SocketAddress::loopback(root.api_port()));
+  std::vector<Output> seen;
+  client.set_event_handler(
+      [&seen](const api::EventMsg& e) { seen.push_back(e.output); });
+  config::QosRequirements qos;
+  client.subscribe(net::SocketAddress{}, 77, "late", qos);
+  ASSERT_TRUE(pump_until(client, [&] { return !seen.empty(); }));
+  EXPECT_EQ(seen.front(), Output::Suspect);
+
+  // An infeasible T_D^U — inside the digest flush budget — is rejected
+  // at subscribe time, like any other unachievable QoS tuple.
+  config::QosRequirements tight = qos;
+  tight.td_upper_s = 0.000'001;  // 1 us << 2 x 10ms
+  EXPECT_THROW(client.subscribe(net::SocketAddress{}, 78, "late", tight),
+               std::runtime_error);
+
+  client.close();
+  leaf.stop();
+  root.stop();
+}
+
+}  // namespace
+}  // namespace twfd::federation

@@ -1,0 +1,285 @@
+// Deterministic federation-tier simulation: a 3-level tree (4 leaves,
+// 2 interiors, 1 root) carrying 100k federated peers, driven entirely
+// in virtual time over sim::SimWorld links — FederationCore instances
+// exchange REAL encoded TWFC Digest frames (encode_frame/decode_body),
+// so the wire codec is in the loop, but no socket is ever opened.
+//
+// Covers the two federation guarantees end to end:
+//   * detection latency: a leaf-side Suspect surfaces at the root
+//     within the digest budget (2 levels x flush interval + link
+//     delays + flush-timer alignment);
+//   * loss-free failover: killing an interior node mid-burst and
+//     restarting it empty loses no net transition once its children
+//     re-send full-state snapshot digests (seq-originates-at-leaf).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "api/control.hpp"
+#include "federation/federation_core.hpp"
+#include "sim/sim_world.hpp"
+#include "trace/delay_model.hpp"
+#include "trace/loss_model.hpp"
+
+namespace twfd::federation {
+namespace {
+
+using detect::Output;
+
+constexpr Tick kFlush = ticks_from_ms(50);
+constexpr double kLinkDelayS = 1e-3;
+
+sim::LinkParams fixed_link() {
+  sim::LinkParams p;
+  p.delay = std::make_unique<trace::ConstantJitterDelay>(kLinkDelayS, 0.0);
+  p.loss = std::make_unique<trace::BernoulliLoss>(0.0);
+  return p;
+}
+
+/// One federated node in the sim: a FederationCore plus the glue the
+/// live runtime provides around it — a flush timer (half the flush
+/// interval, like FdaasServer::arm_fed_flush_timer) and the digest
+/// encode/send/decode/ingest path of the upstream link and server.
+struct SimNode {
+  sim::SimEndpoint* ep = nullptr;
+  std::unique_ptr<FederationCore> core;
+  PeerId parent = 0;
+  bool has_parent = false;
+  bool alive = true;  ///< a killed interior ignores traffic and timers
+
+  void send_frames(const std::vector<api::DigestMsg>& frames) {
+    for (const auto& f : frames) {
+      const auto frame = api::encode_frame(api::ControlMessage{f});
+      ep->send(parent, frame);
+    }
+  }
+};
+
+class SimFederation {
+ public:
+  explicit SimFederation(std::uint64_t seed = 1) : world_(seed) {}
+
+  SimNode& add_node(const std::string& name, std::uint64_t node_id,
+                    std::size_t expected_peers, bool emits_upstream) {
+    auto node = std::make_unique<SimNode>();
+    node->ep = &world_.add_endpoint(name);
+    FederationCore::Params p;
+    p.node_id = node_id;
+    p.flush_interval = kFlush;
+    p.emit_upstream = emits_upstream;
+    p.expected_peers = expected_peers;
+    node->core = std::make_unique<FederationCore>(p);
+    SimNode& ref = *node;
+    nodes_.push_back(std::move(node));
+    install_receive(ref);
+    return ref;
+  }
+
+  void link(SimNode& child, SimNode& parent) {
+    child.parent = parent.ep->id();
+    child.has_parent = true;
+    world_.connect(*child.ep, *parent.ep, fixed_link());
+    arm_flush_timer(child);
+  }
+
+  /// Kill: the node drops every frame and stops flushing (its TCP
+  /// sessions died with it in the live runtime).
+  static void kill(SimNode& n) { n.alive = false; }
+
+  /// Restart: a fresh, EMPTY core under the same node id, then each
+  /// child pushes a full-state snapshot digest — exactly what the
+  /// UpstreamLink connect hook does after redialling.
+  void restart(SimNode& n, std::size_t expected_peers, bool emits_upstream) {
+    FederationCore::Params p;
+    p.node_id = n.core->node_id();
+    p.flush_interval = kFlush;
+    p.emit_upstream = emits_upstream;
+    p.expected_peers = expected_peers;
+    n.core = std::make_unique<FederationCore>(p);
+    n.alive = true;
+    install_receive(n);  // rebind the handler to the fresh core
+    for (auto& child : nodes_) {
+      if (child->has_parent && child->parent == n.ep->id()) {
+        child->send_frames(child->core->snapshot_digests());
+      }
+    }
+  }
+
+  void run_until(Tick deadline) { world_.run_until(deadline); }
+  [[nodiscard]] Tick now() const { return world_.now(); }
+  [[nodiscard]] sim::SimWorld& world() { return world_; }
+
+ private:
+  void install_receive(SimNode& n) {
+    SimNode* node = &n;
+    n.ep->set_receive_handler(
+        [node](PeerId, std::span<const std::byte> data, Tick) {
+          if (!node->alive) return;
+          ASSERT_GE(data.size(), 4u);
+          const auto msg = api::decode_body(data.subspan(4));
+          ASSERT_TRUE(msg.has_value()) << "sim link carried a malformed frame";
+          const auto* digest = std::get_if<api::DigestMsg>(&*msg);
+          ASSERT_NE(digest, nullptr);
+          node->core->ingest_digest(digest->node_id, *digest);
+        });
+  }
+
+  void arm_flush_timer(SimNode& n) {
+    SimNode* node = &n;
+    n.ep->schedule_at(n.ep->now() + kFlush / 2, [this, node] {
+      if (node->alive) {
+        node->send_frames(node->core->flush(node->ep->now()));
+      }
+      arm_flush_timer(*node);
+    });
+  }
+
+  sim::SimWorld world_;
+  std::vector<std::unique_ptr<SimNode>> nodes_;
+};
+
+/// The 3-level tree every test uses: root <- {i0, i1} <- 4 leaves.
+struct Tree {
+  static constexpr std::size_t kLeaves = 4;
+  static constexpr std::size_t kPeersPerLeaf = 25'000;
+  static constexpr std::size_t kTotalPeers = kLeaves * kPeersPerLeaf;
+
+  SimFederation fed;
+  SimNode* root;
+  SimNode* interior[2];
+  SimNode* leaf[kLeaves];
+
+  Tree() {
+    root = &fed.add_node("root", 1, kTotalPeers, /*emits_upstream=*/false);
+    interior[0] = &fed.add_node("i0", 2, kTotalPeers / 2, true);
+    interior[1] = &fed.add_node("i1", 3, kTotalPeers / 2, true);
+    fed.link(*interior[0], *root);
+    fed.link(*interior[1], *root);
+    for (std::size_t l = 0; l < kLeaves; ++l) {
+      leaf[l] = &fed.add_node("leaf" + std::to_string(l), 4 + l,
+                              kPeersPerLeaf, true);
+      fed.link(*leaf[l], *interior[l / 2]);
+    }
+  }
+
+  [[nodiscard]] static std::uint64_t peer_key(std::size_t l, std::size_t i) {
+    return l * kPeersPerLeaf + i + 1;
+  }
+
+  /// Seeds the initial Trust state for all 100k peers and propagates it
+  /// to the root.
+  void seed_all_trust() {
+    for (std::size_t l = 0; l < kLeaves; ++l) {
+      for (std::size_t i = 0; i < kPeersPerLeaf; ++i) {
+        leaf[l]->core->note_local_transition(peer_key(l, i), Output::Trust,
+                                             fed.now());
+      }
+    }
+    // Worst case to drain 25k entries: 13 frames per leaf flush, one
+    // flush per level per interval — a few intervals is ample.
+    fed.run_until(fed.now() + 20 * kFlush);
+  }
+};
+
+TEST(FederationSim, HundredThousandPeersReachRootAndCrashSurfacesInBudget) {
+  Tree t;
+  t.seed_all_trust();
+  ASSERT_EQ(t.root->core->peer_count(), Tree::kTotalPeers);
+
+  // Subscribe at the root (the transition sink is what FdaasServer fans
+  // out to api::Client subscribers) and crash one peer at a leaf.
+  const std::uint64_t victim = Tree::peer_key(2, 12'345);
+  Tick suspect_seen_at = -1;
+  t.root->core->set_transition_sink([&](const api::DigestEntry& e) {
+    if (e.peer_key == victim && e.output == Output::Suspect &&
+        suspect_seen_at < 0) {
+      suspect_seen_at = t.fed.now();
+    }
+  });
+
+  const Tick crash_at = t.fed.now();
+  t.leaf[2]->core->note_local_transition(victim, Output::Suspect, crash_at);
+
+  // T_D^U budget for two digest hops: each level contributes at most
+  // flush_interval (due gate) + flush_interval/2 (timer alignment) +
+  // link delay. Anything beyond that is a latency regression.
+  const Tick budget =
+      2 * (kFlush + kFlush / 2 + ticks_from_ms(2));
+  t.fed.run_until(crash_at + budget);
+
+  ASSERT_GE(suspect_seen_at, 0) << "Suspect never surfaced at the root";
+  EXPECT_LE(suspect_seen_at - crash_at, budget);
+  EXPECT_EQ(t.root->core->peer_state(victim)->output, Output::Suspect);
+}
+
+TEST(FederationSim, InteriorKillMidBurstLosesNoNetTransition) {
+  Tree t;
+  t.seed_all_trust();
+  ASSERT_EQ(t.root->core->peer_count(), Tree::kTotalPeers);
+
+  std::map<std::uint64_t, int> root_events;  // victim key -> sink count
+  t.root->core->set_transition_sink([&](const api::DigestEntry& e) {
+    const auto it = root_events.find(e.peer_key);
+    if (it != root_events.end()) ++it->second;
+  });
+
+  // Kill interior 0 (parent of leaves 0 and 1) mid-burst: transitions
+  // keep happening at its leaves while it is down, and their digest
+  // frames vanish with it.
+  SimFederation::kill(*t.interior[0]);
+
+  const std::uint64_t crashed = Tree::peer_key(0, 7);      // Suspect, stays
+  const std::uint64_t flapped = Tree::peer_key(1, 11);     // flaps back to Trust
+  const std::uint64_t late_crash = Tree::peer_key(1, 900); // crashes later
+  root_events[crashed] = 0;
+  root_events[flapped] = 0;
+  root_events[late_crash] = 0;
+
+  t.leaf[0]->core->note_local_transition(crashed, Output::Suspect, t.fed.now());
+  t.leaf[1]->core->note_local_transition(flapped, Output::Suspect, t.fed.now());
+  t.fed.run_until(t.fed.now() + 4 * kFlush);  // frames die at the dead node
+  t.leaf[1]->core->note_local_transition(flapped, Output::Trust, t.fed.now());
+  t.leaf[1]->core->note_local_transition(late_crash, Output::Suspect, t.fed.now());
+  t.fed.run_until(t.fed.now() + 4 * kFlush);
+
+  EXPECT_EQ(root_events[crashed], 0) << "event leaked through a dead node";
+  EXPECT_EQ(t.root->core->peer_state(crashed)->output, Output::Trust);
+
+  // Restart the interior empty; its leaves push snapshot digests.
+  t.fed.restart(*t.interior[0], Tree::kTotalPeers / 2, true);
+  t.fed.run_until(t.fed.now() + 6 * kFlush);
+
+  // Net transitions survived the failover...
+  EXPECT_EQ(t.root->core->peer_state(crashed)->output, Output::Suspect);
+  EXPECT_EQ(t.root->core->peer_state(late_crash)->output, Output::Suspect);
+  EXPECT_EQ(t.root->core->peer_state(flapped)->output, Output::Trust);
+  EXPECT_EQ(root_events[crashed], 1);
+  EXPECT_EQ(root_events[late_crash], 1);
+  // ...and the flap inside the outage collapsed to its net state: the
+  // root never saw a transition for the peer that ended where it began.
+  EXPECT_EQ(root_events[flapped], 0);
+  // The snapshot replay re-offered 50k already-known entries; the root
+  // dropped them by origin seq instead of double-applying.
+  EXPECT_GT(t.root->core->stats().entries_stale, 0u);
+  ASSERT_EQ(t.root->core->peer_count(), Tree::kTotalPeers);
+}
+
+TEST(FederationSim, DeterministicAcrossRuns) {
+  auto run = [] {
+    Tree t;
+    t.seed_all_trust();
+    t.leaf[0]->core->note_local_transition(Tree::peer_key(0, 1),
+                                           Output::Suspect, t.fed.now());
+    t.fed.run_until(t.fed.now() + 4 * kFlush);
+    const auto& s = t.root->core->stats();
+    return std::tuple{t.fed.world().datagrams_delivered(), s.entries_applied,
+                      s.entries_stale, t.fed.now()};
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace twfd::federation

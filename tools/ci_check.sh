@@ -4,10 +4,14 @@
 #   1. tier-1: release configure + build + the complete ctest suite
 #      (the command ROADMAP.md names as the bar every change must hold);
 #   2. the `chaos` label on its own (fault plans, chaos TCP proxy,
-#      reconnecting client, worker-kill parity) so a resilience
-#      regression is named by its lane, not buried in the full run;
+#      reconnecting client + backoff envelope, worker-kill parity, and
+#      the federation socket E2E with its interior kill/restart) so a
+#      resilience regression is named by its lane, not buried in the
+#      full run;
 #   3. tools/sanitize_check.sh — ASan+UBSan over the whole suite —
-#      followed by an explicit chaos pass in the same sanitized tree;
+#      followed by explicit chaos and federation passes in the same
+#      sanitized tree (the federation sim drives 100k peers through the
+#      digest codec, exactly the buffers ASan should watch);
 #   4. tools/tsan_check.sh — TSan over the `threaded` label (the MPSC
 #      queues, the sharded runtime + supervisor, and the FDaaS API
 #      server/client).
@@ -42,6 +46,12 @@ grep -q '"ns_per_datagram"' "$BUILD_DIR/bench/BENCH_shard_scale.json" || {
   echo "ci_check: BENCH_shard_scale.json lost the ns_per_datagram field" >&2
   exit 1
 }
+# Same contract for the honesty columns: a speedup row must say whether
+# every worker owned a core when it was measured.
+grep -q '"speedup_valid"' "$BUILD_DIR/bench/BENCH_shard_scale.json" || {
+  echo "ci_check: BENCH_shard_scale.json lost the speedup_valid field" >&2
+  exit 1
+}
 
 echo "== ASan+UBSan (build-sanitize) =="
 tools/sanitize_check.sh
@@ -49,6 +59,10 @@ tools/sanitize_check.sh
 echo "== chaos suite under ASan+UBSan (build-sanitize) =="
 ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
   ctest --test-dir build-sanitize -L chaos --output-on-failure
+
+echo "== federation suite under ASan+UBSan (build-sanitize) =="
+ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
+  ctest --test-dir build-sanitize -L federation --output-on-failure
 
 echo "== TSan, label 'threaded' (build-tsan) =="
 tools/tsan_check.sh

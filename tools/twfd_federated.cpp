@@ -1,0 +1,183 @@
+// twfd_federated — one node of the federated monitoring tier.
+//
+// Runs a FederatedMonitorNode: the sharded 2W-FD runtime (UDP heartbeat
+// ingest), the FDaaS wire API (TCP), the federation core, and — when
+// --parent is given — an upstream link pushing Digest frames to the
+// parent's API port. Without --parent the node is the federation root.
+//
+//   # root (aggregates, serves subscribers)
+//   twfd_federated --node-id 1 --api-port 4300
+//   # interior (child of the root)
+//   twfd_federated --node-id 2 --api-port 4301 --parent 127.0.0.1:4300
+//   # leaf (child of the interior; monitors real peers)
+//   twfd_federated --node-id 4 --api-port 4303 --service-port 4103 \
+//                  --parent 127.0.0.1:4301 --flush-ms 50
+//
+// A dashboard connects to ANY node's API port and subscribes to a
+// federated peer (zero peer address, peer key as sender_id) to receive
+// Suspect/Trust events for that peer from anywhere in the subtree.
+//
+// duration 0 = run until killed.
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "federation/federated_node.hpp"
+
+using namespace twfd;
+
+namespace {
+
+struct Options {
+  std::uint64_t node_id = 1;
+  std::uint16_t api_port = 4300;
+  std::uint16_t service_port = 0;
+  std::size_t shards = 1;
+  long flush_ms = 50;
+  long lease_ms = 10'000;
+  long stats_interval_s = 10;
+  long duration_s = 0;
+  std::optional<net::SocketAddress> parent;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--node-id N] [--api-port N] [--service-port N]\n"
+               "          [--shards N] [--parent IP:PORT] [--flush-ms N]\n"
+               "          [--lease-ms N] [--stats-interval-s N] [--duration-s N]\n",
+               argv0);
+  std::exit(2);
+}
+
+net::SocketAddress parse_addr(const std::string& spec, const char* argv0) {
+  const auto colon = spec.rfind(':');
+  if (colon == std::string::npos) usage(argv0);
+  try {
+    return net::SocketAddress::parse(
+        spec.substr(0, colon),
+        static_cast<std::uint16_t>(std::stoi(spec.substr(colon + 1))));
+  } catch (const std::exception&) {
+    usage(argv0);
+  }
+}
+
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--node-id") {
+      opt.node_id = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--api-port") {
+      opt.api_port = static_cast<std::uint16_t>(std::stoi(next()));
+    } else if (arg == "--service-port") {
+      opt.service_port = static_cast<std::uint16_t>(std::stoi(next()));
+    } else if (arg == "--shards") {
+      opt.shards = static_cast<std::size_t>(std::stoul(next()));
+    } else if (arg == "--parent") {
+      opt.parent = parse_addr(next(), argv[0]);
+    } else if (arg == "--flush-ms") {
+      opt.flush_ms = std::stol(next());
+    } else if (arg == "--lease-ms") {
+      opt.lease_ms = std::stol(next());
+    } else if (arg == "--stats-interval-s") {
+      opt.stats_interval_s = std::stol(next());
+    } else if (arg == "--duration-s") {
+      opt.duration_s = std::stol(next());
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (opt.node_id == 0 || opt.shards == 0 || opt.flush_ms <= 0 ||
+      opt.lease_ms <= 0) {
+    usage(argv[0]);
+  }
+  return opt;
+}
+
+void print_stats(federation::FederatedMonitorNode& node) {
+  const auto core = node.core_stats();
+  const auto api = node.server().stats();
+  std::printf(
+      "[federated] peers=%zu local=%llu | ingest: digests=%llu applied=%llu "
+      "stale=%llu foreign=%llu | flush: frames=%llu entries=%llu | "
+      "fed subs=%llu fed events=%llu | sessions=%llu\n",
+      node.peer_count(), static_cast<unsigned long long>(core.local_transitions),
+      static_cast<unsigned long long>(core.digests_ingested),
+      static_cast<unsigned long long>(core.entries_applied),
+      static_cast<unsigned long long>(core.entries_stale),
+      static_cast<unsigned long long>(core.entries_foreign),
+      static_cast<unsigned long long>(core.frames_flushed),
+      static_cast<unsigned long long>(core.entries_flushed),
+      static_cast<unsigned long long>(api.fed_subscriptions_active),
+      static_cast<unsigned long long>(api.fed_events_pushed),
+      static_cast<unsigned long long>(api.sessions_active));
+  if (node.link() != nullptr) {
+    const auto link = node.link()->stats();
+    std::printf(
+        "[federated] upstream: connected=%d sent=%llu dropped=%llu "
+        "snapshots=%llu reconnects=%llu\n",
+        node.link()->connected() ? 1 : 0,
+        static_cast<unsigned long long>(link.frames_sent),
+        static_cast<unsigned long long>(link.frames_dropped),
+        static_cast<unsigned long long>(link.snapshots_sent),
+        static_cast<unsigned long long>(link.reconnects));
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Options opt = parse_args(argc, argv);
+
+    federation::FederatedMonitorNode::Params params;
+    params.node_id = opt.node_id;
+    params.service.shards = opt.shards;
+    params.service.port = opt.service_port;
+    params.server.port = opt.api_port;
+    params.server.lease = ticks_from_ms(opt.lease_ms);
+    params.core.flush_interval = ticks_from_ms(opt.flush_ms);
+    params.parent = opt.parent;
+
+    federation::FederatedMonitorNode node(std::move(params));
+    node.start();
+
+    std::printf("federated node %llu up: heartbeats on udp/%u, API on tcp/%u, "
+                "flush %ld ms%s%s\n",
+                static_cast<unsigned long long>(opt.node_id),
+                node.service_port(), node.api_port(), opt.flush_ms,
+                opt.parent ? ", parent " : " (root)",
+                opt.parent ? opt.parent->to_string().c_str() : "");
+    std::fflush(stdout);
+
+    SteadyClock clock;
+    const Tick start = clock.now();
+    const Tick deadline =
+        opt.duration_s > 0 ? start + ticks_from_sec(opt.duration_s) : 0;
+    Tick next_stats = start + ticks_from_sec(opt.stats_interval_s);
+    for (;;) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      const Tick now = clock.now();
+      if (deadline != 0 && now >= deadline) break;
+      if (opt.stats_interval_s > 0 && now >= next_stats) {
+        print_stats(node);
+        next_stats = now + ticks_from_sec(opt.stats_interval_s);
+      }
+    }
+
+    print_stats(node);
+    node.stop();
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "twfd_federated: %s\n", e.what());
+    return 1;
+  }
+}
