@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <thread>
 
 #include "common/assert.hpp"
 #include "trace/trace_stats.hpp"
@@ -205,6 +206,15 @@ void emit_json(const std::string& name, const Table& table) {
   }
   os << "{\n  \"bench\": ";
   json_string(os, name);
+  // Machine + build provenance, so committed results are comparable:
+  // numbers from a laptop Debug build never masquerade as server data.
+  os << ",\n  \"hw_cores\": " << std::thread::hardware_concurrency()
+     << ",\n  \"build_type\": ";
+#ifdef TWFD_BUILD_TYPE
+  json_string(os, TWFD_BUILD_TYPE);
+#else
+  json_string(os, "unknown");
+#endif
   os << ",\n  \"headers\": [";
   const auto& headers = table.headers();
   for (std::size_t i = 0; i < headers.size(); ++i) {

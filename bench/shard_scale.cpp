@@ -66,6 +66,8 @@
 #include "net/event_loop.hpp"
 #include "net/udp_socket.hpp"
 #include "net/wire.hpp"
+#include "obs/metrics.hpp"
+#include "obs/qos_tracker.hpp"
 #include "service/dispatcher.hpp"
 #include "service/fd_service.hpp"
 #include "shard/sharded_monitor_service.hpp"
@@ -300,6 +302,16 @@ ScaleRunResult run_peer_scale(std::size_t shards, std::size_t peers, long rounds
   r.shards = shards;
   r.peers_per_shard = peers;
 
+  // Metrics ON for the measured region: every heartbeat bumps its
+  // shard's ShardedCounter cell and every subscription is QoS-tracked,
+  // exactly as in twfd_fdaasd. The 0-allocs/hb claim must hold with
+  // observability wired, not just bare. (Registration/track happen
+  // before the alloc snapshot; the hot path touches only the cell.)
+  obs::Registry registry;
+  obs::QosTracker tracker(registry);
+  obs::ShardedCounter& hb_cells = registry.sharded_counter(
+      "twfd_shard_heartbeats_total", "Heartbeats applied (bench drive).", shards);
+
   std::barrier sync(static_cast<std::ptrdiff_t>(shards) + 1);
   std::vector<double> thread_seconds(shards, 0.0);
   std::vector<std::uint64_t> thread_processed(shards, 0);
@@ -315,6 +327,9 @@ ScaleRunResult run_peer_scale(std::size_t shards, std::size_t peers, long rounds
       service::FdService::Params params;
       params.assumed_network = {0.01, 1e-4};
       params.expected_peers = peers;
+      params.qos_tracker = &tracker;
+      params.obs_heartbeats = &hb_cells;
+      params.obs_cell = t;
       service::FdService fd(loop.runtime(), params);
       dispatcher.on_heartbeat(
           [&fd](PeerId from, const net::HeartbeatMsg& m, Tick at) {

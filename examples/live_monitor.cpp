@@ -15,6 +15,8 @@
 #include "common/table.hpp"
 #include "core/multi_window.hpp"
 #include "net/event_loop.hpp"
+#include "obs/exporters.hpp"
+#include "obs/metrics.hpp"
 #include "service/dispatcher.hpp"
 #include "service/heartbeat_sender.hpp"
 #include "service/monitor.hpp"
@@ -70,27 +72,12 @@ int main() {
             << (monitor.output() == detect::Output::Trust ? "TRUST" : "SUSPECT")
             << "\n";
 
-  // The timer core's self-accounting: with reschedule-based re-arming the
-  // monitor moves one freshness timer per heartbeat instead of allocating
-  // a fresh one, and the poll loop should wake for I/O and real
-  // deadlines, not spuriously.
-  const auto& s = monitor_loop.stats();
-  std::cout << "loop stats: rx=" << s.datagrams_received
-            << " | timers sched=" << s.timers.scheduled
-            << " resched=" << s.timers.rescheduled
-            << " cancel=" << s.timers.cancelled << " fired=" << s.timers.fired
-            << " compact=" << s.timers.compactions
-            << " | wakeups io=" << s.wakeups_io << " timer=" << s.wakeups_timer
-            << " spurious=" << s.wakeups_spurious << "\n";
-  // Batched RX self-accounting: how full the recvmmsg batches ran and
-  // whether arrival times came from kernel timestamps or the clock.
-  std::cout << "rx batches: n=" << s.rx_batches << " size=" << s.rx_batch_min
-            << ".." << s.rx_batch_max
-            << " | stamps kernel=" << s.rx_kernel_stamps
-            << " clock=" << s.rx_clock_stamps
-            << " | truncated=" << s.rx_truncated
-            << " recv_errors=" << s.recv_errors << "\n";
-  // Silent-drop accounting: sends the kernel refused (buffer pressure).
-  std::cout << "drops: send_failures=" << s.send_soft_failures << "\n";
+  // The loop's self-accounting (timer reuse, batched RX, silent drops),
+  // rendered through the shared observability registry — the same text
+  // view the daemons serve on /metrics.
+  obs::Registry registry;
+  obs::EventLoopExport loop_export(registry, obs::make_labels({{"loop", "monitor"}}));
+  loop_export.update(monitor_loop.stats());
+  std::cout << obs::render_text(registry);
   return 0;
 }

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "obs/exporters.hpp"
 
 namespace twfd::api {
 
@@ -51,6 +52,24 @@ FdaasServer::FdaasServer(shard::ShardedMonitorService& service, Params params)
       commands_(256) {
   TWFD_CHECK_MSG(params_.lease > 0, "lease must be positive");
   TWFD_CHECK_MSG(params_.poll_interval > 0, "poll_interval must be positive");
+  if (params_.registry != nullptr) init_obs();
+}
+
+void FdaasServer::init_obs() {
+  obs::Registry& r = *params_.registry;
+  obs_export_ = std::make_unique<obs::FdaasExport>(r);
+  obs_loop_export_ =
+      std::make_unique<obs::EventLoopExport>(r, obs::make_labels({{"loop", "api"}}));
+  obs_event_latency_ = &r.histogram(
+      "twfd_api_event_latency_seconds",
+      "Shard transition to client send-queue latency.",
+      {0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0});
+}
+
+void FdaasServer::refresh_obs() {
+  if (obs_export_ == nullptr) return;
+  obs_export_->update(collect_stats());
+  obs_loop_export_->update(loop_->stats());
 }
 
 FdaasServer::~FdaasServer() { stop(); }
@@ -174,6 +193,7 @@ void FdaasServer::arm_poll_timer() {
         [this](const shard::ShardedMonitorService::StatusEvent& e) {
           deliver(e);
         });
+    refresh_obs();
     arm_poll_timer();
   });
 }
@@ -464,6 +484,10 @@ void FdaasServer::fed_fanout(const DigestEntry& entry) {
 }
 
 void FdaasServer::deliver(const shard::ShardedMonitorService::StatusEvent& event) {
+  if (obs_event_latency_ != nullptr && event.when > 0) {
+    const Tick lag = loop_->now() - event.when;
+    obs_event_latency_->observe(lag > 0 ? to_seconds(lag) : 0.0);
+  }
   if (event.subscription == shard::ShardedMonitorService::kHealthSubscription) {
     // Shard health transitions (degraded/recovered) are session-agnostic:
     // fan them out to every session. Session ids are snapshotted first

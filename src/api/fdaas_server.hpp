@@ -38,6 +38,11 @@
 #include "net/tcp.hpp"
 #include "shard/sharded_monitor_service.hpp"
 
+namespace twfd::obs {
+class EventLoopExport;  // obs/exporters.hpp (header-only; including it
+class FdaasExport;      // here would cycle back into this header)
+}  // namespace twfd::obs
+
 namespace twfd::api {
 
 class FdaasServer {
@@ -58,6 +63,11 @@ class FdaasServer {
     /// SO_SNDBUF per accepted connection (0 = kernel default; tests
     /// shrink it to provoke backpressure deterministically).
     int conn_sndbuf_bytes = 0;
+    /// Optional obs registry: the server mirrors its Stats (and its
+    /// private event loop's stats) into twfd_api_* / twfd_fed_* metrics
+    /// on every poll tick and records an event-delivery-latency
+    /// histogram. Must outlive the server.
+    obs::Registry* registry = nullptr;
   };
 
   /// Server observability (API-thread counters; gauges are instantaneous).
@@ -204,6 +214,8 @@ class FdaasServer {
   bool handle_fed_subscribe(Session& s, const SubscribeRequest& sub);
   bool handle_digest(Session& s, const DigestMsg& digest);
   [[nodiscard]] Stats collect_stats();
+  void init_obs();
+  void refresh_obs();
 
   shard::ShardedMonitorService& service_;
   Params params_;
@@ -225,6 +237,11 @@ class FdaasServer {
   TimerId poll_timer_ = kInvalidTimer;
   TimerId lease_timer_ = kInvalidTimer;
   Stats stats_;
+
+  // --- obs mirroring (API-thread-only; null unless Params::registry) ---
+  std::unique_ptr<obs::FdaasExport> obs_export_;
+  std::unique_ptr<obs::EventLoopExport> obs_loop_export_;
+  obs::Histogram* obs_event_latency_ = nullptr;
 
   // --- Federation (API-thread-only; null/empty unless attached) ---
   FederationAdapter* adapter_ = nullptr;

@@ -1,0 +1,426 @@
+// Header-only bridges from the runtime's existing stats structs onto an
+// obs::Registry.
+//
+// Each exporter registers its metric instances once (constructor, cold
+// path) and caches raw pointers; `update(stats)` then mirrors a
+// snapshot with relaxed stores only. The snapshots themselves must be
+// obtained under each struct's own threading contract — e.g. copy
+// EventLoop::stats() on the loop thread, call the marshalled
+// ShardedMonitorService::merged_stats() from anywhere — typically from
+// a Registry collect hook or a periodic owner-thread timer.
+//
+// Header-only on purpose: fd_obs must stay below fd_service in the
+// link order (FdService itself uses QosTracker), so the compiled
+// library cannot depend on shard/api/federation types. Including this
+// header from a tool pulls in whichever stats structs that tool links.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+
+#include "net/event_loop.hpp"
+#include "net/fault.hpp"
+#include "obs/metrics.hpp"
+
+namespace twfd::obs {
+
+/// Mirrors net::EventLoop::Stats (+ its TimerStats). `labels` should
+/// carry a `loop` label naming which loop this is ("main", "api",
+/// "shards"...).
+class EventLoopExport {
+ public:
+  EventLoopExport(Registry& r, std::string labels)
+      : datagrams_sent_(&r.counter("twfd_loop_datagrams_sent_total",
+                                   "Datagrams sent by the event loop.", labels)),
+        datagrams_received_(&r.counter("twfd_loop_datagrams_received_total",
+                                       "Datagrams received by the event loop.", labels)),
+        datagrams_injected_(&r.counter("twfd_loop_datagrams_injected_total",
+                                       "Datagrams handed over by sibling shards.", labels)),
+        send_soft_failures_(&r.counter("twfd_loop_send_soft_failures_total",
+                                       "Send attempts reported as soft failures.", labels)),
+        recv_errors_(&r.counter("twfd_loop_recv_errors_total",
+                                "Hard receive errors surfaced by the socket.", labels)),
+        rx_batches_(&r.counter("twfd_loop_rx_batches_total",
+                               "Non-empty receive batches.", labels)),
+        rx_batch_max_(&r.gauge("twfd_loop_rx_batch_max",
+                               "Largest receive batch seen in one syscall.", labels)),
+        rx_kernel_stamps_(&r.counter("twfd_loop_rx_kernel_stamps_total",
+                                     "Datagrams stamped by the kernel (SO_TIMESTAMPNS).",
+                                     labels)),
+        rx_truncated_(&r.counter("twfd_loop_rx_truncated_total",
+                                 "Datagrams delivered truncated.", labels)),
+        wakeups_io_(&r.counter("twfd_loop_wakeups_total",
+                               "poll() returns by wake cause.",
+                               labels.empty() ? std::string("cause=\"io\"")
+                                              : labels + ",cause=\"io\"")),
+        wakeups_timer_(&r.counter("twfd_loop_wakeups_total", "poll() returns by wake cause.",
+                                  labels.empty() ? std::string("cause=\"timer\"")
+                                                 : labels + ",cause=\"timer\"")),
+        wakeups_cross_(&r.counter("twfd_loop_wakeups_total", "poll() returns by wake cause.",
+                                  labels.empty() ? std::string("cause=\"cross\"")
+                                                 : labels + ",cause=\"cross\"")),
+        wakeups_spurious_(&r.counter("twfd_loop_wakeups_total", "poll() returns by wake cause.",
+                                     labels.empty() ? std::string("cause=\"spurious\"")
+                                                    : labels + ",cause=\"spurious\"")),
+        fd_dispatches_(&r.counter("twfd_loop_fd_dispatches_total",
+                                  "Readiness callbacks delivered to watched fds.", labels)),
+        timers_scheduled_(&r.counter("twfd_timers_scheduled_total",
+                                     "Timer schedule_at calls.", labels)),
+        timers_cancelled_(&r.counter("twfd_timers_cancelled_total",
+                                     "Cancels that hit a pending timer.", labels)),
+        timers_rescheduled_(&r.counter("twfd_timers_rescheduled_total",
+                                       "Reschedules that hit a pending timer.", labels)),
+        timers_fired_(&r.counter("twfd_timers_fired_total",
+                                 "Timer callbacks actually invoked.", labels)),
+        timer_compactions_(&r.counter("twfd_timer_compactions_total",
+                                      "Stale-entry timer-heap compactions.", labels)) {}
+
+  void update(const net::EventLoop::Stats& s) {
+    datagrams_sent_->set_total(s.datagrams_sent);
+    datagrams_received_->set_total(s.datagrams_received);
+    datagrams_injected_->set_total(s.datagrams_injected);
+    send_soft_failures_->set_total(s.send_soft_failures);
+    recv_errors_->set_total(s.recv_errors);
+    rx_batches_->set_total(s.rx_batches);
+    rx_batch_max_->set(static_cast<double>(s.rx_batch_max));
+    rx_kernel_stamps_->set_total(s.rx_kernel_stamps);
+    rx_truncated_->set_total(s.rx_truncated);
+    wakeups_io_->set_total(s.wakeups_io);
+    wakeups_timer_->set_total(s.wakeups_timer);
+    wakeups_cross_->set_total(s.wakeups_cross);
+    wakeups_spurious_->set_total(s.wakeups_spurious);
+    fd_dispatches_->set_total(s.fd_dispatches);
+    timers_scheduled_->set_total(s.timers.scheduled);
+    timers_cancelled_->set_total(s.timers.cancelled);
+    timers_rescheduled_->set_total(s.timers.rescheduled);
+    timers_fired_->set_total(s.timers.fired);
+    timer_compactions_->set_total(s.timers.compactions);
+  }
+
+ private:
+  Counter* datagrams_sent_;
+  Counter* datagrams_received_;
+  Counter* datagrams_injected_;
+  Counter* send_soft_failures_;
+  Counter* recv_errors_;
+  Counter* rx_batches_;
+  Gauge* rx_batch_max_;
+  Counter* rx_kernel_stamps_;
+  Counter* rx_truncated_;
+  Counter* wakeups_io_;
+  Counter* wakeups_timer_;
+  Counter* wakeups_cross_;
+  Counter* wakeups_spurious_;
+  Counter* fd_dispatches_;
+  Counter* timers_scheduled_;
+  Counter* timers_cancelled_;
+  Counter* timers_rescheduled_;
+  Counter* timers_fired_;
+  Counter* timer_compactions_;
+};
+
+/// Mirrors net::FaultStats (chaos injection accounting). `labels`
+/// should say which injection point (`point="rx"`, `point="proxy"`).
+class ChaosExport {
+ public:
+  ChaosExport(Registry& r, const std::string& labels)
+      : offered_(&r.counter("twfd_chaos_offered_total",
+                            "Datagrams/segments offered to the fault injector.", labels)),
+        passed_(&r.counter("twfd_chaos_passed_total",
+                           "Offered traffic the injector let through untouched.", labels)),
+        dropped_(&r.counter("twfd_chaos_dropped_total",
+                            "Traffic dropped by chaos injection.", labels)),
+        duplicated_(&r.counter("twfd_chaos_duplicated_total",
+                               "Traffic duplicated by chaos injection.", labels)),
+        reordered_(&r.counter("twfd_chaos_reordered_total",
+                              "Traffic reordered by chaos injection.", labels)),
+        truncated_(&r.counter("twfd_chaos_truncated_total",
+                              "Traffic truncated by chaos injection.", labels)),
+        delayed_(&r.counter("twfd_chaos_delayed_total",
+                            "Traffic delayed by chaos injection.", labels)) {}
+
+  void update(const net::FaultStats& s) {
+    offered_->set_total(s.offered);
+    passed_->set_total(s.passed);
+    dropped_->set_total(s.dropped);
+    duplicated_->set_total(s.duplicated);
+    reordered_->set_total(s.reordered);
+    truncated_->set_total(s.truncated);
+    delayed_->set_total(s.delayed);
+  }
+
+ private:
+  Counter* offered_;
+  Counter* passed_;
+  Counter* dropped_;
+  Counter* duplicated_;
+  Counter* reordered_;
+  Counter* truncated_;
+  Counter* delayed_;
+};
+
+}  // namespace twfd::obs
+
+// --- shard tier ---------------------------------------------------------
+// Only materialised for translation units that already include the shard
+// runtime; keeps fd_obs itself independent of fd_shard.
+#if __has_include("shard/sharded_monitor_service.hpp")
+#include "shard/sharded_monitor_service.hpp"
+
+namespace twfd::obs {
+
+/// Mirrors a merged ShardedMonitorService::ShardStats (plus the
+/// embedded loop stats under loop="shards" and chaos stats under
+/// point="rx").
+class ShardExport {
+ public:
+  explicit ShardExport(Registry& r)
+      : loop_(r, make_labels({{"loop", "shards"}})),
+        chaos_(r, make_labels({{"point", "rx"}})),
+        shards_(&r.gauge("twfd_shards", "Configured shard workers.")),
+        degraded_(&r.gauge("twfd_shard_degraded", "Shards currently marked degraded.")),
+        pinned_(&r.gauge("twfd_shard_pinned", "Shards pinned to a dedicated core.")),
+        dispatcher_heartbeats_(&r.counter("twfd_shard_dispatcher_heartbeats_total",
+                                          "Heartbeats decoded by shard dispatchers.")),
+        dispatcher_malformed_(&r.counter("twfd_shard_dispatcher_malformed_total",
+                                         "Malformed datagrams dropped by dispatchers.")),
+        service_heartbeats_(&r.counter("twfd_shard_service_heartbeats_total",
+                                       "Heartbeats applied by the per-shard FD services.")),
+        handoff_out_(&r.counter("twfd_shard_handoff_out_total",
+                                "Datagrams forwarded to sibling shards.")),
+        handoff_dropped_(&r.counter("twfd_shard_handoff_dropped_total",
+                                    "Forwards lost because a sibling queue was full.")),
+        handoff_batches_(&r.counter("twfd_shard_handoff_batches_total",
+                                    "Hand-off flush commands pushed.")),
+        commands_run_(&r.counter("twfd_shard_commands_run_total",
+                                 "Control-plane commands executed on shard threads.")),
+        events_dropped_(&r.counter("twfd_shard_events_dropped_total",
+                                   "Transitions lost because the event queue was full.")),
+        post_retries_(&r.counter("twfd_shard_post_retries_total",
+                                 "Control pushes that found a queue full.")),
+        post_stalls_(&r.counter("twfd_shard_post_stalls_total",
+                                "Control pushes abandoned: queue wedged.")),
+        restarts_(&r.counter("twfd_shard_restarts_total",
+                             "Supervisor rebuilds of shard workers.")),
+        stalls_detected_(&r.counter("twfd_shard_stalls_detected_total",
+                                    "Degraded-while-alive watchdog detections.")),
+        resubscribed_(&r.counter("twfd_shard_resubscribed_total",
+                                 "Subscriptions re-seeded by shard restarts.")) {}
+
+  void update(const shard::ShardedMonitorService::ShardStats& merged,
+              std::size_t shard_count) {
+    loop_.update(merged.loop);
+    chaos_.update(merged.chaos);
+    shards_->set(static_cast<double>(shard_count));
+    degraded_->set(static_cast<double>(merged.degraded));
+    pinned_->set(static_cast<double>(merged.pinned));
+    dispatcher_heartbeats_->set_total(merged.dispatcher_heartbeats);
+    dispatcher_malformed_->set_total(merged.dispatcher_malformed);
+    service_heartbeats_->set_total(merged.service_heartbeats);
+    handoff_out_->set_total(merged.handoff_out);
+    handoff_dropped_->set_total(merged.handoff_dropped);
+    handoff_batches_->set_total(merged.handoff_batches);
+    commands_run_->set_total(merged.commands_run);
+    events_dropped_->set_total(merged.events_dropped);
+    post_retries_->set_total(merged.post_retries);
+    post_stalls_->set_total(merged.post_stalls);
+    restarts_->set_total(merged.restarts);
+    stalls_detected_->set_total(merged.stalls_detected);
+    resubscribed_->set_total(merged.resubscribed);
+  }
+
+ private:
+  EventLoopExport loop_;
+  ChaosExport chaos_;
+  Gauge* shards_;
+  Gauge* degraded_;
+  Gauge* pinned_;
+  Counter* dispatcher_heartbeats_;
+  Counter* dispatcher_malformed_;
+  Counter* service_heartbeats_;
+  Counter* handoff_out_;
+  Counter* handoff_dropped_;
+  Counter* handoff_batches_;
+  Counter* commands_run_;
+  Counter* events_dropped_;
+  Counter* post_retries_;
+  Counter* post_stalls_;
+  Counter* restarts_;
+  Counter* stalls_detected_;
+  Counter* resubscribed_;
+};
+
+}  // namespace twfd::obs
+#endif  // shard
+
+// --- FDaaS API tier -----------------------------------------------------
+#if __has_include("api/fdaas_server.hpp")
+#include "api/fdaas_server.hpp"
+
+namespace twfd::obs {
+
+/// Mirrors api::FdaasServer::Stats, federation counters included.
+class FdaasExport {
+ public:
+  explicit FdaasExport(Registry& r)
+      : sessions_accepted_(&r.counter("twfd_api_sessions_accepted_total",
+                                      "TCP control sessions accepted.")),
+        sessions_active_(&r.gauge("twfd_api_sessions_active", "Live control sessions.")),
+        sessions_rejected_(&r.counter("twfd_api_sessions_rejected_total",
+                                      "Sessions refused over max_sessions.")),
+        subscriptions_active_(&r.gauge("twfd_api_subscriptions_active",
+                                       "Live client subscriptions.")),
+        subscriptions_total_(&r.counter("twfd_api_subscriptions_total",
+                                        "Subscriptions ever accepted.")),
+        frames_received_(&r.counter("twfd_api_frames_received_total",
+                                    "TWFC frames decoded from clients.")),
+        frames_malformed_(&r.counter("twfd_api_frames_malformed_total",
+                                     "Bad bodies / hostile length prefixes.")),
+        events_pushed_(&r.counter("twfd_api_events_pushed_total",
+                                  "Status events pushed to clients.")),
+        events_unroutable_(&r.counter("twfd_api_events_unroutable_total",
+                                      "Events with no owning session.")),
+        slow_evictions_(&r.counter("twfd_api_slow_evictions_total",
+                                   "Sessions evicted over send-queue backpressure.")),
+        lease_expiries_(&r.counter("twfd_api_lease_expiries_total",
+                                   "Sessions dropped on lease expiry.")),
+        disconnects_(&r.counter("twfd_api_disconnects_total", "EOF / reset closes.")),
+        bytes_sent_(&r.counter("twfd_api_bytes_sent_total", "Bytes written to clients.")),
+        bytes_received_(&r.counter("twfd_api_bytes_received_total",
+                                   "Bytes read from clients.")),
+        health_broadcasts_(&r.counter("twfd_api_health_broadcasts_total",
+                                      "Shard health events fanned out.")),
+        digests_ingested_(&r.counter("twfd_fed_digests_ingested_total",
+                                     "Child Digest frames accepted.")),
+        digest_entries_applied_(&r.counter("twfd_fed_digest_entries_applied_total",
+                                           "Digest entries newer than stored state.")),
+        digest_entries_stale_(&r.counter("twfd_fed_digest_entries_stale_total",
+                                         "Digest entries seq-dropped (replay/failover).")),
+        digest_entries_foreign_(&r.counter("twfd_fed_digest_entries_foreign_total",
+                                           "Digest entries outside delegated ranges.")),
+        digest_frames_flushed_(&r.counter("twfd_fed_digest_frames_flushed_total",
+                                          "Digest frames handed upstream.")),
+        fed_subscriptions_active_(&r.gauge("twfd_fed_subscriptions_active",
+                                           "Live federated subscriptions.")),
+        fed_events_pushed_(&r.counter("twfd_fed_events_pushed_total",
+                                      "Subtree transitions fanned out.")),
+        delegates_sent_(&r.counter("twfd_fed_delegates_sent_total",
+                                   "Delegate range assignments pushed to children.")) {}
+
+  void update(const api::FdaasServer::Stats& s) {
+    sessions_accepted_->set_total(s.sessions_accepted);
+    sessions_active_->set(static_cast<double>(s.sessions_active));
+    sessions_rejected_->set_total(s.sessions_rejected);
+    subscriptions_active_->set(static_cast<double>(s.subscriptions_active));
+    subscriptions_total_->set_total(s.subscriptions_total);
+    frames_received_->set_total(s.frames_received);
+    frames_malformed_->set_total(s.frames_malformed);
+    events_pushed_->set_total(s.events_pushed);
+    events_unroutable_->set_total(s.events_unroutable);
+    slow_evictions_->set_total(s.slow_evictions);
+    lease_expiries_->set_total(s.lease_expiries);
+    disconnects_->set_total(s.disconnects);
+    bytes_sent_->set_total(s.bytes_sent);
+    bytes_received_->set_total(s.bytes_received);
+    health_broadcasts_->set_total(s.health_broadcasts);
+    digests_ingested_->set_total(s.digests_ingested);
+    digest_entries_applied_->set_total(s.digest_entries_applied);
+    digest_entries_stale_->set_total(s.digest_entries_stale);
+    digest_entries_foreign_->set_total(s.digest_entries_foreign);
+    digest_frames_flushed_->set_total(s.digest_frames_flushed);
+    fed_subscriptions_active_->set(static_cast<double>(s.fed_subscriptions_active));
+    fed_events_pushed_->set_total(s.fed_events_pushed);
+    delegates_sent_->set_total(s.delegates_sent);
+  }
+
+ private:
+  Counter* sessions_accepted_;
+  Gauge* sessions_active_;
+  Counter* sessions_rejected_;
+  Gauge* subscriptions_active_;
+  Counter* subscriptions_total_;
+  Counter* frames_received_;
+  Counter* frames_malformed_;
+  Counter* events_pushed_;
+  Counter* events_unroutable_;
+  Counter* slow_evictions_;
+  Counter* lease_expiries_;
+  Counter* disconnects_;
+  Counter* bytes_sent_;
+  Counter* bytes_received_;
+  Counter* health_broadcasts_;
+  Counter* digests_ingested_;
+  Counter* digest_entries_applied_;
+  Counter* digest_entries_stale_;
+  Counter* digest_entries_foreign_;
+  Counter* digest_frames_flushed_;
+  Gauge* fed_subscriptions_active_;
+  Counter* fed_events_pushed_;
+  Counter* delegates_sent_;
+};
+
+}  // namespace twfd::obs
+#endif  // api
+
+// --- federation tier ----------------------------------------------------
+#if __has_include("federation/federation_core.hpp") && \
+    __has_include("federation/upstream_link.hpp")
+#include "federation/federation_core.hpp"
+#include "federation/upstream_link.hpp"
+
+namespace twfd::obs {
+
+/// Mirrors federation::FederationCore::Stats plus the node's upstream
+/// link (redials included — the link rides api::ReconnectingClient).
+class FederationExport {
+ public:
+  explicit FederationExport(Registry& r)
+      : local_transitions_(&r.counter("twfd_fed_local_transitions_total",
+                                      "Leaf-side transitions noted by the core.")),
+        local_unmapped_(&r.counter("twfd_fed_local_unmapped_total",
+                                   "Events with no peer-key mapping.")),
+        entries_flushed_(&r.counter("twfd_fed_entries_flushed_total",
+                                    "Digest entries flushed upstream.")),
+        snapshots_built_(&r.counter("twfd_fed_snapshots_built_total",
+                                    "Full-state snapshot digests built.")),
+        delegations_applied_(&r.counter("twfd_fed_delegations_applied_total",
+                                        "Delegate frames adopted from the parent.")),
+        link_frames_sent_(&r.counter("twfd_fed_link_frames_sent_total",
+                                     "Digest frames sent on the upstream link.")),
+        link_frames_dropped_(&r.counter("twfd_fed_link_frames_dropped_total",
+                                        "Upstream frames lost to queue overflow.")),
+        link_snapshots_sent_(&r.counter("twfd_fed_link_snapshots_sent_total",
+                                        "Reconnect snapshot pushes upstream.")),
+        link_reconnects_(&r.counter("twfd_fed_link_reconnects_total",
+                                    "Upstream link recoveries beyond first connect.")) {}
+
+  void update_core(const federation::FederationCore::Stats& s) {
+    local_transitions_->set_total(s.local_transitions);
+    local_unmapped_->set_total(s.local_unmapped);
+    entries_flushed_->set_total(s.entries_flushed);
+    snapshots_built_->set_total(s.snapshots_built);
+    delegations_applied_->set_total(s.delegations_applied);
+  }
+
+  void update_link(const federation::UpstreamLink::Stats& s) {
+    link_frames_sent_->set_total(s.frames_sent);
+    link_frames_dropped_->set_total(s.frames_dropped);
+    link_snapshots_sent_->set_total(s.snapshots_sent);
+    link_reconnects_->set_total(s.reconnects);
+  }
+
+ private:
+  Counter* local_transitions_;
+  Counter* local_unmapped_;
+  Counter* entries_flushed_;
+  Counter* snapshots_built_;
+  Counter* delegations_applied_;
+  Counter* link_frames_sent_;
+  Counter* link_frames_dropped_;
+  Counter* link_snapshots_sent_;
+  Counter* link_reconnects_;
+};
+
+}  // namespace twfd::obs
+#endif  // federation

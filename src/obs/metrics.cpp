@@ -1,0 +1,316 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <type_traits>
+
+namespace twfd::obs {
+namespace {
+
+/// Shortest round-trippable rendering for metric values and `le`
+/// bounds; Prometheus spec uses Go-style "+Inf"/"-Inf"/"NaN".
+std::string format_value(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Prefer the shorter %g rendering when it round-trips exactly.
+  char shorter[64];
+  std::snprintf(shorter, sizeof(shorter), "%.10g", v);
+  if (std::strtod(shorter, nullptr) == v) return shorter;
+  return buf;
+}
+
+void validate_bounds(const std::vector<double>& bounds) {
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    if (std::isnan(bounds[i]) || std::isinf(bounds[i])) {
+      throw std::logic_error("histogram bounds must be finite (implicit +Inf is added)");
+    }
+    if (i > 0 && bounds[i] <= bounds[i - 1]) {
+      throw std::logic_error("histogram bounds must be strictly ascending");
+    }
+  }
+}
+
+std::size_t bucket_index(const std::vector<double>& bounds, double v) noexcept {
+  std::size_t i = 0;
+  while (i < bounds.size() && v > bounds[i]) ++i;
+  return i;  // bounds.size() = +Inf bucket
+}
+
+void atomic_add_double(std::atomic<double>& a, double d) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+  }
+}
+
+const char* type_name(MetricType t) {
+  switch (t) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  validate_bounds(bounds_);
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+}
+
+void Histogram::observe(double v) noexcept {
+  buckets_[bucket_index(bounds_, v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(sum_, v);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  s.bounds = bounds_;
+  s.buckets.resize(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  return s;
+}
+
+ShardedCounter::ShardedCounter(std::size_t cells)
+    : n_cells_(cells == 0 ? 1 : cells), cells_(std::make_unique<Cell[]>(n_cells_)) {}
+
+std::uint64_t ShardedCounter::value() const noexcept {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < n_cells_; ++i) {
+    total += cells_[i].v.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+ShardedHistogram::ShardedHistogram(std::vector<double> bounds, std::size_t cells)
+    : bounds_(std::move(bounds)), cells_(cells == 0 ? 1 : cells) {
+  validate_bounds(bounds_);
+  for (auto& cell : cells_) {
+    cell.buckets = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  }
+}
+
+void ShardedHistogram::observe(std::size_t cell, double v) noexcept {
+  Cell& c = cells_[cell];
+  c.buckets[bucket_index(bounds_, v)].fetch_add(1, std::memory_order_relaxed);
+  c.count.fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(c.sum, v);
+}
+
+HistogramSnapshot ShardedHistogram::snapshot() const {
+  HistogramSnapshot s;
+  s.bounds = bounds_;
+  s.buckets.assign(bounds_.size() + 1, 0);
+  for (const auto& cell : cells_) {
+    for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+      s.buckets[i] += cell.buckets[i].load(std::memory_order_relaxed);
+    }
+    s.count += cell.count.load(std::memory_order_relaxed);
+    s.sum += cell.sum.load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+std::string label_escape(std::string_view v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string make_labels(
+    std::initializer_list<std::pair<std::string_view, std::string_view>> kvs) {
+  std::string out;
+  for (const auto& [k, v] : kvs) {
+    if (!out.empty()) out += ',';
+    out += k;
+    out += "=\"";
+    out += label_escape(v);
+    out += '"';
+  }
+  return out;
+}
+
+Registry::Family& Registry::family_locked(std::string_view name, MetricType type,
+                                          std::string_view help) {
+  auto it = families_.find(name);
+  if (it == families_.end()) {
+    it = families_.emplace(std::string(name), Family{}).first;
+    it->second.type = type;
+    it->second.help = std::string(help);
+  } else if (it->second.type != type) {
+    throw std::logic_error("metric family '" + std::string(name) + "' registered as " +
+                           type_name(it->second.type) + ", requested as " + type_name(type));
+  }
+  return it->second;
+}
+
+Registry::Instance* Registry::find_locked(Family& fam, std::string_view labels) {
+  for (auto& inst : fam.instances) {
+    if (inst->labels == labels) return inst.get();
+  }
+  return nullptr;
+}
+
+Counter& Registry::counter(std::string_view name, std::string_view help, std::string labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family& fam = family_locked(name, MetricType::kCounter, help);
+  if (Instance* inst = find_locked(fam, labels)) return std::get<Counter>(inst->metric);
+  fam.instances.push_back(
+      std::make_unique<Instance>(std::in_place_type<Counter>, std::move(labels)));
+  return std::get<Counter>(fam.instances.back()->metric);
+}
+
+Gauge& Registry::gauge(std::string_view name, std::string_view help, std::string labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family& fam = family_locked(name, MetricType::kGauge, help);
+  if (Instance* inst = find_locked(fam, labels)) return std::get<Gauge>(inst->metric);
+  fam.instances.push_back(
+      std::make_unique<Instance>(std::in_place_type<Gauge>, std::move(labels)));
+  return std::get<Gauge>(fam.instances.back()->metric);
+}
+
+Histogram& Registry::histogram(std::string_view name, std::string_view help,
+                               std::vector<double> bounds, std::string labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family& fam = family_locked(name, MetricType::kHistogram, help);
+  if (Instance* inst = find_locked(fam, labels)) {
+    auto& h = std::get<Histogram>(inst->metric);
+    if (h.bounds() != bounds) {
+      throw std::logic_error("histogram '" + std::string(name) +
+                             "' re-registered with different bounds");
+    }
+    return h;
+  }
+  fam.instances.push_back(std::make_unique<Instance>(std::in_place_type<Histogram>,
+                                                     std::move(labels), std::move(bounds)));
+  return std::get<Histogram>(fam.instances.back()->metric);
+}
+
+ShardedCounter& Registry::sharded_counter(std::string_view name, std::string_view help,
+                                          std::size_t cells, std::string labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family& fam = family_locked(name, MetricType::kCounter, help);
+  if (Instance* inst = find_locked(fam, labels)) return std::get<ShardedCounter>(inst->metric);
+  fam.instances.push_back(
+      std::make_unique<Instance>(std::in_place_type<ShardedCounter>, std::move(labels), cells));
+  return std::get<ShardedCounter>(fam.instances.back()->metric);
+}
+
+ShardedHistogram& Registry::sharded_histogram(std::string_view name, std::string_view help,
+                                              std::vector<double> bounds, std::size_t cells,
+                                              std::string labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family& fam = family_locked(name, MetricType::kHistogram, help);
+  if (Instance* inst = find_locked(fam, labels)) return std::get<ShardedHistogram>(inst->metric);
+  fam.instances.push_back(std::make_unique<Instance>(
+      std::in_place_type<ShardedHistogram>, std::move(labels), std::move(bounds), cells));
+  return std::get<ShardedHistogram>(fam.instances.back()->metric);
+}
+
+void Registry::declare(std::string_view name, MetricType type, std::string_view help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  family_locked(name, type, help);
+}
+
+bool Registry::remove(std::string_view name, std::string_view labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = families_.find(name);
+  if (it == families_.end()) return false;
+  auto& instances = it->second.instances;
+  for (auto inst = instances.begin(); inst != instances.end(); ++inst) {
+    if ((*inst)->labels == labels) {
+      instances.erase(inst);
+      return true;
+    }
+  }
+  return false;
+}
+
+void Registry::add_collect_hook(std::function<void()> hook) {
+  std::lock_guard<std::mutex> lock(hooks_mu_);
+  hooks_.push_back(std::move(hook));
+}
+
+namespace {
+
+void append_sample(std::string& out, std::string_view name, std::string_view labels,
+                   std::string_view extra_label, const std::string& value) {
+  out += name;
+  if (!labels.empty() || !extra_label.empty()) {
+    out += '{';
+    out += labels;
+    if (!labels.empty() && !extra_label.empty()) out += ',';
+    out += extra_label;
+    out += '}';
+  }
+  out += ' ';
+  out += value;
+  out += '\n';
+}
+
+void append_histogram(std::string& out, std::string_view name, std::string_view labels,
+                      const HistogramSnapshot& snap) {
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i <= snap.bounds.size(); ++i) {
+    cumulative += snap.buckets[i];
+    const std::string le =
+        i < snap.bounds.size() ? format_value(snap.bounds[i]) : std::string("+Inf");
+    append_sample(out, std::string(name) + "_bucket", labels, "le=\"" + le + "\"",
+                  std::to_string(cumulative));
+  }
+  append_sample(out, std::string(name) + "_sum", labels, {}, format_value(snap.sum));
+  append_sample(out, std::string(name) + "_count", labels, {}, std::to_string(snap.count));
+}
+
+}  // namespace
+
+std::string Registry::render_text() {
+  std::vector<std::function<void()>> hooks;
+  {
+    std::lock_guard<std::mutex> lock(hooks_mu_);
+    hooks = hooks_;
+  }
+  for (const auto& hook : hooks) hook();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  out.reserve(4096);
+  for (const auto& [name, fam] : families_) {
+    out += "# HELP " + name + " " + fam.help + "\n";
+    out += "# TYPE " + name + " " + std::string(type_name(fam.type)) + "\n";
+    for (const auto& inst : fam.instances) {
+      std::visit(
+          [&](const auto& metric) {
+            using M = std::decay_t<decltype(metric)>;
+            if constexpr (std::is_same_v<M, Counter> || std::is_same_v<M, ShardedCounter>) {
+              append_sample(out, name, inst->labels, {}, std::to_string(metric.value()));
+            } else if constexpr (std::is_same_v<M, Gauge>) {
+              append_sample(out, name, inst->labels, {}, format_value(metric.value()));
+            } else {
+              append_histogram(out, name, inst->labels, metric.snapshot());
+            }
+          },
+          inst->metric);
+    }
+  }
+  return out;
+}
+
+}  // namespace twfd::obs

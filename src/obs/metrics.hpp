@@ -1,0 +1,220 @@
+// Lock-free metrics layer for the 2W-FD runtime.
+//
+// A `Registry` owns named metric families (counter / gauge / histogram)
+// with Prometheus-style labels. Registration is the cold path (mutex +
+// map); every returned instance is pointer-stable for the life of the
+// registry (or until explicitly removed), so hot paths cache a raw
+// pointer once and then touch only relaxed atomics:
+//
+//   * `Counter`  — monotonically increasing u64. `add()` for live
+//     increments, `set_total()` to mirror an externally maintained
+//     cumulative count (the migration path for the existing ad-hoc
+//     stats structs).
+//   * `Gauge`    — a double that can go up and down.
+//   * `Histogram`— fixed upper-bound buckets (inclusive `le`, implicit
+//     +Inf), cumulative on render as the exposition format requires.
+//   * `ShardedCounter` / `ShardedHistogram` — one cache-line-padded
+//     cell per shard. Writers touch only their own cell with relaxed
+//     ordering (no contention, no allocation on the heartbeat path);
+//     cells are summed only at scrape time.
+//
+// `render_text()` produces Prometheus text exposition format v0.0.4.
+// Collect hooks registered with `add_collect_hook` run first (outside
+// the registry lock) so owners can refresh mirrored counters; the
+// scrape endpoint (obs/scrape_server.hpp) serves the result.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace twfd::obs {
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept { value_.fetch_add(n, std::memory_order_relaxed); }
+  /// Overwrites the cumulative total (mirror of an external counter).
+  void set_total(std::uint64_t v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double d) noexcept {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const noexcept { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Snapshot of a histogram for rendering/tests: per-bucket counts are
+/// *non*-cumulative here; render_text accumulates them into `le` lines.
+struct HistogramSnapshot {
+  std::vector<double> bounds;           ///< finite upper bounds, ascending
+  std::vector<std::uint64_t> buckets;   ///< bounds.size() + 1 (last = +Inf)
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  /// Buckets are inclusive on the upper bound (`v <= le`), matching the
+  /// exposition format's `le` semantics.
+  void observe(double v) noexcept;
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept { return bounds_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// One u64 per cell, each on its own cache line. `add` is wait-free and
+/// contention-free as long as each writer sticks to its own cell.
+class ShardedCounter {
+ public:
+  explicit ShardedCounter(std::size_t cells);
+
+  void add(std::size_t cell, std::uint64_t n = 1) noexcept {
+    cells_[cell].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t cells() const noexcept { return n_cells_; }
+  /// Sum across cells; scrape-time only (racy-by-design snapshot).
+  [[nodiscard]] std::uint64_t value() const noexcept;
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::size_t n_cells_;
+  std::unique_ptr<Cell[]> cells_;
+};
+
+/// Per-cell bucket arrays aggregated only at scrape. Each cell's
+/// storage is a separate allocation so concurrent writers on different
+/// cells never share a line.
+class ShardedHistogram {
+ public:
+  ShardedHistogram(std::vector<double> bounds, std::size_t cells);
+
+  void observe(std::size_t cell, double v) noexcept;
+  [[nodiscard]] std::size_t cells() const noexcept { return cells_.size(); }
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept { return bounds_; }
+  /// Aggregated across all cells; scrape-time only.
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+
+ private:
+  struct Cell {
+    std::unique_ptr<std::atomic<std::uint64_t>[]> buckets;  // bounds.size() + 1
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+  };
+  std::vector<double> bounds_;
+  std::vector<Cell> cells_;
+};
+
+/// Escapes a label value per the exposition format (backslash, quote,
+/// newline).
+[[nodiscard]] std::string label_escape(std::string_view v);
+
+/// Builds a canonical label string `k1="v1",k2="v2"` with escaped
+/// values. Pass the result as the `labels` argument of the registry
+/// accessors.
+[[nodiscard]] std::string make_labels(
+    std::initializer_list<std::pair<std::string_view, std::string_view>> kvs);
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Accessors are get-or-create and idempotent: the same (name, labels)
+  /// pair always returns the same instance. Throws std::logic_error if
+  /// `name` already exists with a different metric type (histograms also
+  /// require identical bounds).
+  Counter& counter(std::string_view name, std::string_view help, std::string labels = {});
+  Gauge& gauge(std::string_view name, std::string_view help, std::string labels = {});
+  Histogram& histogram(std::string_view name, std::string_view help, std::vector<double> bounds,
+                       std::string labels = {});
+  ShardedCounter& sharded_counter(std::string_view name, std::string_view help, std::size_t cells,
+                                  std::string labels = {});
+  ShardedHistogram& sharded_histogram(std::string_view name, std::string_view help,
+                                      std::vector<double> bounds, std::size_t cells,
+                                      std::string labels = {});
+
+  /// Registers a family with no instances yet, so its # HELP / # TYPE
+  /// header renders even before the first labelled instance appears
+  /// (scrape consumers can rely on family presence).
+  void declare(std::string_view name, MetricType type, std::string_view help);
+
+  /// Drops one labelled instance (e.g. when a subscription ends). The
+  /// family and its header stay. Returns false if absent. The caller
+  /// must guarantee no thread still holds the instance pointer.
+  bool remove(std::string_view name, std::string_view labels);
+
+  /// Runs before every render, outside the registry lock — owners use
+  /// this to mirror externally owned stats into the registry at scrape
+  /// time (e.g. ShardedMonitorService::merged_stats()).
+  void add_collect_hook(std::function<void()> hook);
+
+  /// Prometheus text exposition format v0.0.4. Thread-safe.
+  [[nodiscard]] std::string render_text();
+
+ private:
+  using Metric = std::variant<Counter, Gauge, Histogram, ShardedCounter, ShardedHistogram>;
+  struct Instance {
+    std::string labels;  // canonical "k=\"v\",..." or empty
+    Metric metric;
+    template <typename T, typename... Args>
+    explicit Instance(std::in_place_type_t<T> t, std::string l, Args&&... args)
+        : labels(std::move(l)), metric(t, std::forward<Args>(args)...) {}
+  };
+  struct Family {
+    MetricType type = MetricType::kCounter;
+    std::string help;
+    std::vector<std::unique_ptr<Instance>> instances;  // insertion order
+  };
+
+  Family& family_locked(std::string_view name, MetricType type, std::string_view help);
+  Instance* find_locked(Family& fam, std::string_view labels);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family, std::less<>> families_;
+  std::mutex hooks_mu_;
+  std::vector<std::function<void()>> hooks_;
+};
+
+/// The one shared text view of a registry: the scrape endpoint serves
+/// it and the daemons print it at exit (same bytes, one renderer).
+[[nodiscard]] inline std::string render_text(Registry& registry) {
+  return registry.render_text();
+}
+
+}  // namespace twfd::obs

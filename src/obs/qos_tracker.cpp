@@ -1,0 +1,213 @@
+#include "obs/qos_tracker.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace twfd::obs {
+
+namespace {
+constexpr std::string_view kDetection = "twfd_qos_detection_time_seconds";
+constexpr std::string_view kDetectionBound = "twfd_qos_detection_time_bound_seconds";
+constexpr std::string_view kMistakeRate = "twfd_qos_mistake_rate";
+constexpr std::string_view kMistakeRateBound = "twfd_qos_mistake_rate_bound";
+constexpr std::string_view kMistakeDuration = "twfd_qos_mistake_duration_seconds";
+constexpr std::string_view kMistakeDurationBound = "twfd_qos_mistake_duration_bound_seconds";
+constexpr std::string_view kSuspected = "twfd_qos_suspected";
+constexpr std::string_view kMistakes = "twfd_qos_mistakes_total";
+constexpr std::string_view kViolations = "twfd_qos_violations_total";
+}  // namespace
+
+struct QosTracker::Entry {
+  std::string labels;
+  Gauge* detection = nullptr;
+  Gauge* mistake_rate = nullptr;
+  Gauge* mistake_duration = nullptr;
+  Gauge* suspected = nullptr;
+  Counter* mistakes = nullptr;
+  Counter* violations = nullptr;
+  double td_bound_s = 0.0;
+  double tmr_bound = 0.0;  // mistakes per second
+  double tm_bound_s = 0.0;
+
+  // Writer-owned (the subscription's shard thread):
+  Tick suspect_since = 0;  // 0 = currently trusting
+
+  // Shared between the writer and refresh(): recent mistake end times.
+  std::mutex mu;
+  std::vector<Tick> mistake_ends;
+  Tick start = 0;
+};
+
+QosTracker::QosTracker(Registry& registry, Params params)
+    : registry_(registry), params_(params) {
+  // Families render (with # HELP / # TYPE) even before the first
+  // subscription, so scrape consumers can count on their presence.
+  registry_.declare(kDetection, MetricType::kGauge,
+                    "Last measured detection-time sample (suspect - last heartbeat arrival).");
+  registry_.declare(kDetectionBound, MetricType::kGauge,
+                    "Negotiated detection-time upper bound T_D^U.");
+  registry_.declare(kMistakeRate, MetricType::kGauge,
+                    "Measured mistake rate over the sliding window, per second.");
+  registry_.declare(kMistakeRateBound, MetricType::kGauge,
+                    "Negotiated mistake-rate upper bound lambda_MR^U, per second.");
+  registry_.declare(kMistakeDuration, MetricType::kGauge,
+                    "Last measured mistake duration (suspect to trust), seconds.");
+  registry_.declare(kMistakeDurationBound, MetricType::kGauge,
+                    "Negotiated mistake-duration upper bound T_M^U.");
+  registry_.declare(kSuspected, MetricType::kGauge,
+                    "1 while the subscription currently suspects its peer.");
+  registry_.declare(kMistakes, MetricType::kCounter,
+                    "Suspect->Trust pairs observed (every one counts as a mistake).");
+  registry_.declare(kViolations, MetricType::kCounter,
+                    "Measured QoS values that exceeded their negotiated bound.");
+}
+
+QosTracker::~QosTracker() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& e : entries_) {
+    for (std::string_view name : {kDetection, kDetectionBound, kMistakeRate, kMistakeRateBound,
+                                  kMistakeDuration, kMistakeDurationBound, kSuspected, kMistakes,
+                                  kViolations}) {
+      registry_.remove(name, e->labels);
+    }
+  }
+}
+
+QosTracker::Handle QosTracker::track(std::string_view app, std::uint64_t peer_id,
+                                     const config::QosRequirements& qos, Tick start) {
+  auto entry = std::make_unique<Entry>();
+  Entry& e = *entry;
+  std::string seq;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    seq = std::to_string(next_seq_++);
+  }
+  e.labels = make_labels({{"app", app}, {"peer", std::to_string(peer_id)}, {"sub", seq}});
+  e.td_bound_s = qos.td_upper_s;
+  e.tmr_bound = qos.tmr_upper_per_s;
+  e.tm_bound_s = qos.tm_upper_s;
+  e.start = start;
+
+  e.detection = &registry_.gauge(
+      kDetection, "Last measured detection-time sample (suspect - last heartbeat arrival).",
+      e.labels);
+  e.mistake_rate = &registry_.gauge(
+      kMistakeRate, "Measured mistake rate over the sliding window, per second.", e.labels);
+  e.mistake_duration = &registry_.gauge(
+      kMistakeDuration, "Last measured mistake duration (suspect to trust), seconds.", e.labels);
+  e.suspected = &registry_.gauge(
+      kSuspected, "1 while the subscription currently suspects its peer.", e.labels);
+  e.mistakes = &registry_.counter(
+      kMistakes, "Suspect->Trust pairs observed (every one counts as a mistake).", e.labels);
+  e.violations = &registry_.counter(
+      kViolations, "Measured QoS values that exceeded their negotiated bound.", e.labels);
+  registry_.gauge(kDetectionBound, "Negotiated detection-time upper bound T_D^U.", e.labels)
+      .set(qos.td_upper_s);
+  registry_
+      .gauge(kMistakeRateBound, "Negotiated mistake-rate upper bound lambda_MR^U, per second.",
+             e.labels)
+      .set(qos.tmr_upper_per_s);
+  registry_
+      .gauge(kMistakeDurationBound, "Negotiated mistake-duration upper bound T_M^U.", e.labels)
+      .set(qos.tm_upper_s);
+
+  Handle h = entry.get();
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.push_back(std::move(entry));
+  return h;
+}
+
+void QosTracker::untrack(Handle h) {
+  if (h == nullptr) return;
+  std::unique_ptr<Entry> owned;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = std::find_if(entries_.begin(), entries_.end(),
+                           [h](const auto& e) { return e.get() == h; });
+    if (it == entries_.end()) return;
+    owned = std::move(*it);
+    entries_.erase(it);
+  }
+  for (std::string_view name : {kDetection, kDetectionBound, kMistakeRate, kMistakeRateBound,
+                                kMistakeDuration, kMistakeDurationBound, kSuspected, kMistakes,
+                                kViolations}) {
+    registry_.remove(name, owned->labels);
+  }
+}
+
+void QosTracker::record_suspect(Handle h, Tick when, Tick last_heartbeat_arrival) {
+  if (h == nullptr) return;
+  Entry& e = *h;
+  if (e.suspect_since != 0) return;  // already suspecting
+  e.suspect_since = when == 0 ? 1 : when;
+  e.suspected->set(1.0);
+  if (last_heartbeat_arrival > 0 && when >= last_heartbeat_arrival) {
+    const double sample_s = to_seconds(when - last_heartbeat_arrival);
+    e.detection->set(sample_s);
+    if (sample_s > e.td_bound_s) {
+      e.violations->add();
+      total_violations_.add();
+    }
+  }
+}
+
+void QosTracker::record_trust(Handle h, Tick when) {
+  if (h == nullptr) return;
+  Entry& e = *h;
+  if (e.suspect_since == 0) return;  // spurious (initial Trust)
+  const Tick since = e.suspect_since;
+  e.suspect_since = 0;
+  e.suspected->set(0.0);
+
+  const double duration_s = to_seconds(std::max<Tick>(0, when - since));
+  e.mistake_duration->set(duration_s);
+  e.mistakes->add();
+  if (duration_s > e.tm_bound_s) {
+    e.violations->add();
+    total_violations_.add();
+  }
+
+  std::lock_guard<std::mutex> lock(e.mu);
+  e.mistake_ends.push_back(when);
+  if (e.mistake_ends.size() > params_.max_mistakes_kept) {
+    e.mistake_ends.erase(e.mistake_ends.begin(),
+                         e.mistake_ends.begin() +
+                             static_cast<std::ptrdiff_t>(e.mistake_ends.size() -
+                                                         params_.max_mistakes_kept));
+  }
+  recompute_rate_locked(e, when);
+  if (e.mistake_rate->value() > e.tmr_bound) {
+    e.violations->add();
+    total_violations_.add();
+  }
+}
+
+void QosTracker::recompute_rate_locked(Entry& e, Tick now) {
+  const Tick cutoff = tick_add_sat(now, -params_.window);
+  std::size_t in_window = 0;
+  for (Tick t : e.mistake_ends) {
+    if (t > cutoff) ++in_window;
+  }
+  // Effective window: don't divide by a horizon the entry hasn't lived
+  // through yet (a mistake in the first minute of a 5-minute window is
+  // 1/60s, not 1/300s). Floor at 1s to keep early samples finite.
+  Tick lived = now - e.start;
+  if (lived > params_.window) lived = params_.window;
+  if (lived < ticks_from_sec(1)) lived = ticks_from_sec(1);
+  e.mistake_rate->set(static_cast<double>(in_window) / to_seconds(lived));
+}
+
+void QosTracker::refresh(Tick now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& entry : entries_) {
+    std::lock_guard<std::mutex> elock(entry->mu);
+    recompute_rate_locked(*entry, now);
+  }
+}
+
+std::size_t QosTracker::tracked() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace twfd::obs

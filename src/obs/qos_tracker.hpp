@@ -1,0 +1,103 @@
+// Per-subscription QoS conformance tracking.
+//
+// 2W-FD's contract is a negotiated (T_D^U, T_MR^U, T_M^U) tuple per
+// subscription; this module measures the live counterparts and exports
+// both sides as gauges so a scrape shows conformance at a glance:
+//
+//   twfd_qos_detection_time_seconds          last measured detection sample
+//   twfd_qos_detection_time_bound_seconds    negotiated T_D^U
+//   twfd_qos_mistake_rate                    mistakes/s over the sliding window
+//   twfd_qos_mistake_rate_bound              negotiated T_MR^U (lambda_M^U)
+//   twfd_qos_mistake_duration_seconds        last measured mistake duration
+//   twfd_qos_mistake_duration_bound_seconds  negotiated T_M^U
+//   twfd_qos_suspected                       1 while the peer is suspected
+//   twfd_qos_mistakes_total                  Suspect->Trust pairs observed
+//   twfd_qos_violations_total                measured value exceeded its bound
+//
+// Measurement semantics (live runs have no ground truth about the
+// remote process, so both metrics are conservative upper bounds):
+//   * detection sample = suspect_time − last_heartbeat_arrival. If the
+//     peer really crashed right after its last heartbeat this IS the
+//     detection time; if it crashed later, the true value is smaller.
+//   * every Suspect→Trust pair counts as a mistake (a real crash never
+//     transitions back), its duration being trust_time − suspect_time.
+//
+// Threading: record_suspect/record_trust for one handle must come from
+// that subscription's owning shard thread (single writer), matching the
+// FdService callback contract. track/untrack/refresh are any-thread
+// (cold path, small mutexes). The per-event cost is a handful of
+// relaxed atomic stores plus one uncontended mutex for the mistake
+// window ring — nothing on the heartbeat path itself allocates.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "common/time.hpp"
+#include "config/qos_config.hpp"
+#include "obs/metrics.hpp"
+
+namespace twfd::obs {
+
+class QosTracker {
+ public:
+  struct Params {
+    /// Sliding window over which the mistake rate is computed.
+    Tick window = ticks_from_sec(300);
+    /// Mistake timestamps kept per entry; older ones age out of the
+    /// window anyway, this just bounds memory for a flapping peer.
+    std::size_t max_mistakes_kept = 256;
+  };
+
+  struct Entry;            // opaque to callers
+  using Handle = Entry*;   // nullptr = not tracked
+
+  explicit QosTracker(Registry& registry) : QosTracker(registry, Params{}) {}
+  QosTracker(Registry& registry, Params params);
+  ~QosTracker();
+  QosTracker(const QosTracker&) = delete;
+  QosTracker& operator=(const QosTracker&) = delete;
+
+  /// Registers gauges labelled {app, peer, sub} (sub is a tracker-local
+  /// sequence number so two subscriptions to the same peer stay
+  /// distinct). `start` anchors the mistake-rate window.
+  Handle track(std::string_view app, std::uint64_t peer_id, const config::QosRequirements& qos,
+               Tick start);
+
+  /// Drops the entry and its labelled gauges from the registry. The
+  /// handle is dead afterwards. nullptr is a no-op.
+  void untrack(Handle h);
+
+  /// The subscription transitioned to Suspect at `when`; the monitored
+  /// peer's most recent heartbeat arrived at `last_heartbeat_arrival`
+  /// (0 = never heard, which yields no detection sample).
+  void record_suspect(Handle h, Tick when, Tick last_heartbeat_arrival);
+
+  /// The subscription transitioned back to Trust at `when`.
+  void record_trust(Handle h, Tick when);
+
+  /// Recomputes windowed mistake rates as of `now`; call from a scrape
+  /// collect hook so the rate decays between events.
+  void refresh(Tick now);
+
+  [[nodiscard]] std::uint64_t violations() const noexcept {
+    return total_violations_.value();
+  }
+  [[nodiscard]] std::size_t tracked() const;
+
+ private:
+  void recompute_rate_locked(Entry& e, Tick now);
+
+  Registry& registry_;
+  Params params_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+  std::uint64_t next_seq_ = 1;
+  Counter total_violations_;  // process-wide sum, not registry-backed
+};
+
+}  // namespace twfd::obs

@@ -1,0 +1,182 @@
+#include "obs/scrape_server.hpp"
+
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace twfd::obs {
+
+namespace {
+
+/// First-line parse of an HTTP request. Returns {method, path}.
+std::pair<std::string_view, std::string_view> parse_request_line(std::string_view head) {
+  const std::size_t eol = head.find("\r\n");
+  std::string_view line = eol == std::string_view::npos ? head : head.substr(0, eol);
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos) return {line, {}};
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  std::string_view path = sp2 == std::string_view::npos ? line.substr(sp1 + 1)
+                                                        : line.substr(sp1 + 1, sp2 - sp1 - 1);
+  return {line.substr(0, sp1), path};
+}
+
+std::string http_response(int code, std::string_view reason, std::string_view content_type,
+                          std::string_view body) {
+  std::string out = "HTTP/1.0 " + std::to_string(code) + " " + std::string(reason) + "\r\n";
+  out += "Content-Type: " + std::string(content_type) + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+ScrapeServer::ScrapeServer(Registry& registry, Params params)
+    : registry_(registry),
+      params_(params),
+      listener_(net::TcpListener::Options{.port = params.port, .backlog = 16}) {
+  port_ = listener_.local_port();
+  loop_ = std::make_unique<net::EventLoop>(static_cast<std::uint16_t>(0));
+  requests_total_ = &registry_.counter("twfd_scrape_requests_total",
+                                       "HTTP requests answered by the scrape endpoint.");
+  errors_total_ = &registry_.counter(
+      "twfd_scrape_errors_total",
+      "Scrape requests rejected (bad method/path/overflow) or timed out.");
+}
+
+ScrapeServer::~ScrapeServer() { stop(); }
+
+void ScrapeServer::start() {
+  if (running_) return;
+  running_ = true;
+  stop_requested_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { run(); });
+}
+
+void ScrapeServer::stop() {
+  if (!running_) return;
+  stop_requested_.store(true, std::memory_order_relaxed);
+  loop_->stop();
+  if (thread_.joinable()) thread_.join();
+  running_ = false;
+}
+
+void ScrapeServer::run() {
+  loop_->watch_fd(listener_.fd(), net::kFdRead, [this](unsigned) { on_listener_readable(); });
+  arm_sweep_timer();
+  while (!stop_requested_.load(std::memory_order_relaxed)) {
+    loop_->run_for(ticks_from_ms(250));
+  }
+  std::vector<int> fds;
+  fds.reserve(sessions_.size());
+  for (const auto& [fd, s] : sessions_) fds.push_back(fd);
+  for (int fd : fds) close_session(fd);
+  loop_->unwatch_fd(listener_.fd());
+}
+
+void ScrapeServer::arm_sweep_timer() {
+  loop_->schedule_at(loop_->now() + ticks_from_sec(1), [this] {
+    const Tick now = loop_->now();
+    std::vector<int> expired;
+    for (const auto& [fd, s] : sessions_) {
+      if (now >= s.deadline) expired.push_back(fd);
+    }
+    for (int fd : expired) {
+      errors_total_->add();
+      close_session(fd);
+    }
+    arm_sweep_timer();
+  });
+}
+
+void ScrapeServer::on_listener_readable() {
+  while (auto accepted = listener_.accept()) {
+    if (sessions_.size() >= params_.max_sessions) {
+      net::TcpConn(accepted->fd).close();
+      errors_total_->add();
+      continue;
+    }
+    const int fd = accepted->fd;
+    Session s;
+    s.conn = net::TcpConn(fd);
+    s.deadline = loop_->now() + params_.session_timeout;
+    sessions_.emplace(fd, std::move(s));
+    loop_->watch_fd(fd, net::kFdRead, [this, fd](unsigned events) {
+      on_session_event(fd, events);
+    });
+  }
+}
+
+void ScrapeServer::on_session_event(int fd, unsigned events) {
+  auto it = sessions_.find(fd);
+  if (it == sessions_.end()) return;
+  Session& s = it->second;
+
+  if (!s.responding && (events & net::kFdRead) != 0u) {
+    char buf[2048];
+    for (;;) {
+      const auto r = s.conn.read_some(
+          std::span<std::byte>(reinterpret_cast<std::byte*>(buf), sizeof(buf)));
+      if (r.status == net::TcpConn::IoStatus::kClosed) {
+        close_session(fd);
+        return;
+      }
+      if (r.status == net::TcpConn::IoStatus::kWouldBlock) break;
+      s.rx.append(buf, r.bytes);
+      if (s.rx.size() > params_.max_request_bytes) {
+        errors_total_->add();
+        close_session(fd);
+        return;
+      }
+    }
+    if (s.rx.find("\r\n\r\n") != std::string::npos ||
+        s.rx.find("\n\n") != std::string::npos) {
+      respond(s);
+      loop_->update_fd(fd, net::kFdWrite);
+    }
+  }
+
+  if (s.responding) {
+    while (s.tx_sent < s.tx.size()) {
+      const auto w = s.conn.write_some(std::span<const std::byte>(
+          reinterpret_cast<const std::byte*>(s.tx.data()) + s.tx_sent, s.tx.size() - s.tx_sent));
+      if (w.status == net::TcpConn::IoStatus::kClosed) {
+        close_session(fd);
+        return;
+      }
+      if (w.status == net::TcpConn::IoStatus::kWouldBlock) return;  // kFdWrite still armed
+      s.tx_sent += w.bytes;
+    }
+    close_session(fd);  // HTTP/1.0: one response, then close
+  }
+}
+
+void ScrapeServer::respond(Session& s) {
+  const auto [method, path] = parse_request_line(s.rx);
+  requests_total_->add();
+  if (method != "GET") {
+    errors_total_->add();
+    s.tx = http_response(400, "Bad Request", "text/plain; charset=utf-8",
+                         "only GET is supported\n");
+  } else if (path == "/metrics" || path == "/") {
+    s.tx = http_response(200, "OK", "text/plain; version=0.0.4; charset=utf-8",
+                         registry_.render_text());
+    scrapes_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    errors_total_->add();
+    s.tx = http_response(404, "Not Found", "text/plain; charset=utf-8",
+                         "try /metrics\n");
+  }
+  s.responding = true;
+}
+
+void ScrapeServer::close_session(int fd) {
+  auto it = sessions_.find(fd);
+  if (it == sessions_.end()) return;
+  loop_->unwatch_fd(fd);
+  it->second.conn.close();
+  sessions_.erase(it);
+}
+
+}  // namespace twfd::obs

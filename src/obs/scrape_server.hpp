@@ -1,0 +1,90 @@
+// Minimal HTTP/1.0 scrape endpoint serving a Registry.
+//
+// `GET /metrics` (or `GET /`) answers 200 with the Prometheus text
+// exposition (v0.0.4) of `Registry::render_text()`; any other path is
+// 404, anything that isn't a GET is 400. Connections are closed after
+// one response (HTTP/1.0, `Connection: close`), which is exactly what
+// `curl` and a Prometheus scraper do anyway.
+//
+// The server owns a private net::EventLoop plus one thread: the
+// listener fd and every session fd are watched non-blockingly, so a
+// stalled scraper can never wedge the daemon — it just times out and
+// gets closed. The daemons pass the same Registry their runtime writes
+// into; all metric reads are relaxed-atomic snapshots, so scraping
+// never takes a lock the heartbeat path could contend on.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/time.hpp"
+#include "net/event_loop.hpp"
+#include "net/tcp.hpp"
+#include "obs/metrics.hpp"
+
+namespace twfd::obs {
+
+class ScrapeServer {
+ public:
+  struct Params {
+    std::uint16_t port = 0;  ///< 0 = ephemeral (see port())
+    std::size_t max_sessions = 32;
+    std::size_t max_request_bytes = 8192;
+    Tick session_timeout = ticks_from_sec(10);
+  };
+
+  /// Binds the listener immediately (throws std::system_error on
+  /// failure, e.g. port in use) but serves nothing until start().
+  ScrapeServer(Registry& registry, Params params);
+  ~ScrapeServer();
+  ScrapeServer(const ScrapeServer&) = delete;
+  ScrapeServer& operator=(const ScrapeServer&) = delete;
+
+  void start();
+  void stop();
+
+  /// The bound TCP port; valid from construction.
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Completed /metrics responses (any thread; tests poll this).
+  [[nodiscard]] std::uint64_t scrapes() const noexcept {
+    return scrapes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Session {
+    net::TcpConn conn;
+    std::string rx;
+    std::string tx;
+    std::size_t tx_sent = 0;
+    bool responding = false;
+    Tick deadline = 0;
+  };
+
+  void run();
+  void on_listener_readable();
+  void on_session_event(int fd, unsigned events);
+  void respond(Session& s);
+  void close_session(int fd);
+  void arm_sweep_timer();
+
+  Registry& registry_;
+  Params params_;
+  net::TcpListener listener_;
+  std::uint16_t port_ = 0;
+  std::unique_ptr<net::EventLoop> loop_;
+  std::map<int, Session> sessions_;
+  std::thread thread_;
+  std::atomic<bool> stop_requested_{false};
+  bool running_ = false;
+  std::atomic<std::uint64_t> scrapes_{0};
+  Counter* requests_total_ = nullptr;
+  Counter* errors_total_ = nullptr;
+};
+
+}  // namespace twfd::obs

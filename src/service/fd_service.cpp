@@ -22,6 +22,7 @@ FdService::~FdService() {
   remotes_.for_each([&](SlabHandle, Remote& remote) {
     for (auto& sub : remote.subs) {
       if (sub.timer != kInvalidTimer) rt_.timers->cancel(sub.timer);
+      if (params_.qos_tracker != nullptr) params_.qos_tracker->untrack(sub.qos_handle);
     }
     if (remote.reconfigure_timer != kInvalidTimer) {
       rt_.timers->cancel(remote.reconfigure_timer);
@@ -81,6 +82,11 @@ FdService::SubscriptionId FdService::subscribe(PeerId peer, std::uint64_t sender
   sub.callback = std::move(callback);
   const SubscriptionId id = sub.id;
   remote->subs.push_back(std::move(sub));
+  if (params_.qos_tracker != nullptr) {
+    Subscription& admitted = remote->subs.back();
+    admitted.qos_handle = params_.qos_tracker->track(admitted.app, sender_id, qos,
+                                                     rt_.clock->now());
+  }
   sub_to_peer_.insert_or_assign(id, peer);
   apply_combined(*remote, std::move(combined));
   return id;
@@ -97,6 +103,7 @@ void FdService::unsubscribe(SubscriptionId id) {
                                [&](const Subscription& s) { return s.id == id; });
   TWFD_CHECK(it != remote->subs.end());
   if (it->timer != kInvalidTimer) rt_.timers->cancel(it->timer);
+  if (params_.qos_tracker != nullptr) params_.qos_tracker->untrack(it->qos_handle);
   remote->subs.erase(it);
 
   if (remote->subs.empty()) {
@@ -227,6 +234,10 @@ void FdService::handle_heartbeat(PeerId from, const net::HeartbeatMsg& msg,
   }
 
   ++heartbeats_;
+  remote->last_arrival = arrival;
+  if (params_.obs_heartbeats != nullptr) {
+    params_.obs_heartbeats->add(params_.obs_cell);
+  }
   remote->estimator.on_heartbeat(msg.seq, msg.send_time, arrival);
   remote->detector.on_heartbeat(msg.seq, msg.send_time, arrival);
 
@@ -234,6 +245,9 @@ void FdService::handle_heartbeat(PeerId from, const net::HeartbeatMsg& msg,
     if (sub.suspecting &&
         remote->detector.suspect_after(sub.shared_index) > arrival) {
       sub.suspecting = false;
+      if (params_.qos_tracker != nullptr) {
+        params_.qos_tracker->record_trust(sub.qos_handle, arrival);
+      }
       if (sub.callback) {
         sub.callback({sub.id, sub.app, detect::Output::Trust, arrival});
       }
@@ -279,6 +293,9 @@ void FdService::on_sub_timer(PeerId peer, SubscriptionId id) {
   const Tick t = rt_.clock->now();
   if (remote->detector.output_at(it->shared_index, t) == detect::Output::Suspect) {
     it->suspecting = true;
+    if (params_.qos_tracker != nullptr) {
+      params_.qos_tracker->record_suspect(it->qos_handle, t, remote->last_arrival);
+    }
     if (it->callback) it->callback({it->id, it->app, detect::Output::Suspect, t});
   } else {
     arm_timer(*remote, *it);  // raced with a fresh heartbeat

@@ -36,6 +36,8 @@
 #include "config/qos_config.hpp"
 #include "core/shared_margin.hpp"
 #include "net/wire.hpp"
+#include "obs/metrics.hpp"
+#include "obs/qos_tracker.hpp"
 #include "trace/trace_stats.hpp"
 
 namespace twfd::service {
@@ -61,6 +63,15 @@ class FdService {
     /// Pre-sizes the peer slab and index so a known population admits
     /// without a single grow/rehash (0 = grow on demand).
     std::size_t expected_peers = 0;
+    /// Optional QoS conformance tracker (src/obs): subscriptions are
+    /// tracked on admit, Suspect/Trust transitions feed detection-time
+    /// and mistake metrics. Must outlive the service.
+    obs::QosTracker* qos_tracker = nullptr;
+    /// Optional live heartbeat counter cell: one relaxed increment on
+    /// `obs_cell` per applied heartbeat — cache-line-private, so the
+    /// hot path stays allocation- and contention-free.
+    obs::ShardedCounter* obs_heartbeats = nullptr;
+    std::size_t obs_cell = 0;
   };
 
   using SubscriptionId = std::uint64_t;
@@ -135,6 +146,7 @@ class FdService {
     std::size_t shared_index = 0; // index inside the SharedMarginDetector
     bool suspecting = false;
     TimerId timer = kInvalidTimer;
+    obs::QosTracker::Handle qos_handle = nullptr;  // set iff Params::qos_tracker
   };
 
   /// One slab slot per monitored peer. The detector is embedded by value:
@@ -152,6 +164,7 @@ class FdService {
     Tick requested_interval = 0;
     Tick sender_interval = 0;  // Delta_i the sender's heartbeats advertise
                                // (0 until the first heartbeat arrives)
+    Tick last_arrival = 0;     // newest applied heartbeat (QoS detection samples)
     TimerId reconfigure_timer = kInvalidTimer;
 
     Remote(PeerId p, std::uint64_t sid, const std::vector<std::size_t>& windows)
@@ -174,6 +187,7 @@ class FdService {
       sender_id = 0;
       requested_interval = 0;
       sender_interval = 0;
+      last_arrival = 0;
       reconfigure_timer = kInvalidTimer;
     }
 

@@ -82,7 +82,12 @@ void ShardedMonitorService::build_shard_runtime(Shard& s) {
   opts.rcvbuf_bytes = params_.rcvbuf_bytes;
   s.loop = std::make_unique<net::EventLoop>(opts);
   s.dispatcher = std::make_unique<service::Dispatcher>(s.loop->runtime());
-  s.fd = std::make_unique<service::FdService>(s.loop->runtime(), params_.service);
+  service::FdService::Params service_params = params_.service;
+  if (live_heartbeats_ != nullptr) {
+    service_params.obs_heartbeats = live_heartbeats_;
+    service_params.obs_cell = s.index;
+  }
+  s.fd = std::make_unique<service::FdService>(s.loop->runtime(), service_params);
   auto* fdp = s.fd.get();
   s.dispatcher->on_heartbeat(
       [fdp](PeerId from, const net::HeartbeatMsg& m, Tick at) {
@@ -129,6 +134,12 @@ void ShardedMonitorService::build_shard_runtime(Shard& s) {
 ShardedMonitorService::ShardedMonitorService(Params params)
     : params_(std::move(params)) {
   TWFD_CHECK_MSG(params_.shards >= 1, "need at least one shard");
+  if (params_.registry != nullptr) {
+    live_heartbeats_ = &params_.registry->sharded_counter(
+        "twfd_shard_heartbeats_total",
+        "Heartbeats applied on the shard hot path (live, per-shard cells).",
+        params_.shards);
+  }
   const bool reuse =
       params_.receive_mode == ReceiveMode::kReusePort && params_.shards > 1;
 

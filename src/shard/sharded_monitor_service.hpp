@@ -68,6 +68,7 @@
 #include "config/qos_config.hpp"
 #include "net/event_loop.hpp"
 #include "net/fault.hpp"
+#include "obs/metrics.hpp"
 #include "service/dispatcher.hpp"
 #include "service/fd_service.hpp"
 
@@ -131,8 +132,16 @@ class ShardedMonitorService {
     /// traffic (RX chaos). Inactive unless any_datagram_faults().
     net::FaultPlan chaos{};
     /// Per-shard FdService tuning (windows, assumed network, slab
-    /// pre-sizing via expected_peers, ...).
+    /// pre-sizing via expected_peers, ...). `service.qos_tracker` is
+    /// shared by every shard (the tracker is thread-safe per handle);
+    /// `service.obs_heartbeats`/`obs_cell` are overwritten per shard
+    /// when `registry` is set.
     service::FdService::Params service{};
+    /// Optional obs registry: when set, the service registers a live
+    /// twfd_shard_heartbeats_total ShardedCounter with one cell per
+    /// shard (written relaxed on the heartbeat path) and wires it into
+    /// each shard's FdService. Must outlive the service.
+    obs::Registry* registry = nullptr;
   };
 
   using SubscriptionId = std::uint64_t;
@@ -391,6 +400,7 @@ class ShardedMonitorService {
   void emit_health(Shard& s, detect::Output output);
 
   Params params_;
+  obs::ShardedCounter* live_heartbeats_ = nullptr;  // set iff Params::registry
   std::vector<std::unique_ptr<Shard>> shards_;
   std::uint16_t service_port_ = 0;
   bool running_ = false;

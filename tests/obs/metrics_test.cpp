@@ -1,0 +1,184 @@
+// Unit tests for the obs metrics layer: bucket boundary semantics,
+// registry idempotence, label escaping, and the exact text exposition
+// bytes (golden output — scrape consumers parse this format).
+
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace twfd::obs {
+namespace {
+
+TEST(Counter, AddAndMirror) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.set_total(7);  // mirror mode overwrites
+  EXPECT_EQ(c.value(), 7u);
+}
+
+TEST(Gauge, SetAndAdd) {
+  Gauge g;
+  g.set(1.5);
+  g.add(-0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 1.0);
+}
+
+TEST(Histogram, BucketBoundsAreInclusive) {
+  // `le` semantics: a sample exactly on a bound lands in that bucket.
+  Histogram h({0.1, 0.5, 1.0});
+  h.observe(0.1);   // bucket 0 (v <= 0.1)
+  h.observe(0.5);   // bucket 1
+  h.observe(0.50001);  // bucket 2
+  h.observe(1.0);   // bucket 2
+  h.observe(2.0);   // +Inf bucket
+  const auto s = h.snapshot();
+  ASSERT_EQ(s.buckets.size(), 4u);
+  EXPECT_EQ(s.buckets[0], 1u);
+  EXPECT_EQ(s.buckets[1], 1u);
+  EXPECT_EQ(s.buckets[2], 2u);
+  EXPECT_EQ(s.buckets[3], 1u);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.sum, 0.1 + 0.5 + 0.50001 + 1.0 + 2.0);
+}
+
+TEST(Histogram, BadBoundsThrow) {
+  EXPECT_THROW(Histogram({1.0, 1.0}), std::logic_error);          // not ascending
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::logic_error);          // descending
+  EXPECT_THROW(Histogram({std::numeric_limits<double>::infinity()}),
+               std::logic_error);                                 // not finite
+}
+
+TEST(ShardedCounter, SumsAcrossCells) {
+  ShardedCounter c(4);
+  c.add(0, 1);
+  c.add(1, 10);
+  c.add(3, 100);
+  c.add(3);
+  EXPECT_EQ(c.cells(), 4u);
+  EXPECT_EQ(c.value(), 112u);
+}
+
+TEST(ShardedHistogram, AggregatesAcrossCells) {
+  ShardedHistogram h({1.0, 10.0}, 2);
+  h.observe(0, 0.5);
+  h.observe(1, 5.0);
+  h.observe(1, 50.0);
+  const auto s = h.snapshot();
+  ASSERT_EQ(s.buckets.size(), 3u);
+  EXPECT_EQ(s.buckets[0], 1u);
+  EXPECT_EQ(s.buckets[1], 1u);
+  EXPECT_EQ(s.buckets[2], 1u);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.sum, 55.5);
+}
+
+TEST(Registry, GetOrCreateIsIdempotent) {
+  Registry r;
+  Counter& a = r.counter("x_total", "help");
+  Counter& b = r.counter("x_total", "help");
+  EXPECT_EQ(&a, &b);
+  Counter& labelled = r.counter("x_total", "help", make_labels({{"k", "v"}}));
+  EXPECT_NE(&a, &labelled);
+  EXPECT_EQ(&labelled, &r.counter("x_total", "help", make_labels({{"k", "v"}})));
+}
+
+TEST(Registry, TypeMismatchThrows) {
+  Registry r;
+  r.counter("x_total", "help");
+  EXPECT_THROW(r.gauge("x_total", "help"), std::logic_error);
+  r.histogram("h", "help", {1.0});
+  EXPECT_THROW(r.histogram("h", "help", {2.0}), std::logic_error);  // bound mismatch
+}
+
+TEST(Registry, DeclaredFamilyRendersHeaderWithoutInstances) {
+  Registry r;
+  r.declare("twfd_qos_violations_total", MetricType::kCounter, "Bound breaches.");
+  const std::string text = r.render_text();
+  EXPECT_NE(text.find("# HELP twfd_qos_violations_total Bound breaches.\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE twfd_qos_violations_total counter\n"),
+            std::string::npos);
+  // Header only: no sample line (samples start at column 0 after a \n).
+  EXPECT_EQ(text.find("\ntwfd_qos_violations_total "), std::string::npos);
+}
+
+TEST(Registry, RemoveDropsInstanceKeepsFamily) {
+  Registry r;
+  r.gauge("g", "help", make_labels({{"id", "1"}})).set(3);
+  r.gauge("g", "help", make_labels({{"id", "2"}})).set(4);
+  EXPECT_TRUE(r.remove("g", make_labels({{"id", "1"}})));
+  EXPECT_FALSE(r.remove("g", make_labels({{"id", "1"}})));  // already gone
+  const std::string text = r.render_text();
+  EXPECT_EQ(text.find("id=\"1\""), std::string::npos);
+  EXPECT_NE(text.find("g{id=\"2\"} 4\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE g gauge\n"), std::string::npos);
+}
+
+TEST(Registry, CollectHooksRunBeforeRender) {
+  Registry r;
+  Counter& c = r.counter("hooked_total", "help");
+  r.add_collect_hook([&c] { c.set_total(99); });
+  const std::string text = r.render_text();
+  EXPECT_NE(text.find("hooked_total 99\n"), std::string::npos);
+}
+
+TEST(Labels, Escaping) {
+  EXPECT_EQ(label_escape("plain"), "plain");
+  EXPECT_EQ(label_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(make_labels({{"app", "x\"y"}}), "app=\"x\\\"y\"");
+}
+
+// Golden exposition output: the full byte-exact render of a small
+// registry. Families sort by name; histogram buckets are cumulative and
+// end with +Inf; counts/sums follow.
+TEST(Registry, GoldenExposition) {
+  Registry r;
+  r.counter("a_total", "A counter.").add(3);
+  r.gauge("b_gauge", "A gauge.", make_labels({{"k", "v"}})).set(2.5);
+  Histogram& h = r.histogram("c_hist", "A histogram.", {0.5, 1.0});
+  h.observe(0.25);
+  h.observe(0.75);
+  h.observe(9.0);
+  const std::string expected =
+      "# HELP a_total A counter.\n"
+      "# TYPE a_total counter\n"
+      "a_total 3\n"
+      "# HELP b_gauge A gauge.\n"
+      "# TYPE b_gauge gauge\n"
+      "b_gauge{k=\"v\"} 2.5\n"
+      "# HELP c_hist A histogram.\n"
+      "# TYPE c_hist histogram\n"
+      "c_hist_bucket{le=\"0.5\"} 1\n"
+      "c_hist_bucket{le=\"1\"} 2\n"
+      "c_hist_bucket{le=\"+Inf\"} 3\n"
+      "c_hist_sum 10\n"
+      "c_hist_count 3\n";
+  EXPECT_EQ(r.render_text(), expected);
+}
+
+TEST(Registry, HistogramWithLabelsRendersLabelledBuckets) {
+  Registry r;
+  Histogram& h = r.histogram("lat", "help", {1.0}, make_labels({{"app", "x"}}));
+  h.observe(0.5);
+  const std::string text = r.render_text();
+  EXPECT_NE(text.find("lat_bucket{app=\"x\",le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{app=\"x\",le=\"+Inf\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_sum{app=\"x\"} 0.5\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_count{app=\"x\"} 1\n"), std::string::npos);
+}
+
+TEST(RenderTextFreeFunction, MatchesMemberRender) {
+  Registry r;
+  r.counter("x_total", "help").add(1);
+  EXPECT_EQ(render_text(r), r.render_text());
+}
+
+}  // namespace
+}  // namespace twfd::obs

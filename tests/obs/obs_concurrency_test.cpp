@@ -1,0 +1,131 @@
+// Concurrency: writers hammer counters/gauges/histograms while another
+// thread renders in a loop. Rides the TSan lane (label `obs`, see
+// tools/tsan_check.sh) — any missing atomicity or a locking bug between
+// registration, removal and render shows up as a reported race; the
+// exact totals after join catch lost updates.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/qos_tracker.hpp"
+
+namespace twfd::obs {
+namespace {
+
+TEST(ObsConcurrency, WritersVsRenderLoop) {
+  Registry registry;
+  constexpr int kWriters = 4;
+  constexpr std::uint64_t kOpsPerWriter = 20'000;
+
+  Counter& counter = registry.counter("c_total", "help");
+  Gauge& gauge = registry.gauge("g", "help");
+  Histogram& hist = registry.histogram("h", "help", {0.25, 0.5, 0.75});
+  ShardedCounter& sharded = registry.sharded_counter("s_total", "help", kWriters);
+  ShardedHistogram& shist =
+      registry.sharded_histogram("sh", "help", {0.5}, kWriters);
+
+  std::atomic<bool> stop{false};
+  std::thread renderer([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::string text = registry.render_text();
+      ASSERT_NE(text.find("# TYPE c_total counter"), std::string::npos);
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (std::uint64_t i = 0; i < kOpsPerWriter; ++i) {
+        counter.add();
+        gauge.set(static_cast<double>(i));
+        hist.observe(static_cast<double>(i % 4) * 0.25);
+        sharded.add(static_cast<std::size_t>(w));
+        shist.observe(static_cast<std::size_t>(w), static_cast<double>(i % 2));
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  renderer.join();
+
+  constexpr std::uint64_t kTotal = kWriters * kOpsPerWriter;
+  EXPECT_EQ(counter.value(), kTotal);
+  EXPECT_EQ(sharded.value(), kTotal);
+  EXPECT_EQ(hist.snapshot().count, kTotal);
+  EXPECT_EQ(shist.snapshot().count, kTotal);
+}
+
+TEST(ObsConcurrency, RegistrationVsRenderLoop) {
+  Registry registry;
+  std::atomic<bool> stop{false};
+  std::thread renderer([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      (void)registry.render_text();
+    }
+  });
+
+  // Registering, writing through and removing instances while renders
+  // run — the subscription churn pattern (QosTracker track/untrack).
+  std::vector<std::thread> churners;
+  for (int w = 0; w < 3; ++w) {
+    churners.emplace_back([&, w] {
+      for (int i = 0; i < 500; ++i) {
+        const std::string labels =
+            make_labels({{"w", std::to_string(w)}, {"i", std::to_string(i)}});
+        registry.counter("churn_total", "help", labels).add();
+        registry.remove("churn_total", labels);
+      }
+    });
+  }
+  for (auto& t : churners) t.join();
+  stop.store(true, std::memory_order_release);
+  renderer.join();
+
+  const std::string text = registry.render_text();
+  EXPECT_NE(text.find("# TYPE churn_total counter\n"), std::string::npos);
+}
+
+TEST(ObsConcurrency, QosEventsVsRefreshLoop) {
+  Registry registry;
+  QosTracker tracker(registry, {.window = ticks_from_sec(5)});
+  // Bounds far below the injected 1 ms samples: every event violates.
+  const auto h = tracker.track("app", 1, {0.0001, 0.0001, 0.0001}, 0);
+
+  std::atomic<bool> stop{false};
+  std::thread refresher([&] {
+    Tick now = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      tracker.refresh(now += ticks_from_ms(10));
+      (void)registry.render_text();
+    }
+  });
+
+  // Single writer per handle (the FdService contract), racing refresh().
+  constexpr int kMistakes = 2'000;
+  Tick t = ticks_from_sec(1);
+  for (int i = 0; i < kMistakes; ++i) {
+    tracker.record_suspect(h, t, t - ticks_from_ms(1));
+    tracker.record_trust(h, t + ticks_from_ms(1));
+    t += ticks_from_ms(2);
+  }
+  stop.store(true, std::memory_order_release);
+  refresher.join();
+
+  const std::string text = registry.render_text();
+  EXPECT_NE(text.find("twfd_qos_mistakes_total{app=\"app\",peer=\"1\",sub=\"1\"} " +
+                      std::to_string(kMistakes) + "\n"),
+            std::string::npos);
+  // Every mistake breached both T_D^U and T_M^U, and the rate bound at
+  // least once: at minimum 2 violations per mistake.
+  EXPECT_GE(tracker.violations(), static_cast<std::uint64_t>(2 * kMistakes));
+  tracker.untrack(h);
+}
+
+}  // namespace
+}  // namespace twfd::obs

@@ -1,0 +1,149 @@
+// QosTracker: live QoS conformance measurement against negotiated
+// (T_D^U, T_MR^U, T_M^U) bounds. Uses explicit Tick values throughout —
+// no wall clock, so every assertion is deterministic.
+
+#include "obs/qos_tracker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace twfd::obs {
+namespace {
+
+config::QosRequirements tight() {
+  // T_D^U = 1 s, T_MR^U = 1 mistake/s, T_M^U = 0.5 s.
+  return {1.0, 1.0, 0.5};
+}
+
+TEST(QosTracker, DetectionSampleAndViolation) {
+  Registry r;
+  QosTracker tr(r);
+  const auto h = tr.track("app", 7, tight(), /*start=*/0);
+
+  // Last heartbeat at t=10s, suspect at t=10.5s: sample 0.5s <= 1s bound.
+  tr.record_suspect(h, ticks_from_ms(10'500), ticks_from_ms(10'000));
+  EXPECT_EQ(tr.violations(), 0u);
+  tr.record_trust(h, ticks_from_ms(10'600));
+
+  // Next suspicion fires 2s after the last heartbeat: breaches T_D^U.
+  tr.record_suspect(h, ticks_from_ms(22'000), ticks_from_ms(20'000));
+  EXPECT_EQ(tr.violations(), 1u);
+
+  const std::string text = r.render_text();
+  EXPECT_NE(text.find("twfd_qos_detection_time_seconds{app=\"app\",peer=\"7\",sub=\"1\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("twfd_qos_detection_time_bound_seconds{app=\"app\",peer=\"7\",sub=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("twfd_qos_suspected{app=\"app\",peer=\"7\",sub=\"1\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(QosTracker, NeverHeardYieldsNoDetectionSample) {
+  Registry r;
+  QosTracker tr(r);
+  const auto h = tr.track("app", 1, tight(), 0);
+  tr.record_suspect(h, ticks_from_sec(5), /*last_heartbeat_arrival=*/0);
+  EXPECT_EQ(tr.violations(), 0u);  // no sample, no breach
+}
+
+TEST(QosTracker, MistakeDurationAndViolation) {
+  Registry r;
+  QosTracker tr(r);
+  const auto h = tr.track("app", 1, tight(), 0);
+
+  // 0.2 s mistake: within the 0.5 s bound.
+  tr.record_suspect(h, ticks_from_ms(1'000), ticks_from_ms(900));
+  tr.record_trust(h, ticks_from_ms(1'200));
+  EXPECT_EQ(tr.violations(), 0u);
+
+  // 2 s mistake: breaches T_M^U.
+  tr.record_suspect(h, ticks_from_ms(5'000), ticks_from_ms(4'900));
+  tr.record_trust(h, ticks_from_ms(7'000));
+  EXPECT_EQ(tr.violations(), 1u);
+
+  const std::string text = r.render_text();
+  EXPECT_NE(text.find("twfd_qos_mistake_duration_seconds{app=\"app\",peer=\"1\",sub=\"1\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("twfd_qos_mistakes_total{app=\"app\",peer=\"1\",sub=\"1\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("twfd_qos_suspected{app=\"app\",peer=\"1\",sub=\"1\"} 0\n"),
+            std::string::npos);
+}
+
+TEST(QosTracker, MistakeRateWindowDecays) {
+  Registry r;
+  // 10 s window so the arithmetic stays readable.
+  QosTracker tr(r, {.window = ticks_from_sec(10)});
+  const auto h = tr.track("app", 1, {100.0, 0.05, 100.0}, /*start=*/0);
+
+  // Two mistakes in the first second. Only 1 s of the window has been
+  // lived, so the effective rate is 2/1s = 2/s — way over the 0.05/s
+  // bound (the rate breach is charged at event time).
+  tr.record_suspect(h, ticks_from_ms(100), ticks_from_ms(50));
+  tr.record_trust(h, ticks_from_ms(200));
+  tr.record_suspect(h, ticks_from_ms(700), ticks_from_ms(650));
+  tr.record_trust(h, ticks_from_ms(800));
+  EXPECT_GE(tr.violations(), 1u);
+
+  // 10 s later both mistakes have aged out of the window.
+  tr.refresh(ticks_from_sec(20));
+  const std::string text = r.render_text();
+  EXPECT_NE(text.find("twfd_qos_mistake_rate{app=\"app\",peer=\"1\",sub=\"1\"} 0\n"),
+            std::string::npos);
+}
+
+TEST(QosTracker, DoubleTransitionsAreNoOps) {
+  Registry r;
+  QosTracker tr(r);
+  const auto h = tr.track("app", 1, tight(), 0);
+  tr.record_trust(h, ticks_from_sec(1));  // trust while trusting: no-op
+  tr.record_suspect(h, ticks_from_sec(2), ticks_from_ms(1'500));
+  tr.record_suspect(h, ticks_from_sec(3), ticks_from_ms(1'500));  // already suspecting
+  tr.record_trust(h, ticks_from_sec(4));
+  tr.record_trust(h, ticks_from_sec(5));  // no-op
+  const std::string text = r.render_text();
+  EXPECT_NE(text.find("twfd_qos_mistakes_total{app=\"app\",peer=\"1\",sub=\"1\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(QosTracker, UntrackRemovesGaugesKeepsFamilies) {
+  Registry r;
+  QosTracker tr(r);
+  const auto h = tr.track("app", 9, tight(), 0);
+  EXPECT_EQ(tr.tracked(), 1u);
+  tr.untrack(h);
+  EXPECT_EQ(tr.tracked(), 0u);
+  const std::string text = r.render_text();
+  EXPECT_EQ(text.find("peer=\"9\""), std::string::npos);
+  // Families stay declared so the scrape contract (family presence)
+  // holds even with zero live subscriptions.
+  EXPECT_NE(text.find("# TYPE twfd_qos_detection_time_seconds gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE twfd_qos_violations_total counter\n"),
+            std::string::npos);
+}
+
+TEST(QosTracker, TwoSubscriptionsSamePeerStayDistinct) {
+  Registry r;
+  QosTracker tr(r);
+  (void)tr.track("a", 1, tight(), 0);
+  (void)tr.track("b", 1, tight(), 0);
+  const std::string text = r.render_text();
+  EXPECT_NE(text.find("{app=\"a\",peer=\"1\",sub=\"1\"}"), std::string::npos);
+  EXPECT_NE(text.find("{app=\"b\",peer=\"1\",sub=\"2\"}"), std::string::npos);
+}
+
+TEST(QosTracker, NullHandleIsNoOp) {
+  Registry r;
+  QosTracker tr(r);
+  tr.record_suspect(nullptr, 1, 1);
+  tr.record_trust(nullptr, 2);
+  tr.untrack(nullptr);
+  EXPECT_EQ(tr.violations(), 0u);
+}
+
+}  // namespace
+}  // namespace twfd::obs

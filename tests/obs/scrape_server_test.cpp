@@ -1,0 +1,134 @@
+// ScrapeServer over real loopback TCP: a blocking client dials the
+// bound port, sends an HTTP request and reads until EOF (HTTP/1.0
+// close-delimited), asserting on status line, Content-Type and body.
+
+#include "obs/scrape_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <thread>
+
+#include "net/tcp.hpp"
+#include "obs/metrics.hpp"
+
+namespace twfd::obs {
+namespace {
+
+/// One full HTTP exchange: connect, write `request`, read to EOF.
+std::string http_exchange(std::uint16_t port, const std::string& request) {
+  auto conn = net::TcpConn::connect(net::SocketAddress::loopback(port),
+                                    ticks_from_sec(5));
+  if (!conn) return {};
+  std::span<const std::byte> out{reinterpret_cast<const std::byte*>(request.data()),
+                                 request.size()};
+  while (!out.empty()) {
+    const auto r = conn->write_some(out);
+    if (r.status == net::TcpConn::IoStatus::kClosed) return {};
+    out = out.subspan(r.bytes);
+    if (r.status == net::TcpConn::IoStatus::kWouldBlock) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  std::string response;
+  std::byte buf[4096];
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  for (;;) {
+    const auto r = conn->read_some(buf);
+    if (r.status == net::TcpConn::IoStatus::kClosed) break;
+    if (r.status == net::TcpConn::IoStatus::kWouldBlock) {
+      if (std::chrono::steady_clock::now() > deadline) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      continue;
+    }
+    response.append(reinterpret_cast<const char*>(buf), r.bytes);
+  }
+  return response;
+}
+
+TEST(ScrapeServer, ServesMetricsOnGet) {
+  Registry registry;
+  registry.counter("twfd_test_total", "A test counter.").add(5);
+  ScrapeServer server(registry, {});
+  server.start();
+  ASSERT_NE(server.port(), 0);
+
+  const std::string resp =
+      http_exchange(server.port(), "GET /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_NE(resp.find("HTTP/1.0 200 OK\r\n"), std::string::npos) << resp;
+  EXPECT_NE(resp.find("Content-Type: text/plain; version=0.0.4; charset=utf-8"),
+            std::string::npos);
+  EXPECT_NE(resp.find("twfd_test_total 5\n"), std::string::npos);
+  // The endpoint's own accounting appears in its output.
+  EXPECT_NE(resp.find("twfd_scrape_requests_total"), std::string::npos);
+  EXPECT_EQ(server.scrapes(), 1u);
+  server.stop();
+}
+
+TEST(ScrapeServer, RootAliasAndRepeatScrapes) {
+  Registry registry;
+  ScrapeServer server(registry, {});
+  server.start();
+  for (int i = 0; i < 3; ++i) {
+    const std::string resp = http_exchange(server.port(), "GET / HTTP/1.0\r\n\r\n");
+    EXPECT_NE(resp.find("HTTP/1.0 200 OK\r\n"), std::string::npos);
+  }
+  EXPECT_EQ(server.scrapes(), 3u);
+  server.stop();
+}
+
+TEST(ScrapeServer, UnknownPathIs404) {
+  Registry registry;
+  ScrapeServer server(registry, {});
+  server.start();
+  const std::string resp =
+      http_exchange(server.port(), "GET /bogus HTTP/1.0\r\n\r\n");
+  EXPECT_NE(resp.find("HTTP/1.0 404 Not Found\r\n"), std::string::npos) << resp;
+  EXPECT_EQ(server.scrapes(), 0u);
+  server.stop();
+}
+
+TEST(ScrapeServer, NonGetIs400) {
+  Registry registry;
+  ScrapeServer server(registry, {});
+  server.start();
+  const std::string resp =
+      http_exchange(server.port(), "POST /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_NE(resp.find("HTTP/1.0 400 Bad Request\r\n"), std::string::npos) << resp;
+  server.stop();
+}
+
+TEST(ScrapeServer, CollectHookRunsPerScrape) {
+  Registry registry;
+  Counter& c = registry.counter("hooked_total", "help");
+  int hooks = 0;
+  registry.add_collect_hook([&] {
+    ++hooks;
+    c.set_total(static_cast<std::uint64_t>(hooks));
+  });
+  ScrapeServer server(registry, {});
+  server.start();
+  (void)http_exchange(server.port(), "GET /metrics HTTP/1.0\r\n\r\n");
+  const std::string resp =
+      http_exchange(server.port(), "GET /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_NE(resp.find("hooked_total 2\n"), std::string::npos) << resp;
+  server.stop();
+}
+
+TEST(ScrapeServer, PortInUseThrows) {
+  Registry registry;
+  ScrapeServer a(registry, {});
+  EXPECT_THROW(ScrapeServer(registry, {.port = a.port()}), std::system_error);
+}
+
+TEST(ScrapeServer, StopWithoutStartIsSafe) {
+  Registry registry;
+  ScrapeServer server(registry, {});
+  server.stop();  // never started
+}
+
+}  // namespace
+}  // namespace twfd::obs

@@ -12,9 +12,14 @@
 #      followed by explicit chaos and federation passes in the same
 #      sanitized tree (the federation sim drives 100k peers through the
 #      digest codec, exactly the buffers ASan should watch);
-#   4. tools/tsan_check.sh — TSan over the `threaded` label (the MPSC
-#      queues, the sharded runtime + supervisor, and the FDaaS API
-#      server/client).
+#   4. a live scrape drill: twfd_monitor and twfd_fdaasd are started
+#      with --metrics-port, /metrics is curled and the required metric
+#      families (event loop, QoS conformance, shard heartbeats) must be
+#      present in the exposition — the observability contract the
+#      dashboards are built on;
+#   5. tools/tsan_check.sh — TSan over the `threaded` and `obs` labels
+#      (the MPSC queues, the sharded runtime + supervisor, the FDaaS API
+#      server/client, and the metrics registry under concurrent scrape).
 #
 #   tools/ci_check.sh [build-dir]   (default: build)
 #
@@ -53,6 +58,51 @@ grep -q '"speedup_valid"' "$BUILD_DIR/bench/BENCH_shard_scale.json" || {
   exit 1
 }
 
+echo "== metrics scrape drill ($BUILD_DIR) =="
+# Start both daemons with a metrics endpoint, scrape them, and require
+# the families the dashboards key on. A missing family means an export
+# was dropped in a refactor — exactly the regression this stage exists
+# to catch. curl reads to EOF on the HTTP/1.0 close-delimited response.
+MON_METRICS_PORT=14971
+FDAASD_METRICS_PORT=14973
+"$BUILD_DIR/tools/twfd_monitor" --port 14970 --sender-id 1 --interval-ms 50 \
+  --metrics-port "$MON_METRICS_PORT" --duration-s 6 >/dev/null 2>&1 &
+MON_PID=$!
+"$BUILD_DIR/tools/twfd_fdaasd" --service-port 14972 --api-port 14974 \
+  --metrics-port "$FDAASD_METRICS_PORT" --duration-s 6 \
+  --stats-interval-s 0 >/dev/null 2>&1 &
+FDAASD_PID=$!
+sleep 2
+MON_SCRAPE="$(curl -sf "http://127.0.0.1:$MON_METRICS_PORT/metrics")" || {
+  echo "ci_check: scraping twfd_monitor failed" >&2
+  kill "$MON_PID" "$FDAASD_PID" 2>/dev/null || true
+  exit 1
+}
+FDAASD_SCRAPE="$(curl -sf "http://127.0.0.1:$FDAASD_METRICS_PORT/metrics")" || {
+  echo "ci_check: scraping twfd_fdaasd failed" >&2
+  kill "$MON_PID" "$FDAASD_PID" 2>/dev/null || true
+  exit 1
+}
+for family in twfd_loop_datagrams_received_total twfd_qos_detection_time_seconds \
+              twfd_qos_violations_total twfd_scrape_requests_total; do
+  echo "$MON_SCRAPE" | grep -q "^# TYPE $family " || {
+    echo "ci_check: twfd_monitor /metrics lost family '$family'" >&2
+    kill "$MON_PID" "$FDAASD_PID" 2>/dev/null || true
+    exit 1
+  }
+done
+for family in twfd_shard_heartbeats_total twfd_qos_detection_time_seconds \
+              twfd_qos_mistake_rate twfd_qos_mistake_duration_seconds \
+              twfd_api_sessions_active twfd_qos_violations_total; do
+  echo "$FDAASD_SCRAPE" | grep -q "^# TYPE $family " || {
+    echo "ci_check: twfd_fdaasd /metrics lost family '$family'" >&2
+    kill "$MON_PID" "$FDAASD_PID" 2>/dev/null || true
+    exit 1
+  }
+done
+wait "$MON_PID" "$FDAASD_PID"
+echo "scrape drill: all required families present"
+
 echo "== ASan+UBSan (build-sanitize) =="
 tools/sanitize_check.sh
 
@@ -64,7 +114,7 @@ echo "== federation suite under ASan+UBSan (build-sanitize) =="
 ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
   ctest --test-dir build-sanitize -L federation --output-on-failure
 
-echo "== TSan, label 'threaded' (build-tsan) =="
+echo "== TSan, labels 'threaded' + 'obs' (build-tsan) =="
 tools/tsan_check.sh
 
 echo "== ci_check: all stages passed =="

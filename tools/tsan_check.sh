@@ -1,13 +1,15 @@
 #!/usr/bin/env sh
-# ThreadSanitizer pass over the concurrency suite (CTest label `threaded`:
-# the MPSC command queue, the sharded monitoring runtime including the
-# supervisor/restart tests, and the FDaaS API server/client; see README
-# "Build, test, reproduce" and docs/runtime.md "Threading model").
+# ThreadSanitizer pass over the concurrency suites (CTest labels
+# `threaded` — the MPSC command queue, the sharded monitoring runtime
+# including the supervisor/restart tests, and the FDaaS API
+# server/client — and `obs` — concurrent scrape-vs-update on the metrics
+# registry; see README "Build, test, reproduce" and docs/runtime.md
+# "Threading model" / "Observability").
 #
 #   tools/tsan_check.sh [build-dir]   (default: build-tsan)
 #
-# Builds with TWFD_SANITIZE_THREAD and runs ONLY the `threaded`-labelled
-# tests: TSan's happens-before tracking makes the full suite slow, and the
+# Builds with TWFD_SANITIZE_THREAD and runs ONLY the labelled tests:
+# TSan's happens-before tracking makes the full suite slow, and the
 # single-threaded tests cannot race by construction.
 set -eu
 
@@ -20,6 +22,6 @@ cmake -B "$BUILD_DIR" -S . \
   -DTWFD_BUILD_BENCH=OFF \
   -DTWFD_BUILD_EXAMPLES=OFF
 cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || sysctl -n hw.ncpu)" \
-  --target test_threaded
+  --target test_threaded test_obs
 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
-  ctest --test-dir "$BUILD_DIR" -L threaded --output-on-failure
+  ctest --test-dir "$BUILD_DIR" -L 'threaded|obs' --output-on-failure

@@ -9,7 +9,7 @@
 //   twfd_fdaasd --api-port 4200 --service-port 4100 [--shards 4]
 //               [--lease-ms 10000] [--stats-interval-s 10]
 //               [--chaos SPEC] [--chaos-seed N]
-//               [--duration-s 0]
+//               [--metrics-port N] [--duration-s 0]
 //
 // duration 0 = run until killed.
 //
@@ -17,8 +17,15 @@
 // half (drop/dup/reorder/trunc/delay) is applied per shard to inbound
 // heartbeats; when the plan also has TCP faults (reset/stall/trickle), a
 // ChaosTcpProxy takes over the public API port and the real server moves
-// to an ephemeral one behind it. The plan (seed included) is logged;
-// --chaos-seed overrides the seed to reproduce a logged run.
+// to an ephemeral one behind it. The plan (seed included) is logged to
+// stderr; --chaos-seed overrides the seed to reproduce a logged run.
+//
+// Observability: everything — shard runtime, API server, chaos, and
+// per-subscription QoS conformance — lands in one obs::Registry.
+// --metrics-port serves it as Prometheus text exposition on
+// http://0.0.0.0:PORT/metrics; the periodic stats dump on stdout is the
+// exact same text view (obs::render_text). Banners go to stderr so
+// stdout carries metrics only.
 
 #include <chrono>
 #include <cstdio>
@@ -30,6 +37,10 @@
 #include "api/fdaas_server.hpp"
 #include "net/chaos_proxy.hpp"
 #include "net/fault.hpp"
+#include "obs/exporters.hpp"
+#include "obs/metrics.hpp"
+#include "obs/qos_tracker.hpp"
+#include "obs/scrape_server.hpp"
 #include "shard/sharded_monitor_service.hpp"
 
 using namespace twfd;
@@ -46,13 +57,15 @@ struct Options {
   std::string chaos;
   std::uint64_t chaos_seed = 0;
   bool have_chaos_seed = false;
+  std::uint16_t metrics_port = 0;
+  bool have_metrics = false;
 };
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--api-port N] [--service-port N] [--shards N]\n"
                "          [--lease-ms N] [--stats-interval-s N] [--duration-s N]\n"
-               "          [--chaos SPEC] [--chaos-seed N]\n",
+               "          [--chaos SPEC] [--chaos-seed N] [--metrics-port N]\n",
                argv0);
   std::exit(2);
 }
@@ -82,6 +95,9 @@ Options parse_args(int argc, char** argv) {
     } else if (arg == "--chaos-seed") {
       opt.chaos_seed = std::strtoull(next().c_str(), nullptr, 10);
       opt.have_chaos_seed = true;
+    } else if (arg == "--metrics-port") {
+      opt.metrics_port = static_cast<std::uint16_t>(std::stoi(next()));
+      opt.have_metrics = true;
     } else {
       usage(argv[0]);
     }
@@ -90,77 +106,39 @@ Options parse_args(int argc, char** argv) {
   return opt;
 }
 
-void print_stats(api::FdaasServer& server, shard::ShardedMonitorService& service,
-                 const net::ChaosTcpProxy* proxy) {
-  const auto api = server.stats();
-  const auto sh = service.merged_stats();
-  std::printf(
-      "[fdaasd] sessions=%llu/%llu subs=%llu events: pushed=%llu unroutable=%llu | "
-      "evict: slow=%llu lease=%llu disconnect=%llu | frames: rx=%llu bad=%llu | "
-      "bytes: tx=%llu rx=%llu | shards: hb=%llu handoff=%llu\n",
-      static_cast<unsigned long long>(api.sessions_active),
-      static_cast<unsigned long long>(api.sessions_accepted),
-      static_cast<unsigned long long>(api.subscriptions_active),
-      static_cast<unsigned long long>(api.events_pushed),
-      static_cast<unsigned long long>(api.events_unroutable),
-      static_cast<unsigned long long>(api.slow_evictions),
-      static_cast<unsigned long long>(api.lease_expiries),
-      static_cast<unsigned long long>(api.disconnects),
-      static_cast<unsigned long long>(api.frames_received),
-      static_cast<unsigned long long>(api.frames_malformed),
-      static_cast<unsigned long long>(api.bytes_sent),
-      static_cast<unsigned long long>(api.bytes_received),
-      static_cast<unsigned long long>(sh.service_heartbeats),
-      static_cast<unsigned long long>(sh.handoff_out));
-  // Every silent-drop path and the self-healing counters on one line, so
-  // a lossy or degraded run is visible without attaching a debugger.
-  std::printf(
-      "[fdaasd] drops: handoff=%llu events=%llu send_failures=%llu "
-      "slow_evictions=%llu lease_expiries=%llu | supervision: degraded=%llu "
-      "restarts=%llu stalls=%llu resubscribed=%llu post_retries=%llu+%llu "
-      "post_stalls=%llu+%llu\n",
-      static_cast<unsigned long long>(sh.handoff_dropped),
-      static_cast<unsigned long long>(sh.events_dropped),
-      static_cast<unsigned long long>(sh.loop.send_soft_failures),
-      static_cast<unsigned long long>(api.slow_evictions),
-      static_cast<unsigned long long>(api.lease_expiries),
-      static_cast<unsigned long long>(sh.degraded),
-      static_cast<unsigned long long>(sh.restarts),
-      static_cast<unsigned long long>(sh.stalls_detected),
-      static_cast<unsigned long long>(sh.resubscribed),
-      static_cast<unsigned long long>(sh.post_retries),
-      static_cast<unsigned long long>(api.post_retries),
-      static_cast<unsigned long long>(sh.post_stalls),
-      static_cast<unsigned long long>(api.post_stalls));
-  const auto& cs = sh.chaos;
-  if (cs.offered != 0 || proxy != nullptr) {
-    std::printf(
-        "[fdaasd] chaos: offered=%llu passed=%llu dropped=%llu dup=%llu "
-        "reorder=%llu trunc=%llu delayed=%llu",
-        static_cast<unsigned long long>(cs.offered),
-        static_cast<unsigned long long>(cs.passed),
-        static_cast<unsigned long long>(cs.dropped),
-        static_cast<unsigned long long>(cs.duplicated),
-        static_cast<unsigned long long>(cs.reordered),
-        static_cast<unsigned long long>(cs.truncated),
-        static_cast<unsigned long long>(cs.delayed));
-    if (proxy != nullptr) {
-      const auto ps = proxy->stats();
-      std::printf(
-          " | proxy: links=%llu/%llu resets=%llu forced=%llu stalls=%llu "
-          "bytes up=%llu down=%llu",
-          static_cast<unsigned long long>(ps.links_active),
-          static_cast<unsigned long long>(ps.links_opened),
-          static_cast<unsigned long long>(ps.resets_injected),
-          static_cast<unsigned long long>(ps.forced_resets),
-          static_cast<unsigned long long>(ps.stalls),
-          static_cast<unsigned long long>(ps.bytes_up),
-          static_cast<unsigned long long>(ps.bytes_down));
-    }
-    std::printf("\n");
+/// Mirrors ChaosTcpProxy::Stats (stats() is mutex-guarded: any thread).
+class ProxyExport {
+ public:
+  ProxyExport(obs::Registry& r, const net::ChaosTcpProxy& proxy)
+      : proxy_(proxy),
+        links_opened_(&r.counter("twfd_proxy_links_opened_total",
+                                 "TCP links accepted by the chaos proxy.")),
+        links_active_(&r.gauge("twfd_proxy_links_active", "Live proxied TCP links.")),
+        resets_(&r.counter("twfd_proxy_resets_total",
+                           "Plan-scheduled + forced resets injected.")),
+        stalls_(&r.counter("twfd_proxy_stalls_total", "Stalls injected.")),
+        bytes_up_(&r.counter("twfd_proxy_bytes_up_total", "Bytes client -> upstream.")),
+        bytes_down_(&r.counter("twfd_proxy_bytes_down_total", "Bytes upstream -> client.")) {}
+
+  void update() {
+    const auto s = proxy_.stats();
+    links_opened_->set_total(s.links_opened);
+    links_active_->set(static_cast<double>(s.links_active));
+    resets_->set_total(s.resets_injected + s.forced_resets);
+    stalls_->set_total(s.stalls);
+    bytes_up_->set_total(s.bytes_up);
+    bytes_down_->set_total(s.bytes_down);
   }
-  std::fflush(stdout);
-}
+
+ private:
+  const net::ChaosTcpProxy& proxy_;
+  obs::Counter* links_opened_;
+  obs::Gauge* links_active_;
+  obs::Counter* resets_;
+  obs::Counter* stalls_;
+  obs::Counter* bytes_up_;
+  obs::Counter* bytes_down_;
+};
 
 }  // namespace
 
@@ -173,9 +151,14 @@ int main(int argc, char** argv) {
     if (!opt.chaos.empty()) plan = net::FaultPlan::parse(opt.chaos);
     if (opt.have_chaos_seed) plan.seed = opt.chaos_seed;
 
+    obs::Registry registry;
+    obs::QosTracker tracker(registry);
+
     shard::ShardedMonitorService::Params service_params;
     service_params.shards = opt.shards;
     service_params.port = opt.service_port;
+    service_params.registry = &registry;
+    service_params.service.qos_tracker = &tracker;
     if (chaos_active) service_params.chaos = plan;
     shard::ShardedMonitorService service(service_params);
     service.start();
@@ -187,10 +170,12 @@ int main(int argc, char** argv) {
     api::FdaasServer::Params api_params;
     api_params.port = proxy_active ? 0 : opt.api_port;
     api_params.lease = ticks_from_ms(opt.lease_ms);
+    api_params.registry = &registry;
     api::FdaasServer server(service, api_params);
     server.start();
 
     std::unique_ptr<net::ChaosTcpProxy> proxy;
+    std::unique_ptr<ProxyExport> proxy_export;
     if (proxy_active) {
       net::ChaosTcpProxy::Options popts;
       popts.listen_port = opt.api_port;
@@ -198,19 +183,43 @@ int main(int argc, char** argv) {
       popts.plan = plan;
       proxy = std::make_unique<net::ChaosTcpProxy>(popts);
       proxy->start();
+      proxy_export = std::make_unique<ProxyExport>(registry, *proxy);
     }
 
-    std::printf("fdaasd up: heartbeats on udp/%u (%zu shards), API on tcp/%u, "
-                "lease %ld ms\n",
-                service.port(), service.shard_count(),
-                proxy ? proxy->port() : server.port(), opt.lease_ms);
-    if (chaos_active) {
-      std::printf("chaos plan active: %s%s\n", plan.to_string().c_str(),
-                  proxy ? " (TCP faults proxied)" : "");
-    }
-    std::fflush(stdout);
-
+    // Shard stats are marshalled (merged_stats is any-thread-safe), so
+    // the scrape endpoint and the stdout dump share one collect hook.
     SteadyClock clock;
+    obs::ShardExport shard_export(registry);
+    registry.add_collect_hook([&] {
+      shard_export.update(service.merged_stats(), service.shard_count());
+      if (proxy_export) proxy_export->update();
+      tracker.refresh(clock.now());
+    });
+
+    std::unique_ptr<obs::ScrapeServer> scrape;
+    if (opt.have_metrics) {
+      scrape = std::make_unique<obs::ScrapeServer>(
+          registry, obs::ScrapeServer::Params{.port = opt.metrics_port});
+      scrape->start();
+    }
+
+    std::fprintf(stderr,
+                 "fdaasd up: heartbeats on udp/%u (%zu shards), API on tcp/%u, "
+                 "lease %ld ms%s%s\n",
+                 service.port(), service.shard_count(),
+                 proxy ? proxy->port() : server.port(), opt.lease_ms,
+                 scrape ? ", metrics on http tcp/" : "",
+                 scrape ? std::to_string(scrape->port()).c_str() : "");
+    if (chaos_active) {
+      std::fprintf(stderr, "chaos plan active: %s%s\n", plan.to_string().c_str(),
+                   proxy ? " (TCP faults proxied)" : "");
+    }
+
+    const auto print_stats = [&registry] {
+      std::fputs(obs::render_text(registry).c_str(), stdout);
+      std::fflush(stdout);
+    };
+
     const Tick start = clock.now();
     const Tick deadline =
         opt.duration_s > 0 ? start + ticks_from_sec(opt.duration_s) : 0;
@@ -220,15 +229,17 @@ int main(int argc, char** argv) {
       const Tick now = clock.now();
       if (deadline != 0 && now >= deadline) break;
       if (opt.stats_interval_s > 0 && now >= next_stats) {
-        print_stats(server, service, proxy.get());
+        print_stats();
         next_stats = now + ticks_from_sec(opt.stats_interval_s);
       }
     }
 
-    // Proxy, then server, then service: teardown releases client
+    // Scrape endpoint first (its collect hook reaches into the service),
+    // then proxy, server, service: teardown releases client
     // subscriptions while the shards can still execute the unsubscribe
     // commands.
-    print_stats(server, service, proxy.get());
+    print_stats();
+    if (scrape) scrape->stop();
     if (proxy) proxy->stop();
     server.stop();
     service.stop();

@@ -18,14 +18,25 @@
 // Suspect/Trust events for that peer from anywhere in the subtree.
 //
 // duration 0 = run until killed.
+//
+// --metrics-port serves the node's obs::Registry (shard runtime, API
+// server, federation core + upstream link, per-subscription QoS
+// conformance) as Prometheus text on http://0.0.0.0:PORT/metrics; the
+// periodic stats dump on stdout is the same text view. Banners go to
+// stderr.
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <optional>
 #include <string>
 #include <thread>
 
 #include "federation/federated_node.hpp"
+#include "obs/exporters.hpp"
+#include "obs/metrics.hpp"
+#include "obs/qos_tracker.hpp"
+#include "obs/scrape_server.hpp"
 
 using namespace twfd;
 
@@ -41,13 +52,16 @@ struct Options {
   long stats_interval_s = 10;
   long duration_s = 0;
   std::optional<net::SocketAddress> parent;
+  std::uint16_t metrics_port = 0;
+  bool have_metrics = false;
 };
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--node-id N] [--api-port N] [--service-port N]\n"
                "          [--shards N] [--parent IP:PORT] [--flush-ms N]\n"
-               "          [--lease-ms N] [--stats-interval-s N] [--duration-s N]\n",
+               "          [--lease-ms N] [--stats-interval-s N] [--duration-s N]\n"
+               "          [--metrics-port N]\n",
                argv0);
   std::exit(2);
 }
@@ -90,6 +104,9 @@ Options parse_args(int argc, char** argv) {
       opt.stats_interval_s = std::stol(next());
     } else if (arg == "--duration-s") {
       opt.duration_s = std::stol(next());
+    } else if (arg == "--metrics-port") {
+      opt.metrics_port = static_cast<std::uint16_t>(std::stoi(next()));
+      opt.have_metrics = true;
     } else {
       usage(argv[0]);
     }
@@ -101,64 +118,65 @@ Options parse_args(int argc, char** argv) {
   return opt;
 }
 
-void print_stats(federation::FederatedMonitorNode& node) {
-  const auto core = node.core_stats();
-  const auto api = node.server().stats();
-  std::printf(
-      "[federated] peers=%zu local=%llu | ingest: digests=%llu applied=%llu "
-      "stale=%llu foreign=%llu | flush: frames=%llu entries=%llu | "
-      "fed subs=%llu fed events=%llu | sessions=%llu\n",
-      node.peer_count(), static_cast<unsigned long long>(core.local_transitions),
-      static_cast<unsigned long long>(core.digests_ingested),
-      static_cast<unsigned long long>(core.entries_applied),
-      static_cast<unsigned long long>(core.entries_stale),
-      static_cast<unsigned long long>(core.entries_foreign),
-      static_cast<unsigned long long>(core.frames_flushed),
-      static_cast<unsigned long long>(core.entries_flushed),
-      static_cast<unsigned long long>(api.fed_subscriptions_active),
-      static_cast<unsigned long long>(api.fed_events_pushed),
-      static_cast<unsigned long long>(api.sessions_active));
-  if (node.link() != nullptr) {
-    const auto link = node.link()->stats();
-    std::printf(
-        "[federated] upstream: connected=%d sent=%llu dropped=%llu "
-        "snapshots=%llu reconnects=%llu\n",
-        node.link()->connected() ? 1 : 0,
-        static_cast<unsigned long long>(link.frames_sent),
-        static_cast<unsigned long long>(link.frames_dropped),
-        static_cast<unsigned long long>(link.snapshots_sent),
-        static_cast<unsigned long long>(link.reconnects));
-  }
-  std::fflush(stdout);
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
     const Options opt = parse_args(argc, argv);
 
+    obs::Registry registry;
+    obs::QosTracker tracker(registry);
+
     federation::FederatedMonitorNode::Params params;
     params.node_id = opt.node_id;
     params.service.shards = opt.shards;
     params.service.port = opt.service_port;
+    params.service.registry = &registry;
+    params.service.service.qos_tracker = &tracker;
     params.server.port = opt.api_port;
     params.server.lease = ticks_from_ms(opt.lease_ms);
+    params.server.registry = &registry;
     params.core.flush_interval = ticks_from_ms(opt.flush_ms);
     params.parent = opt.parent;
 
     federation::FederatedMonitorNode node(std::move(params));
     node.start();
 
-    std::printf("federated node %llu up: heartbeats on udp/%u, API on tcp/%u, "
-                "flush %ld ms%s%s\n",
-                static_cast<unsigned long long>(opt.node_id),
-                node.service_port(), node.api_port(), opt.flush_ms,
-                opt.parent ? ", parent " : " (root)",
-                opt.parent ? opt.parent->to_string().c_str() : "");
-    std::fflush(stdout);
-
+    // core_stats() marshals through the API thread and link stats are
+    // mutex-guarded, so one collect hook serves both the scrape thread
+    // and the stdout dump.
     SteadyClock clock;
+    obs::FederationExport fed_export(registry);
+    obs::ShardExport shard_export(registry);
+    registry.add_collect_hook([&] {
+      shard_export.update(node.service().merged_stats(), node.service().shard_count());
+      fed_export.update_core(node.core_stats());
+      if (node.link() != nullptr) fed_export.update_link(node.link()->stats());
+      tracker.refresh(clock.now());
+    });
+
+    std::unique_ptr<obs::ScrapeServer> scrape;
+    if (opt.have_metrics) {
+      scrape = std::make_unique<obs::ScrapeServer>(
+          registry, obs::ScrapeServer::Params{.port = opt.metrics_port});
+      scrape->start();
+    }
+
+    std::fprintf(stderr,
+                 "federated node %llu up: heartbeats on udp/%u, API on tcp/%u, "
+                 "flush %ld ms%s%s%s%s\n",
+                 static_cast<unsigned long long>(opt.node_id),
+                 node.service_port(), node.api_port(), opt.flush_ms,
+                 opt.parent ? ", parent " : " (root)",
+                 opt.parent ? opt.parent->to_string().c_str() : "",
+                 scrape ? ", metrics on http tcp/" : "",
+                 scrape ? std::to_string(scrape->port()).c_str() : "");
+
+    const auto print_stats = [&registry] {
+      std::fputs(obs::render_text(registry).c_str(), stdout);
+      std::fflush(stdout);
+    };
+
     const Tick start = clock.now();
     const Tick deadline =
         opt.duration_s > 0 ? start + ticks_from_sec(opt.duration_s) : 0;
@@ -168,12 +186,13 @@ int main(int argc, char** argv) {
       const Tick now = clock.now();
       if (deadline != 0 && now >= deadline) break;
       if (opt.stats_interval_s > 0 && now >= next_stats) {
-        print_stats(node);
+        print_stats();
         next_stats = now + ticks_from_sec(opt.stats_interval_s);
       }
     }
 
-    print_stats(node);
+    print_stats();
+    if (scrape) scrape->stop();
     node.stop();
     return 0;
   } catch (const std::exception& e) {

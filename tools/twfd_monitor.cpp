@@ -10,18 +10,25 @@
 //                [--margin-ms 115 | --threshold 2.0]
 //                [--qos TD_S,TMR_PER_S,TM_S --beacon HOST:PORT]
 //                [--chaos SPEC] [--chaos-seed N]
-//                [--duration-s 0]
+//                [--metrics-port N] [--duration-s 0]
 //
 // --chaos runs inbound datagrams through a deterministic fault plan
 // (drop/dup/reorder/trunc/delay; see net/fault.hpp for the grammar)
 // before the dispatcher — a live fault drill. The active plan and its
 // seed are logged; --chaos-seed overrides the seed so a logged run can
 // be reproduced exactly.
+//
+// --metrics-port serves Prometheus text exposition on
+// http://0.0.0.0:PORT/metrics (event-loop, chaos and QoS conformance
+// metrics); the same text view is printed to stdout at exit. Banners
+// and the chaos plan go to stderr — stdout carries only transitions
+// and the final metrics dump.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <ctime>
+#include <limits>
 #include <memory>
 #include <string>
 
@@ -29,6 +36,10 @@
 #include "core/factory.hpp"
 #include "net/event_loop.hpp"
 #include "net/fault.hpp"
+#include "obs/exporters.hpp"
+#include "obs/metrics.hpp"
+#include "obs/qos_tracker.hpp"
+#include "obs/scrape_server.hpp"
 #include "service/dispatcher.hpp"
 #include "service/monitor.hpp"
 
@@ -50,6 +61,8 @@ struct Options {
   std::string chaos;
   std::uint64_t chaos_seed = 0;
   bool have_chaos_seed = false;
+  std::uint16_t metrics_port = 0;
+  bool have_metrics = false;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -59,7 +72,7 @@ struct Options {
       "          [--detector 2w|chen|bertier|phi|ed|fixed]\n"
       "          [--margin-ms X | --threshold X] [--duration-s N]\n"
       "          [--qos TD,TMR,TM --beacon HOST:PORT]\n"
-      "          [--chaos SPEC] [--chaos-seed N]\n",
+      "          [--chaos SPEC] [--chaos-seed N] [--metrics-port N]\n",
       argv0);
   std::exit(2);
 }
@@ -93,6 +106,9 @@ Options parse_args(int argc, char** argv) {
     } else if (arg == "--chaos-seed") {
       opt.chaos_seed = std::strtoull(next().c_str(), nullptr, 10);
       opt.have_chaos_seed = true;
+    } else if (arg == "--metrics-port") {
+      opt.metrics_port = static_cast<std::uint16_t>(std::stoi(next()));
+      opt.have_metrics = true;
     } else if (arg == "--qos") {
       const std::string spec = next();
       if (std::sscanf(spec.c_str(), "%lf,%lf,%lf", &opt.qos.td_upper_s,
@@ -146,30 +162,58 @@ int main(int argc, char** argv) {
       interval = ticks_from_seconds(cfg.interval_s);
       margin = ticks_from_seconds(cfg.margin_s);
       opt.margin_ms = cfg.margin_s * 1e3;
-      std::printf("configured from QoS tuple: Delta_i=%s Delta_to=%s\n",
-                  format_ticks(interval).c_str(), format_ticks(margin).c_str());
+      std::fprintf(stderr, "configured from QoS tuple: Delta_i=%s Delta_to=%s\n",
+                   format_ticks(interval).c_str(), format_ticks(margin).c_str());
     }
 
     net::EventLoop loop(opt.port);
     service::Dispatcher dispatch(loop.runtime());
 
+    // Observability: the registry is always built (it doubles as the
+    // exit-time stats printer); the scrape endpoint only with
+    // --metrics-port. Without --qos the conformance bounds are +Inf —
+    // measured values still export, violations can't trigger.
+    obs::Registry registry;
+    obs::EventLoopExport loop_export(registry, obs::make_labels({{"loop", "main"}}));
+    obs::QosTracker tracker(registry);
+    SteadyClock wallclock;
+    registry.add_collect_hook([&tracker, &wallclock] { tracker.refresh(wallclock.now()); });
+
+    config::QosRequirements bounds = opt.qos;
+    if (!opt.have_qos) {
+      constexpr double kInf = std::numeric_limits<double>::infinity();
+      bounds = {kInf, kInf, kInf};
+    }
+    const obs::QosTracker::Handle qos_handle =
+        tracker.track("monitor", opt.sender_id, bounds, wallclock.now());
+
     auto spec = spec_from(opt);
     spec.safety_margin = margin;
     auto detector = core::make_detector(spec, interval);
-    std::printf("monitoring sender %llu on udp port %u with %s\n",
-                static_cast<unsigned long long>(opt.sender_id), loop.local_port(),
-                detector->name().c_str());
+    std::fprintf(stderr, "monitoring sender %llu on udp port %u with %s\n",
+                 static_cast<unsigned long long>(opt.sender_id), loop.local_port(),
+                 detector->name().c_str());
 
-    service::Monitor monitor(loop.runtime(), opt.sender_id, std::move(detector),
-                             {[](Tick) { log_line("SUSPECT"); },
-                              [](Tick) { log_line("TRUST") ; }});
+    Tick last_arrival = 0;
+    service::Monitor monitor(
+        loop.runtime(), opt.sender_id, std::move(detector),
+        {[&](Tick when) {
+           tracker.record_suspect(qos_handle, when, last_arrival);
+           log_line("SUSPECT");
+         },
+         [&](Tick when) {
+           tracker.record_trust(qos_handle, when);
+           log_line("TRUST");
+         }});
     dispatch.on_heartbeat([&](PeerId from, const net::HeartbeatMsg& m, Tick at) {
+      last_arrival = at;
       monitor.handle_heartbeat(from, m, at);
     });
 
     // RX chaos: inbound datagrams run through the fault plan before the
     // dispatcher. The seed is always logged so the run is reproducible.
     std::unique_ptr<net::FaultInjector> chaos;
+    std::unique_ptr<obs::ChaosExport> chaos_export;
     if (!opt.chaos.empty() || opt.have_chaos_seed) {
       net::FaultPlan plan =
           opt.chaos.empty() ? net::FaultPlan{} : net::FaultPlan::parse(opt.chaos);
@@ -184,7 +228,33 @@ int main(int argc, char** argv) {
           [&](PeerId from, std::span<const std::byte> data, Tick arrival) {
             chaos->offer(loop.peer_address(from), data, arrival);
           });
-      std::printf("chaos plan active: %s\n", plan.to_string().c_str());
+      chaos_export =
+          std::make_unique<obs::ChaosExport>(registry, obs::make_labels({{"point", "rx"}}));
+      std::fprintf(stderr, "chaos plan active: %s\n", plan.to_string().c_str());
+    }
+
+    // Loop/chaos stats are owned by the loop thread; mirror them into
+    // the registry from a loop timer so the scrape thread only reads
+    // atomics.
+    obs::Counter& hb_counter = registry.counter(
+        "twfd_monitor_heartbeats_total", "Heartbeats applied by the monitor.");
+    const auto mirror = [&] {
+      loop_export.update(loop.stats());
+      hb_counter.set_total(monitor.heartbeats_seen());
+      if (chaos_export) chaos_export->update(chaos->stats());
+    };
+    std::function<void()> arm_mirror = [&] {
+      mirror();
+      loop.schedule_at(loop.now() + ticks_from_sec(1), [&] { arm_mirror(); });
+    };
+    arm_mirror();
+
+    std::unique_ptr<obs::ScrapeServer> scrape;
+    if (opt.have_metrics) {
+      scrape = std::make_unique<obs::ScrapeServer>(
+          registry, obs::ScrapeServer::Params{.port = opt.metrics_port});
+      scrape->start();
+      std::fprintf(stderr, "metrics on http://0.0.0.0:%u/metrics\n", scrape->port());
     }
 
     if (opt.have_qos && !opt.beacon.empty()) {
@@ -196,8 +266,8 @@ int main(int argc, char** argv) {
       net::IntervalRequestMsg req{opt.sender_id, interval};
       const auto payload = net::encode(req);
       loop.send(loop.add_peer(addr), payload);
-      std::printf("requested interval %s from %s\n",
-                  format_ticks(interval).c_str(), addr.to_string().c_str());
+      std::fprintf(stderr, "requested interval %s from %s\n",
+                   format_ticks(interval).c_str(), addr.to_string().c_str());
     }
 
     if (opt.duration_s > 0) {
@@ -205,51 +275,12 @@ int main(int argc, char** argv) {
     } else {
       while (true) loop.run_for(ticks_from_sec(3600));
     }
+    if (scrape) scrape->stop();
     std::printf("saw %llu heartbeats; final: %s\n",
                 static_cast<unsigned long long>(monitor.heartbeats_seen()),
                 monitor.output() == detect::Output::Trust ? "TRUST" : "SUSPECT");
-    const auto& s = loop.stats();
-    std::printf(
-        "loop stats: rx=%llu tx=%llu | timers sched=%llu resched=%llu "
-        "cancel=%llu fired=%llu compact=%llu | wakeups io=%llu timer=%llu "
-        "spurious=%llu\n",
-        static_cast<unsigned long long>(s.datagrams_received),
-        static_cast<unsigned long long>(s.datagrams_sent),
-        static_cast<unsigned long long>(s.timers.scheduled),
-        static_cast<unsigned long long>(s.timers.rescheduled),
-        static_cast<unsigned long long>(s.timers.cancelled),
-        static_cast<unsigned long long>(s.timers.fired),
-        static_cast<unsigned long long>(s.timers.compactions),
-        static_cast<unsigned long long>(s.wakeups_io),
-        static_cast<unsigned long long>(s.wakeups_timer),
-        static_cast<unsigned long long>(s.wakeups_spurious));
-    std::printf(
-        "rx batches: n=%llu size=%llu..%llu | stamps kernel=%llu clock=%llu "
-        "| truncated=%llu recv_errors=%llu\n",
-        static_cast<unsigned long long>(s.rx_batches),
-        static_cast<unsigned long long>(s.rx_batch_min),
-        static_cast<unsigned long long>(s.rx_batch_max),
-        static_cast<unsigned long long>(s.rx_kernel_stamps),
-        static_cast<unsigned long long>(s.rx_clock_stamps),
-        static_cast<unsigned long long>(s.rx_truncated),
-        static_cast<unsigned long long>(s.recv_errors));
-    std::printf("drops: send_failures=%llu\n",
-                static_cast<unsigned long long>(s.send_soft_failures));
-    if (chaos) {
-      const auto& cs = chaos->stats();
-      std::printf(
-          "chaos: offered=%llu passed=%llu dropped=%llu dup=%llu reorder=%llu "
-          "trunc=%llu delayed=%llu | decisions=%llu schedule_hash=%016llx\n",
-          static_cast<unsigned long long>(cs.offered),
-          static_cast<unsigned long long>(cs.passed),
-          static_cast<unsigned long long>(cs.dropped),
-          static_cast<unsigned long long>(cs.duplicated),
-          static_cast<unsigned long long>(cs.reordered),
-          static_cast<unsigned long long>(cs.truncated),
-          static_cast<unsigned long long>(cs.delayed),
-          static_cast<unsigned long long>(chaos->engine().decisions()),
-          static_cast<unsigned long long>(chaos->engine().schedule_hash()));
-    }
+    mirror();
+    std::fputs(obs::render_text(registry).c_str(), stdout);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "twfd_monitor: %s\n", e.what());
