@@ -1,0 +1,298 @@
+// Engineering bench: the timer core's per-op cost, wheel vs. legacy heap.
+//
+// The 2W-FD service moves one freshness timer per subscription on EVERY
+// heartbeat, so reschedule — not schedule — is the number that bounds
+// monitoring throughput at scale. For each armed-timer count N in
+// {1k, 10k, 100k, 1M} (FD_BENCH_TIMER_COUNTS) the bench drives the same
+// deterministic op sequence through net::TimerWheel and through
+// net::LegacyTimerHeap (the pre-wheel binary-heap + std::map core, kept
+// compiled behind TWFD_ENABLE_LEGACY_TIMER_HEAP for exactly this
+// comparison):
+//
+//   schedule    arm N timers at LCG-spread deadlines over ~1 hour
+//   reschedule  N push-out re-arms (the per-heartbeat hot path)
+//   cancel      disarm every other timer (then re-arm, unmeasured)
+//   fire        advance past the horizon and drain all N callbacks
+//
+// Reported per phase: ns/op (wall time / ops) and for schedule/reschedule
+// allocs/op from a replacement global operator new — the steady-state
+// claim is that the wheel's reschedule path allocates NOTHING, and the
+// bench exits non-zero if it does (tools/ci_check.sh runs a tiny
+// invocation for exactly that assertion, and greps the emitted
+// BENCH_timer_hotpath.json for the ns_per_reschedule column).
+//
+// Knobs: FD_BENCH_TIMER_COUNTS (comma list, default "1000,10000,100000,
+// 1000000").
+//
+// Emits BENCH_timer_hotpath.json via bench::emit_json.
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <iostream>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "net/legacy_timer_heap.hpp"
+#include "net/timer_wheel.hpp"
+
+// ---------------------------------------------------------------------------
+// Allocation counter: every heap allocation in the process bumps g_allocs
+// (aligned overloads included — the record slab allocates 64B-aligned).
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, std::align_val_t al) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, std::max(static_cast<std::size_t>(al), sizeof(void*)),
+                     n ? n : 1) == 0) {
+    return p;
+  }
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t n, std::align_val_t al) {
+  return ::operator new(n, al);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+using namespace twfd;
+
+namespace {
+
+std::vector<std::size_t> env_timer_counts() {
+  const char* v = std::getenv("FD_BENCH_TIMER_COUNTS");
+  std::string spec = v != nullptr && *v != '\0' ? v : "1000,10000,100000,1000000";
+  std::vector<std::size_t> out;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string tok = spec.substr(pos, comma - pos);
+    if (!tok.empty()) out.push_back(static_cast<std::size_t>(std::atol(tok.c_str())));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (out.empty()) out = {1000, 10000, 100000, 1000000};
+  return out;
+}
+
+// Deterministic deadline spread (same sequence for both impls).
+struct Lcg {
+  std::uint64_t s = 0x2545F4914F6CDD1DULL;
+  std::uint64_t next() {
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    return s >> 17;
+  }
+};
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Adapters giving both timer cores one driving surface. Both start their
+// clock at 0 and see identical (deadline, op) sequences.
+struct WheelDriver {
+  static constexpr const char* kName = "wheel";
+  TimerStats stats;
+  net::TimerWheel core{0, &stats};
+
+  TimerId schedule(Tick when, std::uint64_t* fired) {
+    return core.schedule(when, InlineFunction([fired] { ++*fired; }));
+  }
+  bool reschedule(TimerId id, Tick when) { return core.reschedule(id, when); }
+  bool cancel(TimerId id) { return core.cancel(id); }
+  std::size_t fire_all(Tick horizon) {
+    core.advance_to(horizon);
+    InlineFunction fn;
+    std::size_t n = 0;
+    while (core.pop_due(fn)) {
+      fn();
+      fn.reset();
+      ++n;
+    }
+    return n;
+  }
+};
+
+struct HeapDriver {
+  static constexpr const char* kName = "heap";
+  TimerStats stats;
+  net::LegacyTimerHeap core{&stats};
+
+  TimerId schedule(Tick when, std::uint64_t* fired) {
+    return core.schedule(when, [fired] { ++*fired; });
+  }
+  bool reschedule(TimerId id, Tick when) { return core.reschedule(id, when); }
+  bool cancel(TimerId id) { return core.cancel(id); }
+  std::size_t fire_all(Tick horizon) {
+    std::function<void()> fn;
+    std::size_t n = 0;
+    while (core.pop_due(horizon, fn)) {
+      fn();
+      ++n;
+    }
+    return n;
+  }
+};
+
+struct CaseResult {
+  double ns_schedule = 0;
+  double ns_reschedule = 0;
+  double ns_cancel = 0;
+  double ns_fire = 0;
+  double allocs_schedule = 0;
+  double allocs_reschedule = 0;
+  std::size_t fired = 0;
+};
+
+template <typename Driver>
+CaseResult run_case(std::size_t n_timers) {
+  Driver d;
+  Lcg lcg;
+  std::uint64_t fired = 0;
+  std::vector<TimerId> ids(n_timers);
+  const Tick horizon_span = ticks_from_sec(3600);
+  Tick max_deadline = 0;
+  CaseResult res;
+
+  // schedule: N arms at deadlines spread over ~1 hour.
+  {
+    std::vector<Tick> deadlines(n_timers);
+    for (std::size_t i = 0; i < n_timers; ++i) {
+      deadlines[i] = 1 + static_cast<Tick>(lcg.next() % static_cast<std::uint64_t>(
+                                                            horizon_span));
+      max_deadline = std::max(max_deadline, deadlines[i]);
+    }
+    const std::uint64_t a0 = g_allocs.load(std::memory_order_relaxed);
+    const std::uint64_t t0 = now_ns();
+    for (std::size_t i = 0; i < n_timers; ++i) {
+      ids[i] = d.schedule(deadlines[i], &fired);
+    }
+    const std::uint64_t t1 = now_ns();
+    const std::uint64_t a1 = g_allocs.load(std::memory_order_relaxed);
+    res.ns_schedule = static_cast<double>(t1 - t0) / static_cast<double>(n_timers);
+    res.allocs_schedule =
+        static_cast<double>(a1 - a0) / static_cast<double>(n_timers);
+  }
+
+  // reschedule: N push-out re-arms (the per-heartbeat hot path).
+  {
+    std::vector<Tick> pushes(n_timers);
+    for (std::size_t i = 0; i < n_timers; ++i) {
+      pushes[i] = 1 + static_cast<Tick>(lcg.next() %
+                                        static_cast<std::uint64_t>(ticks_from_ms(100)));
+    }
+    const std::uint64_t a0 = g_allocs.load(std::memory_order_relaxed);
+    const std::uint64_t t0 = now_ns();
+    for (std::size_t i = 0; i < n_timers; ++i) {
+      d.reschedule(ids[i], max_deadline + pushes[i]);
+    }
+    const std::uint64_t t1 = now_ns();
+    const std::uint64_t a1 = g_allocs.load(std::memory_order_relaxed);
+    res.ns_reschedule =
+        static_cast<double>(t1 - t0) / static_cast<double>(n_timers);
+    res.allocs_reschedule =
+        static_cast<double>(a1 - a0) / static_cast<double>(n_timers);
+    max_deadline += ticks_from_ms(100);
+  }
+
+  // cancel: disarm every other timer...
+  {
+    const std::size_t ops = n_timers / 2;
+    const std::uint64_t t0 = now_ns();
+    for (std::size_t i = 0; i < n_timers; i += 2) d.cancel(ids[i]);
+    const std::uint64_t t1 = now_ns();
+    res.ns_cancel = ops == 0 ? 0
+                             : static_cast<double>(t1 - t0) /
+                                   static_cast<double>(ops);
+  }
+  // ...then re-arm them (unmeasured) so the fire phase drains all N.
+  for (std::size_t i = 0; i < n_timers; i += 2) {
+    ids[i] = d.schedule(max_deadline - static_cast<Tick>(i % 1024), &fired);
+  }
+
+  // fire: drain everything past the horizon (includes cascade cost).
+  {
+    const std::uint64_t t0 = now_ns();
+    res.fired = d.fire_all(max_deadline + 1);
+    const std::uint64_t t1 = now_ns();
+    res.ns_fire = res.fired == 0 ? 0
+                                 : static_cast<double>(t1 - t0) /
+                                       static_cast<double>(res.fired);
+  }
+  if (res.fired != n_timers || fired != n_timers) {
+    std::cerr << "timer_hotpath: " << Driver::kName << " fired " << res.fired
+              << " of " << n_timers << " timers\n";
+    std::exit(2);
+  }
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  const auto counts = env_timer_counts();
+
+  Table table({"impl", "timers", "ns_per_schedule", "ns_per_reschedule",
+               "ns_per_cancel", "ns_per_fire", "allocs_per_schedule",
+               "allocs_per_resched", "resched_speedup"});
+
+  bool alloc_free = true;
+  for (const std::size_t n : counts) {
+    const CaseResult heap = run_case<HeapDriver>(n);
+    const CaseResult wheel = run_case<WheelDriver>(n);
+    const double speedup = wheel.ns_reschedule > 0.0
+                               ? heap.ns_reschedule / wheel.ns_reschedule
+                               : 0.0;
+    table.add_row({"heap", std::to_string(n), Table::num(heap.ns_schedule, 1),
+                   Table::num(heap.ns_reschedule, 1), Table::num(heap.ns_cancel, 1),
+                   Table::num(heap.ns_fire, 1), Table::num(heap.allocs_schedule, 3),
+                   Table::num(heap.allocs_reschedule, 3), "-"});
+    table.add_row({"wheel", std::to_string(n), Table::num(wheel.ns_schedule, 1),
+                   Table::num(wheel.ns_reschedule, 1),
+                   Table::num(wheel.ns_cancel, 1), Table::num(wheel.ns_fire, 1),
+                   Table::num(wheel.allocs_schedule, 3),
+                   Table::num(wheel.allocs_reschedule, 3),
+                   Table::num(speedup, 2)});
+    if (wheel.allocs_reschedule != 0.0) alloc_free = false;
+  }
+
+  std::cout << "timer_hotpath: wheel vs legacy heap, per-op cost by armed-timer count\n";
+  bench::emit(table);
+  bench::emit_json("timer_hotpath", table);
+
+  if (!alloc_free) {
+    std::cerr << "timer_hotpath: FAIL — wheel reschedule allocated on the "
+                 "steady-state path\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,136 @@
+// InlineFunction: a move-only `void()` callable with a 48-byte small-buffer
+// store and no heap allocation for captures that fit.
+//
+// The timer hot path arms one callback per watched peer and re-arms it on
+// every heartbeat; std::function's type erasure heap-allocates once the
+// capture outgrows its (libstdc++: 16-byte) internal buffer, and that
+// allocation is exactly what a slab-backed timer wheel is trying to keep
+// off the path. Every timer callback in this codebase captures a pointer
+// or two plus a couple of ids — comfortably under 48 bytes — so they all
+// store inline. Larger callables still work: they fall back to a single
+// heap box, so correctness never depends on the capture size.
+//
+// Erasure is one pointer to a static vtable (invoke / relocate / destroy).
+// `relocate` is what lets records holding an InlineFunction live in a
+// growing twfd::Slab: growth move-constructs the resident objects, and the
+// functor moves by relocating its capture into the new buffer.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace twfd {
+
+class InlineFunction {
+ public:
+  /// Captures up to this many bytes are stored in place.
+  static constexpr std::size_t kInlineBytes = 48;
+
+  InlineFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using D = std::decay_t<F>;
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = &InlineModel<D>::ops;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      ops_ = &BoxedModel<D>::ops;
+    }
+  }
+
+  InlineFunction(InlineFunction&& o) noexcept { move_from(o); }
+
+  InlineFunction& operator=(InlineFunction&& o) noexcept {
+    if (this != &o) {
+      reset();
+      move_from(o);
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  void operator()() {
+    TWFD_CHECK_MSG(ops_ != nullptr, "invoking an empty InlineFunction");
+    ops_->invoke(buf_);
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return ops_ != nullptr;
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  /// True when a callable of type D stores in the inline buffer (exposed
+  /// so tests can pin the no-allocation contract per capture size).
+  template <typename D>
+  [[nodiscard]] static constexpr bool fits_inline() {
+    return sizeof(D) <= kInlineBytes &&
+           alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename D>
+  struct InlineModel {
+    static D* self(void* p) noexcept {
+      return std::launder(static_cast<D*>(p));
+    }
+    static void invoke(void* p) { (*self(p))(); }
+    static void relocate(void* dst, void* src) noexcept {
+      ::new (dst) D(std::move(*self(src)));
+      self(src)->~D();
+    }
+    static void destroy(void* p) noexcept { self(p)->~D(); }
+    static constexpr Ops ops{&invoke, &relocate, &destroy};
+  };
+
+  template <typename D>
+  struct BoxedModel {
+    static D** slot(void* p) noexcept {
+      return std::launder(static_cast<D**>(p));
+    }
+    static void invoke(void* p) { (**slot(p))(); }
+    static void relocate(void* dst, void* src) noexcept {
+      ::new (dst) D*(*slot(src));
+    }
+    static void destroy(void* p) noexcept { delete *slot(p); }
+    static constexpr Ops ops{&invoke, &relocate, &destroy};
+  };
+
+  void move_from(InlineFunction& o) noexcept {
+    if (o.ops_ != nullptr) {
+      o.ops_->relocate(buf_, o.buf_);
+      ops_ = std::exchange(o.ops_, nullptr);
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace twfd

@@ -53,13 +53,28 @@ using TimerId = std::uint64_t;
 inline constexpr TimerId kInvalidTimer = 0;
 
 /// Timer-lifecycle accounting shared by every TimerService implementation
-/// (see docs/runtime.md). Counters are cumulative since construction.
+/// (see docs/runtime.md). Counters are cumulative since construction;
+/// `live`, `wheel_slots_occupied` and `wheel_max_scan` are gauges.
 struct TimerStats {
   std::uint64_t scheduled = 0;    ///< schedule_at calls
   std::uint64_t cancelled = 0;    ///< cancels that hit a pending timer
   std::uint64_t rescheduled = 0;  ///< reschedules that hit a pending timer
   std::uint64_t fired = 0;        ///< callbacks actually invoked
-  std::uint64_t compactions = 0;  ///< stale-entry heap compactions
+  /// Reschedules that had to re-place the record (earlier deadline, or a
+  /// due-list resident) instead of the lazy deadline rewrite. Distinct
+  /// from `cancelled`: no timer dies here, its placement is superseded.
+  std::uint64_t superseded = 0;
+  /// Records relocated to a new wheel slot while processing a reached or
+  /// all-postponed slot (the wheel's cascade cost; 0 on the legacy heap).
+  std::uint64_t cascades = 0;
+  /// Stale-entry heap compactions (legacy heap only; 0 on the wheel).
+  std::uint64_t compactions = 0;
+  std::uint64_t live = 0;  ///< pending timers right now (gauge)
+  /// Wheel slots currently holding at least one record (gauge).
+  std::uint64_t wheel_slots_occupied = 0;
+  /// Most occupancy-bitmap words touched by one earliest-slot search
+  /// (gauge; high-water mark of the idle-scan cost).
+  std::uint64_t wheel_max_scan = 0;
 };
 
 /// One-shot timers in the runtime's local clock domain.

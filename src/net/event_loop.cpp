@@ -22,7 +22,13 @@ EventLoop::Stats& EventLoop::Stats::operator+=(const Stats& o) {
   timers.cancelled += o.timers.cancelled;
   timers.rescheduled += o.timers.rescheduled;
   timers.fired += o.timers.fired;
+  timers.superseded += o.timers.superseded;
+  timers.cascades += o.timers.cascades;
   timers.compactions += o.timers.compactions;
+  timers.live += o.timers.live;
+  timers.wheel_slots_occupied += o.timers.wheel_slots_occupied;
+  // A gauge of per-loop scan cost: the fleet-wide worst case is the max.
+  timers.wheel_max_scan = std::max(timers.wheel_max_scan, o.timers.wheel_max_scan);
   datagrams_sent += o.datagrams_sent;
   datagrams_received += o.datagrams_received;
   datagrams_injected += o.datagrams_injected;
@@ -45,9 +51,13 @@ EventLoop::Stats& EventLoop::Stats::operator+=(const Stats& o) {
   return *this;
 }
 
-EventLoop::EventLoop(std::uint16_t port) : socket_(port) { open_wake_fd(); }
+EventLoop::EventLoop(std::uint16_t port)
+    : socket_(port), wheel_(clock_.now(), &stats_.timers) {
+  open_wake_fd();
+}
 
-EventLoop::EventLoop(const UdpSocket::Options& options) : socket_(options) {
+EventLoop::EventLoop(const UdpSocket::Options& options)
+    : socket_(options), wheel_(clock_.now(), &stats_.timers) {
   open_wake_fd();
 }
 
@@ -155,111 +165,34 @@ void EventLoop::inject_datagram(const SocketAddress& from,
 }
 
 // ---------------------------------------------------------------------------
-// Timer core: lazy-deletion min-heap with stale accounting.
-//
-// A timer is live iff it has a record in timers_. Each live timer owns one
-// canonical heap entry, identified by (at, order) == (record.heap_at,
-// record.order); every other entry referencing its id — and every entry
-// whose id has no record — is stale. cancel() and the earlier-reschedule
-// path only bump stale_; the entries themselves are skipped when they
-// reach the top, and the whole heap is rebuilt from the live records once
-// stale entries reach the live count, bounding storage at 2x live.
+// Timer core: hierarchical timing wheel (net::TimerWheel). The loop only
+// adapts the TimerService signatures — all placement, cascade and stats
+// logic lives in the wheel. Callbacks are wrapped in an InlineFunction;
+// the std::function the interface hands over is itself a 32-byte object
+// on mainstream ABIs, so the wrap stores inline and adds no allocation.
 // ---------------------------------------------------------------------------
 
-void EventLoop::push_canonical(Tick at, TimerId id, TimerRecord& rec) {
-  rec.heap_at = at;
-  rec.order = order_counter_++;
-  heap_.push_back({at, rec.order, id});
-  std::push_heap(heap_.begin(), heap_.end(), HeapCmp{});
-}
-
 TimerId EventLoop::schedule_at(Tick when, std::function<void()> fn) {
-  const TimerId id = next_timer_id_++;
-  TimerRecord& rec =
-      timers_.emplace(id, TimerRecord{std::move(fn), when, 0, 0}).first->second;
-  push_canonical(when, id, rec);
-  ++stats_.timers.scheduled;
-  return id;
+  return wheel_.schedule(when, InlineFunction(std::move(fn)));
 }
 
-void EventLoop::cancel(TimerId id) {
-  if (timers_.erase(id) == 0) return;  // fired or unknown: no-op
-  ++stale_;
-  ++stats_.timers.cancelled;
-  compact_if_stale_heavy();
-}
+void EventLoop::cancel(TimerId id) { wheel_.cancel(id); }
 
 bool EventLoop::reschedule(TimerId id, Tick when) {
-  const auto it = timers_.find(id);
-  if (it == timers_.end()) return false;
-  TimerRecord& rec = it->second;
-  rec.deadline = when;
-  if (when < rec.heap_at) {
-    // The canonical entry would surface too late; plant a fresh one and
-    // let the old entry die as stale. The common service-layer pattern
-    // (freshness deadline pushed *out* by each heartbeat) takes the
-    // cheaper branch below: deadline moves, the heap is untouched, and
-    // normalize_top() migrates the entry when it surfaces.
-    ++stale_;
-    push_canonical(when, id, rec);
-    compact_if_stale_heavy();
-  }
-  ++stats_.timers.rescheduled;
-  return true;
+  return wheel_.reschedule(id, when);
 }
 
-EventLoop::TimerRecord* EventLoop::normalize_top() {
-  while (!heap_.empty()) {
-    const HeapEntry top = heap_.front();
-    const auto it = timers_.find(top.id);
-    if (it == timers_.end() || it->second.heap_at != top.at ||
-        it->second.order != top.order) {
-      // Cancelled, or superseded by an earlier reschedule.
-      std::pop_heap(heap_.begin(), heap_.end(), HeapCmp{});
-      heap_.pop_back();
-      --stale_;
-      continue;
-    }
-    TimerRecord& rec = it->second;
-    if (rec.deadline > top.at) {
-      // Postponed by reschedule(); migrate the canonical entry now.
-      std::pop_heap(heap_.begin(), heap_.end(), HeapCmp{});
-      heap_.pop_back();
-      push_canonical(rec.deadline, top.id, rec);
-      continue;
-    }
-    return &rec;
-  }
-  return nullptr;
-}
-
-void EventLoop::compact_if_stale_heavy() {
-  if (stale_ == 0 || stale_ < timers_.size()) return;
-  heap_.clear();
-  for (const auto& [id, rec] : timers_) {
-    heap_.push_back({rec.heap_at, rec.order, id});
-  }
-  std::make_heap(heap_.begin(), heap_.end(), HeapCmp{});
-  stale_ = 0;
-  ++stats_.timers.compactions;
-}
-
-Tick EventLoop::next_timer_at() {
-  return normalize_top() == nullptr ? kTickInfinity : heap_.front().at;
-}
+Tick EventLoop::next_timer_at() { return wheel_.next_deadline(); }
 
 void EventLoop::fire_due_timers() {
-  const Tick t = now();
-  while (!is_stopped()) {
-    if (normalize_top() == nullptr || heap_.front().at > t) return;
-    const TimerId id = heap_.front().id;
-    std::pop_heap(heap_.begin(), heap_.end(), HeapCmp{});
-    heap_.pop_back();
-    const auto it = timers_.find(id);
-    auto fn = std::move(it->second.fn);
-    timers_.erase(it);
-    ++stats_.timers.fired;
+  wheel_.advance_to(now());
+  // Timers a callback schedules at or before the wheel's clock land on
+  // the due list and fire in this same pass — matching the old heap's
+  // fixed fire horizon.
+  InlineFunction fn;
+  while (!is_stopped() && wheel_.pop_due(fn)) {
     fn();
+    fn.reset();
   }
 }
 

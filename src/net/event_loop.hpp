@@ -5,12 +5,13 @@
 // addressed by PeerId, mirroring the simulator's addressing so service
 // code is identical in both worlds.
 //
-// Timer core (see docs/runtime.md): a binary min-heap with lazy deletion.
-// cancel() and reschedule() never touch the heap directly; dead or
-// superseded entries are skipped when they surface at the top, and the
-// heap is compacted whenever stale entries reach the live-timer count, so
-// storage stays O(live timers) under the service layer's re-arm-per-
-// heartbeat pattern instead of O(heartbeats observed).
+// Timer core (see docs/runtime.md): a hierarchical timing wheel
+// (net::TimerWheel) — slab-backed records, per-slot intrusive lists,
+// occupancy bitmaps. schedule/cancel/reschedule are O(1) and
+// allocation-free in steady state; the service layer's re-arm-per-
+// heartbeat pattern is a lazy deadline rewrite that resolves when the
+// record's slot is cascaded. Storage is O(peak live timers) via the
+// slab's free list.
 //
 // Threading (see docs/runtime.md "Threading model"): the loop itself is
 // shard-confined — every method must be called from the thread that runs
@@ -31,6 +32,7 @@
 
 #include "common/runtime.hpp"
 #include "common/time.hpp"
+#include "net/timer_wheel.hpp"
 #include "net/udp_socket.hpp"
 
 namespace twfd::net {
@@ -105,10 +107,11 @@ class EventLoop final : public Clock, public Transport, public TimerService {
   void cancel(TimerId id) override;
   bool reschedule(TimerId id, Tick when) override;
 
-  /// Deadline of the earliest *live* timer (kTickInfinity when none).
-  /// Skips cancelled/superseded heap tops, so run_until never wakes
-  /// early for a dead timer. Mutates the heap (normalization) but not
-  /// observable timer state.
+  /// Deadline of the earliest pending timer (kTickInfinity when none).
+  /// Exact even under lazy push-out reschedules — postponed records are
+  /// migrated during the scan, so run_until never wakes early for a
+  /// deadline that no longer means anything. Mutates wheel placement but
+  /// not observable timer state.
   [[nodiscard]] Tick next_timer_at();
 
   /// Registers a peer address; idempotent (same address -> same id).
@@ -193,43 +196,19 @@ class EventLoop final : public Clock, public Transport, public TimerService {
 
   /// Pending (schedulable) timers — the O(live) quantity.
   [[nodiscard]] std::size_t live_timer_count() const noexcept {
-    return timers_.size();
+    return wheel_.size();
   }
-  /// Heap entries including stale ones; bounded at 2x live by compaction.
-  [[nodiscard]] std::size_t timer_heap_size() const noexcept {
-    return heap_.size();
+  /// Timer-record slab slots ever handed out; flat under cancel/re-arm
+  /// churn (free-list reuse), so it bounds timer storage at O(peak live).
+  [[nodiscard]] std::size_t timer_storage_slots() const noexcept {
+    return wheel_.storage_slots();
   }
 
  private:
-  struct HeapEntry {
-    Tick at;
-    std::uint64_t order;
-    TimerId id;
-  };
-  struct HeapCmp {
-    // std::push_heap builds a max-heap; invert for earliest-first, with
-    // FIFO tiebreak on the insertion order.
-    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
-      return a.at != b.at ? a.at > b.at : a.order > b.order;
-    }
-  };
-  struct TimerRecord {
-    std::function<void()> fn;
-    Tick deadline;        // current target instant
-    Tick heap_at;         // `at` of this timer's canonical heap entry
-    std::uint64_t order;  // `order` of the canonical entry
-  };
-
   void open_wake_fd();
   void drain_wake_fd() noexcept;
   void drain_socket();
   void fire_due_timers();
-  void push_canonical(Tick at, TimerId id, TimerRecord& rec);
-  void compact_if_stale_heavy();
-  /// Pops stale tops and re-pushes postponed canonical entries until the
-  /// top is live (or the heap is empty). Returns the live record, or
-  /// nullptr when no timers remain.
-  TimerRecord* normalize_top();
   [[nodiscard]] bool is_stopped() const noexcept {
     return stopped_.load(std::memory_order_acquire);
   }
@@ -268,17 +247,11 @@ class EventLoop final : public Clock, public Transport, public TimerService {
   std::vector<pollfd> pfds_;
   std::vector<std::pair<int, std::uint64_t>> poll_snapshot_;
 
-  // Invariant: heap_.size() == timers_.size() + stale_. Each live timer
-  // has exactly one canonical entry (at == record.heap_at); every other
-  // entry is stale (cancelled, or superseded by an earlier reschedule).
-  std::vector<HeapEntry> heap_;
-  std::map<TimerId, TimerRecord> timers_;
-  std::size_t stale_ = 0;
-  TimerId next_timer_id_ = 1;
-  std::uint64_t order_counter_ = 0;
   std::atomic<bool> stopped_{false};
 
   Stats stats_;
+  // Declared after stats_: the wheel holds &stats_.timers.
+  TimerWheel wheel_;
 };
 
 }  // namespace twfd::net

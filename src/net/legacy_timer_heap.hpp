@@ -1,0 +1,171 @@
+// LegacyTimerHeap: the binary min-heap + std::map timer core that
+// net::EventLoop used before the timing wheel, preserved verbatim in
+// behavior so bench/timer_hotpath can measure wheel-vs-heap and tests can
+// check fire-order parity on random op sequences. Test/bench-only: gated
+// behind TWFD_ENABLE_LEGACY_TIMER_HEAP so production binaries cannot link
+// it back in by accident.
+//
+// Semantics (see docs/runtime.md history): lazy deletion with accounting.
+// A timer is live iff it has a record in timers_. Each live timer owns one
+// canonical heap entry, identified by (at, order); every other entry is
+// stale — cancelled, or superseded by an earlier-deadline reschedule. The
+// stale entries are skipped when they surface at the top, and the heap is
+// rebuilt from live records once stale entries reach the live count,
+// bounding storage at 2x live.
+#pragma once
+
+#ifdef TWFD_ENABLE_LEGACY_TIMER_HEAP
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/runtime.hpp"
+#include "common/time.hpp"
+
+namespace twfd::net {
+
+class LegacyTimerHeap {
+ public:
+  explicit LegacyTimerHeap(TimerStats* stats) : stats_(stats) {}
+
+  LegacyTimerHeap(const LegacyTimerHeap&) = delete;
+  LegacyTimerHeap& operator=(const LegacyTimerHeap&) = delete;
+
+  TimerId schedule(Tick when, std::function<void()> fn) {
+    const TimerId id = next_timer_id_++;
+    TimerRecord& rec =
+        timers_.emplace(id, TimerRecord{std::move(fn), when, 0, 0}).first->second;
+    push_canonical(when, id, rec);
+    ++stats_->scheduled;
+    ++stats_->live;
+    return id;
+  }
+
+  bool cancel(TimerId id) {
+    if (timers_.erase(id) == 0) return false;  // fired or unknown: no-op
+    ++stale_;
+    ++stats_->cancelled;
+    --stats_->live;
+    compact_if_stale_heavy();
+    return true;
+  }
+
+  bool reschedule(TimerId id, Tick when) {
+    const auto it = timers_.find(id);
+    if (it == timers_.end()) return false;
+    TimerRecord& rec = it->second;
+    rec.deadline = when;
+    if (when < rec.heap_at) {
+      // The canonical entry would surface too late; plant a fresh one and
+      // let the old entry die as stale. Deadlines pushed *out* (the
+      // per-heartbeat re-arm) leave the heap untouched; normalize_top()
+      // migrates the entry when it surfaces.
+      ++stale_;
+      ++stats_->superseded;
+      push_canonical(when, id, rec);
+      compact_if_stale_heavy();
+    }
+    ++stats_->rescheduled;
+    return true;
+  }
+
+  /// Earliest live deadline (kTickInfinity when none). Normalizes the top.
+  Tick next_deadline() {
+    return normalize_top() == nullptr ? kTickInfinity : heap_.front().at;
+  }
+
+  /// Detaches the earliest timer due at or before `t` into `out`; false
+  /// when nothing is due.
+  bool pop_due(Tick t, std::function<void()>& out) {
+    if (normalize_top() == nullptr || heap_.front().at > t) return false;
+    const TimerId id = heap_.front().id;
+    std::pop_heap(heap_.begin(), heap_.end(), HeapCmp{});
+    heap_.pop_back();
+    const auto it = timers_.find(id);
+    out = std::move(it->second.fn);
+    timers_.erase(it);
+    ++stats_->fired;
+    --stats_->live;
+    return true;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return timers_.size(); }
+  [[nodiscard]] std::size_t heap_entries() const noexcept { return heap_.size(); }
+
+ private:
+  struct HeapEntry {
+    Tick at;
+    std::uint64_t order;
+    TimerId id;
+  };
+  struct HeapCmp {
+    // std::push_heap builds a max-heap; invert for earliest-first, with
+    // FIFO tiebreak on the insertion order.
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      return a.at != b.at ? a.at > b.at : a.order > b.order;
+    }
+  };
+  struct TimerRecord {
+    std::function<void()> fn;
+    Tick deadline;        // current target instant
+    Tick heap_at;         // `at` of this timer's canonical heap entry
+    std::uint64_t order;  // `order` of the canonical entry
+  };
+
+  void push_canonical(Tick at, TimerId id, TimerRecord& rec) {
+    rec.heap_at = at;
+    rec.order = order_counter_++;
+    heap_.push_back({at, rec.order, id});
+    std::push_heap(heap_.begin(), heap_.end(), HeapCmp{});
+  }
+
+  TimerRecord* normalize_top() {
+    while (!heap_.empty()) {
+      const HeapEntry top = heap_.front();
+      const auto it = timers_.find(top.id);
+      if (it == timers_.end() || it->second.heap_at != top.at ||
+          it->second.order != top.order) {
+        // Cancelled, or superseded by an earlier reschedule.
+        std::pop_heap(heap_.begin(), heap_.end(), HeapCmp{});
+        heap_.pop_back();
+        --stale_;
+        continue;
+      }
+      TimerRecord& rec = it->second;
+      if (rec.deadline > top.at) {
+        // Postponed by reschedule(); migrate the canonical entry now.
+        std::pop_heap(heap_.begin(), heap_.end(), HeapCmp{});
+        heap_.pop_back();
+        push_canonical(rec.deadline, top.id, rec);
+        continue;
+      }
+      return &rec;
+    }
+    return nullptr;
+  }
+
+  void compact_if_stale_heavy() {
+    if (stale_ == 0 || stale_ < timers_.size()) return;
+    heap_.clear();
+    for (const auto& [id, rec] : timers_) {
+      heap_.push_back({rec.heap_at, rec.order, id});
+    }
+    std::make_heap(heap_.begin(), heap_.end(), HeapCmp{});
+    stale_ = 0;
+    ++stats_->compactions;
+  }
+
+  TimerStats* stats_;
+  std::vector<HeapEntry> heap_;
+  std::map<TimerId, TimerRecord> timers_;
+  std::size_t stale_ = 0;
+  TimerId next_timer_id_ = 1;
+  std::uint64_t order_counter_ = 0;
+};
+
+}  // namespace twfd::net
+
+#endif  // TWFD_ENABLE_LEGACY_TIMER_HEAP

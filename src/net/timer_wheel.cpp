@@ -1,0 +1,334 @@
+#include "net/timer_wheel.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/assert.hpp"
+
+namespace twfd::net {
+
+TimerWheel::TimerWheel(Tick start, TimerStats* stats)
+    : now_(start),
+      stats_(stats),
+      slot_heads_(static_cast<std::size_t>(kLevels) * kSlotsPerLevel) {
+  TWFD_CHECK(stats_ != nullptr);
+  TWFD_CHECK_MSG(start >= 0, "wheel clock must be non-negative");
+}
+
+TimerWheel::Placement TimerWheel::classify(Tick slot_at) const noexcept {
+  if (slot_at <= now_) return {Where::kDue, 0, 0};
+  const std::uint64_t x = static_cast<std::uint64_t>(slot_at) ^
+                          static_cast<std::uint64_t>(now_);
+  if ((x >> kWheelBits) != 0) return {Where::kOverflow, 0, 0};
+  const int level = (63 - std::countl_zero(x)) / kBitsPerLevel;
+  return {Where::kWheel, level, slot_index(slot_at, level)};
+}
+
+Tick TimerWheel::slot_base(int level, std::uint32_t slot) const noexcept {
+  const int up = kBitsPerLevel * (level + 1);
+  const std::uint64_t high = (static_cast<std::uint64_t>(now_) >> up) << up;
+  return static_cast<Tick>(
+      high | (static_cast<std::uint64_t>(slot) << (kBitsPerLevel * level)));
+}
+
+void TimerWheel::link_back(SlabHandle& head, SlabHandle h, Record& rec) {
+  if (!head.valid()) {
+    rec.prev = rec.next = h;
+    head = h;
+    return;
+  }
+  Record* first = records_.get(head);
+  const SlabHandle tail = first->prev;
+  records_.get(tail)->next = h;
+  rec.prev = tail;
+  rec.next = head;
+  first->prev = h;
+}
+
+void TimerWheel::unlink(SlabHandle& head, SlabHandle h, Record& rec) {
+  if (rec.next == h) {  // sole element
+    head = SlabHandle{};
+    return;
+  }
+  records_.get(rec.prev)->next = rec.next;
+  records_.get(rec.next)->prev = rec.prev;
+  if (head == h) head = rec.next;
+}
+
+void TimerWheel::insert_due_sorted(SlabHandle h, Record& rec) {
+  if (!due_head_.valid()) {
+    rec.prev = rec.next = h;
+    due_head_ = h;
+    return;
+  }
+  // Walk from the tail: advance feeds the list in non-decreasing deadline
+  // order, so the steady-state insertion is an O(1) append. Ties insert
+  // after their equals — schedule FIFO.
+  SlabHandle cur = records_.get(due_head_)->prev;
+  for (;;) {
+    Record* c = records_.get(cur);
+    if (c->deadline <= rec.deadline) {
+      const SlabHandle nxt = c->next;
+      c->next = h;
+      rec.prev = cur;
+      rec.next = nxt;
+      records_.get(nxt)->prev = h;
+      return;
+    }
+    if (cur == due_head_) {
+      link_back(due_head_, h, rec);  // circularly: insert before the head
+      due_head_ = h;                 // ...and become the new minimum
+      return;
+    }
+    cur = c->prev;
+  }
+}
+
+void TimerWheel::place(SlabHandle h, Record& rec) {
+  const Placement p = classify(rec.slot_at);
+  switch (p.where) {
+    case Where::kDue:
+      insert_due_sorted(h, rec);
+      return;
+    case Where::kOverflow:
+      link_back(overflow_head_, h, rec);
+      return;
+    case Where::kWheel: {
+      SlabHandle& head = slot_head(p.level, p.slot);
+      if (!head.valid()) set_occupied(p.level, p.slot);
+      link_back(head, h, rec);
+      return;
+    }
+  }
+}
+
+void TimerWheel::detach(SlabHandle h, Record& rec) {
+  const Placement p = classify(rec.slot_at);
+  switch (p.where) {
+    case Where::kDue:
+      unlink(due_head_, h, rec);
+      return;
+    case Where::kOverflow:
+      unlink(overflow_head_, h, rec);
+      return;
+    case Where::kWheel: {
+      SlabHandle& head = slot_head(p.level, p.slot);
+      unlink(head, h, rec);
+      if (!head.valid()) clear_occupied(p.level, p.slot);
+      return;
+    }
+  }
+}
+
+void TimerWheel::set_occupied(int level, std::uint32_t slot) noexcept {
+  occupied_[level][slot >> 6] |= std::uint64_t{1} << (slot & 63);
+  ++stats_->wheel_slots_occupied;
+}
+
+void TimerWheel::clear_occupied(int level, std::uint32_t slot) noexcept {
+  occupied_[level][slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
+  --stats_->wheel_slots_occupied;
+}
+
+int TimerWheel::first_occupied(int level, std::uint32_t from,
+                               std::uint32_t* scanned) const noexcept {
+  if (from >= kSlotsPerLevel) return -1;
+  std::uint32_t word = from >> 6;
+  std::uint64_t bits = occupied_[level][word] &
+                       (~std::uint64_t{0} << (from & 63));
+  for (;;) {
+    ++*scanned;
+    if (bits != 0) {
+      return static_cast<int>((word << 6) +
+                              static_cast<std::uint32_t>(std::countr_zero(bits)));
+    }
+    if (++word == kSlotsPerLevel / 64) return -1;
+    bits = occupied_[level][word];
+  }
+}
+
+bool TimerWheel::earliest_slot(int* level, std::uint32_t* slot,
+                               std::uint32_t* scanned) const noexcept {
+  // Invariant 2: occupied slots sit strictly ahead of now's index at each
+  // level, and all of level l precedes all of level l+1 — the first hit
+  // scanning levels bottom-up is the earliest slot, no wraparound.
+  for (int l = 0; l < kLevels; ++l) {
+    const int s = first_occupied(l, slot_index(now_, l) + 1, scanned);
+    if (s >= 0) {
+      *level = l;
+      *slot = static_cast<std::uint32_t>(s);
+      return true;
+    }
+  }
+  return false;
+}
+
+void TimerWheel::cascade_slot(int level, std::uint32_t slot) {
+  SlabHandle& head = slot_head(level, slot);
+  while (head.valid()) {
+    const SlabHandle h = head;
+    Record& rec = *records_.get(h);
+    unlink(head, h, rec);
+    rec.slot_at = rec.deadline;  // re-key: lazy push-outs resolve here
+    place(h, rec);
+    if (rec.deadline > now_) ++stats_->cascades;
+  }
+  clear_occupied(level, slot);
+}
+
+void TimerWheel::note_scan(std::uint32_t scanned) noexcept {
+  if (scanned > stats_->wheel_max_scan) stats_->wheel_max_scan = scanned;
+}
+
+TimerId TimerWheel::schedule(Tick when, InlineFunction fn) {
+  const SlabHandle h = records_.emplace(std::move(fn), when);
+  place(h, *records_.get(h));
+  ++stats_->scheduled;
+  ++stats_->live;
+  if (cache_valid_ && when < cached_next_) cached_next_ = when;
+  return encode(h);
+}
+
+bool TimerWheel::cancel(TimerId id) {
+  const SlabHandle h = decode(id);
+  Record* rec = records_.get(h);
+  if (rec == nullptr) return false;  // fired, cancelled or recycled: no-op
+  if (cache_valid_ && rec->deadline == cached_next_) cache_valid_ = false;
+  detach(h, *rec);
+  records_.erase(h);
+  ++stats_->cancelled;
+  --stats_->live;
+  return true;
+}
+
+bool TimerWheel::reschedule(TimerId id, Tick when) {
+  const SlabHandle h = decode(id);
+  Record* rec = records_.get(h);
+  if (rec == nullptr) return false;
+  ++stats_->rescheduled;
+  if (cache_valid_ && rec->deadline == cached_next_) cache_valid_ = false;
+  if (when >= rec->slot_at && rec->slot_at > now_) {
+    // Lazy push-out — the per-heartbeat re-arm. The placement stays valid
+    // for the old key; the record migrates when its slot is processed.
+    rec->deadline = when;
+  } else {
+    // Earlier deadline, or the record is already on the due list (whose
+    // sorted order a deadline rewrite would corrupt): re-place eagerly.
+    detach(h, *rec);
+    rec->deadline = rec->slot_at = when;
+    place(h, *rec);
+    ++stats_->superseded;
+  }
+  if (cache_valid_ && when < cached_next_) cached_next_ = when;
+  return true;
+}
+
+Tick TimerWheel::next_deadline() {
+  if (cache_valid_) return cached_next_;
+  Tick best = kTickInfinity;
+  if (due_head_.valid()) {
+    best = records_.get(due_head_)->deadline;  // list is deadline-sorted
+  } else {
+    for (;;) {
+      int level = 0;
+      std::uint32_t slot = 0;
+      std::uint32_t scanned = 0;
+      const bool found = earliest_slot(&level, &slot, &scanned);
+      note_scan(scanned);
+      if (!found) break;
+      // The earliest slot bounds the answer, but lazy push-outs can leave
+      // records keyed under deadlines they no longer mean — the exact
+      // minimum needs the residents' true deadlines.
+      Tick slot_min = kTickInfinity;
+      const SlabHandle head = slot_head(level, slot);
+      SlabHandle cur = head;
+      do {
+        const Record* r = records_.get(cur);
+        slot_min = std::min(slot_min, r->deadline);
+        cur = r->next;
+      } while (cur != head);
+      const Tick span = Tick{1} << (kBitsPerLevel * level);
+      if (slot_min < slot_base(level, slot) + span) {
+        best = slot_min;
+        break;
+      }
+      // Every resident was pushed out past this slot's window: migrate
+      // them to their real homes and rescan (the normalize-top analogue).
+      cascade_slot(level, slot);
+    }
+    if (best == kTickInfinity && overflow_head_.valid()) {
+      SlabHandle cur = overflow_head_;
+      do {
+        const Record* r = records_.get(cur);
+        best = std::min(best, r->deadline);
+        cur = r->next;
+      } while (cur != overflow_head_);
+    }
+  }
+  cached_next_ = best;
+  cache_valid_ = true;
+  return best;
+}
+
+void TimerWheel::advance_to(Tick t) {
+  if (t <= now_) return;
+  const Tick entered = now_;
+  for (;;) {
+    int level = 0;
+    std::uint32_t slot = 0;
+    std::uint32_t scanned = 0;
+    const bool found = earliest_slot(&level, &slot, &scanned);
+    note_scan(scanned);
+    if (!found) break;
+    const Tick base = slot_base(level, slot);
+    if (base > t) break;
+    // Invariant 1: redistribute the slot before moving past its base, so
+    // stored (slot_at, now) keys keep hashing to where records live.
+    now_ = base;
+    cascade_slot(level, slot);
+  }
+  now_ = t;
+  if ((static_cast<std::uint64_t>(entered ^ t) >> kWheelBits) != 0 &&
+      overflow_head_.valid()) {
+    // The horizon rolled over a 2^60 ns boundary (decades of uptime, or a
+    // giant virtual-time jump): overflow entries may be placeable now.
+    bool moved = true;
+    while (moved && overflow_head_.valid()) {
+      moved = false;
+      SlabHandle cur = overflow_head_;
+      for (;;) {
+        Record& rec = *records_.get(cur);
+        const SlabHandle nxt = rec.next;
+        if (classify(rec.deadline).where != Where::kOverflow) {
+          unlink(overflow_head_, cur, rec);
+          rec.slot_at = rec.deadline;
+          place(cur, rec);
+          ++stats_->cascades;
+          moved = true;
+          break;  // the unlink invalidated the walk; restart
+        }
+        if (nxt == overflow_head_) break;
+        cur = nxt;
+      }
+    }
+  }
+  cache_valid_ = false;
+}
+
+bool TimerWheel::pop_due(InlineFunction& out) {
+  if (!due_head_.valid()) return false;
+  const SlabHandle h = due_head_;
+  Record& rec = *records_.get(h);
+  // Due residents are strictly due (deadline <= now_): reschedule of a
+  // due record always re-places eagerly, and now() never goes backwards.
+  const Tick deadline = rec.deadline;
+  unlink(due_head_, h, rec);
+  out = std::move(rec.fn);
+  records_.erase(h);
+  ++stats_->fired;
+  --stats_->live;
+  if (cache_valid_ && deadline == cached_next_) cache_valid_ = false;
+  return true;
+}
+
+}  // namespace twfd::net

@@ -1,0 +1,181 @@
+// Hierarchical timing wheel: the O(1) slab-backed timer core behind both
+// runtimes' TimerService implementations (net::EventLoop and
+// sim::SimWorld).
+//
+// Geometry: 6 levels x 1024 slots, 10 bits per level, 1 ns per level-0
+// slot. Level l spans 2^(10*(l+1)) ns, so the wheel covers 2^60 ns
+// (~36 years) ahead of `now`; anything beyond that — practically only
+// kTickInfinity deadlines — parks on an overflow list. Slot indexing is
+// absolute (Tokio-style): a deadline d lives at level
+// `highest_set_bit(d XOR now) / 10`, slot `(d >> 10*level) & 1023`. Two
+// invariants follow and are what the implementation leans on:
+//
+//   1. A record's placement is recomputable from (slot_at, now) alone —
+//      advance never moves `now` past an occupied slot's base without
+//      redistributing it first, so the level/slot a deadline hashed to at
+//      insert time is the level/slot it still hashes to at unlink time.
+//      Records therefore store no location, just the deadline they were
+//      keyed under (`slot_at`).
+//   2. Within a level, occupied slots are strictly ahead of now's own
+//      index, and every slot of level l precedes every occupied slot of
+//      level l+1 in time — so "earliest pending deadline" is a bitmap
+//      scan from now's index upward at the lowest occupied level, with no
+//      wraparound case.
+//
+// Records live in a twfd::Slab: a TimerId is (slot << 32) | generation
+// with an odd (live) generation, so a stale cancel/reschedule after the
+// slot was recycled can never alias the new tenant — it just misses.
+// Schedule, cancel and reschedule are O(1) and allocation-free in steady
+// state (the slab's free list recycles slots; callbacks are
+// InlineFunction, no per-timer heap box for <=48-byte captures).
+//
+// The per-heartbeat re-arm — reschedule to a *later* deadline — is the
+// hot path and takes a lazy push-out: only the record's `deadline` field
+// is rewritten; the record stays in its slot and is migrated when the
+// slot is processed (cascade) or scanned (next_deadline), mirroring the
+// postponed-entry handling the old lazy-deletion heap did at the top of
+// the heap. Equal-deadline timers fire in schedule FIFO order: slots are
+// appended in insertion order, cascades preserve list order, and the due
+// list is kept deadline-sorted with ties appended.
+//
+// Single-threaded by design — the owning loop's thread (or the sim) is
+// the only caller, exactly like the rest of the runtime.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/inline_function.hpp"
+#include "common/runtime.hpp"
+#include "common/slab.hpp"
+#include "common/time.hpp"
+
+namespace twfd::net {
+
+class TimerWheel {
+ public:
+  static constexpr int kLevels = 6;
+  static constexpr int kBitsPerLevel = 10;
+  static constexpr std::uint32_t kSlotsPerLevel = 1u << kBitsPerLevel;
+  /// Bits of horizon the levels cover; deadlines with a set bit at or
+  /// above this (relative to now) park on the overflow list.
+  static constexpr int kWheelBits = kLevels * kBitsPerLevel;
+
+  /// `start` anchors the wheel's clock (the loop's now() at construction;
+  /// 0 in the simulator). `stats` receives all lifecycle counters and
+  /// gauges; must outlive the wheel.
+  TimerWheel(Tick start, TimerStats* stats);
+
+  TimerWheel(const TimerWheel&) = delete;
+  TimerWheel& operator=(const TimerWheel&) = delete;
+
+  /// Arms `fn` at `when`; `when <= now()` lands on the due list and pops
+  /// on the next pop_due(). O(1), allocation-free once the slab is warm.
+  TimerId schedule(Tick when, InlineFunction fn);
+
+  /// Disarms a pending timer. Returns false (and does nothing) for a
+  /// fired/cancelled/unknown id — generation-stamped ids make this exact
+  /// even after the record's slot was recycled.
+  bool cancel(TimerId id);
+
+  /// Moves a pending timer's deadline, keeping its callback. Later
+  /// deadlines (the per-heartbeat push-out) only rewrite the record;
+  /// earlier ones re-place it. Returns false for a dead id.
+  bool reschedule(TimerId id, Tick when);
+
+  /// Exact earliest pending deadline (kTickInfinity when idle). May
+  /// migrate postponed records (the normalize-top analogue); the result
+  /// is cached until the set of pending deadlines changes.
+  Tick next_deadline();
+
+  /// Advances the wheel clock to `t`, cascading every slot whose base is
+  /// reached: records due by `t` collect on the due list (deadline order,
+  /// FIFO ties), the rest redistribute to lower levels.
+  void advance_to(Tick t);
+
+  /// Detaches the earliest due callback into `out`; false when nothing
+  /// is due. The record is freed before returning, so the callback may
+  /// freely schedule/cancel/reschedule — including re-arming itself.
+  bool pop_due(InlineFunction& out);
+
+  [[nodiscard]] Tick now() const noexcept { return now_; }
+  /// Pending timers (scheduled, not yet fired or cancelled).
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  /// Slab slots ever handed out — the bounded-storage invariant in a
+  /// number: flat under cancel/re-arm churn (free-list reuse).
+  [[nodiscard]] std::size_t storage_slots() const noexcept {
+    return records_.high_water();
+  }
+
+ private:
+  struct Record {
+    Record(InlineFunction f, Tick when) : fn(std::move(f)), deadline(when),
+                                          slot_at(when) {}
+    InlineFunction fn;
+    Tick deadline;  ///< true target instant (lazy reschedule writes here)
+    Tick slot_at;   ///< deadline the current placement was keyed under
+    SlabHandle prev, next;  ///< intrusive circular list through the slab
+  };
+
+  enum class Where { kDue, kWheel, kOverflow };
+  struct Placement {
+    Where where;
+    int level;
+    std::uint32_t slot;
+  };
+
+  static TimerId encode(SlabHandle h) noexcept {
+    return (static_cast<TimerId>(h.slot) << 32) | h.generation;
+  }
+  static SlabHandle decode(TimerId id) noexcept {
+    return {static_cast<std::uint32_t>(id >> 32),
+            static_cast<std::uint32_t>(id)};
+  }
+  static std::uint32_t slot_index(Tick t, int level) noexcept {
+    return static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(t) >> (kBitsPerLevel * level)) &
+        (kSlotsPerLevel - 1));
+  }
+
+  [[nodiscard]] Placement classify(Tick slot_at) const noexcept;
+  [[nodiscard]] SlabHandle& slot_head(int level, std::uint32_t slot) noexcept {
+    return slot_heads_[static_cast<std::size_t>(level) * kSlotsPerLevel + slot];
+  }
+  [[nodiscard]] Tick slot_base(int level, std::uint32_t slot) const noexcept;
+
+  void link_back(SlabHandle& head, SlabHandle h, Record& rec);
+  void unlink(SlabHandle& head, SlabHandle h, Record& rec);
+  void insert_due_sorted(SlabHandle h, Record& rec);
+  /// Places `rec` by its slot_at: due list, a wheel slot, or overflow.
+  void place(SlabHandle h, Record& rec);
+  /// Unlinks `rec` from wherever classify() says it is.
+  void detach(SlabHandle h, Record& rec);
+
+  void set_occupied(int level, std::uint32_t slot) noexcept;
+  void clear_occupied(int level, std::uint32_t slot) noexcept;
+  /// First occupied slot index >= `from` at `level`, or -1. Adds the
+  /// bitmap words touched to *scanned (the max-scan gauge's unit).
+  [[nodiscard]] int first_occupied(int level, std::uint32_t from,
+                                   std::uint32_t* scanned) const noexcept;
+  /// Earliest occupied (level, slot) across the wheel per invariant 2;
+  /// false when every level is empty.
+  bool earliest_slot(int* level, std::uint32_t* slot, std::uint32_t* scanned)
+      const noexcept;
+  /// Redistributes every record of one slot (cascade). `fire_horizon` is
+  /// the instant records count as due against (== now_).
+  void cascade_slot(int level, std::uint32_t slot);
+  void note_scan(std::uint32_t scanned) noexcept;
+
+  Tick now_;
+  TimerStats* stats_;
+  Slab<Record> records_;
+  std::vector<SlabHandle> slot_heads_;  // kLevels * kSlotsPerLevel heads
+  std::uint64_t occupied_[kLevels][kSlotsPerLevel / 64] = {};
+  SlabHandle due_head_;
+  SlabHandle overflow_head_;
+  Tick cached_next_ = kTickInfinity;
+  bool cache_valid_ = false;
+};
+
+}  // namespace twfd::net

@@ -73,8 +73,22 @@ class EventLoopExport {
                                        "Reschedules that hit a pending timer.", labels)),
         timers_fired_(&r.counter("twfd_timers_fired_total",
                                  "Timer callbacks actually invoked.", labels)),
+        timers_superseded_(&r.counter("twfd_timers_superseded_total",
+                                      "Reschedules that re-placed a timer record "
+                                      "(vs. the lazy deadline rewrite).", labels)),
+        timer_cascades_(&r.counter("twfd_timer_cascades_total",
+                                   "Records relocated between wheel slots.", labels)),
         timer_compactions_(&r.counter("twfd_timer_compactions_total",
-                                      "Stale-entry timer-heap compactions.", labels)) {}
+                                      "Stale-entry timer-heap compactions "
+                                      "(legacy heap only; 0 on the wheel).", labels)),
+        timers_live_(&r.gauge("twfd_timers_live",
+                              "Pending timers right now.", labels)),
+        timer_slots_occupied_(&r.gauge("twfd_timer_wheel_slots_occupied",
+                                       "Wheel slots holding at least one record.",
+                                       labels)),
+        timer_max_scan_(&r.gauge("twfd_timer_wheel_max_scan",
+                                 "Most bitmap words one earliest-slot search "
+                                 "touched.", labels)) {}
 
   void update(const net::EventLoop::Stats& s) {
     datagrams_sent_->set_total(s.datagrams_sent);
@@ -95,7 +109,12 @@ class EventLoopExport {
     timers_cancelled_->set_total(s.timers.cancelled);
     timers_rescheduled_->set_total(s.timers.rescheduled);
     timers_fired_->set_total(s.timers.fired);
+    timers_superseded_->set_total(s.timers.superseded);
+    timer_cascades_->set_total(s.timers.cascades);
     timer_compactions_->set_total(s.timers.compactions);
+    timers_live_->set(static_cast<double>(s.timers.live));
+    timer_slots_occupied_->set(static_cast<double>(s.timers.wheel_slots_occupied));
+    timer_max_scan_->set(static_cast<double>(s.timers.wheel_max_scan));
   }
 
  private:
@@ -117,7 +136,12 @@ class EventLoopExport {
   Counter* timers_cancelled_;
   Counter* timers_rescheduled_;
   Counter* timers_fired_;
+  Counter* timers_superseded_;
+  Counter* timer_cascades_;
   Counter* timer_compactions_;
+  Gauge* timers_live_;
+  Gauge* timer_slots_occupied_;
+  Gauge* timer_max_scan_;
 };
 
 /// Mirrors net::FaultStats (chaos injection accounting). `labels`

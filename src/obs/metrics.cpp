@@ -162,28 +162,33 @@ Registry::Family& Registry::family_locked(std::string_view name, MetricType type
 }
 
 Registry::Instance* Registry::find_locked(Family& fam, std::string_view labels) {
-  for (auto& inst : fam.instances) {
-    if (inst->labels == labels) return inst.get();
-  }
-  return nullptr;
+  const auto it = fam.index.find(labels);
+  return it == fam.index.end() ? nullptr : it->second->get();
+}
+
+Registry::Instance& Registry::add_locked(Family& fam, std::unique_ptr<Instance> inst) {
+  fam.instances.push_back(std::move(inst));
+  const auto pos = std::prev(fam.instances.end());
+  fam.index.emplace(std::string_view((*pos)->labels), pos);
+  return **pos;
 }
 
 Counter& Registry::counter(std::string_view name, std::string_view help, std::string labels) {
   std::lock_guard<std::mutex> lock(mu_);
   Family& fam = family_locked(name, MetricType::kCounter, help);
   if (Instance* inst = find_locked(fam, labels)) return std::get<Counter>(inst->metric);
-  fam.instances.push_back(
-      std::make_unique<Instance>(std::in_place_type<Counter>, std::move(labels)));
-  return std::get<Counter>(fam.instances.back()->metric);
+  return std::get<Counter>(
+      add_locked(fam, std::make_unique<Instance>(std::in_place_type<Counter>, std::move(labels)))
+          .metric);
 }
 
 Gauge& Registry::gauge(std::string_view name, std::string_view help, std::string labels) {
   std::lock_guard<std::mutex> lock(mu_);
   Family& fam = family_locked(name, MetricType::kGauge, help);
   if (Instance* inst = find_locked(fam, labels)) return std::get<Gauge>(inst->metric);
-  fam.instances.push_back(
-      std::make_unique<Instance>(std::in_place_type<Gauge>, std::move(labels)));
-  return std::get<Gauge>(fam.instances.back()->metric);
+  return std::get<Gauge>(
+      add_locked(fam, std::make_unique<Instance>(std::in_place_type<Gauge>, std::move(labels)))
+          .metric);
 }
 
 Histogram& Registry::histogram(std::string_view name, std::string_view help,
@@ -198,9 +203,10 @@ Histogram& Registry::histogram(std::string_view name, std::string_view help,
     }
     return h;
   }
-  fam.instances.push_back(std::make_unique<Instance>(std::in_place_type<Histogram>,
-                                                     std::move(labels), std::move(bounds)));
-  return std::get<Histogram>(fam.instances.back()->metric);
+  return std::get<Histogram>(
+      add_locked(fam, std::make_unique<Instance>(std::in_place_type<Histogram>,
+                                                 std::move(labels), std::move(bounds)))
+          .metric);
 }
 
 ShardedCounter& Registry::sharded_counter(std::string_view name, std::string_view help,
@@ -208,9 +214,10 @@ ShardedCounter& Registry::sharded_counter(std::string_view name, std::string_vie
   std::lock_guard<std::mutex> lock(mu_);
   Family& fam = family_locked(name, MetricType::kCounter, help);
   if (Instance* inst = find_locked(fam, labels)) return std::get<ShardedCounter>(inst->metric);
-  fam.instances.push_back(
-      std::make_unique<Instance>(std::in_place_type<ShardedCounter>, std::move(labels), cells));
-  return std::get<ShardedCounter>(fam.instances.back()->metric);
+  return std::get<ShardedCounter>(
+      add_locked(fam, std::make_unique<Instance>(std::in_place_type<ShardedCounter>,
+                                                 std::move(labels), cells))
+          .metric);
 }
 
 ShardedHistogram& Registry::sharded_histogram(std::string_view name, std::string_view help,
@@ -219,9 +226,10 @@ ShardedHistogram& Registry::sharded_histogram(std::string_view name, std::string
   std::lock_guard<std::mutex> lock(mu_);
   Family& fam = family_locked(name, MetricType::kHistogram, help);
   if (Instance* inst = find_locked(fam, labels)) return std::get<ShardedHistogram>(inst->metric);
-  fam.instances.push_back(std::make_unique<Instance>(
-      std::in_place_type<ShardedHistogram>, std::move(labels), std::move(bounds), cells));
-  return std::get<ShardedHistogram>(fam.instances.back()->metric);
+  return std::get<ShardedHistogram>(
+      add_locked(fam, std::make_unique<Instance>(std::in_place_type<ShardedHistogram>,
+                                                 std::move(labels), std::move(bounds), cells))
+          .metric);
 }
 
 void Registry::declare(std::string_view name, MetricType type, std::string_view help) {
@@ -231,16 +239,15 @@ void Registry::declare(std::string_view name, MetricType type, std::string_view 
 
 bool Registry::remove(std::string_view name, std::string_view labels) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = families_.find(name);
-  if (it == families_.end()) return false;
-  auto& instances = it->second.instances;
-  for (auto inst = instances.begin(); inst != instances.end(); ++inst) {
-    if ((*inst)->labels == labels) {
-      instances.erase(inst);
-      return true;
-    }
-  }
-  return false;
+  auto fit = families_.find(name);
+  if (fit == families_.end()) return false;
+  Family& fam = fit->second;
+  const auto it = fam.index.find(labels);
+  if (it == fam.index.end()) return false;
+  const auto pos = it->second;
+  fam.index.erase(it);  // key views the instance's labels: erase first
+  fam.instances.erase(pos);
+  return true;
 }
 
 void Registry::add_collect_hook(std::function<void()> hook) {

@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <functional>
 #include <initializer_list>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -199,11 +200,22 @@ class Registry {
   struct Family {
     MetricType type = MetricType::kCounter;
     std::string help;
-    std::vector<std::unique_ptr<Instance>> instances;  // insertion order
+    // A list (not a vector) so removal never shifts siblings: a 100k-
+    // subscription service tears its series down one at a time, and a
+    // vector erase per removal would cost O(n) moves each. Render order
+    // stays insertion order either way.
+    std::list<std::unique_ptr<Instance>> instances;
+    // Labels -> list position, so get-or-create and remove are O(log n)
+    // instead of a linear scan. Keys view the instances' own label
+    // strings, which are heap-stable and immutable.
+    std::map<std::string_view, std::list<std::unique_ptr<Instance>>::iterator, std::less<>>
+        index;
   };
 
   Family& family_locked(std::string_view name, MetricType type, std::string_view help);
   Instance* find_locked(Family& fam, std::string_view labels);
+  /// Appends `inst` to the family and indexes it by its labels.
+  Instance& add_locked(Family& fam, std::unique_ptr<Instance> inst);
 
   mutable std::mutex mu_;
   std::map<std::string, Family, std::less<>> families_;

@@ -104,9 +104,9 @@ void SimWorld::disconnect_both(const SimEndpoint& a, const SimEndpoint& b) {
   disconnect(b, a);
 }
 
-void SimWorld::post(Tick at_global, std::function<void()> fn, TimerId timer_id) {
+void SimWorld::post(Tick at_global, std::function<void()> fn) {
   TWFD_CHECK_MSG(at_global >= now_, "event scheduled in the past");
-  queue_.push(Event{at_global, order_counter_++, std::move(fn), timer_id});
+  queue_.push(Event{at_global, order_counter_++, std::move(fn)});
 }
 
 void SimWorld::dispatch_send(PeerId from, PeerId to, std::vector<std::byte> data) {
@@ -133,75 +133,51 @@ void SimWorld::dispatch_send(PeerId from, PeerId to, std::vector<std::byte> data
 
   TWFD_CHECK(to >= 1 && to <= endpoints_.size());
   SimEndpoint* dest = endpoints_[to - 1].get();
-  post(
-      arrival,
-      [this, dest, from, payload = std::move(data)]() {
-        ++delivered_;
-        if (dest->on_receive_) {
-          // Arrival = delivery instant on the destination's local clock,
-          // matching the live runtime's "stamp at RX" semantics.
-          dest->on_receive_(from, std::span<const std::byte>(payload),
-                            dest->now());
-        }
-      },
-      kInvalidTimer);
+  post(arrival, [this, dest, from, payload = std::move(data)]() {
+    ++delivered_;
+    if (dest->on_receive_) {
+      // Arrival = delivery instant on the destination's local clock,
+      // matching the live runtime's "stamp at RX" semantics.
+      dest->on_receive_(from, std::span<const std::byte>(payload),
+                        dest->now());
+    }
+  });
 }
 
 TimerId SimWorld::schedule_local(SimEndpoint& ep, Tick local_when,
                                  std::function<void()> fn) {
-  const TimerId id = next_timer_id_++;
+  // Clamp to "no earlier than now": a local deadline already in the past
+  // (drift, or the caller passing now()) fires on the next step, never
+  // rewinds virtual time.
   const Tick global_when = std::max(now_, ep.to_global(local_when));
-  timers_.emplace(id, TimerRecord{std::move(fn), global_when, global_when});
-  post(global_when, [this, id, global_when] { fire_timer(id, global_when); }, id);
-  ++timer_stats_.scheduled;
-  return id;
+  return wheel_.schedule(global_when, InlineFunction(std::move(fn)));
 }
 
-void SimWorld::cancel_timer(TimerId id) {
-  if (timers_.erase(id) == 0) return;  // fired or unknown: no-op
-  ++timer_stats_.cancelled;
-  // The queue event stays behind as a stale entry; fire_timer skips it
-  // when it surfaces (virtual time jumps there immediately, so unlike
-  // the live loop no compaction pass is needed).
-}
+void SimWorld::cancel_timer(TimerId id) { wheel_.cancel(id); }
 
 bool SimWorld::reschedule_timer(SimEndpoint& ep, TimerId id, Tick local_when) {
-  const auto it = timers_.find(id);
-  if (it == timers_.end()) return false;
-  TimerRecord& rec = it->second;
-  rec.due_global = std::max(now_, ep.to_global(local_when));
-  if (rec.due_global < rec.posted_at) {
-    // The canonical event would surface too late; post a fresh one and
-    // let the old event die as stale. Deadlines pushed *out* (the common
-    // per-heartbeat re-arm) leave the queue untouched: fire_timer
-    // re-posts lazily when the event surfaces early.
-    rec.posted_at = rec.due_global;
-    const Tick at = rec.posted_at;
-    post(at, [this, id, at] { fire_timer(id, at); }, id);
-  }
-  ++timer_stats_.rescheduled;
-  return true;
-}
-
-void SimWorld::fire_timer(TimerId id, Tick at) {
-  const auto it = timers_.find(id);
-  if (it == timers_.end() || it->second.posted_at != at) return;  // stale
-  TimerRecord& rec = it->second;
-  if (rec.due_global > at) {
-    // Postponed by reschedule(); migrate the canonical event now.
-    rec.posted_at = rec.due_global;
-    const Tick new_at = rec.posted_at;
-    post(new_at, [this, id, new_at] { fire_timer(id, new_at); }, id);
-    return;
-  }
-  auto fn = std::move(rec.fn);
-  timers_.erase(it);
-  ++timer_stats_.fired;
-  fn();
+  const Tick global_when = std::max(now_, ep.to_global(local_when));
+  return wheel_.reschedule(id, global_when);
 }
 
 bool SimWorld::step() {
-  if (queue_.empty()) return false;
+  const Tick timer_at = wheel_.next_deadline();
+  const Tick event_at = queue_.empty() ? kTickInfinity : queue_.top().at;
+  if (timer_at == kTickInfinity && event_at == kTickInfinity) return false;
+
+  if (timer_at <= event_at && timer_at != kTickInfinity) {
+    // Timers win exact timer-vs-delivery ties; among equal-deadline
+    // timers the wheel fires in schedule FIFO order — the same total
+    // order the old unified queue produced for timer events.
+    now_ = std::max(now_, timer_at);
+    wheel_.advance_to(now_);
+    InlineFunction fn;
+    const bool popped = wheel_.pop_due(fn);
+    TWFD_CHECK_MSG(popped, "next_deadline promised a due timer");
+    fn();
+    return true;
+  }
+
   // priority_queue::top is const; the handler is moved out via const_cast,
   // which is safe because the element is popped immediately after.
   auto& top = const_cast<Event&>(queue_.top());
@@ -215,7 +191,13 @@ bool SimWorld::step() {
 }
 
 void SimWorld::run_until(Tick global_deadline) {
-  while (!queue_.empty() && queue_.top().at <= global_deadline) step();
+  for (;;) {
+    const Tick timer_at = wheel_.next_deadline();
+    const Tick event_at = queue_.empty() ? kTickInfinity : queue_.top().at;
+    const Tick next = std::min(timer_at, event_at);
+    if (next == kTickInfinity || next > global_deadline) break;
+    step();
+  }
   now_ = std::max(now_, global_deadline);
 }
 

@@ -18,6 +18,7 @@
 #include "common/rng.hpp"
 #include "common/runtime.hpp"
 #include "common/time.hpp"
+#include "net/timer_wheel.hpp"
 #include "trace/delay_model.hpp"
 #include "trace/loss_model.hpp"
 
@@ -104,7 +105,8 @@ class SimWorld {
   /// Global virtual time.
   [[nodiscard]] Tick now() const noexcept { return now_; }
 
-  /// Processes the next event; false when the queue is empty.
+  /// Processes the next event (earliest of pending timers and network
+  /// deliveries; timers win exact ties); false when nothing remains.
   bool step();
 
   /// Runs events with timestamp <= `global_deadline`, then advances the
@@ -114,7 +116,10 @@ class SimWorld {
   /// Runs until the queue drains or `max_events` were processed.
   std::size_t run(std::size_t max_events = SIZE_MAX);
 
-  [[nodiscard]] std::size_t pending_events() const noexcept { return queue_.size(); }
+  /// Pending work: queued network deliveries plus armed timers.
+  [[nodiscard]] std::size_t pending_events() const noexcept {
+    return queue_.size() + wheel_.size();
+  }
 
   /// Total datagrams handed to links / delivered (for load accounting).
   [[nodiscard]] std::uint64_t datagrams_sent() const noexcept { return sent_; }
@@ -129,17 +134,17 @@ class SimWorld {
   }
   /// Timers scheduled but not yet fired or cancelled.
   [[nodiscard]] std::size_t live_timer_count() const noexcept {
-    return timers_.size();
+    return wheel_.size();
   }
 
  private:
   friend class SimEndpoint;
 
+  // Network deliveries only — timers live in the wheel.
   struct Event {
     Tick at;
     std::uint64_t order;  // FIFO tiebreak for equal timestamps
     std::function<void()> fn;
-    TimerId timer_id;  // kInvalidTimer for network events
   };
   struct EventCmp {
     bool operator()(const Event& a, const Event& b) const {
@@ -152,33 +157,22 @@ class SimWorld {
     Tick busy_until = kTickNegInfinity;  // bottleneck queue head
   };
 
-  // Callbacks of pending timers live here (not in the event closure), so
-  // reschedule() can move a deadline without re-posting the callback.
-  // Each record owns one canonical queue event, identified by posted_at;
-  // events that surface with a different timestamp — or whose id has no
-  // record — are stale and skipped (same lazy-deletion semantics as
-  // net::EventLoop's timer heap).
-  struct TimerRecord {
-    std::function<void()> fn;
-    Tick due_global;  // current target instant (global time)
-    Tick posted_at;   // timestamp of the canonical queue event
-  };
-
-  void post(Tick at_global, std::function<void()> fn, TimerId timer_id);
+  void post(Tick at_global, std::function<void()> fn);
   void dispatch_send(PeerId from, PeerId to, std::vector<std::byte> data);
   TimerId schedule_local(SimEndpoint& ep, Tick local_when, std::function<void()> fn);
   void cancel_timer(TimerId id);
   bool reschedule_timer(SimEndpoint& ep, TimerId id, Tick local_when);
-  void fire_timer(TimerId id, Tick at);
 
   Tick now_ = 0;
   std::uint64_t order_counter_ = 0;
-  TimerId next_timer_id_ = 1;
   std::priority_queue<Event, std::vector<Event>, EventCmp> queue_;
   std::vector<std::unique_ptr<SimEndpoint>> endpoints_;
   std::map<std::pair<PeerId, PeerId>, Link> links_;
-  std::map<TimerId, TimerRecord> timers_;
   TimerStats timer_stats_;
+  // Timers share net::TimerWheel with the socket loop — identical
+  // placement, fire order and counters, which is what keeps sim and live
+  // runs step-for-step comparable. Declared after timer_stats_.
+  net::TimerWheel wheel_{0, &timer_stats_};
   Xoshiro256 rng_;
   std::uint64_t sent_ = 0;
   std::uint64_t delivered_ = 0;

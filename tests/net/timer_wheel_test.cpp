@@ -1,0 +1,512 @@
+// Timer-core suite: net::TimerWheel boundary cases (level cascades,
+// equal-tick FIFO, generation-stale ids, past-due reschedules, overflow
+// parking), the bounded-storage churn invariant (meaningful under ASan via
+// tools/sanitize_check.sh), fire-order parity against the retired
+// LegacyTimerHeap on a randomized op sequence, and the InlineFunction
+// small-buffer contract the wheel's no-allocation claim rests on.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/inline_function.hpp"
+#include "common/runtime.hpp"
+#include "common/time.hpp"
+#include "net/legacy_timer_heap.hpp"
+#include "net/timer_wheel.hpp"
+
+namespace twfd::net {
+namespace {
+
+// Drains every timer due at or before `t`, appending fire order to `out`
+// via the callbacks themselves (which push their tag).
+void drain_due(TimerWheel& wheel, Tick t) {
+  wheel.advance_to(t);
+  InlineFunction fn;
+  while (wheel.pop_due(fn)) {
+    fn();
+    fn.reset();
+  }
+}
+
+class TimerWheelTest : public ::testing::Test {
+ protected:
+  TimerStats stats_;
+  TimerWheel wheel_{0, &stats_};
+};
+
+// --- basic lifecycle -------------------------------------------------------
+
+TEST_F(TimerWheelTest, FiresAtExactDeadline) {
+  Tick fired_at = -1;
+  wheel_.schedule(1000, [&] { fired_at = wheel_.now(); });
+  EXPECT_EQ(wheel_.next_deadline(), 1000);
+  drain_due(wheel_, 999);
+  EXPECT_EQ(fired_at, -1);
+  drain_due(wheel_, 1000);
+  EXPECT_EQ(fired_at, 1000);
+  EXPECT_EQ(wheel_.next_deadline(), kTickInfinity);
+  EXPECT_EQ(stats_.fired, 1u);
+  EXPECT_EQ(stats_.live, 0u);
+}
+
+TEST_F(TimerWheelTest, ScheduleAtOrBeforeNowPopsImmediately) {
+  wheel_.advance_to(500);
+  int fired = 0;
+  wheel_.schedule(500, [&] { ++fired; });  // == now
+  wheel_.schedule(100, [&] { ++fired; });  // < now
+  EXPECT_EQ(wheel_.next_deadline(), 100);
+  InlineFunction fn;
+  ASSERT_TRUE(wheel_.pop_due(fn));
+  fn();
+  ASSERT_TRUE(wheel_.pop_due(fn));
+  fn();
+  EXPECT_FALSE(wheel_.pop_due(fn));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST_F(TimerWheelTest, CallbackMayRearmItself) {
+  int fires = 0;
+  // Self-re-arming chain: each firing schedules the next, three deep.
+  std::function<void()> arm = [&] {
+    ++fires;
+    if (fires < 3) {
+      wheel_.schedule(wheel_.now() + 10, [&] { arm(); });
+    }
+  };
+  wheel_.schedule(10, [&] { arm(); });
+  drain_due(wheel_, 10);
+  EXPECT_EQ(fires, 1);
+  drain_due(wheel_, 20);
+  EXPECT_EQ(fires, 2);
+  drain_due(wheel_, 1000);
+  EXPECT_EQ(fires, 3);
+  EXPECT_EQ(wheel_.size(), 0u);
+}
+
+// --- reschedule semantics --------------------------------------------------
+
+TEST_F(TimerWheelTest, RescheduleToPastDueFiresOnNextDrain) {
+  // The regression the satellite names: pulling a deadline into the past
+  // must make the timer due NOW, not strand it in a slot the clock
+  // already passed.
+  wheel_.advance_to(ticks_from_ms(5));
+  Tick fired_at = -1;
+  const TimerId id =
+      wheel_.schedule(ticks_from_sec(10), [&] { fired_at = wheel_.now(); });
+  ASSERT_TRUE(wheel_.reschedule(id, ticks_from_ms(1)));  // already past
+  EXPECT_EQ(wheel_.next_deadline(), ticks_from_ms(1));
+  InlineFunction fn;
+  ASSERT_TRUE(wheel_.pop_due(fn));  // no advance needed: due immediately
+  fn();
+  EXPECT_EQ(fired_at, ticks_from_ms(5));
+}
+
+TEST_F(TimerWheelTest, LazyPushOutFiresAtNewDeadlineOnly) {
+  Tick fired_at = -1;
+  const TimerId id =
+      wheel_.schedule(1000, [&] { fired_at = wheel_.now(); });
+  ASSERT_TRUE(wheel_.reschedule(id, 5000));
+  EXPECT_EQ(wheel_.next_deadline(), 5000);
+  drain_due(wheel_, 4999);
+  EXPECT_EQ(fired_at, -1);
+  drain_due(wheel_, 5000);
+  EXPECT_EQ(fired_at, 5000);
+  // Push-out stayed lazy: the placement key still covered the new
+  // deadline, so nothing was superseded.
+  EXPECT_EQ(stats_.rescheduled, 1u);
+  EXPECT_EQ(stats_.superseded, 0u);
+}
+
+TEST_F(TimerWheelTest, EagerEarlierRescheduleCountsSuperseded) {
+  Tick fired_at = -1;
+  const TimerId id = wheel_.schedule(ticks_from_sec(10),
+                                     [&] { fired_at = wheel_.now(); });
+  // Below the placement key: must detach and re-place.
+  ASSERT_TRUE(wheel_.reschedule(id, ticks_from_ms(3)));
+  EXPECT_EQ(stats_.superseded, 1u);
+  EXPECT_EQ(wheel_.next_deadline(), ticks_from_ms(3));
+  drain_due(wheel_, ticks_from_ms(3));
+  EXPECT_EQ(fired_at, ticks_from_ms(3));
+}
+
+TEST_F(TimerWheelTest, RepeatedPushOutNeverFiresEarly) {
+  // The per-heartbeat pattern: one timer, re-armed many times; only the
+  // final deadline fires.
+  int fires = 0;
+  const TimerId id = wheel_.schedule(ticks_from_ms(1), [&] { ++fires; });
+  for (int hb = 2; hb <= 100; ++hb) {
+    ASSERT_TRUE(wheel_.reschedule(id, ticks_from_ms(hb)));
+    drain_due(wheel_, ticks_from_ms(hb) - 1);
+    EXPECT_EQ(fires, 0) << "fired early on heartbeat " << hb;
+  }
+  drain_due(wheel_, ticks_from_ms(100));
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(stats_.rescheduled, 99u);
+}
+
+// --- cancel + generation-stale ids -----------------------------------------
+
+TEST_F(TimerWheelTest, CancelPreventsFire) {
+  int fired = 0;
+  const TimerId id = wheel_.schedule(100, [&] { ++fired; });
+  EXPECT_TRUE(wheel_.cancel(id));
+  drain_due(wheel_, 1000);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(stats_.cancelled, 1u);
+  EXPECT_EQ(stats_.live, 0u);
+}
+
+TEST_F(TimerWheelTest, StaleIdsReturnFalse) {
+  const TimerId id = wheel_.schedule(100, [] {});
+  EXPECT_TRUE(wheel_.cancel(id));
+  EXPECT_FALSE(wheel_.cancel(id));           // double cancel
+  EXPECT_FALSE(wheel_.reschedule(id, 200));  // reschedule after cancel
+
+  const TimerId fired_id = wheel_.schedule(100, [] {});
+  drain_due(wheel_, 100);
+  EXPECT_FALSE(wheel_.cancel(fired_id));  // cancel after fire
+  EXPECT_FALSE(wheel_.reschedule(fired_id, 200));
+
+  EXPECT_FALSE(wheel_.cancel(kInvalidTimer));
+  EXPECT_FALSE(wheel_.reschedule(kInvalidTimer, 200));
+}
+
+TEST_F(TimerWheelTest, RecycledSlotDoesNotAliasOldId) {
+  // Cancel a timer, then schedule another: the slab recycles the slot,
+  // but the generation stamp must keep the dead id from touching the new
+  // tenant.
+  int old_fired = 0;
+  int new_fired = 0;
+  const TimerId old_id = wheel_.schedule(100, [&] { ++old_fired; });
+  ASSERT_TRUE(wheel_.cancel(old_id));
+  const TimerId new_id = wheel_.schedule(100, [&] { ++new_fired; });
+  // Same storage slot, different generation (schedule after cancel reuses
+  // the free list — storage stayed at one slot).
+  EXPECT_EQ(wheel_.storage_slots(), 1u);
+  EXPECT_NE(old_id, new_id);
+  EXPECT_FALSE(wheel_.cancel(old_id));
+  EXPECT_FALSE(wheel_.reschedule(old_id, 500));
+  drain_due(wheel_, 100);
+  EXPECT_EQ(old_fired, 0);
+  EXPECT_EQ(new_fired, 1);
+}
+
+// --- cascades across every level boundary ----------------------------------
+
+TEST_F(TimerWheelTest, CascadeAcrossEveryLevelBoundary) {
+  // One deadline per level: 2^10+3 lives at level 1, 2^20+3 at level 2,
+  // ... 2^50+3 at level 5. Each must cascade down through every
+  // intermediate level and still fire at its exact tick.
+  struct Probe {
+    Tick deadline;
+    Tick fired_at = -1;
+  };
+  std::vector<std::unique_ptr<Probe>> probes;
+  for (int level = 1; level < TimerWheel::kLevels; ++level) {
+    const Tick d = (Tick{1} << (TimerWheel::kBitsPerLevel * level)) + 3;
+    probes.push_back(std::make_unique<Probe>(Probe{d}));
+    Probe* p = probes.back().get();
+    wheel_.schedule(d, [this, p] { p->fired_at = wheel_.now(); });
+  }
+  for (const auto& p : probes) {
+    drain_due(wheel_, p->deadline - 1);
+    EXPECT_EQ(p->fired_at, -1) << "deadline " << p->deadline << " fired early";
+    drain_due(wheel_, p->deadline);
+    EXPECT_EQ(p->fired_at, p->deadline);
+  }
+  // Every probe above level 0 redistributed at least once (absolute
+  // indexing re-hashes a record straight to the level of its remaining
+  // offset, so +3 past a slot base lands on level 0 in one hop).
+  EXPECT_GE(stats_.cascades, probes.size());
+  EXPECT_EQ(stats_.fired, probes.size());
+}
+
+TEST_F(TimerWheelTest, CascadePreservesExactDeadlineUnderCoarseAdvance) {
+  // Advance in one giant step PAST a high-level deadline: the cascade
+  // must still deliver it (on the due list) rather than lose it.
+  Tick fired_at = -1;
+  const Tick d = (Tick{1} << 45) + 12345;
+  wheel_.schedule(d, [&] { fired_at = wheel_.now(); });
+  drain_due(wheel_, d + ticks_from_sec(1));
+  EXPECT_EQ(fired_at, d + ticks_from_sec(1));  // now() when drained
+  EXPECT_EQ(stats_.fired, 1u);
+}
+
+// --- equal-tick FIFO -------------------------------------------------------
+
+TEST_F(TimerWheelTest, EqualTickFifoFireOrder) {
+  std::vector<int> order;
+  const Tick d = ticks_from_ms(7);
+  for (int i = 0; i < 16; ++i) {
+    wheel_.schedule(d, [&order, i] { order.push_back(i); });
+  }
+  drain_due(wheel_, d);
+  ASSERT_EQ(order.size(), 16u);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST_F(TimerWheelTest, EqualTickFifoSurvivesCascade) {
+  // Same deadline, but far enough out that the records sit in a high
+  // level and cascade down before firing: schedule order must still win.
+  std::vector<int> order;
+  const Tick d = (Tick{1} << 32) + 99;  // level 3 at schedule time
+  for (int i = 0; i < 8; ++i) {
+    wheel_.schedule(d, [&order, i] { order.push_back(i); });
+  }
+  // Walk the clock up in uneven steps so the group cascades level by
+  // level instead of in one advance.
+  drain_due(wheel_, Tick{1} << 31);
+  drain_due(wheel_, (Tick{1} << 32) - 5);
+  EXPECT_TRUE(order.empty());
+  drain_due(wheel_, d);
+  ASSERT_EQ(order.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST_F(TimerWheelTest, EqualTickFifoAcrossMixedArrival) {
+  // Ties between an original placement and a reschedule-onto-the-same-tick
+  // fire in the order the *deadline* was established.
+  std::vector<std::string> order;
+  const Tick d = ticks_from_ms(3);
+  wheel_.schedule(d, [&] { order.push_back("first"); });
+  const TimerId id = wheel_.schedule(ticks_from_ms(1),
+                                     [&] { order.push_back("second"); });
+  ASSERT_TRUE(wheel_.reschedule(id, d));  // joins the tie after "first"
+  drain_due(wheel_, d);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], "first");
+  EXPECT_EQ(order[1], "second");
+}
+
+// --- next_deadline exactness -----------------------------------------------
+
+TEST_F(TimerWheelTest, NextDeadlineSeesThroughLazyPushOut) {
+  // A lazily postponed record must not make next_deadline() report the
+  // stale placement key.
+  const TimerId a = wheel_.schedule(1000, [] {});
+  wheel_.schedule(8000, [] {});
+  ASSERT_TRUE(wheel_.reschedule(a, 9000));  // lazy: slot still keyed at 1000
+  EXPECT_EQ(wheel_.next_deadline(), 8000);
+  drain_due(wheel_, 8000);
+  EXPECT_EQ(wheel_.next_deadline(), 9000);
+}
+
+TEST_F(TimerWheelTest, NextDeadlineTracksCancellation) {
+  const TimerId a = wheel_.schedule(100, [] {});
+  wheel_.schedule(200, [] {});
+  EXPECT_EQ(wheel_.next_deadline(), 100);
+  ASSERT_TRUE(wheel_.cancel(a));
+  EXPECT_EQ(wheel_.next_deadline(), 200);
+}
+
+// --- overflow (beyond the 2^60 horizon) ------------------------------------
+
+TEST_F(TimerWheelTest, OverflowDeadlineParksAndCancels) {
+  int fired = 0;
+  const TimerId far = wheel_.schedule(kTickInfinity - 1, [&] { ++fired; });
+  EXPECT_EQ(wheel_.next_deadline(), kTickInfinity - 1);
+  wheel_.schedule(100, [&] { ++fired; });
+  EXPECT_EQ(wheel_.next_deadline(), 100);
+  drain_due(wheel_, ticks_from_sec(1));
+  EXPECT_EQ(fired, 1);  // only the near timer
+  EXPECT_EQ(wheel_.next_deadline(), kTickInfinity - 1);
+  EXPECT_TRUE(wheel_.cancel(far));
+  EXPECT_EQ(wheel_.next_deadline(), kTickInfinity);
+  EXPECT_EQ(wheel_.size(), 0u);
+}
+
+TEST_F(TimerWheelTest, OverflowRescheduleIntoHorizonFires) {
+  Tick fired_at = -1;
+  const TimerId id =
+      wheel_.schedule(kTickInfinity - 1, [&] { fired_at = wheel_.now(); });
+  ASSERT_TRUE(wheel_.reschedule(id, ticks_from_ms(2)));
+  drain_due(wheel_, ticks_from_ms(2));
+  EXPECT_EQ(fired_at, ticks_from_ms(2));
+}
+
+// --- bounded storage under churn -------------------------------------------
+
+TEST_F(TimerWheelTest, ChurnKeepsStorageFlat) {
+  // 1M-op churn over a bounded live set: the slab's free list must
+  // recycle slots so storage never exceeds the peak live count. This is
+  // the ASan-lane stress (tools/sanitize_check.sh) — a leaked record or
+  // a dangling intrusive link surfaces here.
+  constexpr std::size_t kLive = 512;
+  constexpr std::size_t kOps = 1'000'000;
+  std::uint64_t fired = 0;
+  std::uint64_t rng = 0x9E3779B97F4A7C15ULL;
+  std::vector<TimerId> ids(kLive, kInvalidTimer);
+  Tick now = 0;
+  for (std::size_t i = 0; i < kLive; ++i) {
+    ids[i] = wheel_.schedule(1 + static_cast<Tick>(i), [&] { ++fired; });
+  }
+  const std::size_t high_water = wheel_.storage_slots();
+  EXPECT_EQ(high_water, kLive);
+  for (std::size_t op = 0; op < kOps; ++op) {
+    rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+    const std::size_t idx = (rng >> 33) % kLive;
+    const Tick when = now + 1 + static_cast<Tick>((rng >> 13) % 1'000'000);
+    switch ((rng >> 60) & 3) {
+      case 0:  // cancel + fresh schedule
+        wheel_.cancel(ids[idx]);
+        ids[idx] = wheel_.schedule(when, [&] { ++fired; });
+        break;
+      case 1:  // reschedule (re-arm if already dead)
+        if (!wheel_.reschedule(ids[idx], when)) {
+          ids[idx] = wheel_.schedule(when, [&] { ++fired; });
+        }
+        break;
+      default:  // let time move and drain
+        now += static_cast<Tick>((rng >> 40) % 10'000);
+        drain_due(wheel_, now);
+        break;
+    }
+  }
+  EXPECT_EQ(wheel_.storage_slots(), high_water)
+      << "slab grew under churn — free-list recycling broke";
+  EXPECT_LE(wheel_.size(), kLive);
+  EXPECT_EQ(stats_.live, wheel_.size());
+  EXPECT_GT(fired, 0u);
+}
+
+// --- wheel vs legacy heap parity -------------------------------------------
+
+TEST_F(TimerWheelTest, FireOrderMatchesLegacyHeapOnRandomOps) {
+  // Drive both cores through an identical randomized schedule / cancel /
+  // reschedule sequence, then drain both: the set AND order of fired
+  // timers must match (deadline order, FIFO ties by schedule order —
+  // the contract call sites like Monitor re-arm depend on).
+  TimerStats heap_stats;
+  LegacyTimerHeap heap{&heap_stats};
+  std::vector<int> wheel_order;
+  std::vector<int> heap_order;
+  std::vector<TimerId> wheel_ids;
+  std::vector<TimerId> heap_ids;
+
+  std::uint64_t rng = 0xDEADBEEFCAFEF00DULL;
+  const auto next = [&rng] {
+    rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+    return rng >> 17;
+  };
+  constexpr int kTimers = 400;
+  for (int i = 0; i < kTimers; ++i) {
+    // Coarse deadlines force plenty of exact ties.
+    const Tick d = 1 + static_cast<Tick>(next() % 64) * ticks_from_ms(1);
+    wheel_ids.push_back(
+        wheel_.schedule(d, [&wheel_order, i] { wheel_order.push_back(i); }));
+    heap_ids.push_back(
+        heap.schedule(d, [&heap_order, i] { heap_order.push_back(i); }));
+  }
+  for (int op = 0; op < 300; ++op) {
+    const auto idx = static_cast<std::size_t>(next() % kTimers);
+    const Tick d = 1 + static_cast<Tick>(next() % 64) * ticks_from_ms(1);
+    if ((next() & 1) != 0) {
+      wheel_.cancel(wheel_ids[idx]);
+      heap.cancel(heap_ids[idx]);
+    } else {
+      const bool wr = wheel_.reschedule(wheel_ids[idx], d);
+      const bool hr = heap.reschedule(heap_ids[idx], d);
+      EXPECT_EQ(wr, hr);
+    }
+  }
+
+  const Tick horizon = ticks_from_ms(64) + 1;
+  drain_due(wheel_, horizon);
+  std::function<void()> fn;
+  while (heap.pop_due(horizon, fn)) fn();
+
+  EXPECT_EQ(wheel_order, heap_order);
+  EXPECT_EQ(wheel_.size(), heap.size());
+  EXPECT_EQ(stats_.fired, heap_stats.fired);
+}
+
+// --- gauges ----------------------------------------------------------------
+
+TEST_F(TimerWheelTest, OccupancyGaugeTracksSlots) {
+  EXPECT_EQ(stats_.wheel_slots_occupied, 0u);
+  const TimerId a = wheel_.schedule(100, [] {});
+  wheel_.schedule(200, [] {});    // distinct level-0... actually same level
+  wheel_.schedule(100, [] {});    // shares a's slot
+  EXPECT_GE(stats_.wheel_slots_occupied, 1u);
+  const std::uint64_t occupied = stats_.wheel_slots_occupied;
+  wheel_.cancel(a);               // slot still holds the third timer
+  EXPECT_EQ(stats_.wheel_slots_occupied, occupied);
+  drain_due(wheel_, 1000);
+  EXPECT_EQ(stats_.wheel_slots_occupied, 0u);
+}
+
+TEST_F(TimerWheelTest, MaxScanGaugeMovesOnSparseWheel) {
+  // A lone far-out timer forces next_deadline() to walk bitmap words.
+  wheel_.schedule((Tick{1} << 40) + 7, [] {});
+  wheel_.next_deadline();
+  EXPECT_GT(stats_.wheel_max_scan, 0u);
+}
+
+// --- InlineFunction --------------------------------------------------------
+
+TEST(InlineFunctionTest, SmallCapturesStoreInline) {
+  struct Small {
+    std::uint64_t a, b, c;
+    void operator()() const {}
+  };
+  struct Large {
+    std::array<std::uint64_t, 9> payload;
+    void operator()() const {}
+  };
+  static_assert(InlineFunction::fits_inline<Small>());
+  static_assert(!InlineFunction::fits_inline<Large>());
+  // The callbacks the runtimes actually arm — a pointer or two plus ids —
+  // must fit, or the wheel's zero-alloc reschedule claim is void.
+  int x = 0;
+  auto probe = [&x, id = std::uint64_t{42}] { x = static_cast<int>(id); };
+  static_assert(InlineFunction::fits_inline<decltype(probe)>());
+  InlineFunction f{std::move(probe)};
+  f();
+  EXPECT_EQ(x, 42);
+}
+
+TEST(InlineFunctionTest, BoxedFallbackStillInvokes) {
+  std::array<std::uint64_t, 12> big{};
+  big[11] = 7;
+  std::uint64_t got = 0;
+  auto probe = [big, &got] { got = big[11]; };
+  static_assert(!InlineFunction::fits_inline<decltype(probe)>());
+  InlineFunction f{std::move(probe)};
+  f();
+  EXPECT_EQ(got, 7u);
+}
+
+TEST(InlineFunctionTest, MoveTransfersAndResetReleases) {
+  auto counter = std::make_shared<int>(0);
+  InlineFunction a{[counter] { ++*counter; }};
+  EXPECT_EQ(counter.use_count(), 2);
+  InlineFunction b{std::move(a)};
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(static_cast<bool>(b));
+  EXPECT_EQ(counter.use_count(), 2);  // one owner moved, not copied
+  b();
+  EXPECT_EQ(*counter, 1);
+  b.reset();
+  EXPECT_FALSE(static_cast<bool>(b));
+  EXPECT_EQ(counter.use_count(), 1);  // capture destroyed on reset
+}
+
+TEST(InlineFunctionTest, AssignReplacesExistingCapture) {
+  auto first = std::make_shared<int>(0);
+  auto second = std::make_shared<int>(0);
+  InlineFunction f{[first] { ++*first; }};
+  f = InlineFunction{[second] { ++*second; }};
+  EXPECT_EQ(first.use_count(), 1);  // old capture destroyed by assignment
+  f();
+  EXPECT_EQ(*second, 1);
+  EXPECT_EQ(*first, 0);
+}
+
+}  // namespace
+}  // namespace twfd::net

@@ -210,6 +210,58 @@ TEST(Monitor, EqualTickHeartbeatFirstSuppressesSuspicion) {
   EXPECT_EQ(suspects[0], ticks_from_ms(300));
 }
 
+// Two monitors whose freshness deadlines collide on the SAME tick: the
+// timer core must fire them in arm order (equal-deadline FIFO — on the
+// timing wheel that is slot insertion order, preserved across cascades),
+// and each must re-arm independently. Pins the wheel's tie contract
+// through the full Monitor/runtime stack, not just at the wheel API.
+TEST(Monitor, CollidingFreshnessDeadlinesFireInArmOrder) {
+  sim::SimWorld world(32);
+  auto& q = world.add_endpoint("q");
+  std::vector<int> suspect_order;
+
+  detect::FixedTimeoutDetector::Params p;
+  p.timeout = ticks_from_ms(150);
+  Monitor first(q.runtime(), /*watched_sender_id=*/1,
+                std::make_unique<detect::FixedTimeoutDetector>(p),
+                {[&](Tick) { suspect_order.push_back(1); }, {}});
+  Monitor second(q.runtime(), /*watched_sender_id=*/2,
+                 std::make_unique<detect::FixedTimeoutDetector>(p),
+                 {[&](Tick) { suspect_order.push_back(2); }, {}});
+
+  auto heartbeat = [](PeerId sender, std::int64_t seq, Tick send) {
+    net::HeartbeatMsg m;
+    m.sender_id = sender;
+    m.seq = seq;
+    m.send_time = send;
+    m.interval = ticks_from_ms(150);
+    return m;
+  };
+  // Both monitors see a heartbeat at t=0, arming two freshness timers at
+  // exactly t=150ms: `first` arms before `second`.
+  q.schedule_at(0, [&] {
+    first.handle_heartbeat(1, heartbeat(1, 1, 0), q.now());
+    second.handle_heartbeat(2, heartbeat(2, 1, 0), q.now());
+  });
+
+  world.run_until(ticks_from_ms(150));
+  ASSERT_EQ(suspect_order.size(), 2u);
+  EXPECT_EQ(suspect_order[0], 1);
+  EXPECT_EQ(suspect_order[1], 2);
+
+  // Revive only the SECOND monitor; its re-arm lands on a fresh tick
+  // while the first stays suspecting — the colliding fire must not have
+  // cross-wired the two timers.
+  q.schedule_at(ticks_from_ms(200), [&] {
+    second.handle_heartbeat(2, heartbeat(2, 2, ticks_from_ms(200)), q.now());
+  });
+  world.run_until(ticks_from_sec(1));
+  ASSERT_EQ(suspect_order.size(), 3u);
+  EXPECT_EQ(suspect_order[2], 2);  // second's renewed silence, at 350ms
+  EXPECT_EQ(first.output(), detect::Output::Suspect);
+  EXPECT_EQ(second.output(), detect::Output::Suspect);
+}
+
 TEST(Monitor, WorksWithMultiWindowDetector) {
   sim::SimWorld world(13);
   auto& p = world.add_endpoint("p");

@@ -17,9 +17,10 @@
 #      families (event loop, QoS conformance, shard heartbeats) must be
 #      present in the exposition — the observability contract the
 #      dashboards are built on;
-#   5. tools/tsan_check.sh — TSan over the `threaded` and `obs` labels
-#      (the MPSC queues, the sharded runtime + supervisor, the FDaaS API
-#      server/client, and the metrics registry under concurrent scrape).
+#   5. tools/tsan_check.sh — TSan over the `threaded`, `obs` and
+#      `timers` labels (the MPSC queues, the sharded runtime +
+#      supervisor, the FDaaS API server/client, the metrics registry
+#      under concurrent scrape, and the timing-wheel timer core).
 #
 #   tools/ci_check.sh [build-dir]   (default: build)
 #
@@ -57,6 +58,18 @@ grep -q '"speedup_valid"' "$BUILD_DIR/bench/BENCH_shard_scale.json" || {
   echo "ci_check: BENCH_shard_scale.json lost the speedup_valid field" >&2
   exit 1
 }
+# The timer bench's headline column: the per-heartbeat re-arm cost the
+# timing wheel exists to bound. Its disappearance must fail the gate.
+grep -q '"ns_per_reschedule"' "$BUILD_DIR/bench/BENCH_timer_hotpath.json" || {
+  echo "ci_check: BENCH_timer_hotpath.json lost the ns_per_reschedule field" >&2
+  exit 1
+}
+
+echo "== timer reschedule zero-alloc assertion ($BUILD_DIR) =="
+# timer_hotpath counts heap allocations on the wheel's reschedule path
+# via a replacement operator new and exits non-zero if there are any —
+# the steady-state O(1)/alloc-free claim, checked on every gate run.
+( cd "$BUILD_DIR/bench" && FD_BENCH_TIMER_COUNTS=1000 ./timer_hotpath >/dev/null )
 
 echo "== metrics scrape drill ($BUILD_DIR) =="
 # Start both daemons with a metrics endpoint, scrape them, and require
@@ -114,7 +127,7 @@ echo "== federation suite under ASan+UBSan (build-sanitize) =="
 ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
   ctest --test-dir build-sanitize -L federation --output-on-failure
 
-echo "== TSan, labels 'threaded' + 'obs' (build-tsan) =="
+echo "== TSan, labels 'threaded' + 'obs' + 'timers' (build-tsan) =="
 tools/tsan_check.sh
 
 echo "== ci_check: all stages passed =="
