@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <future>
 #include <stdexcept>
@@ -41,6 +42,16 @@ FdaasServer::Stats& FdaasServer::Stats::operator+=(const Stats& o) {
   fed_subscriptions_active += o.fed_subscriptions_active;
   fed_events_pushed += o.fed_events_pushed;
   delegates_sent += o.delegates_sent;
+  snapshot_saves += o.snapshot_saves;
+  snapshot_save_failures += o.snapshot_save_failures;
+  snapshot_restored_subs += o.snapshot_restored_subs;
+  snapshot_replayed_transitions += o.snapshot_replayed_transitions;
+  orphans_active += o.orphans_active;
+  orphans_claimed += o.orphans_claimed;
+  orphans_expired += o.orphans_expired;
+  snapshot_age_ns += o.snapshot_age_ns;
+  snapshot_bytes += o.snapshot_bytes;
+  fed_children_restored += o.fed_children_restored;
   return *this;
 }
 
@@ -74,8 +85,21 @@ void FdaasServer::refresh_obs() {
 
 FdaasServer::~FdaasServer() { stop(); }
 
+void FdaasServer::set_child_reattach_hook(
+    std::function<void(std::uint64_t)> hook) {
+  TWFD_CHECK_MSG(!running_, "set_child_reattach_hook() must precede start()");
+  child_reattach_hook_ = std::move(hook);
+}
+
 void FdaasServer::start() {
   TWFD_CHECK_MSG(!running_, "server already started");
+  // Restore before the API thread exists: the orphan maps are built
+  // single-threaded here and only ever touched by the API thread after
+  // the spawn below (thread creation orders the writes).
+  if (persistence_enabled() && !restore_attempted_) {
+    restore_attempted_ = true;  // an in-process re-start() must not double-seed
+    restore_from_snapshot();
+  }
   stop_requested_.store(false, std::memory_order_release);
   running_ = true;
   thread_ = std::thread([this] { worker_main(); });
@@ -138,14 +162,20 @@ void FdaasServer::worker_main() {
   arm_poll_timer();
   arm_lease_timer();
   if (adapter_ != nullptr) arm_fed_flush_timer();
+  if (persistence_enabled() && params_.snapshot_interval > 0) arm_snapshot_timer();
 
   while (!stop_requested_.load(std::memory_order_acquire)) {
     loop_->run_until(kTickInfinity);
   }
 
-  // Teardown (single-threaded: the loop no longer runs). Sessions are
-  // closed and their subscriptions released while the monitoring service
-  // is still up — the documented shutdown order is server before service.
+  // Teardown (single-threaded: the loop no longer runs). The final
+  // snapshot is flushed FIRST: close_session releases every client
+  // subscription, so saving after the close loop would persist an empty
+  // registry and a graceful restart would cold-start.
+  if (persistence_enabled()) save_snapshot();
+  // Sessions are closed and their subscriptions released while the
+  // monitoring service is still up — the documented shutdown order is
+  // server before service.
   std::vector<std::uint64_t> sids;
   sids.reserve(sessions_.size());
   for (const auto& [sid, s] : sessions_) sids.push_back(sid);
@@ -154,6 +184,7 @@ void FdaasServer::worker_main() {
   loop_->cancel(poll_timer_);
   loop_->cancel(lease_timer_);
   if (fed_flush_timer_ != kInvalidTimer) loop_->cancel(fed_flush_timer_);
+  if (snapshot_timer_ != kInvalidTimer) loop_->cancel(snapshot_timer_);
 }
 
 void FdaasServer::drain_commands() {
@@ -219,8 +250,161 @@ void FdaasServer::arm_lease_timer() {
   const Tick period = std::max<Tick>(params_.lease / 4, ticks_from_ms(20));
   lease_timer_ = loop_->schedule_at(loop_->now() + period, [this] {
     expire_leases();
+    sweep_orphans();
     arm_lease_timer();
   });
+}
+
+// --- Crash persistence ------------------------------------------------------
+
+void FdaasServer::arm_snapshot_timer() {
+  snapshot_timer_ =
+      loop_->schedule_at(loop_->now() + params_.snapshot_interval, [this] {
+        save_snapshot();
+        arm_snapshot_timer();
+      });
+}
+
+void FdaasServer::restore_from_snapshot() {
+  const SnapshotLoadResult loaded = load_snapshot_file(params_.snapshot_path);
+  snapshot_load_status_ = loaded.status;
+  if (!loaded.ok()) return;  // missing/skewed/corrupt: clean cold start
+
+  const std::int64_t wall = wall_now_ns();
+  const Tick steady_now = SteadyClock{}.now();
+  const Tick expires = steady_now + params_.orphan_ttl;
+  for (const SnapshotData::Seed& seed : loaded.data.seeds) {
+    shard::ShardedMonitorService::SubscriptionSeed s;
+    s.peer = seed.peer;
+    s.sender_id = seed.sender_id;
+    s.app = seed.app;
+    s.qos = seed.qos;
+    s.last = seed.last;
+    s.since = rebase_seed_since(seed.age_ns, loaded.data.saved_wall_ns, wall,
+                                steady_now);
+    std::uint64_t gid = 0;
+    try {
+      gid = service_.import_seed(s);
+    } catch (...) {
+      continue;  // infeasible under today's network estimate: drop the seed
+    }
+    const OrphanKey key{s.peer.ip_host_order, s.peer.port, s.sender_id, s.app};
+    orphans_[gid] = Orphan{gid, std::move(s), expires};
+    orphan_index_[key] = gid;
+    ++stats_.snapshot_restored_subs;
+  }
+  for (const std::uint64_t node : loaded.data.fed_children) {
+    restored_fed_children_.insert(node);
+  }
+}
+
+bool FdaasServer::save_snapshot() {
+  if (!persistence_enabled()) return false;
+  SnapshotData data;
+  data.saved_wall_ns = wall_now_ns();
+  const Tick steady_now = loop_->now();
+  const auto seeds = service_.export_seeds();
+  data.seeds.reserve(seeds.size());
+  for (const auto& seed : seeds) {
+    SnapshotData::Seed s;
+    s.peer = seed.peer;
+    s.sender_id = seed.sender_id;
+    s.app = seed.app;
+    s.qos = seed.qos;
+    s.last = seed.last;
+    s.age_ns = seed.since == 0 ? -1 : std::max<Tick>(0, steady_now - seed.since);
+    data.seeds.push_back(std::move(s));
+  }
+  for (const auto& [node, sid] : child_sessions_) data.fed_children.push_back(node);
+  // Restored children that have not redialled yet stay persisted: a
+  // crash during *their* outage must not forget them.
+  for (const std::uint64_t node : restored_fed_children_) {
+    if (child_sessions_.find(node) == child_sessions_.end()) {
+      data.fed_children.push_back(node);
+    }
+  }
+  const std::vector<std::byte> bytes = encode_snapshot(data);
+  if (!save_snapshot_bytes(params_.snapshot_path, bytes)) {
+    ++stats_.snapshot_save_failures;
+    return false;
+  }
+  ++stats_.snapshot_saves;
+  last_save_wall_ns_ = data.saved_wall_ns;
+  last_save_bytes_ = bytes.size();
+  return true;
+}
+
+bool FdaasServer::save_snapshot_now() {
+  if (!persistence_enabled()) return false;
+  if (!running_) return save_snapshot();
+  bool ok = false;
+  run_on_api_thread([this, &ok] { ok = save_snapshot(); });
+  return ok;
+}
+
+void FdaasServer::drop_orphan(std::map<std::uint64_t, Orphan>::iterator it,
+                              bool unsubscribe) {
+  const Orphan& o = it->second;
+  orphan_index_.erase(OrphanKey{o.seed.peer.ip_host_order, o.seed.peer.port,
+                               o.seed.sender_id, o.seed.app});
+  if (unsubscribe && service_.running()) {
+    try {
+      service_.unsubscribe(o.gid);
+    } catch (...) {
+      // Service raced into shutdown; its own stop() discards state.
+    }
+  }
+  orphans_.erase(it);
+}
+
+void FdaasServer::sweep_orphans() {
+  if (orphans_.empty()) return;
+  const Tick now = loop_->now();
+  for (auto it = orphans_.begin(); it != orphans_.end();) {
+    if (it->second.expires <= now) {
+      auto doomed = it++;
+      drop_orphan(doomed, /*unsubscribe=*/true);
+      ++stats_.orphans_expired;
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::uint64_t FdaasServer::try_claim_orphan(const SubscribeRequest& sub) {
+  const auto idx = orphan_index_.find(
+      OrphanKey{sub.peer.ip_host_order, sub.peer.port, sub.sender_id, sub.app});
+  if (idx == orphan_index_.end()) return 0;
+  const auto it = orphans_.find(idx->second);
+  TWFD_CHECK(it != orphans_.end());
+  const Orphan& orphan = it->second;
+
+  // The orphan's current view verdict — primed at restore, possibly
+  // flipped since by a live transition — is the client's starting point.
+  detect::Output out = orphan.seed.last;
+  Tick since = orphan.seed.since;
+  const auto view = service_.view();
+  const auto entry = std::lower_bound(
+      view->entries.begin(), view->entries.end(), orphan.gid,
+      [](const shard::ShardedMonitorService::Snapshot::Entry& e, std::uint64_t id) {
+        return e.subscription < id;
+      });
+  if (entry != view->entries.end() && entry->subscription == orphan.gid) {
+    out = entry->output;
+    since = entry->since;
+  }
+
+  // Create the client's subscription FIRST (under the client's QoS,
+  // which may differ from the persisted tuple), then retire the orphan:
+  // the peer's remote keeps at least one subscriber throughout, so its
+  // warm arrival estimation is never evicted. Throws (infeasible QoS)
+  // propagate to the caller's error path with the orphan intact.
+  const std::uint64_t id =
+      service_.subscribe(sub.peer, sub.sender_id, sub.app, sub.qos, {out, since});
+  if (out != orphan.seed.last) ++stats_.snapshot_replayed_transitions;
+  drop_orphan(it, /*unsubscribe=*/true);
+  ++stats_.orphans_claimed;
+  return id;
 }
 
 void FdaasServer::on_accept() {
@@ -324,7 +508,12 @@ bool FdaasServer::handle_message(std::uint64_t sid, ControlMessage msg) {
     if (is_fed_subscribe(*sub)) return handle_fed_subscribe(s, *sub);
     std::uint64_t id = 0;
     try {
-      id = service_.subscribe(sub->peer, sub->sender_id, sub->app, sub->qos);
+      // A restored orphan with this exact identity hands over its warm,
+      // verdict-primed detector; otherwise this is a cold subscribe.
+      id = try_claim_orphan(*sub);
+      if (id == 0) {
+        id = service_.subscribe(sub->peer, sub->sender_id, sub->app, sub->qos);
+      }
     } catch (const std::logic_error& e) {
       return send_frame(
           s, ErrorMsg{sub->request_id, ErrorCode::kInfeasibleQos, e.what()});
@@ -457,6 +646,12 @@ bool FdaasServer::handle_digest(Session& s, const DigestMsg& digest) {
   // expires, and Delegate frames must reach the live connection).
   s.fed_node_id = digest.node_id;
   child_sessions_[digest.node_id] = s.id;
+  // A child the loaded snapshot knew about is back: cue the owner to
+  // re-send its Delegate, restoring the delegation the crash wiped.
+  if (restored_fed_children_.erase(digest.node_id) > 0) {
+    ++stats_.fed_children_restored;
+    if (child_reattach_hook_) child_reattach_hook_(digest.node_id);
+  }
   const auto result = adapter_->ingest_digest(digest.node_id, digest);
   ++stats_.digests_ingested;
   stats_.digest_entries_applied += result.applied;
@@ -508,7 +703,12 @@ void FdaasServer::deliver(const shard::ShardedMonitorService::StatusEvent& event
   }
   const auto owner = sub_owner_.find(event.subscription);
   if (owner == sub_owner_.end()) {
-    ++stats_.events_unroutable;
+    // Orphans are server-owned by design: their transitions update the
+    // view (where a claiming client will read them), they are not lost
+    // deliveries.
+    if (orphans_.find(event.subscription) == orphans_.end()) {
+      ++stats_.events_unroutable;
+    }
     return;
   }
   const auto it = sessions_.find(owner->second);
@@ -628,6 +828,12 @@ FdaasServer::Stats FdaasServer::collect_stats() {
   out.accept_aborted = listener_.aborted_accepts();
   out.post_retries = post_retries_.load(std::memory_order_relaxed);
   out.post_stalls = post_stalls_.load(std::memory_order_relaxed);
+  out.orphans_active = orphans_.size();
+  out.snapshot_bytes = last_save_bytes_;
+  if (last_save_wall_ns_ > 0) {
+    out.snapshot_age_ns = static_cast<std::uint64_t>(
+        std::max<std::int64_t>(0, wall_now_ns() - last_save_wall_ns_));
+  }
   return out;
 }
 

@@ -29,10 +29,12 @@
 #include <memory>
 #include <set>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "api/control.hpp"
 #include "api/federation_hooks.hpp"
+#include "api/snapshot.hpp"
 #include "common/mpsc_queue.hpp"
 #include "net/event_loop.hpp"
 #include "net/tcp.hpp"
@@ -68,6 +70,17 @@ class FdaasServer {
     /// on every poll tick and records an event-delivery-latency
     /// histogram. Must outlive the server.
     obs::Registry* registry = nullptr;
+    /// Crash persistence (empty = disabled). start() loads this snapshot
+    /// file and re-seeds every persisted subscription — verdicts primed —
+    /// as a server-owned *orphan*; a client that re-subscribes to the
+    /// same (peer, sender_id, app) claims the warm detector and observes
+    /// the net missed transition through the usual snapshot
+    /// reconciliation, exactly like a TCP outage. The file is rewritten
+    /// every snapshot_interval and once more on graceful stop().
+    std::string snapshot_path;
+    Tick snapshot_interval = ticks_from_sec(2);
+    /// How long an orphan waits for its client before being dropped.
+    Tick orphan_ttl = ticks_from_sec(60);
   };
 
   /// Server observability (API-thread counters; gauges are instantaneous).
@@ -101,6 +114,19 @@ class FdaasServer {
     std::uint64_t fed_subscriptions_active = 0;  ///< gauge
     std::uint64_t fed_events_pushed = 0;  ///< subtree transitions fanned out
     std::uint64_t delegates_sent = 0;
+    // Crash persistence (all zero unless Params::snapshot_path is set):
+    std::uint64_t snapshot_saves = 0;
+    std::uint64_t snapshot_save_failures = 0;
+    std::uint64_t snapshot_restored_subs = 0;  ///< orphans seeded at start()
+    /// Claims whose verdict changed across the crash window — the net
+    /// transitions the restore replayed to reconnecting clients.
+    std::uint64_t snapshot_replayed_transitions = 0;
+    std::uint64_t orphans_active = 0;   ///< gauge
+    std::uint64_t orphans_claimed = 0;
+    std::uint64_t orphans_expired = 0;
+    std::uint64_t snapshot_age_ns = 0;  ///< gauge: since the last good save
+    std::uint64_t snapshot_bytes = 0;   ///< gauge: size of the last good save
+    std::uint64_t fed_children_restored = 0;  ///< restored children re-identified
 
     Stats& operator+=(const Stats& o);
   };
@@ -162,6 +188,25 @@ class FdaasServer {
   /// the API thread; false when no such child session is connected.
   bool send_delegate(std::uint64_t child_node, DelegateMsg msg);
 
+  // --- Crash persistence (Params::snapshot_path) ---
+
+  /// Outcome of the start()-time snapshot load (kMissing before start()
+  /// or with persistence disabled). kBadVersion / kCorrupt mean the
+  /// server cold-started — rejected snapshots are never half-applied.
+  [[nodiscard]] SnapshotLoadStatus snapshot_load_status() const noexcept {
+    return snapshot_load_status_;
+  }
+
+  /// Forces a snapshot save (marshalled onto the API thread while
+  /// running). False when persistence is disabled or the write failed.
+  bool save_snapshot_now();
+
+  /// Called (on the API thread) the first time a federation child node
+  /// recorded in the loaded snapshot re-identifies itself via a Digest —
+  /// the owner's cue to re-send that child its Delegate, restoring the
+  /// delegation the crash wiped. Set before start().
+  void set_child_reattach_hook(std::function<void(std::uint64_t node_id)> hook);
+
  private:
   using Command = std::function<void()>;
 
@@ -217,6 +262,30 @@ class FdaasServer {
   void init_obs();
   void refresh_obs();
 
+  // --- crash persistence internals ---
+  /// (ip, port, sender_id, app): the identity a reconnecting client's
+  /// SubscribeRequest presents, and the key an orphan is claimed by.
+  using OrphanKey = std::tuple<std::uint32_t, std::uint16_t, std::uint64_t, std::string>;
+  struct Orphan {
+    std::uint64_t gid = 0;  ///< server-owned ShardedMonitorService id
+    shard::ShardedMonitorService::SubscriptionSeed seed;
+    Tick expires = 0;
+  };
+  [[nodiscard]] bool persistence_enabled() const noexcept {
+    return !params_.snapshot_path.empty();
+  }
+  /// start()-time restore (API thread not yet running; service is).
+  void restore_from_snapshot();
+  bool save_snapshot();
+  void arm_snapshot_timer();
+  void sweep_orphans();
+  void drop_orphan(std::map<std::uint64_t, Orphan>::iterator it, bool unsubscribe);
+  /// Claims a matching orphan for a client subscribe: re-creates the
+  /// subscription under the client's QoS primed with the orphan's
+  /// current view verdict, then retires the orphan. Returns the new
+  /// subscription id, or 0 when no orphan matches (normal subscribe).
+  std::uint64_t try_claim_orphan(const SubscribeRequest& sub);
+
   shard::ShardedMonitorService& service_;
   Params params_;
   net::TcpListener listener_;
@@ -251,6 +320,17 @@ class FdaasServer {
   std::map<std::uint64_t, std::uint64_t> child_sessions_;  // node id -> sid
   std::uint64_t next_fed_sub_ = 1;
   TimerId fed_flush_timer_ = kInvalidTimer;
+
+  // --- Crash persistence (API-thread-only after start()) ---
+  SnapshotLoadStatus snapshot_load_status_ = SnapshotLoadStatus::kMissing;
+  bool restore_attempted_ = false;
+  std::map<std::uint64_t, Orphan> orphans_;   // gid -> orphan
+  std::map<OrphanKey, std::uint64_t> orphan_index_;
+  std::set<std::uint64_t> restored_fed_children_;  // not yet re-identified
+  std::function<void(std::uint64_t)> child_reattach_hook_;
+  TimerId snapshot_timer_ = kInvalidTimer;
+  std::int64_t last_save_wall_ns_ = 0;
+  std::uint64_t last_save_bytes_ = 0;
 };
 
 }  // namespace twfd::api

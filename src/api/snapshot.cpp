@@ -1,0 +1,224 @@
+#include "api/snapshot.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "net/wire_codec.hpp"
+
+namespace twfd::api {
+namespace {
+
+// Fixed header size: magic u32 + version u8 + saved_wall i64 + body_len u32.
+constexpr std::size_t kHeaderSize = 4 + 1 + 8 + 4;
+constexpr std::size_t kChecksumSize = 8;
+
+void encode_body(net::codec::Writer& w, const SnapshotData& data) {
+  w.varint(data.seeds.size());
+  for (const auto& seed : data.seeds) {
+    w.u32(seed.peer.ip_host_order);
+    w.u16(seed.peer.port);
+    w.u64(seed.sender_id);
+    w.str16(seed.app);
+    w.f64(seed.qos.td_upper_s);
+    w.f64(seed.qos.tmr_upper_per_s);
+    w.f64(seed.qos.tm_upper_s);
+    w.u8(seed.last == detect::Output::Suspect ? 1 : 0);
+    w.svarint(seed.age_ns);
+  }
+  w.varint(data.fed_children.size());
+  for (const std::uint64_t node : data.fed_children) w.u64(node);
+}
+
+bool decode_body(net::codec::Reader& r, SnapshotData& out) {
+  const std::uint64_t seed_count = r.varint();
+  if (!r.ok() || seed_count > kMaxSnapshotSeeds) return false;
+  // A seed is at least 32 bytes on the wire; a declared count that could
+  // not possibly fit the remaining bytes is rejected before reserving.
+  if (seed_count * 32 > r.remaining() + 32) return false;
+  out.seeds.reserve(seed_count);
+  for (std::uint64_t i = 0; i < seed_count; ++i) {
+    SnapshotData::Seed seed;
+    seed.peer.ip_host_order = r.u32();
+    seed.peer.port = r.u16();
+    seed.sender_id = r.u64();
+    seed.app = r.str16(kMaxSnapshotAppName);
+    seed.qos.td_upper_s = r.f64();
+    seed.qos.tmr_upper_per_s = r.f64();
+    seed.qos.tm_upper_s = r.f64();
+    const std::uint8_t last = r.u8();
+    if (last > 1) return false;
+    seed.last = last == 1 ? detect::Output::Suspect : detect::Output::Trust;
+    seed.age_ns = r.svarint();
+    if (!r.ok()) return false;
+    out.seeds.push_back(std::move(seed));
+  }
+  const std::uint64_t child_count = r.varint();
+  if (!r.ok() || child_count > kMaxSnapshotChildren) return false;
+  if (child_count * 8 > r.remaining()) return false;
+  out.fed_children.reserve(child_count);
+  for (std::uint64_t i = 0; i < child_count; ++i) out.fed_children.push_back(r.u64());
+  // Trailing bytes inside the declared body are a structure violation,
+  // not forward compatibility — version bumps carry format changes.
+  return r.ok() && r.remaining() == 0;
+}
+
+}  // namespace
+
+const char* to_string(SnapshotLoadStatus status) noexcept {
+  switch (status) {
+    case SnapshotLoadStatus::kOk: return "ok";
+    case SnapshotLoadStatus::kMissing: return "missing";
+    case SnapshotLoadStatus::kIoError: return "io-error";
+    case SnapshotLoadStatus::kBadMagic: return "bad-magic";
+    case SnapshotLoadStatus::kBadVersion: return "bad-version";
+    case SnapshotLoadStatus::kCorrupt: return "corrupt";
+  }
+  return "unknown";
+}
+
+std::uint64_t snapshot_checksum(std::span<const std::byte> data) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a 64 offset basis
+  for (const std::byte b : data) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001b3ULL;  // FNV prime
+  }
+  return h;
+}
+
+std::vector<std::byte> encode_snapshot(const SnapshotData& data) {
+  net::codec::Writer body(64 + data.seeds.size() * 64 + data.fed_children.size() * 8);
+  encode_body(body, data);
+  const std::vector<std::byte> body_bytes = body.take();
+
+  net::codec::Writer w(kHeaderSize + body_bytes.size() + kChecksumSize);
+  w.u32(kSnapshotMagic);
+  w.u8(kSnapshotVersion);
+  w.i64(data.saved_wall_ns);
+  w.u32(static_cast<std::uint32_t>(body_bytes.size()));
+  std::vector<std::byte> bytes = w.take();
+  bytes.insert(bytes.end(), body_bytes.begin(), body_bytes.end());
+
+  const std::uint64_t sum = snapshot_checksum(bytes);
+  net::codec::Writer tail(kChecksumSize);
+  tail.u64(sum);
+  const std::vector<std::byte> tail_bytes = tail.take();
+  bytes.insert(bytes.end(), tail_bytes.begin(), tail_bytes.end());
+  return bytes;
+}
+
+SnapshotLoadStatus decode_snapshot(std::span<const std::byte> bytes,
+                                   SnapshotData& out) {
+  // Header fields are judged individually so magic and version skew get
+  // their distinct statuses even on a file truncated right after them.
+  net::codec::Reader header(bytes);
+  const std::uint32_t magic = header.u32();
+  if (!header.ok() || magic != kSnapshotMagic) return SnapshotLoadStatus::kBadMagic;
+  const std::uint8_t version = header.u8();
+  if (!header.ok()) return SnapshotLoadStatus::kCorrupt;
+  if (version != kSnapshotVersion) return SnapshotLoadStatus::kBadVersion;
+  const std::int64_t saved_wall = header.i64();
+  const std::uint32_t body_len = header.u32();
+  if (!header.ok() || body_len > kMaxSnapshotBody) return SnapshotLoadStatus::kCorrupt;
+  if (bytes.size() != kHeaderSize + body_len + kChecksumSize) {
+    return SnapshotLoadStatus::kCorrupt;
+  }
+
+  // Checksum before structure: a bit flip anywhere fails here, so the
+  // body parser below only ever sees bytes the saver wrote.
+  const std::span<const std::byte> checked = bytes.first(kHeaderSize + body_len);
+  net::codec::Reader tail(bytes.subspan(kHeaderSize + body_len));
+  if (tail.u64() != snapshot_checksum(checked)) return SnapshotLoadStatus::kCorrupt;
+
+  SnapshotData data;
+  data.saved_wall_ns = saved_wall;
+  net::codec::Reader body(bytes.subspan(kHeaderSize, body_len));
+  if (!decode_body(body, data)) return SnapshotLoadStatus::kCorrupt;
+  out = std::move(data);
+  return SnapshotLoadStatus::kOk;
+}
+
+bool save_snapshot_file(const std::string& path, const SnapshotData& data) {
+  return save_snapshot_bytes(path, encode_snapshot(data));
+}
+
+bool save_snapshot_bytes(const std::string& path, std::span<const std::byte> bytes) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return false;
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  // fsync before rename: the rename must never expose a file whose bytes
+  // are still in flight, or a crash window could replace a good snapshot
+  // with a torn one.
+  if (::fsync(fd) != 0 || ::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+SnapshotLoadResult load_snapshot_file(const std::string& path) {
+  SnapshotLoadResult result;
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    result.status = errno == ENOENT ? SnapshotLoadStatus::kMissing
+                                    : SnapshotLoadStatus::kIoError;
+    return result;
+  }
+  std::vector<std::byte> bytes;
+  std::byte buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      result.status = SnapshotLoadStatus::kIoError;
+      return result;
+    }
+    if (n == 0) break;
+    bytes.insert(bytes.end(), buf, buf + n);
+    if (bytes.size() > kHeaderSize + kMaxSnapshotBody + kChecksumSize) {
+      ::close(fd);
+      result.status = SnapshotLoadStatus::kCorrupt;
+      return result;
+    }
+  }
+  ::close(fd);
+  result.status = decode_snapshot(bytes, result.data);
+  return result;
+}
+
+Tick rebase_seed_since(std::int64_t age_ns, std::int64_t saved_wall_ns,
+                       std::int64_t wall_now_ns, Tick steady_now) noexcept {
+  if (age_ns < 0) return 0;
+  const std::int64_t downtime = std::max<std::int64_t>(0, wall_now_ns - saved_wall_ns);
+  const Tick since = steady_now - downtime - age_ns;
+  return std::clamp<Tick>(since, 1, steady_now);
+}
+
+std::int64_t wall_now_ns() noexcept {
+  timespec ts{};
+  ::clock_gettime(CLOCK_REALTIME, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+}
+
+}  // namespace twfd::api

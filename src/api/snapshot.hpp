@@ -1,0 +1,127 @@
+// Crash-persistent FDaaS state: the versioned, checksummed snapshot file
+// the server writes periodically (and on graceful shutdown) and reloads
+// on startup, so a supervisor-driven restart or binary upgrade resumes
+// monitoring with warm verdicts instead of a cold table.
+//
+// File layout (all little-endian, via net::codec):
+//
+//   u32  magic      "TWFS" (0x53465754)
+//   u8   version    kSnapshotVersion
+//   i64  saved_wall_ns   CLOCK_REALTIME at save — maps persisted ages
+//                        back into the loader's steady-clock domain
+//   u32  body_len
+//   ...  body       seeds + federation child registry (see encode)
+//   u64  checksum   FNV-1a over every preceding byte (magic..body)
+//
+// Decode is strict validate-then-trust in the control.cpp style: it
+// never throws, any truncation / bit flip / hostile count / declared
+// length past the buffer yields a typed failure, and version skew is a
+// distinct status so the caller can log "old snapshot, cold start"
+// rather than crash. Saves are atomic: tmp file + fsync + rename, so a
+// crash mid-write leaves the previous snapshot intact.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "config/qos_config.hpp"
+#include "detect/failure_detector.hpp"
+#include "net/udp_socket.hpp"
+
+namespace twfd::api {
+
+inline constexpr std::uint32_t kSnapshotMagic = 0x53465754;  // "TWFS"
+inline constexpr std::uint8_t kSnapshotVersion = 1;
+/// Hostile-input bounds: a decoded count or length beyond these rejects
+/// the whole file (kCorrupt), it never drives an allocation.
+inline constexpr std::size_t kMaxSnapshotSeeds = 1u << 20;
+inline constexpr std::size_t kMaxSnapshotChildren = 1u << 20;
+inline constexpr std::size_t kMaxSnapshotAppName = 4096;
+inline constexpr std::size_t kMaxSnapshotBody = 64u << 20;
+
+struct SnapshotData {
+  /// One persisted subscription: identity + QoS tuple + last verdict.
+  /// `age_ns` is the transition's age at save time (steady-clock ticks
+  /// are meaningless across processes); -1 = no transition had fired.
+  struct Seed {
+    net::SocketAddress peer;
+    std::uint64_t sender_id = 0;
+    std::string app;
+    config::QosRequirements qos;
+    detect::Output last = detect::Output::Trust;
+    std::int64_t age_ns = -1;
+
+    // Not defaulted: QosRequirements carries no operator==.
+    friend bool operator==(const Seed& a, const Seed& b) {
+      return a.peer == b.peer && a.sender_id == b.sender_id && a.app == b.app &&
+             a.qos.td_upper_s == b.qos.td_upper_s &&
+             a.qos.tmr_upper_per_s == b.qos.tmr_upper_per_s &&
+             a.qos.tm_upper_s == b.qos.tm_upper_s && a.last == b.last &&
+             a.age_ns == b.age_ns;
+    }
+  };
+
+  std::int64_t saved_wall_ns = 0;  ///< CLOCK_REALTIME at save
+  std::vector<Seed> seeds;
+  /// Federation child registry: node ids that had identified themselves
+  /// via Digest before the crash (so the restarted parent re-sends a
+  /// full Delegate when each child reconnects).
+  std::vector<std::uint64_t> fed_children;
+};
+
+enum class SnapshotLoadStatus {
+  kOk,
+  kMissing,     ///< no file at the path (normal cold start)
+  kIoError,     ///< open/read failed for another reason
+  kBadMagic,    ///< not a snapshot file
+  kBadVersion,  ///< version skew: reject and cold-start, never guess
+  kCorrupt,     ///< checksum / structure violation
+};
+
+[[nodiscard]] const char* to_string(SnapshotLoadStatus status) noexcept;
+
+struct SnapshotLoadResult {
+  SnapshotLoadStatus status = SnapshotLoadStatus::kMissing;
+  SnapshotData data;
+
+  [[nodiscard]] bool ok() const noexcept {
+    return status == SnapshotLoadStatus::kOk;
+  }
+};
+
+/// FNV-1a 64 over `data` (the file's integrity primitive; exposed for
+/// tests that forge corrupted files).
+[[nodiscard]] std::uint64_t snapshot_checksum(std::span<const std::byte> data) noexcept;
+
+/// Serialises `data` into complete file bytes (header + body + checksum).
+[[nodiscard]] std::vector<std::byte> encode_snapshot(const SnapshotData& data);
+
+/// Strict decode of complete file bytes. Returns the typed status;
+/// `out` is only meaningful on kOk.
+SnapshotLoadStatus decode_snapshot(std::span<const std::byte> bytes,
+                                   SnapshotData& out);
+
+/// Atomic save: writes `<path>.tmp`, fsyncs, renames over `path`.
+/// Returns false (and leaves any previous snapshot untouched) on error.
+bool save_snapshot_file(const std::string& path, const SnapshotData& data);
+/// Same, for pre-encoded file bytes (callers that also want the size).
+bool save_snapshot_bytes(const std::string& path, std::span<const std::byte> bytes);
+
+/// Loads and decodes `path`; never throws.
+[[nodiscard]] SnapshotLoadResult load_snapshot_file(const std::string& path);
+
+/// Maps a decoded seed's persisted age into the loading process's
+/// steady-clock domain: since = steady_now - downtime - age, clamped to
+/// [1, steady_now], where downtime = wall_now - saved_wall (clamped to
+/// >= 0 so a skewed wall clock cannot push `since` into the future).
+/// age < 0 (no transition before the save) maps to 0.
+[[nodiscard]] Tick rebase_seed_since(std::int64_t age_ns, std::int64_t saved_wall_ns,
+                                     std::int64_t wall_now_ns, Tick steady_now) noexcept;
+
+/// CLOCK_REALTIME in nanoseconds (the snapshot's cross-process clock).
+[[nodiscard]] std::int64_t wall_now_ns() noexcept;
+
+}  // namespace twfd::api

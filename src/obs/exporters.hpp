@@ -15,6 +15,7 @@
 // header from a tool pulls in whichever stats structs that tool links.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <string>
 #include <utility>
@@ -330,7 +331,30 @@ class FdaasExport {
         fed_events_pushed_(&r.counter("twfd_fed_events_pushed_total",
                                       "Subtree transitions fanned out.")),
         delegates_sent_(&r.counter("twfd_fed_delegates_sent_total",
-                                   "Delegate range assignments pushed to children.")) {}
+                                   "Delegate range assignments pushed to children.")),
+        snapshot_saves_(&r.counter("twfd_snapshot_saves_total",
+                                   "Crash-persistence snapshots written.")),
+        snapshot_save_failures_(&r.counter("twfd_snapshot_save_failures_total",
+                                           "Snapshot writes that failed.")),
+        snapshot_restored_subs_(&r.counter("twfd_snapshot_restored_subscriptions_total",
+                                           "Subscriptions re-seeded from a snapshot.")),
+        snapshot_replayed_transitions_(
+            &r.counter("twfd_snapshot_replayed_transitions_total",
+                       "Net transitions replayed to reconnecting clients "
+                       "across a restart.")),
+        snapshot_age_seconds_(&r.gauge("twfd_snapshot_age_seconds",
+                                       "Seconds since the last snapshot save.")),
+        snapshot_bytes_(&r.gauge("twfd_snapshot_bytes",
+                                 "Size of the last snapshot written.")),
+        orphans_active_(&r.gauge("twfd_snapshot_orphans_active",
+                                 "Restored subscriptions awaiting a reclaim.")),
+        orphans_claimed_(&r.counter("twfd_snapshot_orphans_claimed_total",
+                                    "Restored subscriptions reclaimed by clients.")),
+        orphans_expired_(&r.counter("twfd_snapshot_orphans_expired_total",
+                                    "Restored subscriptions dropped on TTL.")),
+        fed_children_restored_(&r.counter("twfd_fed_children_restored_total",
+                                          "Federation children reattached after "
+                                          "a snapshot restore.")) {}
 
   void update(const api::FdaasServer::Stats& s) {
     sessions_accepted_->set_total(s.sessions_accepted);
@@ -356,6 +380,16 @@ class FdaasExport {
     fed_subscriptions_active_->set(static_cast<double>(s.fed_subscriptions_active));
     fed_events_pushed_->set_total(s.fed_events_pushed);
     delegates_sent_->set_total(s.delegates_sent);
+    snapshot_saves_->set_total(s.snapshot_saves);
+    snapshot_save_failures_->set_total(s.snapshot_save_failures);
+    snapshot_restored_subs_->set_total(s.snapshot_restored_subs);
+    snapshot_replayed_transitions_->set_total(s.snapshot_replayed_transitions);
+    snapshot_age_seconds_->set(static_cast<double>(s.snapshot_age_ns) / 1e9);
+    snapshot_bytes_->set(static_cast<double>(s.snapshot_bytes));
+    orphans_active_->set(static_cast<double>(s.orphans_active));
+    orphans_claimed_->set_total(s.orphans_claimed);
+    orphans_expired_->set_total(s.orphans_expired);
+    fed_children_restored_->set_total(s.fed_children_restored);
   }
 
  private:
@@ -382,6 +416,16 @@ class FdaasExport {
   Gauge* fed_subscriptions_active_;
   Counter* fed_events_pushed_;
   Counter* delegates_sent_;
+  Counter* snapshot_saves_;
+  Counter* snapshot_save_failures_;
+  Counter* snapshot_restored_subs_;
+  Counter* snapshot_replayed_transitions_;
+  Gauge* snapshot_age_seconds_;
+  Gauge* snapshot_bytes_;
+  Gauge* orphans_active_;
+  Counter* orphans_claimed_;
+  Counter* orphans_expired_;
+  Counter* fed_children_restored_;
 };
 
 }  // namespace twfd::obs
@@ -448,3 +492,69 @@ class FederationExport {
 
 }  // namespace twfd::obs
 #endif  // federation
+
+// --- supervision tier ---------------------------------------------------
+#if __has_include("supervise/supervisor.hpp")
+#include "supervise/supervisor.hpp"
+
+namespace twfd::obs {
+
+/// Mirrors supervise::Supervisor stats plus a per-service state gauge.
+/// `twfd_supervisor_child_state{service="..."}` carries the numeric
+/// ChildState (0=down 1=starting 2=up 3=degraded 4=restarting 5=stopping
+/// 6=fatal) so alert rules can match `!= 2`.
+class SuperviseExport {
+ public:
+  SuperviseExport(Registry& r, const std::vector<std::string>& services)
+      : spawns_(&r.counter("twfd_supervisor_spawns_total",
+                           "Child processes forked by the supervisor.")),
+        restarts_(&r.counter("twfd_supervisor_restarts_total",
+                             "Restarts scheduled after a crash or hang.")),
+        hung_kills_(&r.counter("twfd_supervisor_hung_kills_total",
+                               "Children SIGKILLed for missing heartbeats.")),
+        fatal_children_(&r.gauge("twfd_supervisor_fatal_children",
+                                 "Services parked on a fatal exit code.")),
+        up_children_(&r.gauge("twfd_supervisor_up_children",
+                              "Services currently up.")) {
+    child_state_.reserve(services.size());
+    child_restarts_.reserve(services.size());
+    child_backoff_.reserve(services.size());
+    for (const std::string& name : services) {
+      const std::string labels = make_labels({{"service", name}});
+      child_state_.push_back(&r.gauge("twfd_supervisor_child_state",
+                                      "Per-service state machine position.", labels));
+      child_restarts_.push_back(&r.counter("twfd_supervisor_child_restarts_total",
+                                           "Per-service restarts.", labels));
+      child_backoff_.push_back(&r.gauge("twfd_supervisor_child_backoff_seconds",
+                                        "Current backoff ladder rung.", labels));
+    }
+  }
+
+  void update(const supervise::Supervisor::Stats& s,
+              const std::vector<supervise::Supervisor::ChildStatus>& children) {
+    spawns_->set_total(s.spawns_total);
+    restarts_->set_total(s.restarts_total);
+    hung_kills_->set_total(s.hung_kills_total);
+    fatal_children_->set(static_cast<double>(s.fatal_children));
+    up_children_->set(static_cast<double>(s.up_children));
+    const std::size_t n = std::min(children.size(), child_state_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      child_state_[i]->set(static_cast<double>(children[i].state));
+      child_restarts_[i]->set_total(children[i].restarts);
+      child_backoff_[i]->set(static_cast<double>(children[i].backoff) / 1e9);
+    }
+  }
+
+ private:
+  Counter* spawns_;
+  Counter* restarts_;
+  Counter* hung_kills_;
+  Gauge* fatal_children_;
+  Gauge* up_children_;
+  std::vector<Gauge*> child_state_;
+  std::vector<Counter*> child_restarts_;
+  std::vector<Gauge*> child_backoff_;
+};
+
+}  // namespace twfd::obs
+#endif  // supervise

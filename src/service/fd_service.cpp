@@ -41,7 +41,8 @@ config::NetworkBehaviour FdService::behaviour_for(const Remote& remote) const {
 FdService::SubscriptionId FdService::subscribe(PeerId peer, std::uint64_t sender_id,
                                                std::string app,
                                                const config::QosRequirements& qos,
-                                               StatusCallback callback) {
+                                               StatusCallback callback,
+                                               detect::Output initial) {
   Remote* existing = find_remote(peer);
   if (existing != nullptr) {
     TWFD_CHECK_MSG(existing->sender_id == sender_id,
@@ -80,6 +81,11 @@ FdService::SubscriptionId FdService::subscribe(PeerId peer, std::uint64_t sender
   sub.app = std::move(app);
   sub.qos = qos;
   sub.callback = std::move(callback);
+  // A primed-Suspect subscription never arms a freshness timer (see
+  // arm_timer) and on_sub_timer refuses to re-fire while suspecting, so
+  // the prior incarnation's verdict carries over without a duplicate
+  // Suspect event; the first applied heartbeat flips it with a Trust.
+  sub.suspecting = (initial == detect::Output::Suspect);
   const SubscriptionId id = sub.id;
   remote->subs.push_back(std::move(sub));
   if (params_.qos_tracker != nullptr) {

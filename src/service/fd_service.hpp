@@ -95,8 +95,17 @@ class FdService {
   /// if the tuple is infeasible under the current network behaviour; a
   /// rejected subscribe leaves the service untouched — no state change,
   /// no wire traffic, no detector rebuild.
+  ///
+  /// `initial` primes the subscription's verdict: pass Suspect when a
+  /// prior incarnation (crash-persisted snapshot, shard restart) last
+  /// reported the peer down. A primed-Suspect subscription arms no
+  /// freshness timer and emits no duplicate Suspect; the first applied
+  /// heartbeat fires the Trust transition. A dead peer therefore stays
+  /// silently Suspect, a recovered one emits exactly the net Trust —
+  /// either way the restart replays only the NET transition.
   SubscriptionId subscribe(PeerId peer, std::uint64_t sender_id, std::string app,
-                           const config::QosRequirements& qos, StatusCallback callback);
+                           const config::QosRequirements& qos, StatusCallback callback,
+                           detect::Output initial = detect::Output::Trust);
 
   void unsubscribe(SubscriptionId id);
 

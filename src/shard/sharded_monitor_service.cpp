@@ -1,5 +1,6 @@
 #include "shard/sharded_monitor_service.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <future>
 #include <stdexcept>
@@ -373,6 +374,12 @@ void ShardedMonitorService::publish_event(Shard& s, StatusEvent event) {
 ShardedMonitorService::SubscriptionId ShardedMonitorService::subscribe(
     const net::SocketAddress& peer, std::uint64_t sender_id, std::string app,
     const config::QosRequirements& qos) {
+  return subscribe(peer, sender_id, std::move(app), qos, Initial{});
+}
+
+ShardedMonitorService::SubscriptionId ShardedMonitorService::subscribe(
+    const net::SocketAddress& peer, std::uint64_t sender_id, std::string app,
+    const config::QosRequirements& qos, Initial initial) {
   TWFD_CHECK_MSG(running_, "subscribe() requires a started service");
   const std::size_t idx = shard_for(peer);
   Shard& s = *shards_[idx];
@@ -380,9 +387,10 @@ ShardedMonitorService::SubscriptionId ShardedMonitorService::subscribe(
 
   {
     // Seed the view before the shard can emit events for this id, so no
-    // transition is ever applied to a missing entry.
+    // transition is ever applied to a missing entry. A restored seed
+    // starts at its persisted verdict, not at Trust.
     std::lock_guard lk(agg_mu_);
-    state_[gid] = {gid, app, detect::Output::Trust, 0, idx};
+    state_[gid] = {gid, app, initial.output, initial.since, idx};
     republish_locked();
   }
 
@@ -391,13 +399,15 @@ ShardedMonitorService::SubscriptionId ShardedMonitorService::subscribe(
   auto fut = prom->get_future();
   service::FdService::SubscriptionId local = 0;
   try {
-    post(s, [this, sp = &s, peer, sender_id, app, qos, gid, prom] {
+    post(s, [this, sp = &s, peer, sender_id, app, qos, gid, prom,
+             out = initial.output] {
       try {
         prom->set_value(sp->fd->subscribe(
             sp->loop->add_peer(peer), sender_id, app, qos,
             [this, sp, gid](const service::FdService::StatusEvent& e) {
               publish_event(*sp, {gid, e.app, e.output, e.when, sp->index});
-            }));
+            },
+            out));
       } catch (...) {
         prom->set_exception(std::current_exception());
       }
@@ -443,6 +453,42 @@ void ShardedMonitorService::unsubscribe(SubscriptionId id) {
   std::lock_guard lk(agg_mu_);
   state_.erase(id);
   republish_locked();
+}
+
+std::vector<ShardedMonitorService::SubscriptionSeed>
+ShardedMonitorService::export_seeds() {
+  // Join the control registry (what is subscribed) with the published
+  // view (what each subscription's current verdict is). Both sides are
+  // safe off-shard: the registry under control_mu_, the view as an
+  // immutable snapshot. std::map iteration gives subscription-id order.
+  const auto snap = view();
+  std::vector<SubscriptionSeed> seeds;
+  std::lock_guard lk(control_mu_);
+  seeds.reserve(subs_.size());
+  for (const auto& [gid, ref] : subs_) {
+    SubscriptionSeed seed;
+    seed.peer = ref.peer;
+    seed.sender_id = ref.sender_id;
+    seed.app = ref.app;
+    seed.qos = ref.qos;
+    const auto it = std::lower_bound(
+        snap->entries.begin(), snap->entries.end(), gid,
+        [](const Snapshot::Entry& e, SubscriptionId id) {
+          return e.subscription < id;
+        });
+    if (it != snap->entries.end() && it->subscription == gid) {
+      seed.last = it->output;
+      seed.since = it->since;
+    }
+    seeds.push_back(std::move(seed));
+  }
+  return seeds;
+}
+
+ShardedMonitorService::SubscriptionId ShardedMonitorService::import_seed(
+    const SubscriptionSeed& seed) {
+  return subscribe(seed.peer, seed.sender_id, seed.app, seed.qos,
+                   {seed.last, seed.since});
 }
 
 void ShardedMonitorService::reconfigure(const net::SocketAddress& peer) {
@@ -579,13 +625,29 @@ bool ShardedMonitorService::restart_shard(Shard& s) {
       if (ref.shard == s.index) owned.emplace_back(gid, ref);
     }
   }
+  // Prime each re-seed from the verdict the view retained. Without this a
+  // subscription the view holds at Suspect gets a fresh detector that
+  // believes Trust: a live peer then never produces a Trust *transition*
+  // event, so the view would stay Suspect forever.
+  std::map<SubscriptionId, detect::Output> retained;
+  {
+    std::lock_guard lk(agg_mu_);
+    for (const auto& [gid, ref] : owned) {
+      const auto it = state_.find(gid);
+      if (it != state_.end()) retained[gid] = it->second.output;
+    }
+  }
   for (auto& [gid, ref] : owned) {
+    const auto rit = retained.find(gid);
+    const detect::Output last =
+        rit != retained.end() ? rit->second : detect::Output::Trust;
     try {
       const auto local = s.fd->subscribe(
           s.loop->add_peer(ref.peer), ref.sender_id, ref.app, ref.qos,
           [this, sp = &s, gid](const service::FdService::StatusEvent& e) {
             publish_event(*sp, {gid, e.app, e.output, e.when, sp->index});
-          });
+          },
+          last);
       {
         std::lock_guard lk(control_mu_);
         const auto it = subs_.find(gid);

@@ -248,15 +248,53 @@ class ShardedMonitorService {
     return shard_of(addr, shards_.size());
   }
 
+  /// Prior-incarnation verdict used to prime a subscription re-created
+  /// from a crash-persisted seed (snapshot restore, shard re-seed). The
+  /// aggregated view starts at `output`/`since` and the shard-local
+  /// detector is primed to match, so a restored subscription emits only
+  /// the NET transition relative to the previous incarnation — no
+  /// duplicate Suspect for a peer that was already down, exactly one
+  /// Trust when a suspected peer turns out to be alive.
+  struct Initial {
+    detect::Output output = detect::Output::Trust;
+    Tick since = 0;
+  };
+
+  /// Portable description of one live subscription joined with its
+  /// current verdict — the unit of crash persistence. export_seeds()
+  /// captures every subscription; import_seed() re-creates one with the
+  /// verdict primed (see Initial).
+  struct SubscriptionSeed {
+    net::SocketAddress peer;
+    std::uint64_t sender_id = 0;
+    std::string app;
+    config::QosRequirements qos;
+    detect::Output last = detect::Output::Trust;
+    Tick since = 0;
+  };
+
   // --- Control plane (any thread; blocks until the owning shard acks) ---
 
   /// Registers `app` to monitor the process `sender_id` reachable at
   /// `peer` with QoS tuple `qos`. Throws std::logic_error (from the
   /// owning shard) when the tuple is infeasible, std::runtime_error when
-  /// the owning shard's command queue is wedged.
+  /// the owning shard's command queue is wedged. `initial` primes the
+  /// verdict for seeds restored from a snapshot (defaults to Trust — the
+  /// cold-subscribe behaviour, unchanged).
   SubscriptionId subscribe(const net::SocketAddress& peer, std::uint64_t sender_id,
                            std::string app, const config::QosRequirements& qos);
+  SubscriptionId subscribe(const net::SocketAddress& peer, std::uint64_t sender_id,
+                           std::string app, const config::QosRequirements& qos,
+                           Initial initial);
   void unsubscribe(SubscriptionId id);
+
+  /// Snapshot of every live subscription joined with its current view
+  /// verdict, in subscription-id order. Safe from any thread while the
+  /// service runs (control registry + published view; no shard marshal).
+  [[nodiscard]] std::vector<SubscriptionSeed> export_seeds();
+  /// Re-creates a persisted subscription with its verdict primed.
+  /// Equivalent to subscribe(peer, ..., {seed.last, seed.since}).
+  SubscriptionId import_seed(const SubscriptionSeed& seed);
   /// Forces a reconfiguration pass for `peer` on its owning shard.
   void reconfigure(const net::SocketAddress& peer);
 

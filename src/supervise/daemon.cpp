@@ -1,0 +1,53 @@
+#include "supervise/daemon.hpp"
+
+#include <csignal>
+#include <cstdlib>
+#include <unistd.h>
+
+namespace twfd::supervise {
+namespace {
+
+volatile std::sig_atomic_t g_shutdown = 0;
+
+extern "C" void on_shutdown_signal(int) { g_shutdown = 1; }
+
+}  // namespace
+
+ChildHeartbeat ChildHeartbeat::from_env() noexcept {
+  ChildHeartbeat hb;
+  const char* env = std::getenv(kHeartbeatFdEnv);
+  if (env == nullptr || *env == '\0') return hb;
+  int fd = 0;
+  for (const char* p = env; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9' || fd > 1 << 20) return hb;  // garbled: stay inert
+    fd = fd * 10 + (*p - '0');
+  }
+  hb.fd_ = fd;
+  return hb;
+}
+
+void ChildHeartbeat::beat() noexcept {
+  if (fd_ < 0) return;
+  const char b = 'b';
+  // EAGAIN (pipe full) and EPIPE (supervisor gone) are both fine: the
+  // pipe carries liveness, not data, and SIGPIPE is ignored below.
+  [[maybe_unused]] const ssize_t n = ::write(fd_, &b, 1);
+}
+
+void install_shutdown_handlers() noexcept {
+  struct sigaction sa = {};
+  sa.sa_handler = on_shutdown_signal;
+  sigemptyset(&sa.sa_mask);
+  // No SA_RESTART: a daemon parked in a long poll/sleep should take the
+  // EINTR and notice the flag on its next slice check.
+  sa.sa_flags = 0;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+}
+
+bool shutdown_requested() noexcept { return g_shutdown != 0; }
+
+void reset_shutdown_flag() noexcept { g_shutdown = 0; }
+
+}  // namespace twfd::supervise

@@ -1,0 +1,49 @@
+// Child-side half of the supervision contract (the few lines a daemon
+// adds to run under twfd_supervisord):
+//
+//   * install_shutdown_handlers() turns SIGTERM/SIGINT into a polled
+//     flag, so the main loop can drain shards, flush a final snapshot
+//     and exit 0 instead of dying mid-write;
+//   * ChildHeartbeat::from_env() picks up the heartbeat pipe the
+//     supervisor passed via TWFD_SUPERVISE_HB_FD; beat() once per loop
+//     slice proves the process is not merely alive but *serving* — a
+//     hung daemon stops beating and is killed within the configured
+//     deadline. Inert (active() == false) when run outside the
+//     supervisor, so the daemons call it unconditionally.
+#pragma once
+
+namespace twfd::supervise {
+
+/// Environment variable carrying the heartbeat pipe's write fd.
+inline constexpr const char* kHeartbeatFdEnv = "TWFD_SUPERVISE_HB_FD";
+
+class ChildHeartbeat {
+ public:
+  /// Parses TWFD_SUPERVISE_HB_FD; an absent/garbled value yields an
+  /// inert object (every beat() is a no-op).
+  [[nodiscard]] static ChildHeartbeat from_env() noexcept;
+
+  /// One non-blocking byte down the pipe. A full pipe (supervisor
+  /// briefly behind) or a dead supervisor is silently ignored — the
+  /// heartbeat must never be able to wedge or kill the daemon.
+  void beat() noexcept;
+
+  [[nodiscard]] bool active() const noexcept { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Installs SIGTERM/SIGINT handlers that set the shutdown flag, and
+/// ignores SIGPIPE (peer-closed sockets/pipes must surface as EPIPE on
+/// the write, not kill the process). Idempotent.
+void install_shutdown_handlers() noexcept;
+
+/// True once SIGTERM or SIGINT was received.
+[[nodiscard]] bool shutdown_requested() noexcept;
+
+/// Test seam: re-arms the flag so one process can exercise several
+/// shutdown cycles.
+void reset_shutdown_flag() noexcept;
+
+}  // namespace twfd::supervise

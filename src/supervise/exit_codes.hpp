@@ -1,0 +1,43 @@
+// Exit-code contract between the daemons and twfd_supervisord.
+//
+// The supervisor decides restart-vs-park from the child's exit status
+// alone, so the daemons encode *why* they died using the BSD sysexits
+// subset below: EX_TEMPFAIL means "the environment was transiently
+// hostile (port still in TIME_WAIT, descriptor exhaustion) — back off
+// and retry", EX_CONFIG/EX_USAGE mean "restarting cannot help until a
+// human fixes the config". 126/127 are the shell/exec conventions for
+// an unrunnable binary — also unfixable by retrying.
+#pragma once
+
+#include <cerrno>
+
+namespace twfd::supervise {
+
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitUsage = 64;          ///< EX_USAGE: bad command line
+inline constexpr int kExitTransient = 75;      ///< EX_TEMPFAIL: back off + retry
+inline constexpr int kExitConfig = 78;         ///< EX_CONFIG: do not restart
+inline constexpr int kExitNotExecutable = 126; ///< exec target not runnable
+inline constexpr int kExitExecFailed = 127;    ///< execve itself failed
+
+/// Maps a bind/listen/socket errno to the exit code a daemon should die
+/// with: resource contention is transient (another instance still owns
+/// the port, descriptors exhausted), anything else — a bad address, a
+/// privileged port without the privilege — is a config error no retry
+/// will fix.
+[[nodiscard]] inline int classify_startup_errno(int err) noexcept {
+  switch (err) {
+    case EADDRINUSE:
+    case EADDRNOTAVAIL:
+    case EMFILE:
+    case ENFILE:
+    case ENOBUFS:
+    case ENOMEM:
+    case EAGAIN:
+      return kExitTransient;
+    default:
+      return kExitConfig;
+  }
+}
+
+}  // namespace twfd::supervise

@@ -1,0 +1,177 @@
+#include "supervise/fleet_config.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace twfd::supervise {
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw std::runtime_error("fleet config line " + std::to_string(line) + ": " +
+                           what);
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::vector<std::string> split_ws(std::string_view s) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+    std::size_t j = i;
+    while (j < s.size() && s[j] != ' ' && s[j] != '\t') ++j;
+    if (j > i) out.emplace_back(s.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+bool parse_bool(std::string_view v, std::size_t line) {
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  fail(line, "expected a boolean, got '" + std::string(v) + "'");
+}
+
+std::int64_t parse_int(std::string_view v, std::size_t line) {
+  if (v.empty()) fail(line, "expected a number");
+  std::int64_t out = 0;
+  bool neg = false;
+  std::size_t i = 0;
+  if (v[0] == '-') {
+    neg = true;
+    i = 1;
+    if (v.size() == 1) fail(line, "expected a number");
+  }
+  for (; i < v.size(); ++i) {
+    if (v[i] < '0' || v[i] > '9') {
+      fail(line, "expected a number, got '" + std::string(v) + "'");
+    }
+    if (out > (std::int64_t{1} << 53)) fail(line, "number out of range");
+    out = out * 10 + (v[i] - '0');
+  }
+  return neg ? -out : out;
+}
+
+Tick parse_ms(std::string_view v, std::size_t line) {
+  const std::int64_t ms = parse_int(v, line);
+  if (ms < 0) fail(line, "durations must be >= 0");
+  return ticks_from_ms(ms);
+}
+
+}  // namespace
+
+FleetConfig parse_fleet_config(std::string_view text) {
+  FleetConfig config;
+  ServiceSpec* current = nullptr;
+  std::size_t line_no = 0;
+
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+
+    line = trim(line);
+    if (line.empty() || line.front() == '#') continue;
+
+    if (line.front() == '[') {
+      if (line.back() != ']') fail(line_no, "unterminated section header");
+      const std::string_view inner = trim(line.substr(1, line.size() - 2));
+      constexpr std::string_view kPrefix = "service";
+      if (inner.size() <= kPrefix.size() ||
+          inner.substr(0, kPrefix.size()) != kPrefix ||
+          (inner[kPrefix.size()] != ' ' && inner[kPrefix.size()] != '\t')) {
+        fail(line_no, "only [service <name>] sections are recognised");
+      }
+      const std::string_view name = trim(inner.substr(kPrefix.size()));
+      if (name.empty()) fail(line_no, "service section needs a name");
+      if (config.find(name) != nullptr) {
+        fail(line_no, "duplicate service '" + std::string(name) + "'");
+      }
+      config.services.emplace_back();
+      current = &config.services.back();
+      current->name = std::string(name);
+      continue;
+    }
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) fail(line_no, "expected key = value");
+    if (current == nullptr) fail(line_no, "key outside any [service] section");
+    const std::string_view key = trim(line.substr(0, eq));
+    const std::string_view value = trim(line.substr(eq + 1));
+
+    if (key == "exec") {
+      current->argv = split_ws(value);
+      if (current->argv.empty()) fail(line_no, "exec needs a command");
+    } else if (key == "auto_restart") {
+      current->auto_restart = parse_bool(value, line_no);
+    } else if (key == "grace_ms") {
+      current->grace = parse_ms(value, line_no);
+    } else if (key == "heartbeat_timeout_ms") {
+      current->heartbeat_timeout = parse_ms(value, line_no);
+    } else if (key == "start_timeout_ms") {
+      current->start_timeout = parse_ms(value, line_no);
+    } else if (key == "backoff_min_ms") {
+      current->backoff_min = parse_ms(value, line_no);
+    } else if (key == "backoff_max_ms") {
+      current->backoff_max = parse_ms(value, line_no);
+    } else if (key == "backoff_reset_ms") {
+      current->backoff_reset = parse_ms(value, line_no);
+    } else if (key == "fatal_exit_codes") {
+      current->fatal_exit_codes.clear();
+      std::size_t i = 0;
+      const std::string v(value);
+      while (i < v.size()) {
+        std::size_t comma = v.find(',', i);
+        if (comma == std::string::npos) comma = v.size();
+        const std::string_view item = trim(std::string_view(v).substr(i, comma - i));
+        if (!item.empty()) {
+          const std::int64_t code = parse_int(item, line_no);
+          if (code < 0 || code > 255) fail(line_no, "exit codes are 0..255");
+          current->fatal_exit_codes.insert(static_cast<int>(code));
+        }
+        i = comma + 1;
+      }
+    } else if (key == "stdout_log") {
+      current->stdout_log = std::string(value);
+    } else {
+      fail(line_no, "unknown key '" + std::string(key) + "'");
+    }
+  }
+
+  if (config.services.empty()) {
+    throw std::runtime_error("fleet config: no [service] sections");
+  }
+  for (const auto& s : config.services) {
+    if (s.argv.empty()) {
+      throw std::runtime_error("fleet config: service '" + s.name +
+                               "' has no exec line");
+    }
+    if (s.backoff_min <= 0 || s.backoff_max < s.backoff_min) {
+      throw std::runtime_error("fleet config: service '" + s.name +
+                               "' has an invalid backoff ladder");
+    }
+  }
+  return config;
+}
+
+FleetConfig load_fleet_config(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("fleet config: cannot open '" + path + "'");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_fleet_config(buf.str());
+}
+
+}  // namespace twfd::supervise

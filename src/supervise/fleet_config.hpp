@@ -1,0 +1,75 @@
+// Declarative fleet description for twfd_supervisord: which daemons to
+// run, how to tell a hung one from a healthy one, and how aggressively
+// to restart a dead one.
+//
+// Format: INI-ish sections, one per service, `#` comments, key = value:
+//
+//   [service monitor]
+//   exec = /usr/local/bin/twfd_monitor --port 14970 --sender-id 1
+//   auto_restart = true
+//   grace_ms = 2000              # SIGTERM -> SIGKILL escalation window
+//   heartbeat_timeout_ms = 1500  # 0 = no hung-child detection
+//   start_timeout_ms = 5000      # first beat must arrive within this
+//   backoff_min_ms = 100         # restart ladder: doubles per crash,
+//   backoff_max_ms = 5000        #   sleeps rung * [0.5, 1.0) jitter
+//   backoff_reset_ms = 10000     # healthy this long => ladder resets
+//   fatal_exit_codes = 2,64,78,126,127   # park, do not restart
+//   stdout_log = /var/log/twfd/monitor.log
+//
+// Only `exec` is required; every other key has the default shown by the
+// ServiceSpec initializers. parse errors throw std::runtime_error
+// naming the line.
+#pragma once
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/time.hpp"
+#include "supervise/exit_codes.hpp"
+
+namespace twfd::supervise {
+
+struct ServiceSpec {
+  std::string name;
+  /// exec line split on whitespace: argv[0] is the binary path.
+  std::vector<std::string> argv;
+  bool auto_restart = true;
+  /// SIGTERM-then-SIGKILL escalation window on shutdown.
+  Tick grace = ticks_from_ms(2000);
+  /// No heartbeat byte for this long while up => hung, killed. 0 = off.
+  Tick heartbeat_timeout = 0;
+  /// First heartbeat must arrive within this after spawn (only with
+  /// heartbeat_timeout > 0; until then the child counts as starting).
+  Tick start_timeout = ticks_from_sec(5);
+  Tick backoff_min = ticks_from_ms(100);
+  Tick backoff_max = ticks_from_sec(5);
+  /// A child healthy for this long gets its backoff ladder reset.
+  Tick backoff_reset = ticks_from_sec(10);
+  /// Exit codes that park the service (config-fatal; see exit_codes.hpp).
+  std::set<int> fatal_exit_codes = {2, kExitUsage, kExitConfig,
+                                    kExitNotExecutable, kExitExecFailed};
+  /// Redirect the child's stdout+stderr here (append). Empty = inherit.
+  std::string stdout_log;
+};
+
+struct FleetConfig {
+  std::vector<ServiceSpec> services;
+
+  [[nodiscard]] const ServiceSpec* find(std::string_view name) const {
+    for (const auto& s : services) {
+      if (s.name == name) return &s;
+    }
+    return nullptr;
+  }
+};
+
+/// Parses config text; throws std::runtime_error("fleet config line N: ...")
+/// on malformed input (unknown key, duplicate service, missing exec, ...).
+[[nodiscard]] FleetConfig parse_fleet_config(std::string_view text);
+
+/// Reads and parses a config file; throws on I/O or parse failure.
+[[nodiscard]] FleetConfig load_fleet_config(const std::string& path);
+
+}  // namespace twfd::supervise

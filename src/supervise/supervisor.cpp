@@ -1,0 +1,503 @@
+#include "supervise/supervisor.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+
+#include "common/assert.hpp"
+#include "supervise/daemon.hpp"
+
+extern char** environ;
+
+namespace twfd::supervise {
+namespace {
+
+// SIGCHLD self-pipe: the handler may only touch async-signal-safe state,
+// so it writes one byte here and the supervisor thread does the real
+// work. Installed once per process; the pipe is intentionally leaked.
+int g_sigchld_pipe[2] = {-1, -1};
+std::once_flag g_sigchld_once;
+
+extern "C" void on_sigchld(int) {
+  const int saved = errno;
+  const char b = 'c';
+  [[maybe_unused]] const ssize_t n = ::write(g_sigchld_pipe[1], &b, 1);
+  errno = saved;
+}
+
+void install_sigchld_handler() {
+  std::call_once(g_sigchld_once, [] {
+    TWFD_CHECK(::pipe2(g_sigchld_pipe, O_CLOEXEC | O_NONBLOCK) == 0);
+    struct sigaction sa = {};
+    sa.sa_handler = on_sigchld;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_NOCLDSTOP | SA_RESTART;
+    TWFD_CHECK(::sigaction(SIGCHLD, &sa, nullptr) == 0);
+  });
+}
+
+void drain_pipe(int fd) {
+  char buf[256];
+  while (::read(fd, buf, sizeof(buf)) > 0) {
+  }
+}
+
+}  // namespace
+
+const char* to_string(ChildState state) noexcept {
+  switch (state) {
+    case ChildState::kDown: return "down";
+    case ChildState::kStarting: return "starting";
+    case ChildState::kUp: return "up";
+    case ChildState::kDegraded: return "degraded";
+    case ChildState::kRestarting: return "restarting";
+    case ChildState::kStopping: return "stopping";
+    case ChildState::kFatal: return "fatal";
+  }
+  return "unknown";
+}
+
+Supervisor::Supervisor(FleetConfig config, Options options)
+    : config_(std::move(config)),
+      options_(std::move(options)),
+      jitter_(options_.jitter_seed) {
+  TWFD_CHECK_MSG(!config_.services.empty(), "supervisor needs at least one service");
+  children_.reserve(config_.services.size());
+  for (const auto& spec : config_.services) {
+    Child c;
+    c.spec = spec;
+    children_.push_back(std::move(c));
+  }
+}
+
+Supervisor::~Supervisor() { stop(); }
+
+void Supervisor::start() {
+  TWFD_CHECK_MSG(!running_, "supervisor already started");
+  install_sigchld_handler();
+  TWFD_CHECK(::pipe2(control_pipe_, O_CLOEXEC | O_NONBLOCK) == 0);
+  shutting_down_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { supervisor_main(); });
+}
+
+void Supervisor::stop() {
+  if (!running_) return;
+  const char b = 'q';
+  [[maybe_unused]] const ssize_t n = ::write(control_pipe_[1], &b, 1);
+  if (thread_.joinable()) thread_.join();
+  ::close(control_pipe_[0]);
+  ::close(control_pipe_[1]);
+  control_pipe_[0] = control_pipe_[1] = -1;
+  running_ = false;
+}
+
+std::vector<Supervisor::ChildStatus> Supervisor::status() {
+  std::lock_guard lk(mu_);
+  std::vector<ChildStatus> out;
+  out.reserve(children_.size());
+  for (const Child& c : children_) {
+    out.push_back({c.spec.name, c.state, c.pid, c.spawns, c.restarts,
+                   c.hung_kills, c.last_exit_status, c.backoff});
+  }
+  return out;
+}
+
+Supervisor::Stats Supervisor::stats() {
+  std::lock_guard lk(mu_);
+  Stats s;
+  s.spawns_total = spawns_total_;
+  s.restarts_total = restarts_total_;
+  s.hung_kills_total = hung_kills_total_;
+  for (const Child& c : children_) {
+    if (c.state == ChildState::kFatal) ++s.fatal_children;
+    if (c.state == ChildState::kUp) ++s.up_children;
+  }
+  return s;
+}
+
+pid_t Supervisor::pid_of(const std::string& name) {
+  std::lock_guard lk(mu_);
+  for (const Child& c : children_) {
+    if (c.spec.name == name) return c.pid;
+  }
+  return 0;
+}
+
+bool Supervisor::wait_all_up(Tick timeout) {
+  SteadyClock clock;
+  const Tick deadline = clock.now() + timeout;
+  for (;;) {
+    bool all_up = true;
+    {
+      std::lock_guard lk(mu_);
+      for (const Child& c : children_) {
+        if (c.state == ChildState::kFatal) return false;
+        if (c.state != ChildState::kUp) all_up = false;
+      }
+    }
+    if (all_up) return true;
+    if (clock.now() >= deadline) return false;
+    ::usleep(10 * 1000);
+  }
+}
+
+bool Supervisor::kill_child(const std::string& name, int sig) {
+  std::lock_guard lk(mu_);
+  for (const Child& c : children_) {
+    if (c.spec.name == name && c.pid > 0) return ::kill(c.pid, sig) == 0;
+  }
+  return false;
+}
+
+// --- supervisor thread ------------------------------------------------------
+
+void Supervisor::transition_locked(Child& c, ChildState to) {
+  if (c.state == to) return;
+  const ChildState from = c.state;
+  c.state = to;
+  if (options_.state_hook) options_.state_hook(c.spec.name, from, to);
+  write_status_file_locked();
+}
+
+void Supervisor::close_hb_locked(Child& c) {
+  if (c.hb_read_fd >= 0) {
+    ::close(c.hb_read_fd);
+    c.hb_read_fd = -1;
+  }
+}
+
+void Supervisor::spawn_locked(Child& c, Tick now) {
+  // Everything that can allocate happens BEFORE fork: the parent is
+  // multithreaded, so the child may only run async-signal-safe calls
+  // (dup2/fcntl/execve/_exit) until exec.
+  std::vector<char*> argv;
+  argv.reserve(c.spec.argv.size() + 1);
+  for (auto& a : c.spec.argv) argv.push_back(const_cast<char*>(a.c_str()));
+  argv.push_back(nullptr);
+
+  int hb[2] = {-1, -1};
+  std::string hb_env;
+  if (c.spec.heartbeat_timeout > 0) {
+    if (::pipe2(hb, O_CLOEXEC | O_NONBLOCK) != 0) {
+      // Descriptor exhaustion: a transient failure, walk the ladder.
+      c.last_exit_status = 0;
+      schedule_restart_locked(c, now);
+      return;
+    }
+    hb_env = std::string(kHeartbeatFdEnv) + "=" + std::to_string(hb[1]);
+  }
+  std::vector<char*> envp;
+  for (char** e = environ; *e != nullptr; ++e) {
+    if (std::strncmp(*e, kHeartbeatFdEnv, std::strlen(kHeartbeatFdEnv)) == 0 &&
+        (*e)[std::strlen(kHeartbeatFdEnv)] == '=') {
+      continue;  // never leak a stale fd number from our own environment
+    }
+    envp.push_back(*e);
+  }
+  if (!hb_env.empty()) envp.push_back(const_cast<char*>(hb_env.c_str()));
+  envp.push_back(nullptr);
+
+  int log_fd = -1;
+  if (!c.spec.stdout_log.empty()) {
+    log_fd = ::open(c.spec.stdout_log.c_str(),
+                    O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+    // A log that cannot be opened must not block the service: inherit.
+  }
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    if (hb[0] >= 0) ::close(hb[0]);
+    if (hb[1] >= 0) ::close(hb[1]);
+    if (log_fd >= 0) ::close(log_fd);
+    c.last_exit_status = 0;
+    schedule_restart_locked(c, now);
+    return;
+  }
+  if (pid == 0) {
+    // Child. O_CLOEXEC closes every other service's pipe ends at exec;
+    // only this child's heartbeat write end survives, un-CLOEXEC'd here.
+    if (hb[1] >= 0) ::fcntl(hb[1], F_SETFD, 0);
+    if (log_fd >= 0) {
+      ::dup2(log_fd, STDOUT_FILENO);
+      ::dup2(log_fd, STDERR_FILENO);
+    }
+    ::execve(argv[0], argv.data(), envp.data());
+    _exit(errno == EACCES ? kExitNotExecutable : kExitExecFailed);
+  }
+
+  // Parent.
+  if (hb[1] >= 0) ::close(hb[1]);
+  if (log_fd >= 0) ::close(log_fd);
+  c.pid = pid;
+  c.hb_read_fd = hb[0];
+  c.spawned_at = now;
+  c.last_beat = now;
+  c.restart_at = kTickInfinity;
+  c.kill_at = kTickInfinity;
+  ++c.spawns;
+  ++spawns_total_;
+  if (c.spec.heartbeat_timeout > 0) {
+    transition_locked(c, ChildState::kStarting);
+  } else {
+    // No liveness channel: spawned == up, and only SIGCHLD demotes it.
+    c.up_since = now;
+    transition_locked(c, ChildState::kUp);
+  }
+}
+
+void Supervisor::schedule_restart_locked(Child& c, Tick now) {
+  if (shutting_down_ || !c.spec.auto_restart) {
+    transition_locked(c, ChildState::kDown);
+    return;
+  }
+  // A healthy stretch resets the ladder; otherwise the rung carried over
+  // from the previous crash keeps doubling toward the cap.
+  if (c.up_since > 0 && now - c.up_since >= c.spec.backoff_reset) {
+    c.backoff = 0;
+  }
+  const Tick rung = c.backoff > 0 ? c.backoff : c.spec.backoff_min;
+  // The ReconnectingClient envelope: delay in [rung/2, rung).
+  const Tick delay =
+      static_cast<Tick>(static_cast<double>(rung) * (0.5 + 0.5 * jitter_.uniform01()));
+  c.restart_at = now + std::max<Tick>(delay, ticks_from_ms(1));
+  c.backoff = std::min(rung * 2, c.spec.backoff_max);
+  c.up_since = 0;
+  ++c.restarts;
+  ++restarts_total_;
+  if (options_.backoff_hook) options_.backoff_hook(c.spec.name, delay, rung);
+  transition_locked(c, ChildState::kRestarting);
+}
+
+void Supervisor::handle_exit_locked(Child& c, int status, Tick now) {
+  close_hb_locked(c);
+  c.pid = 0;
+  c.last_exit_status = status;
+  c.kill_at = kTickInfinity;
+
+  if (c.state == ChildState::kStopping || shutting_down_) {
+    transition_locked(c, ChildState::kDown);
+    return;
+  }
+  if (WIFEXITED(status) &&
+      c.spec.fatal_exit_codes.count(WEXITSTATUS(status)) > 0) {
+    // EX_CONFIG and friends: restarting re-runs the same broken config.
+    // Park the service; a human (or a config push) resolves it.
+    transition_locked(c, ChildState::kFatal);
+    return;
+  }
+  if (WIFEXITED(status) && WEXITSTATUS(status) == kExitOk &&
+      c.state != ChildState::kDegraded) {
+    // A voluntary clean exit outside shutdown: treat as done, not crash.
+    transition_locked(c, ChildState::kDown);
+    return;
+  }
+  schedule_restart_locked(c, now);
+}
+
+void Supervisor::begin_stop_locked(Child& c, Tick now) {
+  if (c.pid <= 0) {
+    if (c.state == ChildState::kRestarting) transition_locked(c, ChildState::kDown);
+    return;
+  }
+  ::kill(c.pid, SIGTERM);
+  c.kill_at = now + c.spec.grace;
+  transition_locked(c, ChildState::kStopping);
+}
+
+void Supervisor::drain_heartbeat_locked(Child& c, Tick now) {
+  char buf[256];
+  ssize_t n = 0;
+  bool beat = false;
+  while ((n = ::read(c.hb_read_fd, buf, sizeof(buf))) > 0) beat = true;
+  if (!beat) return;
+  c.last_beat = now;
+  if (c.state == ChildState::kStarting) {
+    c.up_since = now;
+    transition_locked(c, ChildState::kUp);
+  }
+}
+
+void Supervisor::check_deadlines_locked(Tick now) {
+  for (Child& c : children_) {
+    switch (c.state) {
+      case ChildState::kStarting:
+        if (now - c.spawned_at >= c.spec.start_timeout) {
+          // Never came up: hung from birth. SIGKILL — a process that
+          // cannot produce one heartbeat byte is past SIGTERM courtesy.
+          ++c.hung_kills;
+          ++hung_kills_total_;
+          if (c.pid > 0) ::kill(c.pid, SIGKILL);
+          transition_locked(c, ChildState::kDegraded);
+        }
+        break;
+      case ChildState::kUp:
+        if (c.spec.heartbeat_timeout > 0 &&
+            now - c.last_beat >= c.spec.heartbeat_timeout) {
+          ++c.hung_kills;
+          ++hung_kills_total_;
+          if (c.pid > 0) ::kill(c.pid, SIGKILL);
+          transition_locked(c, ChildState::kDegraded);
+        }
+        break;
+      case ChildState::kRestarting:
+        if (!shutting_down_ && now >= c.restart_at) spawn_locked(c, now);
+        break;
+      case ChildState::kStopping:
+        if (c.pid > 0 && now >= c.kill_at) {
+          ::kill(c.pid, SIGKILL);
+          c.kill_at = kTickInfinity;  // reap finishes the transition
+        }
+        break;
+      case ChildState::kDown:
+      case ChildState::kDegraded:
+      case ChildState::kFatal:
+        break;
+    }
+  }
+}
+
+Tick Supervisor::next_deadline_locked() const {
+  Tick next = kTickInfinity;
+  for (const Child& c : children_) {
+    switch (c.state) {
+      case ChildState::kStarting:
+        next = std::min(next, c.spawned_at + c.spec.start_timeout);
+        break;
+      case ChildState::kUp:
+        if (c.spec.heartbeat_timeout > 0) {
+          next = std::min(next, c.last_beat + c.spec.heartbeat_timeout);
+        }
+        break;
+      case ChildState::kRestarting:
+        next = std::min(next, c.restart_at);
+        break;
+      case ChildState::kStopping:
+        next = std::min(next, c.kill_at);
+        break;
+      default:
+        break;
+    }
+  }
+  return next;
+}
+
+void Supervisor::write_status_file_locked() {
+  if (options_.status_file.empty()) return;
+  std::string out;
+  for (const Child& c : children_) {
+    out += c.spec.name;
+    out += ' ';
+    out += to_string(c.state);
+    out += ' ';
+    out += std::to_string(c.pid);
+    out += ' ';
+    out += std::to_string(c.restarts);
+    out += '\n';
+  }
+  const std::string tmp = options_.status_file + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return;
+  [[maybe_unused]] const ssize_t n = ::write(fd, out.data(), out.size());
+  ::close(fd);
+  ::rename(tmp.c_str(), options_.status_file.c_str());
+}
+
+void Supervisor::supervisor_main() {
+  SteadyClock clock;
+  {
+    std::lock_guard lk(mu_);
+    const Tick now = clock.now();
+    for (Child& c : children_) spawn_locked(c, now);
+  }
+
+  std::vector<pollfd> fds;
+  std::vector<std::size_t> hb_owner;  // fds[i+2] belongs to children_[hb_owner[i]]
+  for (;;) {
+    fds.clear();
+    hb_owner.clear();
+    fds.push_back({control_pipe_[0], POLLIN, 0});
+    fds.push_back({g_sigchld_pipe[0], POLLIN, 0});
+    Tick timeout_ns;
+    {
+      std::lock_guard lk(mu_);
+      for (std::size_t i = 0; i < children_.size(); ++i) {
+        if (children_[i].hb_read_fd >= 0) {
+          fds.push_back({children_[i].hb_read_fd, POLLIN, 0});
+          hb_owner.push_back(i);
+        }
+      }
+      const Tick deadline = next_deadline_locked();
+      const Tick now = clock.now();
+      timeout_ns = deadline == kTickInfinity
+                       ? ticks_from_ms(200)
+                       : std::clamp<Tick>(deadline - now, ticks_from_ms(1),
+                                          ticks_from_ms(200));
+    }
+    const int timeout_ms =
+        static_cast<int>(std::max<Tick>(1, timeout_ns / ticks_from_ms(1)));
+    const int rc = ::poll(fds.data(), fds.size(), timeout_ms);
+    const Tick now = clock.now();
+
+    std::lock_guard lk(mu_);
+    if (rc > 0) {
+      if ((fds[0].revents & POLLIN) != 0) drain_pipe(control_pipe_[0]);
+      if ((fds[1].revents & POLLIN) != 0) drain_pipe(g_sigchld_pipe[0]);
+      for (std::size_t i = 0; i < hb_owner.size(); ++i) {
+        Child& c = children_[hb_owner[i]];
+        // The fd may have been closed by a reap below in a previous
+        // round; owners were computed this round, so it is still ours.
+        if ((fds[i + 2].revents & POLLIN) != 0 && c.hb_read_fd == fds[i + 2].fd) {
+          drain_heartbeat_locked(c, now);
+        }
+      }
+    }
+
+    // Reap with explicit pids: waitpid(-1) would steal unrelated
+    // children (popen, test runners) from this process.
+    for (Child& c : children_) {
+      if (c.pid <= 0) continue;
+      int status = 0;
+      const pid_t r = ::waitpid(c.pid, &status, WNOHANG);
+      if (r == c.pid) handle_exit_locked(c, status, now);
+    }
+
+    // A stop request turns every child toward kDown before the loop can
+    // exit; children already waiting on a restart just go down.
+    if (!shutting_down_) {
+      bool stop_seen = false;
+      // drain_pipe consumed the byte; detect via the flag the byte set.
+      // (The control pipe only ever carries 'q'.)
+      if (rc > 0 && (fds[0].revents & POLLIN) != 0) stop_seen = true;
+      if (stop_seen) {
+        shutting_down_ = true;
+        for (Child& c : children_) begin_stop_locked(c, now);
+      }
+    }
+
+    check_deadlines_locked(now);
+
+    if (shutting_down_) {
+      bool all_done = true;
+      for (const Child& c : children_) {
+        if (c.pid > 0) all_done = false;
+      }
+      if (all_done) {
+        for (Child& c : children_) {
+          if (c.state != ChildState::kFatal) transition_locked(c, ChildState::kDown);
+        }
+        return;
+      }
+    }
+  }
+}
+
+}  // namespace twfd::supervise

@@ -1,0 +1,182 @@
+// Process supervisor for the TWFD daemon fleet (the daemonproxy-style
+// SVC_STATE machine, grown the features the ROADMAP's self-healing item
+// asks for).
+//
+// Each configured service moves through an explicit per-PID state
+// machine:
+//
+//              spawn                 first beat
+//     kDown ----------> kStarting --------------> kUp
+//       ^                   |  \                 /  |
+//       |        start_timeout  \(no heartbeat) /   | heartbeat_timeout
+//       |                   v    `------------->    v
+//       |               kDegraded <---------------- (hung: SIGKILL)
+//       |                   | reaped                |
+//       | not restartable   v        backoff        |
+//       `-------------- kRestarting <---------------' (exit)
+//          (or kFatal)      | delay elapsed: spawn
+//                           v
+//                       kStarting ...
+//
+// plus kStopping (SIGTERM sent, grace running) and kFatal (exit code in
+// the service's fatal set — parked until a human intervenes).
+//
+// Mechanics:
+//   * children are forked with pre-built argv/envp and execve'd — no
+//     allocation between fork and exec (the parent is multithreaded);
+//   * a SIGCHLD handler writes one byte to a self-pipe; the supervisor
+//     thread polls that pipe, every child's heartbeat pipe, and a
+//     control pipe, reaping with waitpid(pid, WNOHANG) per child so
+//     unrelated children (popen, test runners) are never stolen;
+//   * each child inherits the write end of a heartbeat pipe via
+//     TWFD_SUPERVISE_HB_FD (see daemon.hpp); a child that stops beating
+//     for heartbeat_timeout is SIGKILLed and handled like a crash;
+//   * crash restarts walk a capped exponential backoff ladder with the
+//     same jitter envelope as api::ReconnectingClient — every delay is
+//     rung * [0.5, 1.0), the rung doubles per crash up to backoff_max
+//     and resets after backoff_reset of healthy uptime;
+//   * exit codes in the service's fatal set (EX_CONFIG and friends —
+//     see exit_codes.hpp) park the service as kFatal instead of
+//     restarting: a bad config crash-loops forever, backoff or not.
+//
+// stop() escalates per service: SIGTERM, grace period, then SIGKILL.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "supervise/fleet_config.hpp"
+
+namespace twfd::supervise {
+
+enum class ChildState : std::uint8_t {
+  kDown,        ///< not running, no restart pending
+  kStarting,    ///< spawned, waiting for the first heartbeat
+  kUp,          ///< alive and beating (or no heartbeat configured)
+  kDegraded,    ///< hung — kill sent, waiting for the reap
+  kRestarting,  ///< dead, backoff delay running
+  kStopping,    ///< SIGTERM sent, grace period running
+  kFatal,       ///< exit code in the fatal set: parked
+};
+
+[[nodiscard]] const char* to_string(ChildState state) noexcept;
+
+class Supervisor {
+ public:
+  struct Options {
+    /// Seed of the backoff jitter (deterministic tests).
+    std::uint64_t jitter_seed = 0x5eedU;
+    /// Optional status file: one `name state pid restarts` line per
+    /// service, atomically rewritten after every transition.
+    std::string status_file;
+    /// Test seam: observes every state transition (supervisor thread).
+    std::function<void(const std::string& service, ChildState from,
+                       ChildState to)>
+        state_hook;
+    /// Test seam: observes every scheduled restart delay and the rung it
+    /// was drawn from — the backoff-envelope assertion hangs off this.
+    std::function<void(const std::string& service, Tick delay, Tick rung)>
+        backoff_hook;
+  };
+
+  struct ChildStatus {
+    std::string name;
+    ChildState state = ChildState::kDown;
+    pid_t pid = 0;  ///< 0 when not running
+    std::uint64_t spawns = 0;
+    std::uint64_t restarts = 0;   ///< respawns after a crash/hang
+    std::uint64_t hung_kills = 0;
+    int last_exit_status = 0;  ///< raw waitpid status of the last reap
+    Tick backoff = 0;          ///< current ladder rung
+  };
+
+  struct Stats {
+    std::uint64_t spawns_total = 0;
+    std::uint64_t restarts_total = 0;
+    std::uint64_t hung_kills_total = 0;
+    std::uint64_t fatal_children = 0;  ///< gauge
+    std::uint64_t up_children = 0;     ///< gauge
+  };
+
+  Supervisor(FleetConfig config, Options options);
+  ~Supervisor();
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  /// Spawns every service and the supervisor thread.
+  void start();
+  /// SIGTERM -> grace -> SIGKILL on every live child, reaps them, then
+  /// joins the supervisor thread. Idempotent.
+  void stop();
+  [[nodiscard]] bool running() const noexcept { return running_; }
+
+  [[nodiscard]] std::vector<ChildStatus> status();
+  [[nodiscard]] Stats stats();
+  /// pid of a named service (0 when not running / unknown).
+  [[nodiscard]] pid_t pid_of(const std::string& name);
+
+  /// Blocks until every auto-started service reports kUp (true) or the
+  /// timeout elapses (false). Services already kFatal fail immediately.
+  bool wait_all_up(Tick timeout);
+
+  /// Sends `sig` to a named service's current child (chaos seam: the
+  /// rolling-restart E2E kill -9s through this). False when not running.
+  bool kill_child(const std::string& name, int sig);
+
+ private:
+  struct Child {
+    ServiceSpec spec;
+    ChildState state = ChildState::kDown;
+    pid_t pid = 0;
+    int hb_read_fd = -1;   ///< parent's end of the heartbeat pipe
+    Tick last_beat = 0;
+    Tick spawned_at = 0;
+    Tick up_since = 0;
+    Tick restart_at = kTickInfinity;  ///< kRestarting: spawn when reached
+    Tick kill_at = kTickInfinity;     ///< kStopping: escalate when reached
+    Tick backoff = 0;                 ///< current ladder rung
+    std::uint64_t spawns = 0;
+    std::uint64_t restarts = 0;
+    std::uint64_t hung_kills = 0;
+    int last_exit_status = 0;
+  };
+
+  void supervisor_main();
+  /// All of the below run on the supervisor thread with mu_ held.
+  void spawn_locked(Child& c, Tick now);
+  void transition_locked(Child& c, ChildState to);
+  void handle_exit_locked(Child& c, int status, Tick now);
+  void schedule_restart_locked(Child& c, Tick now);
+  void check_deadlines_locked(Tick now);
+  void drain_heartbeat_locked(Child& c, Tick now);
+  void close_hb_locked(Child& c);
+  [[nodiscard]] Tick next_deadline_locked() const;
+  void write_status_file_locked();
+  void begin_stop_locked(Child& c, Tick now);
+
+  FleetConfig config_;
+  Options options_;
+  Xoshiro256 jitter_;
+
+  std::mutex mu_;
+  std::vector<Child> children_;
+  std::uint64_t spawns_total_ = 0;
+  std::uint64_t restarts_total_ = 0;
+  std::uint64_t hung_kills_total_ = 0;
+  bool shutting_down_ = false;
+
+  int control_pipe_[2] = {-1, -1};  ///< stop()/wake signalling
+  std::thread thread_;
+  bool running_ = false;
+};
+
+}  // namespace twfd::supervise

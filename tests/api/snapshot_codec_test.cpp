@@ -1,0 +1,216 @@
+// TWFS snapshot codec: roundtrips, the hostile-input surface (mirrors
+// the control-codec fuzz coverage), version-skew rejection and the
+// cross-process clock rebase. The snapshot file is parsed at daemon
+// startup from whatever a crash left on disk — decode must reject,
+// never crash, never over-read, and a truncated or bit-flipped file
+// must land on a typed failure so the server cold-starts instead of
+// resurrecting garbage verdicts.
+
+#include "api/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace twfd {
+namespace {
+
+using namespace twfd::api;
+
+SnapshotData rich_snapshot() {
+  SnapshotData data;
+  data.saved_wall_ns = 1'700'000'000'000'000'000;
+  data.seeds.push_back({net::SocketAddress::parse("10.1.2.3", 4100), 42,
+                        "dashboard", {0.8, 1e-3, 4.0}, detect::Output::Trust,
+                        250'000'000});
+  data.seeds.push_back({net::SocketAddress::parse("10.9.8.7", 4101), 43,
+                        "alerting", {2.0, 1e-2, 8.0}, detect::Output::Suspect,
+                        -1});
+  data.seeds.push_back({net::SocketAddress::loopback(0), 0, "", {0, 0, 0},
+                        detect::Output::Suspect, 0});
+  data.fed_children = {1, 7, 0xffffffffffffffffULL};
+  return data;
+}
+
+std::string temp_path(const char* tag) {
+  return testing::TempDir() + "twfs_codec_" + tag + "_" +
+         std::to_string(::getpid()) + ".snap";
+}
+
+/// Rewrites the trailing u64 checksum so forged structural damage is
+/// exercised on its own (not masked by the integrity check).
+void refresh_checksum(std::vector<std::byte>& bytes) {
+  ASSERT_GE(bytes.size(), 8u);
+  const auto sum = snapshot_checksum(
+      std::span<const std::byte>(bytes).first(bytes.size() - 8));
+  for (int i = 0; i < 8; ++i) {
+    bytes[bytes.size() - 8 + static_cast<std::size_t>(i)] =
+        static_cast<std::byte>((sum >> (8 * i)) & 0xff);
+  }
+}
+
+TEST(SnapshotCodec, RoundtripsRichState) {
+  const SnapshotData data = rich_snapshot();
+  const auto bytes = encode_snapshot(data);
+  SnapshotData out;
+  ASSERT_EQ(decode_snapshot(bytes, out), SnapshotLoadStatus::kOk);
+  EXPECT_EQ(out.saved_wall_ns, data.saved_wall_ns);
+  ASSERT_EQ(out.seeds.size(), data.seeds.size());
+  for (std::size_t i = 0; i < data.seeds.size(); ++i) {
+    EXPECT_EQ(out.seeds[i], data.seeds[i]) << "seed " << i;
+  }
+  EXPECT_EQ(out.fed_children, data.fed_children);
+}
+
+TEST(SnapshotCodec, RoundtripsEmptyState) {
+  SnapshotData data;
+  data.saved_wall_ns = 5;
+  const auto bytes = encode_snapshot(data);
+  SnapshotData out;
+  ASSERT_EQ(decode_snapshot(bytes, out), SnapshotLoadStatus::kOk);
+  EXPECT_TRUE(out.seeds.empty());
+  EXPECT_TRUE(out.fed_children.empty());
+}
+
+TEST(SnapshotCodec, RejectsTruncationAtEveryLength) {
+  const auto bytes = encode_snapshot(rich_snapshot());
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    SnapshotData out;
+    const auto status = decode_snapshot(
+        std::span<const std::byte>(bytes).first(len), out);
+    EXPECT_NE(status, SnapshotLoadStatus::kOk) << "accepted prefix " << len;
+  }
+}
+
+TEST(SnapshotCodec, RejectsEverySingleBitFlip) {
+  const auto pristine = encode_snapshot(rich_snapshot());
+  for (std::size_t i = 0; i < pristine.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto bytes = pristine;
+      bytes[i] ^= static_cast<std::byte>(1u << bit);
+      SnapshotData out;
+      EXPECT_NE(decode_snapshot(bytes, out), SnapshotLoadStatus::kOk)
+          << "accepted flip of byte " << i << " bit " << bit;
+    }
+  }
+}
+
+TEST(SnapshotCodec, RejectsRandomGarbage) {
+  Xoshiro256 rng(0xf00dU);
+  for (int round = 0; round < 2000; ++round) {
+    std::vector<std::byte> bytes(rng() % 256);
+    for (auto& b : bytes) b = static_cast<std::byte>(rng() & 0xff);
+    SnapshotData out;
+    EXPECT_NE(decode_snapshot(bytes, out), SnapshotLoadStatus::kOk);
+  }
+}
+
+TEST(SnapshotCodec, DistinguishesBadMagicFromCorruption) {
+  auto bytes = encode_snapshot(rich_snapshot());
+  bytes[0] = static_cast<std::byte>(0x00);
+  SnapshotData out;
+  EXPECT_EQ(decode_snapshot(bytes, out), SnapshotLoadStatus::kBadMagic);
+}
+
+TEST(SnapshotCodec, VersionSkewIsGracefulRejectNotGuess) {
+  // A snapshot from a FUTURE binary with a valid checksum: the loader
+  // must land on kBadVersion (log + cold start), never attempt decode.
+  auto bytes = encode_snapshot(rich_snapshot());
+  bytes[4] = static_cast<std::byte>(kSnapshotVersion + 1);
+  refresh_checksum(bytes);
+  SnapshotData out;
+  EXPECT_EQ(decode_snapshot(bytes, out), SnapshotLoadStatus::kBadVersion);
+}
+
+TEST(SnapshotCodec, HostileSeedCountNeverDrivesAllocation) {
+  // Forge a body whose seed count claims 2^20 entries with 3 bytes of
+  // payload behind it; checksum is made valid so the structural check
+  // itself must reject.
+  auto bytes = encode_snapshot(SnapshotData{});
+  // Body starts after the u32+u8+i64+u32 header (17 bytes) and holds
+  // [varint seed_count][varint child_count]. Rewrite it to a huge
+  // varint count with nothing behind it.
+  ASSERT_GE(bytes.size(), 17u + 2u + 8u);
+  bytes[17] = static_cast<std::byte>(0xff);  // varint continuation
+  bytes[18] = static_cast<std::byte>(0x7f);
+  refresh_checksum(bytes);
+  SnapshotData out;
+  EXPECT_EQ(decode_snapshot(bytes, out), SnapshotLoadStatus::kCorrupt);
+}
+
+TEST(SnapshotCodec, FileRoundtripAndMissingFile) {
+  const std::string path = temp_path("roundtrip");
+  const SnapshotData data = rich_snapshot();
+  ASSERT_TRUE(save_snapshot_file(path, data));
+  const auto loaded = load_snapshot_file(path);
+  ASSERT_TRUE(loaded.ok()) << to_string(loaded.status);
+  EXPECT_EQ(loaded.data.seeds, data.seeds);
+  EXPECT_EQ(loaded.data.fed_children, data.fed_children);
+  std::remove(path.c_str());
+
+  const auto missing = load_snapshot_file(path);
+  EXPECT_EQ(missing.status, SnapshotLoadStatus::kMissing);
+}
+
+TEST(SnapshotCodec, CorruptFileOnDiskIsTypedNotFatal) {
+  const std::string path = temp_path("corrupt");
+  ASSERT_TRUE(save_snapshot_file(path, rich_snapshot()));
+  // Truncate the file mid-body: simulates a torn disk after a crash.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(::ftruncate(::fileno(f), 21), 0);
+    std::fclose(f);
+  }
+  const auto loaded = load_snapshot_file(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status, SnapshotLoadStatus::kMissing);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotCodec, FailedSaveLeavesPreviousSnapshotIntact) {
+  const std::string path = temp_path("atomic");
+  const SnapshotData good = rich_snapshot();
+  ASSERT_TRUE(save_snapshot_file(path, good));
+  // A save to an unwritable tmp location must fail without touching the
+  // existing file: point the path into a directory that does not exist.
+  const std::string bad_path = testing::TempDir() + "no_such_dir_twfs/x.snap";
+  EXPECT_FALSE(save_snapshot_file(bad_path, good));
+  const auto loaded = load_snapshot_file(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.data.seeds, good.seeds);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotRebase, MapsAgesAcrossTheProcessBoundary) {
+  const Tick steady_now = ticks_from_sec(100);
+  const std::int64_t saved_wall = 1'000'000'000'000;
+  // 2s of downtime, a transition that was 3s old at save: the reborn
+  // `since` lands 5s in the past.
+  const std::int64_t wall_now = saved_wall + ticks_from_sec(2);
+  EXPECT_EQ(rebase_seed_since(ticks_from_sec(3), saved_wall, wall_now, steady_now),
+            steady_now - ticks_from_sec(5));
+  // No transition before the save: sentinel maps to 0 ("never").
+  EXPECT_EQ(rebase_seed_since(-1, saved_wall, wall_now, steady_now), 0);
+  // A skewed wall clock (restart "before" the save) cannot push since
+  // into the future: downtime clamps to 0.
+  EXPECT_EQ(rebase_seed_since(ticks_from_sec(1), saved_wall,
+                              saved_wall - ticks_from_sec(30), steady_now),
+            steady_now - ticks_from_sec(1));
+  // Ages older than the process's own steady epoch clamp to 1, never 0
+  // (0 means "no transition") and never negative.
+  EXPECT_EQ(rebase_seed_since(ticks_from_sec(500), saved_wall, wall_now,
+                              ticks_from_sec(10)),
+            1);
+}
+
+}  // namespace
+}  // namespace twfd

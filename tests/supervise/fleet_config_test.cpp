@@ -1,0 +1,99 @@
+// Fleet config parser: the happy path, every default, and the reject
+// surface (the file is hand-edited on real deployments — a typo must
+// fail loudly with a line number, never half-apply).
+
+#include "supervise/fleet_config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace twfd::supervise {
+namespace {
+
+TEST(FleetConfig, ParsesFullSpec) {
+  const auto config = parse_fleet_config(R"(
+# the fleet
+[service monitor]
+exec = /usr/bin/twfd_monitor --port 4100 --sender-id 7
+auto_restart = true
+grace_ms = 1500
+heartbeat_timeout_ms = 900
+start_timeout_ms = 3000
+backoff_min_ms = 50
+backoff_max_ms = 800
+backoff_reset_ms = 5000
+fatal_exit_codes = 2, 78
+stdout_log = /tmp/monitor.log
+
+[service fdaas]
+exec = /usr/bin/twfd_fdaasd
+)");
+  ASSERT_EQ(config.services.size(), 2u);
+  const ServiceSpec* m = config.find("monitor");
+  ASSERT_NE(m, nullptr);
+  ASSERT_EQ(m->argv.size(), 5u);
+  EXPECT_EQ(m->argv[0], "/usr/bin/twfd_monitor");
+  EXPECT_EQ(m->argv[4], "7");
+  EXPECT_TRUE(m->auto_restart);
+  EXPECT_EQ(m->grace, ticks_from_ms(1500));
+  EXPECT_EQ(m->heartbeat_timeout, ticks_from_ms(900));
+  EXPECT_EQ(m->start_timeout, ticks_from_ms(3000));
+  EXPECT_EQ(m->backoff_min, ticks_from_ms(50));
+  EXPECT_EQ(m->backoff_max, ticks_from_ms(800));
+  EXPECT_EQ(m->backoff_reset, ticks_from_ms(5000));
+  EXPECT_EQ(m->fatal_exit_codes, (std::set<int>{2, 78}));
+  EXPECT_EQ(m->stdout_log, "/tmp/monitor.log");
+
+  const ServiceSpec* f = config.find("fdaas");
+  ASSERT_NE(f, nullptr);
+  // Defaults hold where keys are absent.
+  EXPECT_EQ(f->heartbeat_timeout, 0);
+  EXPECT_EQ(f->grace, ticks_from_ms(2000));
+  EXPECT_EQ(f->fatal_exit_codes, (std::set<int>{2, 64, 78, 126, 127}));
+  EXPECT_TRUE(f->stdout_log.empty());
+}
+
+void expect_reject(const std::string& text, const char* needle) {
+  try {
+    (void)parse_fleet_config(text);
+    FAIL() << "accepted: " << text;
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "error '" << e.what() << "' missing '" << needle << "'";
+  }
+}
+
+TEST(FleetConfig, RejectsMalformedInput) {
+  expect_reject("", "no [service]");
+  expect_reject("[service a]\n", "no exec");
+  expect_reject("exec = /bin/true\n", "outside any [service]");
+  expect_reject("[service a]\nexec = /bin/true\n[service a]\nexec = /bin/true\n",
+                "duplicate");
+  expect_reject("[service a]\nexec = /bin/true\nbogus_key = 1\n", "unknown key");
+  expect_reject("[service a]\nexec = /bin/true\ngrace_ms = fast\n", "number");
+  expect_reject("[service a]\nexec = /bin/true\nauto_restart = maybe\n", "boolean");
+  expect_reject("[service a]\nexec = /bin/true\nfatal_exit_codes = 300\n", "0..255");
+  expect_reject("[service a]\nexec =\n", "exec needs a command");
+  expect_reject("[service a]\nexec = /bin/true\nbackoff_min_ms = 0\n", "backoff");
+  expect_reject(
+      "[service a]\nexec = /bin/true\nbackoff_min_ms = 100\nbackoff_max_ms = 50\n",
+      "backoff");
+  expect_reject("[widgets]\nexec = /bin/true\n", "[service <name>]");
+  expect_reject("[servicefoo]\nexec = /bin/true\n", "[service <name>]");
+  expect_reject("[service a\nexec = /bin/true\n", "unterminated");
+  expect_reject("[service a]\nnot a kv line\n", "key = value");
+}
+
+TEST(FleetConfig, ErrorsNameTheLine) {
+  try {
+    (void)parse_fleet_config("[service a]\nexec = /bin/true\nnope = 1\n");
+    FAIL();
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos) << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace twfd::supervise

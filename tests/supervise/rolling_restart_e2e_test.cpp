@@ -1,0 +1,252 @@
+// The zero-verdict-loss rolling restart, end to end (CTest label
+// `chaos`): a real twfd_fdaasd child under a real supervise::Supervisor,
+// crash-persisting its subscription registry to a snapshot file, watched
+// by an in-test UDP beacon and one ReconnectingClient.
+//
+// Acceptance scenario (ISSUE 10):
+//   * kill -9 the daemon mid-heartbeat-burst, three times: the
+//     supervisor respawns it, the snapshot re-seeds the registry with
+//     the persisted Trust verdict, the reconnecting client reclaims its
+//     subscription — and observes NO spurious Suspect/Trust transition.
+//   * crash the BEACON during a daemon outage: the net Suspect
+//     transition that materialised across the crash window must reach
+//     the client within its detection bound of the daemon coming back.
+//   * revive the beacon at its old address: the recovery Trust arrives.
+//   * SIGTERM the fleet: the daemon drains and exits 0 (graceful
+//     shutdown), flushing a final snapshot.
+//
+// A connection/process loss may DELAY a verdict; it must never lose one.
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <sys/wait.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/reconnecting_client.hpp"
+#include "api/snapshot.hpp"
+#include "net/event_loop.hpp"
+#include "service/dispatcher.hpp"
+#include "service/heartbeat_sender.hpp"
+#include "supervise/supervisor.hpp"
+
+namespace twfd {
+namespace {
+
+constexpr config::QosRequirements kQos{0.8, 1e-3, 4.0};
+constexpr Tick kBeaconInterval = ticks_from_ms(200);
+
+/// Deterministic-per-run ports: derived from the pid so parallel ctest
+/// instances do not collide, stable within the run so a restarted
+/// daemon rebinds the same endpoints.
+std::uint16_t base_port() {
+  static const std::uint16_t base =
+      static_cast<std::uint16_t>(20000 + (::getpid() * 7) % 20000);
+  return base;
+}
+std::uint16_t api_port() { return base_port(); }
+std::uint16_t service_port() { return static_cast<std::uint16_t>(base_port() + 1); }
+std::uint16_t beacon_port() { return static_cast<std::uint16_t>(base_port() + 2); }
+
+/// A monitored process (the shard/api/chaos suites' helper): explicit
+/// bind port so a revived beacon reclaims its old UDP identity.
+class Beacon {
+ public:
+  Beacon(std::uint64_t sender_id, std::uint16_t to_port, std::uint16_t bind_port)
+      : loop_(std::make_unique<net::EventLoop>(bind_port)) {
+    thread_ = std::thread([this, sender_id, to_port] {
+      service::Dispatcher dispatch(loop_->runtime());
+      service::HeartbeatSender sender(
+          loop_->runtime(),
+          {.sender_id = sender_id, .base_interval = kBeaconInterval});
+      dispatch.on_interval_request(
+          [&](PeerId from, const net::IntervalRequestMsg& msg) {
+            sender.handle_interval_request(from, msg);
+          });
+      sender.add_target(loop_->add_peer(net::SocketAddress::loopback(to_port)));
+      sender.start();
+      while (!stop_.load(std::memory_order_acquire)) {
+        loop_->run_for(ticks_from_ms(50));
+      }
+      sender.stop();
+    });
+  }
+
+  ~Beacon() { crash(); }
+
+  void crash() {
+    stop_.store(true, std::memory_order_release);
+    loop_->wake();
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  std::unique_ptr<net::EventLoop> loop_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+struct Event {
+  detect::Output output;
+  Tick at;  ///< steady-clock arrival at the client
+};
+
+class RollingRestartE2E : public testing::Test {
+ protected:
+  void SetUp() override {
+    snapshot_path_ = testing::TempDir() + "rolling_restart_" +
+                     std::to_string(::getpid()) + ".snap";
+    std::remove(snapshot_path_.c_str());
+
+    supervise::ServiceSpec spec;
+    spec.name = "fdaasd";
+    spec.argv = {std::string(TWFD_TOOLS_DIR) + "/twfd_fdaasd",
+                 "--api-port", std::to_string(api_port()),
+                 "--service-port", std::to_string(service_port()),
+                 "--shards", "2",
+                 "--lease-ms", "10000",
+                 "--stats-interval-s", "0",
+                 "--snapshot-path", snapshot_path_,
+                 "--snapshot-interval-ms", "100"};
+    // The daemon beats every main-loop slice (~200ms); 3s of silence
+    // means wedged. Generous for sanitizer builds.
+    spec.heartbeat_timeout = ticks_from_sec(3);
+    spec.start_timeout = ticks_from_sec(20);
+    spec.grace = ticks_from_sec(5);
+    spec.backoff_min = ticks_from_ms(100);
+    spec.backoff_max = ticks_from_ms(500);
+    supervise::FleetConfig fleet;
+    fleet.services.push_back(spec);
+
+    sup_ = std::make_unique<supervise::Supervisor>(fleet,
+                                                   supervise::Supervisor::Options{});
+    sup_->start();
+    ASSERT_TRUE(sup_->wait_all_up(ticks_from_sec(30))) << "daemon never came up";
+  }
+
+  void TearDown() override {
+    if (sup_) sup_->stop();
+    std::remove(snapshot_path_.c_str());
+  }
+
+  /// SIGKILLs the daemon and blocks until the supervisor has respawned
+  /// it (new pid, kUp). Returns the steady instant it was back up.
+  Tick crash_and_await_respawn() {
+    const pid_t old_pid = sup_->pid_of("fdaasd");
+    EXPECT_GT(old_pid, 0);
+    EXPECT_TRUE(sup_->kill_child("fdaasd", SIGKILL));
+    const Tick deadline = clock_.now() + ticks_from_sec(30);
+    while (clock_.now() < deadline) {
+      const auto status = sup_->status()[0];
+      if (status.pid > 0 && status.pid != old_pid &&
+          status.state == supervise::ChildState::kUp) {
+        return clock_.now();
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    ADD_FAILURE() << "daemon was not respawned in time";
+    return clock_.now();
+  }
+
+  SteadyClock clock_;
+  std::string snapshot_path_;
+  std::unique_ptr<supervise::Supervisor> sup_;
+};
+
+TEST_F(RollingRestartE2E, KillNineLosesNoNetTransition) {
+  auto beacon = std::make_unique<Beacon>(7, service_port(), beacon_port());
+
+  api::ReconnectingClient::Options copts;
+  copts.backoff_min = ticks_from_ms(50);
+  copts.backoff_max = ticks_from_ms(400);
+  copts.jitter_seed = 7;
+  api::ReconnectingClient client(net::SocketAddress::loopback(api_port()),
+                                 copts);
+  std::vector<Event> events;
+  client.set_event_handler([&](const api::EventMsg& e) {
+    events.push_back({e.output, clock_.now()});
+  });
+  const std::uint64_t handle = client.subscribe(
+      net::SocketAddress::loopback(beacon_port()), 7, "rolling", kQos);
+
+  // Steady state: heartbeats flowing, verdict Trust, no transitions.
+  ASSERT_TRUE(client.pump_for(ticks_from_sec(2)));
+  ASSERT_EQ(client.verdict(handle), detect::Output::Trust);
+  const std::size_t steady_events = events.size();
+
+  // --- Rolling kill -9 storm: three crashes mid-heartbeat-burst. ------
+  // The beacon never stops, so the TRUE verdict never changes; any
+  // event reaching the client would be a spurious transition invented
+  // by the crash/restore/reclaim path.
+  for (int round = 0; round < 3; ++round) {
+    crash_and_await_respawn();
+    // Pump long enough to reconnect, reclaim and settle.
+    client.pump_for(ticks_from_sec(2));
+    EXPECT_EQ(client.verdict(handle), detect::Output::Trust)
+        << "round " << round << " flipped the verdict";
+  }
+  EXPECT_EQ(events.size(), steady_events)
+      << "the restart storm invented spurious transitions";
+  EXPECT_GE(client.reconnects(), 3u);
+  EXPECT_GE(sup_->stats().restarts_total, 3u);
+
+  // --- Net transition across a crash window. --------------------------
+  // The beacon dies, and before the (still running) daemon can be asked
+  // anything the daemon itself is kill -9'd. The Suspect transition
+  // materialises AFTER the restore, from the re-seeded warm registry —
+  // and must reach the client within its detection bound of the daemon
+  // being back, plus redial/reclaim slack.
+  beacon->crash();
+  beacon.reset();
+  const Tick daemon_up = crash_and_await_respawn();
+  const Tick suspect_deadline = daemon_up + ticks_from_seconds(kQos.td_upper_s) +
+                                ticks_from_sec(4);  // redial + sanitizer slack
+  bool suspected = false;
+  while (clock_.now() < suspect_deadline && !suspected) {
+    client.pump_for(ticks_from_ms(100));
+    suspected = client.verdict(handle) == detect::Output::Suspect;
+  }
+  const Tick suspect_at = clock_.now();
+  EXPECT_TRUE(suspected) << "net Suspect transition lost across the crash";
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events.back().output, detect::Output::Suspect);
+
+  // --- Recovery: the beacon returns at its old address. ----------------
+  beacon = std::make_unique<Beacon>(7, service_port(), beacon_port());
+  const Tick trust_deadline = suspect_at + ticks_from_sec(15);
+  bool trusted = false;
+  while (clock_.now() < trust_deadline && !trusted) {
+    client.pump_for(ticks_from_ms(100));
+    trusted = client.verdict(handle) == detect::Output::Trust;
+  }
+  EXPECT_TRUE(trusted) << "recovery Trust never arrived";
+  EXPECT_EQ(events.back().output, detect::Output::Trust);
+
+  // Exactly the net transitions, nothing else: one Suspect, one Trust.
+  ASSERT_EQ(events.size(), steady_events + 2);
+
+  client.close();
+
+  // --- Graceful shutdown: SIGTERM drains, exits 0, snapshot flushed. ---
+  sup_->stop();
+  const auto final_status = sup_->status()[0];
+  EXPECT_EQ(final_status.state, supervise::ChildState::kDown);
+  ASSERT_TRUE(WIFEXITED(final_status.last_exit_status))
+      << "daemon did not exit cleanly on SIGTERM";
+  EXPECT_EQ(WEXITSTATUS(final_status.last_exit_status), 0);
+  // The shutdown path left a loadable snapshot behind.
+  const auto loaded = api::load_snapshot_file(snapshot_path_);
+  EXPECT_TRUE(loaded.ok()) << api::to_string(loaded.status);
+}
+
+}  // namespace
+}  // namespace twfd

@@ -1,0 +1,60 @@
+// Scriptable child process for the supervisor suite. Modes:
+//
+//   beat            beat every 50ms; exit 0 on SIGTERM
+//   beat-crash N    beat once, then _exit(N) after 100ms
+//   exit N          _exit(N) immediately (no beat)
+//   hang            never beat, never exit (start_timeout prey)
+//   beat-then-hang  beat for ~300ms, then go silent (heartbeat prey)
+//   stubborn        beat, ignore SIGTERM (SIGKILL-escalation prey)
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+
+#include "supervise/daemon.hpp"
+
+using namespace twfd::supervise;
+
+int main(int argc, char** argv) {
+  if (argc < 2) return 64;
+  const char* mode = argv[1];
+  ChildHeartbeat hb = ChildHeartbeat::from_env();
+
+  if (std::strcmp(mode, "exit") == 0) {
+    return argc > 2 ? std::atoi(argv[2]) : 0;
+  }
+  if (std::strcmp(mode, "hang") == 0) {
+    install_shutdown_handlers();
+    for (;;) ::usleep(50 * 1000);
+  }
+  if (std::strcmp(mode, "beat-crash") == 0) {
+    hb.beat();
+    ::usleep(100 * 1000);
+    return argc > 2 ? std::atoi(argv[2]) : 1;
+  }
+  if (std::strcmp(mode, "beat-then-hang") == 0) {
+    for (int i = 0; i < 6; ++i) {
+      hb.beat();
+      ::usleep(50 * 1000);
+    }
+    for (;;) ::usleep(50 * 1000);
+  }
+  if (std::strcmp(mode, "stubborn") == 0) {
+    ::signal(SIGTERM, SIG_IGN);
+    for (;;) {
+      hb.beat();
+      ::usleep(50 * 1000);
+    }
+  }
+  if (std::strcmp(mode, "beat") == 0) {
+    install_shutdown_handlers();
+    while (!shutdown_requested()) {
+      hb.beat();
+      ::usleep(50 * 1000);
+    }
+    return 0;
+  }
+  return 64;
+}

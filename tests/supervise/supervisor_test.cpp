@@ -1,0 +1,293 @@
+// Supervisor state machine over real fork/exec children (the scriptable
+// supervise_test_child binary): happy-path transitions, the 20-crash
+// backoff envelope (every scheduled delay inside rung * [0.5, 1.0],
+// rung doubling to the cap), hung-child SIGKILL via the heartbeat pipe,
+// fatal-exit parking, and the SIGTERM -> grace -> SIGKILL escalation.
+// CTest labels `supervise` + `threaded` (the TSan lane: fork from a
+// multithreaded parent is exactly where allocation-after-fork bugs
+// bite).
+
+#include "supervise/supervisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "supervise/exit_codes.hpp"
+
+namespace twfd::supervise {
+namespace {
+
+std::string child_path() { return TWFD_TEST_CHILD; }
+
+ServiceSpec base_spec(const std::string& name, std::vector<std::string> argv) {
+  ServiceSpec spec;
+  spec.name = name;
+  spec.argv = std::move(argv);
+  spec.grace = ticks_from_ms(500);
+  spec.backoff_min = ticks_from_ms(10);
+  spec.backoff_max = ticks_from_ms(80);
+  return spec;
+}
+
+/// Thread-safe recorder for the state/backoff hooks (they fire on the
+/// supervisor thread and must not call back into the Supervisor).
+struct HookLog {
+  std::mutex mu;
+  std::vector<std::pair<ChildState, ChildState>> transitions;
+  std::vector<std::pair<Tick, Tick>> backoffs;  ///< (delay, rung)
+
+  Supervisor::Options options() {
+    Supervisor::Options opts;
+    opts.state_hook = [this](const std::string&, ChildState from, ChildState to) {
+      std::lock_guard lk(mu);
+      transitions.emplace_back(from, to);
+    };
+    opts.backoff_hook = [this](const std::string&, Tick delay, Tick rung) {
+      std::lock_guard lk(mu);
+      backoffs.emplace_back(delay, rung);
+    };
+    return opts;
+  }
+
+  bool saw(ChildState from, ChildState to) {
+    std::lock_guard lk(mu);
+    return std::find(transitions.begin(), transitions.end(),
+                     std::make_pair(from, to)) != transitions.end();
+  }
+
+  std::size_t backoff_count() {
+    std::lock_guard lk(mu);
+    return backoffs.size();
+  }
+};
+
+bool wait_until(const std::function<bool()>& pred, Tick timeout) {
+  SteadyClock clock;
+  const Tick deadline = clock.now() + timeout;
+  while (clock.now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return pred();
+}
+
+TEST(Supervisor, HeartbeatingChildWalksDownStartingUpStoppingDown) {
+  FleetConfig fleet;
+  auto spec = base_spec("beater", {child_path(), "beat"});
+  spec.heartbeat_timeout = ticks_from_ms(1000);
+  spec.start_timeout = ticks_from_sec(10);
+  fleet.services.push_back(spec);
+
+  HookLog log;
+  Supervisor sup(fleet, log.options());
+  sup.start();
+  ASSERT_TRUE(sup.wait_all_up(ticks_from_sec(10)));
+  EXPECT_TRUE(log.saw(ChildState::kDown, ChildState::kStarting));
+  EXPECT_TRUE(log.saw(ChildState::kStarting, ChildState::kUp));
+  EXPECT_GT(sup.pid_of("beater"), 0);
+  EXPECT_EQ(sup.stats().up_children, 1u);
+
+  sup.stop();
+  EXPECT_TRUE(log.saw(ChildState::kUp, ChildState::kStopping));
+  EXPECT_TRUE(log.saw(ChildState::kStopping, ChildState::kDown));
+  const auto status = sup.status();
+  ASSERT_EQ(status.size(), 1u);
+  EXPECT_EQ(status[0].state, ChildState::kDown);
+  EXPECT_EQ(status[0].pid, 0);
+  // A SIGTERM drain is a clean exit, not a crash: no restarts burned.
+  EXPECT_EQ(status[0].restarts, 0u);
+}
+
+TEST(Supervisor, TwentyCrashLoopRespectsTheBackoffEnvelope) {
+  constexpr std::size_t kCrashes = 20;
+  FleetConfig fleet;
+  fleet.services.push_back(base_spec("crasher", {child_path(), "exit", "1"}));
+
+  HookLog log;
+  auto opts = log.options();
+  opts.jitter_seed = 0xc0ffee;
+  Supervisor sup(fleet, std::move(opts));
+  sup.start();
+  ASSERT_TRUE(wait_until([&] { return log.backoff_count() >= kCrashes; },
+                         ticks_from_sec(30)))
+      << "only " << log.backoff_count() << " restarts scheduled";
+  sup.stop();
+
+  std::lock_guard lk(log.mu);
+  Tick expected_rung = ticks_from_ms(10);
+  bool reached_cap = false;
+  for (std::size_t i = 0; i < kCrashes; ++i) {
+    const auto [delay, rung] = log.backoffs[i];
+    EXPECT_EQ(rung, expected_rung) << "crash " << i << " drew the wrong rung";
+    EXPECT_GE(delay, rung / 2) << "crash " << i << " undercuts the jitter floor";
+    EXPECT_LE(delay, rung) << "crash " << i << " exceeds its rung";
+    EXPECT_LE(delay, ticks_from_ms(80)) << "crash " << i << " exceeds the cap";
+    expected_rung = std::min(expected_rung * 2, ticks_from_ms(80));
+    if (rung == ticks_from_ms(80)) reached_cap = true;
+  }
+  EXPECT_TRUE(reached_cap) << "20 crashes never exercised the cap";
+  EXPECT_GE(sup.stats().restarts_total, kCrashes);
+}
+
+TEST(Supervisor, FatalExitCodeParksInsteadOfCrashLooping) {
+  FleetConfig fleet;
+  fleet.services.push_back(
+      base_spec("misconfigured", {child_path(), "exit", "78"}));
+
+  HookLog log;
+  Supervisor sup(fleet, log.options());
+  sup.start();
+  ASSERT_TRUE(wait_until(
+      [&] { return sup.status()[0].state == ChildState::kFatal; },
+      ticks_from_sec(10)));
+  // Parked means parked: no respawn attempts accumulate.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  const auto status = sup.status()[0];
+  EXPECT_EQ(status.state, ChildState::kFatal);
+  EXPECT_EQ(status.spawns, 1u);
+  EXPECT_EQ(status.restarts, 0u);
+  EXPECT_EQ(sup.stats().fatal_children, 1u);
+  EXPECT_TRUE(WIFEXITED(status.last_exit_status));
+  EXPECT_EQ(WEXITSTATUS(status.last_exit_status), kExitConfig);
+  // wait_all_up reports the hopeless fleet immediately.
+  EXPECT_FALSE(sup.wait_all_up(ticks_from_sec(30)));
+  sup.stop();
+}
+
+TEST(Supervisor, MissingBinaryParksAsExecFailure) {
+  FleetConfig fleet;
+  fleet.services.push_back(base_spec("ghost", {"/no/such/binary/anywhere"}));
+  HookLog log;
+  Supervisor sup(fleet, log.options());
+  sup.start();
+  ASSERT_TRUE(wait_until(
+      [&] { return sup.status()[0].state == ChildState::kFatal; },
+      ticks_from_sec(10)));
+  const auto status = sup.status()[0];
+  ASSERT_TRUE(WIFEXITED(status.last_exit_status));
+  EXPECT_EQ(WEXITSTATUS(status.last_exit_status), kExitExecFailed);
+  sup.stop();
+}
+
+TEST(Supervisor, HungChildIsKilledWithinTheHeartbeatDeadline) {
+  FleetConfig fleet;
+  auto spec = base_spec("wedger", {child_path(), "beat-then-hang"});
+  spec.heartbeat_timeout = ticks_from_ms(400);
+  spec.start_timeout = ticks_from_sec(10);
+  fleet.services.push_back(spec);
+
+  HookLog log;
+  Supervisor sup(fleet, log.options());
+  sup.start();
+  ASSERT_TRUE(sup.wait_all_up(ticks_from_sec(10)));
+  // The child beats ~300ms then wedges; within heartbeat_timeout the
+  // supervisor must SIGKILL it and walk kUp -> kDegraded -> restart.
+  ASSERT_TRUE(wait_until([&] { return sup.stats().hung_kills_total >= 1; },
+                         ticks_from_sec(10)));
+  EXPECT_TRUE(log.saw(ChildState::kUp, ChildState::kDegraded));
+  ASSERT_TRUE(wait_until([&] { return log.saw(ChildState::kDegraded,
+                                              ChildState::kRestarting); },
+                         ticks_from_sec(10)));
+  sup.stop();
+}
+
+TEST(Supervisor, SilentChildIsKilledOnStartTimeout) {
+  FleetConfig fleet;
+  auto spec = base_spec("mute", {child_path(), "hang"});
+  spec.heartbeat_timeout = ticks_from_ms(300);
+  spec.start_timeout = ticks_from_ms(300);
+  fleet.services.push_back(spec);
+
+  HookLog log;
+  Supervisor sup(fleet, log.options());
+  sup.start();
+  // Never beats: never reaches kUp, dies from kStarting.
+  ASSERT_TRUE(wait_until([&] { return sup.stats().hung_kills_total >= 1; },
+                         ticks_from_sec(10)));
+  EXPECT_TRUE(log.saw(ChildState::kStarting, ChildState::kDegraded));
+  EXPECT_FALSE(log.saw(ChildState::kStarting, ChildState::kUp));
+  sup.stop();
+}
+
+TEST(Supervisor, StopEscalatesSigtermToSigkillAfterGrace) {
+  FleetConfig fleet;
+  auto spec = base_spec("stubborn", {child_path(), "stubborn"});
+  spec.grace = ticks_from_ms(300);
+  // Gate kUp on the first beat: the child installs its SIGTERM ignore
+  // before it beats, so stop() cannot win the race against signal(2)
+  // and kill the child with the SIGTERM this test exists to survive.
+  spec.heartbeat_timeout = ticks_from_ms(2000);
+  spec.start_timeout = ticks_from_sec(10);
+  fleet.services.push_back(spec);
+
+  HookLog log;
+  Supervisor sup(fleet, log.options());
+  sup.start();
+  ASSERT_TRUE(sup.wait_all_up(ticks_from_sec(10)));
+  const pid_t pid = sup.pid_of("stubborn");
+  ASSERT_GT(pid, 0);
+
+  SteadyClock clock;
+  const Tick t0 = clock.now();
+  sup.stop();  // SIGTERM is ignored; only the SIGKILL escalation ends it
+  const Tick elapsed = clock.now() - t0;
+  EXPECT_GE(elapsed, ticks_from_ms(250)) << "stop returned before the grace ran";
+  const auto status = sup.status()[0];
+  EXPECT_EQ(status.state, ChildState::kDown);
+  ASSERT_TRUE(WIFSIGNALED(status.last_exit_status));
+  EXPECT_EQ(WTERMSIG(status.last_exit_status), SIGKILL);
+  // The pid is really gone (ESRCH), not a zombie the test leaks.
+  EXPECT_NE(::kill(pid, 0), 0);
+}
+
+TEST(Supervisor, KillChildSeamTriggersARestartWithANewPid) {
+  FleetConfig fleet;
+  auto spec = base_spec("phoenix", {child_path(), "beat"});
+  spec.heartbeat_timeout = ticks_from_ms(1000);
+  spec.start_timeout = ticks_from_sec(10);
+  fleet.services.push_back(spec);
+
+  HookLog log;
+  Supervisor sup(fleet, log.options());
+  sup.start();
+  ASSERT_TRUE(sup.wait_all_up(ticks_from_sec(10)));
+  const pid_t first = sup.pid_of("phoenix");
+  ASSERT_GT(first, 0);
+
+  ASSERT_TRUE(sup.kill_child("phoenix", SIGKILL));
+  ASSERT_TRUE(wait_until(
+      [&] {
+        const pid_t now = sup.pid_of("phoenix");
+        return now > 0 && now != first &&
+               sup.status()[0].state == ChildState::kUp;
+      },
+      ticks_from_sec(10)));
+  EXPECT_GE(sup.status()[0].restarts, 1u);
+  sup.stop();
+}
+
+TEST(Supervisor, VoluntaryCleanExitGoesDownWithoutRestart) {
+  FleetConfig fleet;
+  fleet.services.push_back(base_spec("oneshot", {child_path(), "exit", "0"}));
+  HookLog log;
+  Supervisor sup(fleet, log.options());
+  sup.start();
+  ASSERT_TRUE(wait_until(
+      [&] { return sup.status()[0].state == ChildState::kDown; },
+      ticks_from_sec(10)));
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  EXPECT_EQ(sup.status()[0].spawns, 1u);
+  EXPECT_EQ(sup.status()[0].restarts, 0u);
+  sup.stop();
+}
+
+}  // namespace
+}  // namespace twfd::supervise

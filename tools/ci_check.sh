@@ -4,22 +4,31 @@
 #   1. tier-1: release configure + build + the complete ctest suite
 #      (the command ROADMAP.md names as the bar every change must hold);
 #   2. the `chaos` label on its own (fault plans, chaos TCP proxy,
-#      reconnecting client + backoff envelope, worker-kill parity, and
-#      the federation socket E2E with its interior kill/restart) so a
-#      resilience regression is named by its lane, not buried in the
-#      full run;
-#   3. tools/sanitize_check.sh — ASan+UBSan over the whole suite —
-#      followed by explicit chaos and federation passes in the same
-#      sanitized tree (the federation sim drives 100k peers through the
-#      digest codec, exactly the buffers ASan should watch);
-#   4. a live scrape drill: twfd_monitor and twfd_fdaasd are started
-#      with --metrics-port, /metrics is curled and the required metric
-#      families (event loop, QoS conformance, shard heartbeats) must be
+#      reconnecting client + backoff envelope, worker-kill parity, the
+#      federation socket E2E with its interior kill/restart, and the
+#      kill-9 rolling-restart E2E — a real twfd_fdaasd under the
+#      process supervisor, crash-persisted snapshots, zero verdict
+#      loss) so a resilience regression is named by its lane, not
+#      buried in the full run;
+#   3. the `supervise` label on its own (the Supervisor state machine
+#      over real fork/exec children: backoff envelope, hung-child
+#      SIGKILL, fatal-exit parking, SIGTERM->SIGKILL escalation, and
+#      the fleet-config parser);
+#   4. tools/sanitize_check.sh — ASan+UBSan over the whole suite —
+#      followed by explicit chaos, federation and supervise passes in
+#      the same sanitized tree (the federation sim drives 100k peers
+#      through the digest codec; the supervise suite forks from a
+#      threaded parent, exactly where lifetime bugs bite);
+#   5. a live scrape drill: twfd_monitor, twfd_fdaasd and
+#      twfd_supervisord are started with --metrics-port, /metrics is
+#      curled and the required metric families (event loop, QoS
+#      conformance, shard heartbeats, supervisor child state) must be
 #      present in the exposition — the observability contract the
 #      dashboards are built on;
-#   5. tools/tsan_check.sh — TSan over the `threaded`, `obs` and
+#   6. tools/tsan_check.sh — TSan over the `threaded`, `obs` and
 #      `timers` labels (the MPSC queues, the sharded runtime +
-#      supervisor, the FDaaS API server/client, the metrics registry
+#      supervisor, the FDaaS API server/client, the process supervisor
+#      forking from a multithreaded parent, the metrics registry
 #      under concurrent scrape, and the timing-wheel timer core).
 #
 #   tools/ci_check.sh [build-dir]   (default: build)
@@ -40,6 +49,9 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
 echo "== chaos suite, plain (label 'chaos', $BUILD_DIR) =="
 ctest --test-dir "$BUILD_DIR" -L chaos --output-on-failure
+
+echo "== supervise suite, plain (label 'supervise', $BUILD_DIR) =="
+ctest --test-dir "$BUILD_DIR" -L supervise --output-on-failure
 
 echo "== bench smoke (label 'bench', $BUILD_DIR) =="
 # Tiny-sweep runs of the scaling benches (shard_scale, net_hotpath),
@@ -106,7 +118,8 @@ for family in twfd_loop_datagrams_received_total twfd_qos_detection_time_seconds
 done
 for family in twfd_shard_heartbeats_total twfd_qos_detection_time_seconds \
               twfd_qos_mistake_rate twfd_qos_mistake_duration_seconds \
-              twfd_api_sessions_active twfd_qos_violations_total; do
+              twfd_api_sessions_active twfd_qos_violations_total \
+              twfd_snapshot_saves_total twfd_snapshot_age_seconds; do
   echo "$FDAASD_SCRAPE" | grep -q "^# TYPE $family " || {
     echo "ci_check: twfd_fdaasd /metrics lost family '$family'" >&2
     kill "$MON_PID" "$FDAASD_PID" 2>/dev/null || true
@@ -114,6 +127,35 @@ for family in twfd_shard_heartbeats_total twfd_qos_detection_time_seconds \
   }
 done
 wait "$MON_PID" "$FDAASD_PID"
+
+# Same drill for the supervisor daemon: a one-service fleet (a short
+# twfd_monitor run) long enough to scrape, then a clean SIGTERM drain
+# when --duration-s expires.
+SUP_METRICS_PORT=14975
+SUP_CONF="$BUILD_DIR/ci_fleet.conf"
+cat > "$SUP_CONF" <<EOF
+[service mon]
+exec = $BUILD_DIR/tools/twfd_monitor --port 14976 --sender-id 9 --interval-ms 50 --duration-s 30
+grace_ms = 2000
+EOF
+"$BUILD_DIR/tools/twfd_supervisord" --config "$SUP_CONF" \
+  --metrics-port "$SUP_METRICS_PORT" --duration-s 6 >/dev/null 2>&1 &
+SUP_PID=$!
+sleep 2
+SUP_SCRAPE="$(curl -sf "http://127.0.0.1:$SUP_METRICS_PORT/metrics")" || {
+  echo "ci_check: scraping twfd_supervisord failed" >&2
+  kill "$SUP_PID" 2>/dev/null || true
+  exit 1
+}
+for family in twfd_supervisor_restarts_total twfd_supervisor_child_state \
+              twfd_supervisor_up_children twfd_supervisor_child_backoff_seconds; do
+  echo "$SUP_SCRAPE" | grep -q "^# TYPE $family " || {
+    echo "ci_check: twfd_supervisord /metrics lost family '$family'" >&2
+    kill "$SUP_PID" 2>/dev/null || true
+    exit 1
+  }
+done
+wait "$SUP_PID"
 echo "scrape drill: all required families present"
 
 echo "== ASan+UBSan (build-sanitize) =="
@@ -126,6 +168,10 @@ ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
 echo "== federation suite under ASan+UBSan (build-sanitize) =="
 ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
   ctest --test-dir build-sanitize -L federation --output-on-failure
+
+echo "== supervise suite under ASan+UBSan (build-sanitize) =="
+ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
+  ctest --test-dir build-sanitize -L supervise --output-on-failure
 
 echo "== TSan, labels 'threaded' + 'obs' + 'timers' (build-tsan) =="
 tools/tsan_check.sh

@@ -1,11 +1,14 @@
 #!/usr/bin/env sh
 # ThreadSanitizer pass over the concurrency suites (CTest labels
 # `threaded` — the MPSC command queue, the sharded monitoring runtime
-# including the supervisor/restart tests, and the FDaaS API
-# server/client — `obs` — concurrent scrape-vs-update on the metrics
-# registry — and `timers` — the timing-wheel core, whose EventLoop
-# adapter sits on the cross-thread wake path; see README "Build, test,
-# reproduce" and docs/runtime.md "Threading model" / "Observability").
+# including the supervisor/restart tests, the FDaaS API server/client,
+# and the process supervisor (fork/exec from a multithreaded parent:
+# TSan watches the signal handler, the SIGCHLD self-pipe and the
+# reaper/poll thread against the public accessors) — `obs` —
+# concurrent scrape-vs-update on the metrics registry — and `timers` —
+# the timing-wheel core, whose EventLoop adapter sits on the
+# cross-thread wake path; see README "Build, test, reproduce" and
+# docs/runtime.md "Threading model" / "Observability").
 #
 #   tools/tsan_check.sh [build-dir]   (default: build-tsan)
 #
@@ -23,6 +26,6 @@ cmake -B "$BUILD_DIR" -S . \
   -DTWFD_BUILD_BENCH=OFF \
   -DTWFD_BUILD_EXAMPLES=OFF
 cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || sysctl -n hw.ncpu)" \
-  --target test_threaded test_obs test_timers
+  --target test_threaded test_obs test_timers test_supervise
 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
   ctest --test-dir "$BUILD_DIR" -L 'threaded|obs|timers' --output-on-failure

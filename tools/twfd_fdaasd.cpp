@@ -10,8 +10,21 @@
 //               [--lease-ms 10000] [--stats-interval-s 10]
 //               [--chaos SPEC] [--chaos-seed N]
 //               [--metrics-port N] [--duration-s 0]
+//               [--snapshot-path FILE] [--snapshot-interval-ms 2000]
+//               [--orphan-ttl-ms 60000]
 //
-// duration 0 = run until killed.
+// duration 0 = run until killed. SIGTERM/SIGINT drain cleanly: final
+// snapshot flushed, shards stopped, exit 0.
+//
+// --snapshot-path enables crash persistence: the subscription registry
+// (sessions' QoS tuples, last-known verdicts, federation children) is
+// checkpointed there every --snapshot-interval-ms and reloaded on the
+// next start, so a supervisor-driven restart replays net missed
+// transitions to reconnecting clients exactly like a TCP outage.
+//
+// Under twfd_supervisord the TWFD_SUPERVISE_HB_FD pipe is beaten every
+// main-loop slice; startup failures (EADDRINUSE...) exit 75 (transient,
+// retry) or 78 (config, park) with a one-line stderr reason.
 //
 // --chaos takes a fault-plan spec (net/fault.hpp grammar). The datagram
 // half (drop/dup/reorder/trunc/delay) is applied per shard to inbound
@@ -32,6 +45,7 @@
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <system_error>
 #include <thread>
 
 #include "api/fdaas_server.hpp"
@@ -42,6 +56,8 @@
 #include "obs/qos_tracker.hpp"
 #include "obs/scrape_server.hpp"
 #include "shard/sharded_monitor_service.hpp"
+#include "supervise/daemon.hpp"
+#include "supervise/exit_codes.hpp"
 
 using namespace twfd;
 
@@ -59,13 +75,18 @@ struct Options {
   bool have_chaos_seed = false;
   std::uint16_t metrics_port = 0;
   bool have_metrics = false;
+  std::string snapshot_path;
+  long snapshot_interval_ms = 2000;
+  long orphan_ttl_ms = 60'000;
 };
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--api-port N] [--service-port N] [--shards N]\n"
                "          [--lease-ms N] [--stats-interval-s N] [--duration-s N]\n"
-               "          [--chaos SPEC] [--chaos-seed N] [--metrics-port N]\n",
+               "          [--chaos SPEC] [--chaos-seed N] [--metrics-port N]\n"
+               "          [--snapshot-path FILE] [--snapshot-interval-ms N]\n"
+               "          [--orphan-ttl-ms N]\n",
                argv0);
   std::exit(2);
 }
@@ -98,6 +119,12 @@ Options parse_args(int argc, char** argv) {
     } else if (arg == "--metrics-port") {
       opt.metrics_port = static_cast<std::uint16_t>(std::stoi(next()));
       opt.have_metrics = true;
+    } else if (arg == "--snapshot-path") {
+      opt.snapshot_path = next();
+    } else if (arg == "--snapshot-interval-ms") {
+      opt.snapshot_interval_ms = std::stol(next());
+    } else if (arg == "--orphan-ttl-ms") {
+      opt.orphan_ttl_ms = std::stol(next());
     } else {
       usage(argv[0]);
     }
@@ -143,6 +170,8 @@ class ProxyExport {
 }  // namespace
 
 int main(int argc, char** argv) {
+  supervise::install_shutdown_handlers();
+  supervise::ChildHeartbeat heartbeat = supervise::ChildHeartbeat::from_env();
   try {
     const Options opt = parse_args(argc, argv);
 
@@ -171,6 +200,9 @@ int main(int argc, char** argv) {
     api_params.port = proxy_active ? 0 : opt.api_port;
     api_params.lease = ticks_from_ms(opt.lease_ms);
     api_params.registry = &registry;
+    api_params.snapshot_path = opt.snapshot_path;
+    api_params.snapshot_interval = ticks_from_ms(opt.snapshot_interval_ms);
+    api_params.orphan_ttl = ticks_from_ms(opt.orphan_ttl_ms);
     api::FdaasServer server(service, api_params);
     server.start();
 
@@ -224,8 +256,14 @@ int main(int argc, char** argv) {
     const Tick deadline =
         opt.duration_s > 0 ? start + ticks_from_sec(opt.duration_s) : 0;
     Tick next_stats = start + ticks_from_sec(opt.stats_interval_s);
+    heartbeat.beat();
     for (;;) {
       std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      heartbeat.beat();
+      if (supervise::shutdown_requested()) {
+        std::fprintf(stderr, "fdaasd: shutdown signal, draining\n");
+        break;
+      }
       const Tick now = clock.now();
       if (deadline != 0 && now >= deadline) break;
       if (opt.stats_interval_s > 0 && now >= next_stats) {
@@ -241,9 +279,15 @@ int main(int argc, char** argv) {
     print_stats();
     if (scrape) scrape->stop();
     if (proxy) proxy->stop();
-    server.stop();
+    server.stop();  // flushes the final snapshot before session teardown
     service.stop();
-    return 0;
+    return supervise::kExitOk;
+  } catch (const std::system_error& e) {
+    // Startup failures (bind/listen/socket) carry an errno the
+    // supervisor uses to pick between back-off-and-retry (75) and
+    // park-as-fatal (78).
+    std::fprintf(stderr, "twfd_fdaasd: %s\n", e.what());
+    return supervise::classify_startup_errno(e.code().value());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "twfd_fdaasd: %s\n", e.what());
     return 1;

@@ -25,14 +25,18 @@
 // periodic stats dump on stdout is the same text view. Banners go to
 // stderr.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <optional>
 #include <string>
+#include <system_error>
 #include <thread>
 
 #include "federation/federated_node.hpp"
+#include "supervise/daemon.hpp"
+#include "supervise/exit_codes.hpp"
 #include "obs/exporters.hpp"
 #include "obs/metrics.hpp"
 #include "obs/qos_tracker.hpp"
@@ -121,6 +125,8 @@ Options parse_args(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  supervise::install_shutdown_handlers();
+  supervise::ChildHeartbeat heartbeat = supervise::ChildHeartbeat::from_env();
   try {
     const Options opt = parse_args(argc, argv);
 
@@ -181,8 +187,14 @@ int main(int argc, char** argv) {
     const Tick deadline =
         opt.duration_s > 0 ? start + ticks_from_sec(opt.duration_s) : 0;
     Tick next_stats = start + ticks_from_sec(opt.stats_interval_s);
+    heartbeat.beat();
     for (;;) {
       std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      heartbeat.beat();
+      if (supervise::shutdown_requested()) {
+        std::fprintf(stderr, "federated: shutdown signal, draining\n");
+        break;
+      }
       const Tick now = clock.now();
       if (deadline != 0 && now >= deadline) break;
       if (opt.stats_interval_s > 0 && now >= next_stats) {
@@ -194,7 +206,10 @@ int main(int argc, char** argv) {
     print_stats();
     if (scrape) scrape->stop();
     node.stop();
-    return 0;
+    return supervise::kExitOk;
+  } catch (const std::system_error& e) {
+    std::fprintf(stderr, "twfd_federated: %s\n", e.what());
+    return supervise::classify_startup_errno(e.code().value());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "twfd_federated: %s\n", e.what());
     return 1;

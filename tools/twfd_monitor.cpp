@@ -31,6 +31,7 @@
 #include <limits>
 #include <memory>
 #include <string>
+#include <system_error>
 
 #include "config/qos_config.hpp"
 #include "core/factory.hpp"
@@ -42,6 +43,8 @@
 #include "obs/scrape_server.hpp"
 #include "service/dispatcher.hpp"
 #include "service/monitor.hpp"
+#include "supervise/daemon.hpp"
+#include "supervise/exit_codes.hpp"
 
 using namespace twfd;
 
@@ -145,6 +148,8 @@ void log_line(const char* what) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  supervise::install_shutdown_handlers();
+  supervise::ChildHeartbeat heartbeat = supervise::ChildHeartbeat::from_env();
   try {
     Options opt = parse_args(argc, argv);
 
@@ -270,10 +275,18 @@ int main(int argc, char** argv) {
                    format_ticks(interval).c_str(), addr.to_string().c_str());
     }
 
-    if (opt.duration_s > 0) {
-      loop.run_for(ticks_from_sec(opt.duration_s));
-    } else {
-      while (true) loop.run_for(ticks_from_sec(3600));
+    // Short slices so SIGTERM/SIGINT drain within one slice and the
+    // supervisor heartbeat keeps flowing.
+    const Tick deadline =
+        opt.duration_s > 0 ? loop.now() + ticks_from_sec(opt.duration_s) : 0;
+    heartbeat.beat();
+    while (!supervise::shutdown_requested()) {
+      if (deadline != 0 && loop.now() >= deadline) break;
+      loop.run_for(ticks_from_ms(200));
+      heartbeat.beat();
+    }
+    if (supervise::shutdown_requested()) {
+      std::fprintf(stderr, "monitor: shutdown signal, draining\n");
     }
     if (scrape) scrape->stop();
     std::printf("saw %llu heartbeats; final: %s\n",
@@ -281,7 +294,10 @@ int main(int argc, char** argv) {
                 monitor.output() == detect::Output::Trust ? "TRUST" : "SUSPECT");
     mirror();
     std::fputs(obs::render_text(registry).c_str(), stdout);
-    return 0;
+    return supervise::kExitOk;
+  } catch (const std::system_error& e) {
+    std::fprintf(stderr, "twfd_monitor: %s\n", e.what());
+    return supervise::classify_startup_errno(e.code().value());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "twfd_monitor: %s\n", e.what());
     return 1;

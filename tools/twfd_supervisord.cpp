@@ -1,0 +1,156 @@
+// twfd_supervisord — supervised daemon fleet for the TWFD runtime.
+//
+// Reads a declarative fleet config (see supervise/fleet_config.hpp),
+// forks and watches each service through the supervise::Supervisor
+// state machine: heartbeat-pipe liveness, SIGKILL for hung children,
+// capped exponential backoff with jitter for crashed ones, and parking
+// for fatal exit codes (bad config never crash-loops).
+//
+//   twfd_supervisord --config fleet.conf [--status-file PATH]
+//                    [--metrics-port N] [--duration-s 0]
+//
+// duration 0 = run until SIGTERM/SIGINT, which escalates per service:
+// SIGTERM, grace_ms, SIGKILL — then exits 0.
+//
+// --status-file atomically rewrites one `name state pid restarts` line
+// per service after every transition (poll-friendly for scripts).
+// --metrics-port serves twfd_supervisor_* gauges/counters as Prometheus
+// text on http://0.0.0.0:PORT/metrics.
+//
+// Exit codes follow the fleet convention (supervise/exit_codes.hpp):
+// a malformed config exits 78 (EX_CONFIG) so a supervisor-of-supervisors
+// parks it instead of retrying.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <system_error>
+#include <thread>
+#include <vector>
+
+#include "obs/exporters.hpp"
+#include "obs/metrics.hpp"
+#include "obs/scrape_server.hpp"
+#include "supervise/daemon.hpp"
+#include "supervise/exit_codes.hpp"
+#include "supervise/fleet_config.hpp"
+#include "supervise/supervisor.hpp"
+
+using namespace twfd;
+
+namespace {
+
+struct Options {
+  std::string config_path;
+  std::string status_file;
+  long duration_s = 0;
+  std::uint16_t metrics_port = 0;
+  bool have_metrics = false;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --config FILE [--status-file PATH]\n"
+               "          [--metrics-port N] [--duration-s N]\n",
+               argv0);
+  std::exit(supervise::kExitUsage);
+}
+
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--config") {
+      opt.config_path = next();
+    } else if (arg == "--status-file") {
+      opt.status_file = next();
+    } else if (arg == "--duration-s") {
+      opt.duration_s = std::stol(next());
+    } else if (arg == "--metrics-port") {
+      opt.metrics_port = static_cast<std::uint16_t>(std::stoi(next()));
+      opt.have_metrics = true;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (opt.config_path.empty()) usage(argv[0]);
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  supervise::install_shutdown_handlers();
+  const Options opt = parse_args(argc, argv);
+
+  supervise::FleetConfig fleet;
+  try {
+    fleet = supervise::load_fleet_config(opt.config_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "twfd_supervisord: %s\n", e.what());
+    return supervise::kExitConfig;
+  }
+
+  try {
+    std::vector<std::string> names;
+    names.reserve(fleet.services.size());
+    for (const auto& s : fleet.services) names.push_back(s.name);
+
+    supervise::Supervisor::Options sup_opts;
+    sup_opts.status_file = opt.status_file;
+    sup_opts.state_hook = [](const std::string& service,
+                             supervise::ChildState from,
+                             supervise::ChildState to) {
+      std::fprintf(stderr, "supervisord: %s %s -> %s\n", service.c_str(),
+                   supervise::to_string(from), supervise::to_string(to));
+    };
+    supervise::Supervisor sup(fleet, std::move(sup_opts));
+
+    obs::Registry registry;
+    obs::SuperviseExport sup_export(registry, names);
+    registry.add_collect_hook(
+        [&] { sup_export.update(sup.stats(), sup.status()); });
+
+    std::unique_ptr<obs::ScrapeServer> scrape;
+    if (opt.have_metrics) {
+      scrape = std::make_unique<obs::ScrapeServer>(
+          registry, obs::ScrapeServer::Params{.port = opt.metrics_port});
+      scrape->start();
+    }
+
+    sup.start();
+    std::fprintf(stderr, "supervisord up: %zu services from %s%s%s\n",
+                 fleet.services.size(), opt.config_path.c_str(),
+                 scrape ? ", metrics on http tcp/" : "",
+                 scrape ? std::to_string(scrape->port()).c_str() : "");
+
+    SteadyClock clock;
+    const Tick deadline = opt.duration_s > 0
+                              ? clock.now() + ticks_from_sec(opt.duration_s)
+                              : 0;
+    while (!supervise::shutdown_requested()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      if (deadline != 0 && clock.now() >= deadline) break;
+    }
+    if (supervise::shutdown_requested()) {
+      std::fprintf(stderr, "supervisord: shutdown signal, stopping fleet\n");
+    }
+
+    if (scrape) scrape->stop();
+    sup.stop();
+    std::fputs(obs::render_text(registry).c_str(), stdout);
+    return supervise::kExitOk;
+  } catch (const std::system_error& e) {
+    std::fprintf(stderr, "twfd_supervisord: %s\n", e.what());
+    return supervise::classify_startup_errno(e.code().value());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "twfd_supervisord: %s\n", e.what());
+    return 1;
+  }
+}
